@@ -1,0 +1,180 @@
+//! Deterministic document synthesis.
+//!
+//! Every document is generated from `(seed, file_id)` alone, so any subset
+//! of the corpus can be produced independently (a map task can synthesize
+//! its own input) and the full corpus never has to exist in memory at once.
+
+use crate::zipf::{word_for_rank, Zipf};
+use mrs_rng::{Rng64, SplitMix64};
+
+/// Corpus shape parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of files. Paper scale: 31,173 (full) / 8,316 (subset).
+    pub n_files: u64,
+    /// Random seed.
+    pub seed: u64,
+    /// Mean tokens per document (documents vary ±50%).
+    pub mean_tokens: u64,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Zipf exponent (≈1.0 for natural text).
+    pub zipf_s: f64,
+    /// Words per output line.
+    pub words_per_line: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            n_files: 100,
+            seed: 42,
+            mean_tokens: 2_000,
+            vocab: 50_000,
+            zipf_s: 1.05,
+            words_per_line: 12,
+        }
+    }
+}
+
+/// A corpus generator.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    config: CorpusConfig,
+    zipf: Zipf,
+}
+
+impl Corpus {
+    /// Build a generator.
+    pub fn new(config: CorpusConfig) -> Corpus {
+        assert!(config.n_files > 0, "empty corpus");
+        assert!(config.mean_tokens > 0 && config.words_per_line > 0, "degenerate document shape");
+        let zipf = Zipf::new(config.vocab, config.zipf_s);
+        Corpus { config, zipf }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Number of tokens document `file_id` will contain.
+    pub fn doc_tokens(&self, file_id: u64) -> u64 {
+        let mut rng = SplitMix64::new(self.config.seed ^ file_id.wrapping_mul(0x9E37_79B9));
+        let mean = self.config.mean_tokens;
+        // Uniform in [mean/2, 3*mean/2] — bounded, deterministic.
+        mean / 2 + rng.below(mean.max(1)) + 1
+    }
+
+    /// Generate document `file_id` as text lines.
+    pub fn document(&self, file_id: u64) -> String {
+        let tokens = self.doc_tokens(file_id);
+        let mut rng = SplitMix64::new(self.config.seed.wrapping_add(file_id));
+        let mut out = String::with_capacity(tokens as usize * 6);
+        for t in 0..tokens {
+            let rank = self.zipf.sample(&mut rng);
+            out.push_str(&word_for_rank(rank));
+            if (t + 1) % self.config.words_per_line as u64 == 0 {
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        }
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total corpus size in bytes (generates every document; use sampled
+    /// estimates for very large corpora).
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.config.n_files).map(|f| self.document(f).len() as u64).sum()
+    }
+
+    /// Estimate total bytes by generating `samples` documents.
+    pub fn estimate_bytes(&self, samples: u64) -> u64 {
+        let samples = samples.clamp(1, self.config.n_files);
+        let stride = self.config.n_files / samples;
+        let total: u64 =
+            (0..samples).map(|i| self.document(i * stride).len() as u64).sum();
+        total / samples * self.config.n_files
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small() -> Corpus {
+        Corpus::new(CorpusConfig {
+            n_files: 20,
+            seed: 7,
+            mean_tokens: 300,
+            vocab: 2_000,
+            zipf_s: 1.0,
+            words_per_line: 10,
+        })
+    }
+
+    #[test]
+    fn documents_are_deterministic() {
+        let c = small();
+        assert_eq!(c.document(3), c.document(3));
+        assert_ne!(c.document(3), c.document(4));
+    }
+
+    #[test]
+    fn token_counts_match_declared() {
+        let c = small();
+        for f in 0..20 {
+            let doc = c.document(f);
+            let words: usize = doc.split_whitespace().count();
+            assert_eq!(words as u64, c.doc_tokens(f), "file {f}");
+        }
+    }
+
+    #[test]
+    fn doc_sizes_vary_within_bounds() {
+        let c = small();
+        for f in 0..20 {
+            let t = c.doc_tokens(f);
+            assert!((150..=451).contains(&t), "file {f}: {t} tokens");
+        }
+    }
+
+    #[test]
+    fn lines_have_configured_width() {
+        let c = small();
+        let doc = c.document(0);
+        for line in doc.lines().take(5) {
+            assert_eq!(line.split_whitespace().count(), 10);
+        }
+    }
+
+    #[test]
+    fn word_distribution_is_skewed() {
+        let c = small();
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for f in 0..20 {
+            for w in c.document(f).split_whitespace() {
+                *counts.entry(w.to_owned()).or_default() += 1;
+            }
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipfian head: the most common word is much more frequent than the
+        // 50th.
+        assert!(freqs[0] > freqs.get(50).copied().unwrap_or(1) * 5, "{:?}", &freqs[..5]);
+    }
+
+    #[test]
+    fn estimate_bytes_close_to_actual() {
+        let c = small();
+        let actual = c.total_bytes();
+        let est = c.estimate_bytes(10);
+        let ratio = est as f64 / actual as f64;
+        assert!((0.6..1.4).contains(&ratio), "est {est} vs actual {actual}");
+    }
+}

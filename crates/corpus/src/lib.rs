@@ -1,0 +1,24 @@
+//! Deterministic synthetic Gutenberg-like corpus.
+//!
+//! The WordCount experiment (§V-B) uses "all of the text works from
+//! Project Gutenberg … 31,173 files" whose *directory structure* — many
+//! small files scattered through a deep tree — is what breaks Hadoop's
+//! input loader. This crate synthesizes a corpus with the properties that
+//! matter:
+//!
+//! * [`zipf`] — Zipf-distributed vocabulary (natural-language word
+//!   frequencies),
+//! * [`generator`] — deterministic per-file document synthesis (same seed
+//!   → same corpus, any subset reproducible independently),
+//! * [`tree`] — the nested numeric directory layout (like Gutenberg's
+//!   `etext` tree) plus the flat layout Hadoop prefers,
+//! * [`tokenizer`] — the whitespace tokenizer WordCount uses, shared so
+//!   expected counts can be computed independently of the framework.
+
+pub mod generator;
+pub mod tokenizer;
+pub mod tree;
+pub mod zipf;
+
+pub use generator::{Corpus, CorpusConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,57 @@
+//! The WordCount tokenizer and a framework-independent reference counter.
+//!
+//! Program 1 tokenizes with `value.split()`; this module provides the same
+//! splitting plus an exact reference count so every runtime's WordCount
+//! output can be validated against ground truth.
+
+use std::collections::HashMap;
+
+/// Split a line exactly like the paper's `value.split()`.
+pub fn tokenize(line: &str) -> impl Iterator<Item = &str> {
+    line.split_whitespace()
+}
+
+/// Reference word counts over any sequence of lines (the bypass
+/// implementation of WordCount).
+pub fn reference_counts<'a, I: IntoIterator<Item = &'a str>>(lines: I) -> HashMap<String, u64> {
+    let mut counts = HashMap::new();
+    for line in lines {
+        for w in tokenize(line) {
+            *counts.entry(w.to_owned()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Total tokens in a text.
+pub fn token_count(text: &str) -> u64 {
+    text.lines().map(|l| tokenize(l).count() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_collapses_whitespace() {
+        let toks: Vec<&str> = tokenize("  a\t b   c ").collect();
+        assert_eq!(toks, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn reference_counts_sum() {
+        let counts = reference_counts(["a b a", "b c", ""]);
+        assert_eq!(counts.get("a"), Some(&2));
+        assert_eq!(counts.get("b"), Some(&2));
+        assert_eq!(counts.get("c"), Some(&1));
+        assert_eq!(counts.len(), 3);
+    }
+
+    #[test]
+    fn token_count_matches_reference_total() {
+        let text = "x y z\nx x\n";
+        let total: u64 = reference_counts(text.lines()).values().sum();
+        assert_eq!(token_count(text), total);
+        assert_eq!(total, 5);
+    }
+}

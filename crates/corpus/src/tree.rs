@@ -1,0 +1,126 @@
+//! Directory layouts: Gutenberg-like nesting vs the flat layout Hadoop's
+//! input loader prefers.
+//!
+//! "the directory structure from Project Gutenberg is not very amenable to
+//! Hadoop. The input file loader for the Hadoop system expects all of the
+//! files to be located in a single directory" (§V-B). The nested layout
+//! spreads files through a numeric tree (like `etext/1/2/3/123.txt`), so a
+//! scan must list thousands of directories.
+
+use crate::generator::Corpus;
+use mrs_fs::Store;
+use mrs_core::Result;
+use std::collections::BTreeSet;
+
+/// How files are arranged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Everything in one directory: `flat/<id>.txt`.
+    Flat,
+    /// Gutenberg-style nesting by digits: `etext/1/2/3/123.txt`.
+    Nested,
+}
+
+/// The store path for file `id` under a layout.
+pub fn path_for(layout: Layout, id: u64) -> String {
+    match layout {
+        Layout::Flat => format!("flat/{id}.txt"),
+        Layout::Nested => {
+            let digits = id.to_string();
+            let mut path = String::from("etext");
+            for d in digits.chars() {
+                path.push('/');
+                path.push(d);
+            }
+            format!("{path}/{digits}.txt")
+        }
+    }
+}
+
+/// Count of distinct directories a scan of `n_files` must list.
+pub fn directory_count(layout: Layout, n_files: u64) -> u64 {
+    match layout {
+        Layout::Flat => 1,
+        Layout::Nested => {
+            let mut dirs: BTreeSet<String> = BTreeSet::new();
+            for id in 0..n_files {
+                let p = path_for(layout, id);
+                let dir = p.rsplit_once('/').map(|(d, _)| d.to_owned()).unwrap_or_default();
+                // every ancestor is also listed
+                let mut acc = String::new();
+                for seg in dir.split('/') {
+                    if !acc.is_empty() {
+                        acc.push('/');
+                    }
+                    acc.push_str(seg);
+                    dirs.insert(acc.clone());
+                }
+            }
+            dirs.len() as u64
+        }
+    }
+}
+
+/// Materialize the corpus into a store under the given layout. Returns the
+/// written paths in file-id order.
+pub fn write_corpus(
+    corpus: &Corpus,
+    store: &dyn Store,
+    layout: Layout,
+) -> Result<Vec<String>> {
+    let n = corpus.config().n_files;
+    let mut paths = Vec::with_capacity(n as usize);
+    for id in 0..n {
+        let path = path_for(layout, id);
+        store.put(&path, corpus.document(id).as_bytes())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusConfig;
+    use mrs_fs::MemFs;
+
+    #[test]
+    fn nested_paths_spread_by_digits() {
+        assert_eq!(path_for(Layout::Nested, 123), "etext/1/2/3/123.txt");
+        assert_eq!(path_for(Layout::Nested, 0), "etext/0/0.txt");
+        assert_eq!(path_for(Layout::Flat, 123), "flat/123.txt");
+    }
+
+    #[test]
+    fn nested_layout_has_many_directories() {
+        let nested = directory_count(Layout::Nested, 1000);
+        let flat = directory_count(Layout::Flat, 1000);
+        assert_eq!(flat, 1);
+        assert!(nested > 100, "nested dirs: {nested}");
+    }
+
+    #[test]
+    fn paths_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..2_000 {
+            assert!(seen.insert(path_for(Layout::Nested, id)), "dup at {id}");
+        }
+    }
+
+    #[test]
+    fn write_corpus_materializes_all_files() {
+        let corpus = Corpus::new(CorpusConfig {
+            n_files: 12,
+            mean_tokens: 50,
+            vocab: 100,
+            ..CorpusConfig::default()
+        });
+        let store = MemFs::new();
+        let paths = write_corpus(&corpus, &store, Layout::Nested).unwrap();
+        assert_eq!(paths.len(), 12);
+        for (id, p) in paths.iter().enumerate() {
+            let data = store.get(p).unwrap();
+            assert_eq!(data, corpus.document(id as u64).into_bytes());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Zipf-distributed sampling and a synthetic vocabulary.
+//!
+//! Word frequencies in natural text follow Zipf's law: the r-th most
+//! common word has probability ∝ 1/r^s with s ≈ 1. Sampling uses a
+//! precomputed cumulative table with binary search — O(log V) per draw,
+//! deterministic given the generator.
+
+use mrs_rng::Rng64;
+
+/// A Zipf distribution over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf(s) distribution over `n` ranks. `n` must be nonzero and `s`
+    /// non-negative (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "empty support");
+        assert!(s >= 0.0 && s.is_finite(), "bad exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the support is empty (never: `new` forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng64>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        // First index with cdf >= u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// The synthetic vocabulary: word for rank `r`, generated from the rank so
+/// the whole vocabulary never needs materializing. Common ranks get short
+/// words, rare ranks long ones (roughly like real text).
+pub fn word_for_rank(rank: usize) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwz";
+    const VOWELS: &[u8] = b"aeiou";
+    let mut n = rank as u64;
+    let mut w = String::new();
+    loop {
+        let c = CONSONANTS[(n % CONSONANTS.len() as u64) as usize] as char;
+        n /= CONSONANTS.len() as u64;
+        let v = VOWELS[(n % VOWELS.len() as u64) as usize] as char;
+        n /= VOWELS.len() as u64;
+        w.push(c);
+        w.push(v);
+        if n == 0 {
+            break;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_rng::SplitMix64;
+
+    #[test]
+    fn samples_in_range_and_deterministic() {
+        let z = Zipf::new(100, 1.0);
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = z.sample(&mut a);
+            assert!(x < 100);
+            assert_eq!(x, z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SplitMix64::new(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{} vs {}", counts[0], counts[9]);
+        assert!(counts[0] > 1000, "rank 0 should be common: {}", counts[0]);
+    }
+
+    #[test]
+    fn s_zero_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SplitMix64::new(3);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..32 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn words_are_distinct_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..5_000 {
+            let w = word_for_rank(r);
+            assert!(!w.is_empty());
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(seen.insert(w), "collision at rank {r}");
+        }
+    }
+
+    #[test]
+    fn common_words_are_short() {
+        assert!(word_for_rank(0).len() <= 2);
+        assert!(word_for_rank(50_000).len() >= 6);
+    }
+}

@@ -1,0 +1,102 @@
+//! Virtual time for the discrete-event simulation.
+
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point on the simulation's virtual timeline (nanoseconds since job
+/// submission).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from seconds.
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        assert!(s >= 0.0 && s.is_finite(), "negative or non-finite time");
+        SimTime((s * 1e9) as u64)
+    }
+
+    /// Convert to a `Duration`.
+    pub fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Seconds as f64 (for reports and plots).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The next multiple of `interval` at or after `self`, given a fixed
+    /// phase offset — when the next heartbeat of a tracker with offset
+    /// `phase` occurs. `interval` must be nonzero.
+    pub fn next_tick(self, interval: Duration, phase: Duration) -> SimTime {
+        let interval = interval.as_nanos() as u64;
+        assert!(interval > 0, "zero interval");
+        let phase = phase.as_nanos() as u64 % interval;
+        let t = self.0;
+        if t <= phase {
+            return SimTime(phase);
+        }
+        let since = t - phase;
+        let ticks = since.div_ceil(interval);
+        SimTime(phase + ticks * interval)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_secs(3);
+        assert_eq!(t.as_secs_f64(), 3.0);
+        assert_eq!(t - SimTime::from_secs_f64(1.0), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn next_tick_at_or_after() {
+        let hb = Duration::from_secs(3);
+        let none = Duration::ZERO;
+        assert_eq!(SimTime::ZERO.next_tick(hb, none), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(0.1).next_tick(hb, none), SimTime::from_secs_f64(3.0));
+        assert_eq!(SimTime::from_secs_f64(3.0).next_tick(hb, none), SimTime::from_secs_f64(3.0));
+        assert_eq!(SimTime::from_secs_f64(3.1).next_tick(hb, none), SimTime::from_secs_f64(6.0));
+    }
+
+    #[test]
+    fn next_tick_with_phase() {
+        let hb = Duration::from_secs(3);
+        let phase = Duration::from_secs(1);
+        assert_eq!(SimTime::ZERO.next_tick(hb, phase), SimTime::from_secs_f64(1.0));
+        assert_eq!(SimTime::from_secs_f64(1.5).next_tick(hb, phase), SimTime::from_secs_f64(4.0));
+        assert_eq!(SimTime::from_secs_f64(4.0).next_tick(hb, phase), SimTime::from_secs_f64(4.0));
+    }
+
+    #[test]
+    fn saturating_sub_never_panics() {
+        assert_eq!(SimTime::ZERO - SimTime::from_secs_f64(5.0), Duration::ZERO);
+    }
+}

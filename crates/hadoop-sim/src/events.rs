@@ -1,0 +1,151 @@
+//! The discrete-event core: a deterministic time-ordered event queue.
+
+use crate::clock::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of events. Events at equal times pop in insertion
+/// order (FIFO), which keeps the simulation deterministic.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an event. Scheduling in the past is an error — the
+    /// simulation may never travel backwards.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at:?} < {:?}", self.now);
+        self.heap.push(Entry { key: Reverse((at, self.seq)), event });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        let (at, _) = entry.key.0;
+        self.now = at;
+        Some((at, entry.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs_f64(3.0), "c");
+        q.push(SimTime::from_secs_f64(1.0), "a");
+        q.push(SimTime::from_secs_f64(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs_f64(1.0);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs_f64(5.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs_f64(2.0), ());
+        q.pop();
+        q.push(SimTime::from_secs_f64(1.0), ());
+    }
+
+    #[test]
+    fn push_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs_f64(1.0), 1);
+        q.pop();
+        q.push(q.now(), 2); // same instant: fine
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotonic_clock(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+            let mut q = EventQueue::new();
+            for &ms in &times {
+                q.push(SimTime::ZERO + Duration::from_millis(ms), ms);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

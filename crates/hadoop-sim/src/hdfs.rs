@@ -1,0 +1,108 @@
+//! HDFS cost model: namenode metadata traffic and bulk data movement.
+//!
+//! The WordCount experiment (§V-B) is dominated by this component: "With
+//! the full dataset, Hadoop struggles to load the data from so many
+//! locations, making the start up time alone take nearly nine minutes."
+//! Every file contributes namenode round-trips (directory listing, open,
+//! block lookup), serialized through the single namenode; bulk bytes move
+//! at disk/network bandwidth in parallel across nodes.
+
+use crate::config::SimConfig;
+use std::time::Duration;
+
+/// A staged input: how the input corpus looks to the job.
+#[derive(Clone, Copy, Debug)]
+pub struct InputProfile {
+    /// Number of input files.
+    pub files: u64,
+    /// Number of directories that must be listed to find them.
+    pub directories: u64,
+    /// Total input bytes.
+    pub bytes: u64,
+}
+
+impl InputProfile {
+    /// A single logical file of `bytes` (the shape Hadoop's loader likes).
+    pub fn single_file(bytes: u64) -> Self {
+        InputProfile { files: 1, directories: 1, bytes }
+    }
+}
+
+/// Time for the job client + JobTracker to enumerate the input and compute
+/// splits: pure namenode metadata traffic, serialized.
+///
+/// Each directory costs one listing op; each file costs two ops (status +
+/// block locations), matching `FileInputFormat.listStatus` + `getSplits`.
+pub fn input_scan_time(cfg: &SimConfig, input: &InputProfile) -> Duration {
+    let ops = input.directories + 2 * input.files;
+    cfg.namenode_op * (ops as u32)
+}
+
+/// Time to copy data *into* HDFS (used when the corpus does not already
+/// live there): per-file create ops plus bulk transfer at disk bandwidth.
+pub fn upload_time(cfg: &SimConfig, input: &InputProfile, nodes: usize) -> Duration {
+    let meta = cfg.namenode_op * (input.files as u32);
+    let streams = nodes.max(1) as f64;
+    let bulk = Duration::from_secs_f64(input.bytes as f64 / (cfg.disk_bytes_per_sec * streams));
+    meta + bulk
+}
+
+/// Time to read `bytes` from HDFS on `readers` parallel readers.
+pub fn read_time(cfg: &SimConfig, bytes: u64, readers: usize) -> Duration {
+    let streams = readers.max(1) as f64;
+    Duration::from_secs_f64(bytes as f64 / (cfg.disk_bytes_per_sec * streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_cost_grows_with_file_count_not_bytes() {
+        let cfg = SimConfig::default();
+        let few_big =
+            InputProfile { files: 10, directories: 2, bytes: 10_000_000_000 };
+        let many_small =
+            InputProfile { files: 31_173, directories: 800, bytes: 10_000_000_000 };
+        assert!(input_scan_time(&cfg, &many_small) > input_scan_time(&cfg, &few_big) * 100);
+    }
+
+    #[test]
+    fn full_gutenberg_scan_matches_paper_scale() {
+        // 31,173 files in a nested directory tree: the paper reports nearly
+        // nine minutes of startup. Our mechanistic model must land in the
+        // right ballpark (minutes, not seconds).
+        let cfg = SimConfig::default();
+        let gutenberg = InputProfile { files: 31_173, directories: 7_000, bytes: 12_000_000_000 };
+        let scan = input_scan_time(&cfg, &gutenberg).as_secs_f64();
+        assert!((400.0..900.0).contains(&scan), "scan {scan}s");
+    }
+
+    #[test]
+    fn subset_scan_matches_paper_scale() {
+        // 8,316 files: the paper reports about one minute of preparation.
+        let cfg = SimConfig::default();
+        let subset = InputProfile { files: 8_316, directories: 1_900, bytes: 3_000_000_000 };
+        let scan = input_scan_time(&cfg, &subset).as_secs_f64();
+        assert!((60.0..400.0).contains(&scan), "scan {scan}s");
+    }
+
+    #[test]
+    fn upload_parallelism_helps_bulk_not_meta() {
+        let cfg = SimConfig::default();
+        let input = InputProfile { files: 1000, directories: 10, bytes: 1_000_000_000 };
+        let t1 = upload_time(&cfg, &input, 1);
+        let t8 = upload_time(&cfg, &input, 8);
+        assert!(t8 < t1);
+        // Metadata floor remains.
+        assert!(t8 >= cfg.namenode_op * 1000);
+    }
+
+    #[test]
+    fn read_time_scales_inverse_with_readers() {
+        let cfg = SimConfig::default();
+        let t1 = read_time(&cfg, 600_000_000, 1);
+        let t6 = read_time(&cfg, 600_000_000, 6);
+        assert!((t1.as_secs_f64() / t6.as_secs_f64() - 6.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,30 @@
+//! A discrete-event Hadoop (MR1-era) baseline on a virtual clock.
+//!
+//! The paper's quantitative claims all rest on Hadoop's *structural*
+//! overheads: ≈30 s of fixed cost per MapReduce job and a per-file
+//! namenode penalty that makes staging 31,173 Project-Gutenberg files take
+//! ≈9 minutes (§V-B). We cannot run a 2012 Hadoop cluster here, so this
+//! crate reproduces those mechanisms rather than the constants alone:
+//!
+//! * a **JobTracker/TaskTracker** model where tasks are only assigned and
+//!   their completions only observed on 3-second heartbeats,
+//! * per-task **JVM spawn** cost,
+//! * **setup and cleanup tasks** that are scheduled like any other task,
+//! * an **HDFS namenode** whose metadata operations are charged per file,
+//! * a **job client** that polls for completion on its own interval,
+//! * real execution of the user's map/reduce functions (via `mrs-core`'s
+//!   task kernels), with measured compute time folded into the virtual
+//!   timeline.
+//!
+//! The result: correct MapReduce *outputs*, plus a virtual-time [`JobReport`]
+//! whose shape matches the paper's Hadoop measurements.
+
+pub mod clock;
+pub mod cluster;
+pub mod config;
+pub mod events;
+pub mod hdfs;
+
+pub use clock::SimTime;
+pub use cluster::{HadoopCluster, JobReport};
+pub use config::SimConfig;

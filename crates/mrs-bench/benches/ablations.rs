@@ -1,0 +1,181 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A1 affinity** — iterative PSO on the RPC cluster with the
+//!   task→slave affinity scheduler on vs off,
+//! * **A2 pipelining** — chained iterations queued ahead vs waited on one
+//!   by one (the §IV-A operation-queueing optimization),
+//! * **A3 combiner** — WordCount with and without the local reduce,
+//! * **A4 data path** — direct HTTP intermediate data vs the shared
+//!   filesystem (with injected per-op latency to stand in for NFS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrs::apps::wordcount::{lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_fs::MemFs;
+use mrs_pso::mapreduce::{PsoProgram, FUNC_ISLAND};
+use mrs_pso::{Objective, PsoConfig, Topology};
+use mrs_runtime::{LocalCluster, LocalRuntime};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn pso_config() -> PsoConfig {
+    PsoConfig {
+        objective: Objective::Sphere,
+        dim: 10,
+        n_particles: 8,
+        topology: Topology::Subswarms { size: 2 },
+        seed: 3,
+    }
+}
+
+fn pso_iterations(cluster: &mut LocalCluster, iters: u64) {
+    let program = PsoProgram::new(pso_config(), 2);
+    let islands = program.n_islands() as usize;
+    let mut job = Job::new(cluster);
+    let mut ds = job.local_data(program.initial_islands(), islands).unwrap();
+    for _ in 0..iters {
+        let m = job.map_data(ds, FUNC_ISLAND, islands, false).unwrap();
+        ds = job.reduce_data(m, FUNC_ISLAND).unwrap();
+    }
+    job.wait(ds).unwrap();
+}
+
+fn ablation_affinity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_affinity");
+    group.sample_size(10);
+    for (label, on) in [("affinity_on", true), ("affinity_off", false)] {
+        group.bench_function(label, |b| {
+            let cfg = MasterConfig { use_affinity: on, ..MasterConfig::default() };
+            let mut cluster = LocalCluster::start(
+                Arc::new(PsoProgram::new(pso_config(), 2)),
+                4,
+                DataPlane::Direct,
+                cfg,
+            )
+            .unwrap();
+            b.iter(|| pso_iterations(&mut cluster, 8));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipeline");
+    group.sample_size(10);
+    let program = || Arc::new(PsoProgram::new(pso_config(), 2));
+    let islands = PsoProgram::new(pso_config(), 2).n_islands() as usize;
+
+    group.bench_function("queued_ahead", |b| {
+        let mut rt = LocalRuntime::pool(program(), 4);
+        b.iter(|| {
+            let p = PsoProgram::new(pso_config(), 2);
+            let mut job = Job::new(&mut rt);
+            let mut ds = job.local_data(p.initial_islands(), islands).unwrap();
+            // Queue all 10 rounds, wait once.
+            for _ in 0..10 {
+                let m = job.map_data(ds, FUNC_ISLAND, islands, false).unwrap();
+                ds = job.reduce_data(m, FUNC_ISLAND).unwrap();
+            }
+            job.wait(ds).unwrap();
+        });
+    });
+
+    group.bench_function("wait_each_round", |b| {
+        let mut rt = LocalRuntime::pool(program(), 4);
+        b.iter(|| {
+            let p = PsoProgram::new(pso_config(), 2);
+            let mut job = Job::new(&mut rt);
+            let mut ds = job.local_data(p.initial_islands(), islands).unwrap();
+            for _ in 0..10 {
+                let m = job.map_data(ds, FUNC_ISLAND, islands, false).unwrap();
+                ds = job.reduce_data(m, FUNC_ISLAND).unwrap();
+                // The non-pipelined driver: a barrier after every round.
+                job.wait(ds).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn ablation_combiner(c: &mut Criterion) {
+    // Heavily repetitive input: the combiner's best case, as in WordCount.
+    let lines: Vec<String> =
+        (0..400).map(|i| format!("common shared w{} common shared", i % 5)).collect();
+    let input = lines_to_records(lines.iter().map(String::as_str));
+
+    let mut group = c.benchmark_group("ablation_combiner");
+    group.sample_size(10);
+    for (label, combine) in [("combiner_on", true), ("combiner_off", false)] {
+        group.bench_function(label, |b| {
+            let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 4);
+            b.iter(|| {
+                let mut job = Job::new(&mut rt);
+                job.map_reduce(input.clone(), 8, 4, combine).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    // Report shuffle volume once (the real point of the combiner).
+    for combine in [true, false] {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 4);
+        {
+            let mut job = Job::new(&mut rt);
+            job.map_reduce(input.clone(), 8, 4, combine).unwrap();
+        }
+        eprintln!(
+            "combiner={combine}: shuffle bytes = {}",
+            rt.metrics().shuffle_bytes()
+        );
+    }
+}
+
+fn ablation_datapath(c: &mut Criterion) {
+    let lines: Vec<String> = (0..200).map(|i| format!("w{} w{} w{}", i % 11, i % 5, i % 3)).collect();
+    let input = lines_to_records(lines.iter().map(String::as_str));
+
+    let mut group = c.benchmark_group("ablation_datapath");
+    group.sample_size(10);
+
+    group.bench_function("direct_http", |b| {
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            3,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut job = Job::new(&mut cluster);
+            job.map_reduce(input.clone(), 6, 3, true).unwrap()
+        });
+    });
+
+    group.bench_function("shared_fs_1ms", |b| {
+        // The shared filesystem with 1 ms per operation — a mild NFS.
+        let store = MemFs::new();
+        store.set_latency(Duration::from_millis(1));
+        let shared: Arc<dyn mrs_fs::Store> = Arc::new(store);
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            3,
+            DataPlane::SharedFs(shared),
+            MasterConfig::default(),
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut job = Job::new(&mut cluster);
+            job.map_reduce(input.clone(), 6, 3, true).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_affinity,
+    ablation_pipeline,
+    ablation_combiner,
+    ablation_datapath
+);
+criterion_main!(benches);

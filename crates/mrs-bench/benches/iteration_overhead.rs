@@ -1,0 +1,62 @@
+//! Per-iteration framework overhead (the abstract's 0.3 s vs ≥30 s
+//! claim): one near-empty map+reduce round on each Mrs runtime. The
+//! Hadoop side is virtual-clock simulation and is reported by the
+//! `overhead_table` binary instead of Criterion (simulated time cannot be
+//! wall-benchmarked).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrs::apps::wordcount::{lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_runtime::{LocalCluster, LocalRuntime};
+use std::sync::Arc;
+
+fn tiny_input(tasks: usize) -> Vec<mrs_core::Record> {
+    let lines: Vec<String> = (0..tasks).map(|i| format!("w{i}")).collect();
+    lines_to_records(lines.iter().map(String::as_str))
+}
+
+fn one_round(job: &mut Job, src: mrs_runtime::DataId, tasks: usize) {
+    let m = job.map_data(src, 0, tasks, false).expect("map");
+    let r = job.reduce_data(m, 0).expect("reduce");
+    job.wait(r).expect("round");
+    job.discard(m);
+    job.discard(r);
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let tasks = 8;
+    let mut group = c.benchmark_group("iteration_overhead");
+    group.sample_size(20);
+
+    group.bench_function("serial", |b| {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(tiny_input(tasks), tasks).unwrap();
+        b.iter(|| one_round(&mut job, src, tasks));
+    });
+
+    group.bench_function("pool_6", |b| {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 6);
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(tiny_input(tasks), tasks).unwrap();
+        b.iter(|| one_round(&mut job, src, tasks));
+    });
+
+    group.bench_function("cluster_4_rpc", |b| {
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            4,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(tiny_input(tasks), tasks).unwrap();
+        b.iter(|| one_round(&mut job, src, tasks));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 3 language tiers: the same Halton π
+//! kernel as native Rust ("C"), slowpy VM ("PyPy"), slowpy tree
+//! ("CPython"), and slowpy→native ("ctypes"). The *ratios* between these
+//! are the right-hand side of Fig. 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs::apps::pi::{kernel_count, native_count, Kernel};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pi_kernels");
+    let n = 20_000u64;
+    group.sample_size(10);
+    for kernel in Kernel::all() {
+        group.bench_with_input(BenchmarkId::new(kernel.name(), n), &n, |b, &n| {
+            b.iter(|| kernel_count(black_box(kernel), black_box(0), black_box(n)).unwrap());
+        });
+    }
+    group.finish();
+
+    // Sanity: tiers agree (run once outside timing).
+    let reference = native_count(0, 1_000);
+    for kernel in Kernel::all() {
+        assert_eq!(kernel_count(kernel, 0, 1_000).unwrap(), reference);
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

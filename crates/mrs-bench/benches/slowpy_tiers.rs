@@ -1,0 +1,60 @@
+//! Interpreter-substrate microbenchmarks: per-operation dispatch cost of
+//! the tree walker vs the bytecode VM on numeric loops (the mechanism
+//! behind the Fig. 3 tier gaps), plus compile cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slowpy::{parse, Engine, Value};
+use std::hint::black_box;
+
+const LOOP_SRC: &str = r#"
+fn spin(n) {
+  var acc = 0.0;
+  var i = 0;
+  while (i < n) {
+    acc = acc + i * 0.5 - (i % 7);
+    i = i + 1;
+  }
+  return acc;
+}
+"#;
+
+fn bench_tiers(c: &mut Criterion) {
+    let engine = Engine::new();
+    let prog = parse(LOOP_SRC).unwrap();
+    let module = engine.compile(&prog).unwrap();
+    let n = Value::Int(20_000);
+
+    // Reference results must agree.
+    assert_eq!(
+        engine.run_tree(&prog, "spin", &[Value::Int(500)]).unwrap(),
+        engine.run_vm(&prog, "spin", &[Value::Int(500)]).unwrap()
+    );
+
+    let mut group = c.benchmark_group("slowpy_tiers");
+    group.sample_size(10);
+    group.bench_function("tree_interp", |b| {
+        b.iter(|| engine.run_tree(&prog, "spin", black_box(std::slice::from_ref(&n))).unwrap())
+    });
+    group.bench_function("bytecode_vm", |b| {
+        b.iter(|| engine.run_module(&module, "spin", black_box(std::slice::from_ref(&n))).unwrap())
+    });
+    group.bench_function("native_rust", |b| {
+        b.iter(|| {
+            let n = 20_000i64;
+            let mut acc = 0.0f64;
+            let mut i = 0i64;
+            while i < n {
+                acc = acc + i as f64 * 0.5 - (i.rem_euclid(7)) as f64;
+                i += 1;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("parse_and_compile", |b| {
+        b.iter(|| engine.compile(&parse(black_box(LOOP_SRC)).unwrap()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Substrate microbenchmarks: the building blocks whose costs underlie
+//! the system-level numbers — PRNG throughput, Halton generation
+//! (incremental vs direct, the paper's inner-loop optimization), the
+//! XML-RPC codec, bucket sort/group, and base64.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrs_core::{Bucket, Datum};
+use mrs_rng::{halton, Halton2D, Mt19937_64, StreamFactory};
+use mrs_rpc::xmlrpc::{encode_request, parse_request, Value};
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_rng");
+    group.bench_function("mt19937_64_next", |b| {
+        let mut g = Mt19937_64::new(5489);
+        b.iter(|| black_box(g.next_u64()));
+    });
+    group.bench_function("stream_derivation", |b| {
+        let f = StreamFactory::new(42);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(f.stream(&[1, 2, i]))
+        });
+    });
+    group.finish();
+}
+
+fn bench_halton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_halton");
+    group.bench_function("incremental_2d_1000", |b| {
+        b.iter(|| {
+            let mut h = Halton2D::new(0);
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                let (x, y) = h.next_point();
+                acc += x + y;
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("direct_2d_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=1000u64 {
+                acc += halton(i, 2) + halton(i, 3);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_rpc_codec(c: &mut Criterion) {
+    let params = vec![
+        Value::Int(42),
+        Value::Str("task assignment with some payload".into()),
+        Value::Array((0..16).map(|i| Value::Str(format!("http://10.0.0.1:8080/data/op3/t{i}/b2.mrsb"))).collect()),
+    ];
+    let xml = encode_request("task_done", &params);
+    let mut group = c.benchmark_group("substrate_xmlrpc");
+    group.bench_function("encode_request", |b| {
+        b.iter(|| black_box(encode_request("task_done", black_box(&params))))
+    });
+    group.bench_function("parse_request", |b| {
+        b.iter(|| black_box(parse_request(black_box(&xml)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_bucket(c: &mut Criterion) {
+    let records: Vec<(Vec<u8>, Vec<u8>)> = (0..10_000u64)
+        .map(|i| ((i * 2_654_435_761 % 997).to_bytes(), i.to_bytes()))
+        .collect();
+    let mut group = c.benchmark_group("substrate_bucket");
+    group.bench_function("sort_group_10k", |b| {
+        b.iter(|| {
+            let mut bucket = Bucket::from_records(records.clone());
+            bucket.sort();
+            black_box(mrs_core::sortgroup::group_sorted(bucket.records()).count())
+        })
+    });
+    group.bench_function("bucket_file_roundtrip_10k", |b| {
+        b.iter(|| {
+            let bytes = mrs_fs::format::write_bucket_bytes(black_box(&records));
+            black_box(mrs_fs::format::read_bucket_bytes(&bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_base64(c: &mut Criterion) {
+    let data = vec![0xA7u8; 64 * 1024];
+    let encoded = mrs_rpc::base64::encode(&data);
+    let mut group = c.benchmark_group("substrate_base64");
+    group.bench_function("encode_64k", |b| {
+        b.iter(|| black_box(mrs_rpc::base64::encode(black_box(&data))))
+    });
+    group.bench_function("decode_64k", |b| {
+        b.iter(|| black_box(mrs_rpc::base64::decode(black_box(&encoded)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng, bench_halton, bench_rpc_codec, bench_bucket, bench_base64);
+criterion_main!(benches);

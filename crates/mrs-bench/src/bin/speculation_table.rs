@@ -1,0 +1,69 @@
+//! **A5 ablation** — stragglers and speculative execution in the Hadoop
+//! baseline: virtual job time across straggler rates, with MR1-style
+//! backup tasks off and on. (Virtual-clock results, so this is a table
+//! binary rather than a Criterion bench.)
+//!
+//! ```text
+//! cargo run --release -p mrs-bench --bin speculation_table
+//! ```
+
+use hadoop_sim::cluster::JobSpec;
+use hadoop_sim::hdfs::InputProfile;
+use hadoop_sim::{HadoopCluster, SimConfig};
+use mrs::apps::pi::{slabs, Kernel, PiEstimator};
+use mrs::prelude::*;
+use mrs_bench::Table;
+
+fn run(prob: f64, speculative: bool) -> (f64, u64) {
+    let cfg = SimConfig {
+        straggler_prob: prob,
+        straggler_factor: 10.0,
+        speculative,
+        ..SimConfig::default()
+    };
+    let cluster = HadoopCluster::new(8, cfg).expect("cluster");
+    let program = Simple(PiEstimator { kernel: Kernel::Native });
+    let report = cluster
+        .run_job(&JobSpec {
+            program: &program,
+            map_func: 0,
+            reduce_func: 0,
+            combine: false,
+            // Enough samples that map compute dominates, so a 10× straggler
+            // visibly stretches the tail.
+            input: slabs(40_000_000, 48),
+            input_profile: InputProfile::single_file(1 << 20),
+            n_maps: 48,
+            n_reduces: 4,
+        })
+        .expect("job");
+    (report.total.as_secs_f64(), report.speculative_launched)
+}
+
+fn main() {
+    println!("Stragglers vs speculative execution (virtual clock, 8 nodes, 48 maps)\n");
+    let mut table = Table::new([
+        "straggler_prob",
+        "no_speculation_s",
+        "speculation_s",
+        "backups_launched",
+        "time_recovered_s",
+    ]);
+    for prob in [0.0, 0.1, 0.2, 0.4] {
+        let (off, _) = run(prob, false);
+        let (on, backups) = run(prob, true);
+        table.row([
+            format!("{prob:.1}"),
+            format!("{off:.1}"),
+            format!("{on:.1}"),
+            backups.to_string(),
+            format!("{:.1}", off - on),
+        ]);
+    }
+    table.emit("speculation_table");
+    println!(
+        "\nshape: with no stragglers speculation is a no-op; as the straggler rate grows,\n\
+         backup tasks recover most of the tail latency — the mechanism Hadoop ships to\n\
+         defend exactly the overhead structure this paper measures."
+    );
+}

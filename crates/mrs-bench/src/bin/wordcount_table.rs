@@ -1,0 +1,128 @@
+//! **§V-B WordCount comparison** — the Gutenberg table.
+//!
+//! Paper numbers: full corpus (31,173 files): Hadoop's startup alone takes
+//! nearly nine minutes while Mrs finishes the entire operation in under
+//! nine; subset (8,316 files): Hadoop 1 min preparation / 16 min total,
+//! Mrs 2 min total.
+//!
+//! Ours: the synthetic corpus keeps the paper's *file counts and directory
+//! shape* (what drives Hadoop's namenode traffic) but scales tokens per
+//! file down by `--token-scale` so the measured side runs in seconds; the
+//! scale factor is reported. Mrs times are measured on a real localhost
+//! cluster; Hadoop times are virtual-clock simulation. The claim checked
+//! is structural: *Hadoop's startup alone exceeds Mrs's entire job.*
+//!
+//! ```text
+//! cargo run --release -p mrs-bench --bin wordcount_table [--slaves 6] [--mean-tokens 120]
+//! ```
+
+use corpus::tree::{directory_count, Layout};
+use corpus::{Corpus, CorpusConfig};
+use hadoop_sim::cluster::JobSpec;
+use hadoop_sim::hdfs::InputProfile;
+use hadoop_sim::{HadoopCluster, SimConfig};
+use mrs::apps::wordcount::{decode_counts, documents_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_bench::{Args, Table};
+use mrs_runtime::LocalCluster;
+use std::sync::Arc;
+
+const PAPER_MEAN_TOKENS: u64 = 64_000; // ≈2e9 tokens / 31,173 files
+
+fn main() {
+    let args = Args::parse();
+    let slaves: usize = args.flag("slaves", 6);
+    let mean_tokens: u64 = args.flag("mean-tokens", 120);
+    let scale = PAPER_MEAN_TOKENS as f64 / mean_tokens as f64;
+
+    println!(
+        "WordCount on synthetic Gutenberg (token scale 1/{scale:.0} of the paper's ≈2G tokens)\n"
+    );
+    let mut table = Table::new([
+        "corpus",
+        "files",
+        "dirs",
+        "tokens",
+        "mrs_measured_s",
+        "hadoop_scan_virtual_s",
+        "hadoop_total_virtual_s",
+        "startup_exceeds_mrs_total",
+    ]);
+
+    for (label, files) in [("subset", 8_316u64), ("full", 31_173u64)] {
+        let corpus = Corpus::new(CorpusConfig {
+            n_files: files,
+            mean_tokens,
+            vocab: 50_000,
+            ..CorpusConfig::default()
+        });
+        let documents: Vec<String> = (0..files).map(|f| corpus.document(f)).collect();
+        let tokens: u64 = documents.iter().map(|d| corpus::tokenizer::token_count(d)).sum();
+        let bytes: u64 = documents.iter().map(|d| d.len() as u64).sum();
+        let records = documents_to_records(documents.iter().map(String::as_str));
+        let dirs = directory_count(Layout::Nested, files);
+
+        // Mrs: measured on a real localhost master/slave cluster.
+        let t0 = std::time::Instant::now();
+        let mrs_counts = {
+            let mut cluster = LocalCluster::start(
+                Arc::new(Simple(WordCount)),
+                slaves,
+                DataPlane::Direct,
+                MasterConfig::default(),
+            )
+            .expect("cluster");
+            let mut job = Job::new(&mut cluster);
+            let out = job
+                .map_reduce(records.clone(), slaves * 4, slaves * 2, true)
+                .expect("wordcount");
+            decode_counts(&out).expect("decode")
+        };
+        let mrs_secs = t0.elapsed().as_secs_f64();
+
+        // Hadoop: the same job on the virtual cluster with the real
+        // nested-tree namenode traffic. Bytes are scaled back up to paper
+        // scale for the scan-and-read model (metadata cost is exact).
+        let hadoop = HadoopCluster::new(slaves.max(2), SimConfig::default()).expect("sim");
+        let program = Simple(WordCount);
+        let report = hadoop
+            .run_job(&JobSpec {
+                program: &program,
+                map_func: 0,
+                reduce_func: 0,
+                combine: true,
+                input: records,
+                input_profile: InputProfile {
+                    files,
+                    directories: dirs,
+                    bytes: (bytes as f64 * scale) as u64,
+                },
+                n_maps: slaves * 4,
+                n_reduces: slaves * 2,
+            })
+            .expect("hadoop job");
+        assert_eq!(
+            decode_counts(&report.output).expect("decode"),
+            mrs_counts,
+            "frameworks disagree on {label}"
+        );
+
+        let scan = report.input_scan.as_secs_f64();
+        table.row([
+            label.to_string(),
+            files.to_string(),
+            dirs.to_string(),
+            tokens.to_string(),
+            format!("{mrs_secs:.2}"),
+            format!("{scan:.1}"),
+            format!("{:.1}", report.total.as_secs_f64()),
+            (scan > mrs_secs).to_string(),
+        ]);
+    }
+    table.emit("wordcount_table");
+    println!(
+        "\npaper reference: full corpus — Hadoop startup ≈9 min vs Mrs total <9 min;\n\
+         subset — Hadoop 16 min total vs Mrs 2 min. The structural claim reproduced here:\n\
+         Hadoop's input scan alone (virtual) exceeds Mrs's whole measured job."
+    );
+}

@@ -1,0 +1,71 @@
+//! Shared machinery for the Fig. 3 sweeps: run the π estimator at a given
+//! sample count on an Mrs runtime (measured wall time) or on the Hadoop
+//! simulator (virtual time).
+
+use hadoop_sim::cluster::JobSpec;
+use hadoop_sim::hdfs::InputProfile;
+use hadoop_sim::{HadoopCluster, SimConfig};
+use mrs::apps::pi::{estimate_from, slabs, Kernel, PiEstimator};
+use mrs::prelude::*;
+use mrs_runtime::LocalRuntime;
+use std::sync::Arc;
+
+/// Result of one sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct PiRun {
+    /// Sample count.
+    pub samples: u64,
+    /// Wall (Mrs) or virtual (Hadoop) seconds.
+    pub secs: f64,
+    /// The π estimate (all engines must agree).
+    pub estimate: f64,
+}
+
+/// Run the estimator on the thread-pool Mrs runtime; wall-clock seconds.
+pub fn mrs_pi(kernel: Kernel, samples: u64, tasks: u64, workers: usize) -> PiRun {
+    let program = Arc::new(Simple(PiEstimator { kernel }));
+    let mut rt = LocalRuntime::pool(program, workers);
+    let t0 = std::time::Instant::now();
+    let mut job = Job::new(&mut rt);
+    let out = job
+        .map_reduce(slabs(samples, tasks), tasks as usize, 1, false)
+        .expect("pi job");
+    let secs = t0.elapsed().as_secs_f64();
+    PiRun { samples, secs, estimate: estimate_from(&out).expect("estimate") }
+}
+
+/// Run the estimator on the Hadoop simulator ("Java" tier: the native
+/// kernel, as Java's JIT-compiled numeric speed ≈ Rust's); virtual seconds.
+pub fn hadoop_pi(samples: u64, tasks: u64, nodes: usize) -> PiRun {
+    let cluster = HadoopCluster::new(nodes, SimConfig::default()).expect("cluster");
+    let program = Simple(PiEstimator { kernel: Kernel::Native });
+    let report = cluster
+        .run_job(&JobSpec {
+            program: &program,
+            map_func: 0,
+            reduce_func: 0,
+            combine: false,
+            input: slabs(samples, tasks),
+            // PiEstimator has no on-disk input: one tiny job file.
+            input_profile: InputProfile::single_file(1024),
+            n_maps: tasks as usize,
+            n_reduces: 1,
+        })
+        .expect("hadoop pi job");
+    PiRun {
+        samples,
+        secs: report.total.as_secs_f64(),
+        estimate: estimate_from(&report.output).expect("estimate"),
+    }
+}
+
+/// The sample counts of a Fig. 3 sweep: powers of ten from 1 to `max`.
+pub fn sweep_points(max: u64) -> Vec<u64> {
+    let mut points = Vec::new();
+    let mut n = 1u64;
+    while n <= max {
+        points.push(n);
+        n = n.saturating_mul(10);
+    }
+    points
+}

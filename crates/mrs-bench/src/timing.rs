@@ -1,0 +1,49 @@
+//! Wall-clock helpers for the experiment binaries.
+
+use std::time::Instant;
+
+/// Time one execution; returns `(result, seconds)`.
+pub fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Run `f` `n` times (n ≥ 1) and return the median seconds.
+pub fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
+    assert!(n >= 1);
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_secs_returns_result_and_duration() {
+        let (v, s) = time_secs(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn median_of_odd_samples() {
+        let mut i = 0;
+        let s = median_secs(3, || {
+            i += 1;
+            if i == 2 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        });
+        // median of [fast, slow, fast] is fast
+        assert!(s < 0.01, "{s}");
+    }
+}

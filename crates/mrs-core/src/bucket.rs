@@ -1,0 +1,139 @@
+//! Buckets: the unit of intermediate data.
+//!
+//! Map output is partitioned into one bucket per reduce partition (Fig. 1);
+//! each reduce task consumes all same-numbered buckets from every map task.
+//! A bucket is simply an ordered collection of raw records plus bookkeeping
+//! (byte size, sortedness) that the runtimes use for shuffle accounting.
+
+use crate::kv::Record;
+
+/// An append-only collection of records destined for one partition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bucket {
+    records: Vec<Record>,
+    bytes: usize,
+}
+
+impl Bucket {
+    /// An empty bucket.
+    pub fn new() -> Self {
+        Bucket::default()
+    }
+
+    /// Build from existing records.
+    pub fn from_records(records: Vec<Record>) -> Self {
+        let bytes = records.iter().map(|(k, v)| k.len() + v.len()).sum();
+        Bucket { records, bytes }
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.bytes += key.len() + value.len();
+        self.records.push((key, value));
+    }
+
+    /// Append all records from another bucket.
+    pub fn extend_from(&mut self, other: Bucket) {
+        self.bytes += other.bytes;
+        self.records.extend(other.records);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total payload bytes (keys + values), the shuffle-volume metric used
+    /// by the combiner ablation (A3).
+    pub fn byte_size(&self) -> usize {
+        self.bytes
+    }
+
+    /// Borrow the records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consume into the raw record vector.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
+    /// Stable sort by encoded key (the shuffle sort step).
+    pub fn sort(&mut self) {
+        self.records.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// True if records are in non-decreasing key order.
+    pub fn is_sorted(&self) -> bool {
+        self.records.windows(2).all(|w| w[0].0 <= w[1].0)
+    }
+}
+
+impl FromIterator<Record> for Bucket {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        Bucket::from_records(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(k: &str, v: &str) -> Record {
+        (k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn push_tracks_bytes_and_len() {
+        let mut b = Bucket::new();
+        assert!(b.is_empty());
+        b.push(b"ab".to_vec(), b"cde".to_vec());
+        b.push(b"".to_vec(), b"x".to_vec());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.byte_size(), 6);
+    }
+
+    #[test]
+    fn from_records_counts_bytes() {
+        let b = Bucket::from_records(vec![rec("k", "vv"), rec("kk", "v")]);
+        assert_eq!(b.byte_size(), 6);
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys() {
+        let mut b = Bucket::from_records(vec![rec("b", "1"), rec("a", "2"), rec("b", "3")]);
+        b.sort();
+        assert!(b.is_sorted());
+        let recs = b.records();
+        assert_eq!(recs[0], rec("a", "2"));
+        // stability: the two "b" records keep their original relative order
+        assert_eq!(recs[1], rec("b", "1"));
+        assert_eq!(recs[2], rec("b", "3"));
+    }
+
+    #[test]
+    fn extend_from_merges_bytes() {
+        let mut a = Bucket::from_records(vec![rec("x", "1")]);
+        let b = Bucket::from_records(vec![rec("y", "22")]);
+        a.extend_from(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.byte_size(), 5);
+    }
+
+    #[test]
+    fn empty_bucket_is_sorted() {
+        assert!(Bucket::new().is_sorted());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let b: Bucket = vec![rec("a", "1"), rec("b", "2")].into_iter().collect();
+        assert_eq!(b.len(), 2);
+    }
+}

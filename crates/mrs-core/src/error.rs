@@ -1,0 +1,81 @@
+//! Error type shared across the framework crates.
+
+use std::fmt;
+
+/// Framework-level result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the data plane and the runtimes.
+#[derive(Debug)]
+pub enum Error {
+    /// A record or datum failed to decode.
+    Codec(String),
+    /// An I/O failure in the storage or network layer.
+    Io(std::io::Error),
+    /// A malformed or unsupported URL for a bucket.
+    Url(String),
+    /// Protocol-level failure talking to a peer.
+    Rpc(String),
+    /// The program referenced an unknown map/reduce function id.
+    UnknownFunc(u32),
+    /// The plan referenced data that does not exist.
+    MissingData(String),
+    /// A task failed on every slave it was attempted on.
+    TaskFailed(String),
+    /// The cluster lost all of its slaves.
+    NoSlaves,
+    /// Generic invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Url(m) => write!(f, "bad url: {m}"),
+            Error::Rpc(m) => write!(f, "rpc error: {m}"),
+            Error::UnknownFunc(id) => write!(f, "unknown function id {id}"),
+            Error::MissingData(m) => write!(f, "missing data: {m}"),
+            Error::TaskFailed(m) => write!(f, "task failed: {m}"),
+            Error::NoSlaves => write!(f, "no live slaves remain"),
+            Error::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Codec("truncated varint".into());
+        assert!(e.to_string().contains("truncated varint"));
+        let e = Error::UnknownFunc(7);
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

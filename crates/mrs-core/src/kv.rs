@@ -1,0 +1,406 @@
+//! The record model and the `Datum` codec.
+//!
+//! Python Mrs moves pickled objects; the Rust data plane moves raw bytes and
+//! gives programs a typed view through [`Datum`], a small deterministic
+//! binary codec (little-endian fixed ints, varint-length-prefixed strings
+//! and sequences). Two properties matter for MapReduce correctness:
+//!
+//! 1. round-trip fidelity (`decode(encode(x)) == x`), and
+//! 2. **order preservation for numeric keys**: encoded `u64`/`i64` keys
+//!    compare byte-wise in the same order as the integers (big-endian with a
+//!    sign-bias for `i64`). Sorting encoded records is always a *consistent*
+//!    grouping order for any key type (equal keys are adjacent because the
+//!    codec is deterministic), which is all that sort-and-group requires;
+//!    byte order coincides with semantic order only for the integer keys.
+
+use crate::error::{Error, Result};
+
+/// A serialized key-value record: the unit of data-plane traffic.
+pub type Record = (Vec<u8>, Vec<u8>);
+
+/// Types that can serve as MapReduce keys or values.
+pub trait Datum: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decode a value from the front of `b`, returning it and the rest.
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode, requiring the entire slice to be consumed.
+    fn from_bytes(b: &[u8]) -> Result<Self> {
+        let (v, rest) = Self::decode_from(b)?;
+        if rest.is_empty() {
+            Ok(v)
+        } else {
+            Err(Error::Codec(format!("{} trailing bytes", rest.len())))
+        }
+    }
+}
+
+/// LEB128 unsigned varint.
+pub fn write_varint(mut v: u64, buf: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 unsigned varint from the front of `b`.
+pub fn read_varint(b: &[u8]) -> Result<(u64, &[u8])> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in b.iter().enumerate() {
+        if shift >= 64 {
+            return Err(Error::Codec("varint overflow".into()));
+        }
+        let bits = (byte & 0x7f) as u64;
+        if shift == 63 && bits > 1 {
+            return Err(Error::Codec("varint overflow".into()));
+        }
+        v |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Ok((v, &b[i + 1..]));
+        }
+        shift += 7;
+    }
+    Err(Error::Codec("truncated varint".into()))
+}
+
+fn take<'a>(b: &'a [u8], n: usize, what: &str) -> Result<(&'a [u8], &'a [u8])> {
+    if b.len() < n {
+        return Err(Error::Codec(format!("truncated {what}: need {n}, have {}", b.len())));
+    }
+    Ok(b.split_at(n))
+}
+
+impl Datum for u64 {
+    // Big-endian so that byte-wise ordering of encoded keys matches numeric
+    // ordering — required by sort-and-group.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (head, rest) = take(b, 8, "u64")?;
+        Ok((u64::from_be_bytes(head.try_into().expect("len checked")), rest))
+    }
+}
+
+impl Datum for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (head, rest) = take(b, 4, "u32")?;
+        Ok((u32::from_be_bytes(head.try_into().expect("len checked")), rest))
+    }
+}
+
+impl Datum for i64 {
+    // Sign-flip bias keeps byte order == numeric order.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        ((*self as u64) ^ (1u64 << 63)).encode(buf);
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (raw, rest) = u64::decode_from(b)?;
+        Ok(((raw ^ (1u64 << 63)) as i64, rest))
+    }
+}
+
+impl Datum for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (head, rest) = take(b, 8, "f64")?;
+        Ok((f64::from_bits(u64::from_le_bytes(head.try_into().expect("len checked"))), rest))
+    }
+}
+
+impl Datum for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (head, rest) = take(b, 1, "bool")?;
+        match head[0] {
+            0 => Ok((false, rest)),
+            1 => Ok((true, rest)),
+            x => Err(Error::Codec(format!("bad bool byte {x}"))),
+        }
+    }
+}
+
+impl Datum for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(self.len() as u64, buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (len, rest) = read_varint(b)?;
+        let (head, rest) = take(rest, len as usize, "string")?;
+        let s = std::str::from_utf8(head)
+            .map_err(|e| Error::Codec(format!("invalid utf-8: {e}")))?;
+        Ok((s.to_owned(), rest))
+    }
+}
+
+impl Datum for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(self.len() as u64, buf);
+        buf.extend_from_slice(self);
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (len, rest) = read_varint(b)?;
+        let (head, rest) = take(rest, len as usize, "bytes")?;
+        Ok((head.to_vec(), rest))
+    }
+}
+
+impl Datum for Vec<f64> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(self.len() as u64, buf);
+        for x in self {
+            x.encode(buf);
+        }
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (len, mut rest) = read_varint(b)?;
+        // Each element takes 8 bytes: reject (and never allocate for) a
+        // length claim that the remaining input cannot possibly satisfy.
+        if len > rest.len() as u64 / 8 {
+            return Err(Error::Codec(format!("f64 seq length {len} exceeds input")));
+        }
+        let mut v = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            let (x, r) = f64::decode_from(rest)?;
+            v.push(x);
+            rest = r;
+        }
+        Ok((v, rest))
+    }
+}
+
+impl Datum for Vec<u64> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(self.len() as u64, buf);
+        for x in self {
+            x.encode(buf);
+        }
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (len, mut rest) = read_varint(b)?;
+        if len > rest.len() as u64 / 8 {
+            return Err(Error::Codec(format!("u64 seq length {len} exceeds input")));
+        }
+        let mut v = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            let (x, r) = u64::decode_from(rest)?;
+            v.push(x);
+            rest = r;
+        }
+        Ok((v, rest))
+    }
+}
+
+impl Datum for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        Ok(((), b))
+    }
+}
+
+impl<A: Datum, B: Datum> Datum for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (a, rest) = A::decode_from(b)?;
+        let (bb, rest) = B::decode_from(rest)?;
+        Ok(((a, bb), rest))
+    }
+}
+
+impl<A: Datum, B: Datum, C: Datum> Datum for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
+        let (a, rest) = A::decode_from(b)?;
+        let (bb, rest) = B::decode_from(rest)?;
+        let (c, rest) = C::decode_from(rest)?;
+        Ok(((a, bb, c), rest))
+    }
+}
+
+/// Encode a typed pair into a raw [`Record`].
+pub fn encode_record<K: Datum, V: Datum>(k: &K, v: &V) -> Record {
+    (k.to_bytes(), v.to_bytes())
+}
+
+/// Decode a raw [`Record`] into a typed pair.
+pub fn decode_record<K: Datum, V: Datum>(r: &Record) -> Result<(K, V)> {
+    Ok((K::from_bytes(&r.0)?, V::from_bytes(&r.1)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round<T: Datum + PartialEq + std::fmt::Debug>(x: T) {
+        let b = x.to_bytes();
+        assert_eq!(T::from_bytes(&b).unwrap(), x);
+    }
+
+    #[test]
+    fn roundtrip_primitives() {
+        round(0u64);
+        round(u64::MAX);
+        round(42u32);
+        round(-17i64);
+        round(i64::MIN);
+        round(3.25f64);
+        round(f64::NEG_INFINITY);
+        round(true);
+        round(false);
+        round(String::from("héllo, wörld"));
+        round(String::new());
+        round(vec![0u8, 255, 3]);
+        round(vec![1.5f64, -2.5]);
+        round(vec![7u64, 8, 9]);
+        round(());
+        round((1u64, String::from("x")));
+        round((1u64, 2.0f64, String::from("z")));
+    }
+
+    #[test]
+    fn u64_encoding_preserves_order() {
+        let pairs = [(0u64, 1u64), (1, 2), (255, 256), (u64::MAX - 1, u64::MAX), (7, 70)];
+        for (a, b) in pairs {
+            assert!(a.to_bytes() < b.to_bytes(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn i64_encoding_preserves_order() {
+        let vals = [i64::MIN, -1000, -1, 0, 1, 1000, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(w[0].to_bytes() < w[1].to_bytes(), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut b = 5u64.to_bytes();
+        b.push(0);
+        assert!(u64::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let b = String::from("hello").to_bytes();
+        assert!(String::from_bytes(&b[..3]).is_err());
+        assert!(u64::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let mut b = Vec::new();
+        write_varint(2, &mut b);
+        b.extend_from_slice(&[0xff, 0xfe]);
+        assert!(String::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn bad_bool_byte_rejected() {
+        assert!(bool::from_bytes(&[2]).is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut b = Vec::new();
+            write_varint(v, &mut b);
+            let (back, rest) = read_varint(&b).unwrap();
+            assert_eq!(back, v);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 bytes of continuation encodes > 64 bits.
+        let b = [0xffu8; 11];
+        assert!(read_varint(&b).is_err());
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let x = f64::from_bits(0x7ff8_0000_0000_1234);
+        let b = x.to_bytes();
+        assert_eq!(f64::from_bytes(&b).unwrap().to_bits(), x.to_bits());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_u64(x in any::<u64>()) {
+            round(x);
+        }
+
+        #[test]
+        fn prop_roundtrip_string(s in ".*") {
+            round(s);
+        }
+
+        #[test]
+        fn prop_roundtrip_f64_vec(v in proptest::collection::vec(any::<f64>(), 0..64)) {
+            let b = v.to_bytes();
+            let back = Vec::<f64>::from_bytes(&b).unwrap();
+            prop_assert_eq!(v.len(), back.len());
+            for (a, bb) in v.iter().zip(&back) {
+                prop_assert_eq!(a.to_bits(), bb.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_u64_order(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(a.cmp(&b), a.to_bytes().cmp(&b.to_bytes()));
+        }
+
+        #[test]
+        fn prop_string_encoding_injective(a in ".*", b in ".*") {
+            // Grouping correctness needs the codec to be injective: distinct
+            // keys must have distinct encodings (and equal keys equal ones).
+            prop_assert_eq!(a == b, a.to_bytes() == b.to_bytes());
+        }
+
+        #[test]
+        fn prop_varint_roundtrip(v in any::<u64>()) {
+            let mut b = Vec::new();
+            write_varint(v, &mut b);
+            prop_assert_eq!(read_varint(&b).unwrap().0, v);
+        }
+
+        #[test]
+        fn prop_decode_garbage_never_panics(b in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = u64::from_bytes(&b);
+            let _ = String::from_bytes(&b);
+            let _ = Vec::<f64>::from_bytes(&b);
+            let _ = <(u64, String)>::from_bytes(&b);
+        }
+    }
+}

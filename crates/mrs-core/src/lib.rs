@@ -1,0 +1,31 @@
+//! Core MapReduce programming model and data plane.
+//!
+//! This crate defines everything the paper's §II formalises, independent of
+//! *how* a program is executed (see `mrs-runtime` for the four execution
+//! implementations and `hadoop-sim` for the baseline):
+//!
+//! * [`kv`] — the record model: byte-oriented key/value pairs plus the
+//!   [`kv::Datum`] codec trait that gives programs a typed view,
+//! * [`program`] — the user-facing [`program::MapReduce`] trait
+//!   (`map : (K1,V1) → list((K2,V2))`, `reduce : (K2, list(V2)) → list(V2)`)
+//!   and the object-safe [`program::Program`] layer the runtimes drive,
+//! * [`bucket`] / [`sortgroup`] — intermediate data containers, sorting and
+//!   grouping by key,
+//! * [`partition`] — hash and modulo partitioners,
+//! * [`plan`] — operation descriptors (map/reduce DAG) shared by all
+//!   runtimes, including the iterative chains of Fig. 2.
+
+pub mod bucket;
+pub mod error;
+pub mod kv;
+pub mod partition;
+pub mod plan;
+pub mod program;
+pub mod sortgroup;
+pub mod task;
+
+pub use bucket::Bucket;
+pub use error::{Error, Result};
+pub use kv::{Datum, Record};
+pub use plan::{DataRef, FuncId, OpId, OpKind, OpSpec, Plan};
+pub use program::{MapReduce, Program, Simple};

@@ -1,0 +1,226 @@
+//! Operation plans: the map/reduce dependency graphs of Figs. 1 and 2.
+//!
+//! A [`Plan`] is a straight-line description of the datasets a job will
+//! produce: each [`OpSpec`] consumes either a *source* dataset (job input)
+//! or the output of an earlier operation, and produces a new dataset split
+//! into `parts` pieces. Iterative programs are simply long chains of
+//! alternating map and reduce ops over the same function ids — the runtimes
+//! (`mrs-runtime`) exploit the structure for pipelining and task affinity.
+
+use crate::error::{Error, Result};
+
+/// Identifies one of a program's map/reduce functions.
+pub type FuncId = u32;
+
+/// Identifies an operation (and thus its output dataset) within a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+/// The input of an operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataRef {
+    /// The job's source dataset (index into the runtime's source list).
+    Source(u32),
+    /// The output dataset of a previous operation.
+    Op(OpId),
+}
+
+/// What an operation does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Apply a map function to every record of the input; partition the
+    /// output into `parts` buckets per task.
+    Map {
+        /// Which of the program's map functions to run.
+        func: FuncId,
+    },
+    /// Sort-and-group each partition of the input and apply a reduce
+    /// function to each group.
+    Reduce {
+        /// Which of the program's reduce functions to run.
+        func: FuncId,
+    },
+}
+
+/// One operation in a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpSpec {
+    /// This op's id; equals its index in the plan.
+    pub id: OpId,
+    /// Map or reduce, and which program function.
+    pub kind: OpKind,
+    /// Input dataset.
+    pub input: DataRef,
+    /// Number of output partitions (map) or tasks (reduce).
+    pub parts: usize,
+    /// For map ops with a combiner-capable function: run the combiner.
+    pub combine: bool,
+}
+
+/// An ordered list of operations forming a DAG (inputs always refer
+/// backwards).
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    ops: Vec<OpSpec>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Append a map operation reading `input`, producing `parts` partitions.
+    pub fn map(&mut self, func: FuncId, input: DataRef, parts: usize) -> OpId {
+        self.push(OpKind::Map { func }, input, parts, false)
+    }
+
+    /// Append a map operation that also runs the program's combiner.
+    pub fn map_with_combiner(&mut self, func: FuncId, input: DataRef, parts: usize) -> OpId {
+        self.push(OpKind::Map { func }, input, parts, true)
+    }
+
+    /// Append a reduce operation reading `input`, producing `parts`
+    /// output splits (one per reduce task).
+    pub fn reduce(&mut self, func: FuncId, input: DataRef, parts: usize) -> OpId {
+        self.push(OpKind::Reduce { func }, input, parts, false)
+    }
+
+    fn push(&mut self, kind: OpKind, input: DataRef, parts: usize, combine: bool) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpSpec { id, kind, input, parts, combine });
+        id
+    }
+
+    /// All operations in submission order.
+    pub fn ops(&self) -> &[OpSpec] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the plan has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Look up an operation.
+    pub fn op(&self, id: OpId) -> Option<&OpSpec> {
+        self.ops.get(id.0 as usize)
+    }
+
+    /// Validate the plan: inputs must refer to earlier ops, every op must
+    /// have at least one partition, and a reduce's input must be a map
+    /// (reduce consumes partitioned, shuffled data).
+    pub fn validate(&self, n_sources: u32) -> Result<()> {
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.parts == 0 {
+                return Err(Error::Invalid(format!("op {i}: zero partitions")));
+            }
+            match op.input {
+                DataRef::Source(s) if s >= n_sources => {
+                    return Err(Error::Invalid(format!(
+                        "op {i}: source {s} out of range ({n_sources} sources)"
+                    )));
+                }
+                DataRef::Op(OpId(p)) if p as usize >= i => {
+                    return Err(Error::Invalid(format!("op {i}: input op {p} is not earlier")));
+                }
+                _ => {}
+            }
+            if let (OpKind::Reduce { .. }, DataRef::Source(_)) = (op.kind, op.input) {
+                return Err(Error::Invalid(format!(
+                    "op {i}: reduce must consume a map output, not a raw source"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the canonical single-stage plan used by `Simple` programs:
+    /// map (with combiner if the program has one) then reduce.
+    pub fn map_reduce(map_parts: usize, reduce_parts: usize, combine: bool) -> Plan {
+        let mut p = Plan::new();
+        let m = if combine {
+            p.map_with_combiner(0, DataRef::Source(0), reduce_parts)
+        } else {
+            p.map(0, DataRef::Source(0), reduce_parts)
+        };
+        // `map_parts` is implied by the source's split count; record it for
+        // documentation via the reduce input.
+        let _ = map_parts;
+        p.reduce(0, DataRef::Op(m), reduce_parts);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut p = Plan::new();
+        let a = p.map(0, DataRef::Source(0), 4);
+        let b = p.reduce(0, DataRef::Op(a), 4);
+        assert_eq!(a, OpId(0));
+        assert_eq!(b, OpId(1));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.op(b).unwrap().input, DataRef::Op(a));
+    }
+
+    #[test]
+    fn valid_chain_passes_validation() {
+        let mut p = Plan::new();
+        let mut prev = p.map(0, DataRef::Source(0), 2);
+        for _ in 0..5 {
+            let r = p.reduce(0, DataRef::Op(prev), 2);
+            prev = p.map(1, DataRef::Op(r), 2);
+        }
+        p.reduce(0, DataRef::Op(prev), 2);
+        assert!(p.validate(1).is_ok());
+    }
+
+    #[test]
+    fn zero_parts_rejected() {
+        let mut p = Plan::new();
+        p.map(0, DataRef::Source(0), 0);
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn out_of_range_source_rejected() {
+        let mut p = Plan::new();
+        p.map(0, DataRef::Source(2), 1);
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut p = Plan::new();
+        p.map(0, DataRef::Op(OpId(1)), 1); // refers to itself/future
+        p.map(0, DataRef::Source(0), 1);
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn reduce_from_source_rejected() {
+        let mut p = Plan::new();
+        p.reduce(0, DataRef::Source(0), 1);
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn canonical_map_reduce_shape() {
+        let p = Plan::map_reduce(4, 3, true);
+        assert_eq!(p.len(), 2);
+        assert!(matches!(p.ops()[0].kind, OpKind::Map { func: 0 }));
+        assert!(p.ops()[0].combine);
+        assert_eq!(p.ops()[0].parts, 3);
+        assert!(matches!(p.ops()[1].kind, OpKind::Reduce { func: 0 }));
+        assert!(p.validate(1).is_ok());
+    }
+}

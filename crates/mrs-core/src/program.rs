@@ -1,0 +1,349 @@
+//! The programming model: typed map/reduce functions over the byte plane.
+//!
+//! Two layers, mirroring the paper's design:
+//!
+//! * [`MapReduce`] — what a user writes: a typed `map` and `reduce` (and an
+//!   optional `combine`), the Rust analogue of Program 1. Like the paper's
+//!   API, functions *emit* records one at a time rather than returning
+//!   lists.
+//! * [`Program`] — the object-safe, byte-level interface every runtime
+//!   drives. Iterative programs (PSO) implement it directly so one program
+//!   can expose several map/reduce functions addressed by [`FuncId`]
+//!   (the paper passes bound methods to `job.map_data`; a function id is the
+//!   serializable equivalent).
+//!
+//! [`Simple`] adapts any [`MapReduce`] into a [`Program`] as function id 0.
+
+use crate::error::{Error, Result};
+use crate::kv::Datum;
+use crate::partition::Partition;
+use crate::plan::FuncId;
+
+/// A typed, single-stage MapReduce program.
+///
+/// `map : (K1, V1) → list((K2, V2))` and
+/// `reduce : (K2, list(V2)) → list(V2)` exactly as defined in §II. The
+/// reduce output keeps its input key, so a reduce dataset is again a
+/// key-value dataset and can feed another map (Fig. 2).
+pub trait MapReduce: Send + Sync + 'static {
+    /// Input key type (often a line number or file offset).
+    type K1: Datum;
+    /// Input value type.
+    type V1: Datum;
+    /// Intermediate/output key type.
+    type K2: Datum;
+    /// Intermediate/output value type.
+    type V2: Datum;
+
+    /// Called once per input record; may emit any number of pairs.
+    fn map(&self, key: Self::K1, value: Self::V1, emit: &mut dyn FnMut(Self::K2, Self::V2));
+
+    /// Called once per distinct key with all its values; may emit any
+    /// number of output values for that key.
+    fn reduce(
+        &self,
+        key: &Self::K2,
+        values: &mut dyn Iterator<Item = Self::V2>,
+        emit: &mut dyn FnMut(Self::V2),
+    );
+
+    /// Optional combiner ("local reduce", §V-A). Only invoked when
+    /// [`MapReduce::has_combiner`] returns true. The default delegates to
+    /// [`MapReduce::reduce`], which is correct whenever the reduction is
+    /// associative and type-preserving — as in WordCount, where "the reduce
+    /// function can function as a combiner without any modifications".
+    fn combine(
+        &self,
+        key: &Self::K2,
+        values: &mut dyn Iterator<Item = Self::V2>,
+        emit: &mut dyn FnMut(Self::V2),
+    ) {
+        self.reduce(key, values, emit);
+    }
+
+    /// Whether a combiner should run after map tasks.
+    fn has_combiner(&self) -> bool {
+        false
+    }
+
+    /// Partitioning strategy for intermediate keys.
+    fn partition(&self) -> Partition {
+        Partition::Hash
+    }
+
+    /// Fully custom partitioning over the *encoded* key: return
+    /// `Some(index)` to override [`MapReduce::partition`]. Programs that
+    /// need data-dependent placement (e.g. range partitioning for a
+    /// distributed sort) implement this; the default defers to the
+    /// strategy enum.
+    fn custom_partition(&self, _key: &[u8], _parts: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// The object-safe byte-level program interface driven by runtimes.
+///
+/// All methods take a [`FuncId`] so that a single program can expose
+/// multiple map and reduce functions for multi-stage/iterative jobs.
+pub trait Program: Send + Sync + 'static {
+    /// Apply map function `func` to one encoded record.
+    fn map_bytes(
+        &self,
+        func: FuncId,
+        key: &[u8],
+        value: &[u8],
+        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    ) -> Result<()>;
+
+    /// Apply reduce function `func` to one key group.
+    fn reduce_bytes(
+        &self,
+        func: FuncId,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = &[u8]>,
+        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    ) -> Result<()>;
+
+    /// Apply the combiner for map function `func`, if any.
+    fn combine_bytes(
+        &self,
+        func: FuncId,
+        _key: &[u8],
+        _values: &mut dyn Iterator<Item = &[u8]>,
+        _emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    ) -> Result<()> {
+        Err(Error::UnknownFunc(func))
+    }
+
+    /// Whether map function `func` has a combiner.
+    fn has_combiner(&self, _func: FuncId) -> bool {
+        false
+    }
+
+    /// Partition an encoded intermediate key into one of `n` parts.
+    fn partition(&self, key: &[u8], n: usize) -> usize {
+        Partition::Hash.index(key, n)
+    }
+}
+
+/// Adapter: any typed [`MapReduce`] is a [`Program`] whose single map and
+/// reduce function are both function id 0.
+pub struct Simple<P>(pub P);
+
+/// The function id used by [`Simple`] for both map and reduce.
+pub const SIMPLE_FUNC: FuncId = 0;
+
+impl<P: MapReduce> Simple<P> {
+    fn check(func: FuncId) -> Result<()> {
+        if func == SIMPLE_FUNC {
+            Ok(())
+        } else {
+            Err(Error::UnknownFunc(func))
+        }
+    }
+}
+
+/// Decoding iterator adapter: lazily decodes each value of a group. The
+/// first decode failure is stashed in `error` and ends the iteration, so the
+/// typed reduce never sees corrupt data.
+struct DecodeValues<'i, 'd, V: Datum> {
+    inner: &'i mut dyn Iterator<Item = &'d [u8]>,
+    error: &'i mut Option<Error>,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V: Datum> Iterator for DecodeValues<'_, '_, V> {
+    type Item = V;
+
+    fn next(&mut self) -> Option<V> {
+        if self.error.is_some() {
+            return None;
+        }
+        let raw = self.inner.next()?;
+        match V::from_bytes(raw) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                *self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+impl<P: MapReduce> Program for Simple<P> {
+    fn map_bytes(
+        &self,
+        func: FuncId,
+        key: &[u8],
+        value: &[u8],
+        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    ) -> Result<()> {
+        Self::check(func)?;
+        let k = P::K1::from_bytes(key)?;
+        let v = P::V1::from_bytes(value)?;
+        self.0.map(k, v, &mut |k2, v2| emit(k2.to_bytes(), v2.to_bytes()));
+        Ok(())
+    }
+
+    fn reduce_bytes(
+        &self,
+        func: FuncId,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = &[u8]>,
+        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    ) -> Result<()> {
+        Self::check(func)?;
+        let k = P::K2::from_bytes(key)?;
+        let mut error = None;
+        let mut dec = DecodeValues::<P::V2> {
+            inner: values,
+            error: &mut error,
+            _marker: std::marker::PhantomData,
+        };
+        self.0.reduce(&k, &mut dec, &mut |v2| emit(key.to_vec(), v2.to_bytes()));
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn combine_bytes(
+        &self,
+        func: FuncId,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = &[u8]>,
+        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    ) -> Result<()> {
+        Self::check(func)?;
+        let k = P::K2::from_bytes(key)?;
+        let mut error = None;
+        let mut dec = DecodeValues::<P::V2> {
+            inner: values,
+            error: &mut error,
+            _marker: std::marker::PhantomData,
+        };
+        self.0.combine(&k, &mut dec, &mut |v2| emit(key.to_vec(), v2.to_bytes()));
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn has_combiner(&self, func: FuncId) -> bool {
+        func == SIMPLE_FUNC && self.0.has_combiner()
+    }
+
+    fn partition(&self, key: &[u8], n: usize) -> usize {
+        match self.0.custom_partition(key, n) {
+            Some(i) => {
+                assert!(i < n, "custom_partition returned {i} for {n} parts");
+                i
+            }
+            None => self.0.partition().index(key, n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::encode_record;
+
+    /// The canonical WordCount of Program 1.
+    struct WordCount;
+
+    impl MapReduce for WordCount {
+        type K1 = u64;
+        type V1 = String;
+        type K2 = String;
+        type V2 = u64;
+
+        fn map(&self, _key: u64, value: String, emit: &mut dyn FnMut(String, u64)) {
+            for word in value.split_whitespace() {
+                emit(word.to_owned(), 1);
+            }
+        }
+
+        fn reduce(
+            &self,
+            _key: &String,
+            values: &mut dyn Iterator<Item = u64>,
+            emit: &mut dyn FnMut(u64),
+        ) {
+            emit(values.sum());
+        }
+
+        fn has_combiner(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn map_bytes_emits_encoded_pairs() {
+        let p = Simple(WordCount);
+        let (k, v) = encode_record(&0u64, &"the cat the".to_string());
+        let mut out = Vec::new();
+        p.map_bytes(0, &k, &v, &mut |k2, v2| out.push((k2, v2))).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(String::from_bytes(&out[0].0).unwrap(), "the");
+        assert_eq!(u64::from_bytes(&out[0].1).unwrap(), 1);
+    }
+
+    #[test]
+    fn reduce_bytes_sums_and_keeps_key() {
+        let p = Simple(WordCount);
+        let key = "cat".to_string().to_bytes();
+        let vals: Vec<Vec<u8>> = vec![1u64.to_bytes(), 1u64.to_bytes(), 1u64.to_bytes()];
+        let mut it = vals.iter().map(|v| v.as_slice());
+        let mut out = Vec::new();
+        p.reduce_bytes(0, &key, &mut it, &mut |k, v| out.push((k, v))).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, key);
+        assert_eq!(u64::from_bytes(&out[0].1).unwrap(), 3);
+    }
+
+    #[test]
+    fn combiner_defaults_to_reduce() {
+        let p = Simple(WordCount);
+        assert!(Program::has_combiner(&p, 0));
+        let key = "k".to_string().to_bytes();
+        let vals = [2u64.to_bytes(), 5u64.to_bytes()];
+        let mut it = vals.iter().map(|v| v.as_slice());
+        let mut out = Vec::new();
+        p.combine_bytes(0, &key, &mut it, &mut |k, v| out.push((k, v))).unwrap();
+        assert_eq!(u64::from_bytes(&out[0].1).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_func_is_rejected() {
+        let p = Simple(WordCount);
+        let (k, v) = encode_record(&0u64, &"x".to_string());
+        let r = p.map_bytes(3, &k, &v, &mut |_, _| {});
+        assert!(matches!(r, Err(Error::UnknownFunc(3))));
+    }
+
+    #[test]
+    fn corrupt_input_key_is_reported() {
+        let p = Simple(WordCount);
+        let r = p.map_bytes(0, &[1, 2], b"bad", &mut |_, _| {});
+        assert!(matches!(r, Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn corrupt_value_in_reduce_is_reported() {
+        let p = Simple(WordCount);
+        let key = "w".to_string().to_bytes();
+        let vals: [Vec<u8>; 2] = [1u64.to_bytes(), vec![9]]; // second is truncated
+        let mut it = vals.iter().map(|v| v.as_slice());
+        let r = p.reduce_bytes(0, &key, &mut it, &mut |_, _| {});
+        assert!(matches!(r, Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn default_partition_is_stable_across_calls() {
+        let p = Simple(WordCount);
+        let k = "word".to_string().to_bytes();
+        assert_eq!(Program::partition(&p, &k, 13), Program::partition(&p, &k, 13));
+        assert!(Program::partition(&p, &k, 13) < 13);
+    }
+}

@@ -1,0 +1,131 @@
+//! Sort-and-group: the step between map and reduce.
+//!
+//! "this intermediate output is sorted and grouped by key, and the reduce
+//! function is called once for each key" (§II). [`group_sorted`] iterates
+//! over maximal runs of equal keys in an already-sorted record slice without
+//! copying values.
+
+use crate::kv::Record;
+
+/// Iterator over `(key, values)` groups of a key-sorted record slice.
+pub struct Groups<'a> {
+    records: &'a [Record],
+    pos: usize,
+}
+
+impl<'a> Iterator for Groups<'a> {
+    type Item = (&'a [u8], GroupValues<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.records.len() {
+            return None;
+        }
+        let start = self.pos;
+        let key = &self.records[start].0;
+        let mut end = start + 1;
+        while end < self.records.len() && &self.records[end].0 == key {
+            end += 1;
+        }
+        self.pos = end;
+        Some((key.as_slice(), GroupValues { records: &self.records[start..end], pos: 0 }))
+    }
+}
+
+/// The values associated with one key group.
+pub struct GroupValues<'a> {
+    records: &'a [Record],
+    pos: usize,
+}
+
+impl<'a> Iterator for GroupValues<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let r = self.records.get(self.pos)?;
+        self.pos += 1;
+        Some(r.1.as_slice())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.records.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for GroupValues<'_> {}
+
+/// Group a *sorted* slice of records by key.
+///
+/// Debug builds assert sortedness; release builds trust the caller (the
+/// runtimes always sort first).
+pub fn group_sorted(records: &[Record]) -> Groups<'_> {
+    debug_assert!(records.windows(2).all(|w| w[0].0 <= w[1].0), "records must be key-sorted");
+    Groups { records, pos: 0 }
+}
+
+/// Sort records and merge-count distinct keys — a helper for tests and
+/// shuffle statistics.
+pub fn distinct_keys(records: &mut [Record]) -> usize {
+    records.sort_by(|a, b| a.0.cmp(&b.0));
+    group_sorted(records).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(k: &str, v: &str) -> Record {
+        (k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn groups_adjacent_equal_keys() {
+        let records =
+            vec![rec("a", "1"), rec("a", "2"), rec("b", "3"), rec("c", "4"), rec("c", "5")];
+        let groups: Vec<(Vec<u8>, Vec<Vec<u8>>)> = group_sorted(&records)
+            .map(|(k, vs)| (k.to_vec(), vs.map(|v| v.to_vec()).collect()))
+            .collect();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, b"a");
+        assert_eq!(groups[0].1, vec![b"1".to_vec(), b"2".to_vec()]);
+        assert_eq!(groups[1].1.len(), 1);
+        assert_eq!(groups[2].1.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let records: Vec<Record> = vec![];
+        assert_eq!(group_sorted(&records).count(), 0);
+    }
+
+    #[test]
+    fn single_key_single_group() {
+        let records = vec![rec("k", "1"), rec("k", "2"), rec("k", "3")];
+        let mut it = group_sorted(&records);
+        let (k, vs) = it.next().unwrap();
+        assert_eq!(k, b"k");
+        assert_eq!(vs.len(), 3);
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn values_preserve_insertion_order_within_group() {
+        let records = vec![rec("k", "z"), rec("k", "a"), rec("k", "m")];
+        let (_, vs) = group_sorted(&records).next().unwrap();
+        let vals: Vec<&[u8]> = vs.collect();
+        assert_eq!(vals, vec![b"z".as_slice(), b"a", b"m"]);
+    }
+
+    #[test]
+    fn group_values_reports_exact_size() {
+        let records = vec![rec("k", "1"), rec("k", "2")];
+        let (_, vs) = group_sorted(&records).next().unwrap();
+        assert_eq!(vs.size_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn distinct_keys_counts_unique() {
+        let mut records = vec![rec("b", "1"), rec("a", "2"), rec("b", "3"), rec("c", "1")];
+        assert_eq!(distinct_keys(&mut records), 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! Task kernels: the actual work of a map task or a reduce task.
+//!
+//! Every execution implementation — serial, mock-parallel, thread pool,
+//! master/slave, and the Hadoop baseline — funnels through these two
+//! functions, which is what guarantees the paper's property that all
+//! implementations "produce identical answers" (§IV-A): the runtimes differ
+//! only in *where and when* tasks run, never in what a task computes.
+
+use crate::bucket::Bucket;
+use crate::error::Result;
+use crate::kv::Record;
+use crate::plan::FuncId;
+use crate::program::Program;
+use crate::sortgroup::group_sorted;
+
+/// Run one map task: apply map function `func` to every input record and
+/// partition the output into `parts` buckets. When `combine` is set and the
+/// function has a combiner, each bucket is locally sorted and combined
+/// before being returned — the "local reduce" optimisation of §V-A.
+pub fn run_map_task(
+    program: &dyn Program,
+    func: FuncId,
+    input: &[Record],
+    parts: usize,
+    combine: bool,
+) -> Result<Vec<Bucket>> {
+    let mut buckets: Vec<Bucket> = (0..parts).map(|_| Bucket::new()).collect();
+    for (key, value) in input {
+        program.map_bytes(func, key, value, &mut |k2, v2| {
+            let p = program.partition(&k2, parts);
+            buckets[p].push(k2, v2);
+        })?;
+    }
+    if combine && program.has_combiner(func) {
+        for b in &mut buckets {
+            let taken = std::mem::take(b);
+            *b = combine_bucket(program, func, taken)?;
+        }
+    }
+    Ok(buckets)
+}
+
+/// Locally sort a bucket and apply the combiner to each key group.
+pub fn combine_bucket(program: &dyn Program, func: FuncId, mut bucket: Bucket) -> Result<Bucket> {
+    bucket.sort();
+    let mut out = Bucket::new();
+    for (key, values) in group_sorted(bucket.records()) {
+        let mut iter = values;
+        program.combine_bytes(func, key, &mut iter, &mut |k, v| out.push(k, v))?;
+    }
+    Ok(out)
+}
+
+/// Run one reduce task: sort the gathered records of one partition, group
+/// by key, and apply reduce function `func` to each group.
+pub fn run_reduce_task(
+    program: &dyn Program,
+    func: FuncId,
+    records: Vec<Record>,
+) -> Result<Bucket> {
+    let mut bucket = Bucket::from_records(records);
+    bucket.sort();
+    let mut out = Bucket::new();
+    for (key, values) in group_sorted(bucket.records()) {
+        let mut iter = values;
+        program.reduce_bytes(func, key, &mut iter, &mut |k, v| out.push(k, v))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{encode_record, Datum};
+    use crate::program::{MapReduce, Simple};
+
+    struct WordCount;
+
+    impl MapReduce for WordCount {
+        type K1 = u64;
+        type V1 = String;
+        type K2 = String;
+        type V2 = u64;
+
+        fn map(&self, _k: u64, v: String, emit: &mut dyn FnMut(String, u64)) {
+            for w in v.split_whitespace() {
+                emit(w.to_owned(), 1);
+            }
+        }
+
+        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+            emit(vs.sum());
+        }
+
+        fn has_combiner(&self) -> bool {
+            true
+        }
+    }
+
+    fn lines(texts: &[&str]) -> Vec<Record> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| encode_record(&(i as u64), &t.to_string()))
+            .collect()
+    }
+
+    fn counts(bucket: &Bucket) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = bucket
+            .records()
+            .iter()
+            .map(|(k, val)| {
+                (String::from_bytes(k).unwrap(), u64::from_bytes(val).unwrap())
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn map_then_reduce_counts_words() {
+        let p = Simple(WordCount);
+        let input = lines(&["the cat sat", "the cat"]);
+        let buckets = run_map_task(&p, 0, &input, 3, false).unwrap();
+        assert_eq!(buckets.len(), 3);
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 5);
+
+        // Gather all partitions and reduce each.
+        let mut all = Vec::new();
+        for b in buckets {
+            let out = run_reduce_task(&p, 0, b.into_records()).unwrap();
+            all.extend(out.into_records());
+        }
+        let got = counts(&Bucket::from_records(all));
+        assert_eq!(
+            got,
+            vec![("cat".into(), 2), ("sat".into(), 1), ("the".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn combiner_shrinks_map_output_but_preserves_result() {
+        let p = Simple(WordCount);
+        let input = lines(&["a a a a b", "a b b"]);
+        let plain = run_map_task(&p, 0, &input, 2, false).unwrap();
+        let combined = run_map_task(&p, 0, &input, 2, true).unwrap();
+        let plain_n: usize = plain.iter().map(|b| b.len()).sum();
+        let comb_n: usize = combined.iter().map(|b| b.len()).sum();
+        assert_eq!(plain_n, 8);
+        assert_eq!(comb_n, 2, "one record per distinct word after combining");
+        assert!(
+            combined.iter().map(|b| b.byte_size()).sum::<usize>()
+                < plain.iter().map(|b| b.byte_size()).sum::<usize>()
+        );
+
+        // Same final counts either way.
+        let reduce_all = |buckets: Vec<Bucket>| {
+            let mut recs = Vec::new();
+            for b in buckets {
+                recs.extend(run_reduce_task(&p, 0, b.into_records()).unwrap().into_records());
+            }
+            counts(&Bucket::from_records(recs))
+        };
+        assert_eq!(reduce_all(plain), reduce_all(combined));
+    }
+
+    #[test]
+    fn partitioning_is_consistent_for_same_key() {
+        let p = Simple(WordCount);
+        let input = lines(&["x y z x y z x"]);
+        let buckets = run_map_task(&p, 0, &input, 4, false).unwrap();
+        // Every occurrence of a word must land in the same bucket: reducing
+        // each bucket independently must never split a key.
+        for b in &buckets {
+            let mut sorted = b.clone();
+            sorted.sort();
+            for (key, values) in group_sorted(sorted.records()) {
+                let n = values.count();
+                let word = String::from_bytes(key).unwrap();
+                let expect = match word.as_str() {
+                    "x" => 3,
+                    _ => 2,
+                };
+                assert_eq!(n, expect, "word {word} split across buckets");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_empty_buckets() {
+        let p = Simple(WordCount);
+        let buckets = run_map_task(&p, 0, &[], 2, true).unwrap();
+        assert!(buckets.iter().all(|b| b.is_empty()));
+        let out = run_reduce_task(&p, 0, vec![]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_error_propagates() {
+        let p = Simple(WordCount);
+        let bad = vec![(vec![1u8, 2], b"not a string".to_vec())];
+        assert!(run_map_task(&p, 0, &bad, 1, false).is_err());
+    }
+}

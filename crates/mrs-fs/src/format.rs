@@ -1,0 +1,157 @@
+//! On-disk record formats.
+//!
+//! * **Bucket files** (`.mrsb`): a small magic header followed by
+//!   varint-length-prefixed key/value byte strings — the format written by
+//!   map tasks and read by reduce tasks in the mock-parallel and
+//!   distributed implementations.
+//! * **Text input**: newline-separated text turned into `(line_no, line)`
+//!   records, the WordCount input convention (§V-A: "the input key is …
+//!   generally arbitrarily set to be the line number").
+
+use mrs_core::kv::{encode_record, read_varint, write_varint};
+use mrs_core::{Datum, Error, Record, Result};
+
+/// Magic prefix of bucket files (format version 1).
+pub const BUCKET_MAGIC: &[u8; 5] = b"MRSB1";
+
+/// Serialize records into the bucket file format.
+pub fn write_bucket_bytes(records: &[Record]) -> Vec<u8> {
+    let payload: usize = records.iter().map(|(k, v)| k.len() + v.len() + 20).sum();
+    let mut buf = Vec::with_capacity(BUCKET_MAGIC.len() + payload);
+    buf.extend_from_slice(BUCKET_MAGIC);
+    write_varint(records.len() as u64, &mut buf);
+    for (k, v) in records {
+        write_varint(k.len() as u64, &mut buf);
+        buf.extend_from_slice(k);
+        write_varint(v.len() as u64, &mut buf);
+        buf.extend_from_slice(v);
+    }
+    buf
+}
+
+/// Parse a bucket file back into records.
+pub fn read_bucket_bytes(mut b: &[u8]) -> Result<Vec<Record>> {
+    let magic = b
+        .get(..BUCKET_MAGIC.len())
+        .ok_or_else(|| Error::Codec("bucket file too short".into()))?;
+    if magic != BUCKET_MAGIC {
+        return Err(Error::Codec(format!("bad bucket magic {magic:?}")));
+    }
+    b = &b[BUCKET_MAGIC.len()..];
+    let (count, mut rest) = read_varint(b)?;
+    // Cap preallocation by what the input could possibly hold (2 bytes per
+    // record minimum) so corrupt counts cannot trigger huge allocations.
+    let mut records = Vec::with_capacity((count as usize).min(rest.len() / 2 + 1));
+    for _ in 0..count {
+        let (klen, r) = read_varint(rest)?;
+        if klen > r.len() as u64 {
+            return Err(Error::Codec("truncated bucket key".into()));
+        }
+        let (k, r) = r.split_at(klen as usize);
+        let (vlen, r) = read_varint(r)?;
+        if vlen > r.len() as u64 {
+            return Err(Error::Codec("truncated bucket value".into()));
+        }
+        let (v, r) = r.split_at(vlen as usize);
+        records.push((k.to_vec(), v.to_vec()));
+        rest = r;
+    }
+    if !rest.is_empty() {
+        return Err(Error::Codec(format!("{} trailing bytes in bucket file", rest.len())));
+    }
+    Ok(records)
+}
+
+/// Turn text into `(line_no, line)` records. Line numbers start at
+/// `first_line` so that multi-file inputs can keep globally distinct keys.
+pub fn text_to_records(text: &str, first_line: u64) -> Vec<Record> {
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| encode_record(&(first_line + i as u64), &line.to_string()))
+        .collect()
+}
+
+/// Decode `(line_no, line)` records back to text lines (for tests and the
+/// bypass implementation).
+pub fn records_to_lines(records: &[Record]) -> Result<Vec<(u64, String)>> {
+    records
+        .iter()
+        .map(|(k, v)| Ok((u64::from_bytes(k)?, String::from_bytes(v)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_roundtrip() {
+        let records: Vec<Record> =
+            vec![(b"k1".to_vec(), b"v1".to_vec()), (vec![], vec![0, 255]), (b"k3".to_vec(), vec![])];
+        let bytes = write_bucket_bytes(&records);
+        assert_eq!(read_bucket_bytes(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn empty_bucket_roundtrip() {
+        let bytes = write_bucket_bytes(&[]);
+        assert!(read_bucket_bytes(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = write_bucket_bytes(&[]);
+        bytes[0] = b'X';
+        assert!(read_bucket_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing() {
+        let records = vec![(b"key".to_vec(), b"value".to_vec())];
+        let bytes = write_bucket_bytes(&records);
+        assert!(read_bucket_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(read_bucket_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn text_records_number_lines() {
+        let recs = text_to_records("alpha\nbeta\n\ngamma", 10);
+        let lines = records_to_lines(&recs).unwrap();
+        assert_eq!(
+            lines,
+            vec![
+                (10, "alpha".to_string()),
+                (11, "beta".to_string()),
+                (12, "".to_string()),
+                (13, "gamma".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_text_is_empty_records() {
+        assert!(text_to_records("", 0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bucket_roundtrip(
+            records in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..32),
+                 proptest::collection::vec(any::<u8>(), 0..32)),
+                0..32,
+            )
+        ) {
+            let bytes = write_bucket_bytes(&records);
+            prop_assert_eq!(read_bucket_bytes(&bytes).unwrap(), records);
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(b in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = read_bucket_bytes(&b);
+        }
+    }
+}

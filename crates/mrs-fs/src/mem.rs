@@ -1,0 +1,203 @@
+//! In-memory shared store: the stand-in for a cluster-wide NFS/Lustre mount.
+//!
+//! Cloning a [`MemFs`] clones a handle to the *same* shared state, exactly
+//! like every node mounting the same export. Latency injection models the
+//! per-operation round-trip of networked storage; failure injection lets
+//! tests exercise the runtimes' error paths without a real flaky disk.
+
+use crate::store::{check_path, Store};
+use mrs_core::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Default)]
+struct Shared {
+    files: Mutex<BTreeMap<String, Arc<Vec<u8>>>>,
+    /// Nanoseconds of simulated latency per operation.
+    latency_ns: AtomicU64,
+    /// Number of upcoming operations that must fail.
+    fail_next: AtomicU64,
+    /// Counters for observability in tests and ablations.
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// A shared in-memory filesystem handle.
+#[derive(Clone, Default)]
+pub struct MemFs {
+    shared: Arc<Shared>,
+}
+
+impl MemFs {
+    /// A fresh, empty shared filesystem.
+    pub fn new() -> Self {
+        MemFs::default()
+    }
+
+    /// Inject a fixed latency into every subsequent operation.
+    pub fn set_latency(&self, latency: Duration) {
+        self.shared.latency_ns.store(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Make the next `n` operations fail with an I/O error.
+    pub fn fail_next(&self, n: u64) {
+        self.shared.fail_next.store(n, Ordering::SeqCst);
+    }
+
+    /// Number of completed read operations.
+    pub fn read_count(&self) -> u64 {
+        self.shared.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed write operations.
+    pub fn write_count(&self) -> u64 {
+        self.shared.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes currently stored.
+    pub fn total_bytes(&self) -> usize {
+        self.shared.files.lock().values().map(|v| v.len()).sum()
+    }
+
+    fn op(&self) -> Result<()> {
+        let lat = self.shared.latency_ns.load(Ordering::Relaxed);
+        if lat > 0 {
+            std::thread::sleep(Duration::from_nanos(lat));
+        }
+        // Decrement-if-positive without underflow.
+        let mut cur = self.shared.fail_next.load(Ordering::SeqCst);
+        while cur > 0 {
+            match self.shared.fail_next.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Err(Error::Io(std::io::Error::other("injected memfs failure")));
+                }
+                Err(now) => cur = now,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Store for MemFs {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        let path = check_path(path)?;
+        self.op()?;
+        self.shared.writes.fetch_add(1, Ordering::Relaxed);
+        self.shared.files.lock().insert(path.to_owned(), Arc::new(data.to_vec()));
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        let path = check_path(path)?;
+        self.op()?;
+        self.shared.reads.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .files
+            .lock()
+            .get(path)
+            .map(|v| v.as_ref().clone())
+            .ok_or_else(|| Error::MissingData(format!("mem://{path}")))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.shared.files.lock().contains_key(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.op()?;
+        let files = self.shared.files.lock();
+        let out = files
+            .keys()
+            .filter(|k| {
+                prefix.is_empty()
+                    || k.as_str() == prefix
+                    || k.starts_with(&format!("{prefix}/"))
+            })
+            .cloned()
+            .collect();
+        Ok(out)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let path = check_path(path)?;
+        self.op()?;
+        self.shared.files.lock().remove(path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = MemFs::new();
+        let b = a.clone();
+        a.put("x", b"1").unwrap();
+        assert_eq!(b.get("x").unwrap(), b"1");
+    }
+
+    #[test]
+    fn get_missing_reports_path() {
+        let fs = MemFs::new();
+        let err = fs.get("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn list_respects_prefix_boundaries() {
+        let fs = MemFs::new();
+        fs.put("a/1", b"").unwrap();
+        fs.put("ab/2", b"").unwrap();
+        fs.put("a/sub/3", b"").unwrap();
+        assert_eq!(fs.list("a").unwrap(), vec!["a/1", "a/sub/3"]);
+        assert_eq!(fs.list("").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn failure_injection_fails_exactly_n_ops() {
+        let fs = MemFs::new();
+        fs.put("x", b"1").unwrap();
+        fs.fail_next(2);
+        assert!(fs.get("x").is_err());
+        assert!(fs.put("y", b"2").is_err());
+        assert_eq!(fs.get("x").unwrap(), b"1");
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let fs = MemFs::new();
+        fs.put("x", b"abc").unwrap();
+        fs.get("x").unwrap();
+        fs.get("x").unwrap();
+        assert_eq!(fs.write_count(), 1);
+        assert_eq!(fs.read_count(), 2);
+        assert_eq!(fs.total_bytes(), 3);
+    }
+
+    #[test]
+    fn latency_injection_slows_ops() {
+        let fs = MemFs::new();
+        fs.set_latency(Duration::from_millis(5));
+        let t = std::time::Instant::now();
+        fs.put("x", b"1").unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn delete_then_get_fails() {
+        let fs = MemFs::new();
+        fs.put("x", b"1").unwrap();
+        fs.delete("x").unwrap();
+        assert!(fs.get("x").is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! The minimal filesystem interface used by the runtimes.
+//!
+//! Paths are `/`-separated relative paths. A store only needs whole-file
+//! put/get semantics: bucket files are written once and read whole, exactly
+//! how Mrs uses a shared filesystem for intermediate data.
+
+use mrs_core::Result;
+use std::sync::Arc;
+
+/// Whole-file key-value storage with directory-style listing.
+pub trait Store: Send + Sync {
+    /// Write (or overwrite) a file.
+    fn put(&self, path: &str, data: &[u8]) -> Result<()>;
+
+    /// Read a whole file.
+    fn get(&self, path: &str) -> Result<Vec<u8>>;
+
+    /// Whether a file exists.
+    fn exists(&self, path: &str) -> bool;
+
+    /// All file paths under a prefix, in sorted order.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Remove a file (idempotent: missing files are not an error).
+    fn delete(&self, path: &str) -> Result<()>;
+}
+
+impl<S: Store + ?Sized> Store for Arc<S> {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        (**self).put(path, data)
+    }
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        (**self).get(path)
+    }
+    fn exists(&self, path: &str) -> bool {
+        (**self).exists(path)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        (**self).list(prefix)
+    }
+    fn delete(&self, path: &str) -> Result<()> {
+        (**self).delete(path)
+    }
+}
+
+/// Validate a store path: relative, `/`-separated, no empty or `..`
+/// segments. Returns the normalised path.
+pub fn check_path(path: &str) -> Result<&str> {
+    if path.is_empty() || path.starts_with('/') {
+        return Err(mrs_core::Error::Url(format!("path must be relative: {path:?}")));
+    }
+    for seg in path.split('/') {
+        if seg.is_empty() || seg == "." || seg == ".." {
+            return Err(mrs_core::Error::Url(format!("bad path segment in {path:?}")));
+        }
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_path_accepts_normal_paths() {
+        assert!(check_path("a").is_ok());
+        assert!(check_path("a/b/c.dat").is_ok());
+        assert!(check_path("op0/task3/bucket_2.mrsb").is_ok());
+    }
+
+    #[test]
+    fn check_path_rejects_escapes() {
+        assert!(check_path("").is_err());
+        assert!(check_path("/abs").is_err());
+        assert!(check_path("a//b").is_err());
+        assert!(check_path("a/../b").is_err());
+        assert!(check_path("./a").is_err());
+    }
+}

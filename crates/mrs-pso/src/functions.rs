@@ -1,0 +1,155 @@
+//! Benchmark objective functions.
+//!
+//! All are minimization problems with known optima, defined for any
+//! dimension, with the standard initialization ranges used in the PSO
+//! literature (Bratton & Kennedy, "Defining a standard for particle swarm
+//! optimization", which the paper cites as [9]).
+
+/// A benchmark objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// `f(x) = Σ x_i²`, optimum 0 at the origin.
+    Sphere,
+    /// `f(x) = Σ [100 (x_{i+1} − x_i²)² + (1 − x_i)²]`, optimum 0 at 1⃗.
+    /// "Rosenbrock-250" in the paper is this function in 250 dimensions.
+    Rosenbrock,
+    /// `f(x) = Σ [x_i² − 10 cos(2π x_i) + 10]`, optimum 0 at the origin.
+    Rastrigin,
+    /// `f(x) = 1 + Σ x_i²/4000 − Π cos(x_i/√i)`, optimum 0 at the origin.
+    Griewank,
+    /// The Ackley function, optimum 0 at the origin.
+    Ackley,
+}
+
+impl Objective {
+    /// Evaluate at a point.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        match self {
+            Objective::Sphere => x.iter().map(|v| v * v).sum(),
+            Objective::Rosenbrock => x
+                .windows(2)
+                .map(|w| {
+                    let (a, b) = (w[0], w[1]);
+                    100.0 * (b - a * a) * (b - a * a) + (1.0 - a) * (1.0 - a)
+                })
+                .sum(),
+            Objective::Rastrigin => x
+                .iter()
+                .map(|v| v * v - 10.0 * (std::f64::consts::TAU * v).cos() + 10.0)
+                .sum(),
+            Objective::Griewank => {
+                let sum: f64 = x.iter().map(|v| v * v).sum::<f64>() / 4000.0;
+                let prod: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v / ((i + 1) as f64).sqrt()).cos())
+                    .product();
+                1.0 + sum - prod
+            }
+            Objective::Ackley => {
+                let n = x.len() as f64;
+                let sum_sq: f64 = x.iter().map(|v| v * v).sum();
+                let sum_cos: f64 = x.iter().map(|v| (std::f64::consts::TAU * v).cos()).sum();
+                -20.0 * (-0.2 * (sum_sq / n).sqrt()).exp() - (sum_cos / n).exp()
+                    + 20.0
+                    + std::f64::consts::E
+            }
+        }
+    }
+
+    /// Standard initialization range `(lo, hi)` per coordinate.
+    pub fn init_range(&self) -> (f64, f64) {
+        match self {
+            Objective::Sphere => (50.0, 100.0),
+            Objective::Rosenbrock => (15.0, 30.0), // asymmetric, off-optimum
+            Objective::Rastrigin => (2.56, 5.12),
+            Objective::Griewank => (300.0, 600.0),
+            Objective::Ackley => (16.0, 32.0),
+        }
+    }
+
+    /// Location of the global optimum (same value per coordinate).
+    pub fn optimum_coord(&self) -> f64 {
+        match self {
+            Objective::Rosenbrock => 1.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Short machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Sphere => "sphere",
+            Objective::Rosenbrock => "rosenbrock",
+            Objective::Rastrigin => "rastrigin",
+            Objective::Griewank => "griewank",
+            Objective::Ackley => "ackley",
+        }
+    }
+
+    /// All objectives, for sweeps.
+    pub fn all() -> [Objective; 5] {
+        [
+            Objective::Sphere,
+            Objective::Rosenbrock,
+            Objective::Rastrigin,
+            Objective::Griewank,
+            Objective::Ackley,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optima_are_zero() {
+        for f in Objective::all() {
+            for dim in [2usize, 10, 250] {
+                let x = vec![f.optimum_coord(); dim];
+                let v = f.eval(&x);
+                assert!(v.abs() < 1e-9, "{:?} dim {dim}: f(opt) = {v}", f);
+            }
+        }
+    }
+
+    #[test]
+    fn off_optimum_is_positive() {
+        for f in Objective::all() {
+            let x = vec![f.optimum_coord() + 3.0; 10];
+            assert!(f.eval(&x) > 0.1, "{:?}", f);
+        }
+    }
+
+    #[test]
+    fn rosenbrock_known_values() {
+        // f(0, 0) = 1; f(1, 1) = 0; f(-1, 1) = 4.
+        assert_eq!(Objective::Rosenbrock.eval(&[0.0, 0.0]), 1.0);
+        assert_eq!(Objective::Rosenbrock.eval(&[1.0, 1.0]), 0.0);
+        assert_eq!(Objective::Rosenbrock.eval(&[-1.0, 1.0]), 4.0);
+    }
+
+    #[test]
+    fn sphere_known_value() {
+        assert_eq!(Objective::Sphere.eval(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn rastrigin_period_structure() {
+        // At integer coordinates cos(2πx)=1, so f = Σ x².
+        assert!((Objective::Rastrigin.eval(&[1.0, 2.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn init_ranges_exclude_optimum() {
+        // Standard practice: initialize away from the optimum so "found it
+        // by luck at init" cannot happen.
+        for f in Objective::all() {
+            let (lo, hi) = f.init_range();
+            assert!(lo < hi);
+            let opt = f.optimum_coord();
+            assert!(!(lo..=hi).contains(&opt), "{:?} init range contains optimum", f);
+        }
+    }
+}

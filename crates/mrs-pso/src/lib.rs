@@ -1,0 +1,37 @@
+//! Particle Swarm Optimization, serial and as MapReduce.
+//!
+//! The paper's flagship application (§V-B, Fig. 4): PSO "can be naturally
+//! expressed as a MapReduce program, with the map function performing
+//! motion simulation and evaluation of the objective function and the
+//! reduce function calculating the neighborhood best". This crate
+//! provides:
+//!
+//! * [`functions`] — the standard benchmark objectives (Sphere,
+//!   Rosenbrock, Rastrigin, Griewank, Ackley) in any dimension,
+//! * [`particle`] — the particle state and its wire encoding,
+//! * [`motion`] — constriction-coefficient PSO dynamics (Clerc–Kennedy),
+//! * [`topology`] — ring, complete, and **subswarm (Apiary-style)**
+//!   neighborhoods,
+//! * [`serial`] — the reference serial driver (the paper's bypass
+//!   implementation),
+//! * [`subswarm`] — island batching: one map task advances a whole
+//!   subswarm several iterations (the granularity fix of [10–12]),
+//! * [`mapreduce`] — the PSO `Program` and an iterative driver that runs
+//!   on any Mrs runtime.
+//!
+//! Determinism: every stochastic draw comes from an `mrs-rng`
+//! [`mrs_rng::StreamFactory`] stream keyed by `(particle, iteration)`, so
+//! serial and every parallel execution produce bit-identical swarms.
+
+pub mod functions;
+pub mod mapreduce;
+pub mod motion;
+pub mod particle;
+pub mod serial;
+pub mod subswarm;
+pub mod topology;
+
+pub use functions::Objective;
+pub use particle::Particle;
+pub use serial::{SerialPso, PsoConfig};
+pub use topology::Topology;

@@ -1,0 +1,150 @@
+//! Constriction-coefficient PSO dynamics (Clerc–Kennedy), the "standard
+//! PSO" of Bratton & Kennedy [9].
+//!
+//! `v ← χ (v + φ₁ u₁ ⊙ (pbest − x) + φ₂ u₂ ⊙ (nbest − x))`,
+//! `x ← x + v`, with χ ≈ 0.72984 and φ₁ = φ₂ = 2.05.
+//!
+//! Randomness comes from a caller-provided stream (keyed by particle and
+//! iteration), which is what makes the serial and MapReduce drivers agree
+//! bit for bit.
+
+use crate::functions::Objective;
+use crate::particle::Particle;
+use mrs_rng::{Rng64, StreamFactory};
+
+/// χ: the constriction coefficient for φ = 4.1.
+pub const CHI: f64 = 0.729_843_788_127_783;
+/// φ₁ = φ₂: attraction strengths.
+pub const PHI: f64 = 2.05;
+
+/// Create particle `id` of a swarm: position and velocity drawn uniformly
+/// from the objective's init range, evaluated once.
+pub fn init_particle(
+    objective: Objective,
+    dim: usize,
+    id: u64,
+    streams: &StreamFactory,
+) -> Particle {
+    let mut rng = streams.stream(&[0x696e_6974, id]); // "init"
+    let (lo, hi) = objective.init_range();
+    let pos: Vec<f64> = (0..dim).map(|_| rng.uniform(lo, hi)).collect();
+    // Half-diff velocity initialization (standard PSO 2007 style).
+    let vel: Vec<f64> = (0..dim).map(|_| rng.uniform(lo - hi, hi - lo) * 0.5).collect();
+    let val = objective.eval(&pos);
+    Particle {
+        id,
+        pbest_pos: pos.clone(),
+        pbest_val: val,
+        nbest_pos: pos.clone(),
+        nbest_val: val,
+        pos,
+        vel,
+        iteration: 0,
+    }
+}
+
+/// Advance a particle one iteration: move, evaluate, update its personal
+/// best (and fold the personal best into its own neighborhood view).
+/// Returns the new objective value.
+pub fn step_particle(
+    particle: &mut Particle,
+    objective: Objective,
+    streams: &StreamFactory,
+) -> f64 {
+    particle.iteration += 1;
+    let mut rng = streams.stream(&[0x6d6f_7665, particle.id, particle.iteration]); // "move"
+    for i in 0..particle.pos.len() {
+        let u1 = rng.next_f64();
+        let u2 = rng.next_f64();
+        let v = particle.vel[i]
+            + PHI * u1 * (particle.pbest_pos[i] - particle.pos[i])
+            + PHI * u2 * (particle.nbest_pos[i] - particle.pos[i]);
+        particle.vel[i] = CHI * v;
+        particle.pos[i] += particle.vel[i];
+    }
+    let val = objective.eval(&particle.pos);
+    if val < particle.pbest_val {
+        particle.pbest_val = val;
+        particle.pbest_pos = particle.pos.clone();
+    }
+    if particle.pbest_val < particle.nbest_val {
+        particle.nbest_val = particle.pbest_val;
+        particle.nbest_pos = particle.pbest_pos.clone();
+    }
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic_per_id() {
+        let streams = StreamFactory::new(42);
+        let a = init_particle(Objective::Sphere, 10, 3, &streams);
+        let b = init_particle(Objective::Sphere, 10, 3, &streams);
+        let c = init_particle(Objective::Sphere, 10, 4, &streams);
+        assert_eq!(a, b);
+        assert_ne!(a.pos, c.pos);
+    }
+
+    #[test]
+    fn init_within_range_and_evaluated() {
+        let streams = StreamFactory::new(1);
+        let p = init_particle(Objective::Rastrigin, 20, 0, &streams);
+        let (lo, hi) = Objective::Rastrigin.init_range();
+        assert!(p.pos.iter().all(|&x| (lo..hi).contains(&x)));
+        assert_eq!(p.pbest_val, Objective::Rastrigin.eval(&p.pos));
+        assert_eq!(p.nbest_val, p.pbest_val);
+    }
+
+    #[test]
+    fn step_is_deterministic_and_updates_pbest_monotonically() {
+        let streams = StreamFactory::new(7);
+        let mut a = init_particle(Objective::Sphere, 5, 0, &streams);
+        let mut b = a.clone();
+        let mut last_best = a.pbest_val;
+        for _ in 0..50 {
+            step_particle(&mut a, Objective::Sphere, &streams);
+            step_particle(&mut b, Objective::Sphere, &streams);
+            assert_eq!(a, b, "same stream, same trajectory");
+            assert!(a.pbest_val <= last_best, "pbest must never worsen");
+            last_best = a.pbest_val;
+        }
+    }
+
+    #[test]
+    fn swarm_with_shared_best_converges_on_sphere() {
+        let streams = StreamFactory::new(123);
+        let mut swarm: Vec<Particle> =
+            (0..10).map(|i| init_particle(Objective::Sphere, 5, i, &streams)).collect();
+        let initial_best =
+            swarm.iter().map(|p| p.pbest_val).fold(f64::INFINITY, f64::min);
+        for _ in 0..200 {
+            // gbest topology: everyone sees the global best
+            let (bpos, bval) = swarm
+                .iter()
+                .map(|p| (p.pbest_pos.clone(), p.pbest_val))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty swarm");
+            for p in &mut swarm {
+                p.offer_nbest(&bpos, bval);
+                step_particle(p, Objective::Sphere, &streams);
+            }
+        }
+        let best = swarm.iter().map(|p| p.pbest_val).fold(f64::INFINITY, f64::min);
+        assert!(best < initial_best / 1e6, "no convergence: {initial_best} -> {best}");
+    }
+
+    #[test]
+    fn different_iterations_draw_different_randomness() {
+        let streams = StreamFactory::new(5);
+        let mut p = init_particle(Objective::Sphere, 3, 0, &streams);
+        let v1 = p.vel.clone();
+        step_particle(&mut p, Objective::Sphere, &streams);
+        let v2 = p.vel.clone();
+        step_particle(&mut p, Objective::Sphere, &streams);
+        assert_ne!(v1, v2);
+        assert_ne!(v2, p.vel);
+    }
+}

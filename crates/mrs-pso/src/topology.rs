@@ -1,0 +1,131 @@
+//! Swarm topologies: who hears whose personal best.
+//!
+//! The paper's PSO uses the "Apiary" subswarm arrangement [12]: particles
+//! are grouped into islands (subswarms); within an island communication is
+//! complete, and islands themselves exchange bests along a ring — the
+//! island-model decomposition that fixes MapReduce task granularity
+//! ("a swarm can be divided into several subswarms or islands, and each
+//! map task operates on several iterations of a subswarm").
+
+/// A communication topology over `n` particles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Every particle sees every other (gbest).
+    Complete,
+    /// Each particle sees `k` neighbors on each side of a ring (lbest).
+    Ring {
+        /// Neighbors on each side.
+        k: usize,
+    },
+    /// Apiary-style islands: complete within a subswarm of `size`
+    /// particles; subswarm `s` additionally exports its best to subswarm
+    /// `s+1 (mod S)` at exchange points.
+    Subswarms {
+        /// Particles per subswarm.
+        size: usize,
+    },
+}
+
+impl Topology {
+    /// The neighbors that particle `id` (of `n`) *sends its best to*.
+    /// The particle itself is excluded.
+    pub fn neighbors(&self, id: u64, n: u64) -> Vec<u64> {
+        assert!(n > 0 && id < n, "particle {id} of {n}");
+        match self {
+            Topology::Complete => (0..n).filter(|&j| j != id).collect(),
+            Topology::Ring { k } => {
+                let k = *k as u64;
+                let mut out = Vec::with_capacity(2 * k as usize);
+                for d in 1..=k {
+                    out.push((id + d) % n);
+                    out.push((id + n - d % n) % n);
+                }
+                out.sort_unstable();
+                out.dedup();
+                out.retain(|&j| j != id);
+                out
+            }
+            Topology::Subswarms { size } => {
+                let size = *size as u64;
+                assert!(size > 0, "empty subswarms");
+                let island = id / size;
+                let start = island * size;
+                let end = (start + size).min(n);
+                (start..end).filter(|&j| j != id).collect()
+            }
+        }
+    }
+
+    /// Number of subswarms for `n` particles (1 unless `Subswarms`).
+    pub fn islands(&self, n: u64) -> u64 {
+        match self {
+            Topology::Subswarms { size } => n.div_ceil(*size as u64),
+            _ => 1,
+        }
+    }
+
+    /// The subswarm a particle belongs to (0 unless `Subswarms`).
+    pub fn island_of(&self, id: u64) -> u64 {
+        match self {
+            Topology::Subswarms { size } => id / *size as u64,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_sees_everyone_else() {
+        let t = Topology::Complete;
+        assert_eq!(t.neighbors(2, 5), vec![0, 1, 3, 4]);
+        assert_eq!(t.neighbors(0, 1), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn ring_k1_is_two_neighbors() {
+        let t = Topology::Ring { k: 1 };
+        assert_eq!(t.neighbors(0, 5), vec![1, 4]);
+        assert_eq!(t.neighbors(2, 5), vec![1, 3]);
+    }
+
+    #[test]
+    fn ring_wraps_and_dedups_small_swarms() {
+        let t = Topology::Ring { k: 2 };
+        // n = 3: neighborhoods collapse but never include self or dups.
+        let nb = t.neighbors(0, 3);
+        assert_eq!(nb, vec![1, 2]);
+    }
+
+    #[test]
+    fn subswarms_are_complete_within_island() {
+        let t = Topology::Subswarms { size: 3 };
+        assert_eq!(t.neighbors(0, 9), vec![1, 2]);
+        assert_eq!(t.neighbors(4, 9), vec![3, 5]);
+        assert_eq!(t.neighbors(8, 9), vec![6, 7]);
+    }
+
+    #[test]
+    fn subswarm_tail_island_may_be_short() {
+        let t = Topology::Subswarms { size: 4 };
+        assert_eq!(t.neighbors(9, 10), vec![8]);
+        assert_eq!(t.islands(10), 3);
+    }
+
+    #[test]
+    fn island_of_maps_contiguously() {
+        let t = Topology::Subswarms { size: 5 };
+        assert_eq!(t.island_of(0), 0);
+        assert_eq!(t.island_of(4), 0);
+        assert_eq!(t.island_of(5), 1);
+        assert_eq!(t.island_of(14), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "particle")]
+    fn out_of_range_id_panics() {
+        Topology::Complete.neighbors(5, 5);
+    }
+}

@@ -1,0 +1,164 @@
+//! Distribution helpers layered over any 64-bit generator.
+//!
+//! Mrs application code (PSO motion, corpus synthesis, Monte-Carlo tests)
+//! needs uniforms, ranges, Gaussians, and shuffles. All of these are
+//! provided as provided methods on the [`Rng64`] trait so they work
+//! identically over [`crate::Mt19937_64`] and [`crate::SplitMix64`].
+
+/// A source of 64-bit random words, with derived distribution helpers.
+pub trait Rng64 {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A double on `[0, 1)` with 53-bit resolution.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Uniform integer on `[0, n)` by rejection sampling (unbiased).
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        // Classic rejection: throw away the biased tail of the 2^64 range.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform integer on `[lo, hi)`.
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform double on `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Standard normal via Box–Muller (one value per call, no caching so the
+    /// stream consumption is predictable and reproducible).
+    fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by shifting the first uniform into (0, 1].
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample an index from unnormalised non-negative weights.
+    fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut x = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1 // floating-point slack: fall into the last bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mt19937_64, SplitMix64};
+
+    #[test]
+    fn below_is_in_range() {
+        let mut g = SplitMix64::new(1);
+        for n in [1u64, 2, 3, 7, 10, 1000, 1 << 32] {
+            for _ in 0..200 {
+                assert!(g.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn below_one_is_always_zero() {
+        let mut g = SplitMix64::new(9);
+        for _ in 0..32 {
+            assert_eq!(g.below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn range_bounds_inclusive_exclusive() {
+        let mut g = SplitMix64::new(3);
+        for _ in 0..500 {
+            let v = g.range_u64(10, 13);
+            assert!((10..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut g = Mt19937_64::new(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| g.uniform(-1.0, 1.0)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut g = Mt19937_64::new(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = SplitMix64::new(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        g.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut g = SplitMix64::new(12);
+        for _ in 0..200 {
+            let i = g.weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_rough_proportions() {
+        let mut g = Mt19937_64::new(1);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[g.weighted(&[1.0, 3.0])] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "frac {frac}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Halton quasi-random sequences.
+//!
+//! The paper's π estimator (§V-B, Fig. 3) mirrors Hadoop's `PiEstimator`:
+//! sample points come from 2-D Halton sequences (bases 2 and 3), which are
+//! deterministic but cover the unit square more evenly than pseudorandom
+//! points. The paper notes the inner loop was "optimized to minimize the
+//! number of function calls and the number of comparison operations" — that
+//! optimisation is the *incremental* digit-counter update implemented by
+//! [`HaltonSeq`], as opposed to the direct radical-inverse of [`halton`].
+
+/// Direct radical-inverse evaluation: the `i`-th element of the Halton
+/// sequence in the given base. O(log_base i) per call.
+pub fn halton(mut index: u64, base: u64) -> f64 {
+    assert!(base >= 2, "Halton base must be >= 2");
+    let mut f = 1.0;
+    let mut r = 0.0;
+    let b = base as f64;
+    while index > 0 {
+        f /= b;
+        r += f * (index % base) as f64;
+        index /= base;
+    }
+    r
+}
+
+/// Incremental Halton generator for one base.
+///
+/// Maintains the digit expansion of the current index so that advancing to
+/// the next element costs O(1) amortised — the paper's optimised inner loop.
+#[derive(Clone, Debug)]
+pub struct HaltonSeq {
+    base: u64,
+    /// digit[i] is the i-th base-`base` digit of the current index.
+    digits: Vec<u64>,
+    /// q[i] = base^-(i+1)
+    weights: Vec<f64>,
+    value: f64,
+    index: u64,
+}
+
+impl HaltonSeq {
+    /// Start a sequence in `base` at index 0 (value 0).
+    pub fn new(base: u64) -> Self {
+        assert!(base >= 2, "Halton base must be >= 2");
+        HaltonSeq { base, digits: Vec::new(), weights: Vec::new(), value: 0.0, index: 0 }
+    }
+
+    /// Start at an arbitrary index (used to give each map task its own
+    /// disjoint slab of the sequence).
+    pub fn with_start(base: u64, start: u64) -> Self {
+        let mut s = HaltonSeq::new(base);
+        s.seek(start);
+        s
+    }
+
+    /// Jump to an absolute index.
+    pub fn seek(&mut self, index: u64) {
+        self.digits.clear();
+        self.weights.clear();
+        self.index = index;
+        let mut i = index;
+        let mut w = 1.0;
+        let b = self.base as f64;
+        let mut value = 0.0;
+        while i > 0 {
+            w /= b;
+            self.digits.push(i % self.base);
+            self.weights.push(w);
+            value += w * (i % self.base) as f64;
+            i /= self.base;
+        }
+        self.value = value;
+    }
+
+    /// Current index.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Advance to the next element and return it.
+    ///
+    /// Incremental update: add base^-(k+1) at the lowest digit; on carry,
+    /// zero the digit (subtracting its contribution) and move up.
+    pub fn next_value(&mut self) -> f64 {
+        self.index += 1;
+        let b = self.base as f64;
+        let mut k = 0usize;
+        loop {
+            if k == self.digits.len() {
+                let prev = if k == 0 { 1.0 } else { self.weights[k - 1] };
+                self.digits.push(0);
+                self.weights.push(prev / b);
+            }
+            self.digits[k] += 1;
+            self.value += self.weights[k];
+            if self.digits[k] < self.base {
+                break;
+            }
+            // carry: digit wraps from base to 0; remove its whole column
+            self.value -= self.weights[k] * self.base as f64;
+            self.digits[k] = 0;
+            k += 1;
+        }
+        // Clamp tiny negative drift from float cancellation.
+        if self.value < 0.0 {
+            self.value = 0.0;
+        }
+        self.value
+    }
+}
+
+/// A 2-D Halton point generator in bases (2, 3), as used by `PiEstimator`.
+#[derive(Clone, Debug)]
+pub struct Halton2D {
+    x: HaltonSeq,
+    y: HaltonSeq,
+}
+
+impl Halton2D {
+    /// Start at an absolute point index.
+    pub fn new(start: u64) -> Self {
+        Halton2D { x: HaltonSeq::with_start(2, start), y: HaltonSeq::with_start(3, start) }
+    }
+
+    /// Next 2-D point in the unit square.
+    pub fn next_point(&mut self) -> (f64, f64) {
+        (self.x.next_value(), self.y.next_value())
+    }
+}
+
+/// Count how many of `n` consecutive Halton points starting at `start` fall
+/// inside the unit quarter-circle — the natural-Rust ("C") tier of the π
+/// kernel. Returns (inside, total).
+pub fn pi_kernel_native(start: u64, n: u64) -> (u64, u64) {
+    let mut h = Halton2D::new(start);
+    let mut inside = 0u64;
+    for _ in 0..n {
+        let (x, y) = h.next_point();
+        if x * x + y * y <= 1.0 {
+            inside += 1;
+        }
+    }
+    (inside, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_base2_prefix() {
+        // Halton base 2: 1/2, 1/4, 3/4, 1/8, 5/8, 3/8, 7/8, ...
+        let expect = [0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!((halton(i as u64 + 1, 2) - e).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn direct_base3_prefix() {
+        // Halton base 3: 1/3, 2/3, 1/9, 4/9, 7/9, 2/9, 5/9, 8/9
+        let expect =
+            [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0, 7.0 / 9.0, 2.0 / 9.0, 5.0 / 9.0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!((halton(i as u64 + 1, 3) - e).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_direct() {
+        for base in [2u64, 3, 5] {
+            let mut s = HaltonSeq::new(base);
+            for i in 1..2000u64 {
+                let inc = s.next_value();
+                let dir = halton(i, base);
+                assert!((inc - dir).abs() < 1e-9, "base={base} i={i} inc={inc} dir={dir}");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_matches_fresh_iteration() {
+        let mut a = HaltonSeq::with_start(2, 1000);
+        let mut b = HaltonSeq::new(2);
+        for _ in 0..1000 {
+            b.next_value();
+        }
+        for _ in 0..100 {
+            assert!((a.next_value() - b.next_value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let mut s = HaltonSeq::new(3);
+        for _ in 0..10_000 {
+            let v = s.next_value();
+            assert!((0.0..1.0).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn pi_estimate_converges() {
+        let (inside, total) = pi_kernel_native(0, 200_000);
+        let pi = 4.0 * inside as f64 / total as f64;
+        assert!((pi - std::f64::consts::PI).abs() < 1e-2, "pi={pi}");
+    }
+
+    #[test]
+    fn pi_kernel_slabs_compose() {
+        // Splitting the sample range across "tasks" must give the same count
+        // as one big run — this is what makes the MapReduce decomposition of
+        // PiEstimator exact.
+        let (whole, _) = pi_kernel_native(0, 10_000);
+        let (a, _) = pi_kernel_native(0, 2_500);
+        let (b, _) = pi_kernel_native(2_500, 2_500);
+        let (c, _) = pi_kernel_native(5_000, 5_000);
+        assert_eq!(whole, a + b + c);
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic pseudorandom substrate for the Mrs reproduction.
+//!
+//! The paper (§IV-A) stresses that stochastic MapReduce programs must be
+//! reproducible across *all* execution implementations. Mrs achieves this by
+//! deriving an **independent random stream** from any tuple of integers
+//! (program seed, operation id, task id, …) by folding them into the large
+//! internal state of a Mersenne Twister. This crate reimplements that
+//! machinery from scratch:
+//!
+//! * [`Mt19937`] / [`Mt19937_64`] — the reference Mersenne Twister
+//!   generators, validated against the published test vectors,
+//! * [`StreamFactory`] — the `random(*args)` equivalent: an independent
+//!   generator for every distinct argument tuple,
+//! * [`SplitMix64`] — a small, fast generator used for hashing and seeding,
+//! * [`halton`] — quasi-random Halton sequences used by the π estimator
+//!   (§V-B), in both direct and incremental forms.
+
+pub mod dist;
+pub mod halton;
+pub mod mt19937;
+pub mod mt19937_64;
+pub mod splitmix;
+pub mod streams;
+
+pub use dist::Rng64;
+pub use halton::{halton, Halton2D, HaltonSeq};
+pub use mt19937::Mt19937;
+pub use mt19937_64::Mt19937_64;
+pub use splitmix::SplitMix64;
+pub use streams::StreamFactory;

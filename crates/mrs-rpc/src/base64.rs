@@ -1,0 +1,134 @@
+//! RFC 4648 base64 (standard alphabet, `=` padding).
+//!
+//! XML-RPC carries binary payloads as `<base64>` elements; this is the
+//! codec for them, written from scratch like the rest of the wire layer.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes to base64 text.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    let mut chunks = data.chunks_exact(3);
+    for c in &mut chunks {
+        let n = u32::from(c[0]) << 16 | u32::from(c[1]) << 8 | u32::from(c[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        out.push(ALPHABET[n as usize & 63] as char);
+    }
+    match chunks.remainder() {
+        [a] => {
+            let n = u32::from(*a) << 16;
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push_str("==");
+        }
+        [a, b] => {
+            let n = u32::from(*a) << 16 | u32::from(*b) << 8;
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+            out.push('=');
+        }
+        _ => {}
+    }
+    out
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decode base64 text (whitespace tolerated, as XML often wraps lines).
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    let mut syms: Vec<u8> = Vec::with_capacity(text.len());
+    let mut padding = 0usize;
+    for &b in text.as_bytes() {
+        if b.is_ascii_whitespace() {
+            continue;
+        }
+        if b == b'=' {
+            padding += 1;
+            continue;
+        }
+        if padding > 0 {
+            return None; // data after padding
+        }
+        syms.push(decode_char(b)?);
+    }
+    if !(syms.len() + padding).is_multiple_of(4) || padding > 2 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(syms.len() * 3 / 4);
+    let mut chunks = syms.chunks_exact(4);
+    for c in &mut chunks {
+        let n = u32::from(c[0]) << 18 | u32::from(c[1]) << 12 | u32::from(c[2]) << 6 | u32::from(c[3]);
+        out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8, n as u8]);
+    }
+    match *chunks.remainder() {
+        [] => {}
+        [a, b] => {
+            let n = u32::from(a) << 18 | u32::from(b) << 12;
+            out.push((n >> 16) as u8);
+        }
+        [a, b, c] => {
+            let n = u32::from(a) << 18 | u32::from(b) << 12 | u32::from(c) << 6;
+            out.push((n >> 16) as u8);
+            out.push((n >> 8) as u8);
+        }
+        _ => return None, // single leftover symbol is invalid
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc_vectors() {
+        // RFC 4648 §10 test vectors.
+        let cases = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(encode(plain.as_bytes()), enc);
+            assert_eq!(decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_whitespace() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("!!!!").is_none());
+        assert!(decode("Zg=").is_none()); // wrong length
+        assert!(decode("Zg==Zg==").is_none()); // data after padding
+        assert!(decode("Z===").is_none()); // too much padding
+        assert!(decode("A").is_none()); // dangling symbol
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The bucket data server: direct slave-to-slave intermediate data.
+//!
+//! "For data communicated directly, the writer opens and writes a file on a
+//! local filesystem, and requests from readers are served by a built-in
+//! HTTP server" (§IV-B). A [`DataServer`] exposes a provider callback over
+//! HTTP GET; the companion [`fetch`] retrieves a bucket by URL.
+
+use crate::http::{Handler, HttpClient, HttpServer, Request, Response};
+use mrs_core::{Error, Result};
+use std::sync::Arc;
+
+/// Callback resolving a bucket path to its bytes.
+pub type Provider = Arc<dyn Fn(&str) -> Option<Vec<u8>> + Send + Sync>;
+
+/// An HTTP GET server for bucket data.
+pub struct DataServer {
+    http: HttpServer,
+}
+
+impl DataServer {
+    /// Serve buckets from `provider` on `127.0.0.1:port` (0 = ephemeral).
+    /// Paths are served under `/data/`.
+    pub fn serve(port: u16, provider: Provider) -> std::io::Result<DataServer> {
+        let handler: Handler = Arc::new(move |req: Request| {
+            if req.method != "GET" {
+                return Response::error(400, "data server only answers GET");
+            }
+            let Some(path) = req.path.strip_prefix("/data/") else {
+                return Response::error(404, "paths live under /data/");
+            };
+            match provider(path) {
+                Some(bytes) => Response::ok("application/octet-stream", bytes),
+                None => Response::error(404, "no such bucket"),
+            }
+        });
+        Ok(DataServer { http: HttpServer::bind(port, handler)? })
+    }
+
+    /// `host:port` of the server.
+    pub fn authority(&self) -> String {
+        self.http.authority()
+    }
+
+    /// Full URL for a bucket path on this server.
+    pub fn url_for(&self, path: &str) -> String {
+        format!("http://{}/data/{}", self.authority(), path)
+    }
+
+    /// Total bucket bytes served (the direct-shuffle volume metric).
+    pub fn bytes_served(&self) -> u64 {
+        self.http.bytes_served()
+    }
+}
+
+/// Fetch a bucket from a peer's data server given `host:port` and the
+/// absolute path component of its URL.
+pub fn fetch(authority: &str, path: &str) -> Result<Vec<u8>> {
+    let (status, body) = HttpClient::get(authority, path)
+        .map_err(|e| Error::Rpc(format!("fetch {authority}{path}: {e}")))?;
+    if status != 200 {
+        return Err(Error::MissingData(format!("{authority}{path}: http {status}")));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    fn server_with(files: Vec<(&str, Vec<u8>)>) -> DataServer {
+        let map: HashMap<String, Vec<u8>> =
+            files.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let map = Arc::new(Mutex::new(map));
+        DataServer::serve(0, Arc::new(move |p: &str| map.lock().get(p).cloned())).unwrap()
+    }
+
+    #[test]
+    fn fetch_existing_bucket() {
+        let s = server_with(vec![("op0/b1", vec![1, 2, 3])]);
+        let got = fetch(&s.authority(), "/data/op0/b1").unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn missing_bucket_is_missing_data() {
+        let s = server_with(vec![]);
+        let err = fetch(&s.authority(), "/data/none").unwrap_err();
+        assert!(matches!(err, Error::MissingData(_)));
+    }
+
+    #[test]
+    fn url_for_is_fetchable() {
+        let s = server_with(vec![("x", b"payload".to_vec())]);
+        let url = s.url_for("x");
+        let parsed = mrs_fs_like_parse(&url);
+        let got = fetch(&parsed.0, &parsed.1).unwrap();
+        assert_eq!(got, b"payload");
+    }
+
+    // Minimal inline URL split to avoid a dependency on mrs-fs from here.
+    fn mrs_fs_like_parse(url: &str) -> (String, String) {
+        let rest = url.strip_prefix("http://").unwrap();
+        let (auth, path) = rest.split_once('/').unwrap();
+        (auth.to_owned(), format!("/{path}"))
+    }
+
+    #[test]
+    fn non_get_rejected() {
+        let s = server_with(vec![("x", vec![1])]);
+        let (status, _) = HttpClient::post(&s.authority(), "/data/x", b"").unwrap();
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn bytes_served_accumulates() {
+        let s = server_with(vec![("a", vec![0; 100]), ("b", vec![0; 50])]);
+        fetch(&s.authority(), "/data/a").unwrap();
+        fetch(&s.authority(), "/data/b").unwrap();
+        assert_eq!(s.bytes_served(), 150);
+    }
+
+    #[test]
+    fn empty_bucket_fetches_as_empty() {
+        let s = server_with(vec![("e", vec![])]);
+        assert!(fetch(&s.authority(), "/data/e").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! Minimal HTTP/1.1 over `std::net`: enough for XML-RPC POSTs and bucket
+//! GETs, nothing more.
+//!
+//! The server accepts on an ephemeral (or fixed) port, handles each
+//! connection on its own thread, answers exactly one request per connection
+//! (`Connection: close`), and counts payload bytes served — the measurement
+//! hook for the direct-vs-filesystem shuffle ablation (A4).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Absolute path, e.g. `/RPC2`.
+    pub path: String,
+    /// Request body (empty for GET).
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response to send.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 404, 500, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Self {
+        Response { status: 200, content_type: content_type.into(), body }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, msg: &str) -> Self {
+        Response { status, content_type: "text/plain".into(), body: msg.as_bytes().to_vec() }
+    }
+}
+
+/// Handler invoked for each request.
+pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// A running HTTP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    bytes_served: Arc<AtomicU64>,
+    requests: Arc<AtomicU64>,
+}
+
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl HttpServer {
+    /// Bind to `127.0.0.1:port` (0 = ephemeral) and start serving.
+    pub fn bind(port: u16, handler: Handler) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let bytes_served = Arc::new(AtomicU64::new(0));
+        let requests = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let bytes_served = Arc::clone(&bytes_served);
+            let requests = Arc::clone(&requests);
+            std::thread::Builder::new().name(format!("http-{}", addr.port())).spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let handler = Arc::clone(&handler);
+                    let bytes_served = Arc::clone(&bytes_served);
+                    let requests = Arc::clone(&requests);
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &handler, &bytes_served, &requests);
+                    });
+                }
+            })?
+        };
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            bytes_served,
+            requests,
+        })
+    }
+
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `host:port` string for building URLs.
+    pub fn authority(&self) -> String {
+        format!("{}", self.addr)
+    }
+
+    /// Total response-body bytes served so far.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served.load(Ordering::Relaxed)
+    }
+
+    /// Total requests handled so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so `incoming()` returns and observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handler: &Handler,
+    bytes_served: &AtomicU64,
+    requests: &AtomicU64,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let Some(req) = read_request(&mut reader)? else {
+        return Ok(()); // connection opened and closed without a request
+    };
+    requests.fetch_add(1, Ordering::Relaxed);
+    let resp = handler(req);
+    bytes_served.fetch_add(resp.body.len() as u64, Ordering::Relaxed);
+    write_response(stream, &resp)
+}
+
+fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
+        _ => return Err(std::io::Error::other(format!("bad request line {line:?}"))),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| std::io::Error::other(format!("bad content-length: {e}")))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn write_response(mut stream: TcpStream, resp: &Response) -> std::io::Result<()> {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        _ => "Status",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason,
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Blocking HTTP client for one-shot requests.
+pub struct HttpClient;
+
+impl HttpClient {
+    /// Issue a request and return `(status, body)`.
+    pub fn request(
+        authority: &str,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut stream = TcpStream::connect(authority)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                break;
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let mut body = Vec::new();
+        match content_length {
+            Some(n) => {
+                body.resize(n, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
+        }
+        Ok((status, body))
+    }
+
+    /// GET a path.
+    pub fn get(authority: &str, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        Self::request(authority, "GET", path, &[])
+    }
+
+    /// POST a body.
+    pub fn post(authority: &str, path: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+        Self::request(authority, "POST", path, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::bind(
+            0,
+            Arc::new(|req: Request| {
+                if req.path == "/missing" {
+                    Response::error(404, "nope")
+                } else {
+                    let mut body = format!("{} {} ", req.method, req.path).into_bytes();
+                    body.extend_from_slice(&req.body);
+                    Response::ok("text/plain", body)
+                }
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let server = echo_server();
+        let (status, body) = HttpClient::get(&server.authority(), "/hello").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"GET /hello ");
+    }
+
+    #[test]
+    fn post_roundtrip_with_binary_body() {
+        let server = echo_server();
+        let payload = vec![0u8, 1, 2, 253, 254, 255];
+        let (status, body) = HttpClient::post(&server.authority(), "/p", &payload).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(&body[b"POST /p ".len()..], payload.as_slice());
+    }
+
+    #[test]
+    fn not_found_status_propagates() {
+        let server = echo_server();
+        let (status, body) = HttpClient::get(&server.authority(), "/missing").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, b"nope");
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = echo_server();
+        let authority = server.authority();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let authority = authority.clone();
+                std::thread::spawn(move || {
+                    let (status, body) =
+                        HttpClient::get(&authority, &format!("/r{i}")).unwrap();
+                    assert_eq!(status, 200);
+                    assert_eq!(body, format!("GET /r{i} ").into_bytes());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.request_count(), 8);
+    }
+
+    #[test]
+    fn byte_counter_tracks_payloads() {
+        let server = echo_server();
+        let before = server.bytes_served();
+        let (_, body) = HttpClient::get(&server.authority(), "/x").unwrap();
+        assert_eq!(server.bytes_served() - before, body.len() as u64);
+    }
+
+    #[test]
+    fn server_shuts_down_cleanly() {
+        let server = echo_server();
+        let authority = server.authority();
+        drop(server);
+        // After drop the port no longer accepts requests (give the OS a moment).
+        std::thread::sleep(Duration::from_millis(50));
+        let r = HttpClient::get(&authority, "/x");
+        assert!(r.is_err() || r.unwrap().0 != 200);
+    }
+
+    #[test]
+    fn large_body_roundtrips() {
+        let server = echo_server();
+        let payload = vec![7u8; 1 << 20];
+        let (status, body) = HttpClient::post(&server.authority(), "/big", &payload).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.len(), payload.len() + b"POST /big ".len());
+    }
+}

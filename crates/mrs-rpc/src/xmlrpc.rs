@@ -1,0 +1,612 @@
+//! XML-RPC value model, serializer, and parser.
+//!
+//! Mrs "uses XML-RPC because it is included in the Python standard library
+//! even though other protocols are more efficient" (§IV-B). We reproduce
+//! that choice: the master/slave control channel speaks genuine XML-RPC
+//! (`<methodCall>`/`<methodResponse>` documents over HTTP POST). The parser
+//! is a small recursive-descent reader for the XML subset XML-RPC uses —
+//! elements without attributes, character data, and the five standard
+//! entities.
+
+use crate::base64;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An XML-RPC value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `<int>` / `<i4>` (we allow the full i64 range, like Python).
+    Int(i64),
+    /// `<boolean>`
+    Bool(bool),
+    /// `<string>`
+    Str(String),
+    /// `<double>`
+    Double(f64),
+    /// `<base64>`
+    Bytes(Vec<u8>),
+    /// `<array>`
+    Array(Vec<Value>),
+    /// `<struct>`
+    Struct(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Convenience accessor: integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: byte payload.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: array items.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: struct field.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Struct(m) => m.get(name),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+/// A parse or protocol error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlError(pub String);
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml-rpc: {}", self.0)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A decoded fault response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Application-defined fault code.
+    pub code: i64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    out.push_str("<value>");
+    match v {
+        Value::Int(i) => {
+            out.push_str("<int>");
+            out.push_str(&i.to_string());
+            out.push_str("</int>");
+        }
+        Value::Bool(b) => {
+            out.push_str("<boolean>");
+            out.push(if *b { '1' } else { '0' });
+            out.push_str("</boolean>");
+        }
+        Value::Str(s) => {
+            out.push_str("<string>");
+            escape_into(s, out);
+            out.push_str("</string>");
+        }
+        Value::Double(d) => {
+            out.push_str("<double>");
+            // Display for f64 is shortest-round-trip; inf/nan spelled so
+            // that f64::from_str reads them back.
+            out.push_str(&d.to_string());
+            out.push_str("</double>");
+        }
+        Value::Bytes(b) => {
+            out.push_str("<base64>");
+            out.push_str(&base64::encode(b));
+            out.push_str("</base64>");
+        }
+        Value::Array(items) => {
+            out.push_str("<array><data>");
+            for item in items {
+                write_value(item, out);
+            }
+            out.push_str("</data></array>");
+        }
+        Value::Struct(fields) => {
+            out.push_str("<struct>");
+            for (name, val) in fields {
+                out.push_str("<member><name>");
+                escape_into(name, out);
+                out.push_str("</name>");
+                write_value(val, out);
+                out.push_str("</member>");
+            }
+            out.push_str("</struct>");
+        }
+    }
+    out.push_str("</value>");
+}
+
+/// Serialize a `<methodCall>` document.
+pub fn encode_request(method: &str, params: &[Value]) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n<methodCall><methodName>");
+    escape_into(method, &mut out);
+    out.push_str("</methodName><params>");
+    for p in params {
+        out.push_str("<param>");
+        write_value(p, &mut out);
+        out.push_str("</param>");
+    }
+    out.push_str("</params></methodCall>");
+    out
+}
+
+/// Serialize a successful `<methodResponse>` document.
+pub fn encode_response(value: &Value) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n<methodResponse><params><param>");
+    write_value(value, &mut out);
+    out.push_str("</param></params></methodResponse>");
+    out
+}
+
+/// Serialize a fault `<methodResponse>` document.
+pub fn encode_fault(code: i64, message: &str) -> String {
+    let mut fields = BTreeMap::new();
+    fields.insert("faultCode".to_owned(), Value::Int(code));
+    fields.insert("faultString".to_owned(), Value::Str(message.to_owned()));
+    let mut out = String::from("<?xml version=\"1.0\"?>\n<methodResponse><fault>");
+    write_value(&Value::Struct(fields), &mut out);
+    out.push_str("</fault></methodResponse>");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    s: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor { s }
+    }
+
+    fn skip_ws(&mut self) {
+        self.s = self.s.trim_start();
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_ws();
+        if self.s.starts_with("<?") {
+            if let Some(end) = self.s.find("?>") {
+                self.s = &self.s[end + 2..];
+            }
+        }
+        self.skip_ws();
+    }
+
+    /// Consume `<tag>`; error if the next tag is something else.
+    fn open(&mut self, tag: &str) -> Result<(), XmlError> {
+        self.skip_ws();
+        let want = format!("<{tag}>");
+        if let Some(rest) = self.s.strip_prefix(want.as_str()) {
+            self.s = rest;
+            Ok(())
+        } else {
+            Err(XmlError(format!("expected <{tag}> at {:?}", head(self.s))))
+        }
+    }
+
+    /// True (and consumed) if the next tag is `<tag>`.
+    fn try_open(&mut self, tag: &str) -> bool {
+        self.skip_ws();
+        let want = format!("<{tag}>");
+        if let Some(rest) = self.s.strip_prefix(want.as_str()) {
+            self.s = rest;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `</tag>`.
+    fn close(&mut self, tag: &str) -> Result<(), XmlError> {
+        self.skip_ws();
+        let want = format!("</{tag}>");
+        if let Some(rest) = self.s.strip_prefix(want.as_str()) {
+            self.s = rest;
+            Ok(())
+        } else {
+            Err(XmlError(format!("expected </{tag}> at {:?}", head(self.s))))
+        }
+    }
+
+    /// Peek whether `</tag>` is next.
+    fn at_close(&mut self, tag: &str) -> bool {
+        self.skip_ws();
+        self.s.starts_with(&format!("</{tag}>"))
+    }
+
+    /// Read character data up to the next `<`, un-escaping entities.
+    fn text(&mut self) -> Result<String, XmlError> {
+        let end = self.s.find('<').unwrap_or(self.s.len());
+        let raw = &self.s[..end];
+        self.s = &self.s[end..];
+        unescape(raw)
+    }
+}
+
+fn head(s: &str) -> &str {
+    let mut end = s.len().min(32);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
+fn unescape(raw: &str) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let semi = rest.find(';').ok_or_else(|| XmlError("unterminated entity".into()))?;
+        match &rest[..=semi] {
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&amp;" => out.push('&'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            e => return Err(XmlError(format!("unknown entity {e}"))),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Maximum element nesting the parser accepts. Deeper documents are
+/// rejected instead of recursing toward a stack overflow — a malicious
+/// peer must not be able to kill the server with `<array>` bombs.
+const MAX_DEPTH: u32 = 64;
+
+fn parse_value(c: &mut Cursor) -> Result<Value, XmlError> {
+    parse_value_depth(c, 0)
+}
+
+fn parse_value_depth(c: &mut Cursor, depth: u32) -> Result<Value, XmlError> {
+    if depth >= MAX_DEPTH {
+        return Err(XmlError(format!("value nesting exceeds {MAX_DEPTH}")));
+    }
+    c.open("value")?;
+    c.skip_ws();
+    let v = if c.try_open("int") {
+        let t = c.text()?;
+        let i = t.trim().parse::<i64>().map_err(|e| XmlError(format!("bad int {t:?}: {e}")))?;
+        c.close("int")?;
+        Value::Int(i)
+    } else if c.try_open("i4") {
+        let t = c.text()?;
+        let i = t.trim().parse::<i64>().map_err(|e| XmlError(format!("bad i4 {t:?}: {e}")))?;
+        c.close("i4")?;
+        Value::Int(i)
+    } else if c.try_open("boolean") {
+        let t = c.text()?;
+        let b = match t.trim() {
+            "0" => false,
+            "1" => true,
+            other => return Err(XmlError(format!("bad boolean {other:?}"))),
+        };
+        c.close("boolean")?;
+        Value::Bool(b)
+    } else if c.try_open("double") {
+        let t = c.text()?;
+        let d =
+            t.trim().parse::<f64>().map_err(|e| XmlError(format!("bad double {t:?}: {e}")))?;
+        c.close("double")?;
+        Value::Double(d)
+    } else if c.try_open("string") {
+        let t = c.text()?;
+        c.close("string")?;
+        Value::Str(t)
+    } else if c.try_open("base64") {
+        let t = c.text()?;
+        let b = base64::decode(&t).ok_or_else(|| XmlError("bad base64 payload".into()))?;
+        c.close("base64")?;
+        Value::Bytes(b)
+    } else if c.try_open("array") {
+        c.open("data")?;
+        let mut items = Vec::new();
+        while !c.at_close("data") {
+            items.push(parse_value_depth(c, depth + 1)?);
+        }
+        c.close("data")?;
+        c.close("array")?;
+        Value::Array(items)
+    } else if c.try_open("struct") {
+        let mut fields = BTreeMap::new();
+        while !c.at_close("struct") {
+            c.open("member")?;
+            c.open("name")?;
+            let name = c.text()?;
+            c.close("name")?;
+            let val = parse_value_depth(c, depth + 1)?;
+            c.close("member")?;
+            fields.insert(name, val);
+        }
+        c.close("struct")?;
+        Value::Struct(fields)
+    } else {
+        // Bare text inside <value> is a string, per the XML-RPC spec.
+        Value::Str(c.text()?)
+    };
+    c.close("value")?;
+    Ok(v)
+}
+
+/// Parse a `<methodCall>` document into `(method, params)`.
+pub fn parse_request(xml: &str) -> Result<(String, Vec<Value>), XmlError> {
+    let mut c = Cursor::new(xml);
+    c.skip_prolog();
+    c.open("methodCall")?;
+    c.open("methodName")?;
+    let method = c.text()?;
+    c.close("methodName")?;
+    let mut params = Vec::new();
+    if c.try_open("params") {
+        while !c.at_close("params") {
+            c.open("param")?;
+            params.push(parse_value(&mut c)?);
+            c.close("param")?;
+        }
+        c.close("params")?;
+    }
+    c.close("methodCall")?;
+    Ok((method, params))
+}
+
+/// Parse a `<methodResponse>` document into a value or a [`Fault`].
+pub fn parse_response(xml: &str) -> Result<Result<Value, Fault>, XmlError> {
+    let mut c = Cursor::new(xml);
+    c.skip_prolog();
+    c.open("methodResponse")?;
+    if c.try_open("fault") {
+        let v = parse_value(&mut c)?;
+        c.close("fault")?;
+        c.close("methodResponse")?;
+        let code = v
+            .field("faultCode")
+            .and_then(Value::as_int)
+            .ok_or_else(|| XmlError("fault missing faultCode".into()))?;
+        let message = v
+            .field("faultString")
+            .and_then(Value::as_str)
+            .ok_or_else(|| XmlError("fault missing faultString".into()))?
+            .to_owned();
+        return Ok(Err(Fault { code, message }));
+    }
+    c.open("params")?;
+    c.open("param")?;
+    let v = parse_value(&mut c)?;
+    c.close("param")?;
+    c.close("params")?;
+    c.close("methodResponse")?;
+    Ok(Ok(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_param(v: Value) {
+        let xml = encode_request("m", std::slice::from_ref(&v));
+        let (m, params) = parse_request(&xml).unwrap();
+        assert_eq!(m, "m");
+        assert_eq!(params, vec![v]);
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        roundtrip_param(Value::Int(-42));
+        roundtrip_param(Value::Int(i64::MAX));
+        roundtrip_param(Value::Bool(true));
+        roundtrip_param(Value::Str("hello <world> & \"friends\"".into()));
+        roundtrip_param(Value::Double(-1.5e-7));
+        roundtrip_param(Value::Bytes(vec![0, 1, 2, 255]));
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), Value::Int(1));
+        m.insert("b".to_owned(), Value::Array(vec![Value::Str("x".into()), Value::Bool(false)]));
+        roundtrip_param(Value::Struct(m));
+        roundtrip_param(Value::Array(vec![]));
+        roundtrip_param(Value::Struct(BTreeMap::new()));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let xml = encode_response(&Value::Str("ok".into()));
+        assert_eq!(parse_response(&xml).unwrap().unwrap(), Value::Str("ok".into()));
+    }
+
+    #[test]
+    fn fault_roundtrip() {
+        let xml = encode_fault(7, "task <failed>");
+        let fault = parse_response(&xml).unwrap().unwrap_err();
+        assert_eq!(fault.code, 7);
+        assert_eq!(fault.message, "task <failed>");
+    }
+
+    #[test]
+    fn i4_alias_accepted() {
+        let xml = "<methodCall><methodName>m</methodName><params><param>\
+                   <value><i4>9</i4></value></param></params></methodCall>";
+        let (_, params) = parse_request(xml).unwrap();
+        assert_eq!(params, vec![Value::Int(9)]);
+    }
+
+    #[test]
+    fn bare_text_value_is_string() {
+        let xml = "<methodCall><methodName>m</methodName><params><param>\
+                   <value>plain</value></param></params></methodCall>";
+        let (_, params) = parse_request(xml).unwrap();
+        assert_eq!(params, vec![Value::Str("plain".into())]);
+    }
+
+    #[test]
+    fn whitespace_between_elements_tolerated() {
+        let xml = "<?xml version=\"1.0\"?>\n<methodCall>\n  <methodName>ping</methodName>\n\
+                   <params>\n <param>\n <value><int> 3 </int></value>\n </param>\n </params>\n\
+                   </methodCall>";
+        let (m, params) = parse_request(xml).unwrap();
+        assert_eq!(m, "ping");
+        assert_eq!(params, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        assert!(parse_request("<methodCall></methodCall>").is_err());
+        assert!(parse_request("<wrong/>").is_err());
+        assert!(parse_response("<methodResponse><params></params></methodResponse>").is_err());
+        let bad_entity = "<methodCall><methodName>a&b;</methodName></methodCall>";
+        assert!(parse_request(bad_entity).is_err());
+    }
+
+    #[test]
+    fn nesting_bomb_is_rejected_not_overflowed() {
+        let mut xml = String::from("<methodResponse><params><param>");
+        for _ in 0..100_000 {
+            xml.push_str("<value><array><data>");
+        }
+        assert!(parse_response(&xml).is_err());
+    }
+
+    #[test]
+    fn method_with_no_params() {
+        let xml = encode_request("ping", &[]);
+        let (m, params) = parse_request(&xml).unwrap();
+        assert_eq!(m, "ping");
+        assert!(params.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_string_roundtrip(s in ".*") {
+            // Strings whose text survives XML character-data rules: our
+            // writer escapes everything needed, so any Unicode string works.
+            roundtrip_param(Value::Str(s));
+        }
+
+        #[test]
+        fn prop_int_roundtrip(i in any::<i64>()) {
+            roundtrip_param(Value::Int(i));
+        }
+
+        #[test]
+        fn prop_double_roundtrip(d in any::<f64>().prop_filter("finite", |d| d.is_finite())) {
+            let xml = encode_response(&Value::Double(d));
+            let v = parse_response(&xml).unwrap().unwrap();
+            match v {
+                Value::Double(back) => prop_assert_eq!(back.to_bits(), d.to_bits()),
+                other => prop_assert!(false, "not a double: {:?}", other),
+            }
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(b in proptest::collection::vec(any::<u8>(), 0..128)) {
+            roundtrip_param(Value::Bytes(b));
+        }
+
+        #[test]
+        fn prop_parser_never_panics(s in ".*") {
+            let _ = parse_request(&s);
+            let _ = parse_response(&s);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The `mrs.main` analogue: one binary, every execution implementation.
+//!
+//! "As a programming framework, Mrs controls the execution flow and is
+//! invoked by a call to `mrs.main`. The execution of Mrs depends on the
+//! command-line options and the specified program class" (§IV-A). In this
+//! reproduction a user binary calls [`main_with`] with its program and a
+//! driver closure; `--mrs <impl>` selects how it runs:
+//!
+//! ```text
+//! prog --mrs serial                       # reference semantics
+//! prog --mrs mock                         # cluster task split, 1 cpu, spill files
+//! prog --mrs pool --mrs-workers 8         # thread-pool parallel
+//! prog --mrs master --mrs-port-file P     # master: binds, writes its port
+//! prog --mrs slave  --mrs-master H:P      # slave: joins an existing master
+//! ```
+//!
+//! A master runs the driver and serves slaves; a slave never runs the
+//! driver — it executes tasks until told to exit, exactly the paper's
+//! "one copy of the program as a master and any number of other copies
+//! of the program as slaves".
+
+use crate::distributed::{serve_master, RpcMasterLink};
+use crate::job::Job;
+use crate::local::LocalRuntime;
+use crate::master::{Master, MasterConfig};
+use crate::proto::DataPlane;
+use crate::serial::SerialRuntime;
+use crate::slave::{run_slave, SlaveOptions};
+use mrs_core::{Error, Program, Result};
+use mrs_fs::TempFs;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Which execution implementation to use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Implementation {
+    /// Everything sequential, one task per operation.
+    Serial,
+    /// The cluster's task split on one processor, spilled to files.
+    MockParallel,
+    /// Thread-pool parallelism with this many workers.
+    Pool(usize),
+    /// Master role: bind `port` (0 = ephemeral), optionally write the
+    /// bound port to a file for slaves to discover.
+    Master {
+        /// TCP port to bind (0 picks one).
+        port: u16,
+        /// File to write the bound port into (the paper's port file).
+        port_file: Option<String>,
+    },
+    /// Slave role: join the master at `host:port`.
+    Slave {
+        /// Master authority.
+        master: String,
+    },
+}
+
+/// Parsed `--mrs*` options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliOptions {
+    /// Selected implementation (default: serial, like the original Mrs).
+    pub implementation: Implementation,
+    /// Everything that was not an `--mrs*` option, for the program's own
+    /// argument handling.
+    pub rest: Vec<String>,
+}
+
+/// Parse options from an argument list (excluding argv\[0\]).
+pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions> {
+    let mut implementation = None;
+    let mut workers = None;
+    let mut port = 0u16;
+    let mut port_file = None;
+    let mut master = None;
+    let mut rest = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| -> Result<String> {
+            iter.next().ok_or_else(|| Error::Invalid(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--mrs" => {
+                let v = value_of("--mrs")?;
+                implementation = Some(v);
+            }
+            "--mrs-workers" => {
+                let v = value_of("--mrs-workers")?;
+                workers = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| Error::Invalid(format!("--mrs-workers {v:?}: {e}")))?,
+                );
+            }
+            "--mrs-port" => {
+                let v = value_of("--mrs-port")?;
+                port = v
+                    .parse::<u16>()
+                    .map_err(|e| Error::Invalid(format!("--mrs-port {v:?}: {e}")))?;
+            }
+            "--mrs-port-file" => port_file = Some(value_of("--mrs-port-file")?),
+            "--mrs-master" => master = Some(value_of("--mrs-master")?),
+            _ => rest.push(arg),
+        }
+    }
+
+    let implementation = match implementation.as_deref() {
+        None | Some("serial") => Implementation::Serial,
+        Some("mock") | Some("mockparallel") => Implementation::MockParallel,
+        Some("pool") => Implementation::Pool(workers.unwrap_or_else(num_cpus)),
+        Some("master") => Implementation::Master { port, port_file },
+        Some("slave") => Implementation::Slave {
+            master: master
+                .ok_or_else(|| Error::Invalid("--mrs slave requires --mrs-master".into()))?,
+        },
+        Some(other) => {
+            return Err(Error::Invalid(format!(
+                "unknown implementation {other:?} (serial|mock|pool|master|slave)"
+            )))
+        }
+    };
+    if workers == Some(0) {
+        return Err(Error::Invalid("--mrs-workers must be positive".into()));
+    }
+    Ok(CliOptions { implementation, rest })
+}
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+}
+
+/// Run a program under the options, invoking `driver` with a [`Job`] for
+/// every implementation that drives jobs (all except `slave`).
+pub fn run_with_options<D>(
+    program: Arc<dyn Program>,
+    options: &CliOptions,
+    driver: D,
+) -> Result<()>
+where
+    D: FnOnce(&mut Job) -> Result<()>,
+{
+    match &options.implementation {
+        Implementation::Serial => {
+            let mut rt = SerialRuntime::new(program);
+            driver(&mut Job::new(&mut rt))
+        }
+        Implementation::MockParallel => {
+            let spill = Arc::new(TempFs::new("mockparallel")?);
+            let mut rt = LocalRuntime::mock_parallel(program, spill);
+            driver(&mut Job::new(&mut rt))
+        }
+        Implementation::Pool(workers) => {
+            let mut rt = LocalRuntime::pool(program, *workers);
+            driver(&mut Job::new(&mut rt))
+        }
+        Implementation::Master { port, port_file } => {
+            let master = Master::new(MasterConfig::default(), DataPlane::Direct)?;
+            let server = serve_master(master.clone(), *port).map_err(Error::Io)?;
+            if let Some(path) = port_file {
+                std::fs::write(path, server.port().to_string())?;
+            }
+            let mut driver_master = master.clone();
+            let result = driver(&mut Job::new(&mut driver_master));
+            master.finish();
+            if let Some(path) = port_file {
+                let _ = std::fs::remove_file(path);
+            }
+            result
+        }
+        Implementation::Slave { master } => {
+            // A slave never runs the driver; it serves tasks until Exit.
+            let link = RpcMasterLink::new(master.clone());
+            let stop = AtomicBool::new(false);
+            run_slave(&link, program, DataPlane::Direct, &SlaveOptions::default(), &stop)
+        }
+    }
+}
+
+/// The full `mrs.main` flow: parse the process arguments and run.
+pub fn main_with<D>(program: Arc<dyn Program>, driver: D) -> Result<()>
+where
+    D: FnOnce(&mut Job) -> Result<()>,
+{
+    let options = parse_options(std::env::args().skip(1))?;
+    run_with_options(program, &options, driver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_core::kv::encode_record;
+    use mrs_core::{Datum, MapReduce, Simple};
+
+    fn opts(args: &[&str]) -> Result<CliOptions> {
+        parse_options(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_is_serial() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.implementation, Implementation::Serial);
+        assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn parses_each_implementation() {
+        assert_eq!(opts(&["--mrs", "serial"]).unwrap().implementation, Implementation::Serial);
+        assert_eq!(opts(&["--mrs", "mock"]).unwrap().implementation, Implementation::MockParallel);
+        assert_eq!(
+            opts(&["--mrs", "pool", "--mrs-workers", "3"]).unwrap().implementation,
+            Implementation::Pool(3)
+        );
+        assert_eq!(
+            opts(&["--mrs", "master", "--mrs-port", "7777", "--mrs-port-file", "/tmp/p"])
+                .unwrap()
+                .implementation,
+            Implementation::Master { port: 7777, port_file: Some("/tmp/p".into()) }
+        );
+        assert_eq!(
+            opts(&["--mrs", "slave", "--mrs-master", "10.0.0.1:7777"]).unwrap().implementation,
+            Implementation::Slave { master: "10.0.0.1:7777".into() }
+        );
+    }
+
+    #[test]
+    fn program_args_pass_through() {
+        let o = opts(&["input.txt", "--mrs", "pool", "--verbose"]).unwrap();
+        assert_eq!(o.rest, vec!["input.txt", "--verbose"]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(opts(&["--mrs"]).is_err());
+        assert!(opts(&["--mrs", "warp-drive"]).is_err());
+        assert!(opts(&["--mrs", "slave"]).is_err()); // missing --mrs-master
+        assert!(opts(&["--mrs", "pool", "--mrs-workers", "0"]).is_err());
+        assert!(opts(&["--mrs-port", "not-a-port"]).is_err());
+    }
+
+    struct Count;
+    impl MapReduce for Count {
+        type K1 = u64;
+        type V1 = u64;
+        type K2 = u64;
+        type V2 = u64;
+        fn map(&self, k: u64, v: u64, emit: &mut dyn FnMut(u64, u64)) {
+            emit(k % 2, v);
+        }
+        fn reduce(&self, _k: &u64, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+            emit(vs.sum());
+        }
+    }
+
+    fn driver_checks(job: &mut Job) -> mrs_core::Result<()> {
+        let input: Vec<mrs_core::Record> =
+            (0..10u64).map(|i| encode_record(&i, &1u64)).collect();
+        let out = job.map_reduce(input, 2, 2, false)?;
+        let total: u64 =
+            out.iter().map(|(_, v)| u64::from_bytes(v).unwrap()).sum();
+        assert_eq!(total, 10);
+        Ok(())
+    }
+
+    #[test]
+    fn run_serial_mock_pool_via_options() {
+        for args in [vec![], vec!["--mrs", "mock"], vec!["--mrs", "pool", "--mrs-workers", "2"]] {
+            let o = opts(&args).unwrap();
+            run_with_options(Arc::new(Simple(Count)), &o, driver_checks).unwrap();
+        }
+    }
+
+    #[test]
+    fn master_writes_and_cleans_port_file() {
+        let path = std::env::temp_dir().join(format!("mrs-cli-test-{}", std::process::id()));
+        let o = CliOptions {
+            implementation: Implementation::Master {
+                port: 0,
+                port_file: Some(path.to_string_lossy().into_owned()),
+            },
+            rest: vec![],
+        };
+        // Driver with no work: just verify the port file exists while the
+        // master is up.
+        let path2 = path.clone();
+        run_with_options(Arc::new(Simple(Count)), &o, move |_job| {
+            let text = std::fs::read_to_string(&path2).expect("port file written");
+            assert!(text.trim().parse::<u16>().is_ok());
+            Ok(())
+        })
+        .unwrap();
+        assert!(!path.exists(), "port file should be removed on shutdown");
+    }
+}

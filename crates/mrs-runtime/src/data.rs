@@ -1,0 +1,88 @@
+//! Materialized datasets: what an operation produces.
+//!
+//! A dataset is a list of *splits*; a map or reduce task reads one split's
+//! worth of input. Splitting input data evenly across a target task count
+//! is the runtimes' first scheduling decision.
+
+use mrs_core::Record;
+
+/// Identifies a dataset within one job (sources and op outputs alike).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataId(pub u32);
+
+/// A fully materialized dataset: `splits[i]` is the record list of split i.
+pub type Dataset = Vec<Vec<Record>>;
+
+/// Split `records` into `splits` contiguous, nearly equal pieces. Always
+/// returns exactly `splits` pieces (some possibly empty), preserving order.
+pub fn split_evenly(records: Vec<Record>, splits: usize) -> Dataset {
+    assert!(splits > 0, "need at least one split");
+    let n = records.len();
+    let base = n / splits;
+    let extra = n % splits;
+    let mut out = Vec::with_capacity(splits);
+    let mut iter = records.into_iter();
+    for i in 0..splits {
+        let take = base + usize::from(i < extra);
+        out.push(iter.by_ref().take(take).collect());
+    }
+    out
+}
+
+/// Flatten a dataset back into one record list (split order preserved).
+pub fn gather(dataset: Dataset) -> Vec<Record> {
+    dataset.into_iter().flatten().collect()
+}
+
+/// Total records across all splits.
+pub fn total_len(dataset: &Dataset) -> usize {
+    dataset.iter().map(Vec::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(n: usize) -> Vec<Record> {
+        (0..n).map(|i| (vec![i as u8], vec![])).collect()
+    }
+
+    #[test]
+    fn split_exact_division() {
+        let ds = split_evenly(recs(9), 3);
+        assert_eq!(ds.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn split_with_remainder_front_loads() {
+        let ds = split_evenly(recs(10), 4);
+        assert_eq!(ds.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn split_more_splits_than_records() {
+        let ds = split_evenly(recs(2), 5);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(total_len(&ds), 2);
+    }
+
+    #[test]
+    fn split_empty_input() {
+        let ds = split_evenly(vec![], 3);
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn gather_inverts_split() {
+        let original = recs(17);
+        let ds = split_evenly(original.clone(), 5);
+        assert_eq!(gather(ds), original);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one split")]
+    fn zero_splits_panics() {
+        split_evenly(vec![], 0);
+    }
+}

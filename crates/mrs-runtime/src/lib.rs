@@ -1,0 +1,40 @@
+//! Execution implementations for Mrs programs.
+//!
+//! The paper defines four run-time behaviours of one and the same program
+//! (§IV-A), all reproduced here:
+//!
+//! * [`serial`] — everything sequential in one task per operation;
+//!   deterministic reference semantics,
+//! * [`local`] with one worker and file spill — **mock parallel**: the same
+//!   task decomposition as the cluster, run on a single processor, with
+//!   intermediate data saved to bucket files for debugging,
+//! * [`local`] with N workers — thread-pool parallelism in one process,
+//! * [`distributed`] — the real master/slave runtime over XML-RPC
+//!   ([`master`], [`slave`]), with direct HTTP intermediate data or a
+//!   shared filesystem, task→slave affinity, operation pipelining, and
+//!   slave-failure recovery,
+//! * the **bypass** implementation is a plain function call in Rust: run
+//!   your serial code directly (see `examples/`).
+//!
+//! All implementations must produce identical answers; the integration
+//! tests enforce it.
+
+pub mod cli;
+pub mod data;
+pub mod distributed;
+pub mod job;
+pub mod local;
+pub mod master;
+pub mod metrics;
+pub mod proto;
+pub mod serial;
+pub mod slave;
+
+pub use cli::{main_with, CliOptions, Implementation};
+pub use data::{DataId, Dataset};
+pub use distributed::LocalCluster;
+pub use master::{Master, MasterConfig};
+pub use proto::DataPlane;
+pub use job::{Job, JobApi};
+pub use local::LocalRuntime;
+pub use serial::SerialRuntime;

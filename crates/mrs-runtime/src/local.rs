@@ -1,0 +1,645 @@
+//! Mock-parallel and thread-pool execution in one scheduler.
+//!
+//! The scheduler decomposes operations into the *same tasks* as the
+//! distributed implementation — one map task per input split, one reduce
+//! task per partition — and tracks fine-grained readiness: a map task over
+//! a reduce output only waits for *its own* input split, so consecutive
+//! iterations pipeline exactly as §IV-A describes, while reduce tasks wait
+//! for every map task of their operation (the barrier of Fig. 1).
+//!
+//! * `LocalRuntime::mock_parallel(program, store)` — one worker, every task
+//!   output additionally spilled to bucket files on `store` for debugging:
+//!   the paper's mock parallel implementation.
+//! * `LocalRuntime::pool(program, n)` — N worker threads, in-memory.
+
+use crate::data::{split_evenly, DataId, Dataset};
+use crate::job::JobApi;
+use crate::metrics::JobMetrics;
+use mrs_core::task::{run_map_task, run_reduce_task};
+use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
+use mrs_fs::format::write_bucket_bytes;
+use mrs_fs::Store;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TaskRef {
+    data: DataId,
+    index: usize,
+}
+
+#[derive(Debug)]
+enum DsState {
+    /// Fully materialized source data.
+    Source(Dataset),
+    /// A map operation's output: per task, `parts` buckets.
+    MapOut {
+        input: DataId,
+        func: FuncId,
+        parts: usize,
+        combine: bool,
+        tasks: Vec<Option<Vec<Bucket>>>,
+        remaining: usize,
+    },
+    /// A reduce operation's output: one record list per partition.
+    ReduceOut {
+        input: DataId,
+        func: FuncId,
+        tasks: Vec<Option<Vec<Record>>>,
+        remaining: usize,
+    },
+    Discarded,
+}
+
+impl DsState {
+    fn complete(&self) -> bool {
+        match self {
+            DsState::Source(_) => true,
+            DsState::MapOut { remaining, .. } | DsState::ReduceOut { remaining, .. } => {
+                *remaining == 0
+            }
+            DsState::Discarded => true,
+        }
+    }
+}
+
+struct State {
+    datasets: Vec<DsState>,
+    /// Tasks not yet ready to run.
+    pending: Vec<TaskRef>,
+    /// Tasks ready to run.
+    queue: VecDeque<TaskRef>,
+    error: Option<String>,
+    shutdown: bool,
+    metrics: JobMetrics,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    program: Arc<dyn Program>,
+    spill: Option<Arc<dyn Store>>,
+}
+
+/// The local (mock-parallel / thread-pool) runtime.
+pub struct LocalRuntime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl LocalRuntime {
+    /// The paper's mock parallel implementation: distributed task split,
+    /// one processor, intermediate data spilled to `store`.
+    pub fn mock_parallel(program: Arc<dyn Program>, store: Arc<dyn Store>) -> Self {
+        Self::build(program, 1, Some(store))
+    }
+
+    /// Thread-pool parallelism with `workers` threads, in-memory data.
+    pub fn pool(program: Arc<dyn Program>, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self::build(program, workers, None)
+    }
+
+    fn build(program: Arc<dyn Program>, workers: usize, spill: Option<Arc<dyn Store>>) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                datasets: Vec::new(),
+                pending: Vec::new(),
+                queue: VecDeque::new(),
+                error: None,
+                shutdown: false,
+                metrics: JobMetrics::default(),
+            }),
+            cv: Condvar::new(),
+            program,
+            spill,
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mrs-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        LocalRuntime { shared, workers }
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> JobMetrics {
+        self.shared.state.lock().metrics.clone()
+    }
+}
+
+impl Drop for LocalRuntime {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Is task `t` ready, given current dataset states?
+fn ready(st: &State, t: TaskRef) -> bool {
+    match &st.datasets[t.data.0 as usize] {
+        DsState::MapOut { input, .. } => match &st.datasets[input.0 as usize] {
+            DsState::Source(_) => true,
+            DsState::ReduceOut { tasks, .. } => tasks[t.index].is_some(),
+            _ => false,
+        },
+        DsState::ReduceOut { input, .. } => st.datasets[input.0 as usize].complete(),
+        _ => false,
+    }
+}
+
+/// Move newly-ready pending tasks into the run queue.
+fn promote(st: &mut State) -> usize {
+    let mut moved = 0;
+    let mut i = 0;
+    while i < st.pending.len() {
+        if ready(st, st.pending[i]) {
+            let t = st.pending.swap_remove(i);
+            st.queue.push_back(t);
+            moved += 1;
+        } else {
+            i += 1;
+        }
+    }
+    moved
+}
+
+/// Clone the input records for a task (under the lock; execution happens
+/// outside it).
+fn task_input(st: &State, t: TaskRef) -> Result<TaskWork> {
+    match &st.datasets[t.data.0 as usize] {
+        DsState::MapOut { input, func, parts, combine, .. } => {
+            let records = match &st.datasets[input.0 as usize] {
+                DsState::Source(ds) => ds[t.index].clone(),
+                DsState::ReduceOut { tasks, .. } => tasks[t.index]
+                    .clone()
+                    .ok_or_else(|| Error::Invalid("map input split not ready".into()))?,
+                _ => return Err(Error::Invalid("bad map input".into())),
+            };
+            Ok(TaskWork::Map { records, func: *func, parts: *parts, combine: *combine })
+        }
+        DsState::ReduceOut { input, func, .. } => {
+            let DsState::MapOut { tasks, .. } = &st.datasets[input.0 as usize] else {
+                return Err(Error::Invalid("reduce input is not a map output".into()));
+            };
+            let mut records = Vec::new();
+            for task in tasks {
+                let buckets =
+                    task.as_ref().ok_or_else(|| Error::Invalid("map task not done".into()))?;
+                records.extend(buckets[t.index].records().iter().cloned());
+            }
+            Ok(TaskWork::Reduce { records, func: *func })
+        }
+        _ => Err(Error::Invalid("task on non-op dataset".into())),
+    }
+}
+
+enum TaskWork {
+    Map { records: Vec<Record>, func: FuncId, parts: usize, combine: bool },
+    Reduce { records: Vec<Record>, func: FuncId },
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (task, work) = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(t) = st.queue.pop_front() {
+                    match task_input(&st, t) {
+                        Ok(w) => break (t, w),
+                        Err(e) => {
+                            st.error = Some(e.to_string());
+                            shared.cv.notify_all();
+                            return;
+                        }
+                    }
+                }
+                shared.cv.wait(&mut st);
+            }
+        };
+
+        let outcome = execute(shared, task, work);
+
+        let mut st = shared.state.lock();
+        match outcome {
+            Ok(()) => {
+                st.metrics.record_task();
+                promote(&mut st);
+            }
+            Err(e) => {
+                st.error = Some(e.to_string());
+            }
+        }
+        shared.cv.notify_all();
+    }
+}
+
+fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
+    match work {
+        TaskWork::Map { records, func, parts, combine } => {
+            let t0 = std::time::Instant::now();
+            let buckets = run_map_task(shared.program.as_ref(), func, &records, parts, combine)?;
+            let bytes: usize = buckets.iter().map(|b| b.byte_size()).sum();
+            if let Some(store) = &shared.spill {
+                for (p, b) in buckets.iter().enumerate() {
+                    let path = format!("ds{}/map{}/b{p}.mrsb", t.data.0, t.index);
+                    store.put(&path, &write_bucket_bytes(b.records()))?;
+                }
+            }
+            let mut st = shared.state.lock();
+            st.metrics.record_map(t0.elapsed(), bytes);
+            let DsState::MapOut { tasks, remaining, .. } = &mut st.datasets[t.data.0 as usize]
+            else {
+                return Err(Error::Invalid("map task on non-map dataset".into()));
+            };
+            tasks[t.index] = Some(buckets);
+            *remaining -= 1;
+            Ok(())
+        }
+        TaskWork::Reduce { records, func } => {
+            let t0 = std::time::Instant::now();
+            let out = run_reduce_task(shared.program.as_ref(), func, records)?;
+            if let Some(store) = &shared.spill {
+                let path = format!("ds{}/reduce{}.mrsb", t.data.0, t.index);
+                store.put(&path, &write_bucket_bytes(out.records()))?;
+            }
+            let mut st = shared.state.lock();
+            st.metrics.record_reduce(t0.elapsed());
+            let DsState::ReduceOut { tasks, remaining, .. } =
+                &mut st.datasets[t.data.0 as usize]
+            else {
+                return Err(Error::Invalid("reduce task on non-reduce dataset".into()));
+            };
+            tasks[t.index] = Some(out.into_records());
+            *remaining -= 1;
+            Ok(())
+        }
+    }
+}
+
+impl LocalRuntime {
+    fn submit(&mut self, ds: DsState, ntasks: usize) -> DataId {
+        let mut st = self.shared.state.lock();
+        st.datasets.push(ds);
+        let id = DataId(st.datasets.len() as u32 - 1);
+        for index in 0..ntasks {
+            st.pending.push(TaskRef { data: id, index });
+        }
+        promote(&mut st);
+        drop(st);
+        self.shared.cv.notify_all();
+        id
+    }
+
+    fn check_error(st: &State) -> Result<()> {
+        match &st.error {
+            Some(e) => Err(Error::TaskFailed(e.clone())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl JobApi for LocalRuntime {
+    fn local_data(&mut self, records: Vec<Record>, splits: usize) -> Result<DataId> {
+        if splits == 0 {
+            return Err(Error::Invalid("need at least one split".into()));
+        }
+        Ok(self.submit(DsState::Source(split_evenly(records, splits)), 0))
+    }
+
+    fn map_data(
+        &mut self,
+        input: DataId,
+        func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId> {
+        if parts == 0 {
+            return Err(Error::Invalid("need at least one partition".into()));
+        }
+        let ntasks = {
+            let st = self.shared.state.lock();
+            match st.datasets.get(input.0 as usize) {
+                Some(DsState::Source(ds)) => ds.len(),
+                Some(DsState::ReduceOut { tasks, .. }) => tasks.len(),
+                Some(DsState::MapOut { .. }) => {
+                    return Err(Error::Invalid("map cannot consume an unreduced map output".into()))
+                }
+                Some(DsState::Discarded) => {
+                    return Err(Error::MissingData(format!("dataset {input:?} was discarded")))
+                }
+                None => return Err(Error::MissingData(format!("dataset {input:?}"))),
+            }
+        };
+        Ok(self.submit(
+            DsState::MapOut {
+                input,
+                func,
+                parts,
+                combine,
+                tasks: (0..ntasks).map(|_| None).collect(),
+                remaining: ntasks,
+            },
+            ntasks,
+        ))
+    }
+
+    fn reduce_data(&mut self, input: DataId, func: FuncId) -> Result<DataId> {
+        let parts = {
+            let st = self.shared.state.lock();
+            match st.datasets.get(input.0 as usize) {
+                Some(DsState::MapOut { parts, .. }) => *parts,
+                Some(_) => return Err(Error::Invalid("reduce must consume a map output".into())),
+                None => return Err(Error::MissingData(format!("dataset {input:?}"))),
+            }
+        };
+        Ok(self.submit(
+            DsState::ReduceOut {
+                input,
+                func,
+                tasks: (0..parts).map(|_| None).collect(),
+                remaining: parts,
+            },
+            parts,
+        ))
+    }
+
+    fn wait(&mut self, data: DataId) -> Result<()> {
+        let mut st = self.shared.state.lock();
+        loop {
+            Self::check_error(&st)?;
+            match st.datasets.get(data.0 as usize) {
+                None => return Err(Error::MissingData(format!("dataset {data:?}"))),
+                Some(ds) if ds.complete() => return Ok(()),
+                Some(_) => {}
+            }
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    fn fetch_all(&mut self, data: DataId) -> Result<Vec<Record>> {
+        self.wait(data)?;
+        let st = self.shared.state.lock();
+        match &st.datasets[data.0 as usize] {
+            DsState::Source(ds) => Ok(ds.iter().flatten().cloned().collect()),
+            DsState::MapOut { tasks, .. } => Ok(tasks
+                .iter()
+                .flatten()
+                .flat_map(|buckets| buckets.iter().flat_map(|b| b.records().iter().cloned()))
+                .collect()),
+            DsState::ReduceOut { tasks, .. } => {
+                Ok(tasks.iter().flatten().flatten().cloned().collect())
+            }
+            DsState::Discarded => {
+                Err(Error::MissingData(format!("dataset {data:?} was discarded")))
+            }
+        }
+    }
+
+    fn discard(&mut self, data: DataId) {
+        let mut st = self.shared.state.lock();
+        // Refuse while any incomplete consumer still needs this data —
+        // discarding it would leave those tasks unready forever. Discard is
+        // advisory per the JobApi contract, so ignoring is always safe.
+        let has_live_consumer = st.datasets.iter().any(|ds| match ds {
+            DsState::MapOut { input, remaining, .. }
+            | DsState::ReduceOut { input, remaining, .. } => {
+                *input == data && *remaining > 0
+            }
+            _ => false,
+        });
+        if has_live_consumer {
+            return;
+        }
+        if let Some(slot) = st.datasets.get_mut(data.0 as usize) {
+            if slot.complete() {
+                *slot = DsState::Discarded;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use mrs_core::kv::encode_record;
+    use mrs_core::{Datum, MapReduce, Simple};
+    use mrs_fs::MemFs;
+
+    struct WordCount;
+
+    impl MapReduce for WordCount {
+        type K1 = u64;
+        type V1 = String;
+        type K2 = String;
+        type V2 = u64;
+
+        fn map(&self, _k: u64, v: String, emit: &mut dyn FnMut(String, u64)) {
+            for w in v.split_whitespace() {
+                emit(w.to_owned(), 1);
+            }
+        }
+
+        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+            emit(vs.sum());
+        }
+
+        fn has_combiner(&self) -> bool {
+            true
+        }
+    }
+
+    fn input(lines: &[&str]) -> Vec<Record> {
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| encode_record(&(i as u64), &l.to_string()))
+            .collect()
+    }
+
+    fn sorted_counts(records: Vec<Record>) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = records
+            .iter()
+            .map(|(k, v)| (String::from_bytes(k).unwrap(), u64::from_bytes(v).unwrap()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn pool_wordcount_matches_expected() {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 4);
+        let mut job = Job::new(&mut rt);
+        let out = job
+            .map_reduce(input(&["a b a", "c a", "b b c", "a"]), 3, 4, true)
+            .unwrap();
+        assert_eq!(
+            sorted_counts(out),
+            vec![("a".into(), 4), ("b".into(), 3), ("c".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn mock_parallel_spills_bucket_files() {
+        let store = Arc::new(MemFs::new());
+        let mut rt =
+            LocalRuntime::mock_parallel(Arc::new(Simple(WordCount)), store.clone());
+        let mut job = Job::new(&mut rt);
+        let out = job.map_reduce(input(&["x y", "y z"]), 2, 2, false).unwrap();
+        assert_eq!(sorted_counts(out).len(), 3);
+        // Map spill: 2 tasks × 2 buckets; reduce spill: 2 partitions.
+        let files = store.list("").unwrap();
+        let maps = files.iter().filter(|f| f.contains("/map")).count();
+        let reduces = files.iter().filter(|f| f.contains("/reduce")).count();
+        assert_eq!(maps, 4, "{files:?}");
+        assert_eq!(reduces, 2, "{files:?}");
+    }
+
+    #[test]
+    fn pool_matches_mock_parallel_output() {
+        let data = input(&["the quick brown fox", "jumps over the lazy dog", "the end"]);
+        let run = |mut rt: LocalRuntime| {
+            let mut job = Job::new(&mut rt);
+            sorted_counts(job.map_reduce(data.clone(), 3, 5, true).unwrap())
+        };
+        let pool = run(LocalRuntime::pool(Arc::new(Simple(WordCount)), 6));
+        let mock = run(LocalRuntime::mock_parallel(
+            Arc::new(Simple(WordCount)),
+            Arc::new(MemFs::new()),
+        ));
+        assert_eq!(pool, mock);
+    }
+
+    #[test]
+    fn pipelined_iterations_complete_without_waits() {
+        // Queue two chained map+reduce rounds before waiting on anything:
+        // identity-ish second round re-counts counts of words.
+        struct CountValues;
+        impl MapReduce for CountValues {
+            type K1 = String;
+            type V1 = u64;
+            type K2 = String;
+            type V2 = u64;
+            fn map(&self, k: String, v: u64, emit: &mut dyn FnMut(String, u64)) {
+                emit(k, v);
+            }
+            fn reduce(
+                &self,
+                _k: &String,
+                vs: &mut dyn Iterator<Item = u64>,
+                emit: &mut dyn FnMut(u64),
+            ) {
+                emit(vs.sum());
+            }
+        }
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(CountValues)), 3);
+        let mut job = Job::new(&mut rt);
+        let recs: Vec<Record> =
+            (0..20u64).map(|i| encode_record(&format!("k{}", i % 4), &1u64)).collect();
+        let src = job.local_data(recs, 4).unwrap();
+        let m1 = job.map_data(src, 0, 4, false).unwrap();
+        let r1 = job.reduce_data(m1, 0).unwrap();
+        // Second round queued immediately — no wait in between.
+        let m2 = job.map_data(r1, 0, 2, false).unwrap();
+        let r2 = job.reduce_data(m2, 0).unwrap();
+        let out = sorted_counts(job.fetch_all(r2).unwrap());
+        assert_eq!(
+            out,
+            vec![("k0".into(), 5), ("k1".into(), 5), ("k2".into(), 5), ("k3".into(), 5)]
+        );
+    }
+
+    #[test]
+    fn task_error_is_reported_on_wait() {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 2);
+        let mut job = Job::new(&mut rt);
+        // Corrupt input records: map will fail to decode.
+        let src = job.local_data(vec![(vec![1], vec![2])], 1).unwrap();
+        let m = job.map_data(src, 0, 1, false).unwrap();
+        let err = job.wait(m).unwrap_err();
+        assert!(matches!(err, Error::TaskFailed(_)));
+    }
+
+    #[test]
+    fn discard_only_frees_completed_data() {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 2);
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(input(&["a b"]), 1).unwrap();
+        let m = job.map_data(src, 0, 1, false).unwrap();
+        let r = job.reduce_data(m, 0).unwrap();
+        job.wait(r).unwrap();
+        job.discard(m);
+        // r is still fetchable; m is gone.
+        assert!(job.fetch_all(r).is_ok());
+        assert!(job.fetch_all(m).is_err());
+    }
+
+    #[test]
+    fn discard_with_live_consumers_is_ignored_not_hung() {
+        // Regression: discarding a dataset that queued-but-unrun consumers
+        // still need must be refused, otherwise those tasks never become
+        // ready and wait() hangs forever.
+        // Self-feeding program: reduce output is valid map input.
+        struct SelfFeed;
+        impl MapReduce for SelfFeed {
+            type K1 = String;
+            type V1 = u64;
+            type K2 = String;
+            type V2 = u64;
+            fn map(&self, k: String, v: u64, emit: &mut dyn FnMut(String, u64)) {
+                emit(k, v + 1);
+            }
+            fn reduce(
+                &self,
+                _k: &String,
+                vs: &mut dyn Iterator<Item = u64>,
+                emit: &mut dyn FnMut(u64),
+            ) {
+                emit(vs.sum());
+            }
+        }
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(SelfFeed)), 1);
+        let mut job = Job::new(&mut rt);
+        let recs: Vec<Record> = (0..4u64)
+            .map(|i| encode_record(&format!("k{i}"), &i))
+            .collect();
+        let src = job.local_data(recs, 2).unwrap();
+        let m1 = job.map_data(src, 0, 2, false).unwrap();
+        let r1 = job.reduce_data(m1, 0).unwrap();
+        // Queue a second round over r1, then immediately ask to discard r1.
+        let m2 = job.map_data(r1, 0, 2, false).unwrap();
+        job.discard(r1); // must be ignored: m2 still needs it
+        let r2 = job.reduce_data(m2, 0).unwrap();
+        let out = job.fetch_all(r2).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn many_workers_no_deadlock_on_large_fanout() {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 8);
+        let mut job = Job::new(&mut rt);
+        let lines: Vec<String> =
+            (0..200).map(|i| format!("w{} w{} shared", i % 17, i % 5)).collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let out = job.map_reduce(input(&refs), 32, 16, true).unwrap();
+        let counts = sorted_counts(out);
+        let shared = counts.iter().find(|(w, _)| w == "shared").unwrap();
+        assert_eq!(shared.1, 200);
+    }
+}

@@ -1,0 +1,936 @@
+//! The master: task scheduling, affinity, fault tolerance.
+//!
+//! Transport-agnostic core of the master/slave implementation: the RPC glue
+//! in [`crate::distributed`] maps `signin` / `get_task` / `task_done` /
+//! `task_failed` calls straight onto these methods, and the unit tests
+//! drive them directly. Responsibilities, per §IV:
+//!
+//! * hand out map/reduce tasks to polling slaves, dispatching each task as
+//!   soon as *its own* inputs exist (operation pipelining, Fig. 2),
+//! * prefer to "assign corresponding tasks to the same processor from one
+//!   iteration to the next" (task→slave affinity, keyed by task kind,
+//!   function, and index),
+//! * detect silent slaves by poll timeout, re-queue their running tasks,
+//!   and — when intermediate data lived on the dead slave (direct data
+//!   plane) — re-execute the tasks that produced it,
+//! * cap per-task retry attempts so a poisoned task fails the job instead
+//!   of looping forever.
+
+use crate::data::{split_evenly, DataId};
+use crate::job::JobApi;
+use crate::metrics::JobMetrics;
+use crate::proto::{fetch_records, Assignment, DataPlane, TaskMsg};
+use mrs_core::{Error, FuncId, Record, Result};
+use mrs_fs::format::write_bucket_bytes;
+use mrs_fs::{MemFs, Store};
+use mrs_rpc::DataServer;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies a signed-in slave.
+pub type SlaveId = u32;
+
+/// Master tuning knobs.
+#[derive(Clone, Debug)]
+pub struct MasterConfig {
+    /// A slave silent for longer than this is presumed dead.
+    pub slave_timeout: Duration,
+    /// Maximum execution attempts per task before the job fails.
+    pub max_attempts: u32,
+    /// Prefer the slave that ran the corresponding task last time.
+    pub use_affinity: bool,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            slave_timeout: Duration::from_secs(2),
+            max_attempts: 4,
+            use_affinity: true,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum SlotState {
+    /// Not running and not done (may or may not be dispatchable yet).
+    Pending,
+    /// Assigned to a slave.
+    Running(SlaveId),
+    /// Completed; `owner` is the slave holding the data on the direct data
+    /// plane (None when outputs live on the shared filesystem).
+    Done { urls: Vec<String>, owner: Option<SlaveId> },
+}
+
+#[derive(Clone, Debug)]
+struct TaskSlot {
+    state: SlotState,
+    attempts: u32,
+}
+
+impl TaskSlot {
+    fn new() -> Self {
+        TaskSlot { state: SlotState::Pending, attempts: 0 }
+    }
+}
+
+#[derive(Debug)]
+enum MDs {
+    /// Job input, already materialized as bucket files; one URL per split.
+    Source { urls: Vec<String> },
+    /// A queued/running/complete operation.
+    Op {
+        input: DataId,
+        func: FuncId,
+        is_map: bool,
+        parts: usize,
+        combine: bool,
+        tasks: Vec<TaskSlot>,
+        done_count: usize,
+    },
+    Discarded,
+}
+
+impl MDs {
+    fn complete(&self) -> bool {
+        match self {
+            MDs::Source { .. } | MDs::Discarded => true,
+            MDs::Op { tasks, done_count, .. } => *done_count == tasks.len(),
+        }
+    }
+}
+
+struct SlaveInfo {
+    authority: String,
+    alive: bool,
+    last_seen: Instant,
+}
+
+struct MState {
+    datasets: Vec<MDs>,
+    slaves: Vec<SlaveInfo>,
+    /// (is_map, func, index) → slave that last completed that task shape.
+    affinity: HashMap<(bool, FuncId, usize), SlaveId>,
+    error: Option<String>,
+    finished: bool,
+    metrics: JobMetrics,
+}
+
+struct MasterShared {
+    cfg: MasterConfig,
+    state: Mutex<MState>,
+    cv: Condvar,
+    plane: DataPlane,
+    /// Master-local storage for source splits (direct plane).
+    source_store: Arc<MemFs>,
+    /// Serves `source_store` to slaves on the direct plane.
+    source_server: Option<DataServer>,
+}
+
+/// The master. Clone-cheap handle; all state is shared.
+#[derive(Clone)]
+pub struct Master {
+    shared: Arc<MasterShared>,
+}
+
+impl Master {
+    /// Create a master for the given data plane.
+    pub fn new(cfg: MasterConfig, plane: DataPlane) -> Result<Master> {
+        let source_store = Arc::new(MemFs::new());
+        let source_server = match plane {
+            DataPlane::Direct => {
+                let store = Arc::clone(&source_store);
+                Some(
+                    DataServer::serve(0, Arc::new(move |p: &str| store.get(p).ok()))
+                        .map_err(Error::Io)?,
+                )
+            }
+            DataPlane::SharedFs(_) => None,
+        };
+        Ok(Master {
+            shared: Arc::new(MasterShared {
+                cfg,
+                state: Mutex::new(MState {
+                    datasets: Vec::new(),
+                    slaves: Vec::new(),
+                    affinity: HashMap::new(),
+                    error: None,
+                    finished: false,
+                    metrics: JobMetrics::default(),
+                }),
+                cv: Condvar::new(),
+                plane,
+                source_store,
+                source_server,
+            }),
+        })
+    }
+
+    /// The shared store, if the data plane is a shared filesystem.
+    fn shared_store(&self) -> Option<Arc<dyn Store>> {
+        match &self.shared.plane {
+            DataPlane::SharedFs(s) => Some(Arc::clone(s)),
+            DataPlane::Direct => None,
+        }
+    }
+
+    /// Register a slave; returns its id.
+    pub fn signin(&self, authority: &str) -> SlaveId {
+        let mut st = self.shared.state.lock();
+        st.slaves.push(SlaveInfo {
+            authority: authority.to_owned(),
+            alive: true,
+            last_seen: Instant::now(),
+        });
+        let id = st.slaves.len() as SlaveId - 1;
+        self.shared.cv.notify_all();
+        id
+    }
+
+    /// Number of slaves currently considered alive.
+    pub fn live_slaves(&self) -> usize {
+        self.shared.state.lock().slaves.iter().filter(|s| s.alive).count()
+    }
+
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> JobMetrics {
+        self.shared.state.lock().metrics.clone()
+    }
+
+    /// Mark the job finished: polling slaves are told to exit.
+    pub fn finish(&self) {
+        self.shared.state.lock().finished = true;
+        self.shared.cv.notify_all();
+    }
+
+    fn touch(st: &mut MState, slave: SlaveId) {
+        if let Some(info) = st.slaves.get_mut(slave as usize) {
+            info.last_seen = Instant::now();
+            info.alive = true;
+        }
+    }
+
+    /// A slave polls for work.
+    pub fn get_task(&self, slave: SlaveId) -> Assignment {
+        let mut st = self.shared.state.lock();
+        Self::touch(&mut st, slave);
+        if st.finished || st.error.is_some() {
+            return Assignment::Exit;
+        }
+
+        // Collect dispatchable tasks: Pending with satisfied inputs.
+        let mut candidates: Vec<(DataId, usize)> = Vec::new();
+        for (d, ds) in st.datasets.iter().enumerate() {
+            let MDs::Op { input, is_map, tasks, .. } = ds else { continue };
+            for (i, slot) in tasks.iter().enumerate() {
+                if slot.state != SlotState::Pending {
+                    continue;
+                }
+                if self.input_ready(&st, *input, *is_map, i) {
+                    candidates.push((DataId(d as u32), i));
+                }
+            }
+        }
+        let Some(&(data, index)) = candidates.first() else {
+            return Assignment::Wait;
+        };
+
+        // Affinity: among candidates prefer one whose corresponding task ran
+        // on this slave last time.
+        let mut chosen = (data, index);
+        let mut had_pref = false;
+        if self.shared.cfg.use_affinity {
+            for &(d, i) in &candidates {
+                let MDs::Op { func, is_map, .. } = &st.datasets[d.0 as usize] else {
+                    continue;
+                };
+                if let Some(&pref) = st.affinity.get(&(*is_map, *func, i)) {
+                    if pref == slave {
+                        chosen = (d, i);
+                        had_pref = true;
+                        break;
+                    }
+                }
+            }
+            // If this slave had no claim, avoid stealing a task that another
+            // *live* slave has affinity for, when a preference-free task exists.
+            if !had_pref {
+                let unclaimed = candidates.iter().find(|&&(d, i)| {
+                    let MDs::Op { func, is_map, .. } = &st.datasets[d.0 as usize] else {
+                        return false;
+                    };
+                    match st.affinity.get(&(*is_map, *func, i)) {
+                        None => true,
+                        Some(&owner) => {
+                            !st.slaves.get(owner as usize).map(|s| s.alive).unwrap_or(false)
+                        }
+                    }
+                });
+                if let Some(&(d, i)) = unclaimed {
+                    chosen = (d, i);
+                }
+            }
+        }
+        let (data, index) = chosen;
+
+        // Build the assignment.
+        let msg = {
+            let MDs::Op { input, func, is_map, parts, combine, .. } =
+                &st.datasets[data.0 as usize]
+            else {
+                unreachable!("candidates only contain ops");
+            };
+            let inputs = self.input_urls(&st, *input, *is_map, index);
+            TaskMsg {
+                data: data.0,
+                index,
+                is_map: *is_map,
+                func: *func,
+                parts: if *is_map { *parts } else { 1 },
+                combine: *combine,
+                inputs,
+            }
+        };
+        if self.shared.cfg.use_affinity {
+            let MDs::Op { func, is_map, .. } = &st.datasets[data.0 as usize] else {
+                unreachable!()
+            };
+            if let Some(&pref) = st.affinity.get(&(*is_map, *func, index)) {
+                st.metrics.record_affinity(pref == slave);
+            }
+        }
+        let MDs::Op { tasks, .. } = &mut st.datasets[data.0 as usize] else { unreachable!() };
+        tasks[index].state = SlotState::Running(slave);
+        tasks[index].attempts += 1;
+        Assignment::Task(msg)
+    }
+
+    fn input_ready(&self, st: &MState, input: DataId, is_map: bool, index: usize) -> bool {
+        match &st.datasets[input.0 as usize] {
+            MDs::Source { .. } => is_map,
+            MDs::Op { is_map: input_is_map, tasks, done_count, .. } => {
+                if is_map {
+                    // map task i needs split i of a reduce output
+                    !input_is_map
+                        && matches!(tasks.get(index).map(|t| &t.state), Some(SlotState::Done { .. }))
+                } else {
+                    // reduce task needs the whole map output
+                    *input_is_map && *done_count == tasks.len()
+                }
+            }
+            MDs::Discarded => false,
+        }
+    }
+
+    fn input_urls(&self, st: &MState, input: DataId, is_map: bool, index: usize) -> Vec<String> {
+        match &st.datasets[input.0 as usize] {
+            MDs::Source { urls } => vec![urls[index].clone()],
+            MDs::Op { tasks, .. } => {
+                if is_map {
+                    // reduce output split `index`: its single url
+                    match &tasks[index].state {
+                        SlotState::Done { urls, .. } => urls.clone(),
+                        _ => Vec::new(),
+                    }
+                } else {
+                    // partition `index` of every map task
+                    tasks
+                        .iter()
+                        .filter_map(|t| match &t.state {
+                            SlotState::Done { urls, .. } => urls.get(index).cloned(),
+                            _ => None,
+                        })
+                        .collect()
+                }
+            }
+            MDs::Discarded => Vec::new(),
+        }
+    }
+
+    /// A slave reports a completed task. `urls` are the output bucket URLs
+    /// (one per partition for map tasks, exactly one for reduce tasks).
+    pub fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) {
+        let mut st = self.shared.state.lock();
+        Self::touch(&mut st, slave);
+        let owner = match self.shared.plane {
+            DataPlane::Direct => Some(slave),
+            DataPlane::SharedFs(_) => None,
+        };
+        let mut record_affinity: Option<(bool, FuncId)> = None;
+        if let Some(MDs::Op { tasks, done_count, func, is_map, .. }) =
+            st.datasets.get_mut(data as usize)
+        {
+            let slot = &mut tasks[index];
+            match slot.state {
+                SlotState::Done { .. } => {} // duplicate report: ignore
+                _ => {
+                    slot.state = SlotState::Done { urls, owner };
+                    *done_count += 1;
+                    record_affinity = Some((*is_map, *func));
+                }
+            }
+        }
+        if let Some((is_map, func)) = record_affinity {
+            st.metrics.record_task();
+            if self.shared.cfg.use_affinity {
+                st.affinity.insert((is_map, func, index), slave);
+            }
+        }
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// A slave reports a failed task attempt.
+    ///
+    /// `failed_input` carries the input URL the slave could not fetch, if
+    /// the failure was a fetch failure. Like Hadoop's "too many fetch
+    /// failures" mechanism, a fetch failure indicts the *producer* of that
+    /// URL: the task that wrote it is re-executed, and the reporting task
+    /// is re-queued without being charged an attempt (its inputs were
+    /// gone; it never really ran).
+    pub fn task_failed(
+        &self,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        msg: &str,
+        failed_input: Option<&str>,
+    ) {
+        let mut st = self.shared.state.lock();
+        Self::touch(&mut st, slave);
+        let max = self.shared.cfg.max_attempts;
+        let mut fail_job = None;
+        if let Some(MDs::Op { tasks, .. }) = st.datasets.get_mut(data as usize) {
+            let slot = &mut tasks[index];
+            if matches!(slot.state, SlotState::Running(s) if s == slave) {
+                if failed_input.is_some() {
+                    // Fetch failure: forgive the attempt and re-queue.
+                    slot.attempts = slot.attempts.saturating_sub(1);
+                    slot.state = SlotState::Pending;
+                } else if slot.attempts >= max {
+                    fail_job = Some(format!(
+                        "task (data {data}, index {index}) failed {} times; last error: {msg}",
+                        slot.attempts
+                    ));
+                } else {
+                    slot.state = SlotState::Pending;
+                }
+            }
+        }
+        // Re-execute the task that produced the unfetchable URL.
+        if let Some(url) = failed_input {
+            'outer: for ds in &mut st.datasets {
+                let MDs::Op { tasks, done_count, .. } = ds else { continue };
+                for slot in tasks.iter_mut() {
+                    if let SlotState::Done { urls, .. } = &slot.state {
+                        if urls.iter().any(|u| u == url) {
+                            slot.state = SlotState::Pending;
+                            *done_count -= 1;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        st.metrics.record_retry();
+        if let Some(e) = fail_job {
+            st.error = Some(e);
+        }
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// Sweep for dead slaves: re-queue their running tasks and (on the
+    /// direct data plane) re-execute tasks whose completed outputs died
+    /// with them. Call periodically.
+    pub fn sweep(&self) {
+        let timeout = self.shared.cfg.slave_timeout;
+        let direct = matches!(self.shared.plane, DataPlane::Direct);
+        let mut st = self.shared.state.lock();
+        let now = Instant::now();
+        let mut newly_dead: Vec<SlaveId> = Vec::new();
+        for (id, info) in st.slaves.iter_mut().enumerate() {
+            if info.alive && now.duration_since(info.last_seen) > timeout {
+                info.alive = false;
+                newly_dead.push(id as SlaveId);
+            }
+        }
+        if newly_dead.is_empty() {
+            return;
+        }
+        let mut requeued = 0u32;
+        for ds in &mut st.datasets {
+            let MDs::Op { tasks, done_count, .. } = ds else { continue };
+            for slot in tasks.iter_mut() {
+                match &slot.state {
+                    SlotState::Running(s) if newly_dead.contains(s) => {
+                        slot.state = SlotState::Pending;
+                        requeued += 1;
+                    }
+                    SlotState::Done { owner: Some(s), .. }
+                        if direct && newly_dead.contains(s) =>
+                    {
+                        slot.state = SlotState::Pending;
+                        *done_count -= 1;
+                        requeued += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for _ in 0..requeued {
+            st.metrics.record_retry();
+        }
+        // If nobody is left to run re-queued work, fail rather than hang.
+        let any_alive = st.slaves.iter().any(|s| s.alive);
+        let any_incomplete = st.datasets.iter().any(|d| !d.complete());
+        if !any_alive && any_incomplete {
+            st.error = Some("no live slaves remain".into());
+        }
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// Authority of a slave (for tests/diagnostics).
+    pub fn slave_authority(&self, slave: SlaveId) -> Option<String> {
+        self.shared.state.lock().slaves.get(slave as usize).map(|s| s.authority.clone())
+    }
+
+    fn put_source_split(&self, id: u32, split: usize, records: &[Record]) -> Result<String> {
+        let path = format!("src{id}/s{split}.mrsb");
+        let bytes = write_bucket_bytes(records);
+        match &self.shared.plane {
+            DataPlane::Direct => {
+                self.shared.source_store.put(&path, &bytes)?;
+                let server = self
+                    .shared
+                    .source_server
+                    .as_ref()
+                    .expect("direct plane always has a source server");
+                Ok(server.url_for(&path))
+            }
+            DataPlane::SharedFs(store) => {
+                store.put(&path, &bytes)?;
+                Ok(format!("file://{path}"))
+            }
+        }
+    }
+}
+
+impl JobApi for Master {
+    fn local_data(&mut self, records: Vec<Record>, splits: usize) -> Result<DataId> {
+        if splits == 0 {
+            return Err(Error::Invalid("need at least one split".into()));
+        }
+        // Reserve the slot first so concurrent driver clones cannot collide
+        // on ids or bucket paths; fill in the URLs once the data is stored.
+        let id = {
+            let mut st = self.shared.state.lock();
+            st.datasets.push(MDs::Source { urls: Vec::new() });
+            st.datasets.len() as u32 - 1
+        };
+        let mut urls = Vec::with_capacity(splits);
+        for (i, split) in split_evenly(records, splits).iter().enumerate() {
+            urls.push(self.put_source_split(id, i, split)?);
+        }
+        let mut st = self.shared.state.lock();
+        st.datasets[id as usize] = MDs::Source { urls };
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(DataId(id))
+    }
+
+    fn map_data(
+        &mut self,
+        input: DataId,
+        func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId> {
+        if parts == 0 {
+            return Err(Error::Invalid("need at least one partition".into()));
+        }
+        let mut st = self.shared.state.lock();
+        let ntasks = match st.datasets.get(input.0 as usize) {
+            Some(MDs::Source { urls }) => urls.len(),
+            Some(MDs::Op { is_map, tasks, .. }) => {
+                if *is_map {
+                    return Err(Error::Invalid(
+                        "map cannot consume an unreduced map output".into(),
+                    ));
+                }
+                tasks.len()
+            }
+            Some(MDs::Discarded) => {
+                return Err(Error::MissingData(format!("dataset {input:?} was discarded")))
+            }
+            None => return Err(Error::MissingData(format!("dataset {input:?}"))),
+        };
+        st.datasets.push(MDs::Op {
+            input,
+            func,
+            is_map: true,
+            parts,
+            combine,
+            tasks: (0..ntasks).map(|_| TaskSlot::new()).collect(),
+            done_count: 0,
+        });
+        let id = DataId(st.datasets.len() as u32 - 1);
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(id)
+    }
+
+    fn reduce_data(&mut self, input: DataId, func: FuncId) -> Result<DataId> {
+        let mut st = self.shared.state.lock();
+        let parts = match st.datasets.get(input.0 as usize) {
+            Some(MDs::Op { is_map: true, parts, .. }) => *parts,
+            Some(_) => return Err(Error::Invalid("reduce must consume a map output".into())),
+            None => return Err(Error::MissingData(format!("dataset {input:?}"))),
+        };
+        st.datasets.push(MDs::Op {
+            input,
+            func,
+            is_map: false,
+            parts,
+            combine: false,
+            tasks: (0..parts).map(|_| TaskSlot::new()).collect(),
+            done_count: 0,
+        });
+        let id = DataId(st.datasets.len() as u32 - 1);
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(id)
+    }
+
+    fn wait(&mut self, data: DataId) -> Result<()> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(e) = &st.error {
+                return Err(Error::TaskFailed(e.clone()));
+            }
+            match st.datasets.get(data.0 as usize) {
+                None => return Err(Error::MissingData(format!("dataset {data:?}"))),
+                Some(ds) if ds.complete() => return Ok(()),
+                Some(_) => {}
+            }
+            // Re-check for dead slaves while the driver sleeps.
+            let timeout = self.shared.cfg.slave_timeout / 2;
+            if self.shared.cv.wait_for(&mut st, timeout).timed_out() {
+                drop(st);
+                self.sweep();
+                st = self.shared.state.lock();
+            }
+        }
+    }
+
+    fn fetch_all(&mut self, data: DataId) -> Result<Vec<Record>> {
+        // A slave can die *after* the job completes but before the driver
+        // fetches its buckets; on a fetch failure we sweep (so its lost
+        // outputs get re-queued), wait for the recomputation, and retry.
+        let mut last_err = None;
+        for _attempt in 0..self.shared.cfg.max_attempts {
+            self.wait(data)?;
+            let urls: Vec<String> = {
+                let st = self.shared.state.lock();
+                match &st.datasets[data.0 as usize] {
+                    MDs::Source { urls } => urls.clone(),
+                    MDs::Op { tasks, .. } => tasks
+                        .iter()
+                        .flat_map(|t| match &t.state {
+                            SlotState::Done { urls, .. } => urls.clone(),
+                            _ => Vec::new(),
+                        })
+                        .collect(),
+                    MDs::Discarded => {
+                        return Err(Error::MissingData(format!(
+                            "dataset {data:?} was discarded"
+                        )))
+                    }
+                }
+            };
+            let shared = self.shared_store();
+            let mut out = Vec::new();
+            let mut failed = false;
+            for url in urls {
+                match fetch_records(&url, shared.as_ref()) {
+                    Ok(records) => out.extend(records),
+                    Err(e) => {
+                        last_err = Some(e);
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if !failed {
+                return Ok(out);
+            }
+            // Let the timeout elapse so the sweep sees the owner as dead,
+            // then re-queue its outputs and go around again.
+            std::thread::sleep(self.shared.cfg.slave_timeout);
+            self.sweep();
+        }
+        Err(last_err.unwrap_or(Error::NoSlaves))
+    }
+
+    fn discard(&mut self, data: DataId) {
+        let mut st = self.shared.state.lock();
+        if let Some(slot) = st.datasets.get_mut(data.0 as usize) {
+            if slot.complete() {
+                *slot = MDs::Discarded;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn master_direct() -> Master {
+        Master::new(MasterConfig::default(), DataPlane::Direct).unwrap()
+    }
+
+    fn shared_master() -> (Master, Arc<dyn Store>) {
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        (
+            Master::new(MasterConfig::default(), DataPlane::SharedFs(Arc::clone(&store)))
+                .unwrap(),
+            store,
+        )
+    }
+
+    fn records(n: u64) -> Vec<Record> {
+        (0..n).map(|i| (i.to_be_bytes().to_vec(), vec![])).collect()
+    }
+
+    /// Simulate a slave completing whatever it is handed, writing outputs to
+    /// the shared store.
+    fn fake_slave_step(m: &Master, store: &Arc<dyn Store>, slave: SlaveId) -> Assignment {
+        let a = m.get_task(slave);
+        if let Assignment::Task(t) = &a {
+            let urls: Vec<String> = (0..t.parts)
+                .map(|p| {
+                    let path = format!("out/d{}t{}p{p}", t.data, t.index);
+                    store.put(&path, &write_bucket_bytes(&[])).unwrap();
+                    format!("file://{path}")
+                })
+                .collect();
+            m.task_done(slave, t.data, t.index, urls);
+        }
+        a
+    }
+
+    #[test]
+    fn signin_assigns_sequential_ids() {
+        let m = master_direct();
+        assert_eq!(m.signin("a:1"), 0);
+        assert_eq!(m.signin("b:2"), 1);
+        assert_eq!(m.live_slaves(), 2);
+        assert_eq!(m.slave_authority(1).unwrap(), "b:2");
+    }
+
+    #[test]
+    fn no_work_means_wait_then_exit_after_finish() {
+        let m = master_direct();
+        let s = m.signin("a:1");
+        assert_eq!(m.get_task(s), Assignment::Wait);
+        m.finish();
+        assert_eq!(m.get_task(s), Assignment::Exit);
+    }
+
+    #[test]
+    fn map_tasks_dispatch_then_reduce_after_barrier() {
+        let (mut m, store) = shared_master();
+        let s = m.signin("a:1");
+        let src = m.local_data(records(10), 2).unwrap();
+        let mapped = m.map_data(src, 0, 3, false).unwrap();
+        let _reduced = m.reduce_data(mapped, 0).unwrap();
+
+        // Two map tasks first.
+        for _ in 0..2 {
+            let a = fake_slave_step(&m, &store, s);
+            assert!(matches!(a, Assignment::Task(ref t) if t.is_map), "{a:?}");
+        }
+        // Then three reduce tasks (barrier passed).
+        for _ in 0..3 {
+            let a = fake_slave_step(&m, &store, s);
+            assert!(matches!(a, Assignment::Task(ref t) if !t.is_map), "{a:?}");
+        }
+        assert_eq!(m.get_task(s), Assignment::Wait);
+    }
+
+    #[test]
+    fn reduce_not_dispatched_before_all_maps_done() {
+        let (mut m, store) = shared_master();
+        let s = m.signin("a:1");
+        let src = m.local_data(records(10), 2).unwrap();
+        let mapped = m.map_data(src, 0, 2, false).unwrap();
+        let _r = m.reduce_data(mapped, 0).unwrap();
+        // Take both map tasks but complete only one.
+        let Assignment::Task(t1) = m.get_task(s) else { panic!() };
+        let Assignment::Task(_t2) = m.get_task(s) else { panic!() };
+        let urls: Vec<String> = (0..t1.parts)
+            .map(|p| {
+                let path = format!("out/d{}t{}p{p}", t1.data, t1.index);
+                store.put(&path, &write_bucket_bytes(&[])).unwrap();
+                format!("file://{path}")
+            })
+            .collect();
+        m.task_done(s, t1.data, t1.index, urls);
+        // Nothing dispatchable: the other map is running, reduce is blocked.
+        assert_eq!(m.get_task(s), Assignment::Wait);
+    }
+
+    #[test]
+    fn failed_task_is_requeued_until_attempt_cap() {
+        let cfg = MasterConfig { max_attempts: 2, ..MasterConfig::default() };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let mut m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
+        let s = m.signin("a:1");
+        let src = m.local_data(records(4), 1).unwrap();
+        let _mapped = m.map_data(src, 0, 1, false).unwrap();
+
+        let Assignment::Task(t) = m.get_task(s) else { panic!() };
+        m.task_failed(s, t.data, t.index, "boom", None);
+        // Re-queued: same task handed out again.
+        let Assignment::Task(t2) = m.get_task(s) else { panic!() };
+        assert_eq!((t2.data, t2.index), (t.data, t.index));
+        m.task_failed(s, t2.data, t2.index, "boom again", None);
+        // Attempt cap reached: job errors out, slaves are told to exit.
+        assert_eq!(m.get_task(s), Assignment::Exit);
+        assert!(m.wait(DataId(1)).is_err());
+    }
+
+    #[test]
+    fn dead_slave_tasks_are_requeued() {
+        let cfg = MasterConfig {
+            slave_timeout: Duration::from_millis(20),
+            ..MasterConfig::default()
+        };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let mut m = Master::new(cfg, DataPlane::SharedFs(store.clone())).unwrap();
+        let s1 = m.signin("a:1");
+        let s2 = m.signin("b:2");
+        let src = m.local_data(records(4), 1).unwrap();
+        let _mapped = m.map_data(src, 0, 1, false).unwrap();
+
+        // s1 takes the task and goes silent.
+        let Assignment::Task(t) = m.get_task(s1) else { panic!() };
+        std::thread::sleep(Duration::from_millis(40));
+        // Keep s2 alive and sweep.
+        assert_eq!(m.get_task(s2), Assignment::Wait);
+        m.sweep();
+        assert_eq!(m.live_slaves(), 1);
+        // s2 gets the re-queued task.
+        let Assignment::Task(t2) = m.get_task(s2) else { panic!() };
+        assert_eq!((t2.data, t2.index), (t.data, t.index));
+    }
+
+    #[test]
+    fn dead_slave_completed_outputs_recomputed_on_direct_plane() {
+        let cfg = MasterConfig {
+            slave_timeout: Duration::from_millis(20),
+            ..MasterConfig::default()
+        };
+        let mut m = Master::new(cfg, DataPlane::Direct).unwrap();
+        let s1 = m.signin("a:1");
+        let s2 = m.signin("b:2");
+        let src = m.local_data(records(4), 1).unwrap();
+        let mapped = m.map_data(src, 0, 1, false).unwrap();
+        let _reduced = m.reduce_data(mapped, 0).unwrap();
+
+        // s1 completes the map (its output lives on s1), then dies.
+        let Assignment::Task(t) = m.get_task(s1) else { panic!() };
+        assert!(t.is_map);
+        m.task_done(s1, t.data, t.index, vec!["http://dead:1/data/x".into()]);
+        // s2 picks up the now-ready reduce whose input lives on s1.
+        let Assignment::Task(tr) = m.get_task(s2) else { panic!() };
+        assert!(!tr.is_map);
+        std::thread::sleep(Duration::from_millis(40));
+        // Touch s2 so only s1 is swept; then the lost map output forces the
+        // map task to be re-queued (direct plane: data died with s1).
+        assert_eq!(m.get_task(s2), Assignment::Wait);
+        m.sweep();
+        let Assignment::Task(t2) = m.get_task(s2) else { panic!("expected requeued map") };
+        assert!(t2.is_map);
+        assert_eq!((t2.data, t2.index), (t.data, t.index));
+    }
+
+    #[test]
+    fn all_slaves_dead_fails_job() {
+        let cfg = MasterConfig {
+            slave_timeout: Duration::from_millis(10),
+            ..MasterConfig::default()
+        };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let mut m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
+        let s = m.signin("a:1");
+        let src = m.local_data(records(4), 1).unwrap();
+        let mapped = m.map_data(src, 0, 1, false).unwrap();
+        let Assignment::Task(_) = m.get_task(s) else { panic!() };
+        std::thread::sleep(Duration::from_millis(30));
+        m.sweep();
+        assert!(m.wait(mapped).is_err());
+    }
+
+    #[test]
+    fn affinity_prefers_previous_owner() {
+        let (mut m, store) = shared_master();
+        let s0 = m.signin("a:1");
+        let s1 = m.signin("b:2");
+
+        // Iteration 1: two map tasks; s0 takes index 0, s1 takes index 1.
+        let src = m.local_data(records(8), 2).unwrap();
+        let m1 = m.map_data(src, 0, 2, false).unwrap();
+        let r1 = m.reduce_data(m1, 0).unwrap();
+        let Assignment::Task(t0) = m.get_task(s0) else { panic!() };
+        let Assignment::Task(t1) = m.get_task(s1) else { panic!() };
+        assert_eq!(t0.index, 0);
+        assert_eq!(t1.index, 1);
+        finish_task(&m, &store, s0, &t0);
+        finish_task(&m, &store, s1, &t1);
+        // Reduce round so iteration 2 maps become ready.
+        while let Assignment::Task(t) = m.get_task(s0) {
+            finish_task(&m, &store, s0, &t);
+        }
+        let _ = m.wait(r1);
+
+        // Iteration 2 over the reduce output: with affinity, s1 should again
+        // be preferred for map index 1 even if s0 asks first.
+        let m2 = m.map_data(r1, 0, 2, false).unwrap();
+        let Assignment::Task(t) = m.get_task(s0) else { panic!() };
+        assert_eq!(t.index, 0, "s0 must get its old index back, not steal s1's");
+        let Assignment::Task(t) = m.get_task(s1) else { panic!() };
+        assert_eq!(t.index, 1);
+        let _ = m2;
+        let hits = m.metrics().affinity_hits();
+        assert!(hits >= 2, "affinity hits {hits}");
+    }
+
+    fn finish_task(m: &Master, store: &Arc<dyn Store>, slave: SlaveId, t: &TaskMsg) {
+        let urls: Vec<String> = (0..t.parts)
+            .map(|p| {
+                let path = format!("out/d{}t{}p{p}", t.data, t.index);
+                store.put(&path, &write_bucket_bytes(&[])).unwrap();
+                format!("file://{path}")
+            })
+            .collect();
+        m.task_done(slave, t.data, t.index, urls);
+    }
+
+    #[test]
+    fn duplicate_done_reports_are_ignored() {
+        let (mut m, store) = shared_master();
+        let s = m.signin("a:1");
+        let src = m.local_data(records(4), 1).unwrap();
+        let mapped = m.map_data(src, 0, 1, false).unwrap();
+        let Assignment::Task(t) = m.get_task(s) else { panic!() };
+        finish_task(&m, &store, s, &t);
+        finish_task(&m, &store, s, &t); // duplicate
+        m.wait(mapped).unwrap();
+        assert_eq!(m.metrics().tasks_executed(), 1);
+    }
+}

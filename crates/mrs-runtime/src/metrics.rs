@@ -1,0 +1,121 @@
+//! Job metrics: the observability hooks the benchmark harness reads.
+
+use std::time::Duration;
+
+/// Counters accumulated over one job.
+#[derive(Debug, Default, Clone)]
+pub struct JobMetrics {
+    map_ops: u64,
+    reduce_ops: u64,
+    map_time: Duration,
+    reduce_time: Duration,
+    shuffle_bytes: u64,
+    tasks_executed: u64,
+    tasks_retried: u64,
+    affinity_hits: u64,
+    affinity_misses: u64,
+}
+
+impl JobMetrics {
+    /// Record a completed map operation.
+    pub fn record_map(&mut self, elapsed: Duration, shuffle_bytes: usize) {
+        self.map_ops += 1;
+        self.map_time += elapsed;
+        self.shuffle_bytes += shuffle_bytes as u64;
+    }
+
+    /// Record a completed reduce operation.
+    pub fn record_reduce(&mut self, elapsed: Duration) {
+        self.reduce_ops += 1;
+        self.reduce_time += elapsed;
+    }
+
+    /// Record one executed task (any kind).
+    pub fn record_task(&mut self) {
+        self.tasks_executed += 1;
+    }
+
+    /// Record a task retry (failure recovery).
+    pub fn record_retry(&mut self) {
+        self.tasks_retried += 1;
+    }
+
+    /// Record whether a task landed on its affinity-preferred slave.
+    pub fn record_affinity(&mut self, hit: bool) {
+        if hit {
+            self.affinity_hits += 1;
+        } else {
+            self.affinity_misses += 1;
+        }
+    }
+
+    /// Completed map operations.
+    pub fn map_ops(&self) -> u64 {
+        self.map_ops
+    }
+
+    /// Completed reduce operations.
+    pub fn reduce_ops(&self) -> u64 {
+        self.reduce_ops
+    }
+
+    /// Total bytes of map output destined for the shuffle.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.shuffle_bytes
+    }
+
+    /// Total tasks executed.
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks_executed
+    }
+
+    /// Tasks re-queued after failure.
+    pub fn tasks_retried(&self) -> u64 {
+        self.tasks_retried
+    }
+
+    /// Tasks that ran on their affinity-preferred slave.
+    pub fn affinity_hits(&self) -> u64 {
+        self.affinity_hits
+    }
+
+    /// Tasks that ran elsewhere than their preferred slave.
+    pub fn affinity_misses(&self) -> u64 {
+        self.affinity_misses
+    }
+
+    /// Cumulative map wall time.
+    pub fn map_time(&self) -> Duration {
+        self.map_time
+    }
+
+    /// Cumulative reduce wall time.
+    pub fn reduce_time(&self) -> Duration {
+        self.reduce_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = JobMetrics::default();
+        m.record_map(Duration::from_millis(5), 100);
+        m.record_map(Duration::from_millis(5), 50);
+        m.record_reduce(Duration::from_millis(2));
+        m.record_task();
+        m.record_retry();
+        m.record_affinity(true);
+        m.record_affinity(false);
+        assert_eq!(m.map_ops(), 2);
+        assert_eq!(m.reduce_ops(), 1);
+        assert_eq!(m.shuffle_bytes(), 150);
+        assert_eq!(m.tasks_executed(), 1);
+        assert_eq!(m.tasks_retried(), 1);
+        assert_eq!(m.affinity_hits(), 1);
+        assert_eq!(m.affinity_misses(), 1);
+        assert!(m.map_time() >= Duration::from_millis(10));
+    }
+}

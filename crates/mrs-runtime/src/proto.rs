@@ -1,0 +1,237 @@
+//! Master↔slave protocol messages and their XML-RPC encoding.
+//!
+//! The control channel (§IV-B) is genuine XML-RPC; these are the typed
+//! views of the `get_task` / `task_done` payloads plus the URL resolver
+//! both sides use to read bucket data (`http://` direct transfer, `file://`
+//! / `mem://` shared filesystem).
+
+use mrs_core::{Error, Record, Result};
+use mrs_fs::format::read_bucket_bytes;
+use mrs_fs::{BucketUrl, Store};
+use mrs_rpc::xmlrpc::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What `get_task` returns to a polling slave.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Assignment {
+    /// Run this task.
+    Task(TaskMsg),
+    /// Nothing runnable right now; poll again.
+    Wait,
+    /// The job is over; the slave should exit its loop.
+    Exit,
+}
+
+/// A task assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskMsg {
+    /// Output dataset id the task contributes to.
+    pub data: u32,
+    /// Task index within the dataset.
+    pub index: usize,
+    /// True for map, false for reduce.
+    pub is_map: bool,
+    /// Program function id.
+    pub func: u32,
+    /// Output partitions (map only; 1 for reduce).
+    pub parts: usize,
+    /// Run the combiner after mapping.
+    pub combine: bool,
+    /// Input bucket URLs.
+    pub inputs: Vec<String>,
+}
+
+impl Assignment {
+    /// Encode for the RPC response.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        match self {
+            Assignment::Wait => {
+                m.insert("type".to_owned(), Value::Str("wait".into()));
+            }
+            Assignment::Exit => {
+                m.insert("type".to_owned(), Value::Str("exit".into()));
+            }
+            Assignment::Task(t) => {
+                m.insert("type".to_owned(), Value::Str("task".into()));
+                m.insert("data".to_owned(), Value::Int(t.data as i64));
+                m.insert("index".to_owned(), Value::Int(t.index as i64));
+                m.insert("is_map".to_owned(), Value::Bool(t.is_map));
+                m.insert("func".to_owned(), Value::Int(t.func as i64));
+                m.insert("parts".to_owned(), Value::Int(t.parts as i64));
+                m.insert("combine".to_owned(), Value::Bool(t.combine));
+                m.insert(
+                    "inputs".to_owned(),
+                    Value::Array(t.inputs.iter().map(|u| Value::Str(u.clone())).collect()),
+                );
+            }
+        }
+        Value::Struct(m)
+    }
+
+    /// Decode from the RPC response.
+    pub fn from_value(v: &Value) -> Result<Assignment> {
+        let ty = v
+            .field("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::Rpc("assignment missing type".into()))?;
+        match ty {
+            "wait" => Ok(Assignment::Wait),
+            "exit" => Ok(Assignment::Exit),
+            "task" => {
+                let int = |name: &str| -> Result<i64> {
+                    v.field(name)
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| Error::Rpc(format!("assignment missing {name}")))
+                };
+                let inputs = v
+                    .field("inputs")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| Error::Rpc("assignment missing inputs".into()))?
+                    .iter()
+                    .map(|u| {
+                        u.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| Error::Rpc("non-string input url".into()))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let is_map = match v.field("is_map") {
+                    Some(Value::Bool(b)) => *b,
+                    _ => return Err(Error::Rpc("assignment missing is_map".into())),
+                };
+                let combine = match v.field("combine") {
+                    Some(Value::Bool(b)) => *b,
+                    _ => return Err(Error::Rpc("assignment missing combine".into())),
+                };
+                Ok(Assignment::Task(TaskMsg {
+                    data: int("data")? as u32,
+                    index: int("index")? as usize,
+                    is_map,
+                    func: int("func")? as u32,
+                    parts: int("parts")? as usize,
+                    combine,
+                    inputs,
+                }))
+            }
+            other => Err(Error::Rpc(format!("unknown assignment type {other:?}"))),
+        }
+    }
+}
+
+/// How intermediate data moves between slaves.
+#[derive(Clone)]
+pub enum DataPlane {
+    /// Each slave serves its own outputs over HTTP; URLs are `http://`.
+    /// "direct communication for high performance" (§IV-B).
+    Direct,
+    /// All outputs go to a shared store; URLs are `file://`. "storage on a
+    /// filesystem for increased fault-tolerance".
+    SharedFs(Arc<dyn Store>),
+}
+
+impl std::fmt::Debug for DataPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataPlane::Direct => f.write_str("DataPlane::Direct"),
+            DataPlane::SharedFs(_) => f.write_str("DataPlane::SharedFs"),
+        }
+    }
+}
+
+/// Fetch and parse a bucket by URL. `shared` resolves `file://`/`mem://`
+/// URLs; `http://` URLs are fetched from the owning peer's data server.
+pub fn fetch_records(url: &str, shared: Option<&Arc<dyn Store>>) -> Result<Vec<Record>> {
+    fetch_records_local_first(url, shared, None, None)
+}
+
+/// Like [`fetch_records`], but an `http://` URL whose authority is
+/// `own_authority` is read straight from `own_store` instead of going
+/// through a socket — the short-circuit real Mrs gets for free by reading
+/// its own local files, which is what makes task→slave affinity pay even
+/// for data the slave itself produced (§IV-A).
+pub fn fetch_records_local_first(
+    url: &str,
+    shared: Option<&Arc<dyn Store>>,
+    own_authority: Option<&str>,
+    own_store: Option<&dyn Store>,
+) -> Result<Vec<Record>> {
+    let parsed = BucketUrl::parse(url)?;
+    let bytes = match &parsed {
+        BucketUrl::Http { authority, path } => {
+            match (own_authority, own_store, path.strip_prefix("/data/")) {
+                (Some(own), Some(store), Some(rel)) if own == authority => store.get(rel)?,
+                _ => mrs_rpc::dataserver::fetch(authority, path)?,
+            }
+        }
+        BucketUrl::File(p) | BucketUrl::Mem(p) => shared
+            .ok_or_else(|| Error::Url(format!("no shared store to resolve {url}")))?
+            .get(p)?,
+    };
+    read_bucket_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_roundtrip_task() {
+        let a = Assignment::Task(TaskMsg {
+            data: 3,
+            index: 7,
+            is_map: true,
+            func: 2,
+            parts: 5,
+            combine: true,
+            inputs: vec!["http://h:1/data/x".into(), "file://y".into()],
+        });
+        assert_eq!(Assignment::from_value(&a.to_value()).unwrap(), a);
+    }
+
+    #[test]
+    fn assignment_roundtrip_wait_exit() {
+        for a in [Assignment::Wait, Assignment::Exit] {
+            assert_eq!(Assignment::from_value(&a.to_value()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn malformed_assignment_rejected() {
+        assert!(Assignment::from_value(&Value::Int(3)).is_err());
+        let mut m = BTreeMap::new();
+        m.insert("type".to_owned(), Value::Str("task".into()));
+        assert!(Assignment::from_value(&Value::Struct(m)).is_err());
+    }
+
+    #[test]
+    fn fetch_from_shared_store() {
+        use mrs_fs::format::write_bucket_bytes;
+        let store: Arc<dyn Store> = Arc::new(mrs_fs::MemFs::new());
+        let records = vec![(b"k".to_vec(), b"v".to_vec())];
+        store.put("op/b0", &write_bucket_bytes(&records)).unwrap();
+        let got = fetch_records("file://op/b0", Some(&store)).unwrap();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn fetch_without_shared_store_fails() {
+        assert!(fetch_records("file://x", None).is_err());
+    }
+
+    #[test]
+    fn local_first_bypasses_the_socket_for_own_urls() {
+        use mrs_fs::format::write_bucket_bytes;
+        // No server is listening on this authority, so only the local
+        // short-circuit can satisfy the fetch.
+        let store = mrs_fs::MemFs::new();
+        let records = vec![(b"k".to_vec(), b"v".to_vec())];
+        store.put("d0/t0/b0.mrsb", &write_bucket_bytes(&records)).unwrap();
+        let url = "http://127.0.0.1:1/data/d0/t0/b0.mrsb";
+        let got =
+            fetch_records_local_first(url, None, Some("127.0.0.1:1"), Some(&store)).unwrap();
+        assert_eq!(got, records);
+        // A different authority still goes to the network (and fails here).
+        assert!(fetch_records_local_first(url, None, Some("127.0.0.1:2"), Some(&store)).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! The serial implementation: one task per operation, executed eagerly.
+//!
+//! "The serial implementation performs all work sequentially on a single
+//! processor and makes all work deterministic" (§IV-A). Operations run
+//! inline at submission time, so `wait` is a no-op; this is the reference
+//! implementation against which the others are checked.
+
+use crate::data::{gather, DataId, Dataset};
+use crate::job::JobApi;
+use crate::metrics::JobMetrics;
+use mrs_core::task::{run_map_task, run_reduce_task};
+use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
+use std::sync::Arc;
+
+/// The serial runtime. Create one per job via [`SerialRuntime::new`].
+pub struct SerialRuntime {
+    program: Arc<dyn Program>,
+    datasets: Vec<SerialData>,
+    metrics: JobMetrics,
+}
+
+enum SerialData {
+    /// Materialized records (sources and reduce outputs), one split each.
+    Plain(Dataset),
+    /// Map output: per task, per partition buckets. Serial runs one map
+    /// task, so this is `Vec<Bucket>` of length `parts`.
+    Mapped(Vec<Bucket>),
+    /// Reclaimed by `discard`.
+    Discarded,
+}
+
+impl SerialRuntime {
+    /// A serial job for `program`.
+    pub fn new(program: Arc<dyn Program>) -> Self {
+        SerialRuntime { program, datasets: Vec::new(), metrics: JobMetrics::default() }
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &JobMetrics {
+        &self.metrics
+    }
+
+    fn get(&self, id: DataId) -> Result<&SerialData> {
+        self.datasets
+            .get(id.0 as usize)
+            .ok_or_else(|| Error::MissingData(format!("dataset {id:?}")))
+    }
+
+    fn push(&mut self, d: SerialData) -> DataId {
+        self.datasets.push(d);
+        DataId(self.datasets.len() as u32 - 1)
+    }
+}
+
+impl JobApi for SerialRuntime {
+    fn local_data(&mut self, records: Vec<Record>, _splits: usize) -> Result<DataId> {
+        // Serial ignores the split hint: everything is one task.
+        Ok(self.push(SerialData::Plain(vec![records])))
+    }
+
+    fn map_data(
+        &mut self,
+        input: DataId,
+        func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId> {
+        let records: Vec<Record> = match self.get(input)? {
+            SerialData::Plain(ds) => ds.iter().flatten().cloned().collect(),
+            SerialData::Mapped(_) => {
+                return Err(Error::Invalid("map cannot consume an unreduced map output".into()))
+            }
+            SerialData::Discarded => {
+                return Err(Error::MissingData(format!("dataset {input:?} was discarded")))
+            }
+        };
+        let t0 = std::time::Instant::now();
+        let buckets = run_map_task(self.program.as_ref(), func, &records, parts, combine)?;
+        self.metrics.record_map(t0.elapsed(), buckets.iter().map(|b| b.byte_size()).sum());
+        Ok(self.push(SerialData::Mapped(buckets)))
+    }
+
+    fn reduce_data(&mut self, input: DataId, func: FuncId) -> Result<DataId> {
+        let buckets: Vec<Bucket> = match self.get(input)? {
+            SerialData::Mapped(b) => b.clone(),
+            _ => return Err(Error::Invalid("reduce must consume a map output".into())),
+        };
+        let t0 = std::time::Instant::now();
+        let mut splits = Vec::with_capacity(buckets.len());
+        for bucket in buckets {
+            let out = run_reduce_task(self.program.as_ref(), func, bucket.into_records())?;
+            splits.push(out.into_records());
+        }
+        self.metrics.record_reduce(t0.elapsed());
+        Ok(self.push(SerialData::Plain(splits)))
+    }
+
+    fn wait(&mut self, data: DataId) -> Result<()> {
+        // Everything is already materialized; just validate the id.
+        self.get(data).map(|_| ())
+    }
+
+    fn fetch_all(&mut self, data: DataId) -> Result<Vec<Record>> {
+        match self.get(data)? {
+            SerialData::Plain(ds) => Ok(gather(ds.clone())),
+            SerialData::Mapped(buckets) => {
+                Ok(buckets.iter().flat_map(|b| b.records().iter().cloned()).collect())
+            }
+            SerialData::Discarded => {
+                Err(Error::MissingData(format!("dataset {data:?} was discarded")))
+            }
+        }
+    }
+
+    fn discard(&mut self, data: DataId) {
+        if let Some(slot) = self.datasets.get_mut(data.0 as usize) {
+            *slot = SerialData::Discarded;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use mrs_core::kv::encode_record;
+    use mrs_core::{Datum, MapReduce, Simple};
+
+    struct WordCount;
+
+    impl MapReduce for WordCount {
+        type K1 = u64;
+        type V1 = String;
+        type K2 = String;
+        type V2 = u64;
+
+        fn map(&self, _k: u64, v: String, emit: &mut dyn FnMut(String, u64)) {
+            for w in v.split_whitespace() {
+                emit(w.to_owned(), 1);
+            }
+        }
+
+        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+            emit(vs.sum());
+        }
+
+        fn has_combiner(&self) -> bool {
+            true
+        }
+    }
+
+    fn input() -> Vec<Record> {
+        ["the cat sat", "on the mat", "the end"]
+            .iter()
+            .enumerate()
+            .map(|(i, line)| encode_record(&(i as u64), &line.to_string()))
+            .collect()
+    }
+
+    fn sorted_counts(records: Vec<Record>) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = records
+            .iter()
+            .map(|(k, v)| (String::from_bytes(k).unwrap(), u64::from_bytes(v).unwrap()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn wordcount_end_to_end() {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        let mut job = Job::new(&mut rt);
+        let out = job.map_reduce(input(), 2, 3, true).unwrap();
+        assert_eq!(
+            sorted_counts(out),
+            vec![
+                ("cat".into(), 1),
+                ("end".into(), 1),
+                ("mat".into(), 1),
+                ("on".into(), 1),
+                ("sat".into(), 1),
+                ("the".into(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn iterative_chain_runs() {
+        // Two map+reduce rounds: counts of counts.
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(input(), 1).unwrap();
+        let m1 = job.map_data(src, 0, 2, false).unwrap();
+        let r1 = job.reduce_data(m1, 0).unwrap();
+        // Feed reduce output (word -> count) into another map: it splits the
+        // *word* again (value is a count, not a string) — so instead check
+        // that fetching r1 and resubmitting works.
+        let counts = job.fetch_all(r1).unwrap();
+        assert_eq!(counts.len(), 6);
+        let src2 = job.local_data(counts, 1).unwrap();
+        let _ = src2;
+    }
+
+    #[test]
+    fn reduce_of_plain_data_is_error() {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(input(), 1).unwrap();
+        assert!(job.reduce_data(src, 0).is_err());
+    }
+
+    #[test]
+    fn discard_frees_dataset() {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(input(), 1).unwrap();
+        job.discard(src);
+        assert!(job.fetch_all(src).is_err());
+    }
+
+    #[test]
+    fn unknown_dataset_is_error() {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        let mut job = Job::new(&mut rt);
+        assert!(job.wait(DataId(99)).is_err());
+    }
+
+    #[test]
+    fn metrics_track_ops() {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        {
+            let mut job = Job::new(&mut rt);
+            job.map_reduce(input(), 1, 2, false).unwrap();
+        }
+        assert_eq!(rt.metrics().map_ops(), 1);
+        assert_eq!(rt.metrics().reduce_ops(), 1);
+        assert!(rt.metrics().shuffle_bytes() > 0);
+    }
+}

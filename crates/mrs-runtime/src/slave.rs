@@ -1,0 +1,369 @@
+//! The slave: poll the master, execute tasks, serve outputs.
+//!
+//! A slave "needs only the master's address and port to connect" (§IV).
+//! On the direct data plane it keeps its outputs in a local store and
+//! serves them to peers over its built-in HTTP data server; on the
+//! shared-filesystem plane it writes bucket files to the common store.
+//!
+//! The slave is written against the [`MasterLink`] trait so the same loop
+//! runs over real XML-RPC (production/distributed tests) or direct method
+//! calls (scheduler unit tests).
+
+use crate::master::SlaveId;
+use crate::proto::{fetch_records_local_first, Assignment, DataPlane, TaskMsg};
+use mrs_core::task::{run_map_task, run_reduce_task};
+use mrs_core::{Error, Program, Record, Result};
+use mrs_fs::format::write_bucket_bytes;
+use mrs_fs::{MemFs, Store};
+use mrs_rpc::DataServer;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The slave's view of the master.
+pub trait MasterLink: Send + Sync {
+    /// Register; returns the slave id.
+    fn signin(&self, authority: &str) -> Result<SlaveId>;
+    /// Poll for work.
+    fn get_task(&self, slave: SlaveId) -> Result<Assignment>;
+    /// Report success with output bucket URLs.
+    fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>)
+        -> Result<()>;
+    /// Report a failed attempt. `failed_input` is the input URL that could
+    /// not be fetched, when the failure was a fetch failure.
+    fn task_failed(
+        &self,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        msg: &str,
+        failed_input: Option<&str>,
+    ) -> Result<()>;
+}
+
+/// In-process link: call the master directly (unit tests, benchmarks).
+impl MasterLink for crate::master::Master {
+    fn signin(&self, authority: &str) -> Result<SlaveId> {
+        Ok(crate::master::Master::signin(self, authority))
+    }
+    fn get_task(&self, slave: SlaveId) -> Result<Assignment> {
+        Ok(crate::master::Master::get_task(self, slave))
+    }
+    fn task_done(
+        &self,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        urls: Vec<String>,
+    ) -> Result<()> {
+        crate::master::Master::task_done(self, slave, data, index, urls);
+        Ok(())
+    }
+    fn task_failed(
+        &self,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        msg: &str,
+        failed_input: Option<&str>,
+    ) -> Result<()> {
+        crate::master::Master::task_failed(self, slave, data, index, msg, failed_input);
+        Ok(())
+    }
+}
+
+/// Slave tuning knobs.
+#[derive(Clone, Debug)]
+pub struct SlaveOptions {
+    /// Sleep between `get_task` polls when the master says `Wait`.
+    pub poll_interval: Duration,
+}
+
+impl Default for SlaveOptions {
+    fn default() -> Self {
+        SlaveOptions { poll_interval: Duration::from_millis(2) }
+    }
+}
+
+/// Run the slave loop until the master says `Exit`, the link dies, or
+/// `stop` is set (the fault-injection hook: a stopped slave goes silent
+/// exactly like a crashed process).
+pub fn run_slave(
+    link: &dyn MasterLink,
+    program: Arc<dyn Program>,
+    plane: DataPlane,
+    opts: &SlaveOptions,
+    stop: &AtomicBool,
+) -> Result<()> {
+    // Local storage and (direct plane) the data server for peers.
+    let local = Arc::new(MemFs::new());
+    let server = match &plane {
+        DataPlane::Direct => {
+            let store = Arc::clone(&local);
+            Some(
+                DataServer::serve(0, Arc::new(move |p: &str| store.get(p).ok()))
+                    .map_err(Error::Io)?,
+            )
+        }
+        DataPlane::SharedFs(_) => None,
+    };
+    let authority = server.as_ref().map(|s| s.authority()).unwrap_or_else(|| "shared".into());
+    let id = link.signin(&authority)?;
+
+    while !stop.load(Ordering::SeqCst) {
+        // A master that has vanished is a normal end of life for a slave:
+        // the paper's launch scripts tear everything down together (the
+        // scheduler "kills processes as soon as a job completes"), so
+        // losing the control channel means the job is over, not an error.
+        let assignment = match link.get_task(id) {
+            Ok(a) => a,
+            Err(Error::Rpc(_)) => break,
+            Err(e) => return Err(e),
+        };
+        match assignment {
+            Assignment::Exit => break,
+            Assignment::Wait => std::thread::sleep(opts.poll_interval),
+            Assignment::Task(task) => {
+                let report = match execute_task(
+                    &task,
+                    program.as_ref(),
+                    &plane,
+                    &local,
+                    server.as_ref(),
+                    id,
+                ) {
+                    Ok(urls) => link.task_done(id, task.data, task.index, urls),
+                    Err(TaskError { msg, failed_input }) => link.task_failed(
+                        id,
+                        task.data,
+                        task.index,
+                        &msg,
+                        failed_input.as_deref(),
+                    ),
+                };
+                match report {
+                    Ok(()) => {}
+                    Err(Error::Rpc(_)) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Why a task attempt failed: fetch failures carry the offending URL so
+/// the master can re-execute the producer (Hadoop's fetch-failure rule).
+pub struct TaskError {
+    /// Human-readable cause.
+    pub msg: String,
+    /// The input URL that could not be fetched, if applicable.
+    pub failed_input: Option<String>,
+}
+
+fn execute_task(
+    task: &TaskMsg,
+    program: &dyn Program,
+    plane: &DataPlane,
+    local: &Arc<MemFs>,
+    server: Option<&DataServer>,
+    slave: SlaveId,
+) -> std::result::Result<Vec<String>, TaskError> {
+    // Gather input records from every input URL.
+    let shared: Option<Arc<dyn Store>> = match plane {
+        DataPlane::SharedFs(s) => Some(Arc::clone(s)),
+        DataPlane::Direct => None,
+    };
+    // Inputs this slave produced itself are read straight from its local
+    // store; only genuinely remote buckets cross the network.
+    let own_authority = server.map(|s| s.authority());
+    let mut input: Vec<Record> = Vec::new();
+    for url in &task.inputs {
+        let fetched = fetch_records_local_first(
+            url,
+            shared.as_ref(),
+            own_authority.as_deref(),
+            Some(local.as_ref() as &dyn Store),
+        );
+        match fetched {
+            Ok(records) => input.extend(records),
+            Err(e) => {
+                return Err(TaskError { msg: e.to_string(), failed_input: Some(url.clone()) })
+            }
+        }
+    }
+    let run_err = |e: mrs_core::Error| TaskError { msg: e.to_string(), failed_input: None };
+
+    // Execute and serialize output buckets.
+    let buckets: Vec<Vec<u8>> = if task.is_map {
+        run_map_task(program, task.func, &input, task.parts, task.combine)
+            .map_err(run_err)?
+            .iter()
+            .map(|b| write_bucket_bytes(b.records()))
+            .collect()
+    } else {
+        let out = run_reduce_task(program, task.func, input).map_err(run_err)?;
+        vec![write_bucket_bytes(out.records())]
+    };
+
+    // Store and name the outputs.
+    let mut urls = Vec::with_capacity(buckets.len());
+    for (p, bytes) in buckets.iter().enumerate() {
+        let path = format!("s{slave}/d{}/t{}/b{p}.mrsb", task.data, task.index);
+        match plane {
+            DataPlane::Direct => {
+                local.put(&path, bytes).map_err(run_err)?;
+                urls.push(server.expect("direct plane has a server").url_for(&path));
+            }
+            DataPlane::SharedFs(store) => {
+                store.put(&path, bytes).map_err(run_err)?;
+                urls.push(format!("file://{path}"));
+            }
+        }
+    }
+    Ok(urls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobApi;
+    use crate::master::{Master, MasterConfig};
+    use mrs_core::kv::encode_record;
+    use mrs_core::{Datum, MapReduce, Simple};
+
+    struct WordCount;
+
+    impl MapReduce for WordCount {
+        type K1 = u64;
+        type V1 = String;
+        type K2 = String;
+        type V2 = u64;
+
+        fn map(&self, _k: u64, v: String, emit: &mut dyn FnMut(String, u64)) {
+            for w in v.split_whitespace() {
+                emit(w.to_owned(), 1);
+            }
+        }
+
+        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+            emit(vs.sum());
+        }
+    }
+
+    fn input() -> Vec<mrs_core::Record> {
+        ["a b a", "b c"]
+            .iter()
+            .enumerate()
+            .map(|(i, l)| encode_record(&(i as u64), &l.to_string()))
+            .collect()
+    }
+
+    /// Drive a full job with in-process slaves over the direct data plane:
+    /// real HTTP data servers, no RPC layer.
+    #[test]
+    fn slave_loop_executes_job_direct_plane() {
+        let master = Master::new(MasterConfig::default(), DataPlane::Direct).unwrap();
+        let program: Arc<dyn Program> = Arc::new(Simple(WordCount));
+        let stop = Arc::new(AtomicBool::new(false));
+        let slaves: Vec<_> = (0..2)
+            .map(|_| {
+                let m = master.clone();
+                let p = Arc::clone(&program);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    run_slave(&m, p, DataPlane::Direct, &SlaveOptions::default(), &stop)
+                })
+            })
+            .collect();
+
+        let mut driver = master.clone();
+        let src = driver.local_data(input(), 2).unwrap();
+        let mapped = driver.map_data(src, 0, 2, false).unwrap();
+        let reduced = driver.reduce_data(mapped, 0).unwrap();
+        let out = driver.fetch_all(reduced).unwrap();
+        let mut counts: Vec<(String, u64)> = out
+            .iter()
+            .map(|(k, v)| (String::from_bytes(k).unwrap(), u64::from_bytes(v).unwrap()))
+            .collect();
+        counts.sort();
+        assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
+
+        master.finish();
+        for s in slaves {
+            s.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn slave_loop_executes_job_shared_fs() {
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let plane = DataPlane::SharedFs(Arc::clone(&store));
+        let master = Master::new(MasterConfig::default(), plane.clone()).unwrap();
+        let program: Arc<dyn Program> = Arc::new(Simple(WordCount));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let m = master.clone();
+            let p = Arc::clone(&program);
+            let plane = plane.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_slave(&m, p, plane, &SlaveOptions::default(), &stop))
+        };
+
+        let mut driver = master.clone();
+        let src = driver.local_data(input(), 1).unwrap();
+        let mapped = driver.map_data(src, 0, 3, false).unwrap();
+        let reduced = driver.reduce_data(mapped, 0).unwrap();
+        let out = driver.fetch_all(reduced).unwrap();
+        assert_eq!(out.len(), 3);
+
+        master.finish();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stopped_slave_goes_silent_and_peer_takes_over() {
+        let cfg = MasterConfig {
+            slave_timeout: Duration::from_millis(100),
+            ..MasterConfig::default()
+        };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let plane = DataPlane::SharedFs(Arc::clone(&store));
+        let master = Master::new(cfg, plane.clone()).unwrap();
+        let program: Arc<dyn Program> = Arc::new(Simple(WordCount));
+
+        // Slave 1 signs in then is stopped immediately (goes silent).
+        let stop1 = Arc::new(AtomicBool::new(false));
+        let h1 = {
+            let m = master.clone();
+            let p = Arc::clone(&program);
+            let plane = plane.clone();
+            let stop = Arc::clone(&stop1);
+            std::thread::spawn(move || run_slave(&m, p, plane, &SlaveOptions::default(), &stop))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        stop1.store(true, Ordering::SeqCst);
+        let _ = h1.join().unwrap();
+
+        // Slave 2 arrives and completes the job; the master's wait() path
+        // sweeps the dead slave.
+        let stop2 = Arc::new(AtomicBool::new(false));
+        let h2 = {
+            let m = master.clone();
+            let p = Arc::clone(&program);
+            let plane = plane.clone();
+            let stop = Arc::clone(&stop2);
+            std::thread::spawn(move || run_slave(&m, p, plane, &SlaveOptions::default(), &stop))
+        };
+
+        let mut driver = master.clone();
+        let src = driver.local_data(input(), 2).unwrap();
+        let mapped = driver.map_data(src, 0, 2, false).unwrap();
+        let reduced = driver.reduce_data(mapped, 0).unwrap();
+        let out = driver.fetch_all(reduced).unwrap();
+        assert_eq!(out.len(), 3);
+
+        master.finish();
+        h2.join().unwrap().unwrap();
+    }
+}

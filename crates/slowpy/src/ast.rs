@@ -1,0 +1,101 @@
+//! Abstract syntax tree.
+
+/// A parsed program: a list of top-level functions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Function definitions, in source order.
+    pub functions: Vec<FnDef>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `var name = expr;`
+    Var(String, Expr),
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `container[index] = expr;`
+    IndexAssign(Expr, Expr, Expr),
+    /// `if (cond) { .. } else { .. }` — else branch may be empty.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Bare expression statement (a call, usually).
+    Expr(Expr),
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IntDiv,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `nil`.
+    Nil,
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `and`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `or`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `not expr`.
+    Not(Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Function call (user or native, resolved at run/compile time).
+    Call(String, Vec<Expr>),
+    /// List literal.
+    List(Vec<Expr>),
+    /// `container[index]`.
+    Index(Box<Expr>, Box<Expr>),
+}

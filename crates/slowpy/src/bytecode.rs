@@ -1,0 +1,468 @@
+//! The bytecode compiler: AST → stack-machine code with slot-resolved
+//! locals and pre-resolved call targets. Removing name lookups and AST
+//! dispatch is what makes the VM tier meaningfully faster than the tree
+//! walker — the same lever PyPy pulls (much harder) on Python.
+
+use crate::ast::{BinOp, Expr, Program, Stmt};
+use crate::engine::NativeFn;
+use crate::value::{RuntimeError, Value};
+use std::collections::HashMap;
+
+/// One VM instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Push constant pool entry.
+    Const(u16),
+    /// Push local slot.
+    Load(u16),
+    /// Pop into local slot.
+    Store(u16),
+    /// Arithmetic / comparison (pop two, push one).
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IntDiv,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Unary (pop one, push one).
+    Neg,
+    Not,
+    /// Unconditional jump to absolute code index.
+    Jump(u32),
+    /// Pop; jump if falsy.
+    JumpIfFalse(u32),
+    /// Pop; jump if truthy.
+    JumpIfTrue(u32),
+    /// Discard top of stack.
+    Pop,
+    /// Call user function by index with `argc` arguments.
+    Call(u16, u8),
+    /// Call native function by index with `argc` arguments.
+    CallNative(u16, u8),
+    /// Return top of stack.
+    Return,
+    /// Return nil.
+    ReturnNil,
+    /// Pop `n` items and push a new list of them (in push order).
+    NewList(u16),
+    /// Pop index then container; push `container[index]`.
+    IndexGet,
+    /// Pop value, index, container; perform `container[index] = value`.
+    IndexSet,
+}
+
+/// A compiled function.
+#[derive(Clone, Debug)]
+pub struct CompiledFn {
+    /// Source name.
+    pub name: String,
+    /// Number of parameters (the first locals).
+    pub n_params: usize,
+    /// Total local slots (params + vars).
+    pub n_locals: usize,
+    /// Instructions.
+    pub code: Vec<Op>,
+}
+
+/// A compiled program.
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Compiled functions (indices match [`Op::Call`]).
+    pub functions: Vec<CompiledFn>,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// Native names (indices match [`Op::CallNative`]), resolved again at
+    /// run time against the engine's table.
+    pub native_names: Vec<String>,
+}
+
+impl Module {
+    /// Find a compiled function index by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+}
+
+/// Compile a program, resolving calls against user functions first and the
+/// given native table second.
+pub fn compile(
+    program: &Program,
+    natives: &HashMap<String, NativeFn>,
+) -> Result<Module, RuntimeError> {
+    let fn_index: HashMap<&str, (u16, usize)> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), (i as u16, f.params.len())))
+        .collect();
+    let mut module =
+        Module { functions: Vec::new(), consts: Vec::new(), native_names: Vec::new() };
+    let mut native_index: HashMap<String, u16> = HashMap::new();
+    for f in &program.functions {
+        let mut c = FnCompiler {
+            fn_index: &fn_index,
+            natives,
+            native_index: &mut native_index,
+            native_names: &mut module.native_names,
+            consts: &mut module.consts,
+            locals: HashMap::new(),
+            code: Vec::new(),
+            loops: Vec::new(),
+        };
+        for (slot, p) in f.params.iter().enumerate() {
+            c.locals.insert(p.clone(), slot as u16);
+        }
+        c.block(&f.body)?;
+        c.code.push(Op::ReturnNil);
+        let n_locals = c.locals.len();
+        let code = c.code;
+        module.functions.push(CompiledFn {
+            name: f.name.clone(),
+            n_params: f.params.len(),
+            n_locals,
+            code,
+        });
+    }
+    Ok(module)
+}
+
+struct LoopCtx {
+    start: u32,
+    break_patches: Vec<usize>,
+}
+
+struct FnCompiler<'a> {
+    fn_index: &'a HashMap<&'a str, (u16, usize)>,
+    natives: &'a HashMap<String, NativeFn>,
+    native_index: &'a mut HashMap<String, u16>,
+    native_names: &'a mut Vec<String>,
+    consts: &'a mut Vec<Value>,
+    locals: HashMap<String, u16>,
+    code: Vec<Op>,
+    loops: Vec<LoopCtx>,
+}
+
+impl FnCompiler<'_> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, RuntimeError> {
+        Err(RuntimeError(msg.into()))
+    }
+
+    fn konst(&mut self, v: Value) -> u16 {
+        // Small pools: linear scan dedup is fine and keeps them compact.
+        if let Some(i) = self.consts.iter().position(|c| match (c, &v) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Nil, Value::Nil) => true,
+            _ => false,
+        }) {
+            return i as u16;
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u16
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn emit_jump(&mut self, op: fn(u32) -> Op) -> usize {
+        self.code.push(op(u32::MAX));
+        self.code.len() - 1
+    }
+
+    fn patch(&mut self, at: usize) {
+        let target = self.here();
+        self.code[at] = match self.code[at] {
+            Op::Jump(_) => Op::Jump(target),
+            Op::JumpIfFalse(_) => Op::JumpIfFalse(target),
+            Op::JumpIfTrue(_) => Op::JumpIfTrue(target),
+            other => unreachable!("patching non-jump {other:?}"),
+        };
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), RuntimeError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), RuntimeError> {
+        match stmt {
+            Stmt::Var(name, e) => {
+                self.expr(e)?;
+                let slot = match self.locals.get(name) {
+                    Some(&s) => s, // redeclaration acts as assignment
+                    None => {
+                        let s = self.locals.len() as u16;
+                        self.locals.insert(name.clone(), s);
+                        s
+                    }
+                };
+                self.code.push(Op::Store(slot));
+            }
+            Stmt::Assign(name, e) => {
+                let Some(&slot) = self.locals.get(name) else {
+                    return self.err(format!("assignment to undeclared variable {name:?}"));
+                };
+                self.expr(e)?;
+                self.code.push(Op::Store(slot));
+            }
+            Stmt::If(cond, then, els) => {
+                self.expr(cond)?;
+                let jf = self.emit_jump(Op::JumpIfFalse);
+                self.block(then)?;
+                if els.is_empty() {
+                    self.patch(jf);
+                } else {
+                    let jend = self.emit_jump(Op::Jump);
+                    self.patch(jf);
+                    self.block(els)?;
+                    self.patch(jend);
+                }
+            }
+            Stmt::While(cond, body) => {
+                let start = self.here();
+                self.expr(cond)?;
+                let jexit = self.emit_jump(Op::JumpIfFalse);
+                self.loops.push(LoopCtx { start, break_patches: vec![] });
+                self.block(body)?;
+                let ctx = self.loops.pop().expect("loop context pushed above");
+                self.code.push(Op::Jump(ctx.start));
+                self.patch(jexit);
+                for at in ctx.break_patches {
+                    self.patch(at);
+                }
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => {
+                        self.expr(e)?;
+                        self.code.push(Op::Return);
+                    }
+                    None => self.code.push(Op::ReturnNil),
+                }
+            }
+            Stmt::Break => {
+                if self.loops.is_empty() {
+                    return self.err("break outside loop");
+                }
+                let at = self.emit_jump(Op::Jump);
+                self.loops.last_mut().expect("checked").break_patches.push(at);
+            }
+            Stmt::Continue => {
+                let Some(ctx) = self.loops.last() else {
+                    return self.err("continue outside loop");
+                };
+                let start = ctx.start;
+                self.code.push(Op::Jump(start));
+            }
+            Stmt::IndexAssign(container, index, value) => {
+                self.expr(container)?;
+                self.expr(index)?;
+                self.expr(value)?;
+                self.code.push(Op::IndexSet);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.code.push(Op::Pop);
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), RuntimeError> {
+        match e {
+            Expr::Int(v) => {
+                let k = self.konst(Value::Int(*v));
+                self.code.push(Op::Const(k));
+            }
+            Expr::Float(v) => {
+                let k = self.konst(Value::Float(*v));
+                self.code.push(Op::Const(k));
+            }
+            Expr::Str(s) => {
+                let k = self.konst(Value::str(s));
+                self.code.push(Op::Const(k));
+            }
+            Expr::Bool(b) => {
+                let k = self.konst(Value::Bool(*b));
+                self.code.push(Op::Const(k));
+            }
+            Expr::Nil => {
+                let k = self.konst(Value::Nil);
+                self.code.push(Op::Const(k));
+            }
+            Expr::Var(name) => {
+                let Some(&slot) = self.locals.get(name) else {
+                    return self.err(format!("undefined variable {name:?}"));
+                };
+                self.code.push(Op::Load(slot));
+            }
+            Expr::Neg(e) => {
+                self.expr(e)?;
+                self.code.push(Op::Neg);
+            }
+            Expr::Not(e) => {
+                self.expr(e)?;
+                self.code.push(Op::Not);
+            }
+            Expr::And(a, b) => {
+                // a and b  →  bool
+                self.expr(a)?;
+                let jf = self.emit_jump(Op::JumpIfFalse);
+                self.expr(b)?;
+                let jf2 = self.emit_jump(Op::JumpIfFalse);
+                let kt = self.konst(Value::Bool(true));
+                self.code.push(Op::Const(kt));
+                let jend = self.emit_jump(Op::Jump);
+                self.patch(jf);
+                self.patch(jf2);
+                let kf = self.konst(Value::Bool(false));
+                self.code.push(Op::Const(kf));
+                self.patch(jend);
+            }
+            Expr::Or(a, b) => {
+                self.expr(a)?;
+                let jt = self.emit_jump(Op::JumpIfTrue);
+                self.expr(b)?;
+                let jt2 = self.emit_jump(Op::JumpIfTrue);
+                let kf = self.konst(Value::Bool(false));
+                self.code.push(Op::Const(kf));
+                let jend = self.emit_jump(Op::Jump);
+                self.patch(jt);
+                self.patch(jt2);
+                let kt = self.konst(Value::Bool(true));
+                self.code.push(Op::Const(kt));
+                self.patch(jend);
+            }
+            Expr::Bin(op, a, b) => {
+                self.expr(a)?;
+                self.expr(b)?;
+                self.code.push(match op {
+                    BinOp::Add => Op::Add,
+                    BinOp::Sub => Op::Sub,
+                    BinOp::Mul => Op::Mul,
+                    BinOp::Div => Op::Div,
+                    BinOp::IntDiv => Op::IntDiv,
+                    BinOp::Mod => Op::Mod,
+                    BinOp::Eq => Op::Eq,
+                    BinOp::Ne => Op::Ne,
+                    BinOp::Lt => Op::Lt,
+                    BinOp::Le => Op::Le,
+                    BinOp::Gt => Op::Gt,
+                    BinOp::Ge => Op::Ge,
+                });
+            }
+            Expr::List(items) => {
+                if items.len() > u16::MAX as usize {
+                    return self.err("list literal too long");
+                }
+                for item in items {
+                    self.expr(item)?;
+                }
+                self.code.push(Op::NewList(items.len() as u16));
+            }
+            Expr::Index(container, index) => {
+                self.expr(container)?;
+                self.expr(index)?;
+                self.code.push(Op::IndexGet);
+            }
+            Expr::Call(name, args) => {
+                if args.len() > u8::MAX as usize {
+                    return self.err("too many call arguments");
+                }
+                for a in args {
+                    self.expr(a)?;
+                }
+                if let Some(&(idx, arity)) = self.fn_index.get(name.as_str()) {
+                    if arity != args.len() {
+                        return self.err(format!(
+                            "{name:?} expects {arity} arguments, got {}",
+                            args.len()
+                        ));
+                    }
+                    self.code.push(Op::Call(idx, args.len() as u8));
+                } else if self.natives.contains_key(name) {
+                    let idx = match self.native_index.get(name) {
+                        Some(&i) => i,
+                        None => {
+                            let i = self.native_names.len() as u16;
+                            self.native_names.push(name.clone());
+                            self.native_index.insert(name.clone(), i);
+                            i
+                        }
+                    };
+                    self.code.push(Op::CallNative(idx, args.len() as u8));
+                } else {
+                    return self.err(format!("unknown function {name:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile_src(src: &str) -> Result<Module, RuntimeError> {
+        compile(&parse(src).unwrap(), &HashMap::new())
+    }
+
+    #[test]
+    fn compiles_and_indexes_functions() {
+        let m = compile_src("fn a() { return 1; } fn b() { return a(); }").unwrap();
+        assert_eq!(m.function_index("a"), Some(0));
+        assert_eq!(m.function_index("b"), Some(1));
+        assert!(m.functions[1].code.contains(&Op::Call(0, 0)));
+    }
+
+    #[test]
+    fn locals_are_slot_resolved() {
+        let m = compile_src("fn f(a, b) { var c = a + b; return c; }").unwrap();
+        let f = &m.functions[0];
+        assert_eq!(f.n_params, 2);
+        assert_eq!(f.n_locals, 3);
+        assert!(f.code.contains(&Op::Load(0)));
+        assert!(f.code.contains(&Op::Store(2)));
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let m = compile_src("fn f() { return 7 + 7 + 7; }").unwrap();
+        let sevens = m.consts.iter().filter(|c| **c == Value::Int(7)).count();
+        assert_eq!(sevens, 1);
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(compile_src("fn f() { return x; }").is_err());
+        assert!(compile_src("fn f() { x = 1; }").is_err());
+        assert!(compile_src("fn f() { return g(); }").is_err());
+        assert!(compile_src("fn f() { break; }").is_err());
+        assert!(compile_src("fn f() { continue; }").is_err());
+        assert!(compile_src("fn a(x) { return x; } fn f() { return a(); }").is_err()); // arity
+    }
+
+    #[test]
+    fn jumps_are_patched() {
+        let m = compile_src("fn f(n) { while (n > 0) { n = n - 1; } return n; }").unwrap();
+        for op in &m.functions[0].code {
+            if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) = op {
+                assert!((*t as usize) <= m.functions[0].code.len(), "unpatched jump");
+                assert_ne!(*t, u32::MAX, "unpatched jump");
+            }
+        }
+    }
+}

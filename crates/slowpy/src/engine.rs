@@ -1,0 +1,196 @@
+//! The embedding API: native functions and the two engines behind one door.
+//!
+//! Natives are how the "C inner loop via ctypes" tier works (§V-B): the
+//! host registers a compiled Rust function under a name, and slowpy
+//! programs call it like any other function — "we were able to very easily
+//! replace the inner loop of our map task with optimized C code, while
+//! leaving the rest of the loop unchanged".
+
+use crate::ast::Program;
+use crate::bytecode::{compile, Module};
+use crate::tree::TreeInterp;
+use crate::value::{RuntimeError, VResult, Value};
+use crate::vm::Vm;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A registered native function.
+pub type NativeFn = Rc<dyn Fn(&[Value]) -> VResult>;
+
+/// Holds the native-function table and runs programs on either engine.
+#[derive(Clone, Default)]
+pub struct Engine {
+    natives: HashMap<String, NativeFn>,
+}
+
+fn num1(args: &[Value], what: &str) -> Result<f64, RuntimeError> {
+    match args {
+        [v] => v
+            .as_f64()
+            .ok_or_else(|| RuntimeError(format!("{what} expects a number, got {}", v.type_name()))),
+        _ => Err(RuntimeError(format!("{what} expects 1 argument, got {}", args.len()))),
+    }
+}
+
+impl Engine {
+    /// An engine with the standard library registered: `sqrt`, `abs`,
+    /// `floor`, `min`, `max`, `int`, `float`, `len`.
+    pub fn new() -> Engine {
+        let mut e = Engine { natives: HashMap::new() };
+        e.register("sqrt", |args| Ok(Value::Float(num1(args, "sqrt")?.sqrt())));
+        e.register("floor", |args| Ok(Value::Float(num1(args, "floor")?.floor())));
+        e.register("abs", |args| match args {
+            [Value::Int(i)] => Ok(Value::Int(i.wrapping_abs())),
+            _ => Ok(Value::Float(num1(args, "abs")?.abs())),
+        });
+        e.register("min", |args| binary_minmax(args, "min", true));
+        e.register("max", |args| binary_minmax(args, "max", false));
+        e.register("int", |args| {
+            Ok(Value::Int(num1(args, "int")? as i64))
+        });
+        e.register("float", |args| Ok(Value::Float(num1(args, "float")?)));
+        e.register("len", |args| match args {
+            [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
+            [Value::List(items)] => Ok(Value::Int(items.borrow().len() as i64)),
+            [v] => {
+                Err(RuntimeError(format!("len expects a string or list, got {}", v.type_name())))
+            }
+            _ => Err(RuntimeError(format!("len expects 1 argument, got {}", args.len()))),
+        });
+        e.register("push", |args| match args {
+            [Value::List(items), v] => {
+                items.borrow_mut().push(v.clone());
+                Ok(Value::Nil)
+            }
+            _ => Err(RuntimeError("push expects (list, value)".into())),
+        });
+        e.register("pop", |args| match args {
+            [Value::List(items)] => items
+                .borrow_mut()
+                .pop()
+                .ok_or_else(|| RuntimeError("pop from empty list".into())),
+            _ => Err(RuntimeError("pop expects a list".into())),
+        });
+        e
+    }
+
+    /// An engine with no natives at all.
+    pub fn bare() -> Engine {
+        Engine::default()
+    }
+
+    /// Register (or replace) a native function.
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&[Value]) -> VResult + 'static,
+    {
+        self.natives.insert(name.to_owned(), Rc::new(f));
+    }
+
+    /// The native table (used by both engines).
+    pub fn natives(&self) -> &HashMap<String, NativeFn> {
+        &self.natives
+    }
+
+    /// Run `func(args)` on the tree-walking interpreter (the "CPython"
+    /// tier).
+    pub fn run_tree(&self, program: &Program, func: &str, args: &[Value]) -> VResult {
+        TreeInterp::new(program, &self.natives).call(func, args)
+    }
+
+    /// Compile a program against this engine's natives.
+    pub fn compile(&self, program: &Program) -> Result<Module, RuntimeError> {
+        compile(program, &self.natives)
+    }
+
+    /// Run `func(args)` on the bytecode VM (the "PyPy" tier). Compiles
+    /// fresh each call; hold a [`Module`] and use [`Engine::run_module`]
+    /// in loops.
+    pub fn run_vm(&self, program: &Program, func: &str, args: &[Value]) -> VResult {
+        let module = self.compile(program)?;
+        self.run_module(&module, func, args)
+    }
+
+    /// Run a pre-compiled module function.
+    pub fn run_module(&self, module: &Module, func: &str, args: &[Value]) -> VResult {
+        Vm::new(module, &self.natives).call(func, args)
+    }
+}
+
+fn binary_minmax(args: &[Value], what: &str, is_min: bool) -> VResult {
+    match args {
+        [Value::Int(a), Value::Int(b)] => {
+            Ok(Value::Int(if is_min { *a.min(b) } else { *a.max(b) }))
+        }
+        [a, b] => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Ok(Value::Float(if is_min { x.min(y) } else { x.max(y) })),
+            _ => Err(RuntimeError(format!("{what} expects numbers"))),
+        },
+        _ => Err(RuntimeError(format!("{what} expects 2 arguments, got {}", args.len()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn both(e: &Engine, src: &str, func: &str, args: &[Value]) -> Value {
+        let prog = parse(src).unwrap();
+        let a = e.run_tree(&prog, func, args).unwrap();
+        let b = e.run_vm(&prog, func, args).unwrap();
+        assert_eq!(a, b, "tree and vm disagree on {func}");
+        a
+    }
+
+    #[test]
+    fn stdlib_functions_work_on_both_engines() {
+        let e = Engine::new();
+        let src = "fn f(x) { return sqrt(x) + floor(1.7) + abs(-3) + min(2, 9) + max(2, 9); }";
+        assert_eq!(both(&e, src, "f", &[Value::Float(16.0)]), Value::Float(4.0 + 1.0 + 3.0 + 2.0 + 9.0));
+    }
+
+    #[test]
+    fn custom_native_is_callable() {
+        let mut e = Engine::new();
+        e.register("triple", |args| {
+            Ok(Value::Int(args[0].as_i64().unwrap_or(0) * 3))
+        });
+        assert_eq!(both(&e, "fn f(x) { return triple(x) + 1; }", "f", &[Value::Int(4)]), Value::Int(13));
+    }
+
+    #[test]
+    fn int_truncates_float() {
+        let e = Engine::new();
+        assert_eq!(both(&e, "fn f() { return int(3.9); }", "f", &[]), Value::Int(3));
+    }
+
+    #[test]
+    fn len_counts_chars() {
+        let e = Engine::new();
+        assert_eq!(both(&e, "fn f() { return len(\"héllo\"); }", "f", &[]), Value::Int(5));
+    }
+
+    #[test]
+    fn list_builtins_agree_on_both_engines() {
+        let e = Engine::new();
+        let src = "fn f() {\n var a = [];\n var i = 0;\n while (i < 5) { push(a, i * i); i = i + 1; }\n var last = pop(a);\n return len(a) * 100 + last;\n}";
+        assert_eq!(both(&e, src, "f", &[]), Value::Int(4 * 100 + 16));
+    }
+
+    #[test]
+    fn list_builtin_errors() {
+        let e = Engine::new();
+        let prog = parse("fn f() { return pop([]); }").unwrap();
+        assert!(e.run_tree(&prog, "f", &[]).is_err());
+        assert!(e.run_vm(&prog, "f", &[]).is_err());
+    }
+
+    #[test]
+    fn native_arity_errors_on_both_engines() {
+        let e = Engine::new();
+        let prog = parse("fn f() { return sqrt(1, 2); }").unwrap();
+        assert!(e.run_tree(&prog, "f", &[]).is_err());
+        assert!(e.run_vm(&prog, "f", &[]).is_err());
+    }
+}

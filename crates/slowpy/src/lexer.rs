@@ -1,0 +1,443 @@
+//! Tokenizer.
+
+use std::fmt;
+
+/// A token with its source line (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // literals & identifiers
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    // keywords
+    Fn,
+    Var,
+    If,
+    Else,
+    While,
+    Return,
+    Break,
+    Continue,
+    True,
+    False,
+    Nil,
+    And,
+    Or,
+    Not,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    SlashSlash,
+    Percent,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Description.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Tokenize source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    macro_rules! push {
+        ($kind:expr) => {
+            out.push(Token { kind: $kind, line })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            b'{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            b'[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            b',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            b';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            b'+' => {
+                push!(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                push!(Tok::Minus);
+                i += 1;
+            }
+            b'*' => {
+                push!(Tok::Star);
+                i += 1;
+            }
+            b'%' => {
+                push!(Tok::Percent);
+                i += 1;
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    push!(Tok::SlashSlash);
+                    i += 2;
+                } else {
+                    push!(Tok::Slash);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Eq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { msg: "unexpected '!' (use 'not')".into(), line });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            msg: "unterminated string".into(),
+                            line: start_line,
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            let esc = bytes.get(i + 1).ok_or(LexError {
+                                msg: "dangling escape".into(),
+                                line,
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(LexError {
+                                        msg: format!("unknown escape \\{}", *other as char),
+                                        line,
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        b'\n' => {
+                            return Err(LexError {
+                                msg: "newline in string".into(),
+                                line: start_line,
+                            })
+                        }
+                        _ => {
+                            // copy the full UTF-8 character
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(
+                                |_| LexError { msg: "invalid utf-8".into(), line },
+                            )?);
+                            i += ch_len;
+                        }
+                    }
+                }
+                push!(Tok::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii digits");
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|e| LexError { msg: format!("bad float {text}: {e}"), line })?;
+                    push!(Tok::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|e| LexError { msg: format!("bad int {text}: {e}"), line })?;
+                    push!(Tok::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..i]).expect("ascii word");
+                push!(match word {
+                    "fn" => Tok::Fn,
+                    "var" => Tok::Var,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "nil" => Tok::Nil,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    _ => Tok::Ident(word.to_owned()),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character {:?}", other as char),
+                    line,
+                })
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_function() {
+        let ks = kinds("fn add(a, b) { return a + b; }");
+        assert_eq!(
+            ks,
+            vec![
+                Tok::Fn,
+                Tok::Ident("add".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("b".into()),
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::Return,
+                Tok::Ident("a".into()),
+                Tok::Plus,
+                Tok::Ident("b".into()),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(kinds("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(kinds("3.5"), vec![Tok::Float(3.5), Tok::Eof]);
+        assert_eq!(kinds("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        assert_eq!(kinds("2.5e-1"), vec![Tok::Float(0.25), Tok::Eof]);
+        // A dot not followed by a digit is not part of the number.
+        assert!(lex("1.").is_err());
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        assert_eq!(
+            kinds("<= < == = != // /"),
+            vec![
+                Tok::Le,
+                Tok::Lt,
+                Tok::Eq,
+                Tok::Assign,
+                Tok::Ne,
+                Tok::SlashSlash,
+                Tok::Slash,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c\\""#),
+            vec![Tok::Str("a\nb\"c\\".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("var x = 1; # comment\nvar y = 2;").unwrap();
+        let y_line = toks
+            .iter()
+            .find(|t| t.kind == Tok::Ident("y".into()))
+            .unwrap()
+            .line;
+        assert_eq!(y_line, 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("\"bad\\q\"").is_err());
+    }
+
+    #[test]
+    fn brackets_tokenize() {
+        assert_eq!(
+            kinds("[1, 2][0]"),
+            vec![
+                Tok::LBracket,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(2),
+                Tok::RBracket,
+                Tok::LBracket,
+                Tok::Int(0),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("\"héllo\""), vec![Tok::Str("héllo".into()), Tok::Eof]);
+    }
+}

@@ -1,0 +1,36 @@
+//! slowpy: a small dynamically-typed language with two execution engines.
+//!
+//! Fig. 3 of the paper compares the same Halton-sequence π kernel across
+//! CPython, PyPy, Java, and C-via-ctypes. We cannot ship four language
+//! runtimes, but we can reproduce the *mechanism* behind the gaps —
+//! per-operation interpreter dispatch on boxed dynamic values — by
+//! implementing a little language twice:
+//!
+//! * [`tree::TreeInterp`] — a naive AST walker with string-keyed
+//!   environments: the "CPython" tier (boxed values, dict lookups,
+//!   recursive dispatch),
+//! * [`vm::Vm`] — a compiled bytecode stack machine with slot-resolved
+//!   locals: the "PyPy" tier (same semantics, far less dispatch overhead),
+//! * native Rust functions registered through [`engine::Engine::register`]
+//!   — the "C via ctypes" tier: a slowpy program calls straight into
+//!   compiled code, exactly how the paper swapped its inner loop.
+//!
+//! The language has ints/floats with Python-style coercion, strings,
+//! booleans, and mutable lists with reference semantics (negative indexing
+//! included); functions, `while`/`if`, and a small stdlib (`sqrt`, `len`,
+//! `push`, …). Both engines must agree on every program — the unit suite,
+//! a differential fuzzer over generated programs, and the `slowpy_tiers`
+//! bench enforce semantics and measure the tier gaps.
+
+pub mod ast;
+pub mod bytecode;
+pub mod engine;
+pub mod lexer;
+pub mod parser;
+pub mod tree;
+pub mod value;
+pub mod vm;
+
+pub use engine::Engine;
+pub use parser::parse;
+pub use value::{RuntimeError, Value};

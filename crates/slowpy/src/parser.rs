@@ -1,0 +1,519 @@
+//! Recursive-descent parser.
+
+use crate::ast::{BinOp, Expr, FnDef, Program, Stmt};
+use crate::lexer::{lex, Tok, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError { msg: e.msg, line: e.line }
+    }
+}
+
+/// Parse source text into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while p.peek() != &Tok::Eof {
+        functions.push(p.fndef()?);
+    }
+    // Reject duplicate function names early.
+    for (i, f) in functions.iter().enumerate() {
+        if functions[..i].iter().any(|g| g.name == f.name) {
+            return Err(ParseError {
+                msg: format!("duplicate function {:?}", f.name),
+                line: f.line,
+            });
+        }
+    }
+    Ok(Program { functions })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == &tok {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn fndef(&mut self) -> Result<FnDef, ParseError> {
+        let line = self.line();
+        self.expect(Tok::Fn, "'fn'")?;
+        let name = self.ident("function name")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let p = self.ident("parameter name")?;
+                if params.contains(&p) {
+                    return self.err(format!("duplicate parameter {p:?}"));
+                }
+                params.push(p);
+                if self.peek() == &Tok::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        let body = self.block()?;
+        Ok(FnDef { name, params, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.advance(); // consume '}'
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Var => {
+                self.advance();
+                let name = self.ident("variable name")?;
+                self.expect(Tok::Assign, "'='")?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Var(name, e))
+            }
+            Tok::If => {
+                self.advance();
+                self.if_tail()
+            }
+            Tok::While => {
+                self.advance();
+                self.expect(Tok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::Return => {
+                self.advance();
+                let e = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Return(e))
+            }
+            Tok::Break => {
+                self.advance();
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Break)
+            }
+            Tok::Continue => {
+                self.advance();
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Continue)
+            }
+            Tok::Ident(name) if self.tokens[self.pos + 1].kind == Tok::Assign => {
+                self.advance();
+                self.advance();
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Assign(name, e))
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.peek() == &Tok::Assign {
+                    // Index assignment: the parsed target must be an index
+                    // expression (`a[i] = v;`, possibly chained `a[i][j]`).
+                    self.advance();
+                    let Expr::Index(container, index) = e else {
+                        return self.err("invalid assignment target");
+                    };
+                    let value = self.expr()?;
+                    self.expect(Tok::Semi, "';'")?;
+                    return Ok(Stmt::IndexAssign(*container, *index, value));
+                }
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn if_tail(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Tok::LParen, "'('")?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen, "')'")?;
+        let then = self.block()?;
+        let els = if self.peek() == &Tok::Else {
+            self.advance();
+            if self.peek() == &Tok::If {
+                self.advance();
+                vec![self.if_tail()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(cond, then, els))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::Or {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek() == &Tok::And {
+            self.advance();
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == &Tok::Not {
+            self.advance();
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.equality()
+        }
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.comparison()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.comparison()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::SlashSlash => BinOp::IntDiv,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == &Tok::Minus {
+            self.advance();
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.postfix()
+        }
+    }
+
+    /// A primary expression followed by any number of `[index]` suffixes.
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.peek() == &Tok::LBracket {
+            self.advance();
+            let idx = self.expr()?;
+            self.expect(Tok::RBracket, "']'")?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.advance();
+                Ok(Expr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.advance();
+                Ok(Expr::Float(v))
+            }
+            Tok::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            Tok::True => {
+                self.advance();
+                Ok(Expr::Bool(true))
+            }
+            Tok::False => {
+                self.advance();
+                Ok(Expr::Bool(false))
+            }
+            Tok::Nil => {
+                self.advance();
+                Ok(Expr::Nil)
+            }
+            Tok::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                self.advance();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.peek() == &Tok::Comma {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket, "']'")?;
+                Ok(Expr::List(items))
+            }
+            Tok::Ident(name) => {
+                self.advance();
+                if self.peek() == &Tok::LParen {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == &Tok::Comma {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let p = parse(
+            "fn f(n) {\n  var s = 0;\n  var i = 0;\n  while (i < n) {\n    if (i % 2 == 0) { s = s + i; } else { s = s - 1; }\n    i = i + 1;\n  }\n  return s;\n}",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params, vec!["n"]);
+        assert_eq!(f.body.len(), 4);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(Some(Expr::Bin(BinOp::Add, _, rhs))) = &p.functions[0].body[0] else {
+            panic!("wrong shape");
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn precedence_comparison_over_and() {
+        let p = parse("fn f(a, b) { return a < 1 and b > 2; }").unwrap();
+        let Stmt::Return(Some(Expr::And(l, r))) = &p.functions[0].body[0] else {
+            panic!("wrong shape");
+        };
+        assert!(matches!(**l, Expr::Bin(BinOp::Lt, _, _)));
+        assert!(matches!(**r, Expr::Bin(BinOp::Gt, _, _)));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse("fn f(x) { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }")
+            .unwrap();
+        let Stmt::If(_, _, els) = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(els[0], Stmt::If(_, _, _)));
+    }
+
+    #[test]
+    fn calls_with_args() {
+        let p = parse("fn f() { return g(1, 2.5, \"x\"); }").unwrap();
+        let Stmt::Return(Some(Expr::Call(name, args))) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(name, "g");
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn unary_minus_binds_tightly() {
+        let p = parse("fn f(x) { return -x * 2; }").unwrap();
+        let Stmt::Return(Some(Expr::Bin(BinOp::Mul, l, _))) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(**l, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn list_literals_and_indexing() {
+        let p = parse("fn f(a) { return [1, 2.5, [true]][a][0]; }").unwrap();
+        let Stmt::Return(Some(Expr::Index(inner, zero))) = &p.functions[0].body[0] else {
+            panic!("outer index missing");
+        };
+        assert_eq!(**zero, Expr::Int(0));
+        assert!(matches!(**inner, Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn index_assignment_parses() {
+        let p = parse("fn f(a, i) { a[i + 1] = 9; }").unwrap();
+        let Stmt::IndexAssign(c, i, v) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(*c, Expr::Var("a".into()));
+        assert!(matches!(i, Expr::Bin(_, _, _)));
+        assert_eq!(*v, Expr::Int(9));
+    }
+
+    #[test]
+    fn chained_index_assignment_parses() {
+        let p = parse("fn f(a) { a[0][1] = 2; }").unwrap();
+        let Stmt::IndexAssign(c, _, _) = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(c, Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn invalid_assignment_targets_rejected() {
+        assert!(parse("fn f() { 1 + 2 = 3; }").is_err());
+        assert!(parse("fn f() { g() = 3; }").is_err());
+        assert!(parse("fn f(a) { [1][0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("fn f( { }").is_err());
+        assert!(parse("fn f() { var = 3; }").is_err());
+        assert!(parse("fn f() { return 1 }").is_err()); // missing semicolon
+        assert!(parse("fn f() { ").is_err());
+        assert!(parse("f() {}").is_err());
+        assert!(parse("fn f(a, a) {}").is_err()); // dup param
+        assert!(parse("fn f() {} fn f() {}").is_err()); // dup function
+    }
+
+    #[test]
+    fn empty_program_is_ok() {
+        assert!(parse("").unwrap().functions.is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! The tree-walking interpreter: the "CPython" tier.
+//!
+//! Deliberately ordinary: boxed [`Value`]s, a `HashMap` name environment
+//! per call frame, and recursive dispatch over the AST. The per-operation
+//! costs (hash lookups, enum matching, allocation) are the same *kind* of
+//! costs CPython pays per bytecode — which is exactly the overhead Fig. 3a
+//! exposes on the right-hand side.
+
+use crate::ast::{BinOp, Expr, Program, Stmt};
+use crate::engine::NativeFn;
+use crate::value::{arith, compare, index_get, index_set, intdiv, RuntimeError, VResult, Value};
+use std::collections::HashMap;
+
+/// Maximum call depth (recursion guard). Lower than the VM's limit because
+/// each slowpy frame costs many Rust stack frames in the tree walker.
+pub const MAX_DEPTH: usize = 200;
+
+/// The interpreter, borrowing a program and a native table.
+pub struct TreeInterp<'a> {
+    program: &'a Program,
+    natives: &'a HashMap<String, NativeFn>,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+impl<'a> TreeInterp<'a> {
+    /// Create an interpreter for a program.
+    pub fn new(program: &'a Program, natives: &'a HashMap<String, NativeFn>) -> Self {
+        TreeInterp { program, natives }
+    }
+
+    /// Call a top-level function by name.
+    pub fn call(&self, name: &str, args: &[Value]) -> VResult {
+        self.call_depth(name, args, 0)
+    }
+
+    fn call_depth(&self, name: &str, args: &[Value], depth: usize) -> VResult {
+        if depth >= MAX_DEPTH {
+            return Err(RuntimeError(format!("call depth exceeded in {name:?}")));
+        }
+        let Some(f) = self.program.function(name) else {
+            return Err(RuntimeError(format!("unknown function {name:?}")));
+        };
+        if f.params.len() != args.len() {
+            return Err(RuntimeError(format!(
+                "{name:?} expects {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        // Function-level scoping (like Python): one environment per frame.
+        let mut env: HashMap<String, Value> =
+            f.params.iter().cloned().zip(args.iter().cloned()).collect();
+        match self.exec_block(&f.body, &mut env, depth)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Break | Flow::Continue => {
+                Err(RuntimeError("break/continue outside loop".into()))
+            }
+            Flow::Normal => Ok(Value::Nil),
+        }
+    }
+
+    fn exec_block(
+        &self,
+        stmts: &[Stmt],
+        env: &mut HashMap<String, Value>,
+        depth: usize,
+    ) -> Result<Flow, RuntimeError> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt, env, depth)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &self,
+        stmt: &Stmt,
+        env: &mut HashMap<String, Value>,
+        depth: usize,
+    ) -> Result<Flow, RuntimeError> {
+        match stmt {
+            Stmt::Var(name, e) => {
+                let v = self.eval(e, env, depth)?;
+                env.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(name, e) => {
+                let v = self.eval(e, env, depth)?;
+                match env.get_mut(name) {
+                    Some(slot) => {
+                        *slot = v;
+                        Ok(Flow::Normal)
+                    }
+                    None => Err(RuntimeError(format!("assignment to undeclared variable {name:?}"))),
+                }
+            }
+            Stmt::IndexAssign(container, index, value) => {
+                let c = self.eval(container, env, depth)?;
+                let i = self.eval(index, env, depth)?;
+                let v = self.eval(value, env, depth)?;
+                index_set(&c, &i, v)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then, els) => {
+                if self.eval(cond, env, depth)?.truthy() {
+                    self.exec_block(then, env, depth)
+                } else {
+                    self.exec_block(els, env, depth)
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(cond, env, depth)?.truthy() {
+                    match self.exec_block(body, env, depth)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env, depth)?,
+                    None => Value::Nil,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Expr(e) => {
+                self.eval(e, env, depth)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval(
+        &self,
+        expr: &Expr,
+        env: &mut HashMap<String, Value>,
+        depth: usize,
+    ) -> VResult {
+        match expr {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Str(s) => Ok(Value::str(s)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Nil => Ok(Value::Nil),
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RuntimeError(format!("undefined variable {name:?}"))),
+            Expr::Neg(e) => match self.eval(e, env, depth)? {
+                Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                v => Err(RuntimeError(format!("cannot negate {}", v.type_name()))),
+            },
+            Expr::Not(e) => Ok(Value::Bool(!self.eval(e, env, depth)?.truthy())),
+            Expr::And(a, b) => {
+                if !self.eval(a, env, depth)?.truthy() {
+                    Ok(Value::Bool(false))
+                } else {
+                    Ok(Value::Bool(self.eval(b, env, depth)?.truthy()))
+                }
+            }
+            Expr::Or(a, b) => {
+                if self.eval(a, env, depth)?.truthy() {
+                    Ok(Value::Bool(true))
+                } else {
+                    Ok(Value::Bool(self.eval(b, env, depth)?.truthy()))
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let x = self.eval(a, env, depth)?;
+                let y = self.eval(b, env, depth)?;
+                match op {
+                    BinOp::Add => arith('+', &x, &y),
+                    BinOp::Sub => arith('-', &x, &y),
+                    BinOp::Mul => arith('*', &x, &y),
+                    BinOp::Div => arith('/', &x, &y),
+                    BinOp::Mod => arith('%', &x, &y),
+                    BinOp::IntDiv => intdiv(&x, &y),
+                    BinOp::Eq => Ok(Value::Bool(x == y)),
+                    BinOp::Ne => Ok(Value::Bool(x != y)),
+                    BinOp::Lt => compare("<", &x, &y),
+                    BinOp::Le => compare("<=", &x, &y),
+                    BinOp::Gt => compare(">", &x, &y),
+                    BinOp::Ge => compare(">=", &x, &y),
+                }
+            }
+            Expr::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for e in items {
+                    out.push(self.eval(e, env, depth)?);
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Index(container, index) => {
+                let c = self.eval(container, env, depth)?;
+                let i = self.eval(index, env, depth)?;
+                index_get(&c, &i)
+            }
+            Expr::Call(name, arg_exprs) => {
+                let mut args = Vec::with_capacity(arg_exprs.len());
+                for e in arg_exprs {
+                    args.push(self.eval(e, env, depth)?);
+                }
+                if self.program.function(name).is_some() {
+                    self.call_depth(name, &args, depth + 1)
+                } else if let Some(native) = self.natives.get(name) {
+                    native(&args)
+                } else {
+                    Err(RuntimeError(format!("unknown function {name:?}")))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str, func: &str, args: &[Value]) -> VResult {
+        let prog = parse(src).unwrap();
+        let natives = HashMap::new();
+        TreeInterp::new(&prog, &natives).call(func, args)
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        let v = run("fn f(a, b) { var c = a * b; return c + 1; }", "f", &[Value::Int(3), Value::Int(4)]);
+        assert_eq!(v.unwrap(), Value::Int(13));
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let src = "fn f(n) {\n var s = 0; var i = 0;\n while (true) {\n  i = i + 1;\n  if (i > n) { break; }\n  if (i % 2 == 0) { continue; }\n  s = s + i;\n }\n return s;\n}";
+        assert_eq!(run(src, "f", &[Value::Int(10)]).unwrap(), Value::Int(25)); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn recursion_fib() {
+        let src = "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }";
+        assert_eq!(run(src, "fib", &[Value::Int(15)]).unwrap(), Value::Int(610));
+    }
+
+    #[test]
+    fn function_level_scoping() {
+        // A var declared inside an if-branch is visible after it (Python
+        // semantics, shared with the VM).
+        let src = "fn f(x) { if (x > 0) { var y = 10; } else { var y = 20; } return y; }";
+        assert_eq!(run(src, "f", &[Value::Int(1)]).unwrap(), Value::Int(10));
+        assert_eq!(run(src, "f", &[Value::Int(-1)]).unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn missing_return_yields_nil() {
+        assert_eq!(run("fn f() { var x = 1; }", "f", &[]).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn runtime_errors() {
+        assert!(run("fn f() { return g(); }", "f", &[]).is_err()); // unknown fn
+        assert!(run("fn f() { return x; }", "f", &[]).is_err()); // undefined var
+        assert!(run("fn f() { x = 1; return x; }", "f", &[]).is_err()); // undeclared assign
+        assert!(run("fn f(a) { return a; }", "f", &[]).is_err()); // arity
+        assert!(run("fn f() { return 1 + \"s\"; }", "f", &[]).is_err()); // types
+    }
+
+    #[test]
+    fn infinite_recursion_is_caught() {
+        let r = run("fn f() { return f(); }", "f", &[]);
+        assert!(r.unwrap_err().0.contains("depth"));
+    }
+
+    #[test]
+    fn lists_index_assign_and_alias() {
+        let src = "fn f() {\n var a = [1, 2, 3];\n var b = a;\n a[1] = 20;\n b[2] = a[1] + 10;\n return a[0] + a[1] + a[2];\n}";
+        assert_eq!(run(src, "f", &[]).unwrap(), Value::Int(1 + 20 + 30));
+    }
+
+    #[test]
+    fn list_index_errors() {
+        assert!(run("fn f() { return [1][2]; }", "f", &[]).is_err());
+        assert!(run("fn f() { return 3[0]; }", "f", &[]).is_err());
+        assert!(run("fn f() { var a = [1]; a[\"k\"] = 2; }", "f", &[]).is_err());
+    }
+
+    #[test]
+    fn short_circuit_avoids_evaluation() {
+        // The second operand would error; short-circuit must skip it.
+        let src = "fn f() { return false and g(); }";
+        assert_eq!(run(src, "f", &[]).unwrap(), Value::Bool(false));
+        let src = "fn f() { return true or g(); }";
+        assert_eq!(run(src, "f", &[]).unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,361 @@
+//! Dynamic values and runtime errors.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A slowpy runtime value. Numbers are either `Int` or `Float` with Python-
+/// style coercion: mixed arithmetic promotes to `Float`, `/` always
+/// produces `Float`.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// The absent value.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Mutable list with reference semantics (like Python: assignment
+    /// aliases, mutation is visible through every alias).
+    List(Rc<RefCell<Vec<Value>>>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Rc::from(s))
+    }
+
+    /// Construct a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(RefCell::new(items)))
+    }
+
+    /// Truthiness: `nil` and `false` are false, everything else true
+    /// (numbers are truthy regardless of value — simpler than Python, and
+    /// explicit comparisons read better in kernels).
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// Numeric view, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Numeric cross-type equality, like Python.
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::List(a), Value::List(b)) => {
+                // Element-wise deep equality; identical Rcs shortcut first
+                // (also makes self-referential lists terminate).
+                Rc::ptr_eq(a, b) || *a.borrow() == *b.borrow()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A runtime failure with a message (and no unwinding across the host).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeError(pub String);
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Shorthand result.
+pub type VResult = Result<Value, RuntimeError>;
+
+pub(crate) fn type_error(op: &str, a: &Value, b: &Value) -> RuntimeError {
+    RuntimeError(format!("unsupported operand types for {op}: {} and {}", a.type_name(), b.type_name()))
+}
+
+/// Binary arithmetic with Python-style promotion.
+pub fn arith(op: char, a: &Value, b: &Value) -> VResult {
+    use Value::*;
+    match (op, a, b) {
+        ('+', Str(x), Str(y)) => {
+            let mut s = String::with_capacity(x.len() + y.len());
+            s.push_str(x);
+            s.push_str(y);
+            Ok(Value::Str(Rc::from(s.as_str())))
+        }
+        ('+', Int(x), Int(y)) => Ok(Int(x.wrapping_add(*y))),
+        ('-', Int(x), Int(y)) => Ok(Int(x.wrapping_sub(*y))),
+        ('*', Int(x), Int(y)) => Ok(Int(x.wrapping_mul(*y))),
+        ('%', Int(x), Int(y)) => {
+            if *y == 0 {
+                Err(RuntimeError("integer modulo by zero".into()))
+            } else {
+                Ok(Int(x.rem_euclid(*y)))
+            }
+        }
+        ('/', _, _) => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Ok(Float(x / y)),
+            _ => Err(type_error("/", a, b)),
+        },
+        (_, _, _) => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Ok(Float(match op {
+                '+' => x + y,
+                '-' => x - y,
+                '*' => x * y,
+                '%' => x.rem_euclid(y),
+                _ => return Err(RuntimeError(format!("unknown operator {op}"))),
+            })),
+            _ => Err(type_error(&op.to_string(), a, b)),
+        },
+    }
+}
+
+/// Integer division (`//`), floor semantics.
+pub fn intdiv(a: &Value, b: &Value) -> VResult {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => {
+            if *y == 0 {
+                Err(RuntimeError("integer division by zero".into()))
+            } else {
+                Ok(Value::Int(x.div_euclid(*y)))
+            }
+        }
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Ok(Value::Float((x / y).floor())),
+            _ => Err(type_error("//", a, b)),
+        },
+    }
+}
+
+/// Ordered comparison; errors on non-comparable types.
+pub fn compare(op: &str, a: &Value, b: &Value) -> VResult {
+    let r = match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.as_ref().partial_cmp(y.as_ref()),
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y),
+            _ => return Err(type_error(op, a, b)),
+        },
+    };
+    let Some(ord) = r else {
+        // NaN comparisons are false, like IEEE/Python.
+        return Ok(Value::Bool(false));
+    };
+    Ok(Value::Bool(match op {
+        "<" => ord.is_lt(),
+        "<=" => ord.is_le(),
+        ">" => ord.is_gt(),
+        ">=" => ord.is_ge(),
+        _ => return Err(RuntimeError(format!("unknown comparison {op}"))),
+    }))
+}
+
+/// Resolve a (possibly negative, Python-style) index against a length.
+pub fn resolve_index(idx: i64, len: usize) -> Result<usize, RuntimeError> {
+    let len_i = len as i64;
+    let resolved = if idx < 0 { idx + len_i } else { idx };
+    if (0..len_i).contains(&resolved) {
+        Ok(resolved as usize)
+    } else {
+        Err(RuntimeError(format!("index {idx} out of range for length {len}")))
+    }
+}
+
+/// Get `container[index]` with slowpy semantics (lists only).
+pub fn index_get(container: &Value, index: &Value) -> VResult {
+    match (container, index) {
+        (Value::List(items), Value::Int(i)) => {
+            let items = items.borrow();
+            let at = resolve_index(*i, items.len())?;
+            Ok(items[at].clone())
+        }
+        (Value::List(_), other) => {
+            Err(RuntimeError(format!("list index must be int, got {}", other.type_name())))
+        }
+        (other, _) => Err(RuntimeError(format!("{} is not indexable", other.type_name()))),
+    }
+}
+
+/// Set `container[index] = value` with slowpy semantics (lists only).
+pub fn index_set(container: &Value, index: &Value, value: Value) -> Result<(), RuntimeError> {
+    match (container, index) {
+        (Value::List(items), Value::Int(i)) => {
+            let mut items = items.borrow_mut();
+            let len = items.len();
+            let at = resolve_index(*i, len)?;
+            items[at] = value;
+            Ok(())
+        }
+        (Value::List(_), other) => {
+            Err(RuntimeError(format!("list index must be int, got {}", other.type_name())))
+        }
+        (other, _) => Err(RuntimeError(format!("{} is not indexable", other.type_name()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Nil.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Int(0).truthy());
+        assert!(Value::str("").truthy());
+    }
+
+    #[test]
+    fn int_arithmetic_stays_int() {
+        assert_eq!(arith('+', &Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(arith('*', &Value::Int(4), &Value::Int(5)).unwrap(), Value::Int(20));
+        assert_eq!(arith('%', &Value::Int(-7), &Value::Int(3)).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn division_always_floats() {
+        assert_eq!(arith('/', &Value::Int(7), &Value::Int(2)).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn intdiv_floors() {
+        assert_eq!(intdiv(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(intdiv(&Value::Int(-7), &Value::Int(2)).unwrap(), Value::Int(-4));
+        assert_eq!(intdiv(&Value::Float(7.5), &Value::Int(2)).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn mixed_promotes_to_float() {
+        assert_eq!(arith('+', &Value::Int(1), &Value::Float(0.5)).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(arith('+', &Value::str("ab"), &Value::str("cd")).unwrap(), Value::str("abcd"));
+    }
+
+    #[test]
+    fn division_by_zero_int_mod() {
+        assert!(arith('%', &Value::Int(1), &Value::Int(0)).is_err());
+        assert!(intdiv(&Value::Int(1), &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(arith('-', &Value::str("a"), &Value::Int(1)).is_err());
+        assert!(compare("<", &Value::Nil, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(compare("<", &Value::Int(1), &Value::Float(1.5)).unwrap(), Value::Bool(true));
+        assert_eq!(compare(">=", &Value::str("b"), &Value::str("a")).unwrap(), Value::Bool(true));
+        // NaN: all ordered comparisons false
+        assert_eq!(
+            compare("<", &Value::Float(f64::NAN), &Value::Int(1)).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::str("2"));
+    }
+
+    #[test]
+    fn list_equality_is_deep() {
+        let a = Value::list(vec![Value::Int(1), Value::str("x")]);
+        let b = Value::list(vec![Value::Int(1), Value::str("x")]);
+        let c = Value::list(vec![Value::Int(2)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn list_display() {
+        let v = Value::list(vec![Value::Int(1), Value::list(vec![Value::Bool(true)])]);
+        assert_eq!(v.to_string(), "[1, [true]]");
+    }
+
+    #[test]
+    fn index_get_set_with_negatives() {
+        let l = Value::list(vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
+        assert_eq!(index_get(&l, &Value::Int(0)).unwrap(), Value::Int(10));
+        assert_eq!(index_get(&l, &Value::Int(-1)).unwrap(), Value::Int(30));
+        index_set(&l, &Value::Int(-2), Value::Int(99)).unwrap();
+        assert_eq!(index_get(&l, &Value::Int(1)).unwrap(), Value::Int(99));
+    }
+
+    #[test]
+    fn index_errors() {
+        let l = Value::list(vec![Value::Int(1)]);
+        assert!(index_get(&l, &Value::Int(1)).is_err());
+        assert!(index_get(&l, &Value::Int(-2)).is_err());
+        assert!(index_get(&l, &Value::str("k")).is_err());
+        assert!(index_get(&Value::Int(3), &Value::Int(0)).is_err());
+        assert!(index_set(&l, &Value::Int(5), Value::Nil).is_err());
+    }
+}

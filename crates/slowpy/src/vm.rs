@@ -1,0 +1,255 @@
+//! The bytecode virtual machine: the "PyPy" tier.
+
+use crate::bytecode::{Module, Op};
+use crate::engine::NativeFn;
+use crate::value::{arith, compare, index_get, index_set, intdiv, RuntimeError, VResult, Value};
+use std::collections::HashMap;
+
+/// Maximum call depth (matches the tree interpreter's guard).
+pub const MAX_FRAMES: usize = 1000;
+
+struct Frame {
+    func: usize,
+    ip: usize,
+    base: usize,
+}
+
+/// The VM, borrowing a compiled module and the engine's native table.
+pub struct Vm<'a> {
+    module: &'a Module,
+    natives: Vec<Option<&'a NativeFn>>,
+}
+
+impl<'a> Vm<'a> {
+    /// Create a VM, resolving the module's native references against the
+    /// engine's current table.
+    pub fn new(module: &'a Module, natives: &'a HashMap<String, NativeFn>) -> Self {
+        let natives = module.native_names.iter().map(|n| natives.get(n)).collect();
+        Vm { module, natives }
+    }
+
+    /// Call a compiled function by name.
+    pub fn call(&self, name: &str, args: &[Value]) -> VResult {
+        let Some(func) = self.module.function_index(name) else {
+            return Err(RuntimeError(format!("unknown function {name:?}")));
+        };
+        let f = &self.module.functions[func];
+        if f.n_params != args.len() {
+            return Err(RuntimeError(format!(
+                "{name:?} expects {} arguments, got {}",
+                f.n_params,
+                args.len()
+            )));
+        }
+        let mut stack: Vec<Value> = args.to_vec();
+        stack.resize(f.n_locals, Value::Nil);
+        let mut frames = vec![Frame { func, ip: 0, base: 0 }];
+
+        loop {
+            let frame = frames.last_mut().expect("at least one frame");
+            let code = &self.module.functions[frame.func].code;
+            let op = code[frame.ip];
+            frame.ip += 1;
+            match op {
+                Op::Const(k) => stack.push(self.module.consts[k as usize].clone()),
+                Op::Load(slot) => {
+                    let v = stack[frame.base + slot as usize].clone();
+                    stack.push(v);
+                }
+                Op::Store(slot) => {
+                    let v = stack.pop().expect("store needs a value");
+                    stack[frame.base + slot as usize] = v;
+                }
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::IntDiv | Op::Mod => {
+                    let b = stack.pop().expect("binary rhs");
+                    let a = stack.pop().expect("binary lhs");
+                    let r = match op {
+                        Op::Add => arith('+', &a, &b),
+                        Op::Sub => arith('-', &a, &b),
+                        Op::Mul => arith('*', &a, &b),
+                        Op::Div => arith('/', &a, &b),
+                        Op::Mod => arith('%', &a, &b),
+                        Op::IntDiv => intdiv(&a, &b),
+                        _ => unreachable!(),
+                    }?;
+                    stack.push(r);
+                }
+                Op::Eq | Op::Ne => {
+                    let b = stack.pop().expect("eq rhs");
+                    let a = stack.pop().expect("eq lhs");
+                    let eq = a == b;
+                    stack.push(Value::Bool(if matches!(op, Op::Eq) { eq } else { !eq }));
+                }
+                Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                    let b = stack.pop().expect("cmp rhs");
+                    let a = stack.pop().expect("cmp lhs");
+                    let s = match op {
+                        Op::Lt => "<",
+                        Op::Le => "<=",
+                        Op::Gt => ">",
+                        _ => ">=",
+                    };
+                    stack.push(compare(s, &a, &b)?);
+                }
+                Op::Neg => {
+                    let v = stack.pop().expect("neg operand");
+                    stack.push(match v {
+                        Value::Int(i) => Value::Int(i.wrapping_neg()),
+                        Value::Float(f) => Value::Float(-f),
+                        other => {
+                            return Err(RuntimeError(format!(
+                                "cannot negate {}",
+                                other.type_name()
+                            )))
+                        }
+                    });
+                }
+                Op::Not => {
+                    let v = stack.pop().expect("not operand");
+                    stack.push(Value::Bool(!v.truthy()));
+                }
+                Op::Jump(t) => frame.ip = t as usize,
+                Op::JumpIfFalse(t) => {
+                    if !stack.pop().expect("condition").truthy() {
+                        frame.ip = t as usize;
+                    }
+                }
+                Op::JumpIfTrue(t) => {
+                    if stack.pop().expect("condition").truthy() {
+                        frame.ip = t as usize;
+                    }
+                }
+                Op::Pop => {
+                    stack.pop().expect("pop needs a value");
+                }
+                Op::Call(fidx, argc) => {
+                    if frames.len() >= MAX_FRAMES {
+                        return Err(RuntimeError("call depth exceeded".into()));
+                    }
+                    let callee = &self.module.functions[fidx as usize];
+                    let base = stack.len() - argc as usize;
+                    stack.resize(base + callee.n_locals, Value::Nil);
+                    frames.push(Frame { func: fidx as usize, ip: 0, base });
+                }
+                Op::CallNative(nidx, argc) => {
+                    let Some(native) = self.natives[nidx as usize] else {
+                        return Err(RuntimeError(format!(
+                            "native {:?} not registered",
+                            self.module.native_names[nidx as usize]
+                        )));
+                    };
+                    let base = stack.len() - argc as usize;
+                    let r = native(&stack[base..])?;
+                    stack.truncate(base);
+                    stack.push(r);
+                }
+                Op::NewList(n) => {
+                    let base = stack.len() - n as usize;
+                    let items = stack.split_off(base);
+                    stack.push(Value::list(items));
+                }
+                Op::IndexGet => {
+                    let i = stack.pop().expect("index");
+                    let c = stack.pop().expect("container");
+                    stack.push(index_get(&c, &i)?);
+                }
+                Op::IndexSet => {
+                    let v = stack.pop().expect("value");
+                    let i = stack.pop().expect("index");
+                    let c = stack.pop().expect("container");
+                    index_set(&c, &i, v)?;
+                }
+                Op::Return | Op::ReturnNil => {
+                    let ret = if matches!(op, Op::Return) {
+                        stack.pop().expect("return value")
+                    } else {
+                        Value::Nil
+                    };
+                    let done_base = frames.pop().expect("current frame").base;
+                    stack.truncate(done_base);
+                    if frames.is_empty() {
+                        return Ok(ret);
+                    }
+                    stack.push(ret);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::parser::parse;
+
+    fn run(src: &str, func: &str, args: &[Value]) -> VResult {
+        let prog = parse(src).unwrap();
+        let natives = HashMap::new();
+        let module = compile(&prog, &natives)?;
+        Vm::new(&module, &natives).call(func, args)
+    }
+
+    #[test]
+    fn arithmetic_and_calls() {
+        let src = "fn sq(x) { return x * x; } fn f(a) { return sq(a) + sq(a + 1); }";
+        assert_eq!(run(src, "f", &[Value::Int(3)]).unwrap(), Value::Int(25));
+    }
+
+    #[test]
+    fn loops_with_break_continue() {
+        let src = "fn f(n) {\n var s = 0; var i = 0;\n while (true) {\n  i = i + 1;\n  if (i > n) { break; }\n  if (i % 2 == 0) { continue; }\n  s = s + i;\n }\n return s;\n}";
+        assert_eq!(run(src, "f", &[Value::Int(10)]).unwrap(), Value::Int(25));
+    }
+
+    #[test]
+    fn recursion_fib() {
+        let src = "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }";
+        assert_eq!(run(src, "fib", &[Value::Int(15)]).unwrap(), Value::Int(610));
+    }
+
+    #[test]
+    fn deep_recursion_guard() {
+        let r = run("fn f(n) { return f(n + 1); }", "f", &[Value::Int(0)]);
+        assert!(r.unwrap_err().0.contains("depth"));
+    }
+
+    #[test]
+    fn nested_calls_keep_stack_discipline() {
+        let src = "fn g(a, b) { return a - b; } fn f() { return g(g(10, 4), g(3, 1)); }";
+        assert_eq!(run(src, "f", &[]).unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn and_or_produce_bools() {
+        let src = "fn f(a, b) { return a and b; } fn g(a, b) { return a or b; }";
+        assert_eq!(run(src, "f", &[Value::Int(1), Value::Int(2)]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            run(src, "g", &[Value::Bool(false), Value::Nil]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn lists_work_on_the_vm() {
+        let src = "fn f() {\n var a = [5, 6];\n var b = a;\n b[0] = 50;\n return a[0] + a[-1];\n}";
+        assert_eq!(run(src, "f", &[]).unwrap(), Value::Int(56));
+    }
+
+    #[test]
+    fn nested_list_literals() {
+        let src = "fn f() { return [[1, 2], [3]][0][1]; }";
+        assert_eq!(run(src, "f", &[]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn vm_index_errors() {
+        assert!(run("fn f() { return [1][5]; }", "f", &[]).is_err());
+        assert!(run("fn f() { var a = 1; a[0] = 2; }", "f", &[]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_at_entry() {
+        assert!(run("fn f(a) { return a; }", "f", &[]).is_err());
+    }
+}

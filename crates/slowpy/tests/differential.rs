@@ -1,0 +1,215 @@
+//! Differential testing: the tree interpreter and the bytecode VM must
+//! agree on every program — values, errors, everything observable. This
+//! is the invariant the Fig. 3 tier comparison rests on ("the algorithm
+//! is identical in all cases").
+//!
+//! Programs are generated structurally (bounded loops, guarded divisions)
+//! so that generation cannot produce hangs, then run on both engines.
+
+use proptest::prelude::*;
+use slowpy::ast::{BinOp, Expr, FnDef, Program, Stmt};
+use slowpy::{Engine, Value};
+
+/// Variables available in generated code (declared up-front).
+const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-100i64..100).prop_map(Expr::Int),
+        (-100i64..100).prop_map(|i| Expr::Float(i as f64 / 4.0)),
+        any::<bool>().prop_map(Expr::Bool),
+        (0usize..VARS.len()).prop_map(|i| Expr::Var(VARS[i].to_owned())),
+        // Reads of the shared list `l` (declared with 3 elements; index -3..5
+        // exercises negative indexing and out-of-range errors, on which the
+        // engines must also agree).
+        (-3i64..5).prop_map(|i| {
+            Expr::Index(Box::new(Expr::Var("l".into())), Box::new(Expr::Int(i)))
+        }),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            inner.prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_assign() -> impl Strategy<Value = Stmt> + Clone {
+    (0usize..VARS.len(), arb_expr())
+        .prop_map(|(i, e)| Stmt::Assign(VARS[i].to_owned(), e))
+        .boxed()
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let ifstmt = (
+        arb_expr(),
+        proptest::collection::vec(arb_assign(), 0..3),
+        proptest::collection::vec(arb_assign(), 0..3),
+    )
+        .prop_map(|(cond, t, e)| Stmt::If(cond, t, e));
+    let index_assign = (-3i64..5, arb_expr()).prop_map(|(i, e)| {
+        Stmt::IndexAssign(Expr::Var("l".into()), Expr::Int(i), e)
+    });
+    prop_oneof![arb_assign(), ifstmt, index_assign]
+}
+
+/// A generated function: declares the four scalar variables and a shared
+/// 3-element list, runs a statement sequence (optionally inside a bounded
+/// counted loop), and returns a mix of every variable and list slot so all
+/// state is observable.
+fn arb_function() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(arb_stmt(), 0..8),
+        0u8..4, // loop repetitions
+    )
+        .prop_map(|(stmts, reps)| {
+            let mut body: Vec<Stmt> = VARS
+                .iter()
+                .enumerate()
+                .map(|(i, v)| Stmt::Var((*v).to_owned(), Expr::Int(i as i64 + 1)))
+                .collect();
+            body.push(Stmt::Var(
+                "l".into(),
+                Expr::List(vec![Expr::Int(100), Expr::Int(200), Expr::Int(300)]),
+            ));
+            if reps == 0 {
+                body.extend(stmts);
+            } else {
+                // var i = 0; while (i < reps) { stmts; i = i + 1; }
+                body.push(Stmt::Var("i".into(), Expr::Int(0)));
+                let mut loop_body = stmts;
+                loop_body.push(Stmt::Assign(
+                    "i".into(),
+                    Expr::Bin(
+                        BinOp::Add,
+                        Box::new(Expr::Var("i".into())),
+                        Box::new(Expr::Int(1)),
+                    ),
+                ));
+                body.push(Stmt::While(
+                    Expr::Bin(
+                        BinOp::Lt,
+                        Box::new(Expr::Var("i".into())),
+                        Box::new(Expr::Int(reps as i64)),
+                    ),
+                    loop_body,
+                ));
+            }
+            let lsum = (0..3).fold(Expr::Int(0), |acc, i| {
+                Expr::Bin(
+                    BinOp::Add,
+                    Box::new(acc),
+                    Box::new(Expr::Index(
+                        Box::new(Expr::Var("l".into())),
+                        Box::new(Expr::Int(i)),
+                    )),
+                )
+            });
+            body.push(Stmt::Return(Some(Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Var("a".into())),
+                    Box::new(Expr::Bin(
+                        BinOp::Mul,
+                        Box::new(Expr::Var("b".into())),
+                        Box::new(Expr::Int(3)),
+                    )),
+                )),
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Bin(
+                        BinOp::Sub,
+                        Box::new(Expr::Var("c".into())),
+                        Box::new(Expr::Var("d".into())),
+                    )),
+                    Box::new(lsum),
+                )),
+            ))));
+            Program {
+                functions: vec![FnDef { name: "f".into(), params: vec![], body, line: 1 }],
+            }
+        })
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        // NaN == NaN for the purpose of agreement.
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn tree_and_vm_agree_on_generated_programs(prog in arb_function()) {
+        let engine = Engine::new();
+        let tree = engine.run_tree(&prog, "f", &[]);
+        let vm = engine.run_vm(&prog, "f", &[]);
+        match (&tree, &vm) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                values_equal(a, b),
+                "tree={a:?} vm={b:?} prog={prog:?}"
+            ),
+            (Err(_), Err(_)) => {} // both failed: agreement on failure
+            other => prop_assert!(false, "engines disagree on success: {other:?}"),
+        }
+    }
+}
+
+/// Hand-picked regression seeds for corners the generator touches rarely.
+#[test]
+fn corner_programs_agree() {
+    let engine = Engine::new();
+    let sources = [
+        // division by zero only on one branch
+        "fn f() { var a = 1; if (a > 0) { a = a + 1; } else { a = a / 0; } return a; }",
+        // integer overflow wraps identically
+        "fn f() { var a = 9223372036854775807; return a + 1; }",
+        // deeply nested expressions
+        "fn f() { return ((((1 + 2) * 3 - 4) * 5 + 6) * 7 - 8) * 9; }",
+        // boolean arithmetic errors in both engines
+        "fn f() { return true; } fn g() { return f() + 1; }",
+        // negative float modulo (rem_euclid semantics)
+        "fn f() { return -7.5 % 2.0; }",
+        // integer // float mixing
+        "fn f() { return 7 // 2.0 + 7.0 // 2; }",
+    ];
+    for src in sources {
+        let prog = slowpy::parse(src).unwrap();
+        let name = &prog.functions.last().unwrap().name.clone();
+        let tree = engine.run_tree(&prog, name, &[]);
+        let vm = engine.run_vm(&prog, name, &[]);
+        match (&tree, &vm) {
+            (Ok(a), Ok(b)) => assert!(values_equal(a, b), "{src}: {a:?} vs {b:?}"),
+            (Err(_), Err(_)) => {}
+            other => panic!("{src}: engines disagree: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's launch story (Program 3), reenacted: "When the master
+//! starts, it writes its port to a file … A slave needs only the master's
+//! address and port to connect."
+//!
+//! The master binds an ephemeral port and writes it to a port file; slave
+//! threads discover the master *only* through that file — no daemons, no
+//! configuration files, no fixed ports. On a real cluster the slave loop
+//! below would run in processes started by PBS or pssh; the protocol and
+//! sockets here are exactly the same.
+//!
+//! ```text
+//! cargo run --release --example cluster_launch
+//! ```
+
+use mrs::apps::wordcount::{decode_counts, lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_runtime::distributed::{serve_master, RpcMasterLink};
+use mrs_runtime::slave::{run_slave, SlaveOptions};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let port_file = std::env::temp_dir().join(format!("mrs-port-{}", std::process::id()));
+
+    // Step 2 of Program 3: start the master; it writes its port to a file.
+    let master = Master::new(MasterConfig::default(), DataPlane::Direct)?;
+    let server = serve_master(master.clone(), 0)?;
+    std::fs::write(&port_file, server.port().to_string())?;
+    println!("master listening on {}, port written to {}", server.authority(), port_file.display());
+
+    // Steps 3–4: slaves wait for the port file and connect with only
+    // host:port — the pssh/PBS part of the script.
+    let stop = Arc::new(AtomicBool::new(false));
+    let program: Arc<dyn Program> = Arc::new(Simple(WordCount));
+    let slaves: Vec<_> = (0..3)
+        .map(|i| {
+            let port_file = port_file.clone();
+            let program = Arc::clone(&program);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Wait for the master to announce itself.
+                let port = loop {
+                    if let Ok(text) = std::fs::read_to_string(&port_file) {
+                        if let Ok(p) = text.trim().parse::<u16>() {
+                            break p;
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                };
+                println!("slave {i} connecting to 127.0.0.1:{port}");
+                let link = RpcMasterLink::new(format!("127.0.0.1:{port}"));
+                run_slave(&link, program, DataPlane::Direct, &SlaveOptions::default(), &stop)
+            })
+        })
+        .collect();
+
+    // Drive a job through the master.
+    let mut driver = master.clone();
+    let mut job = Job::new(&mut driver);
+    let input = lines_to_records([
+        "no daemons no configuration files no particular network ports",
+        "a slave needs only the master address and port to connect",
+    ]);
+    let out = job.map_reduce(input, 2, 2, true)?;
+    let counts = decode_counts(&out)?;
+    println!("\ncounted {} distinct words; 'no' appears {} times", counts.len(), counts["no"]);
+
+    master.finish();
+    for s in slaves {
+        s.join().expect("slave thread panicked")?;
+    }
+    let _ = std::fs::remove_file(&port_file);
+    println!("clean shutdown ✓");
+    Ok(())
+}

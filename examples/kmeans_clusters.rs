@@ -1,0 +1,61 @@
+//! Iterative k-means clustering via MapReduce — the paper-intro workload.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release --example kmeans_clusters [points_per_blob] [spread] [workers]
+//! ```
+//!
+//! Generates Gaussian blobs, clusters them with Lloyd's algorithm on the
+//! thread-pool runtime, and prints the inertia trace and recovered
+//! centroids.
+
+use mrs::apps::kmeans::{gaussian_blobs, init_from_data, KMeans};
+use mrs::prelude::*;
+use mrs_runtime::LocalRuntime;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let mut args = std::env::args().skip(1);
+    let per_blob: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let spread: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.2);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let truth = vec![
+        vec![0.0, 0.0, 0.0],
+        vec![12.0, -3.0, 5.0],
+        vec![-8.0, 9.0, 1.0],
+        vec![4.0, 14.0, -7.0],
+    ];
+    let points = gaussian_blobs(&truth, per_blob, spread, 2024);
+    println!(
+        "{} points in {} blobs (spread {spread}), k-means on {workers} workers\n",
+        points.len(),
+        truth.len()
+    );
+
+    let program = Arc::new(Simple(KMeans::new(init_from_data(&points, truth.len())?)?));
+    let mut rt = LocalRuntime::pool(program.clone(), workers);
+    let t0 = std::time::Instant::now();
+    let history = {
+        let mut job = Job::new(&mut rt);
+        program.0.run(&mut job, points, workers * 2, 1e-4, 100)?
+    };
+    let elapsed = t0.elapsed();
+
+    println!("iteration  inertia");
+    for (i, inertia) in history.iter().enumerate() {
+        println!("{i:>9}  {inertia:.1}");
+    }
+    println!("\nconverged in {} iterations, {:.3} s total", history.len(), elapsed.as_secs_f64());
+    println!("\nrecovered centroids (truth in parentheses):");
+    let mut found = program.0.centroids();
+    found.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    let mut truth_sorted = truth.clone();
+    truth_sorted.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    for (f, t) in found.iter().zip(&truth_sorted) {
+        let fs: Vec<String> = f.iter().map(|x| format!("{x:6.2}")).collect();
+        let ts: Vec<String> = t.iter().map(|x| format!("{x:.0}")).collect();
+        println!("  [{}]   ({})", fs.join(", "), ts.join(", "));
+    }
+    Ok(())
+}

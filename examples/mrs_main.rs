@@ -1,0 +1,35 @@
+//! The `mrs.main` pattern: one binary that runs the same WordCount under
+//! any execution implementation chosen on the command line — the paper's
+//! single-entry-point workflow (§IV-A).
+//!
+//! ```text
+//! cargo run --release --example mrs_main                       # serial
+//! cargo run --release --example mrs_main -- --mrs mock
+//! cargo run --release --example mrs_main -- --mrs pool --mrs-workers 8
+//! # terminal 1:
+//! cargo run --release --example mrs_main -- --mrs master --mrs-port-file /tmp/mrs.port
+//! # terminal 2..n:
+//! cargo run --release --example mrs_main -- --mrs slave --mrs-master 127.0.0.1:$(cat /tmp/mrs.port)
+//! ```
+
+use mrs::apps::wordcount::{decode_counts, lines_to_records, WordCount};
+use mrs::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    mrs_runtime::main_with(Arc::new(Simple(WordCount)), |job| {
+        let lines = [
+            "one entry point to rule them all",
+            "the same program runs serial mock pool master or slave",
+            "the implementation is a command line option",
+        ];
+        let out = job.map_reduce(lines_to_records(lines), 2, 2, true)?;
+        let counts = decode_counts(&out)?;
+        let mut sorted: Vec<(&String, &u64)> = counts.iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (w, c) in sorted.iter().take(8) {
+            println!("{c:>3}  {w}");
+        }
+        Ok(())
+    })
+}

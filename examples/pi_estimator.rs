@@ -1,0 +1,51 @@
+//! The π estimator of §V-B across all four language tiers.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release --example pi_estimator [samples] [tasks] [workers]
+//! ```
+//!
+//! Runs the identical Halton-sequence kernel as native Rust ("C"), slowpy
+//! bytecode ("PyPy"), slowpy tree-walking ("CPython"), and slowpy+native
+//! inner loop ("ctypes"), on the thread-pool runtime, and reports the
+//! estimate and per-tier wall time — a single-machine rendering of Fig. 3.
+
+use mrs::apps::pi::{estimate_from, slabs, Kernel, PiEstimator};
+use mrs::prelude::*;
+use mrs_runtime::LocalRuntime;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> Result<()> {
+    let mut args = std::env::args().skip(1);
+    let samples: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let tasks: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    println!("π by quasi-Monte-Carlo: {samples} Halton samples, {tasks} map tasks, {workers} workers\n");
+    println!("{:<10} {:>12} {:>14} {:>10}", "tier", "time (ms)", "estimate", "error");
+
+    let mut reference: Option<f64> = None;
+    for kernel in Kernel::all() {
+        let program = Arc::new(Simple(PiEstimator { kernel }));
+        let mut rt = LocalRuntime::pool(program, workers);
+        let mut job = Job::new(&mut rt);
+        let t0 = Instant::now();
+        let out = job.map_reduce(slabs(samples, tasks), tasks as usize, 1, false)?;
+        let elapsed = t0.elapsed();
+        let pi = estimate_from(&out)?;
+        println!(
+            "{:<10} {:>12.1} {:>14.9} {:>10.2e}",
+            kernel.name(),
+            elapsed.as_secs_f64() * 1e3,
+            pi,
+            (pi - std::f64::consts::PI).abs()
+        );
+        match reference {
+            None => reference = Some(pi),
+            Some(r) => assert_eq!(r, pi, "tier {kernel:?} diverged — kernels must agree exactly"),
+        }
+    }
+    println!("\nall tiers produced the identical estimate ✓");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's Program 1 (WordCount), run on all four
+//! execution implementations — bypass, serial, mock parallel, and a real
+//! master/slave cluster over XML-RPC — and checked for identical answers,
+//! which is exactly the debugging discipline §IV-A prescribes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mrs::apps::wordcount::{decode_counts, lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_fs::{MemFs, Store};
+use mrs_runtime::LocalCluster;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const TEXT: &[&str] = &[
+    "the quick brown fox jumps over the lazy dog",
+    "the dog barks and the fox runs",
+    "mapreduce makes the parallelism invisible",
+];
+
+fn main() -> Result<()> {
+    // 1. Bypass: plain sequential code, no framework at all (§IV-A).
+    let bypass: HashMap<String, u64> = corpus::tokenizer::reference_counts(TEXT.iter().copied());
+    println!("bypass:        {} distinct words", bypass.len());
+
+    // 2. Serial implementation.
+    let serial = {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        let mut job = Job::new(&mut rt);
+        decode_counts(&job.map_reduce(lines_to_records(TEXT.iter().copied()), 1, 1, true)?)?
+    };
+    println!("serial:        {} distinct words", serial.len());
+
+    // 3. Mock parallel: same task split as the cluster, one processor,
+    //    intermediate data spilled to bucket files.
+    let spill = Arc::new(MemFs::new());
+    let mock = {
+        let mut rt = LocalRuntime::mock_parallel(Arc::new(Simple(WordCount)), spill.clone());
+        let mut job = Job::new(&mut rt);
+        decode_counts(&job.map_reduce(lines_to_records(TEXT.iter().copied()), 2, 3, true)?)?
+    };
+    println!("mock parallel: {} distinct words ({} debug bucket files)",
+        mock.len(),
+        spill.list("")?.len());
+
+    // 4. Master/slave over real localhost XML-RPC, direct HTTP data plane.
+    let distributed = {
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            3,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )?;
+        let mut job = Job::new(&mut cluster);
+        decode_counts(&job.map_reduce(lines_to_records(TEXT.iter().copied()), 2, 3, true)?)?
+    };
+    println!("distributed:   {} distinct words", distributed.len());
+
+    assert_eq!(bypass, serial, "serial diverged from bypass");
+    assert_eq!(serial, mock, "mock parallel diverged");
+    assert_eq!(mock, distributed, "distributed diverged");
+    println!("\nall four implementations produced identical answers ✓");
+
+    let mut top: Vec<(&String, &u64)> = serial.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("\ntop words:");
+    for (w, c) in top.iter().take(5) {
+        println!("  {c:>3}  {w}");
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! WordCount over a synthetic Gutenberg corpus, on Mrs (real cluster,
+//! measured) and on the Hadoop simulator (virtual clock) — a scaled-down
+//! rendering of the §V-B WordCount comparison.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release --example wordcount_corpus [files] [slaves]
+//! ```
+
+use corpus::tree::{directory_count, Layout};
+use corpus::{Corpus, CorpusConfig};
+use hadoop_sim::cluster::JobSpec;
+use hadoop_sim::hdfs::InputProfile;
+use hadoop_sim::{HadoopCluster, SimConfig};
+use mrs::apps::wordcount::{decode_counts, documents_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_runtime::LocalCluster;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> Result<()> {
+    let mut args = std::env::args().skip(1);
+    let files: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let slaves: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let corpus = Corpus::new(CorpusConfig {
+        n_files: files,
+        mean_tokens: 1_000,
+        ..CorpusConfig::default()
+    });
+    let documents: Vec<String> = (0..files).map(|f| corpus.document(f)).collect();
+    let bytes: u64 = documents.iter().map(|d| d.len() as u64).sum();
+    let records = documents_to_records(documents.iter().map(String::as_str));
+    println!(
+        "corpus: {files} files, {} lines, {:.1} MB (nested tree: {} directories)\n",
+        records.len(),
+        bytes as f64 / 1e6,
+        directory_count(Layout::Nested, files)
+    );
+
+    // Mrs: real master/slave cluster over localhost RPC, measured.
+    let t0 = Instant::now();
+    let counts = {
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            slaves,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )?;
+        let mut job = Job::new(&mut cluster);
+        let out = job.map_reduce(records.clone(), slaves * 4, slaves * 2, true)?;
+        decode_counts(&out)?
+    };
+    let mrs_time = t0.elapsed();
+    println!(
+        "mrs ({slaves} slaves):   {:>8.2} s measured, {} distinct words",
+        mrs_time.as_secs_f64(),
+        counts.len()
+    );
+
+    // Hadoop baseline: the same job on the simulator, charged with the
+    // nested-directory namenode traffic.
+    let hadoop = HadoopCluster::new(slaves, SimConfig::default())?;
+    let program = Simple(WordCount);
+    let report = hadoop.run_job(&JobSpec {
+        program: &program,
+        map_func: 0,
+        reduce_func: 0,
+        combine: true,
+        input: records,
+        input_profile: InputProfile {
+            files,
+            directories: directory_count(Layout::Nested, files),
+            bytes,
+        },
+        n_maps: slaves * 4,
+        n_reduces: slaves * 2,
+    })?;
+    println!(
+        "hadoop (simulated):  {:>8.2} s virtual  ({:.2} s of it input scan), {} distinct words",
+        report.total.as_secs_f64(),
+        report.input_scan.as_secs_f64(),
+        decode_counts(&report.output)?.len()
+    );
+    assert_eq!(decode_counts(&report.output)?, counts, "frameworks disagree!");
+    println!("\nboth frameworks produced identical counts ✓");
+    println!(
+        "speedup (shape, not absolute): {:.0}×",
+        report.total.as_secs_f64() / mrs_time.as_secs_f64()
+    );
+    Ok(())
+}

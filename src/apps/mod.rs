@@ -1,0 +1,25 @@
+//! The applications evaluated in the paper (§V).
+//!
+//! * [`wordcount`] — Program 1: the canonical WordCount,
+//! * [`pi`] — the Hadoop-`PiEstimator`-style quasi-Monte-Carlo π
+//!   estimator over Halton sequences, with selectable language tiers
+//!   (native "C", slowpy bytecode "PyPy", slowpy tree "CPython", and the
+//!   ctypes-style hybrid),
+//! * [`kmeans`] — iterative Lloyd clustering (paper intro, ref \[2\]),
+//! * [`logreg`] — batch logistic regression by MapReduce gradient descent
+//!   (paper intro, ref \[3\]),
+//! * [`gmm`] — expectation–maximization for Gaussian mixtures (paper
+//!   intro, ref \[3\]),
+//! * [`sort`] — TeraSort-style distributed sort with sampled range
+//!   partitioning,
+//! * [`grep`] — distributed grep (the original MapReduce paper's first
+//!   example),
+//! * PSO lives in its own crate, [`mrs_pso`].
+
+pub mod gmm;
+pub mod grep;
+pub mod kmeans;
+pub mod logreg;
+pub mod pi;
+pub mod sort;
+pub mod wordcount;

@@ -1,0 +1,106 @@
+//! Checkpoint/resume of iterative jobs: because every Mrs program is
+//! deterministic given its state (the §IV-A reproducibility guarantee), a
+//! job saved to a store and resumed in a *fresh runtime* must continue the
+//! exact trajectory of an uninterrupted run.
+
+use mrs::prelude::*;
+use mrs_fs::{MemFs, Store};
+use mrs_pso::mapreduce::{PsoProgram, FUNC_PARTICLE};
+use mrs_pso::{Objective, Particle, PsoConfig, Topology};
+use mrs_runtime::LocalRuntime;
+use std::sync::Arc;
+
+fn config() -> PsoConfig {
+    PsoConfig {
+        objective: Objective::Rastrigin,
+        dim: 6,
+        n_particles: 9,
+        topology: Topology::Ring { k: 1 },
+        seed: 77,
+    }
+}
+
+fn iterate(job: &mut Job, mut ds: DataId, parts: usize, iters: u64) -> DataId {
+    for _ in 0..iters {
+        let m = job.map_data(ds, FUNC_PARTICLE, parts, false).unwrap();
+        ds = job.reduce_data(m, FUNC_PARTICLE).unwrap();
+    }
+    ds
+}
+
+fn swarm_of(job: &mut Job, ds: DataId) -> Vec<Particle> {
+    PsoProgram::particles_of(&job.fetch_all(ds).unwrap()).unwrap()
+}
+
+#[test]
+fn resume_from_checkpoint_continues_exact_trajectory() {
+    let store = MemFs::new();
+
+    // Uninterrupted: 20 iterations in one runtime.
+    let unbroken = {
+        let program = Arc::new(PsoProgram::new(config(), 1));
+        let mut rt = LocalRuntime::pool(program.clone(), 3);
+        let mut job = Job::new(&mut rt);
+        let ds = job.local_data(program.initial_particles(), 3).unwrap();
+        let last = iterate(&mut job, ds, 3, 20);
+        swarm_of(&mut job, last)
+    };
+
+    // Interrupted: 8 iterations, checkpoint, new runtime, restore, 12 more.
+    {
+        let program = Arc::new(PsoProgram::new(config(), 1));
+        let mut rt = LocalRuntime::pool(program.clone(), 3);
+        let mut job = Job::new(&mut rt);
+        let ds = job.local_data(program.initial_particles(), 3).unwrap();
+        let mid = iterate(&mut job, ds, 3, 8);
+        let saved = job.save(mid, &store, "pso/run1").unwrap();
+        assert_eq!(saved, 9);
+    } // runtime dropped: the "crash"
+
+    let resumed = {
+        let program = Arc::new(PsoProgram::new(config(), 1));
+        let mut rt = LocalRuntime::pool(program, 5); // different worker count too
+        let mut job = Job::new(&mut rt);
+        let ds = job.restore(&store, "pso/run1", 5).unwrap();
+        let last = iterate(&mut job, ds, 5, 12);
+        swarm_of(&mut job, last)
+    };
+
+    assert_eq!(unbroken, resumed, "resumed trajectory diverged");
+}
+
+#[test]
+fn save_and_restore_roundtrip_preserves_records() {
+    let store = MemFs::new();
+    let program = Arc::new(PsoProgram::new(config(), 1));
+    let records = program.initial_particles();
+    let mut rt = LocalRuntime::pool(program, 2);
+    let mut job = Job::new(&mut rt);
+    let ds = job.local_data(records.clone(), 2).unwrap();
+    job.save(ds, &store, "raw").unwrap();
+    let back = job.restore(&store, "raw", 2).unwrap();
+    let mut a = job.fetch_all(back).unwrap();
+    let mut b = records;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn restore_of_missing_checkpoint_fails_cleanly() {
+    let store = MemFs::new();
+    let program = Arc::new(PsoProgram::new(config(), 1));
+    let mut rt = LocalRuntime::pool(program, 2);
+    let mut job = Job::new(&mut rt);
+    assert!(job.restore(&store, "never-saved", 2).is_err());
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected() {
+    let store = MemFs::new();
+    store.put("bad/checkpoint.mrsb", b"not a bucket file").unwrap();
+    let program = Arc::new(PsoProgram::new(config(), 1));
+    let mut rt = LocalRuntime::pool(program, 2);
+    let mut job = Job::new(&mut rt);
+    assert!(job.restore(&store, "bad", 2).is_err());
+}

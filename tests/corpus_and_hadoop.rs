@@ -1,0 +1,125 @@
+//! End-to-end WordCount over the synthetic corpus: Mrs runtimes, the
+//! Hadoop simulator, and the framework-independent reference must all
+//! agree; the simulator's virtual timings must show the paper's structure
+//! (startup dominated by file count, ~30 s job floor).
+
+use corpus::tree::{directory_count, Layout};
+use corpus::{Corpus, CorpusConfig};
+use hadoop_sim::cluster::JobSpec;
+use hadoop_sim::hdfs::InputProfile;
+use hadoop_sim::{HadoopCluster, SimConfig};
+use mrs::apps::wordcount::{decode_counts, documents_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_runtime::LocalCluster;
+use std::sync::Arc;
+
+fn small_corpus(files: u64) -> (Vec<mrs_core::Record>, u64, std::collections::HashMap<String, u64>) {
+    let corpus = Corpus::new(CorpusConfig {
+        n_files: files,
+        mean_tokens: 300,
+        vocab: 5_000,
+        ..CorpusConfig::default()
+    });
+    let docs: Vec<String> = (0..files).map(|f| corpus.document(f)).collect();
+    let bytes = docs.iter().map(|d| d.len() as u64).sum();
+    let reference =
+        corpus::tokenizer::reference_counts(docs.iter().flat_map(|d| d.lines()));
+    (documents_to_records(docs.iter().map(String::as_str)), bytes, reference)
+}
+
+#[test]
+fn mrs_cluster_matches_reference_counts() {
+    let (records, _, reference) = small_corpus(40);
+    let mut cluster = LocalCluster::start(
+        Arc::new(Simple(WordCount)),
+        3,
+        DataPlane::Direct,
+        MasterConfig::default(),
+    )
+    .unwrap();
+    let mut job = Job::new(&mut cluster);
+    let out = job.map_reduce(records, 6, 4, true).unwrap();
+    assert_eq!(decode_counts(&out).unwrap(), reference);
+}
+
+#[test]
+fn hadoop_sim_matches_reference_counts() {
+    let (records, bytes, reference) = small_corpus(40);
+    let cluster = HadoopCluster::new(4, SimConfig::default()).unwrap();
+    let program = Simple(WordCount);
+    let report = cluster
+        .run_job(&JobSpec {
+            program: &program,
+            map_func: 0,
+            reduce_func: 0,
+            combine: true,
+            input: records,
+            input_profile: InputProfile { files: 40, directories: 10, bytes },
+            n_maps: 6,
+            n_reduces: 4,
+        })
+        .unwrap();
+    assert_eq!(decode_counts(&report.output).unwrap(), reference);
+    // The paper's structural claim: even this small job pays tens of
+    // seconds of fixed cost on Hadoop.
+    assert!(report.total.as_secs_f64() > 18.0, "{:?}", report.total);
+}
+
+#[test]
+fn nested_tree_staging_dominates_at_paper_scale() {
+    // Paper numbers: full corpus 31,173 files → startup alone ≈ 9 min;
+    // subset 8,316 files → preparation ≈ 1 min. Check the simulator's
+    // input-scan model lands in those bands without running the data.
+    let cfg = SimConfig::default();
+    let full = hadoop_sim::hdfs::input_scan_time(
+        &cfg,
+        &InputProfile {
+            files: 31_173,
+            directories: directory_count(Layout::Nested, 31_173),
+            bytes: 12_000_000_000,
+        },
+    );
+    let subset = hadoop_sim::hdfs::input_scan_time(
+        &cfg,
+        &InputProfile {
+            files: 8_316,
+            directories: directory_count(Layout::Nested, 8_316),
+            bytes: 3_000_000_000,
+        },
+    );
+    let full_s = full.as_secs_f64();
+    let subset_s = subset.as_secs_f64();
+    assert!((300.0..900.0).contains(&full_s), "full scan {full_s}s");
+    assert!((40.0..300.0).contains(&subset_s), "subset scan {subset_s}s");
+    assert!(full_s > 3.0 * subset_s, "full must dwarf subset");
+}
+
+#[test]
+fn flat_layout_is_much_cheaper_to_scan_than_nested() {
+    let cfg = SimConfig::default();
+    let files = 10_000;
+    let nested = hadoop_sim::hdfs::input_scan_time(
+        &cfg,
+        &InputProfile {
+            files,
+            directories: directory_count(Layout::Nested, files),
+            bytes: 1_000_000,
+        },
+    );
+    let flat = hadoop_sim::hdfs::input_scan_time(
+        &cfg,
+        &InputProfile { files, directories: 1, bytes: 1_000_000 },
+    );
+    // Directory traversal adds real cost, but per-file ops dominate both;
+    // nested must be strictly worse.
+    assert!(nested > flat);
+}
+
+#[test]
+fn corpus_is_reproducible_across_generators() {
+    let a = Corpus::new(CorpusConfig { n_files: 10, ..CorpusConfig::default() });
+    let b = Corpus::new(CorpusConfig { n_files: 10, ..CorpusConfig::default() });
+    for f in 0..10 {
+        assert_eq!(a.document(f), b.document(f));
+    }
+}

@@ -1,0 +1,130 @@
+//! Fault-tolerance behaviour of the master/slave implementation: slave
+//! crashes, storage hiccups, and poisoned tasks.
+
+use mrs::apps::wordcount::{decode_counts, lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_fs::MemFs;
+use mrs_runtime::LocalCluster;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn big_input() -> Vec<mrs_core::Record> {
+    let lines: Vec<String> =
+        (0..600).map(|i| format!("common w{} w{} w{}", i % 13, i % 29, i % 7)).collect();
+    lines_to_records(lines.iter().map(String::as_str))
+}
+
+fn quick_sweep_config() -> MasterConfig {
+    MasterConfig { slave_timeout: Duration::from_millis(150), ..MasterConfig::default() }
+}
+
+#[test]
+fn killing_one_slave_mid_job_preserves_the_answer() {
+    let mut cluster = LocalCluster::start(
+        Arc::new(Simple(WordCount)),
+        4,
+        DataPlane::Direct,
+        quick_sweep_config(),
+    )
+    .unwrap();
+
+    let reduced = {
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(big_input(), 24).unwrap();
+        let mapped = job.map_data(src, 0, 8, true).unwrap();
+        job.reduce_data(mapped, 0).unwrap()
+    };
+    cluster.kill_slave(1);
+    let out = {
+        let mut job = Job::new(&mut cluster);
+        job.fetch_all(reduced).unwrap()
+    };
+    let counts = decode_counts(&out).unwrap();
+    assert_eq!(counts["common"], 600);
+}
+
+#[test]
+fn killing_all_but_one_slave_still_completes() {
+    let mut cluster = LocalCluster::start(
+        Arc::new(Simple(WordCount)),
+        3,
+        DataPlane::Direct,
+        quick_sweep_config(),
+    )
+    .unwrap();
+    let reduced = {
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(big_input(), 12).unwrap();
+        let mapped = job.map_data(src, 0, 4, true).unwrap();
+        job.reduce_data(mapped, 0).unwrap()
+    };
+    cluster.kill_slave(0);
+    cluster.kill_slave(2);
+    let out = {
+        let mut job = Job::new(&mut cluster);
+        job.fetch_all(reduced).unwrap()
+    };
+    assert_eq!(decode_counts(&out).unwrap()["common"], 600);
+}
+
+#[test]
+fn transient_shared_fs_failures_are_retried() {
+    let store = MemFs::new();
+    let shared: Arc<dyn mrs_fs::Store> = Arc::new(store.clone());
+    let mut cluster = LocalCluster::start(
+        Arc::new(Simple(WordCount)),
+        2,
+        DataPlane::SharedFs(shared),
+        MasterConfig::default(),
+    )
+    .unwrap();
+    let out = {
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(big_input(), 8).unwrap();
+        // Break the next few storage operations: some task attempts will
+        // fail and must be re-queued, not fail the job.
+        store.fail_next(3);
+        let mapped = job.map_data(src, 0, 4, true).unwrap();
+        let reduced = job.reduce_data(mapped, 0).unwrap();
+        job.fetch_all(reduced).unwrap()
+    };
+    assert_eq!(decode_counts(&out).unwrap()["common"], 600);
+    assert!(cluster.metrics().tasks_retried() > 0, "expected at least one retry");
+}
+
+#[test]
+fn poisoned_task_fails_the_job_after_attempt_cap() {
+    // A program whose map always fails on decode: give it garbage records.
+    let cfg = MasterConfig { max_attempts: 2, ..MasterConfig::default() };
+    let mut cluster =
+        LocalCluster::start(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg).unwrap();
+    let mut job = Job::new(&mut cluster);
+    let src = job.local_data(vec![(vec![1, 2], vec![3])], 1).unwrap();
+    let mapped = job.map_data(src, 0, 1, false).unwrap();
+    let err = job.wait(mapped).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("failed"), "{msg}");
+}
+
+#[test]
+fn job_submitted_before_any_slave_completes_when_one_arrives() {
+    let mut cluster = LocalCluster::start(
+        Arc::new(Simple(WordCount)),
+        0,
+        DataPlane::Direct,
+        MasterConfig::default(),
+    )
+    .unwrap();
+    let reduced = {
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(big_input(), 4).unwrap();
+        let mapped = job.map_data(src, 0, 2, false).unwrap();
+        job.reduce_data(mapped, 0).unwrap()
+    };
+    cluster.add_slave();
+    let out = {
+        let mut job = Job::new(&mut cluster);
+        job.fetch_all(reduced).unwrap()
+    };
+    assert_eq!(decode_counts(&out).unwrap()["common"], 600);
+}

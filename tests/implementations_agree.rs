@@ -1,0 +1,164 @@
+//! The paper's central debugging discipline (§IV-A): "A program's
+//! master/slave, serial, mock parallel, and bypass implementations should
+//! all produce identical answers. Differences in behavior between any two
+//! implementations, even in stochastic algorithms, indicate a bug."
+//!
+//! These tests enforce that property across every runtime in the
+//! workspace, for both WordCount (data-parallel) and PSO (stochastic,
+//! iterative).
+
+use mrs::apps::wordcount::{decode_counts, lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_fs::MemFs;
+use mrs_pso::mapreduce::{PsoProgram, FUNC_PARTICLE};
+use mrs_pso::serial::SerialPso;
+use mrs_pso::{Objective, Particle, PsoConfig, Topology};
+use mrs_runtime::{LocalCluster, LocalRuntime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn sample_lines() -> Vec<String> {
+    (0..60).map(|i| format!("alpha w{} w{} beta w{}", i % 7, i % 11, i % 3)).collect()
+}
+
+fn wordcount_on(job: &mut Job, maps: usize, reduces: usize) -> HashMap<String, u64> {
+    let lines = sample_lines();
+    let input = lines_to_records(lines.iter().map(String::as_str));
+    let out = job.map_reduce(input, maps, reduces, true).unwrap();
+    decode_counts(&out).unwrap()
+}
+
+#[test]
+fn wordcount_identical_across_all_five_runtimes() {
+    let lines = sample_lines();
+    let bypass = corpus::tokenizer::reference_counts(lines.iter().map(String::as_str));
+
+    let serial = {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        wordcount_on(&mut Job::new(&mut rt), 1, 1)
+    };
+    let mock = {
+        let mut rt =
+            LocalRuntime::mock_parallel(Arc::new(Simple(WordCount)), Arc::new(MemFs::new()));
+        wordcount_on(&mut Job::new(&mut rt), 4, 3)
+    };
+    let pool = {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 6);
+        wordcount_on(&mut Job::new(&mut rt), 5, 4)
+    };
+    let direct = {
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            3,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        wordcount_on(&mut Job::new(&mut cluster), 4, 3)
+    };
+    let shared = {
+        let store: Arc<dyn mrs_fs::Store> = Arc::new(MemFs::new());
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            2,
+            DataPlane::SharedFs(store),
+            MasterConfig::default(),
+        )
+        .unwrap();
+        wordcount_on(&mut Job::new(&mut cluster), 3, 2)
+    };
+
+    assert_eq!(bypass, serial, "serial vs bypass");
+    assert_eq!(serial, mock, "mock vs serial");
+    assert_eq!(mock, pool, "pool vs mock");
+    assert_eq!(pool, direct, "distributed-direct vs pool");
+    assert_eq!(direct, shared, "distributed-sharedfs vs distributed-direct");
+}
+
+fn pso_config() -> PsoConfig {
+    PsoConfig {
+        objective: Objective::Rastrigin,
+        dim: 8,
+        n_particles: 10,
+        topology: Topology::Ring { k: 1 },
+        seed: 2024,
+    }
+}
+
+fn pso_swarm_on(job: &mut Job, parts: usize, iters: u64) -> Vec<Particle> {
+    let program = PsoProgram::new(pso_config(), 1);
+    let mut ds = job.local_data(program.initial_particles(), parts).unwrap();
+    for _ in 0..iters {
+        let m = job.map_data(ds, FUNC_PARTICLE, parts, false).unwrap();
+        ds = job.reduce_data(m, FUNC_PARTICLE).unwrap();
+    }
+    PsoProgram::particles_of(&job.fetch_all(ds).unwrap()).unwrap()
+}
+
+#[test]
+fn stochastic_pso_bitwise_identical_across_runtimes() {
+    let iters = 12;
+
+    // Bypass: the plain serial loop.
+    let mut bypass = SerialPso::new(pso_config());
+    bypass.run(iters);
+    let expected: Vec<Particle> = bypass.swarm().to_vec();
+
+    let serial = {
+        let mut rt = SerialRuntime::new(Arc::new(PsoProgram::new(pso_config(), 1)));
+        pso_swarm_on(&mut Job::new(&mut rt), 1, iters)
+    };
+    let pool = {
+        let mut rt = LocalRuntime::pool(Arc::new(PsoProgram::new(pso_config(), 1)), 4);
+        pso_swarm_on(&mut Job::new(&mut rt), 5, iters)
+    };
+    let cluster = {
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(pso_config(), 1)),
+            3,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
+    };
+
+    assert_eq!(serial, expected, "MapReduce-serial vs bypass");
+    assert_eq!(pool, expected, "pool vs bypass");
+    assert_eq!(cluster, expected, "cluster vs bypass");
+}
+
+#[test]
+fn island_granularity_identical_serial_vs_pool() {
+    let cfg = PsoConfig {
+        objective: Objective::Sphere,
+        dim: 6,
+        n_particles: 15,
+        topology: Topology::Subswarms { size: 5 },
+        seed: 7,
+    };
+    let drive = |job: &mut Job| {
+        let program = PsoProgram::new(cfg.clone(), 8);
+        program.drive_islands(job, 10).unwrap()
+    };
+    let a = {
+        let mut rt = SerialRuntime::new(Arc::new(PsoProgram::new(cfg.clone(), 8)));
+        drive(&mut Job::new(&mut rt))
+    };
+    let b = {
+        let mut rt = LocalRuntime::pool(Arc::new(PsoProgram::new(cfg.clone(), 8)), 5);
+        drive(&mut Job::new(&mut rt))
+    };
+    let c = {
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(cfg.clone(), 8)),
+            2,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        drive(&mut Job::new(&mut cluster))
+    };
+    assert_eq!(a, b, "pool vs serial");
+    assert_eq!(b, c, "cluster vs pool");
+}

@@ -1,0 +1,127 @@
+//! Iterative-MapReduce behaviour on the real cluster: operation
+//! pipelining, task→slave affinity across iterations, and the π tiers.
+
+use mrs::apps::pi::{estimate_from, slabs, Kernel, PiEstimator};
+use mrs::apps::wordcount::{decode_counts, lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_pso::mapreduce::PsoProgram;
+use mrs_pso::{Objective, PsoConfig, Topology};
+use mrs_runtime::LocalCluster;
+use std::sync::Arc;
+
+#[test]
+fn affinity_keeps_iterative_tasks_on_their_slaves() {
+    let cfg = PsoConfig {
+        objective: Objective::Sphere,
+        dim: 4,
+        n_particles: 8,
+        topology: Topology::Subswarms { size: 2 },
+        seed: 5,
+    };
+    let program = Arc::new(PsoProgram::new(cfg, 3));
+    let mut cluster = LocalCluster::start(
+        program.clone(),
+        4,
+        DataPlane::Direct,
+        MasterConfig::default(),
+    )
+    .unwrap();
+    {
+        let mut job = Job::new(&mut cluster);
+        program.drive_islands(&mut job, 12).unwrap();
+    }
+    let m = cluster.metrics();
+    let hits = m.affinity_hits();
+    let misses = m.affinity_misses();
+    assert!(hits > 0, "no affinity hits at all ({hits}/{misses})");
+    // With 4 islands on 4 slaves over 12 iterations, the steady state
+    // should be strongly affine.
+    assert!(
+        hits as f64 / (hits + misses).max(1) as f64 > 0.5,
+        "affinity rate too low: {hits} hits / {misses} misses"
+    );
+}
+
+#[test]
+fn affinity_off_still_computes_correctly() {
+    let cfg = MasterConfig { use_affinity: false, ..MasterConfig::default() };
+    let mut cluster =
+        LocalCluster::start(Arc::new(Simple(WordCount)), 3, DataPlane::Direct, cfg).unwrap();
+    let lines: Vec<String> = (0..50).map(|i| format!("x y{}", i % 5)).collect();
+    let out = {
+        let mut job = Job::new(&mut cluster);
+        job.map_reduce(lines_to_records(lines.iter().map(String::as_str)), 5, 3, true)
+            .unwrap()
+    };
+    assert_eq!(decode_counts(&out).unwrap()["x"], 50);
+    let m = cluster.metrics();
+    assert_eq!(m.affinity_hits() + m.affinity_misses(), 0, "affinity disabled");
+}
+
+#[test]
+fn queued_iterations_pipeline_without_intermediate_waits() {
+    // Queue 6 chained map/reduce rounds up-front on a live cluster, then
+    // wait only on the last — every intermediate op must complete.
+    let cfg = PsoConfig {
+        objective: Objective::Sphere,
+        dim: 4,
+        n_particles: 6,
+        topology: Topology::Subswarms { size: 3 },
+        seed: 11,
+    };
+    let program = Arc::new(PsoProgram::new(cfg, 2));
+    let mut cluster = LocalCluster::start(
+        program.clone(),
+        2,
+        DataPlane::Direct,
+        MasterConfig::default(),
+    )
+    .unwrap();
+    let mut job = Job::new(&mut cluster);
+    let mut ds = job.local_data(program.initial_islands(), 2).unwrap();
+    for _ in 0..6 {
+        let m = job.map_data(ds, mrs_pso::mapreduce::FUNC_ISLAND, 2, false).unwrap();
+        ds = job.reduce_data(m, mrs_pso::mapreduce::FUNC_ISLAND).unwrap();
+    }
+    let records = job.fetch_all(ds).unwrap();
+    let best = PsoProgram::best_of_islands(&records).unwrap();
+    assert!(best.is_finite());
+}
+
+#[test]
+fn pi_on_the_cluster_matches_pool_and_is_accurate() {
+    let samples = 100_000u64;
+    let pool_pi = {
+        let program = Arc::new(Simple(PiEstimator { kernel: Kernel::Native }));
+        let mut rt = mrs_runtime::LocalRuntime::pool(program, 4);
+        let mut job = Job::new(&mut rt);
+        let out = job.map_reduce(slabs(samples, 8), 8, 1, false).unwrap();
+        estimate_from(&out).unwrap()
+    };
+    let cluster_pi = {
+        let program = Arc::new(Simple(PiEstimator { kernel: Kernel::Native }));
+        let mut cluster =
+            LocalCluster::start(program, 3, DataPlane::Direct, MasterConfig::default()).unwrap();
+        let mut job = Job::new(&mut cluster);
+        let out = job.map_reduce(slabs(samples, 8), 8, 1, false).unwrap();
+        estimate_from(&out).unwrap()
+    };
+    assert_eq!(pool_pi, cluster_pi, "runtimes must agree exactly");
+    assert!((cluster_pi - std::f64::consts::PI).abs() < 1e-2, "pi = {cluster_pi}");
+}
+
+#[test]
+fn interpreted_tier_runs_distributed() {
+    // The slowpy VM kernel inside real cluster map tasks.
+    let program = Arc::new(Simple(PiEstimator { kernel: Kernel::Bytecode }));
+    let mut cluster =
+        LocalCluster::start(program, 2, DataPlane::Direct, MasterConfig::default()).unwrap();
+    let mut job = Job::new(&mut cluster);
+    let out = job.map_reduce(slabs(2_000, 4), 4, 1, false).unwrap();
+    let pi = estimate_from(&out).unwrap();
+    assert_eq!(pi, {
+        // must equal the native result bit-for-bit
+        let inside = mrs::apps::pi::native_count(0, 2_000);
+        4.0 * inside as f64 / 2_000.0
+    });
+}
