@@ -96,8 +96,7 @@ impl Corpus {
     pub fn estimate_bytes(&self, samples: u64) -> u64 {
         let samples = samples.clamp(1, self.config.n_files);
         let stride = self.config.n_files / samples;
-        let total: u64 =
-            (0..samples).map(|i| self.document(i * stride).len() as u64).sum();
+        let total: u64 = (0..samples).map(|i| self.document(i * stride).len() as u64).sum();
         total / samples * self.config.n_files
     }
 }

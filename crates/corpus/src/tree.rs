@@ -8,8 +8,8 @@
 //! scan must list thousands of directories.
 
 use crate::generator::Corpus;
-use mrs_fs::Store;
 use mrs_core::Result;
+use mrs_fs::Store;
 use std::collections::BTreeSet;
 
 /// How files are arranged.
@@ -63,11 +63,7 @@ pub fn directory_count(layout: Layout, n_files: u64) -> u64 {
 
 /// Materialize the corpus into a store under the given layout. Returns the
 /// written paths in file-id order.
-pub fn write_corpus(
-    corpus: &Corpus,
-    store: &dyn Store,
-    layout: Layout,
-) -> Result<Vec<String>> {
+pub fn write_corpus(corpus: &Corpus, store: &dyn Store, layout: Layout) -> Result<Vec<String>> {
     let n = corpus.config().n_files;
     let mut paths = Vec::with_capacity(n as usize);
     for id in 0..n {

@@ -292,10 +292,7 @@ impl HadoopCluster {
                                                 let dur = map_base_dur[m];
                                                 q.push(
                                                     now + dur,
-                                                    Ev::Finish {
-                                                        tracker: i,
-                                                        task: Task::Map(m),
-                                                    },
+                                                    Ev::Finish { tracker: i, task: Task::Map(m) },
                                                 );
                                                 true
                                             }
@@ -309,14 +306,11 @@ impl HadoopCluster {
                                     None => false,
                                     Some(r) => {
                                         trackers[i].free_reduce_slots -= 1;
-                                        let mut input: Vec<Record> = Vec::new();
+                                        let mut input = Bucket::new();
                                         for mo in map_outputs.iter().flatten() {
-                                            input.extend(mo[r].records().iter().cloned());
+                                            input.extend_from(&mo[r]);
                                         }
-                                        let in_bytes: u64 = input
-                                            .iter()
-                                            .map(|(k, v)| (k.len() + v.len()) as u64)
-                                            .sum();
+                                        let in_bytes = input.byte_size() as u64;
                                         shuffle_bytes += in_bytes;
                                         let (out, real) = {
                                             let t = std::time::Instant::now();
@@ -371,11 +365,8 @@ impl HadoopCluster {
 
         // The client sees completion on its next status poll.
         let observed = cleanup_done_at.next_tick(cfg.client_poll, Duration::ZERO);
-        let output: Vec<Record> = reduce_outputs
-            .into_iter()
-            .flatten()
-            .flat_map(Bucket::into_records)
-            .collect();
+        let output: Vec<Record> =
+            reduce_outputs.into_iter().flatten().flat_map(Bucket::into_records).collect();
 
         Ok(JobReport {
             output,
@@ -460,7 +451,12 @@ mod tests {
             }
         }
 
-        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+        fn reduce(
+            &self,
+            _k: &String,
+            vs: &mut dyn Iterator<Item = u64>,
+            emit: &mut dyn FnMut(u64),
+        ) {
             emit(vs.sum());
         }
 
@@ -470,11 +466,7 @@ mod tests {
     }
 
     fn spec_input(lines: &[&str]) -> Vec<Record> {
-        lines
-            .iter()
-            .enumerate()
-            .map(|(i, l)| encode_record(&(i as u64), &l.to_string()))
-            .collect()
+        lines.iter().enumerate().map(|(i, l)| encode_record(&(i as u64), &l.to_string())).collect()
     }
 
     fn tiny_spec<'a>(program: &'a Simple<WordCount>, input: &'a [Record]) -> JobSpec<'a> {
@@ -559,16 +551,9 @@ mod tests {
         let mut spec = tiny_spec(&program, &input);
         spec.n_maps = 48;
         spec.n_reduces = 8;
-        let t2 = HadoopCluster::new(2, SimConfig::default())
-            .unwrap()
-            .run_job(&spec)
-            .unwrap()
-            .total;
-        let t12 = HadoopCluster::new(12, SimConfig::default())
-            .unwrap()
-            .run_job(&spec)
-            .unwrap()
-            .total;
+        let t2 = HadoopCluster::new(2, SimConfig::default()).unwrap().run_job(&spec).unwrap().total;
+        let t12 =
+            HadoopCluster::new(12, SimConfig::default()).unwrap().run_job(&spec).unwrap().total;
         assert!(t12 < t2, "{t12:?} !< {t2:?}");
     }
 
@@ -684,10 +669,7 @@ mod speculation_tests {
     #[test]
     fn stragglers_slow_the_job_down() {
         let clean = run_with(SimConfig { speculative: false, ..straggler_cfg(false) });
-        let no_stragglers = run_with(SimConfig {
-            straggler_prob: 0.0,
-            ..straggler_cfg(false)
-        });
+        let no_stragglers = run_with(SimConfig { straggler_prob: 0.0, ..straggler_cfg(false) });
         assert!(
             clean.total > no_stragglers.total,
             "{:?} !> {:?}",
@@ -714,11 +696,8 @@ mod speculation_tests {
 
     #[test]
     fn no_stragglers_means_no_backups() {
-        let report = run_with(SimConfig {
-            straggler_prob: 0.0,
-            speculative: true,
-            ..straggler_cfg(true)
-        });
+        let report =
+            run_with(SimConfig { straggler_prob: 0.0, speculative: true, ..straggler_cfg(true) });
         assert_eq!(report.speculative_launched, 0, "speculated without cause");
     }
 }

@@ -60,10 +60,8 @@ mod tests {
     #[test]
     fn scan_cost_grows_with_file_count_not_bytes() {
         let cfg = SimConfig::default();
-        let few_big =
-            InputProfile { files: 10, directories: 2, bytes: 10_000_000_000 };
-        let many_small =
-            InputProfile { files: 31_173, directories: 800, bytes: 10_000_000_000 };
+        let few_big = InputProfile { files: 10, directories: 2, bytes: 10_000_000_000 };
+        let many_small = InputProfile { files: 31_173, directories: 800, bytes: 10_000_000_000 };
         assert!(input_scan_time(&cfg, &many_small) > input_scan_time(&cfg, &few_big) * 100);
     }
 

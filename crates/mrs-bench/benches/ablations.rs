@@ -123,15 +123,13 @@ fn ablation_combiner(c: &mut Criterion) {
             let mut job = Job::new(&mut rt);
             job.map_reduce(input.clone(), 8, 4, combine).unwrap();
         }
-        eprintln!(
-            "combiner={combine}: shuffle bytes = {}",
-            rt.metrics().shuffle_bytes()
-        );
+        eprintln!("combiner={combine}: shuffle bytes = {}", rt.metrics().shuffle_bytes());
     }
 }
 
 fn ablation_datapath(c: &mut Criterion) {
-    let lines: Vec<String> = (0..200).map(|i| format!("w{} w{} w{}", i % 11, i % 5, i % 3)).collect();
+    let lines: Vec<String> =
+        (0..200).map(|i| format!("w{} w{} w{}", i % 11, i % 5, i % 3)).collect();
     let input = lines_to_records(lines.iter().map(String::as_str));
 
     let mut group = c.benchmark_group("ablation_datapath");

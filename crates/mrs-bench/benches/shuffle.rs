@@ -1,0 +1,165 @@
+//! Shuffle data-plane benchmarks: the two halves of the overhaul.
+//!
+//! * `shuffle_combine` — in-mapper combining strategies on Zipf-distributed
+//!   WordCount input (the shape where streaming hash combining wins: a few
+//!   very hot keys fold incrementally instead of being buffered and sorted).
+//!   The `seed_sort_combine` arm reconstructs the pre-overhaul pipeline
+//!   (per-emit record allocation + stable `Vec<Record>` sort) so the
+//!   speedup is measured against the original implementation, not just
+//!   against the already-optimised arena sort path.
+//! * `shuffle_transfer` — bucket fetch over a persistent pooled connection
+//!   vs. a fresh TCP dial per request (the keep-alive ablation, A4).
+
+use corpus::zipf::{word_for_rank, Zipf};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrs_core::kv::encode_record;
+use mrs_core::program::Program;
+use mrs_core::sortgroup::group_sorted;
+use mrs_core::task::{run_map_task_with, CombineStrategy};
+use mrs_core::{MapReduce, Record, Simple};
+use mrs_rng::SplitMix64;
+use mrs_rpc::http::{HttpClient, HttpServer, Response, ServerOptions};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct WordCount;
+
+impl MapReduce for WordCount {
+    type K1 = u64;
+    type V1 = String;
+    type K2 = String;
+    type V2 = u64;
+
+    fn map(&self, _k: u64, v: String, emit: &mut dyn FnMut(String, u64)) {
+        for w in v.split_whitespace() {
+            emit(w.to_owned(), 1);
+        }
+    }
+
+    fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+        emit(vs.sum());
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+}
+
+/// Zipf(1.1) WordCount input: `lines` lines of `words_per_line` words drawn
+/// from a 50k-word vocabulary. Rank 0 alone is ~10% of all draws, so the
+/// combiner's hot-key path dominates.
+fn zipf_lines(lines: usize, words_per_line: usize) -> Vec<Record> {
+    let zipf = Zipf::new(50_000, 1.1);
+    let mut rng = SplitMix64::new(42);
+    (0..lines)
+        .map(|i| {
+            let line: Vec<String> =
+                (0..words_per_line).map(|_| word_for_rank(zipf.sample(&mut rng))).collect();
+            encode_record(&(i as u64), &line.join(" "))
+        })
+        .collect()
+}
+
+/// The seed's sort-then-combine map task, reconstructed verbatim: every emit
+/// allocates an owned `(Vec<u8>, Vec<u8>)` record, buckets are plain record
+/// vectors, and combining stable-sorts each bucket before grouping. This is
+/// the pre-overhaul baseline the acceptance criterion measures against.
+fn seed_sort_combine_map_task(
+    program: &dyn Program,
+    input: &[Record],
+    parts: usize,
+) -> Vec<Vec<Record>> {
+    let mut buckets: Vec<Vec<Record>> = (0..parts).map(|_| Vec::new()).collect();
+    for (key, value) in input {
+        program
+            .map_bytes(0, key, value, &mut |k2, v2| {
+                let p = program.partition(k2, parts);
+                buckets[p].push((k2.to_vec(), v2.to_vec()));
+            })
+            .unwrap();
+    }
+    for b in &mut buckets {
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        let mut out: Vec<Record> = Vec::new();
+        for (key, values) in group_sorted(b) {
+            let mut iter = values;
+            program
+                .combine_bytes(0, key, &mut iter, &mut |k, v| out.push((k.to_vec(), v.to_vec())))
+                .unwrap();
+        }
+        *b = out;
+    }
+    buckets
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let input = zipf_lines(10_000, 50); // 500k words
+    let program = Simple(WordCount);
+
+    // Sanity: the reconstructed seed path and the new hash path must agree
+    // byte-for-byte, or the benchmark would be comparing different work.
+    let hash = run_map_task_with(&program, 0, &input, 4, true, CombineStrategy::Hash).unwrap();
+    let seed = seed_sort_combine_map_task(&program, &input, 4);
+    assert_eq!(hash.iter().map(|b| b.to_records()).collect::<Vec<_>>(), seed);
+
+    let mut group = c.benchmark_group("shuffle_combine");
+    group.bench_function("hash_combine_zipf_500k", |b| {
+        b.iter(|| {
+            black_box(
+                run_map_task_with(&program, 0, black_box(&input), 4, true, CombineStrategy::Hash)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("sort_combine_zipf_500k", |b| {
+        b.iter(|| {
+            black_box(
+                run_map_task_with(&program, 0, black_box(&input), 4, true, CombineStrategy::Sort)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("seed_sort_combine_zipf_500k", |b| {
+        b.iter(|| black_box(seed_sort_combine_map_task(&program, black_box(&input), 4)))
+    });
+    group.bench_function("no_combine_zipf_500k", |b| {
+        b.iter(|| {
+            black_box(
+                run_map_task_with(&program, 0, black_box(&input), 4, false, CombineStrategy::Hash)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let payload = Arc::new(vec![0xabu8; 64 * 1024]);
+    let handler = {
+        let payload = Arc::clone(&payload);
+        Arc::new(move |_req: mrs_rpc::Request| {
+            Response::ok("application/octet-stream", payload.as_ref().clone())
+        })
+    };
+    let keep_alive = HttpServer::bind(0, handler.clone()).unwrap();
+    let close_per_request = HttpServer::bind_with(
+        0,
+        handler,
+        ServerOptions { keep_alive: false, max_requests_per_connection: 0 },
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("shuffle_transfer");
+    group.bench_function("fetch_64k_keepalive", |b| {
+        let authority = keep_alive.authority();
+        b.iter(|| black_box(HttpClient::get(&authority, "/data/b0.mrsb").unwrap()))
+    });
+    group.bench_function("fetch_64k_fresh_connection", |b| {
+        let authority = close_per_request.authority();
+        b.iter(|| black_box(HttpClient::get(&authority, "/data/b0.mrsb").unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_combine, bench_transfer);
+criterion_main!(benches);

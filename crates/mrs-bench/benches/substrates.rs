@@ -55,7 +55,11 @@ fn bench_rpc_codec(c: &mut Criterion) {
     let params = vec![
         Value::Int(42),
         Value::Str("task assignment with some payload".into()),
-        Value::Array((0..16).map(|i| Value::Str(format!("http://10.0.0.1:8080/data/op3/t{i}/b2.mrsb"))).collect()),
+        Value::Array(
+            (0..16)
+                .map(|i| Value::Str(format!("http://10.0.0.1:8080/data/op3/t{i}/b2.mrsb")))
+                .collect(),
+        ),
     ];
     let xml = encode_request("task_done", &params);
     let mut group = c.benchmark_group("substrate_xmlrpc");
@@ -69,15 +73,14 @@ fn bench_rpc_codec(c: &mut Criterion) {
 }
 
 fn bench_bucket(c: &mut Criterion) {
-    let records: Vec<(Vec<u8>, Vec<u8>)> = (0..10_000u64)
-        .map(|i| ((i * 2_654_435_761 % 997).to_bytes(), i.to_bytes()))
-        .collect();
+    let records: Vec<(Vec<u8>, Vec<u8>)> =
+        (0..10_000u64).map(|i| ((i * 2_654_435_761 % 997).to_bytes(), i.to_bytes())).collect();
     let mut group = c.benchmark_group("substrate_bucket");
     group.bench_function("sort_group_10k", |b| {
         b.iter(|| {
             let mut bucket = Bucket::from_records(records.clone());
             bucket.sort();
-            black_box(mrs_core::sortgroup::group_sorted(bucket.records()).count())
+            black_box(bucket.groups().count())
         })
     });
     group.bench_function("bucket_file_roundtrip_10k", |b| {

@@ -28,13 +28,8 @@ fn main() {
     let nodes: usize = args.flag("nodes", 21); // the paper's private cluster
 
     println!("Fig 3a: pi estimation, pure-interpreter tiers ({tasks} map tasks)\n");
-    let mut table = Table::new([
-        "samples",
-        "hadoop_virtual_s",
-        "mrs_tree_s",
-        "mrs_vm_s",
-        "estimate",
-    ]);
+    let mut table =
+        Table::new(["samples", "hadoop_virtual_s", "mrs_tree_s", "mrs_vm_s", "estimate"]);
     // (samples, tier seconds, hadoop seconds) per tier for crossover math.
     let mut tree_pts: Vec<(u64, f64, f64)> = Vec::new();
     let mut vm_pts: Vec<(u64, f64, f64)> = Vec::new();
@@ -42,8 +37,8 @@ fn main() {
         let hadoop = hadoop_pi(n, tasks.min(n.max(1)), nodes);
         let tree = (n as f64 <= max_tree)
             .then(|| mrs_pi(Kernel::TreeInterp, n, tasks.min(n.max(1)), workers));
-        let vm = (n as f64 <= max_vm)
-            .then(|| mrs_pi(Kernel::Bytecode, n, tasks.min(n.max(1)), workers));
+        let vm =
+            (n as f64 <= max_vm).then(|| mrs_pi(Kernel::Bytecode, n, tasks.min(n.max(1)), workers));
         if let Some(t) = &tree {
             tree_pts.push((n, t.secs, hadoop.secs));
         }

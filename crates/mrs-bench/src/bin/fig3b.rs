@@ -27,13 +27,8 @@ fn main() {
     let nodes: usize = args.flag("nodes", 21);
 
     println!("Fig 3b: pi estimation with a native ('C via ctypes') inner loop\n");
-    let mut table = Table::new([
-        "samples",
-        "hadoop_virtual_s",
-        "mrs_ctypes_s",
-        "mrs_native_s",
-        "mrs_wins",
-    ]);
+    let mut table =
+        Table::new(["samples", "hadoop_virtual_s", "mrs_ctypes_s", "mrs_native_s", "mrs_wins"]);
     let mut mrs_always_wins = true;
     for n in sweep_points(max as u64) {
         let t = tasks.min(n.max(1));

@@ -84,10 +84,11 @@ fn main() {
     table.emit("fig4_pso");
 
     let per_iter = parallel_total / outer as f64;
+    println!("\nconvergence is identical per function evaluation (asserted); wall time differs:");
     println!(
-        "\nconvergence is identical per function evaluation (asserted); wall time differs:"
+        "serial runtime:   {serial_total:.3} s ({:.4} s per {inner}-iteration batch)",
+        serial_total / outer as f64
     );
-    println!("serial runtime:   {serial_total:.3} s ({:.4} s per {inner}-iteration batch)", serial_total / outer as f64);
     println!("parallel runtime: {parallel_total:.3} s ({per_iter:.4} s per MapReduce iteration, {workers} workers)");
     println!(
         "speedup: {:.2}×  |  tasks executed: {}",

@@ -98,18 +98,12 @@ fn main() {
     table.row(["(paper reference iterations)".to_string(), "2471".to_string()]);
     table.row(["mrs s/iteration (measured)".to_string(), format!("{mrs_per_iter:.5}")]);
     table.row(["hadoop s/operation (virtual)".to_string(), format!("{hadoop_per_op:.1}")]);
-    table.row([
-        "mrs projected total".to_string(),
-        format!("{:.1} s", mrs_per_iter * iters as f64),
-    ]);
+    table.row(["mrs projected total".to_string(), format!("{:.1} s", mrs_per_iter * iters as f64)]);
     table.row([
         "hadoop projected total".to_string(),
         format!("{:.1} h", hadoop_per_op * iters as f64 / 3600.0),
     ]);
-    table.row([
-        "(paper projection)".to_string(),
-        "2471 × 30 s ≈ 20.6 h".to_string(),
-    ]);
+    table.row(["(paper projection)".to_string(), "2471 × 30 s ≈ 20.6 h".to_string()]);
     table.row([
         "serial on one machine".to_string(),
         format!("{serial_total:.1} s ({serial_per_iter:.5} s/iter)"),

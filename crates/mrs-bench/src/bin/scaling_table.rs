@@ -83,8 +83,7 @@ fn main() {
     for &n in &slave_counts {
         // 32 external evaluations of 50 ms each: 1.6 s of task time.
         let latency_secs = {
-            let input: Vec<mrs_core::Record> =
-                (0..32u64).map(|i| encode_record(&i, &i)).collect();
+            let input: Vec<mrs_core::Record> = (0..32u64).map(|i| encode_record(&i, &i)).collect();
             timed(Simple(ExternalEval), n, input, 32, 4)
         };
         let base = *latency_base.get_or_insert(latency_secs);
@@ -98,8 +97,7 @@ fn main() {
             1,
         );
 
-        let wc_secs =
-            timed(Simple(WordCount), n, lines_to_records(["a b c", "d e f"]), 2, 2);
+        let wc_secs = timed(Simple(WordCount), n, lines_to_records(["a b c", "d e f"]), 2, 2);
 
         table.row([
             n.to_string(),

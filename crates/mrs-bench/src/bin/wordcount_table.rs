@@ -73,9 +73,8 @@ fn main() {
             )
             .expect("cluster");
             let mut job = Job::new(&mut cluster);
-            let out = job
-                .map_reduce(records.clone(), slaves * 4, slaves * 2, true)
-                .expect("wordcount");
+            let out =
+                job.map_reduce(records.clone(), slaves * 4, slaves * 2, true).expect("wordcount");
             decode_counts(&out).expect("decode")
         };
         let mrs_secs = t0.elapsed().as_secs_f64();

@@ -27,9 +27,7 @@ pub fn mrs_pi(kernel: Kernel, samples: u64, tasks: u64, workers: usize) -> PiRun
     let mut rt = LocalRuntime::pool(program, workers);
     let t0 = std::time::Instant::now();
     let mut job = Job::new(&mut rt);
-    let out = job
-        .map_reduce(slabs(samples, tasks), tasks as usize, 1, false)
-        .expect("pi job");
+    let out = job.map_reduce(slabs(samples, tasks), tasks as usize, 1, false).expect("pi job");
     let secs = t0.elapsed().as_secs_f64();
     PiRun { samples, secs, estimate: estimate_from(&out).expect("estimate") }
 }

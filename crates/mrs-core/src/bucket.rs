@@ -2,16 +2,30 @@
 //!
 //! Map output is partitioned into one bucket per reduce partition (Fig. 1);
 //! each reduce task consumes all same-numbered buckets from every map task.
-//! A bucket is simply an ordered collection of raw records plus bookkeeping
-//! (byte size, sortedness) that the runtimes use for shuffle accounting.
+//!
+//! Storage is a flat arena: one contiguous byte buffer holding every key and
+//! value back to back, plus a compact offset table. Appending a record is
+//! two `extend_from_slice` calls and one 12-byte table entry — no per-record
+//! heap allocation — so a bucket performs O(1) amortized allocations no
+//! matter how many records flow through it. Sorting permutes only the
+//! offset table; the payload bytes never move.
 
 use crate::kv::Record;
 
+/// One record in the arena: `[off .. off+klen)` is the key,
+/// `[off+klen .. off+klen+vlen)` the value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    off: u32,
+    klen: u32,
+    vlen: u32,
+}
+
 /// An append-only collection of records destined for one partition.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Bucket {
-    records: Vec<Record>,
-    bytes: usize,
+    data: Vec<u8>,
+    entries: Vec<Entry>,
 }
 
 impl Bucket {
@@ -20,64 +34,183 @@ impl Bucket {
         Bucket::default()
     }
 
+    /// An empty bucket with pre-sized arena capacity.
+    pub fn with_capacity(records: usize, bytes: usize) -> Self {
+        Bucket { data: Vec::with_capacity(bytes), entries: Vec::with_capacity(records) }
+    }
+
     /// Build from existing records.
     pub fn from_records(records: Vec<Record>) -> Self {
         let bytes = records.iter().map(|(k, v)| k.len() + v.len()).sum();
-        Bucket { records, bytes }
+        let mut b = Bucket::with_capacity(records.len(), bytes);
+        for (k, v) in &records {
+            b.push(k, v);
+        }
+        b
     }
 
-    /// Append one record.
-    pub fn push(&mut self, key: Vec<u8>, value: Vec<u8>) {
-        self.bytes += key.len() + value.len();
-        self.records.push((key, value));
+    /// Append one record by copying it into the arena.
+    pub fn push(&mut self, key: &[u8], value: &[u8]) {
+        let off = self.data.len();
+        assert!(
+            off + key.len() + value.len() <= u32::MAX as usize,
+            "bucket exceeds 4 GiB arena limit"
+        );
+        self.data.extend_from_slice(key);
+        self.data.extend_from_slice(value);
+        self.entries.push(Entry {
+            off: off as u32,
+            klen: key.len() as u32,
+            vlen: value.len() as u32,
+        });
     }
 
     /// Append all records from another bucket.
-    pub fn extend_from(&mut self, other: Bucket) {
-        self.bytes += other.bytes;
-        self.records.extend(other.records);
+    pub fn extend_from(&mut self, other: &Bucket) {
+        for (k, v) in other.iter() {
+            self.push(k, v);
+        }
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.entries.len()
     }
 
     /// True when no records are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.entries.is_empty()
     }
 
     /// Total payload bytes (keys + values), the shuffle-volume metric used
     /// by the combiner ablation (A3).
     pub fn byte_size(&self) -> usize {
-        self.bytes
+        self.data.len()
     }
 
-    /// Borrow the records.
-    pub fn records(&self) -> &[Record] {
-        &self.records
+    /// The record at position `i` as borrowed (key, value) slices.
+    pub fn get(&self, i: usize) -> (&[u8], &[u8]) {
+        let e = self.entries[i];
+        let k = e.off as usize;
+        let v = k + e.klen as usize;
+        (&self.data[k..v], &self.data[v..v + e.vlen as usize])
     }
 
-    /// Consume into the raw record vector.
+    fn key_at(&self, i: usize) -> &[u8] {
+        let e = self.entries[i];
+        &self.data[e.off as usize..(e.off + e.klen) as usize]
+    }
+
+    /// Iterate records as borrowed (key, value) slices, in current order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (&[u8], &[u8])> + '_ {
+        (0..self.entries.len()).map(move |i| self.get(i))
+    }
+
+    /// Copy out into owned records (compat/serialization boundary).
+    pub fn to_records(&self) -> Vec<Record> {
+        self.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect()
+    }
+
+    /// Consume into owned records.
     pub fn into_records(self) -> Vec<Record> {
-        self.records
+        self.to_records()
     }
 
-    /// Stable sort by encoded key (the shuffle sort step).
+    /// Sort by encoded key, preserving arrival order among equal keys (the
+    /// shuffle sort step). Implemented as an unstable sort over the pair
+    /// (key bytes, arrival index): arrival index is a total tiebreaker, so
+    /// the result is byte-for-byte identical to a stable sort by key while
+    /// permuting only the 12-byte offset entries, never the payload.
     pub fn sort(&mut self) {
-        self.records.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut order: Vec<u32> = (0..self.entries.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.key_at(a as usize).cmp(self.key_at(b as usize)).then(a.cmp(&b))
+        });
+        self.entries = order.iter().map(|&i| self.entries[i as usize]).collect();
     }
 
     /// True if records are in non-decreasing key order.
     pub fn is_sorted(&self) -> bool {
-        self.records.windows(2).all(|w| w[0].0 <= w[1].0)
+        (1..self.entries.len()).all(|i| self.key_at(i - 1) <= self.key_at(i))
+    }
+
+    /// Iterate key groups of a sorted bucket: each item is one distinct key
+    /// with an iterator over its values in arrival order.
+    ///
+    /// The bucket must be sorted; debug builds assert this.
+    pub fn groups(&self) -> BucketGroups<'_> {
+        debug_assert!(self.is_sorted(), "groups() requires a sorted bucket");
+        BucketGroups { bucket: self, pos: 0 }
     }
 }
 
+/// Iterator over the key groups of a sorted [`Bucket`].
+pub struct BucketGroups<'a> {
+    bucket: &'a Bucket,
+    pos: usize,
+}
+
+impl<'a> Iterator for BucketGroups<'a> {
+    type Item = (&'a [u8], BucketValues<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.bucket.len() {
+            return None;
+        }
+        let start = self.pos;
+        let key = self.bucket.key_at(start);
+        let mut end = start + 1;
+        while end < self.bucket.len() && self.bucket.key_at(end) == key {
+            end += 1;
+        }
+        self.pos = end;
+        Some((key, BucketValues { bucket: self.bucket, pos: start, end }))
+    }
+}
+
+/// Iterator over the values of one key group.
+pub struct BucketValues<'a> {
+    bucket: &'a Bucket,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for BucketValues<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let (_, v) = self.bucket.get(self.pos);
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.pos;
+        (n, Some(n))
+    }
+}
+
+/// Buckets compare by logical record sequence, not arena layout: two buckets
+/// holding the same records in the same order are equal even if their
+/// arenas differ (e.g. one was sorted in place, the other built pre-sorted).
+impl PartialEq for Bucket {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Bucket {}
+
 impl FromIterator<Record> for Bucket {
     fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
-        Bucket::from_records(iter.into_iter().collect())
+        let mut b = Bucket::new();
+        for (k, v) in iter {
+            b.push(&k, &v);
+        }
+        b
     }
 }
 
@@ -93,10 +226,12 @@ mod tests {
     fn push_tracks_bytes_and_len() {
         let mut b = Bucket::new();
         assert!(b.is_empty());
-        b.push(b"ab".to_vec(), b"cde".to_vec());
-        b.push(b"".to_vec(), b"x".to_vec());
+        b.push(b"ab", b"cde");
+        b.push(b"", b"x");
         assert_eq!(b.len(), 2);
         assert_eq!(b.byte_size(), 6);
+        assert_eq!(b.get(0), (&b"ab"[..], &b"cde"[..]));
+        assert_eq!(b.get(1), (&b""[..], &b"x"[..]));
     }
 
     #[test]
@@ -110,18 +245,31 @@ mod tests {
         let mut b = Bucket::from_records(vec![rec("b", "1"), rec("a", "2"), rec("b", "3")]);
         b.sort();
         assert!(b.is_sorted());
-        let recs = b.records();
-        assert_eq!(recs[0], rec("a", "2"));
+        assert_eq!(b.get(0), (&b"a"[..], &b"2"[..]));
         // stability: the two "b" records keep their original relative order
-        assert_eq!(recs[1], rec("b", "1"));
-        assert_eq!(recs[2], rec("b", "3"));
+        assert_eq!(b.get(1), (&b"b"[..], &b"1"[..]));
+        assert_eq!(b.get(2), (&b"b"[..], &b"3"[..]));
+    }
+
+    #[test]
+    fn sort_keeps_arrival_order_for_empty_key_runs() {
+        // Zero-length records share arena offsets; the arrival-index
+        // tiebreaker must still keep them in emit order.
+        let mut b = Bucket::new();
+        b.push(b"", b"");
+        b.push(b"", b"x");
+        b.push(b"", b"");
+        b.push(b"a", b"y");
+        b.sort();
+        let vals: Vec<&[u8]> = b.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![&b""[..], &b"x"[..], &b""[..], &b"y"[..]]);
     }
 
     #[test]
     fn extend_from_merges_bytes() {
         let mut a = Bucket::from_records(vec![rec("x", "1")]);
         let b = Bucket::from_records(vec![rec("y", "22")]);
-        a.extend_from(b);
+        a.extend_from(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.byte_size(), 5);
     }
@@ -135,5 +283,40 @@ mod tests {
     fn collect_from_iterator() {
         let b: Bucket = vec![rec("a", "1"), rec("b", "2")].into_iter().collect();
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn groups_iterate_sorted_runs() {
+        let mut b =
+            Bucket::from_records(vec![rec("b", "1"), rec("a", "2"), rec("b", "3"), rec("c", "")]);
+        b.sort();
+        let got: Vec<(Vec<u8>, Vec<Vec<u8>>)> =
+            b.groups().map(|(k, vs)| (k.to_vec(), vs.map(<[u8]>::to_vec).collect())).collect();
+        assert_eq!(
+            got,
+            vec![
+                (b"a".to_vec(), vec![b"2".to_vec()]),
+                (b"b".to_vec(), vec![b"1".to_vec(), b"3".to_vec()]),
+                (b"c".to_vec(), vec![b"".to_vec()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_ignores_arena_layout() {
+        let mut a = Bucket::from_records(vec![rec("b", "1"), rec("a", "2")]);
+        a.sort();
+        let b = Bucket::from_records(vec![rec("a", "2"), rec("b", "1")]);
+        assert_eq!(a, b);
+        let c = Bucket::from_records(vec![rec("a", "2"), rec("b", "x")]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn roundtrip_through_records() {
+        let recs = vec![rec("k1", "v1"), rec("", ""), rec("k2", "")];
+        let b = Bucket::from_records(recs.clone());
+        assert_eq!(b.to_records(), recs);
+        assert_eq!(b.into_records(), recs);
     }
 }

@@ -149,8 +149,8 @@ impl Datum for String {
     fn decode_from(b: &[u8]) -> Result<(Self, &[u8])> {
         let (len, rest) = read_varint(b)?;
         let (head, rest) = take(rest, len as usize, "string")?;
-        let s = std::str::from_utf8(head)
-            .map_err(|e| Error::Codec(format!("invalid utf-8: {e}")))?;
+        let s =
+            std::str::from_utf8(head).map_err(|e| Error::Codec(format!("invalid utf-8: {e}")))?;
         Ok((s.to_owned(), rest))
     }
 }
@@ -349,6 +349,35 @@ mod tests {
     }
 
     #[test]
+    fn varint_tenth_byte_boundary_at_shift_63() {
+        // u64::MAX is the largest representable value: nine full bytes plus
+        // a tenth carrying the single remaining bit (shift == 63).
+        let mut b = Vec::new();
+        write_varint(u64::MAX, &mut b);
+        assert_eq!(b, [&[0xffu8; 9][..], &[0x01]].concat());
+        let (v, rest) = read_varint(&b).unwrap();
+        assert_eq!(v, u64::MAX);
+        assert!(rest.is_empty());
+        // Any payload beyond that one bit in the tenth byte overflows and
+        // must be rejected, not silently wrapped.
+        for tenth in [0x02u8, 0x03, 0x7f] {
+            let over = [&[0xffu8; 9][..], &[tenth]].concat();
+            assert!(read_varint(&over).is_err(), "tenth byte {tenth:#x}");
+        }
+    }
+
+    #[test]
+    fn varint_truncated_continuation_rejected() {
+        // A continuation bit promising more bytes than the input has is a
+        // truncation error at every length, including empty input.
+        assert!(read_varint(&[]).is_err());
+        for n in 1..10 {
+            let b = vec![0x80u8; n];
+            assert!(read_varint(&b).is_err(), "{n} dangling continuation bytes");
+        }
+    }
+
+    #[test]
     fn nan_roundtrips_bitwise() {
         let x = f64::from_bits(0x7ff8_0000_0000_1234);
         let b = x.to_bytes();
@@ -392,7 +421,21 @@ mod tests {
         fn prop_varint_roundtrip(v in any::<u64>()) {
             let mut b = Vec::new();
             write_varint(v, &mut b);
-            prop_assert_eq!(read_varint(&b).unwrap().0, v);
+            let (back, rest) = read_varint(&b).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert!(rest.is_empty());
+        }
+
+        #[test]
+        fn prop_varint_prefixes_always_rejected(v in any::<u64>()) {
+            // Every byte of a varint except the last carries a continuation
+            // bit, so every strict prefix must fail as truncated — a reader
+            // can never mistake a cut-off length header for a short value.
+            let mut b = Vec::new();
+            write_varint(v, &mut b);
+            for cut in 0..b.len() {
+                prop_assert!(read_varint(&b[..cut]).is_err());
+            }
         }
 
         #[test]

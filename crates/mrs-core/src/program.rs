@@ -13,11 +13,18 @@
 //!   serializable equivalent).
 //!
 //! [`Simple`] adapts any [`MapReduce`] into a [`Program`] as function id 0.
+//!
+//! Emission is by borrowed slices: `emit(&[u8], &[u8])` lets the runtime
+//! copy records straight into its bucket arena, so the hot map path makes
+//! no per-record heap allocation. [`Simple`] encodes typed pairs into a
+//! pair of thread-local scratch buffers that are reused across every emit
+//! of a task.
 
 use crate::error::{Error, Result};
 use crate::kv::Datum;
 use crate::partition::Partition;
 use crate::plan::FuncId;
+use std::cell::Cell;
 
 /// A typed, single-stage MapReduce program.
 ///
@@ -85,6 +92,9 @@ pub trait MapReduce: Send + Sync + 'static {
 ///
 /// All methods take a [`FuncId`] so that a single program can expose
 /// multiple map and reduce functions for multi-stage/iterative jobs.
+///
+/// Emitted slices are only valid for the duration of the `emit` call; the
+/// receiver copies what it wants to keep (typically into a bucket arena).
 pub trait Program: Send + Sync + 'static {
     /// Apply map function `func` to one encoded record.
     fn map_bytes(
@@ -92,7 +102,7 @@ pub trait Program: Send + Sync + 'static {
         func: FuncId,
         key: &[u8],
         value: &[u8],
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()>;
 
     /// Apply reduce function `func` to one key group.
@@ -101,7 +111,7 @@ pub trait Program: Send + Sync + 'static {
         func: FuncId,
         key: &[u8],
         values: &mut dyn Iterator<Item = &[u8]>,
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()>;
 
     /// Apply the combiner for map function `func`, if any.
@@ -110,7 +120,7 @@ pub trait Program: Send + Sync + 'static {
         func: FuncId,
         _key: &[u8],
         _values: &mut dyn Iterator<Item = &[u8]>,
-        _emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        _emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()> {
         Err(Error::UnknownFunc(func))
     }
@@ -132,6 +142,27 @@ pub struct Simple<P>(pub P);
 
 /// The function id used by [`Simple`] for both map and reduce.
 pub const SIMPLE_FUNC: FuncId = 0;
+
+/// A pair of reusable (key, value) encode buffers.
+type ScratchBufs = Box<(Vec<u8>, Vec<u8>)>;
+
+thread_local! {
+    /// Reusable (key, value) encode buffers for [`Simple`]'s emit path.
+    /// Taken for the duration of one `*_bytes` call and put back after, so
+    /// a task's emits share two buffers instead of allocating two fresh
+    /// `Vec<u8>` per record. Re-entrant calls (a map that drives another
+    /// program) find the slot empty and fall back to fresh buffers.
+    static SCRATCH: Cell<Option<ScratchBufs>> = const { Cell::new(None) };
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut Vec<u8>, &mut Vec<u8>) -> R) -> R {
+    let mut buf = SCRATCH.take().unwrap_or_default();
+    let r = f(&mut buf.0, &mut buf.1);
+    buf.0.clear();
+    buf.1.clear();
+    SCRATCH.set(Some(buf));
+    r
+}
 
 impl<P: MapReduce> Simple<P> {
     fn check(func: FuncId) -> Result<()> {
@@ -176,12 +207,20 @@ impl<P: MapReduce> Program for Simple<P> {
         func: FuncId,
         key: &[u8],
         value: &[u8],
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()> {
         Self::check(func)?;
         let k = P::K1::from_bytes(key)?;
         let v = P::V1::from_bytes(value)?;
-        self.0.map(k, v, &mut |k2, v2| emit(k2.to_bytes(), v2.to_bytes()));
+        with_scratch(|kbuf, vbuf| {
+            self.0.map(k, v, &mut |k2, v2| {
+                kbuf.clear();
+                vbuf.clear();
+                k2.encode(kbuf);
+                v2.encode(vbuf);
+                emit(kbuf, vbuf);
+            });
+        });
         Ok(())
     }
 
@@ -190,7 +229,7 @@ impl<P: MapReduce> Program for Simple<P> {
         func: FuncId,
         key: &[u8],
         values: &mut dyn Iterator<Item = &[u8]>,
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()> {
         Self::check(func)?;
         let k = P::K2::from_bytes(key)?;
@@ -200,7 +239,13 @@ impl<P: MapReduce> Program for Simple<P> {
             error: &mut error,
             _marker: std::marker::PhantomData,
         };
-        self.0.reduce(&k, &mut dec, &mut |v2| emit(key.to_vec(), v2.to_bytes()));
+        with_scratch(|_, vbuf| {
+            self.0.reduce(&k, &mut dec, &mut |v2| {
+                vbuf.clear();
+                v2.encode(vbuf);
+                emit(key, vbuf);
+            });
+        });
         match error {
             Some(e) => Err(e),
             None => Ok(()),
@@ -212,7 +257,7 @@ impl<P: MapReduce> Program for Simple<P> {
         func: FuncId,
         key: &[u8],
         values: &mut dyn Iterator<Item = &[u8]>,
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()> {
         Self::check(func)?;
         let k = P::K2::from_bytes(key)?;
@@ -222,7 +267,13 @@ impl<P: MapReduce> Program for Simple<P> {
             error: &mut error,
             _marker: std::marker::PhantomData,
         };
-        self.0.combine(&k, &mut dec, &mut |v2| emit(key.to_vec(), v2.to_bytes()));
+        with_scratch(|_, vbuf| {
+            self.0.combine(&k, &mut dec, &mut |v2| {
+                vbuf.clear();
+                v2.encode(vbuf);
+                emit(key, vbuf);
+            });
+        });
         match error {
             Some(e) => Err(e),
             None => Ok(()),
@@ -283,7 +334,7 @@ mod tests {
         let p = Simple(WordCount);
         let (k, v) = encode_record(&0u64, &"the cat the".to_string());
         let mut out = Vec::new();
-        p.map_bytes(0, &k, &v, &mut |k2, v2| out.push((k2, v2))).unwrap();
+        p.map_bytes(0, &k, &v, &mut |k2, v2| out.push((k2.to_vec(), v2.to_vec()))).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(String::from_bytes(&out[0].0).unwrap(), "the");
         assert_eq!(u64::from_bytes(&out[0].1).unwrap(), 1);
@@ -296,7 +347,7 @@ mod tests {
         let vals: Vec<Vec<u8>> = vec![1u64.to_bytes(), 1u64.to_bytes(), 1u64.to_bytes()];
         let mut it = vals.iter().map(|v| v.as_slice());
         let mut out = Vec::new();
-        p.reduce_bytes(0, &key, &mut it, &mut |k, v| out.push((k, v))).unwrap();
+        p.reduce_bytes(0, &key, &mut it, &mut |k, v| out.push((k.to_vec(), v.to_vec()))).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, key);
         assert_eq!(u64::from_bytes(&out[0].1).unwrap(), 3);
@@ -310,7 +361,7 @@ mod tests {
         let vals = [2u64.to_bytes(), 5u64.to_bytes()];
         let mut it = vals.iter().map(|v| v.as_slice());
         let mut out = Vec::new();
-        p.combine_bytes(0, &key, &mut it, &mut |k, v| out.push((k, v))).unwrap();
+        p.combine_bytes(0, &key, &mut it, &mut |k, v| out.push((k.to_vec(), v.to_vec()))).unwrap();
         assert_eq!(u64::from_bytes(&out[0].1).unwrap(), 7);
     }
 
@@ -345,5 +396,17 @@ mod tests {
         let k = "word".to_string().to_bytes();
         assert_eq!(Program::partition(&p, &k, 13), Program::partition(&p, &k, 13));
         assert!(Program::partition(&p, &k, 13) < 13);
+    }
+
+    #[test]
+    fn emitted_slices_are_reused_scratch_buffers() {
+        // Two consecutive emits hand out the same buffer addresses: the
+        // encode path recycles its scratch rather than allocating.
+        let p = Simple(WordCount);
+        let (k, v) = encode_record(&0u64, &"aa bb".to_string());
+        let mut ptrs = Vec::new();
+        p.map_bytes(0, &k, &v, &mut |k2, v2| ptrs.push((k2.as_ptr(), v2.as_ptr()))).unwrap();
+        assert_eq!(ptrs.len(), 2);
+        assert_eq!(ptrs[0], ptrs[1]);
     }
 }

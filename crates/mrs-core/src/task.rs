@@ -5,18 +5,42 @@
 //! functions, which is what guarantees the paper's property that all
 //! implementations "produce identical answers" (§IV-A): the runtimes differ
 //! only in *where and when* tasks run, never in what a task computes.
+//!
+//! Combining comes in two flavours selected by [`CombineStrategy`]:
+//!
+//! * [`CombineStrategy::Sort`] — the classic post-pass: buffer the whole
+//!   map output, sort each bucket, combine each key group. O(n log n)
+//!   comparisons and peak memory proportional to the raw map output.
+//! * [`CombineStrategy::Hash`] (default) — an in-mapper streaming
+//!   combiner: records are folded into a hash table *as they are emitted*,
+//!   so duplicate-heavy workloads (Zipf-distributed WordCount) never
+//!   materialize the raw output. O(n) expected work; the final sort only
+//!   touches distinct keys. Groups are emitted in sorted key order, so the
+//!   output is byte-for-byte identical to the sort path for the
+//!   associative, key-preserving combiners the paper's contract requires
+//!   ("the reduce function can function as a combiner").
 
 use crate::bucket::Bucket;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::kv::Record;
 use crate::plan::FuncId;
 use crate::program::Program;
-use crate::sortgroup::group_sorted;
+
+/// How a map task applies its combiner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CombineStrategy {
+    /// Streaming in-mapper hash combining (default).
+    #[default]
+    Hash,
+    /// Buffer, sort, then combine key groups (the pre-overhaul behaviour;
+    /// kept for the A4 ablation and as the reference implementation).
+    Sort,
+}
 
 /// Run one map task: apply map function `func` to every input record and
 /// partition the output into `parts` buckets. When `combine` is set and the
-/// function has a combiner, each bucket is locally sorted and combined
-/// before being returned — the "local reduce" optimisation of §V-A.
+/// function has a combiner, map output is combined locally — the "local
+/// reduce" optimisation of §V-A — using the default [`CombineStrategy`].
 pub fn run_map_task(
     program: &dyn Program,
     func: FuncId,
@@ -24,14 +48,30 @@ pub fn run_map_task(
     parts: usize,
     combine: bool,
 ) -> Result<Vec<Bucket>> {
+    run_map_task_with(program, func, input, parts, combine, CombineStrategy::default())
+}
+
+/// [`run_map_task`] with an explicit combining strategy.
+pub fn run_map_task_with(
+    program: &dyn Program,
+    func: FuncId,
+    input: &[Record],
+    parts: usize,
+    combine: bool,
+    strategy: CombineStrategy,
+) -> Result<Vec<Bucket>> {
+    let combining = combine && program.has_combiner(func);
+    if combining && strategy == CombineStrategy::Hash {
+        return run_map_task_hash_combine(program, func, input, parts);
+    }
     let mut buckets: Vec<Bucket> = (0..parts).map(|_| Bucket::new()).collect();
     for (key, value) in input {
         program.map_bytes(func, key, value, &mut |k2, v2| {
-            let p = program.partition(&k2, parts);
+            let p = program.partition(k2, parts);
             buckets[p].push(k2, v2);
         })?;
     }
-    if combine && program.has_combiner(func) {
+    if combining {
         for b in &mut buckets {
             let taken = std::mem::take(b);
             *b = combine_bucket(program, func, taken)?;
@@ -40,11 +80,38 @@ pub fn run_map_task(
     Ok(buckets)
 }
 
+fn run_map_task_hash_combine(
+    program: &dyn Program,
+    func: FuncId,
+    input: &[Record],
+    parts: usize,
+) -> Result<Vec<Bucket>> {
+    let mut combiners: Vec<StreamCombiner> = (0..parts).map(|_| StreamCombiner::new()).collect();
+    for (key, value) in input {
+        // `emit` cannot return an error, so a failing partial fold inside
+        // the combiner is stashed and re-raised after the map call.
+        let mut deferred: Option<Error> = None;
+        program.map_bytes(func, key, value, &mut |k2, v2| {
+            if deferred.is_some() {
+                return;
+            }
+            let p = program.partition(k2, parts);
+            if let Err(e) = combiners[p].insert(program, func, k2, v2) {
+                deferred = Some(e);
+            }
+        })?;
+        if let Some(e) = deferred {
+            return Err(e);
+        }
+    }
+    combiners.into_iter().map(|c| c.finalize(program, func)).collect()
+}
+
 /// Locally sort a bucket and apply the combiner to each key group.
 pub fn combine_bucket(program: &dyn Program, func: FuncId, mut bucket: Bucket) -> Result<Bucket> {
     bucket.sort();
     let mut out = Bucket::new();
-    for (key, values) in group_sorted(bucket.records()) {
+    for (key, values) in bucket.groups() {
         let mut iter = values;
         program.combine_bytes(func, key, &mut iter, &mut |k, v| out.push(k, v))?;
     }
@@ -53,19 +120,261 @@ pub fn combine_bucket(program: &dyn Program, func: FuncId, mut bucket: Bucket) -
 
 /// Run one reduce task: sort the gathered records of one partition, group
 /// by key, and apply reduce function `func` to each group.
-pub fn run_reduce_task(
-    program: &dyn Program,
-    func: FuncId,
-    records: Vec<Record>,
-) -> Result<Bucket> {
-    let mut bucket = Bucket::from_records(records);
-    bucket.sort();
+pub fn run_reduce_task(program: &dyn Program, func: FuncId, mut input: Bucket) -> Result<Bucket> {
+    input.sort();
     let mut out = Bucket::new();
-    for (key, values) in group_sorted(bucket.records()) {
+    for (key, values) in input.groups() {
         let mut iter = values;
         program.reduce_bytes(func, key, &mut iter, &mut |k, v| out.push(k, v))?;
     }
     Ok(out)
+}
+
+/// Fold a group's pending values eagerly once this many have accumulated.
+/// Bounds the per-group memory of hot keys while keeping fold calls rare
+/// enough that the combiner cost stays amortized.
+const FOLD_EVERY: usize = 64;
+
+/// Sentinel for "no entry" in the combiner's table and span chains.
+const NONE: u32 = u32::MAX;
+
+/// One key group inside a [`StreamCombiner`].
+struct Group {
+    /// Key bytes live at `koff..koff + klen` in the key arena.
+    koff: u32,
+    klen: u32,
+    /// Most recent span id for this group (`NONE` when empty); spans chain
+    /// backwards through [`Span::prev`], newest first.
+    tail: u32,
+    /// Pending span count (chain length from `tail`).
+    pending: u32,
+    /// Set when a trial fold showed this combiner is not key-preserving
+    /// for this group; its raw values are then kept until finalize.
+    no_fold: bool,
+}
+
+/// One pending value: a slice of the value arena plus a link to the
+/// previous span of the same group. Chaining through one global vector
+/// keeps the per-group bookkeeping allocation-free no matter how many
+/// distinct keys a map task produces.
+#[derive(Clone, Copy)]
+struct Span {
+    off: u32,
+    len: u32,
+    prev: u32,
+}
+
+/// Streaming in-mapper combiner: an open-addressing hash index over key
+/// bytes with arena storage, folding hot groups incrementally via the
+/// program's combiner. Everything lives in flat vectors — inserting a
+/// record is hash + probe + two arena appends, no allocation.
+struct StreamCombiner {
+    /// Power-of-two open-addressing table of group ids (`NONE` = empty).
+    /// Key comparison is always by bytes, never by hash alone.
+    table: Vec<u32>,
+    /// Cached key hash per group (avoids re-hashing on table growth).
+    hashes: Vec<u64>,
+    groups: Vec<Group>,
+    spans: Vec<Span>,
+    keys: Vec<u8>,
+    vals: Vec<u8>,
+    /// Reusable fold scratch: the group's spans in arrival order.
+    span_scratch: Vec<(u32, u32)>,
+    /// Reusable fold scratch: folded output bytes and their spans.
+    out_scratch: Vec<u8>,
+    out_spans: Vec<(u32, u32)>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl StreamCombiner {
+    fn new() -> Self {
+        StreamCombiner {
+            table: vec![NONE; 16],
+            hashes: Vec::new(),
+            groups: Vec::new(),
+            spans: Vec::new(),
+            keys: Vec::new(),
+            vals: Vec::new(),
+            span_scratch: Vec::new(),
+            out_scratch: Vec::new(),
+            out_spans: Vec::new(),
+        }
+    }
+
+    fn key_of(&self, g: &Group) -> &[u8] {
+        &self.keys[g.koff as usize..(g.koff + g.klen) as usize]
+    }
+
+    /// Append a value span to a group's chain.
+    fn push_val(&mut self, gid: usize, value: &[u8]) {
+        let off = self.vals.len();
+        assert!(off + value.len() <= u32::MAX as usize, "combiner arena exceeds 4 GiB");
+        self.vals.extend_from_slice(value);
+        let g = &mut self.groups[gid];
+        self.spans.push(Span { off: off as u32, len: value.len() as u32, prev: g.tail });
+        g.tail = (self.spans.len() - 1) as u32;
+        g.pending += 1;
+    }
+
+    /// Double the table and re-seat every group (hashes are cached, keys
+    /// are never re-read).
+    fn grow_table(&mut self) {
+        let mask = self.table.len() * 2 - 1;
+        let mut table = vec![NONE; mask + 1];
+        for (gid, &h) in self.hashes.iter().enumerate() {
+            let mut i = h as usize & mask;
+            while table[i] != NONE {
+                i = (i + 1) & mask;
+            }
+            table[i] = gid as u32;
+        }
+        self.table = table;
+    }
+
+    /// Find the group for `key`, creating it if new.
+    fn group_for(&mut self, key: &[u8]) -> usize {
+        if (self.groups.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow_table();
+        }
+        let h = fnv1a(key);
+        let mask = self.table.len() - 1;
+        let mut i = h as usize & mask;
+        loop {
+            match self.table[i] {
+                slot if slot == NONE => {
+                    let koff = self.keys.len();
+                    assert!(koff + key.len() <= u32::MAX as usize, "combiner arena exceeds 4 GiB");
+                    self.keys.extend_from_slice(key);
+                    self.groups.push(Group {
+                        koff: koff as u32,
+                        klen: key.len() as u32,
+                        tail: NONE,
+                        pending: 0,
+                        no_fold: false,
+                    });
+                    self.hashes.push(h);
+                    let gid = self.groups.len() - 1;
+                    self.table[i] = gid as u32;
+                    return gid;
+                }
+                slot => {
+                    let gid = slot as usize;
+                    if self.hashes[gid] == h && self.key_of(&self.groups[gid]) == key {
+                        return gid;
+                    }
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+
+    fn insert(
+        &mut self,
+        program: &dyn Program,
+        func: FuncId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<()> {
+        let gid = self.group_for(key);
+        self.push_val(gid, value);
+        let g = &self.groups[gid];
+        if g.pending as usize >= FOLD_EVERY && !g.no_fold {
+            self.fold_group(program, func, gid)?;
+        }
+        Ok(())
+    }
+
+    /// Walk a group's span chain into `span_scratch` in arrival order.
+    fn collect_spans(&mut self, gid: usize) {
+        self.span_scratch.clear();
+        let mut s = self.groups[gid].tail;
+        while s != NONE {
+            let sp = self.spans[s as usize];
+            self.span_scratch.push((sp.off, sp.len));
+            s = sp.prev;
+        }
+        self.span_scratch.reverse();
+    }
+
+    /// Collapse a group's pending values through the combiner. The fold is
+    /// a trial: if the combiner emits any key other than the group key it
+    /// is not key-preserving, so the fold is rolled back and the group
+    /// keeps raw values until finalize (where emitting foreign keys is
+    /// handled by the ordinary output path).
+    fn fold_group(&mut self, program: &dyn Program, func: FuncId, gid: usize) -> Result<()> {
+        self.collect_spans(gid);
+        self.out_scratch.clear();
+        self.out_spans.clear();
+        let g = &self.groups[gid];
+        let key = &self.keys[g.koff as usize..(g.koff + g.klen) as usize];
+        let vals = &self.vals;
+        let mut iter =
+            self.span_scratch.iter().map(|&(off, len)| &vals[off as usize..(off + len) as usize]);
+        let out_scratch = &mut self.out_scratch;
+        let out_spans = &mut self.out_spans;
+        let mut preserved = true;
+        program.combine_bytes(func, key, &mut iter, &mut |k, v| {
+            if k != key {
+                preserved = false;
+            }
+            let off = out_scratch.len() as u32;
+            out_scratch.extend_from_slice(v);
+            out_spans.push((off, v.len() as u32));
+        })?;
+        if preserved {
+            // Replace the chain with the folded values. The superseded
+            // value bytes and span entries stay behind in the arenas until
+            // finalize — bounded by input size, the price of never moving
+            // live data.
+            self.groups[gid].tail = NONE;
+            self.groups[gid].pending = 0;
+            let out_spans = std::mem::take(&mut self.out_spans);
+            for &(off, len) in &out_spans {
+                let voff = self.vals.len();
+                assert!(voff + len as usize <= u32::MAX as usize, "combiner arena exceeds 4 GiB");
+                self.vals.extend_from_slice(&self.out_scratch[off as usize..(off + len) as usize]);
+                let g = &mut self.groups[gid];
+                self.spans.push(Span { off: voff as u32, len, prev: g.tail });
+                g.tail = (self.spans.len() - 1) as u32;
+                g.pending += 1;
+            }
+            self.out_spans = out_spans;
+        } else {
+            self.groups[gid].no_fold = true;
+        }
+        Ok(())
+    }
+
+    /// Sort groups by key bytes and run the combiner over each, emitting
+    /// into the output bucket — the same visit order as the sort path, so
+    /// both strategies produce identical buckets.
+    fn finalize(mut self, program: &dyn Program, func: FuncId) -> Result<Bucket> {
+        let mut order: Vec<u32> = (0..self.groups.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.key_of(&self.groups[a as usize]).cmp(self.key_of(&self.groups[b as usize]))
+        });
+        let mut out = Bucket::with_capacity(self.groups.len(), self.keys.len());
+        for gid in order {
+            self.collect_spans(gid as usize);
+            let g = &self.groups[gid as usize];
+            let key = &self.keys[g.koff as usize..(g.koff + g.klen) as usize];
+            let vals = &self.vals;
+            let mut iter = self
+                .span_scratch
+                .iter()
+                .map(|&(off, len)| &vals[off as usize..(off + len) as usize]);
+            program.combine_bytes(func, key, &mut iter, &mut |k, v| out.push(k, v))?;
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +397,12 @@ mod tests {
             }
         }
 
-        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+        fn reduce(
+            &self,
+            _k: &String,
+            vs: &mut dyn Iterator<Item = u64>,
+            emit: &mut dyn FnMut(u64),
+        ) {
             emit(vs.sum());
         }
 
@@ -98,20 +412,13 @@ mod tests {
     }
 
     fn lines(texts: &[&str]) -> Vec<Record> {
-        texts
-            .iter()
-            .enumerate()
-            .map(|(i, t)| encode_record(&(i as u64), &t.to_string()))
-            .collect()
+        texts.iter().enumerate().map(|(i, t)| encode_record(&(i as u64), &t.to_string())).collect()
     }
 
     fn counts(bucket: &Bucket) -> Vec<(String, u64)> {
         let mut v: Vec<(String, u64)> = bucket
-            .records()
             .iter()
-            .map(|(k, val)| {
-                (String::from_bytes(k).unwrap(), u64::from_bytes(val).unwrap())
-            })
+            .map(|(k, val)| (String::from_bytes(k).unwrap(), u64::from_bytes(val).unwrap()))
             .collect();
         v.sort();
         v
@@ -127,16 +434,12 @@ mod tests {
         assert_eq!(total, 5);
 
         // Gather all partitions and reduce each.
-        let mut all = Vec::new();
+        let mut all = Bucket::new();
         for b in buckets {
-            let out = run_reduce_task(&p, 0, b.into_records()).unwrap();
-            all.extend(out.into_records());
+            let out = run_reduce_task(&p, 0, b).unwrap();
+            all.extend_from(&out);
         }
-        let got = counts(&Bucket::from_records(all));
-        assert_eq!(
-            got,
-            vec![("cat".into(), 2), ("sat".into(), 1), ("the".into(), 2)]
-        );
+        assert_eq!(counts(&all), vec![("cat".into(), 2), ("sat".into(), 1), ("the".into(), 2)]);
     }
 
     #[test]
@@ -156,13 +459,103 @@ mod tests {
 
         // Same final counts either way.
         let reduce_all = |buckets: Vec<Bucket>| {
-            let mut recs = Vec::new();
+            let mut all = Bucket::new();
             for b in buckets {
-                recs.extend(run_reduce_task(&p, 0, b.into_records()).unwrap().into_records());
+                all.extend_from(&run_reduce_task(&p, 0, b).unwrap());
             }
-            counts(&Bucket::from_records(recs))
+            counts(&all)
         };
         assert_eq!(reduce_all(plain), reduce_all(combined));
+    }
+
+    #[test]
+    fn hash_and_sort_combining_produce_identical_buckets() {
+        let p = Simple(WordCount);
+        // Zipf-ish duplicate-heavy input plus singletons, across partitions.
+        let input = lines(&[
+            "the the the the quick brown fox the the",
+            "the quick dog jumps over the lazy dog",
+            "zebra apple the quick the",
+        ]);
+        for parts in [1, 2, 5] {
+            let hash =
+                run_map_task_with(&p, 0, &input, parts, true, CombineStrategy::Hash).unwrap();
+            let sort =
+                run_map_task_with(&p, 0, &input, parts, true, CombineStrategy::Sort).unwrap();
+            assert_eq!(hash, sort, "strategies diverged at parts={parts}");
+        }
+    }
+
+    #[test]
+    fn hash_combiner_folds_hot_keys_incrementally() {
+        // One key emitted far past FOLD_EVERY: partial folds must keep the
+        // pending-span count bounded and still sum correctly.
+        let p = Simple(WordCount);
+        let line = "hot ".repeat(10 * FOLD_EVERY);
+        let input = lines(&[line.trim()]);
+        let buckets = run_map_task_with(&p, 0, &input, 1, true, CombineStrategy::Hash).unwrap();
+        assert_eq!(counts(&buckets[0]), vec![("hot".into(), 10 * FOLD_EVERY as u64)]);
+    }
+
+    /// A combiner that is *not* key-preserving: it re-keys every group to a
+    /// constant. The trial-fold rollback must detect this and defer to
+    /// finalize, where output matches the sort path.
+    struct Rekey;
+
+    impl Program for Rekey {
+        fn map_bytes(
+            &self,
+            _func: FuncId,
+            _key: &[u8],
+            _value: &[u8],
+            _emit: &mut dyn FnMut(&[u8], &[u8]),
+        ) -> Result<()> {
+            unreachable!("helper impl only used for combine_bytes")
+        }
+
+        fn reduce_bytes(
+            &self,
+            _func: FuncId,
+            _key: &[u8],
+            _values: &mut dyn Iterator<Item = &[u8]>,
+            _emit: &mut dyn FnMut(&[u8], &[u8]),
+        ) -> Result<()> {
+            unreachable!("helper impl only used for combine_bytes")
+        }
+
+        fn combine_bytes(
+            &self,
+            _func: FuncId,
+            _key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            emit: &mut dyn FnMut(&[u8], &[u8]),
+        ) -> Result<()> {
+            let n: u64 = values.map(|v| u64::from_bytes(v).unwrap()).sum();
+            emit(&"ALL".to_string().to_bytes(), &n.to_bytes());
+            Ok(())
+        }
+
+        fn has_combiner(&self, _func: FuncId) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn non_key_preserving_combiner_rolls_back_partial_folds() {
+        let p = Rekey;
+        let mut c = StreamCombiner::new();
+        let key = "hot".to_string().to_bytes();
+        for _ in 0..(2 * FOLD_EVERY) {
+            c.insert(&p, 0, &key, &1u64.to_bytes()).unwrap();
+        }
+        // The trial fold re-keyed, so raw values must all still be pending.
+        assert!(c.groups[0].no_fold);
+        assert_eq!(c.groups[0].pending as usize, 2 * FOLD_EVERY);
+        let out = c.finalize(&p, 0).unwrap();
+        assert_eq!(out.len(), 1);
+        let (k, v) = out.get(0);
+        assert_eq!(String::from_bytes(k).unwrap(), "ALL");
+        assert_eq!(u64::from_bytes(v).unwrap(), 2 * FOLD_EVERY as u64);
     }
 
     #[test]
@@ -175,7 +568,7 @@ mod tests {
         for b in &buckets {
             let mut sorted = b.clone();
             sorted.sort();
-            for (key, values) in group_sorted(sorted.records()) {
+            for (key, values) in sorted.groups() {
                 let n = values.count();
                 let word = String::from_bytes(key).unwrap();
                 let expect = match word.as_str() {
@@ -190,9 +583,11 @@ mod tests {
     #[test]
     fn empty_input_produces_empty_buckets() {
         let p = Simple(WordCount);
-        let buckets = run_map_task(&p, 0, &[], 2, true).unwrap();
-        assert!(buckets.iter().all(|b| b.is_empty()));
-        let out = run_reduce_task(&p, 0, vec![]).unwrap();
+        for strategy in [CombineStrategy::Hash, CombineStrategy::Sort] {
+            let buckets = run_map_task_with(&p, 0, &[], 2, true, strategy).unwrap();
+            assert!(buckets.iter().all(|b| b.is_empty()));
+        }
+        let out = run_reduce_task(&p, 0, Bucket::new()).unwrap();
         assert!(out.is_empty());
     }
 
@@ -201,5 +596,6 @@ mod tests {
         let p = Simple(WordCount);
         let bad = vec![(vec![1u8, 2], b"not a string".to_vec())];
         assert!(run_map_task(&p, 0, &bad, 1, false).is_err());
+        assert!(run_map_task_with(&p, 0, &bad, 1, true, CombineStrategy::Hash).is_err());
     }
 }

@@ -9,17 +9,19 @@
 //!   generally arbitrarily set to be the line number").
 
 use mrs_core::kv::{encode_record, read_varint, write_varint};
-use mrs_core::{Datum, Error, Record, Result};
+use mrs_core::{Bucket, Datum, Error, Record, Result};
 
 /// Magic prefix of bucket files (format version 1).
 pub const BUCKET_MAGIC: &[u8; 5] = b"MRSB1";
 
-/// Serialize records into the bucket file format.
-pub fn write_bucket_bytes(records: &[Record]) -> Vec<u8> {
-    let payload: usize = records.iter().map(|(k, v)| k.len() + v.len() + 20).sum();
-    let mut buf = Vec::with_capacity(BUCKET_MAGIC.len() + payload);
+fn write_bucket_iter<'a>(
+    count: usize,
+    payload: usize,
+    records: impl Iterator<Item = (&'a [u8], &'a [u8])>,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(BUCKET_MAGIC.len() + payload + 20 * count);
     buf.extend_from_slice(BUCKET_MAGIC);
-    write_varint(records.len() as u64, &mut buf);
+    write_varint(count as u64, &mut buf);
     for (k, v) in records {
         write_varint(k.len() as u64, &mut buf);
         buf.extend_from_slice(k);
@@ -29,11 +31,56 @@ pub fn write_bucket_bytes(records: &[Record]) -> Vec<u8> {
     buf
 }
 
+/// Serialize a [`Bucket`] into the bucket file format without converting
+/// through owned records.
+pub fn write_bucket(bucket: &Bucket) -> Vec<u8> {
+    write_bucket_iter(bucket.len(), bucket.byte_size(), bucket.iter())
+}
+
+/// Serialize records into the bucket file format.
+pub fn write_bucket_bytes(records: &[Record]) -> Vec<u8> {
+    let payload: usize = records.iter().map(|(k, v)| k.len() + v.len()).sum();
+    write_bucket_iter(
+        records.len(),
+        payload,
+        records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+}
+
+/// Parse a bucket file, appending its records to `out`'s arena. Amortizes
+/// to zero per-record allocations on the reduce input path.
+pub fn read_bucket_into(mut b: &[u8], out: &mut Bucket) -> Result<()> {
+    let magic =
+        b.get(..BUCKET_MAGIC.len()).ok_or_else(|| Error::Codec("bucket file too short".into()))?;
+    if magic != BUCKET_MAGIC {
+        return Err(Error::Codec(format!("bad bucket magic {magic:?}")));
+    }
+    b = &b[BUCKET_MAGIC.len()..];
+    let (count, mut rest) = read_varint(b)?;
+    for _ in 0..count {
+        let (klen, r) = read_varint(rest)?;
+        if klen > r.len() as u64 {
+            return Err(Error::Codec("truncated bucket key".into()));
+        }
+        let (k, r) = r.split_at(klen as usize);
+        let (vlen, r) = read_varint(r)?;
+        if vlen > r.len() as u64 {
+            return Err(Error::Codec("truncated bucket value".into()));
+        }
+        let (v, r) = r.split_at(vlen as usize);
+        out.push(k, v);
+        rest = r;
+    }
+    if !rest.is_empty() {
+        return Err(Error::Codec(format!("{} trailing bytes in bucket file", rest.len())));
+    }
+    Ok(())
+}
+
 /// Parse a bucket file back into records.
 pub fn read_bucket_bytes(mut b: &[u8]) -> Result<Vec<Record>> {
-    let magic = b
-        .get(..BUCKET_MAGIC.len())
-        .ok_or_else(|| Error::Codec("bucket file too short".into()))?;
+    let magic =
+        b.get(..BUCKET_MAGIC.len()).ok_or_else(|| Error::Codec("bucket file too short".into()))?;
     if magic != BUCKET_MAGIC {
         return Err(Error::Codec(format!("bad bucket magic {magic:?}")));
     }
@@ -74,10 +121,7 @@ pub fn text_to_records(text: &str, first_line: u64) -> Vec<Record> {
 /// Decode `(line_no, line)` records back to text lines (for tests and the
 /// bypass implementation).
 pub fn records_to_lines(records: &[Record]) -> Result<Vec<(u64, String)>> {
-    records
-        .iter()
-        .map(|(k, v)| Ok((u64::from_bytes(k)?, String::from_bytes(v)?)))
-        .collect()
+    records.iter().map(|(k, v)| Ok((u64::from_bytes(k)?, String::from_bytes(v)?))).collect()
 }
 
 #[cfg(test)]
@@ -87,10 +131,32 @@ mod tests {
 
     #[test]
     fn bucket_roundtrip() {
-        let records: Vec<Record> =
-            vec![(b"k1".to_vec(), b"v1".to_vec()), (vec![], vec![0, 255]), (b"k3".to_vec(), vec![])];
+        let records: Vec<Record> = vec![
+            (b"k1".to_vec(), b"v1".to_vec()),
+            (vec![], vec![0, 255]),
+            (b"k3".to_vec(), vec![]),
+        ];
         let bytes = write_bucket_bytes(&records);
         assert_eq!(read_bucket_bytes(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn arena_bucket_roundtrip_matches_record_format() {
+        let records: Vec<Record> = vec![
+            (b"k1".to_vec(), b"v1".to_vec()),
+            (vec![], vec![0, 255]),
+            (b"k3".to_vec(), vec![]),
+        ];
+        let bucket = Bucket::from_records(records.clone());
+        let bytes = write_bucket(&bucket);
+        // Same wire format either way.
+        assert_eq!(bytes, write_bucket_bytes(&records));
+        let mut back = Bucket::new();
+        read_bucket_into(&bytes, &mut back).unwrap();
+        assert_eq!(back, bucket);
+        // Appending a second file accumulates into the same arena.
+        read_bucket_into(&bytes, &mut back).unwrap();
+        assert_eq!(back.len(), 2 * bucket.len());
     }
 
     #[test]

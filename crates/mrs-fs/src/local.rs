@@ -99,10 +99,7 @@ impl TempFs {
     /// Create a fresh scratch store under the system temp directory.
     pub fn new(tag: &str) -> Result<Self> {
         let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "mrs-{tag}-{}-{n}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("mrs-{tag}-{}-{n}", std::process::id()));
         Ok(TempFs { fs: LocalFs::new(dir)? })
     }
 

@@ -117,9 +117,7 @@ impl Store for MemFs {
         let out = files
             .keys()
             .filter(|k| {
-                prefix.is_empty()
-                    || k.as_str() == prefix
-                    || k.starts_with(&format!("{prefix}/"))
+                prefix.is_empty() || k.as_str() == prefix || k.starts_with(&format!("{prefix}/"))
             })
             .cloned()
             .collect();

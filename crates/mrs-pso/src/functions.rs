@@ -33,10 +33,9 @@ impl Objective {
                     100.0 * (b - a * a) * (b - a * a) + (1.0 - a) * (1.0 - a)
                 })
                 .sum(),
-            Objective::Rastrigin => x
-                .iter()
-                .map(|v| v * v - 10.0 * (std::f64::consts::TAU * v).cos() + 10.0)
-                .sum(),
+            Objective::Rastrigin => {
+                x.iter().map(|v| v * v - 10.0 * (std::f64::consts::TAU * v).cos() + 10.0).sum()
+            }
             Objective::Griewank => {
                 let sum: f64 = x.iter().map(|v| v * v).sum::<f64>() / 4000.0;
                 let prod: f64 = x

@@ -33,5 +33,5 @@ pub mod topology;
 
 pub use functions::Objective;
 pub use particle::Particle;
-pub use serial::{SerialPso, PsoConfig};
+pub use serial::{PsoConfig, SerialPso};
 pub use topology::Topology;

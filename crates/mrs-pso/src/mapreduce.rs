@@ -118,7 +118,9 @@ impl PsoProgram {
                 let start = island * size as u64;
                 let end = (start + size as u64).min(n);
                 let members: Vec<Particle> = (start..end)
-                    .map(|i| init_particle(self.config.objective, self.config.dim, i, &self.streams))
+                    .map(|i| {
+                        init_particle(self.config.objective, self.config.dim, i, &self.streams)
+                    })
                     .collect();
                 encode_record(&island, &IslandMsg::Island(Island(members)))
             })
@@ -129,7 +131,7 @@ impl PsoProgram {
         &self,
         key: &[u8],
         value: &[u8],
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()> {
         let id = u64::from_bytes(key)?;
         let PsoMessage::Particle(mut p) = PsoMessage::from_bytes(value)? else {
@@ -138,16 +140,16 @@ impl PsoProgram {
         step_particle(&mut p, self.config.objective, &self.streams);
         for nb in self.config.topology.neighbors(id, self.config.n_particles) {
             let msg = PsoMessage::Best { pos: p.pbest_pos.clone(), val: p.pbest_val };
-            emit(nb.to_bytes(), msg.to_bytes());
+            emit(&nb.to_bytes(), &msg.to_bytes());
         }
-        emit(key.to_vec(), PsoMessage::Particle(p).to_bytes());
+        emit(key, &PsoMessage::Particle(p).to_bytes());
         Ok(())
     }
 
     fn reduce_particle(
         &self,
         values: &mut dyn Iterator<Item = &[u8]>,
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
         key: &[u8],
     ) -> Result<()> {
         let mut particle: Option<Particle> = None;
@@ -158,12 +160,12 @@ impl PsoProgram {
                 PsoMessage::Best { pos, val } => bests.push((pos, val)),
             }
         }
-        let mut p = particle
-            .ok_or_else(|| Error::Invalid("reduce group without its particle".into()))?;
+        let mut p =
+            particle.ok_or_else(|| Error::Invalid("reduce group without its particle".into()))?;
         for (pos, val) in bests {
             p.offer_nbest(&pos, val);
         }
-        emit(key.to_vec(), PsoMessage::Particle(p).to_bytes());
+        emit(key, &PsoMessage::Particle(p).to_bytes());
         Ok(())
     }
 
@@ -171,7 +173,7 @@ impl PsoProgram {
         &self,
         key: &[u8],
         value: &[u8],
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()> {
         let id = u64::from_bytes(key)?;
         let IslandMsg::Island(mut island) = IslandMsg::from_bytes(value)? else {
@@ -182,16 +184,16 @@ impl PsoProgram {
         let next = (id + 1) % self.n_islands();
         if next != id {
             let msg = IslandMsg::Best { pos: pos.to_vec(), val };
-            emit(next.to_bytes(), msg.to_bytes());
+            emit(&next.to_bytes(), &msg.to_bytes());
         }
-        emit(key.to_vec(), IslandMsg::Island(island).to_bytes());
+        emit(key, &IslandMsg::Island(island).to_bytes());
         Ok(())
     }
 
     fn reduce_island(
         &self,
         values: &mut dyn Iterator<Item = &[u8]>,
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
         key: &[u8],
     ) -> Result<()> {
         let mut island: Option<Island> = None;
@@ -207,7 +209,7 @@ impl PsoProgram {
         for (pos, val) in bests {
             island.offer(&pos, val);
         }
-        emit(key.to_vec(), IslandMsg::Island(island).to_bytes());
+        emit(key, &IslandMsg::Island(island).to_bytes());
         Ok(())
     }
 
@@ -255,9 +257,9 @@ impl PsoProgram {
         let mut pending: Option<(u64, mrs_runtime::DataId, mrs_runtime::DataId)> = None;
         let mut fetched_reduce: Option<mrs_runtime::DataId> = None;
         let record = |job: &mut Job,
-                          history: &mut Vec<IterRecord>,
-                          iter: u64,
-                          r: mrs_runtime::DataId|
+                      history: &mut Vec<IterRecord>,
+                      iter: u64,
+                      r: mrs_runtime::DataId|
          -> Result<()> {
             let records = job.fetch_all(r)?;
             history.push(IterRecord {
@@ -336,7 +338,7 @@ impl Program for PsoProgram {
         func: FuncId,
         key: &[u8],
         value: &[u8],
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()> {
         match func {
             FUNC_PARTICLE => self.map_particle(key, value, emit),
@@ -350,7 +352,7 @@ impl Program for PsoProgram {
         func: FuncId,
         key: &[u8],
         values: &mut dyn Iterator<Item = &[u8]>,
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        emit: &mut dyn FnMut(&[u8], &[u8]),
     ) -> Result<()> {
         match func {
             FUNC_PARTICLE => self.reduce_particle(values, emit, key),
@@ -380,10 +382,7 @@ mod tests {
     fn island_msg_roundtrip() {
         let streams = StreamFactory::new(1);
         let island = Island(vec![init_particle(Objective::Sphere, 4, 0, &streams)]);
-        for m in [
-            IslandMsg::Island(island),
-            IslandMsg::Best { pos: vec![1.0, 2.0], val: 0.5 },
-        ] {
+        for m in [IslandMsg::Island(island), IslandMsg::Best { pos: vec![1.0, 2.0], val: 0.5 }] {
             assert_eq!(IslandMsg::from_bytes(&m.to_bytes()).unwrap(), m);
         }
     }

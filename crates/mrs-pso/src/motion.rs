@@ -118,8 +118,7 @@ mod tests {
         let streams = StreamFactory::new(123);
         let mut swarm: Vec<Particle> =
             (0..10).map(|i| init_particle(Objective::Sphere, 5, i, &streams)).collect();
-        let initial_best =
-            swarm.iter().map(|p| p.pbest_val).fold(f64::INFINITY, f64::min);
+        let initial_best = swarm.iter().map(|p| p.pbest_val).fold(f64::INFINITY, f64::min);
         for _ in 0..200 {
             // gbest topology: everyone sees the global best
             let (bpos, bval) = swarm

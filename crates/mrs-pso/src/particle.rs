@@ -140,10 +140,8 @@ mod tests {
 
     #[test]
     fn message_roundtrips() {
-        for m in [
-            PsoMessage::Particle(particle()),
-            PsoMessage::Best { pos: vec![9.0], val: -1.5 },
-        ] {
+        for m in [PsoMessage::Particle(particle()), PsoMessage::Best { pos: vec![9.0], val: -1.5 }]
+        {
             assert_eq!(PsoMessage::from_bytes(&m.to_bytes()).unwrap(), m);
         }
     }

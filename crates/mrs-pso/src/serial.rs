@@ -95,11 +95,8 @@ impl SerialPso {
             self.evals += 1;
         }
         // Exchange: particle j offers its post-move pbest to neighbors.
-        let offers: Vec<(u64, Vec<f64>, f64)> = self
-            .swarm
-            .iter()
-            .map(|p| (p.id, p.pbest_pos.clone(), p.pbest_val))
-            .collect();
+        let offers: Vec<(u64, Vec<f64>, f64)> =
+            self.swarm.iter().map(|p| (p.id, p.pbest_pos.clone(), p.pbest_val)).collect();
         let n = self.config.n_particles;
         for (id, pos, val) in offers {
             for nb in self.config.topology.neighbors(id, n) {
@@ -213,10 +210,6 @@ mod tests {
         let mut pso = SerialPso::new(PsoConfig::rosenbrock_250(20, 7));
         let initial = pso.best_val();
         pso.run(500);
-        assert!(
-            pso.best_val() < initial * 0.7,
-            "{initial} -> {}",
-            pso.best_val()
-        );
+        assert!(pso.best_val() < initial * 0.7, "{initial} -> {}", pso.best_val());
     }
 }

@@ -159,8 +159,7 @@ mod tests {
     #[test]
     fn direct_base3_prefix() {
         // Halton base 3: 1/3, 2/3, 1/9, 4/9, 7/9, 2/9, 5/9, 8/9
-        let expect =
-            [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0, 7.0 / 9.0, 2.0 / 9.0, 5.0 / 9.0];
+        let expect = [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0, 7.0 / 9.0, 2.0 / 9.0, 5.0 / 9.0];
         for (i, &e) in expect.iter().enumerate() {
             assert!((halton(i as u64 + 1, 3) - e).abs() < 1e-12, "i={i}");
         }

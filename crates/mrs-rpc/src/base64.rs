@@ -69,7 +69,8 @@ pub fn decode(text: &str) -> Option<Vec<u8>> {
     let mut out = Vec::with_capacity(syms.len() * 3 / 4);
     let mut chunks = syms.chunks_exact(4);
     for c in &mut chunks {
-        let n = u32::from(c[0]) << 18 | u32::from(c[1]) << 12 | u32::from(c[2]) << 6 | u32::from(c[3]);
+        let n =
+            u32::from(c[0]) << 18 | u32::from(c[1]) << 12 | u32::from(c[2]) << 6 | u32::from(c[3]);
         out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8, n as u8]);
     }
     match *chunks.remainder() {

@@ -17,6 +17,6 @@ pub mod rpc;
 pub mod xmlrpc;
 
 pub use dataserver::DataServer;
-pub use http::{HttpClient, HttpServer, Request, Response};
+pub use http::{HttpClient, HttpServer, Request, Response, ServerOptions};
 pub use rpc::{RpcClient, RpcServer};
 pub use xmlrpc::Value;

@@ -128,14 +128,9 @@ mod tests {
     fn adder_server() -> RpcServer {
         let dispatch = Dispatch::new()
             .register("add", |params| {
-                let a = params
-                    .first()
-                    .and_then(Value::as_int)
-                    .ok_or((3, "missing a".to_owned()))?;
-                let b = params
-                    .get(1)
-                    .and_then(Value::as_int)
-                    .ok_or((3, "missing b".to_owned()))?;
+                let a =
+                    params.first().and_then(Value::as_int).ok_or((3, "missing a".to_owned()))?;
+                let b = params.get(1).and_then(Value::as_int).ok_or((3, "missing b".to_owned()))?;
                 Ok(Value::Int(a + b))
             })
             .register("echo_bytes", |params| {

@@ -384,8 +384,7 @@ fn parse_value_depth(c: &mut Cursor, depth: u32) -> Result<Value, XmlError> {
         Value::Bool(b)
     } else if c.try_open("double") {
         let t = c.text()?;
-        let d =
-            t.trim().parse::<f64>().map_err(|e| XmlError(format!("bad double {t:?}: {e}")))?;
+        let d = t.trim().parse::<f64>().map_err(|e| XmlError(format!("bad double {t:?}: {e}")))?;
         c.close("double")?;
         Value::Double(d)
     } else if c.try_open("string") {

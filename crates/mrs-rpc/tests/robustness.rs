@@ -11,7 +11,8 @@ use std::sync::Arc;
 fn echo_rpc() -> RpcServer {
     RpcServer::serve(
         0,
-        Dispatch::new().register("echo", |params| Ok(params.first().cloned().unwrap_or(Value::Int(0)))),
+        Dispatch::new()
+            .register("echo", |params| Ok(params.first().cloned().unwrap_or(Value::Int(0)))),
     )
     .unwrap()
 }
@@ -19,7 +20,8 @@ fn echo_rpc() -> RpcServer {
 #[test]
 fn garbage_post_body_yields_fault_not_crash() {
     let server = echo_rpc();
-    let (status, body) = HttpClient::post(&server.authority(), "/RPC2", b"\xff\xfe not xml").unwrap();
+    let (status, body) =
+        HttpClient::post(&server.authority(), "/RPC2", b"\xff\xfe not xml").unwrap();
     assert_eq!(status, 200); // XML-RPC faults ride on 200
     let text = String::from_utf8(body).unwrap();
     assert!(text.contains("fault"), "{text}");
@@ -82,11 +84,8 @@ fn deeply_nested_xml_is_rejected_cleanly() {
 fn data_server_rejects_path_traversal() {
     // Provider only serves the "secret" key; traversal-looking paths just
     // miss. The provider interface never touches the real filesystem.
-    let server = DataServer::serve(
-        0,
-        Arc::new(|p: &str| (p == "ok").then(|| b"fine".to_vec())),
-    )
-    .unwrap();
+    let server =
+        DataServer::serve(0, Arc::new(|p: &str| (p == "ok").then(|| b"fine".to_vec()))).unwrap();
     let (status, body) = HttpClient::get(&server.authority(), "/data/ok").unwrap();
     assert_eq!((status, body.as_slice()), (200, b"fine".as_slice()));
     for path in ["/data/../etc/passwd", "/etc/passwd", "/data/", "/data/nope"] {

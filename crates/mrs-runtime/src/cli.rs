@@ -130,11 +130,7 @@ fn num_cpus() -> usize {
 
 /// Run a program under the options, invoking `driver` with a [`Job`] for
 /// every implementation that drives jobs (all except `slave`).
-pub fn run_with_options<D>(
-    program: Arc<dyn Program>,
-    options: &CliOptions,
-    driver: D,
-) -> Result<()>
+pub fn run_with_options<D>(program: Arc<dyn Program>, options: &CliOptions, driver: D) -> Result<()>
 where
     D: FnOnce(&mut Job) -> Result<()>,
 {
@@ -251,11 +247,9 @@ mod tests {
     }
 
     fn driver_checks(job: &mut Job) -> mrs_core::Result<()> {
-        let input: Vec<mrs_core::Record> =
-            (0..10u64).map(|i| encode_record(&i, &1u64)).collect();
+        let input: Vec<mrs_core::Record> = (0..10u64).map(|i| encode_record(&i, &1u64)).collect();
         let out = job.map_reduce(input, 2, 2, false)?;
-        let total: u64 =
-            out.iter().map(|(_, v)| u64::from_bytes(v).unwrap()).sum();
+        let total: u64 = out.iter().map(|(_, v)| u64::from_bytes(v).unwrap()).sum();
         assert_eq!(total, 10);
         Ok(())
     }

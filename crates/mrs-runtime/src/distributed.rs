@@ -8,12 +8,12 @@
 //! every protocol byte is real, only the process boundary is elided (slave
 //! threads instead of `pssh`-started remote processes).
 
+use crate::data::DataId;
 use crate::job::JobApi;
 use crate::master::{Master, MasterConfig, SlaveId};
 use crate::metrics::JobMetrics;
 use crate::proto::{Assignment, DataPlane};
 use crate::slave::{run_slave, MasterLink, SlaveOptions};
-use crate::data::DataId;
 use mrs_core::{Error, FuncId, Program, Record, Result};
 use mrs_rpc::rpc::{Dispatch, RpcClient, RpcServer};
 use mrs_rpc::Value;
@@ -50,14 +50,14 @@ pub fn serve_master(master: Master, port: u16) -> std::io::Result<RpcServer> {
             Ok(Value::Bool(true))
         })
         .register("task_failed", move |params| {
-            let slave = params.first().and_then(Value::as_int).ok_or((3, "missing slave".to_owned()))?;
-            let data = params.get(1).and_then(Value::as_int).ok_or((3, "missing data".to_owned()))?;
-            let index = params.get(2).and_then(Value::as_int).ok_or((3, "missing index".to_owned()))?;
+            let slave =
+                params.first().and_then(Value::as_int).ok_or((3, "missing slave".to_owned()))?;
+            let data =
+                params.get(1).and_then(Value::as_int).ok_or((3, "missing data".to_owned()))?;
+            let index =
+                params.get(2).and_then(Value::as_int).ok_or((3, "missing index".to_owned()))?;
             let msg = params.get(3).and_then(Value::as_str).unwrap_or("unknown error");
-            let failed_input = params
-                .get(4)
-                .and_then(Value::as_str)
-                .filter(|u| !u.is_empty());
+            let failed_input = params.get(4).and_then(Value::as_str).filter(|u| !u.is_empty());
             m4.task_failed(slave as SlaveId, data as u32, index as usize, msg, failed_input);
             Ok(Value::Bool(true))
         });
@@ -95,9 +95,7 @@ impl RpcMasterLink {
 impl MasterLink for RpcMasterLink {
     fn signin(&self, authority: &str) -> Result<SlaveId> {
         let v = self.client.call("signin", &[Value::Str(authority.to_owned())])?;
-        v.as_int()
-            .map(|i| i as SlaveId)
-            .ok_or_else(|| Error::Rpc("signin returned non-int".into()))
+        v.as_int().map(|i| i as SlaveId).ok_or_else(|| Error::Rpc("signin returned non-int".into()))
     }
 
     fn get_task(&self, slave: SlaveId) -> Result<Assignment> {
@@ -105,13 +103,7 @@ impl MasterLink for RpcMasterLink {
         Assignment::from_value(&v)
     }
 
-    fn task_done(
-        &self,
-        slave: SlaveId,
-        data: u32,
-        index: usize,
-        urls: Vec<String>,
-    ) -> Result<()> {
+    fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()> {
         let urls = Value::Array(urls.into_iter().map(Value::Str).collect());
         self.client.call(
             "task_done",
@@ -160,6 +152,9 @@ pub struct LocalCluster {
     program: Arc<dyn Program>,
     plane: DataPlane,
     options: SlaveOptions,
+    /// `HttpClient::pool_stats()` at cluster start; [`Self::metrics`]
+    /// reports the delta as this cluster's connection counters.
+    pool_baseline: (u64, u64),
 }
 
 impl LocalCluster {
@@ -196,6 +191,7 @@ impl LocalCluster {
             program,
             plane,
             options: SlaveOptions::default(),
+            pool_baseline: mrs_rpc::HttpClient::pool_stats(),
         };
         for _ in 0..n_slaves {
             cluster.add_slave();
@@ -246,9 +242,15 @@ impl LocalCluster {
         self.master.live_slaves()
     }
 
-    /// Job metrics snapshot.
+    /// Job metrics snapshot. Connection counters are the change in the
+    /// process-wide pool stats since this cluster started, so they include
+    /// any unrelated HTTP traffic made by the same process in that window
+    /// (in practice: this cluster's RPC polls and bucket transfers).
     pub fn metrics(&self) -> JobMetrics {
-        self.master.metrics()
+        let mut m = self.master.metrics();
+        let (opened, reused) = mrs_rpc::HttpClient::pool_stats();
+        m.record_connections(opened - self.pool_baseline.0, reused - self.pool_baseline.1);
+        m
     }
 }
 
@@ -319,7 +321,12 @@ mod tests {
             }
         }
 
-        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+        fn reduce(
+            &self,
+            _k: &String,
+            vs: &mut dyn Iterator<Item = u64>,
+            emit: &mut dyn FnMut(u64),
+        ) {
             emit(vs.sum());
         }
 
@@ -376,17 +383,10 @@ mod tests {
 
     #[test]
     fn job_survives_slave_death_mid_run() {
-        let cfg = MasterConfig {
-            slave_timeout: Duration::from_millis(150),
-            ..MasterConfig::default()
-        };
-        let mut cluster = LocalCluster::start(
-            Arc::new(Simple(WordCount)),
-            3,
-            DataPlane::Direct,
-            cfg,
-        )
-        .unwrap();
+        let cfg =
+            MasterConfig { slave_timeout: Duration::from_millis(150), ..MasterConfig::default() };
+        let mut cluster =
+            LocalCluster::start(Arc::new(Simple(WordCount)), 3, DataPlane::Direct, cfg).unwrap();
 
         // Submit a job large enough to still be running when we kill a slave.
         let reduced = {
@@ -432,6 +432,40 @@ mod tests {
         let mut job = Job::new(&mut cluster);
         let out = job.fetch_all(reduced).unwrap();
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn keep_alive_keeps_connections_near_peer_count() {
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            3,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        let mut job = Job::new(&mut cluster);
+        // Plenty of tasks: 8 map splits × 4 partitions means 32 bucket
+        // transfers plus hundreds of get_task polls.
+        let out = job.map_reduce(lines(200), 8, 4, true).unwrap();
+        assert!(!out.is_empty());
+        let m = cluster.metrics();
+        // The whole job must run over a handful of persistent connections:
+        // roughly one control connection per slave plus a few data-plane
+        // connections per peer pair — not one per request. The bound is
+        // generous because sibling tests share the process-wide pool, but
+        // it still fails instantly if pooling breaks (thousands of dials
+        // from the get_task polling alone).
+        assert!(
+            m.connections_opened() < 150,
+            "expected O(peers) dials, got {}",
+            m.connections_opened()
+        );
+        assert!(
+            m.connections_reused() > m.connections_opened() * 3,
+            "expected reuse to dominate: opened={} reused={}",
+            m.connections_opened(),
+            m.connections_reused()
+        );
     }
 
     #[test]

@@ -19,8 +19,13 @@ pub trait JobApi {
     /// Queue a map over `input` using the program's map function `func`,
     /// partitioning output into `parts` buckets (the reduce task count).
     /// `combine` runs the program's combiner after each map task.
-    fn map_data(&mut self, input: DataId, func: FuncId, parts: usize, combine: bool)
-        -> Result<DataId>;
+    fn map_data(
+        &mut self,
+        input: DataId,
+        func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId>;
 
     /// Queue a reduce over a map output using reduce function `func`.
     /// Produces one output split per partition of `input`.
@@ -99,9 +104,8 @@ impl<'a> Job<'a> {
         let mut next_line = 0u64;
         for path in paths {
             let bytes = store.get(path)?;
-            let text = String::from_utf8(bytes).map_err(|e| {
-                mrs_core::Error::Codec(format!("{path}: not utf-8 text: {e}"))
-            })?;
+            let text = String::from_utf8(bytes)
+                .map_err(|e| mrs_core::Error::Codec(format!("{path}: not utf-8 text: {e}")))?;
             let recs = mrs_fs::format::text_to_records(&text, next_line);
             next_line += recs.len() as u64;
             records.extend(recs);
@@ -115,12 +119,7 @@ impl<'a> Job<'a> {
     /// or EM iterations) survive driver restarts: because every Mrs
     /// program is deterministic given its state, resuming from a
     /// checkpoint continues the *exact* trajectory.
-    pub fn save(
-        &mut self,
-        data: DataId,
-        store: &dyn mrs_fs::Store,
-        prefix: &str,
-    ) -> Result<u64> {
+    pub fn save(&mut self, data: DataId, store: &dyn mrs_fs::Store, prefix: &str) -> Result<u64> {
         let records = self.fetch_all(data)?;
         let n = records.len() as u64;
         let path = format!("{prefix}/checkpoint.mrsb");
@@ -186,9 +185,7 @@ mod tests {
         store.put("b.txt", b"three\n").unwrap();
         let mut rt = SerialRuntime::new(Arc::new(Simple(LineCount)));
         let mut job = Job::new(&mut rt);
-        let src = job
-            .file_data(&store, &["a.txt".into(), "b.txt".into()], 2)
-            .unwrap();
+        let src = job.file_data(&store, &["a.txt".into(), "b.txt".into()], 2).unwrap();
         let m = job.map_data(src, 0, 1, false).unwrap();
         let r = job.reduce_data(m, 0).unwrap();
         let out = job.fetch_all(r).unwrap();

@@ -33,8 +33,8 @@ pub mod slave;
 pub use cli::{main_with, CliOptions, Implementation};
 pub use data::{DataId, Dataset};
 pub use distributed::LocalCluster;
-pub use master::{Master, MasterConfig};
-pub use proto::DataPlane;
 pub use job::{Job, JobApi};
 pub use local::LocalRuntime;
+pub use master::{Master, MasterConfig};
+pub use proto::DataPlane;
 pub use serial::SerialRuntime;

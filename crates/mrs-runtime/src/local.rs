@@ -17,7 +17,7 @@ use crate::job::JobApi;
 use crate::metrics::JobMetrics;
 use mrs_core::task::{run_map_task, run_reduce_task};
 use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
-use mrs_fs::format::write_bucket_bytes;
+use mrs_fs::format::write_bucket;
 use mrs_fs::Store;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -194,13 +194,13 @@ fn task_input(st: &State, t: TaskRef) -> Result<TaskWork> {
             let DsState::MapOut { tasks, .. } = &st.datasets[input.0 as usize] else {
                 return Err(Error::Invalid("reduce input is not a map output".into()));
             };
-            let mut records = Vec::new();
+            let mut input = Bucket::new();
             for task in tasks {
                 let buckets =
                     task.as_ref().ok_or_else(|| Error::Invalid("map task not done".into()))?;
-                records.extend(buckets[t.index].records().iter().cloned());
+                input.extend_from(&buckets[t.index]);
             }
-            Ok(TaskWork::Reduce { records, func: *func })
+            Ok(TaskWork::Reduce { input, func: *func })
         }
         _ => Err(Error::Invalid("task on non-op dataset".into())),
     }
@@ -208,7 +208,7 @@ fn task_input(st: &State, t: TaskRef) -> Result<TaskWork> {
 
 enum TaskWork {
     Map { records: Vec<Record>, func: FuncId, parts: usize, combine: bool },
-    Reduce { records: Vec<Record>, func: FuncId },
+    Reduce { input: Bucket, func: FuncId },
 }
 
 fn worker_loop(shared: &Shared) {
@@ -258,7 +258,7 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
             if let Some(store) = &shared.spill {
                 for (p, b) in buckets.iter().enumerate() {
                     let path = format!("ds{}/map{}/b{p}.mrsb", t.data.0, t.index);
-                    store.put(&path, &write_bucket_bytes(b.records()))?;
+                    store.put(&path, &write_bucket(b))?;
                 }
             }
             let mut st = shared.state.lock();
@@ -271,17 +271,16 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
             *remaining -= 1;
             Ok(())
         }
-        TaskWork::Reduce { records, func } => {
+        TaskWork::Reduce { input, func } => {
             let t0 = std::time::Instant::now();
-            let out = run_reduce_task(shared.program.as_ref(), func, records)?;
+            let out = run_reduce_task(shared.program.as_ref(), func, input)?;
             if let Some(store) = &shared.spill {
                 let path = format!("ds{}/reduce{}.mrsb", t.data.0, t.index);
-                store.put(&path, &write_bucket_bytes(out.records()))?;
+                store.put(&path, &write_bucket(&out))?;
             }
             let mut st = shared.state.lock();
             st.metrics.record_reduce(t0.elapsed());
-            let DsState::ReduceOut { tasks, remaining, .. } =
-                &mut st.datasets[t.data.0 as usize]
+            let DsState::ReduceOut { tasks, remaining, .. } = &mut st.datasets[t.data.0 as usize]
             else {
                 return Err(Error::Invalid("reduce task on non-reduce dataset".into()));
             };
@@ -400,7 +399,7 @@ impl JobApi for LocalRuntime {
             DsState::MapOut { tasks, .. } => Ok(tasks
                 .iter()
                 .flatten()
-                .flat_map(|buckets| buckets.iter().flat_map(|b| b.records().iter().cloned()))
+                .flat_map(|buckets| buckets.iter().flat_map(|b| b.to_records()))
                 .collect()),
             DsState::ReduceOut { tasks, .. } => {
                 Ok(tasks.iter().flatten().flatten().cloned().collect())
@@ -418,9 +417,7 @@ impl JobApi for LocalRuntime {
         // advisory per the JobApi contract, so ignoring is always safe.
         let has_live_consumer = st.datasets.iter().any(|ds| match ds {
             DsState::MapOut { input, remaining, .. }
-            | DsState::ReduceOut { input, remaining, .. } => {
-                *input == data && *remaining > 0
-            }
+            | DsState::ReduceOut { input, remaining, .. } => *input == data && *remaining > 0,
             _ => false,
         });
         if has_live_consumer {
@@ -456,7 +453,12 @@ mod tests {
             }
         }
 
-        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+        fn reduce(
+            &self,
+            _k: &String,
+            vs: &mut dyn Iterator<Item = u64>,
+            emit: &mut dyn FnMut(u64),
+        ) {
             emit(vs.sum());
         }
 
@@ -466,11 +468,7 @@ mod tests {
     }
 
     fn input(lines: &[&str]) -> Vec<Record> {
-        lines
-            .iter()
-            .enumerate()
-            .map(|(i, l)| encode_record(&(i as u64), &l.to_string()))
-            .collect()
+        lines.iter().enumerate().map(|(i, l)| encode_record(&(i as u64), &l.to_string())).collect()
     }
 
     fn sorted_counts(records: Vec<Record>) -> Vec<(String, u64)> {
@@ -486,20 +484,14 @@ mod tests {
     fn pool_wordcount_matches_expected() {
         let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 4);
         let mut job = Job::new(&mut rt);
-        let out = job
-            .map_reduce(input(&["a b a", "c a", "b b c", "a"]), 3, 4, true)
-            .unwrap();
-        assert_eq!(
-            sorted_counts(out),
-            vec![("a".into(), 4), ("b".into(), 3), ("c".into(), 2)]
-        );
+        let out = job.map_reduce(input(&["a b a", "c a", "b b c", "a"]), 3, 4, true).unwrap();
+        assert_eq!(sorted_counts(out), vec![("a".into(), 4), ("b".into(), 3), ("c".into(), 2)]);
     }
 
     #[test]
     fn mock_parallel_spills_bucket_files() {
         let store = Arc::new(MemFs::new());
-        let mut rt =
-            LocalRuntime::mock_parallel(Arc::new(Simple(WordCount)), store.clone());
+        let mut rt = LocalRuntime::mock_parallel(Arc::new(Simple(WordCount)), store.clone());
         let mut job = Job::new(&mut rt);
         let out = job.map_reduce(input(&["x y", "y z"]), 2, 2, false).unwrap();
         assert_eq!(sorted_counts(out).len(), 3);
@@ -519,10 +511,8 @@ mod tests {
             sorted_counts(job.map_reduce(data.clone(), 3, 5, true).unwrap())
         };
         let pool = run(LocalRuntime::pool(Arc::new(Simple(WordCount)), 6));
-        let mock = run(LocalRuntime::mock_parallel(
-            Arc::new(Simple(WordCount)),
-            Arc::new(MemFs::new()),
-        ));
+        let mock =
+            run(LocalRuntime::mock_parallel(Arc::new(Simple(WordCount)), Arc::new(MemFs::new())));
         assert_eq!(pool, mock);
     }
 
@@ -616,9 +606,7 @@ mod tests {
         }
         let mut rt = LocalRuntime::pool(Arc::new(Simple(SelfFeed)), 1);
         let mut job = Job::new(&mut rt);
-        let recs: Vec<Record> = (0..4u64)
-            .map(|i| encode_record(&format!("k{i}"), &i))
-            .collect();
+        let recs: Vec<Record> = (0..4u64).map(|i| encode_record(&format!("k{i}"), &i)).collect();
         let src = job.local_data(recs, 2).unwrap();
         let m1 = job.map_data(src, 0, 2, false).unwrap();
         let r1 = job.reduce_data(m1, 0).unwrap();

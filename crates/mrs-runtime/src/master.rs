@@ -45,11 +45,7 @@ pub struct MasterConfig {
 
 impl Default for MasterConfig {
     fn default() -> Self {
-        MasterConfig {
-            slave_timeout: Duration::from_secs(2),
-            max_attempts: 4,
-            use_affinity: true,
-        }
+        MasterConfig { slave_timeout: Duration::from_secs(2), max_attempts: 4, use_affinity: true }
     }
 }
 
@@ -79,7 +75,9 @@ impl TaskSlot {
 #[derive(Debug)]
 enum MDs {
     /// Job input, already materialized as bucket files; one URL per split.
-    Source { urls: Vec<String> },
+    Source {
+        urls: Vec<String>,
+    },
     /// A queued/running/complete operation.
     Op {
         input: DataId,
@@ -277,8 +275,7 @@ impl Master {
 
         // Build the assignment.
         let msg = {
-            let MDs::Op { input, func, is_map, parts, combine, .. } =
-                &st.datasets[data.0 as usize]
+            let MDs::Op { input, func, is_map, parts, combine, .. } = &st.datasets[data.0 as usize]
             else {
                 unreachable!("candidates only contain ops");
             };
@@ -314,7 +311,10 @@ impl Master {
                 if is_map {
                     // map task i needs split i of a reduce output
                     !input_is_map
-                        && matches!(tasks.get(index).map(|t| &t.state), Some(SlotState::Done { .. }))
+                        && matches!(
+                            tasks.get(index).map(|t| &t.state),
+                            Some(SlotState::Done { .. })
+                        )
                 } else {
                     // reduce task needs the whole map output
                     *input_is_map && *done_count == tasks.len()
@@ -469,9 +469,7 @@ impl Master {
                         slot.state = SlotState::Pending;
                         requeued += 1;
                     }
-                    SlotState::Done { owner: Some(s), .. }
-                        if direct && newly_dead.contains(s) =>
-                    {
+                    SlotState::Done { owner: Some(s), .. } if direct && newly_dead.contains(s) => {
                         slot.state = SlotState::Pending;
                         *done_count -= 1;
                         requeued += 1;
@@ -645,9 +643,7 @@ impl JobApi for Master {
                         })
                         .collect(),
                     MDs::Discarded => {
-                        return Err(Error::MissingData(format!(
-                            "dataset {data:?} was discarded"
-                        )))
+                        return Err(Error::MissingData(format!("dataset {data:?} was discarded")))
                     }
                 }
             };
@@ -696,8 +692,7 @@ mod tests {
     fn shared_master() -> (Master, Arc<dyn Store>) {
         let store: Arc<dyn Store> = Arc::new(MemFs::new());
         (
-            Master::new(MasterConfig::default(), DataPlane::SharedFs(Arc::clone(&store)))
-                .unwrap(),
+            Master::new(MasterConfig::default(), DataPlane::SharedFs(Arc::clone(&store))).unwrap(),
             store,
         )
     }
@@ -806,10 +801,8 @@ mod tests {
 
     #[test]
     fn dead_slave_tasks_are_requeued() {
-        let cfg = MasterConfig {
-            slave_timeout: Duration::from_millis(20),
-            ..MasterConfig::default()
-        };
+        let cfg =
+            MasterConfig { slave_timeout: Duration::from_millis(20), ..MasterConfig::default() };
         let store: Arc<dyn Store> = Arc::new(MemFs::new());
         let mut m = Master::new(cfg, DataPlane::SharedFs(store.clone())).unwrap();
         let s1 = m.signin("a:1");
@@ -831,10 +824,8 @@ mod tests {
 
     #[test]
     fn dead_slave_completed_outputs_recomputed_on_direct_plane() {
-        let cfg = MasterConfig {
-            slave_timeout: Duration::from_millis(20),
-            ..MasterConfig::default()
-        };
+        let cfg =
+            MasterConfig { slave_timeout: Duration::from_millis(20), ..MasterConfig::default() };
         let mut m = Master::new(cfg, DataPlane::Direct).unwrap();
         let s1 = m.signin("a:1");
         let s2 = m.signin("b:2");
@@ -861,10 +852,8 @@ mod tests {
 
     #[test]
     fn all_slaves_dead_fails_job() {
-        let cfg = MasterConfig {
-            slave_timeout: Duration::from_millis(10),
-            ..MasterConfig::default()
-        };
+        let cfg =
+            MasterConfig { slave_timeout: Duration::from_millis(10), ..MasterConfig::default() };
         let store: Arc<dyn Store> = Arc::new(MemFs::new());
         let mut m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
         let s = m.signin("a:1");

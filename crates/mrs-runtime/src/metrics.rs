@@ -14,6 +14,8 @@ pub struct JobMetrics {
     tasks_retried: u64,
     affinity_hits: u64,
     affinity_misses: u64,
+    connections_opened: u64,
+    connections_reused: u64,
 }
 
 impl JobMetrics {
@@ -93,6 +95,25 @@ impl JobMetrics {
     pub fn reduce_time(&self) -> Duration {
         self.reduce_time
     }
+
+    /// Record HTTP connection-pool activity attributed to this job
+    /// (deltas of [`mrs_rpc::HttpClient::pool_stats`] over the job's
+    /// lifetime).
+    pub fn record_connections(&mut self, opened: u64, reused: u64) {
+        self.connections_opened += opened;
+        self.connections_reused += reused;
+    }
+
+    /// TCP connections dialled for this job's RPC and bucket traffic.
+    /// With keep-alive this is O(peers), not O(requests).
+    pub fn connections_opened(&self) -> u64 {
+        self.connections_opened
+    }
+
+    /// Requests served over an already-open pooled connection.
+    pub fn connections_reused(&self) -> u64 {
+        self.connections_reused
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +130,7 @@ mod tests {
         m.record_retry();
         m.record_affinity(true);
         m.record_affinity(false);
+        m.record_connections(3, 40);
         assert_eq!(m.map_ops(), 2);
         assert_eq!(m.reduce_ops(), 1);
         assert_eq!(m.shuffle_bytes(), 150);
@@ -116,6 +138,8 @@ mod tests {
         assert_eq!(m.tasks_retried(), 1);
         assert_eq!(m.affinity_hits(), 1);
         assert_eq!(m.affinity_misses(), 1);
+        assert_eq!(m.connections_opened(), 3);
+        assert_eq!(m.connections_reused(), 40);
         assert!(m.map_time() >= Duration::from_millis(10));
     }
 }

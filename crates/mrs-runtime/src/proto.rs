@@ -156,19 +156,32 @@ pub fn fetch_records_local_first(
     own_authority: Option<&str>,
     own_store: Option<&dyn Store>,
 ) -> Result<Vec<Record>> {
+    let bytes = fetch_bucket_bytes_local_first(url, shared, own_authority, own_store)?;
+    read_bucket_bytes(&bytes)
+}
+
+/// The transfer half of [`fetch_records_local_first`]: resolve the URL and
+/// return the raw serialized bucket without parsing it. The reduce path
+/// uses this to decode several fetched buckets straight into one arena
+/// instead of materializing a `Vec<Record>` per bucket.
+pub fn fetch_bucket_bytes_local_first(
+    url: &str,
+    shared: Option<&Arc<dyn Store>>,
+    own_authority: Option<&str>,
+    own_store: Option<&dyn Store>,
+) -> Result<Vec<u8>> {
     let parsed = BucketUrl::parse(url)?;
-    let bytes = match &parsed {
+    match &parsed {
         BucketUrl::Http { authority, path } => {
             match (own_authority, own_store, path.strip_prefix("/data/")) {
-                (Some(own), Some(store), Some(rel)) if own == authority => store.get(rel)?,
-                _ => mrs_rpc::dataserver::fetch(authority, path)?,
+                (Some(own), Some(store), Some(rel)) if own == authority => store.get(rel),
+                _ => mrs_rpc::dataserver::fetch(authority, path),
             }
         }
-        BucketUrl::File(p) | BucketUrl::Mem(p) => shared
-            .ok_or_else(|| Error::Url(format!("no shared store to resolve {url}")))?
-            .get(p)?,
-    };
-    read_bucket_bytes(&bytes)
+        BucketUrl::File(p) | BucketUrl::Mem(p) => {
+            shared.ok_or_else(|| Error::Url(format!("no shared store to resolve {url}")))?.get(p)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,8 +241,7 @@ mod tests {
         let records = vec![(b"k".to_vec(), b"v".to_vec())];
         store.put("d0/t0/b0.mrsb", &write_bucket_bytes(&records)).unwrap();
         let url = "http://127.0.0.1:1/data/d0/t0/b0.mrsb";
-        let got =
-            fetch_records_local_first(url, None, Some("127.0.0.1:1"), Some(&store)).unwrap();
+        let got = fetch_records_local_first(url, None, Some("127.0.0.1:1"), Some(&store)).unwrap();
         assert_eq!(got, records);
         // A different authority still goes to the network (and fails here).
         assert!(fetch_records_local_first(url, None, Some("127.0.0.1:2"), Some(&store)).is_err());

@@ -88,7 +88,7 @@ impl JobApi for SerialRuntime {
         let t0 = std::time::Instant::now();
         let mut splits = Vec::with_capacity(buckets.len());
         for bucket in buckets {
-            let out = run_reduce_task(self.program.as_ref(), func, bucket.into_records())?;
+            let out = run_reduce_task(self.program.as_ref(), func, bucket)?;
             splits.push(out.into_records());
         }
         self.metrics.record_reduce(t0.elapsed());
@@ -104,7 +104,7 @@ impl JobApi for SerialRuntime {
         match self.get(data)? {
             SerialData::Plain(ds) => Ok(gather(ds.clone())),
             SerialData::Mapped(buckets) => {
-                Ok(buckets.iter().flat_map(|b| b.records().iter().cloned()).collect())
+                Ok(buckets.iter().flat_map(|b| b.to_records()).collect())
             }
             SerialData::Discarded => {
                 Err(Error::MissingData(format!("dataset {data:?} was discarded")))
@@ -140,7 +140,12 @@ mod tests {
             }
         }
 
-        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+        fn reduce(
+            &self,
+            _k: &String,
+            vs: &mut dyn Iterator<Item = u64>,
+            emit: &mut dyn FnMut(u64),
+        ) {
             emit(vs.sum());
         }
 

@@ -10,14 +10,14 @@
 //! calls (scheduler unit tests).
 
 use crate::master::SlaveId;
-use crate::proto::{fetch_records_local_first, Assignment, DataPlane, TaskMsg};
+use crate::proto::{fetch_bucket_bytes_local_first, Assignment, DataPlane, TaskMsg};
 use mrs_core::task::{run_map_task, run_reduce_task};
-use mrs_core::{Error, Program, Record, Result};
-use mrs_fs::format::write_bucket_bytes;
+use mrs_core::{Bucket, Error, Program, Record, Result};
+use mrs_fs::format::{read_bucket_bytes, read_bucket_into, write_bucket};
 use mrs_fs::{MemFs, Store};
 use mrs_rpc::DataServer;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The slave's view of the master.
@@ -27,8 +27,7 @@ pub trait MasterLink: Send + Sync {
     /// Poll for work.
     fn get_task(&self, slave: SlaveId) -> Result<Assignment>;
     /// Report success with output bucket URLs.
-    fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>)
-        -> Result<()>;
+    fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()>;
     /// Report a failed attempt. `failed_input` is the input URL that could
     /// not be fetched, when the failure was a fetch failure.
     fn task_failed(
@@ -49,13 +48,7 @@ impl MasterLink for crate::master::Master {
     fn get_task(&self, slave: SlaveId) -> Result<Assignment> {
         Ok(crate::master::Master::get_task(self, slave))
     }
-    fn task_done(
-        &self,
-        slave: SlaveId,
-        data: u32,
-        index: usize,
-        urls: Vec<String>,
-    ) -> Result<()> {
+    fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()> {
         crate::master::Master::task_done(self, slave, data, index, urls);
         Ok(())
     }
@@ -133,13 +126,9 @@ pub fn run_slave(
                     id,
                 ) {
                     Ok(urls) => link.task_done(id, task.data, task.index, urls),
-                    Err(TaskError { msg, failed_input }) => link.task_failed(
-                        id,
-                        task.data,
-                        task.index,
-                        &msg,
-                        failed_input.as_deref(),
-                    ),
+                    Err(TaskError { msg, failed_input }) => {
+                        link.task_failed(id, task.data, task.index, &msg, failed_input.as_deref())
+                    }
                 };
                 match report {
                     Ok(()) => {}
@@ -161,6 +150,59 @@ pub struct TaskError {
     pub failed_input: Option<String>,
 }
 
+/// How many input buckets a slave fetches concurrently. A reduce task
+/// reads one bucket per map task; fetching them serially serializes
+/// round-trips to every peer, so this is the main shuffle latency lever.
+const FETCH_PARALLELISM: usize = 8;
+
+/// Fetch the raw bytes of every input URL, in order. Remote fetches run
+/// on up to [`FETCH_PARALLELISM`] worker threads; results land in their
+/// input slot so downstream parsing sees inputs in assignment order (the
+/// determinism oracle depends on it).
+fn fetch_all_bucket_bytes(
+    urls: &[String],
+    shared: Option<&Arc<dyn Store>>,
+    own_authority: Option<&str>,
+    local: &dyn Store,
+) -> std::result::Result<Vec<Vec<u8>>, TaskError> {
+    let fetch = |url: &str| fetch_bucket_bytes_local_first(url, shared, own_authority, Some(local));
+    if urls.len() <= 1 {
+        // Nothing to overlap; skip the thread machinery.
+        return urls
+            .iter()
+            .map(|url| {
+                fetch(url)
+                    .map_err(|e| TaskError { msg: e.to_string(), failed_input: Some(url.clone()) })
+            })
+            .collect();
+    }
+    type FetchSlot = Mutex<Option<std::result::Result<Vec<u8>, String>>>;
+    let slots: Vec<FetchSlot> = urls.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..FETCH_PARALLELISM.min(urls.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= urls.len() {
+                    break;
+                }
+                let r = fetch(&urls[i]).map_err(|e| e.to_string());
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    urls.iter()
+        .zip(slots)
+        .map(|(url, slot)| {
+            let r = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("fetch worker filled every slot");
+            r.map_err(|msg| TaskError { msg, failed_input: Some(url.clone()) })
+        })
+        .collect()
+}
+
 fn execute_task(
     task: &TaskMsg,
     program: &dyn Program,
@@ -169,7 +211,7 @@ fn execute_task(
     server: Option<&DataServer>,
     slave: SlaveId,
 ) -> std::result::Result<Vec<String>, TaskError> {
-    // Gather input records from every input URL.
+    // Gather input bytes from every input URL (in parallel when remote).
     let shared: Option<Arc<dyn Store>> = match plane {
         DataPlane::SharedFs(s) => Some(Arc::clone(s)),
         DataPlane::Direct => None,
@@ -177,33 +219,38 @@ fn execute_task(
     // Inputs this slave produced itself are read straight from its local
     // store; only genuinely remote buckets cross the network.
     let own_authority = server.map(|s| s.authority());
-    let mut input: Vec<Record> = Vec::new();
-    for url in &task.inputs {
-        let fetched = fetch_records_local_first(
-            url,
-            shared.as_ref(),
-            own_authority.as_deref(),
-            Some(local.as_ref() as &dyn Store),
-        );
-        match fetched {
-            Ok(records) => input.extend(records),
-            Err(e) => {
-                return Err(TaskError { msg: e.to_string(), failed_input: Some(url.clone()) })
-            }
-        }
-    }
+    let raw = fetch_all_bucket_bytes(
+        &task.inputs,
+        shared.as_ref(),
+        own_authority.as_deref(),
+        local.as_ref() as &dyn Store,
+    )?;
+    let parse_err = |url: &String, e: mrs_core::Error| TaskError {
+        msg: e.to_string(),
+        failed_input: Some(url.clone()),
+    };
     let run_err = |e: mrs_core::Error| TaskError { msg: e.to_string(), failed_input: None };
 
     // Execute and serialize output buckets.
     let buckets: Vec<Vec<u8>> = if task.is_map {
+        let mut input: Vec<Record> = Vec::new();
+        for (url, bytes) in task.inputs.iter().zip(&raw) {
+            input.extend(read_bucket_bytes(bytes).map_err(|e| parse_err(url, e))?);
+        }
         run_map_task(program, task.func, &input, task.parts, task.combine)
             .map_err(run_err)?
             .iter()
-            .map(|b| write_bucket_bytes(b.records()))
+            .map(write_bucket)
             .collect()
     } else {
+        // Reduce inputs decode straight into one arena: no per-bucket
+        // Vec<Record> materialization on the hot shuffle path.
+        let mut input = Bucket::new();
+        for (url, bytes) in task.inputs.iter().zip(&raw) {
+            read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
+        }
         let out = run_reduce_task(program, task.func, input).map_err(run_err)?;
-        vec![write_bucket_bytes(out.records())]
+        vec![write_bucket(&out)]
     };
 
     // Store and name the outputs.
@@ -246,7 +293,12 @@ mod tests {
             }
         }
 
-        fn reduce(&self, _k: &String, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+        fn reduce(
+            &self,
+            _k: &String,
+            vs: &mut dyn Iterator<Item = u64>,
+            emit: &mut dyn FnMut(u64),
+        ) {
             emit(vs.sum());
         }
     }
@@ -323,10 +375,8 @@ mod tests {
 
     #[test]
     fn stopped_slave_goes_silent_and_peer_takes_over() {
-        let cfg = MasterConfig {
-            slave_timeout: Duration::from_millis(100),
-            ..MasterConfig::default()
-        };
+        let cfg =
+            MasterConfig { slave_timeout: Duration::from_millis(100), ..MasterConfig::default() };
         let store: Arc<dyn Store> = Arc::new(MemFs::new());
         let plane = DataPlane::SharedFs(Arc::clone(&store));
         let master = Master::new(cfg, plane.clone()).unwrap();

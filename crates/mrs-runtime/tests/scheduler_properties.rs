@@ -53,8 +53,11 @@ struct Round {
 }
 
 fn arb_round() -> impl Strategy<Value = Round> {
-    (1usize..6, any::<bool>(), any::<bool>())
-        .prop_map(|(parts, wait_after, discard_map)| Round { parts, wait_after, discard_map })
+    (1usize..6, any::<bool>(), any::<bool>()).prop_map(|(parts, wait_after, discard_map)| Round {
+        parts,
+        wait_after,
+        discard_map,
+    })
 }
 
 fn run_chain(job: &mut Job, input: Vec<Record>, splits: usize, rounds: &[Round]) -> Vec<Record> {

@@ -101,8 +101,7 @@ pub fn compile(
         .enumerate()
         .map(|(i, f)| (f.name.as_str(), (i as u16, f.params.len())))
         .collect();
-    let mut module =
-        Module { functions: Vec::new(), consts: Vec::new(), native_names: Vec::new() };
+    let mut module = Module { functions: Vec::new(), consts: Vec::new(), native_names: Vec::new() };
     let mut native_index: HashMap<String, u16> = HashMap::new();
     for f in &program.functions {
         let mut c = FnCompiler {
@@ -242,15 +241,13 @@ impl FnCompiler<'_> {
                     self.patch(at);
                 }
             }
-            Stmt::Return(e) => {
-                match e {
-                    Some(e) => {
-                        self.expr(e)?;
-                        self.code.push(Op::Return);
-                    }
-                    None => self.code.push(Op::ReturnNil),
+            Stmt::Return(e) => match e {
+                Some(e) => {
+                    self.expr(e)?;
+                    self.code.push(Op::Return);
                 }
-            }
+                None => self.code.push(Op::ReturnNil),
+            },
             Stmt::Break => {
                 if self.loops.is_empty() {
                     return self.err("break outside loop");
@@ -452,7 +449,8 @@ mod tests {
         assert!(compile_src("fn f() { return g(); }").is_err());
         assert!(compile_src("fn f() { break; }").is_err());
         assert!(compile_src("fn f() { continue; }").is_err());
-        assert!(compile_src("fn a(x) { return x; } fn f() { return a(); }").is_err()); // arity
+        assert!(compile_src("fn a(x) { return x; } fn f() { return a(); }").is_err());
+        // arity
     }
 
     #[test]

@@ -45,9 +45,7 @@ impl Engine {
         });
         e.register("min", |args| binary_minmax(args, "min", true));
         e.register("max", |args| binary_minmax(args, "max", false));
-        e.register("int", |args| {
-            Ok(Value::Int(num1(args, "int")? as i64))
-        });
+        e.register("int", |args| Ok(Value::Int(num1(args, "int")? as i64)));
         e.register("float", |args| Ok(Value::Float(num1(args, "float")?)));
         e.register("len", |args| match args {
             [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
@@ -65,10 +63,9 @@ impl Engine {
             _ => Err(RuntimeError("push expects (list, value)".into())),
         });
         e.register("pop", |args| match args {
-            [Value::List(items)] => items
-                .borrow_mut()
-                .pop()
-                .ok_or_else(|| RuntimeError("pop from empty list".into())),
+            [Value::List(items)] => {
+                items.borrow_mut().pop().ok_or_else(|| RuntimeError("pop from empty list".into()))
+            }
             _ => Err(RuntimeError("pop expects a list".into())),
         });
         e
@@ -147,16 +144,20 @@ mod tests {
     fn stdlib_functions_work_on_both_engines() {
         let e = Engine::new();
         let src = "fn f(x) { return sqrt(x) + floor(1.7) + abs(-3) + min(2, 9) + max(2, 9); }";
-        assert_eq!(both(&e, src, "f", &[Value::Float(16.0)]), Value::Float(4.0 + 1.0 + 3.0 + 2.0 + 9.0));
+        assert_eq!(
+            both(&e, src, "f", &[Value::Float(16.0)]),
+            Value::Float(4.0 + 1.0 + 3.0 + 2.0 + 9.0)
+        );
     }
 
     #[test]
     fn custom_native_is_callable() {
         let mut e = Engine::new();
-        e.register("triple", |args| {
-            Ok(Value::Int(args[0].as_i64().unwrap_or(0) * 3))
-        });
-        assert_eq!(both(&e, "fn f(x) { return triple(x) + 1; }", "f", &[Value::Int(4)]), Value::Int(13));
+        e.register("triple", |args| Ok(Value::Int(args[0].as_i64().unwrap_or(0) * 3)));
+        assert_eq!(
+            both(&e, "fn f(x) { return triple(x) + 1; }", "f", &[Value::Int(4)]),
+            Value::Int(13)
+        );
     }
 
     #[test]

@@ -208,10 +208,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             break;
                         }
                         b'\\' => {
-                            let esc = bytes.get(i + 1).ok_or(LexError {
-                                msg: "dangling escape".into(),
-                                line,
-                            })?;
+                            let esc = bytes
+                                .get(i + 1)
+                                .ok_or(LexError { msg: "dangling escape".into(), line })?;
                             s.push(match esc {
                                 b'n' => '\n',
                                 b't' => '\t',
@@ -235,9 +234,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         _ => {
                             // copy the full UTF-8 character
                             let ch_len = utf8_len(bytes[i]);
-                            s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(
-                                |_| LexError { msg: "invalid utf-8".into(), line },
-                            )?);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len])
+                                    .map_err(|_| LexError { msg: "invalid utf-8".into(), line })?,
+                            );
                             i += ch_len;
                         }
                     }
@@ -393,20 +393,13 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb\"c\\""#),
-            vec![Tok::Str("a\nb\"c\\".into()), Tok::Eof]
-        );
+        assert_eq!(kinds(r#""a\nb\"c\\""#), vec![Tok::Str("a\nb\"c\\".into()), Tok::Eof]);
     }
 
     #[test]
     fn comments_and_lines() {
         let toks = lex("var x = 1; # comment\nvar y = 2;").unwrap();
-        let y_line = toks
-            .iter()
-            .find(|t| t.kind == Tok::Ident("y".into()))
-            .unwrap()
-            .line;
+        let y_line = toks.iter().find(|t| t.kind == Tok::Ident("y".into())).unwrap().line;
         assert_eq!(y_line, 2);
     }
 

@@ -452,9 +452,7 @@ mod tests {
     #[test]
     fn calls_with_args() {
         let p = parse("fn f() { return g(1, 2.5, \"x\"); }").unwrap();
-        let Stmt::Return(Some(Expr::Call(name, args))) = &p.functions[0].body[0] else {
-            panic!()
-        };
+        let Stmt::Return(Some(Expr::Call(name, args))) = &p.functions[0].body[0] else { panic!() };
         assert_eq!(name, "g");
         assert_eq!(args.len(), 3);
     }

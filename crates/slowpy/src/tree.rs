@@ -58,9 +58,7 @@ impl<'a> TreeInterp<'a> {
             f.params.iter().cloned().zip(args.iter().cloned()).collect();
         match self.exec_block(&f.body, &mut env, depth)? {
             Flow::Return(v) => Ok(v),
-            Flow::Break | Flow::Continue => {
-                Err(RuntimeError("break/continue outside loop".into()))
-            }
+            Flow::Break | Flow::Continue => Err(RuntimeError("break/continue outside loop".into())),
             Flow::Normal => Ok(Value::Nil),
         }
     }
@@ -99,7 +97,9 @@ impl<'a> TreeInterp<'a> {
                         *slot = v;
                         Ok(Flow::Normal)
                     }
-                    None => Err(RuntimeError(format!("assignment to undeclared variable {name:?}"))),
+                    None => {
+                        Err(RuntimeError(format!("assignment to undeclared variable {name:?}")))
+                    }
                 }
             }
             Stmt::IndexAssign(container, index, value) => {
@@ -142,12 +142,7 @@ impl<'a> TreeInterp<'a> {
         }
     }
 
-    fn eval(
-        &self,
-        expr: &Expr,
-        env: &mut HashMap<String, Value>,
-        depth: usize,
-    ) -> VResult {
+    fn eval(&self, expr: &Expr, env: &mut HashMap<String, Value>, depth: usize) -> VResult {
         match expr {
             Expr::Int(v) => Ok(Value::Int(*v)),
             Expr::Float(v) => Ok(Value::Float(*v)),
@@ -238,7 +233,11 @@ mod tests {
 
     #[test]
     fn arithmetic_and_locals() {
-        let v = run("fn f(a, b) { var c = a * b; return c + 1; }", "f", &[Value::Int(3), Value::Int(4)]);
+        let v = run(
+            "fn f(a, b) { var c = a * b; return c + 1; }",
+            "f",
+            &[Value::Int(3), Value::Int(4)],
+        );
         assert_eq!(v.unwrap(), Value::Int(13));
     }
 

@@ -103,9 +103,7 @@ impl PartialEq for Value {
             // Numeric cross-type equality, like Python.
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::List(a), Value::List(b)) => {
                 // Element-wise deep equality; identical Rcs shortcut first
                 // (also makes self-referential lists terminate).
@@ -132,7 +130,11 @@ impl std::error::Error for RuntimeError {}
 pub type VResult = Result<Value, RuntimeError>;
 
 pub(crate) fn type_error(op: &str, a: &Value, b: &Value) -> RuntimeError {
-    RuntimeError(format!("unsupported operand types for {op}: {} and {}", a.type_name(), b.type_name()))
+    RuntimeError(format!(
+        "unsupported operand types for {op}: {} and {}",
+        a.type_name(),
+        b.type_name()
+    ))
 }
 
 /// Binary arithmetic with Python-style promotion.

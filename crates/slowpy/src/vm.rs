@@ -224,10 +224,7 @@ mod tests {
     fn and_or_produce_bools() {
         let src = "fn f(a, b) { return a and b; } fn g(a, b) { return a or b; }";
         assert_eq!(run(src, "f", &[Value::Int(1), Value::Int(2)]).unwrap(), Value::Bool(true));
-        assert_eq!(
-            run(src, "g", &[Value::Bool(false), Value::Nil]).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(run(src, "g", &[Value::Bool(false), Value::Nil]).unwrap(), Value::Bool(false));
     }
 
     #[test]

@@ -22,9 +22,8 @@ fn leaf_expr() -> impl Strategy<Value = Expr> {
         // Reads of the shared list `l` (declared with 3 elements; index -3..5
         // exercises negative indexing and out-of-range errors, on which the
         // engines must also agree).
-        (-3i64..5).prop_map(|i| {
-            Expr::Index(Box::new(Expr::Var("l".into())), Box::new(Expr::Int(i)))
-        }),
+        (-3i64..5)
+            .prop_map(|i| { Expr::Index(Box::new(Expr::Var("l".into())), Box::new(Expr::Int(i))) }),
     ]
 }
 
@@ -48,10 +47,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 inner.clone()
             )
                 .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             inner.prop_map(|e| Expr::Neg(Box::new(e))),
         ]
@@ -59,9 +56,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_assign() -> impl Strategy<Value = Stmt> + Clone {
-    (0usize..VARS.len(), arb_expr())
-        .prop_map(|(i, e)| Stmt::Assign(VARS[i].to_owned(), e))
-        .boxed()
+    (0usize..VARS.len(), arb_expr()).prop_map(|(i, e)| Stmt::Assign(VARS[i].to_owned(), e)).boxed()
 }
 
 fn arb_stmt() -> impl Strategy<Value = Stmt> {
@@ -71,9 +66,8 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         proptest::collection::vec(arb_assign(), 0..3),
     )
         .prop_map(|(cond, t, e)| Stmt::If(cond, t, e));
-    let index_assign = (-3i64..5, arb_expr()).prop_map(|(i, e)| {
-        Stmt::IndexAssign(Expr::Var("l".into()), Expr::Int(i), e)
-    });
+    let index_assign = (-3i64..5, arb_expr())
+        .prop_map(|(i, e)| Stmt::IndexAssign(Expr::Var("l".into()), Expr::Int(i), e));
     prop_oneof![arb_assign(), ifstmt, index_assign]
 }
 
@@ -104,11 +98,7 @@ fn arb_function() -> impl Strategy<Value = Program> {
                 let mut loop_body = stmts;
                 loop_body.push(Stmt::Assign(
                     "i".into(),
-                    Expr::Bin(
-                        BinOp::Add,
-                        Box::new(Expr::Var("i".into())),
-                        Box::new(Expr::Int(1)),
-                    ),
+                    Expr::Bin(BinOp::Add, Box::new(Expr::Var("i".into())), Box::new(Expr::Int(1))),
                 ));
                 body.push(Stmt::While(
                     Expr::Bin(
@@ -123,10 +113,7 @@ fn arb_function() -> impl Strategy<Value = Program> {
                 Expr::Bin(
                     BinOp::Add,
                     Box::new(acc),
-                    Box::new(Expr::Index(
-                        Box::new(Expr::Var("l".into())),
-                        Box::new(Expr::Int(i)),
-                    )),
+                    Box::new(Expr::Index(Box::new(Expr::Var("l".into())), Box::new(Expr::Int(i)))),
                 )
             });
             body.push(Stmt::Return(Some(Expr::Bin(
@@ -150,9 +137,7 @@ fn arb_function() -> impl Strategy<Value = Program> {
                     Box::new(lsum),
                 )),
             ))));
-            Program {
-                functions: vec![FnDef { name: "f".into(), params: vec![], body, line: 1 }],
-            }
+            Program { functions: vec![FnDef { name: "f".into(), params: vec![], body, line: 1 }] }
         })
 }
 

@@ -22,7 +22,9 @@ fn main() -> Result<()> {
     let tasks: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
     let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
 
-    println!("π by quasi-Monte-Carlo: {samples} Halton samples, {tasks} map tasks, {workers} workers\n");
+    println!(
+        "π by quasi-Monte-Carlo: {samples} Halton samples, {tasks} map tasks, {workers} workers\n"
+    );
     println!("{:<10} {:>12} {:>14} {:>10}", "tier", "time (ms)", "estimate", "error");
 
     let mut reference: Option<f64> = None;

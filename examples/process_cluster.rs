@@ -33,8 +33,7 @@ fn main() -> Result<()> {
         return slave_main(&authority);
     }
 
-    let n_slaves: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let n_slaves: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
 
     // Master role: bind, then spawn N copies of ourselves as slaves.
     let master = Master::new(MasterConfig::default(), DataPlane::Direct)?;
@@ -56,9 +55,8 @@ fn main() -> Result<()> {
         .collect();
 
     // Run a job across the processes.
-    let lines: Vec<String> = (0..2_000)
-        .map(|i| format!("alpha beta w{} w{} gamma", i % 97, i % 31))
-        .collect();
+    let lines: Vec<String> =
+        (0..2_000).map(|i| format!("alpha beta w{} w{} gamma", i % 97, i % 31)).collect();
     let input = lines_to_records(lines.iter().map(String::as_str));
     let mut driver = master.clone();
     let t0 = std::time::Instant::now();

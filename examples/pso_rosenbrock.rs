@@ -69,8 +69,6 @@ fn main() -> Result<()> {
         mr_time.as_secs_f64() * 1e3 / outer as f64,
         metrics.tasks_executed(),
     );
-    println!(
-        "paper reference: ~0.3 s framework overhead per iteration on Mrs, ≥30 s on Hadoop"
-    );
+    println!("paper reference: ~0.3 s framework overhead per iteration on Mrs, ≥30 s on Hadoop");
     Ok(())
 }

@@ -41,9 +41,11 @@ fn main() -> Result<()> {
         let mut job = Job::new(&mut rt);
         decode_counts(&job.map_reduce(lines_to_records(TEXT.iter().copied()), 2, 3, true)?)?
     };
-    println!("mock parallel: {} distinct words ({} debug bucket files)",
+    println!(
+        "mock parallel: {} distinct words ({} debug bucket files)",
         mock.len(),
-        spill.list("")?.len());
+        spill.list("")?.len()
+    );
 
     // 4. Master/slave over real localhost XML-RPC, direct HTTP data plane.
     let distributed = {

@@ -23,11 +23,8 @@ fn main() -> Result<()> {
     let files: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
     let slaves: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
 
-    let corpus = Corpus::new(CorpusConfig {
-        n_files: files,
-        mean_tokens: 1_000,
-        ..CorpusConfig::default()
-    });
+    let corpus =
+        Corpus::new(CorpusConfig { n_files: files, mean_tokens: 1_000, ..CorpusConfig::default() });
     let documents: Vec<String> = (0..files).map(|f| corpus.document(f)).collect();
     let bytes: u64 = documents.iter().map(|d| d.len() as u64).sum();
     let records = documents_to_records(documents.iter().map(String::as_str));

@@ -313,8 +313,7 @@ mod tests {
     fn serial_and_pool_match_closely() {
         let data = mixture_data(&truth_means(), &[1.0, 1.0], 80, 5);
         let fit = |parallel: bool| {
-            let gmm =
-                Arc::new(Simple(Gmm::new(vec![vec![-1.0, 0.5], vec![1.0, -0.5]]).unwrap()));
+            let gmm = Arc::new(Simple(Gmm::new(vec![vec![-1.0, 0.5], vec![1.0, -0.5]]).unwrap()));
             if parallel {
                 let mut rt = LocalRuntime::pool(gmm.clone(), 3);
                 let mut job = Job::new(&mut rt);
@@ -337,8 +336,7 @@ mod tests {
     fn variance_floor_prevents_collapse() {
         // All points identical: variances must hit the floor, not zero/NaN.
         let point = vec![2.0, 2.0];
-        let data: Vec<Record> =
-            (0..20u64).map(|i| encode_record(&i, &point)).collect();
+        let data: Vec<Record> = (0..20u64).map(|i| encode_record(&i, &point)).collect();
         let gmm = Arc::new(Simple(Gmm::new(vec![vec![0.0, 0.0], vec![4.0, 4.0]]).unwrap()));
         let mut rt = SerialRuntime::new(gmm.clone());
         let mut job = Job::new(&mut rt);

@@ -57,9 +57,7 @@ mod tests {
         let program = Arc::new(Simple(Grep { pattern: pattern.to_owned() }));
         let mut rt = LocalRuntime::pool(program, 3);
         let mut job = Job::new(&mut rt);
-        let out = job
-            .map_reduce(lines_to_records(lines.iter().copied()), 3, 2, false)
-            .unwrap();
+        let out = job.map_reduce(lines_to_records(lines.iter().copied()), 3, 2, false).unwrap();
         decode_matches(&out).unwrap()
     }
 
@@ -67,10 +65,7 @@ mod tests {
     fn finds_matching_lines_in_order() {
         let lines = ["alpha beta", "gamma", "beta gamma", "delta"];
         let matches = run_grep("beta", &lines);
-        assert_eq!(
-            matches,
-            vec![(0, "alpha beta".to_string()), (2, "beta gamma".to_string())]
-        );
+        assert_eq!(matches, vec![(0, "alpha beta".to_string()), (2, "beta gamma".to_string())]);
     }
 
     #[test]
@@ -95,13 +90,9 @@ mod tests {
         let doc = corpus.document(0) + &corpus.document(1) + &corpus.document(2);
         let lines: Vec<&str> = doc.lines().collect();
         let pattern = "ba";
-        let expected: Vec<String> = lines
-            .iter()
-            .filter(|l| l.contains(pattern))
-            .map(|l| l.to_string())
-            .collect();
-        let got: Vec<String> =
-            run_grep(pattern, &lines).into_iter().map(|(_, l)| l).collect();
+        let expected: Vec<String> =
+            lines.iter().filter(|l| l.contains(pattern)).map(|l| l.to_string()).collect();
+        let got: Vec<String> = run_grep(pattern, &lines).into_iter().map(|(_, l)| l).collect();
         assert_eq!(got, expected);
     }
 }

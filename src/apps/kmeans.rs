@@ -104,14 +104,9 @@ impl KMeans {
             if partial.count == 0 {
                 continue; // empty cluster keeps its old centroid
             }
-            let new: Vec<f64> =
-                partial.sum.iter().map(|s| s / partial.count as f64).collect();
-            let moved: f64 = new
-                .iter()
-                .zip(&table[cluster])
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
+            let new: Vec<f64> = partial.sum.iter().map(|s| s / partial.count as f64).collect();
+            let moved: f64 =
+                new.iter().zip(&table[cluster]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             movement = movement.max(moved);
             inertia += partial.inertia;
             table[cluster] = new;
@@ -189,20 +184,14 @@ impl MapReduce for KMeans {
 
 /// Generate `per_blob` points around each of `centers` with the given
 /// Gaussian spread — deterministic synthetic clustering data.
-pub fn gaussian_blobs(
-    centers: &[Vec<f64>],
-    per_blob: u64,
-    spread: f64,
-    seed: u64,
-) -> Vec<Record> {
+pub fn gaussian_blobs(centers: &[Vec<f64>], per_blob: u64, spread: f64, seed: u64) -> Vec<Record> {
     let streams = StreamFactory::new(seed);
     let mut records = Vec::with_capacity(centers.len() * per_blob as usize);
     let mut id = 0u64;
     for (b, center) in centers.iter().enumerate() {
         let mut rng = streams.stream(&[0x626c_6f62, b as u64]); // "blob"
         for _ in 0..per_blob {
-            let point: Vec<f64> =
-                center.iter().map(|c| c + spread * rng.normal()).collect();
+            let point: Vec<f64> = center.iter().map(|c| c + spread * rng.normal()).collect();
             records.push(encode_record(&id, &point));
             id += 1;
         }
@@ -224,8 +213,8 @@ pub fn init_from_data(points: &[Record], k: usize) -> Result<Vec<Vec<f64>>> {
 mod tests {
     use super::*;
     use mrs_core::Simple;
-    use std::sync::Arc;
     use mrs_runtime::{LocalRuntime, SerialRuntime};
+    use std::sync::Arc;
 
     fn blob_centers() -> Vec<Vec<f64>> {
         vec![vec![0.0, 0.0], vec![10.0, 10.0], vec![-10.0, 8.0]]

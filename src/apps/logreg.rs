@@ -66,19 +66,14 @@ impl LogReg {
     /// Model output for a feature vector.
     pub fn predict(&self, x: &[f64]) -> f64 {
         let w = self.weights.read();
-        let z: f64 = w[..x.len()].iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>()
-            + w[w.len() - 1];
+        let z: f64 =
+            w[..x.len()].iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + w[w.len() - 1];
         sigmoid(z)
     }
 
     /// One gradient step over `data` at learning rate `lr`. Returns the
     /// mean log-loss before the update.
-    pub fn step(
-        &self,
-        job: &mut Job,
-        data: mrs_runtime::DataId,
-        lr: f64,
-    ) -> Result<f64> {
+    pub fn step(&self, job: &mut Job, data: mrs_runtime::DataId, lr: f64) -> Result<f64> {
         let mapped = job.map_data(data, 0, 1, true)?;
         let reduced = job.reduce_data(mapped, 0)?;
         let out = job.fetch_all(reduced)?;
@@ -126,8 +121,8 @@ impl MapReduce for LogReg {
     fn map(&self, _id: u64, example: (f64, Vec<f64>), emit: &mut dyn FnMut(u64, GradPart)) {
         let (label, x) = example;
         let w = self.weights.read();
-        let z: f64 = w[..x.len()].iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f64>()
-            + w[w.len() - 1];
+        let z: f64 =
+            w[..x.len()].iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f64>() + w[w.len() - 1];
         let p = sigmoid(z);
         let err = p - label;
         let mut grad: Vec<f64> = x.iter().map(|xi| err * xi).collect();

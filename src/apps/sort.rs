@@ -152,7 +152,10 @@ mod tests {
         let keys: Vec<u64> = (0..500).map(|i| i % 7).collect();
         let out = dsort(&keys, 4, 3);
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
-        assert_eq!(out.iter().filter(|&&k| k == 3).count(), keys.iter().filter(|&&k| k == 3).count());
+        assert_eq!(
+            out.iter().filter(|&&k| k == 3).count(),
+            keys.iter().filter(|&&k| k == 3).count()
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ impl MapReduce for WordCount {
         }
     }
 
-    fn reduce(&self, _word: &String, counts: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+    fn reduce(
+        &self,
+        _word: &String,
+        counts: &mut dyn Iterator<Item = u64>,
+        emit: &mut dyn FnMut(u64),
+    ) {
         emit(counts.sum());
     }
 
@@ -42,11 +47,7 @@ impl MapReduce for WordCount {
 
 /// Turn text lines into `(line_no, line)` input records.
 pub fn lines_to_records<'a, I: IntoIterator<Item = &'a str>>(lines: I) -> Vec<Record> {
-    lines
-        .into_iter()
-        .enumerate()
-        .map(|(i, l)| encode_record(&(i as u64), &l.to_string()))
-        .collect()
+    lines.into_iter().enumerate().map(|(i, l)| encode_record(&(i as u64), &l.to_string())).collect()
 }
 
 /// Turn a whole multi-document corpus (name, text) list into records with
@@ -97,8 +98,7 @@ mod tests {
     fn documents_get_distinct_line_numbers() {
         let records = documents_to_records(["a\nb\n", "c\n"]);
         assert_eq!(records.len(), 3);
-        let keys: Vec<u64> =
-            records.iter().map(|(k, _)| u64::from_bytes(k).unwrap()).collect();
+        let keys: Vec<u64> = records.iter().map(|(k, _)| u64::from_bytes(k).unwrap()).collect();
         assert_eq!(keys, vec![0, 1, 2]);
     }
 

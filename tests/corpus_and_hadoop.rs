@@ -13,7 +13,9 @@ use mrs::prelude::*;
 use mrs_runtime::LocalCluster;
 use std::sync::Arc;
 
-fn small_corpus(files: u64) -> (Vec<mrs_core::Record>, u64, std::collections::HashMap<String, u64>) {
+fn small_corpus(
+    files: u64,
+) -> (Vec<mrs_core::Record>, u64, std::collections::HashMap<String, u64>) {
     let corpus = Corpus::new(CorpusConfig {
         n_files: files,
         mean_tokens: 300,
@@ -22,8 +24,7 @@ fn small_corpus(files: u64) -> (Vec<mrs_core::Record>, u64, std::collections::Ha
     });
     let docs: Vec<String> = (0..files).map(|f| corpus.document(f)).collect();
     let bytes = docs.iter().map(|d| d.len() as u64).sum();
-    let reference =
-        corpus::tokenizer::reference_counts(docs.iter().flat_map(|d| d.lines()));
+    let reference = corpus::tokenizer::reference_counts(docs.iter().flat_map(|d| d.lines()));
     (documents_to_records(docs.iter().map(String::as_str)), bytes, reference)
 }
 

@@ -19,13 +19,9 @@ fn affinity_keeps_iterative_tasks_on_their_slaves() {
         seed: 5,
     };
     let program = Arc::new(PsoProgram::new(cfg, 3));
-    let mut cluster = LocalCluster::start(
-        program.clone(),
-        4,
-        DataPlane::Direct,
-        MasterConfig::default(),
-    )
-    .unwrap();
+    let mut cluster =
+        LocalCluster::start(program.clone(), 4, DataPlane::Direct, MasterConfig::default())
+            .unwrap();
     {
         let mut job = Job::new(&mut cluster);
         program.drive_islands(&mut job, 12).unwrap();
@@ -50,8 +46,7 @@ fn affinity_off_still_computes_correctly() {
     let lines: Vec<String> = (0..50).map(|i| format!("x y{}", i % 5)).collect();
     let out = {
         let mut job = Job::new(&mut cluster);
-        job.map_reduce(lines_to_records(lines.iter().map(String::as_str)), 5, 3, true)
-            .unwrap()
+        job.map_reduce(lines_to_records(lines.iter().map(String::as_str)), 5, 3, true).unwrap()
     };
     assert_eq!(decode_counts(&out).unwrap()["x"], 50);
     let m = cluster.metrics();
@@ -70,13 +65,9 @@ fn queued_iterations_pipeline_without_intermediate_waits() {
         seed: 11,
     };
     let program = Arc::new(PsoProgram::new(cfg, 2));
-    let mut cluster = LocalCluster::start(
-        program.clone(),
-        2,
-        DataPlane::Direct,
-        MasterConfig::default(),
-    )
-    .unwrap();
+    let mut cluster =
+        LocalCluster::start(program.clone(), 2, DataPlane::Direct, MasterConfig::default())
+            .unwrap();
     let mut job = Job::new(&mut cluster);
     let mut ds = job.local_data(program.initial_islands(), 2).unwrap();
     for _ in 0..6 {

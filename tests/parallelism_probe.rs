@@ -34,6 +34,8 @@ fn eight_sleepy_maps_on_four_slaves_run_concurrently() {
     let t0 = std::time::Instant::now();
     job.map_reduce(input, 8, 2, false).unwrap();
     let secs = t0.elapsed().as_secs_f64();
-    // Serial would be >= 0.8 s; 4-way parallel ~0.2 s + overhead.
-    assert!(secs < 0.5, "maps did not run in parallel: {secs:.3}s");
+    // Serial would be >= 0.8 s; 4-way parallel is ~0.2 s + overhead. The
+    // bound leaves headroom for sibling test binaries starving the
+    // scheduler threads while staying strictly below any serial run.
+    assert!(secs < 0.7, "maps did not run in parallel: {secs:.3}s");
 }
