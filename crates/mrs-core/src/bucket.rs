@@ -65,6 +65,15 @@ impl Bucket {
         });
     }
 
+    /// Drop all records but keep the arena and offset-table allocations,
+    /// so a long-lived scratch bucket stops allocating once it has grown
+    /// to the working-set size (the slave worker pool reuses one per
+    /// worker across tasks).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.entries.clear();
+    }
+
     /// Append all records from another bucket.
     pub fn extend_from(&mut self, other: &Bucket) {
         for (k, v) in other.iter() {

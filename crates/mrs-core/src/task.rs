@@ -51,11 +51,37 @@ pub fn run_map_task(
     run_map_task_with(program, func, input, parts, combine, CombineStrategy::default())
 }
 
+/// [`run_map_task`] reading its input straight from a [`Bucket`] arena:
+/// the distributed slave decodes fetched input files into one reused
+/// bucket and maps over the borrowed slices, so the hot map path never
+/// materializes a `Vec<Record>`.
+pub fn run_map_task_bucket(
+    program: &dyn Program,
+    func: FuncId,
+    input: &Bucket,
+    parts: usize,
+    combine: bool,
+) -> Result<Vec<Bucket>> {
+    run_map_records(program, func, input.iter(), parts, combine, CombineStrategy::default())
+}
+
 /// [`run_map_task`] with an explicit combining strategy.
 pub fn run_map_task_with(
     program: &dyn Program,
     func: FuncId,
     input: &[Record],
+    parts: usize,
+    combine: bool,
+    strategy: CombineStrategy,
+) -> Result<Vec<Bucket>> {
+    let records = input.iter().map(|(k, v)| (k.as_slice(), v.as_slice()));
+    run_map_records(program, func, records, parts, combine, strategy)
+}
+
+fn run_map_records<'a>(
+    program: &dyn Program,
+    func: FuncId,
+    input: impl Iterator<Item = (&'a [u8], &'a [u8])>,
     parts: usize,
     combine: bool,
     strategy: CombineStrategy,
@@ -80,10 +106,10 @@ pub fn run_map_task_with(
     Ok(buckets)
 }
 
-fn run_map_task_hash_combine(
+fn run_map_task_hash_combine<'a>(
     program: &dyn Program,
     func: FuncId,
-    input: &[Record],
+    input: impl Iterator<Item = (&'a [u8], &'a [u8])>,
     parts: usize,
 ) -> Result<Vec<Bucket>> {
     let mut combiners: Vec<StreamCombiner> = (0..parts).map(|_| StreamCombiner::new()).collect();
@@ -466,6 +492,18 @@ mod tests {
             counts(&all)
         };
         assert_eq!(reduce_all(plain), reduce_all(combined));
+    }
+
+    #[test]
+    fn bucket_input_matches_record_input() {
+        let p = Simple(WordCount);
+        let input = lines(&["the cat sat", "the cat", "on the mat"]);
+        let bucket = Bucket::from_records(input.clone());
+        for combine in [false, true] {
+            let from_records = run_map_task(&p, 0, &input, 3, combine).unwrap();
+            let from_bucket = run_map_task_bucket(&p, 0, &bucket, 3, combine).unwrap();
+            assert_eq!(from_records, from_bucket, "combine={combine}");
+        }
     }
 
     #[test]

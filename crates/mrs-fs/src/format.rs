@@ -78,6 +78,14 @@ pub fn read_bucket_into(mut b: &[u8], out: &mut Bucket) -> Result<()> {
 }
 
 /// Parse a bucket file back into records.
+///
+/// **Deprecated for hot paths:** this allocates two `Vec<u8>` per record.
+/// Task-execution code (the slave's map/reduce input paths, anything that
+/// runs once per task) should decode with [`read_bucket_into`] and a
+/// reused [`Bucket`] instead, which amortizes to zero per-record
+/// allocations. `read_bucket_bytes` remains appropriate at cold API
+/// boundaries that genuinely need owned records (driver-side
+/// `fetch_all`, checkpoint restore, tests).
 pub fn read_bucket_bytes(mut b: &[u8]) -> Result<Vec<Record>> {
     let magic =
         b.get(..BUCKET_MAGIC.len()).ok_or_else(|| Error::Codec("bucket file too short".into()))?;

@@ -12,6 +12,7 @@
 //! prog --mrs pool --mrs-workers 8         # thread-pool parallel
 //! prog --mrs master --mrs-port-file P     # master: binds, writes its port
 //! prog --mrs slave  --mrs-master H:P      # slave: joins an existing master
+//! prog --mrs slave  --mrs-master H:P --mrs-slots 4   # slave with 4 task slots
 //! ```
 //!
 //! A master runs the driver and serves slaves; a slave never runs the
@@ -52,6 +53,8 @@ pub enum Implementation {
     Slave {
         /// Master authority.
         master: String,
+        /// Concurrent task slots (worker threads); `None` = available cores.
+        slots: Option<usize>,
     },
 }
 
@@ -72,6 +75,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     let mut port = 0u16;
     let mut port_file = None;
     let mut master = None;
+    let mut slots = None;
     let mut rest = Vec::new();
 
     let mut iter = args.into_iter();
@@ -99,6 +103,13 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
             }
             "--mrs-port-file" => port_file = Some(value_of("--mrs-port-file")?),
             "--mrs-master" => master = Some(value_of("--mrs-master")?),
+            "--mrs-slots" => {
+                let v = value_of("--mrs-slots")?;
+                slots = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| Error::Invalid(format!("--mrs-slots {v:?}: {e}")))?,
+                );
+            }
             _ => rest.push(arg),
         }
     }
@@ -111,6 +122,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
         Some("slave") => Implementation::Slave {
             master: master
                 .ok_or_else(|| Error::Invalid("--mrs slave requires --mrs-master".into()))?,
+            slots,
         },
         Some(other) => {
             return Err(Error::Invalid(format!(
@@ -120,6 +132,9 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     };
     if workers == Some(0) {
         return Err(Error::Invalid("--mrs-workers must be positive".into()));
+    }
+    if slots == Some(0) {
+        return Err(Error::Invalid("--mrs-slots must be positive".into()));
     }
     Ok(CliOptions { implementation, rest })
 }
@@ -162,11 +177,15 @@ where
             }
             result
         }
-        Implementation::Slave { master } => {
+        Implementation::Slave { master, slots } => {
             // A slave never runs the driver; it serves tasks until Exit.
             let link = RpcMasterLink::new(master.clone());
             let stop = AtomicBool::new(false);
-            run_slave(&link, program, DataPlane::Direct, &SlaveOptions::default(), &stop)
+            let mut slave_opts = SlaveOptions::default();
+            if let Some(n) = slots {
+                slave_opts.slots = *n;
+            }
+            run_slave(&link, program, DataPlane::Direct, &slave_opts, &stop)
         }
     }
 }
@@ -213,7 +232,13 @@ mod tests {
         );
         assert_eq!(
             opts(&["--mrs", "slave", "--mrs-master", "10.0.0.1:7777"]).unwrap().implementation,
-            Implementation::Slave { master: "10.0.0.1:7777".into() }
+            Implementation::Slave { master: "10.0.0.1:7777".into(), slots: None }
+        );
+        assert_eq!(
+            opts(&["--mrs", "slave", "--mrs-master", "h:1", "--mrs-slots", "4"])
+                .unwrap()
+                .implementation,
+            Implementation::Slave { master: "h:1".into(), slots: Some(4) }
         );
     }
 
@@ -230,6 +255,7 @@ mod tests {
         assert!(opts(&["--mrs", "slave"]).is_err()); // missing --mrs-master
         assert!(opts(&["--mrs", "pool", "--mrs-workers", "0"]).is_err());
         assert!(opts(&["--mrs-port", "not-a-port"]).is_err());
+        assert!(opts(&["--mrs", "slave", "--mrs-master", "h:1", "--mrs-slots", "0"]).is_err());
     }
 
     struct Count;

@@ -13,6 +13,17 @@
 //!   ([`master`], [`slave`]), with direct HTTP intermediate data or a
 //!   shared filesystem, task→slave affinity, operation pipelining, and
 //!   slave-failure recovery,
+//!
+//! The distributed runtime is capacity-aware: each slave advertises
+//! `slots + 1` at signin ([`SlaveOptions::slots`] compute workers plus
+//! one prefetch buffer) and asks for up to its free capacity per poll.
+//! Inside the slave, the poll loop prefetches task inputs into a bounded
+//! queue that a pool of worker threads drains — fetch, compute, and
+//! report overlap (double buffering), and an idle slave backs off its
+//! poll interval exponentially until work reappears. The master dispatches
+//! batches up to each slave's capacity, breaks affinity ties toward
+//! underloaded slaves, steals claims only from fractionally busier
+//! owners, and on a slave death re-queues *all* of its in-flight tasks.
 //! * the **bypass** implementation is a plain function call in Rust: run
 //!   your serial code directly (see `examples/`).
 //!
@@ -38,3 +49,4 @@ pub use local::LocalRuntime;
 pub use master::{Master, MasterConfig};
 pub use proto::DataPlane;
 pub use serial::SerialRuntime;
+pub use slave::SlaveOptions;

@@ -104,6 +104,9 @@ struct SlaveInfo {
     authority: String,
     alive: bool,
     last_seen: Instant,
+    /// Capacity advertised at signin: the maximum number of assignments
+    /// the slave holds at once (compute workers plus prefetch buffer).
+    slots: usize,
 }
 
 struct MState {
@@ -174,13 +177,15 @@ impl Master {
         }
     }
 
-    /// Register a slave; returns its id.
-    pub fn signin(&self, authority: &str) -> SlaveId {
+    /// Register a slave advertising `slots` task slots; returns its id.
+    /// `slots` is clamped to at least 1.
+    pub fn signin(&self, authority: &str, slots: usize) -> SlaveId {
         let mut st = self.shared.state.lock();
         st.slaves.push(SlaveInfo {
             authority: authority.to_owned(),
             alive: true,
             last_seen: Instant::now(),
+            slots: slots.max(1),
         });
         let id = st.slaves.len() as SlaveId - 1;
         self.shared.cv.notify_all();
@@ -210,14 +215,103 @@ impl Master {
         }
     }
 
-    /// A slave polls for work.
+    /// A slave polls for a single task. Unit-test convenience; the real
+    /// slave polls with its free slot count via [`Master::get_tasks`].
     pub fn get_task(&self, slave: SlaveId) -> Assignment {
+        self.get_tasks(slave, 1)
+    }
+
+    /// A slave with `free_slots` idle slots polls for work. Grants up to
+    /// `min(free_slots, capacity − in_flight)` tasks in one round trip,
+    /// where `capacity` is the slot count the slave advertised at signin —
+    /// filling an N-slot slave costs one poll, not N.
+    pub fn get_tasks(&self, slave: SlaveId, free_slots: usize) -> Assignment {
         let mut st = self.shared.state.lock();
         Self::touch(&mut st, slave);
         if st.finished || st.error.is_some() {
             return Assignment::Exit;
         }
+        let Some(capacity) = st.slaves.get(slave as usize).map(|s| s.slots) else {
+            return Assignment::Wait; // unknown slave id
+        };
 
+        // In-flight counts are derived from task states on every poll, not
+        // kept as counters: a sweep's requeue or a duplicate/late report can
+        // therefore never leave the accounting stale.
+        let mut in_flight = vec![0usize; st.slaves.len()];
+        for ds in &st.datasets {
+            let MDs::Op { tasks, .. } = ds else { continue };
+            for slot in tasks {
+                if let SlotState::Running(s) = slot.state {
+                    if let Some(n) = in_flight.get_mut(s as usize) {
+                        *n += 1;
+                    }
+                }
+            }
+        }
+
+        let budget = free_slots.min(capacity.saturating_sub(in_flight[slave as usize]));
+        let mut granted: Vec<TaskMsg> = Vec::new();
+        while granted.len() < budget {
+            let Some((data, index, stolen)) = Self::pick_task(&st, slave, &in_flight) else {
+                break;
+            };
+            let msg = {
+                let MDs::Op { input, func, is_map, parts, combine, .. } =
+                    &st.datasets[data.0 as usize]
+                else {
+                    unreachable!("candidates only contain ops");
+                };
+                let inputs = self.input_urls(&st, *input, *is_map, index);
+                TaskMsg {
+                    data: data.0,
+                    index,
+                    is_map: *is_map,
+                    func: *func,
+                    parts: if *is_map { *parts } else { 1 },
+                    combine: *combine,
+                    inputs,
+                }
+            };
+            if self.shared.cfg.use_affinity {
+                let MDs::Op { func, is_map, .. } = &st.datasets[data.0 as usize] else {
+                    unreachable!()
+                };
+                if let Some(&pref) = st.affinity.get(&(*is_map, *func, index)) {
+                    st.metrics.record_affinity(pref == slave);
+                }
+            }
+            if stolen {
+                st.metrics.record_steal();
+            }
+            let MDs::Op { tasks, .. } = &mut st.datasets[data.0 as usize] else { unreachable!() };
+            tasks[index].state = SlotState::Running(slave);
+            tasks[index].attempts += 1;
+            in_flight[slave as usize] += 1;
+            granted.push(msg);
+        }
+        if granted.is_empty() {
+            return Assignment::Wait;
+        }
+        let total: usize = in_flight.iter().sum();
+        st.metrics.record_dispatch(granted.len(), total);
+        Assignment::Tasks(granted)
+    }
+
+    /// Choose the next task for `slave`. Priority order: a task whose
+    /// corresponding task ran on this slave last iteration (affinity), then
+    /// a task nobody alive has a claim to, and only then — when every
+    /// remaining candidate belongs to a live owner — an occupancy-driven
+    /// steal from the busiest owner, gated on the poller being *strictly*
+    /// less loaded (fractional occupancy, so 2-busy-of-4-slots loses to
+    /// 0-busy-of-1-slot). An equally-idle owner keeps its claim: it will
+    /// take the task on its own next poll, preserving affinity for free.
+    /// Returns `(data, index, was_steal)`.
+    fn pick_task(
+        st: &MState,
+        slave: SlaveId,
+        in_flight: &[usize],
+    ) -> Option<(DataId, usize, bool)> {
         // Collect dispatchable tasks: Pending with satisfied inputs.
         let mut candidates: Vec<(DataId, usize)> = Vec::new();
         for (d, ds) in st.datasets.iter().enumerate() {
@@ -226,85 +320,63 @@ impl Master {
                 if slot.state != SlotState::Pending {
                     continue;
                 }
-                if self.input_ready(&st, *input, *is_map, i) {
+                if Self::input_ready(st, *input, *is_map, i) {
                     candidates.push((DataId(d as u32), i));
                 }
             }
         }
-        let Some(&(data, index)) = candidates.first() else {
-            return Assignment::Wait;
+        let &first = candidates.first()?;
+
+        let owner_of = |d: DataId, i: usize| -> Option<SlaveId> {
+            let MDs::Op { func, is_map, .. } = &st.datasets[d.0 as usize] else { return None };
+            st.affinity.get(&(*is_map, *func, i)).copied()
+        };
+        let live = |s: SlaveId| st.slaves.get(s as usize).map(|x| x.alive).unwrap_or(false);
+        // Fractional load (busy, slots) for cross-multiplied comparison.
+        let load = |s: SlaveId| -> (usize, usize) {
+            let slots = st.slaves.get(s as usize).map(|x| x.slots.max(1)).unwrap_or(1);
+            (in_flight.get(s as usize).copied().unwrap_or(0), slots)
         };
 
-        // Affinity: among candidates prefer one whose corresponding task ran
-        // on this slave last time.
-        let mut chosen = (data, index);
-        let mut had_pref = false;
-        if self.shared.cfg.use_affinity {
+        if !st.affinity.is_empty() {
+            // 1. A task this slave has an affinity claim to.
             for &(d, i) in &candidates {
-                let MDs::Op { func, is_map, .. } = &st.datasets[d.0 as usize] else {
-                    continue;
+                if owner_of(d, i) == Some(slave) {
+                    return Some((d, i, false));
+                }
+            }
+            // 2. A task with no claim, or whose claimant is dead.
+            for &(d, i) in &candidates {
+                match owner_of(d, i) {
+                    None => return Some((d, i, false)),
+                    Some(o) if !live(o) => return Some((d, i, false)),
+                    Some(_) => {}
+                }
+            }
+            // 3. Every candidate is claimed by a live slave: steal from the
+            //    (fractionally) busiest owner, if busier than the poller.
+            let (my_busy, my_slots) = load(slave);
+            let mut best: Option<((DataId, usize), (usize, usize))> = None;
+            for &(d, i) in &candidates {
+                let Some(o) = owner_of(d, i) else { continue };
+                let (o_busy, o_slots) = load(o);
+                if o_busy * my_slots <= my_busy * o_slots {
+                    continue; // owner not strictly busier than us: leave it
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, (b_busy, b_slots))) => o_busy * b_slots > b_busy * o_slots,
                 };
-                if let Some(&pref) = st.affinity.get(&(*is_map, *func, i)) {
-                    if pref == slave {
-                        chosen = (d, i);
-                        had_pref = true;
-                        break;
-                    }
+                if better {
+                    best = Some(((d, i), (o_busy, o_slots)));
                 }
             }
-            // If this slave had no claim, avoid stealing a task that another
-            // *live* slave has affinity for, when a preference-free task exists.
-            if !had_pref {
-                let unclaimed = candidates.iter().find(|&&(d, i)| {
-                    let MDs::Op { func, is_map, .. } = &st.datasets[d.0 as usize] else {
-                        return false;
-                    };
-                    match st.affinity.get(&(*is_map, *func, i)) {
-                        None => true,
-                        Some(&owner) => {
-                            !st.slaves.get(owner as usize).map(|s| s.alive).unwrap_or(false)
-                        }
-                    }
-                });
-                if let Some(&(d, i)) = unclaimed {
-                    chosen = (d, i);
-                }
-            }
+            return best.map(|((d, i), _)| (d, i, true));
         }
-        let (data, index) = chosen;
-
-        // Build the assignment.
-        let msg = {
-            let MDs::Op { input, func, is_map, parts, combine, .. } = &st.datasets[data.0 as usize]
-            else {
-                unreachable!("candidates only contain ops");
-            };
-            let inputs = self.input_urls(&st, *input, *is_map, index);
-            TaskMsg {
-                data: data.0,
-                index,
-                is_map: *is_map,
-                func: *func,
-                parts: if *is_map { *parts } else { 1 },
-                combine: *combine,
-                inputs,
-            }
-        };
-        if self.shared.cfg.use_affinity {
-            let MDs::Op { func, is_map, .. } = &st.datasets[data.0 as usize] else {
-                unreachable!()
-            };
-            if let Some(&pref) = st.affinity.get(&(*is_map, *func, index)) {
-                st.metrics.record_affinity(pref == slave);
-            }
-        }
-        let MDs::Op { tasks, .. } = &mut st.datasets[data.0 as usize] else { unreachable!() };
-        tasks[index].state = SlotState::Running(slave);
-        tasks[index].attempts += 1;
-        Assignment::Task(msg)
+        Some((first.0, first.1, false))
     }
 
-    fn input_ready(&self, st: &MState, input: DataId, is_map: bool, index: usize) -> bool {
+    fn input_ready(st: &MState, input: DataId, is_map: bool, index: usize) -> bool {
         match &st.datasets[input.0 as usize] {
             MDs::Source { .. } => is_map,
             MDs::Op { is_map: input_is_map, tasks, done_count, .. } => {
@@ -701,19 +773,29 @@ mod tests {
         (0..n).map(|i| (i.to_be_bytes().to_vec(), vec![])).collect()
     }
 
+    /// Unwrap an assignment expected to grant exactly one task.
+    fn take1(a: Assignment) -> TaskMsg {
+        match a {
+            Assignment::Tasks(mut ts) if ts.len() == 1 => ts.remove(0),
+            other => panic!("expected exactly one task, got {other:?}"),
+        }
+    }
+
     /// Simulate a slave completing whatever it is handed, writing outputs to
     /// the shared store.
     fn fake_slave_step(m: &Master, store: &Arc<dyn Store>, slave: SlaveId) -> Assignment {
         let a = m.get_task(slave);
-        if let Assignment::Task(t) = &a {
-            let urls: Vec<String> = (0..t.parts)
-                .map(|p| {
-                    let path = format!("out/d{}t{}p{p}", t.data, t.index);
-                    store.put(&path, &write_bucket_bytes(&[])).unwrap();
-                    format!("file://{path}")
-                })
-                .collect();
-            m.task_done(slave, t.data, t.index, urls);
+        if let Assignment::Tasks(ts) = &a {
+            for t in ts {
+                let urls: Vec<String> = (0..t.parts)
+                    .map(|p| {
+                        let path = format!("out/d{}t{}p{p}", t.data, t.index);
+                        store.put(&path, &write_bucket_bytes(&[])).unwrap();
+                        format!("file://{path}")
+                    })
+                    .collect();
+                m.task_done(slave, t.data, t.index, urls);
+            }
         }
         a
     }
@@ -721,8 +803,8 @@ mod tests {
     #[test]
     fn signin_assigns_sequential_ids() {
         let m = master_direct();
-        assert_eq!(m.signin("a:1"), 0);
-        assert_eq!(m.signin("b:2"), 1);
+        assert_eq!(m.signin("a:1", 1), 0);
+        assert_eq!(m.signin("b:2", 4), 1);
         assert_eq!(m.live_slaves(), 2);
         assert_eq!(m.slave_authority(1).unwrap(), "b:2");
     }
@@ -730,7 +812,7 @@ mod tests {
     #[test]
     fn no_work_means_wait_then_exit_after_finish() {
         let m = master_direct();
-        let s = m.signin("a:1");
+        let s = m.signin("a:1", 1);
         assert_eq!(m.get_task(s), Assignment::Wait);
         m.finish();
         assert_eq!(m.get_task(s), Assignment::Exit);
@@ -739,7 +821,7 @@ mod tests {
     #[test]
     fn map_tasks_dispatch_then_reduce_after_barrier() {
         let (mut m, store) = shared_master();
-        let s = m.signin("a:1");
+        let s = m.signin("a:1", 1);
         let src = m.local_data(records(10), 2).unwrap();
         let mapped = m.map_data(src, 0, 3, false).unwrap();
         let _reduced = m.reduce_data(mapped, 0).unwrap();
@@ -747,12 +829,18 @@ mod tests {
         // Two map tasks first.
         for _ in 0..2 {
             let a = fake_slave_step(&m, &store, s);
-            assert!(matches!(a, Assignment::Task(ref t) if t.is_map), "{a:?}");
+            assert!(
+                matches!(a, Assignment::Tasks(ref ts) if ts.len() == 1 && ts[0].is_map),
+                "{a:?}"
+            );
         }
         // Then three reduce tasks (barrier passed).
         for _ in 0..3 {
             let a = fake_slave_step(&m, &store, s);
-            assert!(matches!(a, Assignment::Task(ref t) if !t.is_map), "{a:?}");
+            assert!(
+                matches!(a, Assignment::Tasks(ref ts) if ts.len() == 1 && !ts[0].is_map),
+                "{a:?}"
+            );
         }
         assert_eq!(m.get_task(s), Assignment::Wait);
     }
@@ -760,13 +848,13 @@ mod tests {
     #[test]
     fn reduce_not_dispatched_before_all_maps_done() {
         let (mut m, store) = shared_master();
-        let s = m.signin("a:1");
+        let s = m.signin("a:1", 2);
         let src = m.local_data(records(10), 2).unwrap();
         let mapped = m.map_data(src, 0, 2, false).unwrap();
         let _r = m.reduce_data(mapped, 0).unwrap();
         // Take both map tasks but complete only one.
-        let Assignment::Task(t1) = m.get_task(s) else { panic!() };
-        let Assignment::Task(_t2) = m.get_task(s) else { panic!() };
+        let t1 = take1(m.get_tasks(s, 1));
+        let _t2 = take1(m.get_tasks(s, 1));
         let urls: Vec<String> = (0..t1.parts)
             .map(|p| {
                 let path = format!("out/d{}t{}p{p}", t1.data, t1.index);
@@ -776,7 +864,7 @@ mod tests {
             .collect();
         m.task_done(s, t1.data, t1.index, urls);
         // Nothing dispatchable: the other map is running, reduce is blocked.
-        assert_eq!(m.get_task(s), Assignment::Wait);
+        assert_eq!(m.get_tasks(s, 1), Assignment::Wait);
     }
 
     #[test]
@@ -784,14 +872,14 @@ mod tests {
         let cfg = MasterConfig { max_attempts: 2, ..MasterConfig::default() };
         let store: Arc<dyn Store> = Arc::new(MemFs::new());
         let mut m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
-        let s = m.signin("a:1");
+        let s = m.signin("a:1", 1);
         let src = m.local_data(records(4), 1).unwrap();
         let _mapped = m.map_data(src, 0, 1, false).unwrap();
 
-        let Assignment::Task(t) = m.get_task(s) else { panic!() };
+        let t = take1(m.get_task(s));
         m.task_failed(s, t.data, t.index, "boom", None);
         // Re-queued: same task handed out again.
-        let Assignment::Task(t2) = m.get_task(s) else { panic!() };
+        let t2 = take1(m.get_task(s));
         assert_eq!((t2.data, t2.index), (t.data, t.index));
         m.task_failed(s, t2.data, t2.index, "boom again", None);
         // Attempt cap reached: job errors out, slaves are told to exit.
@@ -805,20 +893,20 @@ mod tests {
             MasterConfig { slave_timeout: Duration::from_millis(20), ..MasterConfig::default() };
         let store: Arc<dyn Store> = Arc::new(MemFs::new());
         let mut m = Master::new(cfg, DataPlane::SharedFs(store.clone())).unwrap();
-        let s1 = m.signin("a:1");
-        let s2 = m.signin("b:2");
+        let s1 = m.signin("a:1", 1);
+        let s2 = m.signin("b:2", 1);
         let src = m.local_data(records(4), 1).unwrap();
         let _mapped = m.map_data(src, 0, 1, false).unwrap();
 
         // s1 takes the task and goes silent.
-        let Assignment::Task(t) = m.get_task(s1) else { panic!() };
+        let t = take1(m.get_task(s1));
         std::thread::sleep(Duration::from_millis(40));
         // Keep s2 alive and sweep.
         assert_eq!(m.get_task(s2), Assignment::Wait);
         m.sweep();
         assert_eq!(m.live_slaves(), 1);
         // s2 gets the re-queued task.
-        let Assignment::Task(t2) = m.get_task(s2) else { panic!() };
+        let t2 = take1(m.get_task(s2));
         assert_eq!((t2.data, t2.index), (t.data, t.index));
     }
 
@@ -827,26 +915,28 @@ mod tests {
         let cfg =
             MasterConfig { slave_timeout: Duration::from_millis(20), ..MasterConfig::default() };
         let mut m = Master::new(cfg, DataPlane::Direct).unwrap();
-        let s1 = m.signin("a:1");
-        let s2 = m.signin("b:2");
+        let s1 = m.signin("a:1", 1);
+        // s2 needs a second slot: it still holds the doomed reduce when it
+        // later asks for the re-queued map.
+        let s2 = m.signin("b:2", 2);
         let src = m.local_data(records(4), 1).unwrap();
         let mapped = m.map_data(src, 0, 1, false).unwrap();
         let _reduced = m.reduce_data(mapped, 0).unwrap();
 
         // s1 completes the map (its output lives on s1), then dies.
-        let Assignment::Task(t) = m.get_task(s1) else { panic!() };
+        let t = take1(m.get_task(s1));
         assert!(t.is_map);
         m.task_done(s1, t.data, t.index, vec!["http://dead:1/data/x".into()]);
         // s2 picks up the now-ready reduce whose input lives on s1.
-        let Assignment::Task(tr) = m.get_task(s2) else { panic!() };
+        let tr = take1(m.get_task(s2));
         assert!(!tr.is_map);
         std::thread::sleep(Duration::from_millis(40));
         // Touch s2 so only s1 is swept; then the lost map output forces the
         // map task to be re-queued (direct plane: data died with s1).
         assert_eq!(m.get_task(s2), Assignment::Wait);
         m.sweep();
-        let Assignment::Task(t2) = m.get_task(s2) else { panic!("expected requeued map") };
-        assert!(t2.is_map);
+        let t2 = take1(m.get_task(s2));
+        assert!(t2.is_map, "expected requeued map, got {t2:?}");
         assert_eq!((t2.data, t2.index), (t.data, t.index));
     }
 
@@ -856,10 +946,10 @@ mod tests {
             MasterConfig { slave_timeout: Duration::from_millis(10), ..MasterConfig::default() };
         let store: Arc<dyn Store> = Arc::new(MemFs::new());
         let mut m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
-        let s = m.signin("a:1");
+        let s = m.signin("a:1", 1);
         let src = m.local_data(records(4), 1).unwrap();
         let mapped = m.map_data(src, 0, 1, false).unwrap();
-        let Assignment::Task(_) = m.get_task(s) else { panic!() };
+        let _t = take1(m.get_task(s));
         std::thread::sleep(Duration::from_millis(30));
         m.sweep();
         assert!(m.wait(mapped).is_err());
@@ -868,31 +958,33 @@ mod tests {
     #[test]
     fn affinity_prefers_previous_owner() {
         let (mut m, store) = shared_master();
-        let s0 = m.signin("a:1");
-        let s1 = m.signin("b:2");
+        let s0 = m.signin("a:1", 1);
+        let s1 = m.signin("b:2", 1);
 
         // Iteration 1: two map tasks; s0 takes index 0, s1 takes index 1.
         let src = m.local_data(records(8), 2).unwrap();
         let m1 = m.map_data(src, 0, 2, false).unwrap();
         let r1 = m.reduce_data(m1, 0).unwrap();
-        let Assignment::Task(t0) = m.get_task(s0) else { panic!() };
-        let Assignment::Task(t1) = m.get_task(s1) else { panic!() };
+        let t0 = take1(m.get_task(s0));
+        let t1 = take1(m.get_task(s1));
         assert_eq!(t0.index, 0);
         assert_eq!(t1.index, 1);
         finish_task(&m, &store, s0, &t0);
         finish_task(&m, &store, s1, &t1);
         // Reduce round so iteration 2 maps become ready.
-        while let Assignment::Task(t) = m.get_task(s0) {
-            finish_task(&m, &store, s0, &t);
+        while let Assignment::Tasks(ts) = m.get_task(s0) {
+            for t in &ts {
+                finish_task(&m, &store, s0, t);
+            }
         }
         let _ = m.wait(r1);
 
         // Iteration 2 over the reduce output: with affinity, s1 should again
         // be preferred for map index 1 even if s0 asks first.
         let m2 = m.map_data(r1, 0, 2, false).unwrap();
-        let Assignment::Task(t) = m.get_task(s0) else { panic!() };
+        let t = take1(m.get_task(s0));
         assert_eq!(t.index, 0, "s0 must get its old index back, not steal s1's");
-        let Assignment::Task(t) = m.get_task(s1) else { panic!() };
+        let t = take1(m.get_task(s1));
         assert_eq!(t.index, 1);
         let _ = m2;
         let hits = m.metrics().affinity_hits();
@@ -913,13 +1005,113 @@ mod tests {
     #[test]
     fn duplicate_done_reports_are_ignored() {
         let (mut m, store) = shared_master();
-        let s = m.signin("a:1");
+        let s = m.signin("a:1", 1);
         let src = m.local_data(records(4), 1).unwrap();
         let mapped = m.map_data(src, 0, 1, false).unwrap();
-        let Assignment::Task(t) = m.get_task(s) else { panic!() };
+        let t = take1(m.get_task(s));
         finish_task(&m, &store, s, &t);
         finish_task(&m, &store, s, &t); // duplicate
         m.wait(mapped).unwrap();
         assert_eq!(m.metrics().tasks_executed(), 1);
+    }
+
+    #[test]
+    fn dispatch_batches_up_to_capacity() {
+        let (mut m, _store) = shared_master();
+        let s = m.signin("a:1", 4);
+        let src = m.local_data(records(12), 6).unwrap();
+        let _mapped = m.map_data(src, 0, 1, false).unwrap();
+
+        // One poll with 4 free slots fills the slave in a single round trip.
+        let Assignment::Tasks(ts) = m.get_tasks(s, 4) else { panic!() };
+        assert_eq!(ts.len(), 4);
+        // Capacity is exhausted even if the slave (wrongly) claims free slots.
+        assert_eq!(m.get_tasks(s, 4), Assignment::Wait);
+        // Finishing one task frees exactly one slot.
+        m.task_done(s, ts[0].data, ts[0].index, vec!["file://out/x".into()]);
+        let Assignment::Tasks(ts2) = m.get_tasks(s, 4) else { panic!() };
+        assert_eq!(ts2.len(), 1);
+        // A poll asking for fewer slots than capacity is honored as-is.
+        m.task_done(s, ts[1].data, ts[1].index, vec!["file://out/y".into()]);
+        let Assignment::Tasks(ts3) = m.get_tasks(s, 1) else { panic!() };
+        assert_eq!(ts3.len(), 1);
+        let metrics = m.metrics();
+        assert_eq!(metrics.dispatched_tasks(), 6);
+        assert_eq!(metrics.dispatch_polls(), 3);
+        assert_eq!(metrics.peak_in_flight(), 4);
+    }
+
+    #[test]
+    fn idle_claimant_keeps_its_task_busier_one_loses_it() {
+        let (mut m, store) = shared_master();
+        let s0 = m.signin("a:1", 1);
+        let s1 = m.signin("b:2", 1);
+
+        // Iteration 1 establishes affinity: s0 owns index 0, s1 owns index 1.
+        let src = m.local_data(records(8), 2).unwrap();
+        let m1 = m.map_data(src, 0, 2, false).unwrap();
+        let r1 = m.reduce_data(m1, 0).unwrap();
+        let t0 = take1(m.get_task(s0));
+        let t1 = take1(m.get_task(s1));
+        finish_task(&m, &store, s0, &t0);
+        finish_task(&m, &store, s1, &t1);
+        while let Assignment::Tasks(ts) = m.get_task(s0) {
+            for t in &ts {
+                finish_task(&m, &store, s0, t);
+            }
+        }
+        m.wait(r1).unwrap();
+
+        // Iteration 2: after s0 takes and finishes its own claim, only s1's
+        // claimed task (index 1) is left. s0 is idle — but so is s1, so s0
+        // must NOT steal: s1 will claim it on its own next poll, keeping
+        // the iteration-to-iteration affinity the paper's scheduler is for.
+        let m2 = m.map_data(r1, 0, 2, false).unwrap();
+        let mine = take1(m.get_task(s0));
+        assert_eq!(mine.index, 0);
+        finish_task(&m, &store, s0, &mine);
+        assert_eq!(m.get_task(s0), Assignment::Wait, "must not steal from an idle peer");
+        assert_eq!(m.metrics().tasks_stolen(), 0);
+        let theirs = take1(m.get_task(s1));
+        assert_eq!(theirs.index, 1);
+        let _ = m2;
+
+        // Iteration 3: s1 still runs `theirs` (1/1 busy) while s0 is free
+        // (0/1). Once s0 exhausts its own claim, stealing s1's is allowed
+        // and counted.
+        let m3 = m.map_data(r1, 0, 2, false).unwrap();
+        let t = take1(m.get_task(s0));
+        assert_eq!(t.index, 0);
+        finish_task(&m, &store, s0, &t);
+        let stolen = take1(m.get_task(s0));
+        assert_eq!(stolen.index, 1);
+        assert_eq!(m.metrics().tasks_stolen(), 1);
+        let _ = m3;
+    }
+
+    #[test]
+    fn dead_multislot_slave_has_all_running_tasks_requeued() {
+        let cfg =
+            MasterConfig { slave_timeout: Duration::from_millis(20), ..MasterConfig::default() };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let mut m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
+        let s1 = m.signin("a:1", 4);
+        let s2 = m.signin("b:2", 4);
+        let src = m.local_data(records(8), 3).unwrap();
+        let _mapped = m.map_data(src, 0, 1, false).unwrap();
+
+        // s1 grabs all three tasks in one poll, then goes silent.
+        let Assignment::Tasks(ts) = m.get_tasks(s1, 4) else { panic!() };
+        assert_eq!(ts.len(), 3);
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(m.get_tasks(s2, 4), Assignment::Wait);
+        m.sweep();
+        assert_eq!(m.live_slaves(), 1);
+        // Every one of s1's running tasks is re-queued and lands on s2.
+        let Assignment::Tasks(ts2) = m.get_tasks(s2, 4) else { panic!() };
+        let mut got: Vec<usize> = ts2.iter().map(|t| t.index).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(m.metrics().tasks_retried(), 3);
     }
 }

@@ -16,6 +16,10 @@ pub struct JobMetrics {
     affinity_misses: u64,
     connections_opened: u64,
     connections_reused: u64,
+    tasks_stolen: u64,
+    peak_in_flight: u64,
+    dispatch_polls: u64,
+    dispatched_tasks: u64,
 }
 
 impl JobMetrics {
@@ -49,6 +53,21 @@ impl JobMetrics {
         } else {
             self.affinity_misses += 1;
         }
+    }
+
+    /// Record an occupancy-driven steal: a task with a live affinity owner
+    /// was handed to a less-loaded slave instead.
+    pub fn record_steal(&mut self) {
+        self.tasks_stolen += 1;
+    }
+
+    /// Record one `get_task` poll that dispatched `batch` assignments,
+    /// and the cluster-wide running-task count after the dispatch (the
+    /// occupancy gauge the scaling bench reads).
+    pub fn record_dispatch(&mut self, batch: usize, in_flight_total: usize) {
+        self.dispatch_polls += 1;
+        self.dispatched_tasks += batch as u64;
+        self.peak_in_flight = self.peak_in_flight.max(in_flight_total as u64);
     }
 
     /// Completed map operations.
@@ -114,6 +133,28 @@ impl JobMetrics {
     pub fn connections_reused(&self) -> u64 {
         self.connections_reused
     }
+
+    /// Tasks stolen from a live-but-busier affinity owner.
+    pub fn tasks_stolen(&self) -> u64 {
+        self.tasks_stolen
+    }
+
+    /// Highest number of tasks simultaneously running across all slaves.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_in_flight
+    }
+
+    /// `get_task` polls that dispatched at least one assignment.
+    pub fn dispatch_polls(&self) -> u64 {
+        self.dispatch_polls
+    }
+
+    /// Total assignments handed out across all dispatching polls; divided
+    /// by [`Self::dispatch_polls`] this is the mean batch size — near 1.0
+    /// for single-slot slaves, higher when capacity batching engages.
+    pub fn dispatched_tasks(&self) -> u64 {
+        self.dispatched_tasks
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +172,9 @@ mod tests {
         m.record_affinity(true);
         m.record_affinity(false);
         m.record_connections(3, 40);
+        m.record_steal();
+        m.record_dispatch(3, 5);
+        m.record_dispatch(1, 2);
         assert_eq!(m.map_ops(), 2);
         assert_eq!(m.reduce_ops(), 1);
         assert_eq!(m.shuffle_bytes(), 150);
@@ -140,6 +184,10 @@ mod tests {
         assert_eq!(m.affinity_misses(), 1);
         assert_eq!(m.connections_opened(), 3);
         assert_eq!(m.connections_reused(), 40);
+        assert_eq!(m.tasks_stolen(), 1);
+        assert_eq!(m.peak_in_flight(), 5);
+        assert_eq!(m.dispatch_polls(), 2);
+        assert_eq!(m.dispatched_tasks(), 4);
         assert!(m.map_time() >= Duration::from_millis(10));
     }
 }

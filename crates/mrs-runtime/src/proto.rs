@@ -13,10 +13,16 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What `get_task` returns to a polling slave.
+///
+/// A multicore slave polls with its free slot count and can be handed a
+/// whole batch in one round trip, so filling an N-slot slave costs one
+/// poll, not N — the per-round control-channel latency the BSP analysis
+/// (PAPERS.md) identifies as the iterative-workload tax.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Assignment {
-    /// Run this task.
-    Task(TaskMsg),
+    /// Run these tasks (never empty; at most the `free_slots` the slave
+    /// asked for, and never more than the master believes it has free).
+    Tasks(Vec<TaskMsg>),
     /// Nothing runnable right now; poll again.
     Wait,
     /// The job is over; the slave should exit its loop.
@@ -42,6 +48,61 @@ pub struct TaskMsg {
     pub inputs: Vec<String>,
 }
 
+impl TaskMsg {
+    /// Encode for the RPC response.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("data".to_owned(), Value::Int(self.data as i64));
+        m.insert("index".to_owned(), Value::Int(self.index as i64));
+        m.insert("is_map".to_owned(), Value::Bool(self.is_map));
+        m.insert("func".to_owned(), Value::Int(self.func as i64));
+        m.insert("parts".to_owned(), Value::Int(self.parts as i64));
+        m.insert("combine".to_owned(), Value::Bool(self.combine));
+        m.insert(
+            "inputs".to_owned(),
+            Value::Array(self.inputs.iter().map(|u| Value::Str(u.clone())).collect()),
+        );
+        Value::Struct(m)
+    }
+
+    /// Decode from the RPC response.
+    pub fn from_value(v: &Value) -> Result<TaskMsg> {
+        let int = |name: &str| -> Result<i64> {
+            v.field(name)
+                .and_then(Value::as_int)
+                .ok_or_else(|| Error::Rpc(format!("assignment missing {name}")))
+        };
+        let inputs = v
+            .field("inputs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::Rpc("assignment missing inputs".into()))?
+            .iter()
+            .map(|u| {
+                u.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| Error::Rpc("non-string input url".into()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let is_map = match v.field("is_map") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err(Error::Rpc("assignment missing is_map".into())),
+        };
+        let combine = match v.field("combine") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err(Error::Rpc("assignment missing combine".into())),
+        };
+        Ok(TaskMsg {
+            data: int("data")? as u32,
+            index: int("index")? as usize,
+            is_map,
+            func: int("func")? as u32,
+            parts: int("parts")? as usize,
+            combine,
+            inputs,
+        })
+    }
+}
+
 impl Assignment {
     /// Encode for the RPC response.
     pub fn to_value(&self) -> Value {
@@ -53,17 +114,11 @@ impl Assignment {
             Assignment::Exit => {
                 m.insert("type".to_owned(), Value::Str("exit".into()));
             }
-            Assignment::Task(t) => {
-                m.insert("type".to_owned(), Value::Str("task".into()));
-                m.insert("data".to_owned(), Value::Int(t.data as i64));
-                m.insert("index".to_owned(), Value::Int(t.index as i64));
-                m.insert("is_map".to_owned(), Value::Bool(t.is_map));
-                m.insert("func".to_owned(), Value::Int(t.func as i64));
-                m.insert("parts".to_owned(), Value::Int(t.parts as i64));
-                m.insert("combine".to_owned(), Value::Bool(t.combine));
+            Assignment::Tasks(tasks) => {
+                m.insert("type".to_owned(), Value::Str("tasks".into()));
                 m.insert(
-                    "inputs".to_owned(),
-                    Value::Array(t.inputs.iter().map(|u| Value::Str(u.clone())).collect()),
+                    "tasks".to_owned(),
+                    Value::Array(tasks.iter().map(TaskMsg::to_value).collect()),
                 );
             }
         }
@@ -79,40 +134,18 @@ impl Assignment {
         match ty {
             "wait" => Ok(Assignment::Wait),
             "exit" => Ok(Assignment::Exit),
-            "task" => {
-                let int = |name: &str| -> Result<i64> {
-                    v.field(name)
-                        .and_then(Value::as_int)
-                        .ok_or_else(|| Error::Rpc(format!("assignment missing {name}")))
-                };
-                let inputs = v
-                    .field("inputs")
+            "tasks" => {
+                let tasks = v
+                    .field("tasks")
                     .and_then(Value::as_array)
-                    .ok_or_else(|| Error::Rpc("assignment missing inputs".into()))?
+                    .ok_or_else(|| Error::Rpc("assignment missing tasks".into()))?
                     .iter()
-                    .map(|u| {
-                        u.as_str()
-                            .map(str::to_owned)
-                            .ok_or_else(|| Error::Rpc("non-string input url".into()))
-                    })
+                    .map(TaskMsg::from_value)
                     .collect::<Result<Vec<_>>>()?;
-                let is_map = match v.field("is_map") {
-                    Some(Value::Bool(b)) => *b,
-                    _ => return Err(Error::Rpc("assignment missing is_map".into())),
-                };
-                let combine = match v.field("combine") {
-                    Some(Value::Bool(b)) => *b,
-                    _ => return Err(Error::Rpc("assignment missing combine".into())),
-                };
-                Ok(Assignment::Task(TaskMsg {
-                    data: int("data")? as u32,
-                    index: int("index")? as usize,
-                    is_map,
-                    func: int("func")? as u32,
-                    parts: int("parts")? as usize,
-                    combine,
-                    inputs,
-                }))
+                if tasks.is_empty() {
+                    return Err(Error::Rpc("empty task batch".into()));
+                }
+                Ok(Assignment::Tasks(tasks))
             }
             other => Err(Error::Rpc(format!("unknown assignment type {other:?}"))),
         }
@@ -189,8 +222,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn assignment_roundtrip_task() {
-        let a = Assignment::Task(TaskMsg {
+    fn assignment_roundtrip_tasks() {
+        let t = TaskMsg {
             data: 3,
             index: 7,
             is_map: true,
@@ -198,8 +231,13 @@ mod tests {
             parts: 5,
             combine: true,
             inputs: vec!["http://h:1/data/x".into(), "file://y".into()],
-        });
-        assert_eq!(Assignment::from_value(&a.to_value()).unwrap(), a);
+        };
+        let mut t2 = t.clone();
+        t2.index = 8;
+        t2.is_map = false;
+        for a in [Assignment::Tasks(vec![t.clone()]), Assignment::Tasks(vec![t, t2])] {
+            assert_eq!(Assignment::from_value(&a.to_value()).unwrap(), a);
+        }
     }
 
     #[test]
@@ -213,7 +251,12 @@ mod tests {
     fn malformed_assignment_rejected() {
         assert!(Assignment::from_value(&Value::Int(3)).is_err());
         let mut m = BTreeMap::new();
-        m.insert("type".to_owned(), Value::Str("task".into()));
+        m.insert("type".to_owned(), Value::Str("tasks".into()));
+        assert!(Assignment::from_value(&Value::Struct(m)).is_err());
+        // An empty batch is a protocol violation, not a silent Wait.
+        let mut m = BTreeMap::new();
+        m.insert("type".to_owned(), Value::Str("tasks".into()));
+        m.insert("tasks".to_owned(), Value::Array(vec![]));
         assert!(Assignment::from_value(&Value::Struct(m)).is_err());
     }
 

@@ -5,27 +5,38 @@
 //! serves them to peers over its built-in HTTP data server; on the
 //! shared-filesystem plane it writes bucket files to the common store.
 //!
+//! A slave is multicore-aware: it advertises a slot count at signin and
+//! runs that many worker threads, while the polling thread doubles as a
+//! prefetch stage — it fetches the *next* assignment's input buckets while
+//! the workers compute, so transfer overlaps computation (the pipelining
+//! the paper's serial-phase analysis motivates). Capacity is one more than
+//! the worker count: that extra slot is the prefetch buffer.
+//!
 //! The slave is written against the [`MasterLink`] trait so the same loop
 //! runs over real XML-RPC (production/distributed tests) or direct method
 //! calls (scheduler unit tests).
 
 use crate::master::SlaveId;
 use crate::proto::{fetch_bucket_bytes_local_first, Assignment, DataPlane, TaskMsg};
-use mrs_core::task::{run_map_task, run_reduce_task};
-use mrs_core::{Bucket, Error, Program, Record, Result};
-use mrs_fs::format::{read_bucket_bytes, read_bucket_into, write_bucket};
+use mrs_core::task::{run_map_task_bucket, run_reduce_task};
+use mrs_core::{Bucket, Error, Program, Result};
+use mrs_fs::format::{read_bucket_into, write_bucket};
 use mrs_fs::{MemFs, Store};
 use mrs_rpc::DataServer;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The slave's view of the master.
 pub trait MasterLink: Send + Sync {
-    /// Register; returns the slave id.
-    fn signin(&self, authority: &str) -> Result<SlaveId>;
-    /// Poll for work.
-    fn get_task(&self, slave: SlaveId) -> Result<Assignment>;
+    /// Register, advertising how many assignments this slave can hold at
+    /// once; returns the slave id.
+    fn signin(&self, authority: &str, slots: usize) -> Result<SlaveId>;
+    /// Poll for work with `free` idle slots; the master may grant up to
+    /// `free` tasks in one batch.
+    fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Assignment>;
     /// Report success with output bucket URLs.
     fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()>;
     /// Report a failed attempt. `failed_input` is the input URL that could
@@ -42,11 +53,11 @@ pub trait MasterLink: Send + Sync {
 
 /// In-process link: call the master directly (unit tests, benchmarks).
 impl MasterLink for crate::master::Master {
-    fn signin(&self, authority: &str) -> Result<SlaveId> {
-        Ok(crate::master::Master::signin(self, authority))
+    fn signin(&self, authority: &str, slots: usize) -> Result<SlaveId> {
+        Ok(crate::master::Master::signin(self, authority, slots))
     }
-    fn get_task(&self, slave: SlaveId) -> Result<Assignment> {
-        Ok(crate::master::Master::get_task(self, slave))
+    fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Assignment> {
+        Ok(crate::master::Master::get_tasks(self, slave, free))
     }
     fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()> {
         crate::master::Master::task_done(self, slave, data, index, urls);
@@ -68,19 +79,74 @@ impl MasterLink for crate::master::Master {
 /// Slave tuning knobs.
 #[derive(Clone, Debug)]
 pub struct SlaveOptions {
-    /// Sleep between `get_task` polls when the master says `Wait`.
+    /// Initial sleep between polls when the master says `Wait`.
     pub poll_interval: Duration,
+    /// Idle-poll backoff cap: consecutive `Wait`s double the sleep from
+    /// `poll_interval` up to this; any granted work resets it.
+    pub max_poll_interval: Duration,
+    /// Concurrent task slots (worker threads). Defaults to the number of
+    /// available CPU cores.
+    pub slots: usize,
 }
 
 impl Default for SlaveOptions {
     fn default() -> Self {
-        SlaveOptions { poll_interval: Duration::from_millis(2) }
+        SlaveOptions {
+            poll_interval: Duration::from_millis(2),
+            max_poll_interval: Duration::from_millis(50),
+            slots: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+}
+
+/// Prefetched-task queue shared between the polling/prefetch thread and
+/// the compute workers.
+struct Pipe {
+    state: Mutex<PipeState>,
+    cv: Condvar,
+    /// Assignments accepted from the master and not yet reported back.
+    in_flight: AtomicUsize,
+}
+
+struct PipeState {
+    /// Tasks with their inputs already fetched, ready to compute.
+    queue: VecDeque<(TaskMsg, Vec<Vec<u8>>)>,
+    /// No more work will arrive; workers drain the queue then exit.
+    drain: bool,
+    /// Stop immediately and silently — crash semantics (the fault-injection
+    /// hook) or a lost control channel. Nothing further is reported.
+    halt: bool,
+}
+
+impl Pipe {
+    fn new() -> Pipe {
+        Pipe {
+            state: Mutex::new(PipeState { queue: VecDeque::new(), drain: false, halt: false }),
+            cv: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    fn shut_down(&self, halt: bool) {
+        let mut st = self.state.lock();
+        if halt {
+            st.halt = true;
+        } else {
+            st.drain = true;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn halted(&self) -> bool {
+        self.state.lock().halt
     }
 }
 
 /// Run the slave loop until the master says `Exit`, the link dies, or
 /// `stop` is set (the fault-injection hook: a stopped slave goes silent
-/// exactly like a crashed process).
+/// exactly like a crashed process — queued and running work is abandoned
+/// unreported).
 pub fn run_slave(
     link: &dyn MasterLink,
     program: Arc<dyn Program>,
@@ -101,44 +167,187 @@ pub fn run_slave(
         DataPlane::SharedFs(_) => None,
     };
     let authority = server.as_ref().map(|s| s.authority()).unwrap_or_else(|| "shared".into());
-    let id = link.signin(&authority)?;
+    let shared: Option<Arc<dyn Store>> = match &plane {
+        DataPlane::SharedFs(s) => Some(Arc::clone(s)),
+        DataPlane::Direct => None,
+    };
+    let own_authority = server.as_ref().map(|s| s.authority());
 
-    while !stop.load(Ordering::SeqCst) {
-        // A master that has vanished is a normal end of life for a slave:
-        // the paper's launch scripts tear everything down together (the
-        // scheduler "kills processes as soon as a job completes"), so
-        // losing the control channel means the job is over, not an error.
-        let assignment = match link.get_task(id) {
-            Ok(a) => a,
-            Err(Error::Rpc(_)) => break,
-            Err(e) => return Err(e),
-        };
-        match assignment {
-            Assignment::Exit => break,
-            Assignment::Wait => std::thread::sleep(opts.poll_interval),
-            Assignment::Task(task) => {
-                let report = match execute_task(
-                    &task,
-                    program.as_ref(),
-                    &plane,
-                    &local,
-                    server.as_ref(),
-                    id,
-                ) {
-                    Ok(urls) => link.task_done(id, task.data, task.index, urls),
-                    Err(TaskError { msg, failed_input }) => {
-                        link.task_failed(id, task.data, task.index, &msg, failed_input.as_deref())
+    let workers = opts.slots.max(1);
+    // Advertise one slot beyond the worker count: while all workers
+    // compute, one more assignment can sit in the queue with its inputs
+    // already fetched (double buffering).
+    let capacity = workers + 1;
+    let id = link.signin(&authority, capacity)?;
+
+    let pipe = Pipe::new();
+    let mut result: Result<()> = Ok(());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    worker_loop(link, program.as_ref(), &plane, &local, server.as_ref(), id, &pipe)
+                })
+            })
+            .collect();
+
+        let mut backoff = opts.poll_interval;
+        let main_res: Result<()> = 'poll: loop {
+            if stop.load(Ordering::SeqCst) {
+                pipe.shut_down(true);
+                break Ok(());
+            }
+            if pipe.halted() {
+                // A worker lost the control channel; nothing left to do.
+                break Ok(());
+            }
+            let free = capacity.saturating_sub(pipe.in_flight.load(Ordering::SeqCst));
+            if free == 0 {
+                // Every slot (including the prefetch buffer) is occupied;
+                // wait for a worker to report before polling again.
+                std::thread::sleep(opts.poll_interval);
+                continue;
+            }
+            // A master that has vanished is a normal end of life for a
+            // slave: the paper's launch scripts tear everything down
+            // together (the scheduler "kills processes as soon as a job
+            // completes"), so losing the control channel means the job is
+            // over, not an error.
+            match link.get_tasks(id, free) {
+                Ok(Assignment::Exit) => {
+                    pipe.shut_down(false);
+                    break Ok(());
+                }
+                Ok(Assignment::Wait) => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(opts.max_poll_interval);
+                }
+                Ok(Assignment::Tasks(tasks)) => {
+                    backoff = opts.poll_interval;
+                    for task in tasks {
+                        pipe.in_flight.fetch_add(1, Ordering::SeqCst);
+                        // Prefetch: fetch this assignment's inputs now,
+                        // while the workers chew on earlier ones.
+                        let fetched = fetch_all_bucket_bytes(
+                            &task.inputs,
+                            shared.as_ref(),
+                            own_authority.as_deref(),
+                            local.as_ref() as &dyn Store,
+                        );
+                        match fetched {
+                            Ok(raw) => {
+                                let mut st = pipe.state.lock();
+                                st.queue.push_back((task, raw));
+                                drop(st);
+                                pipe.cv.notify_one();
+                            }
+                            Err(TaskError { msg, failed_input }) => {
+                                pipe.in_flight.fetch_sub(1, Ordering::SeqCst);
+                                let report = link.task_failed(
+                                    id,
+                                    task.data,
+                                    task.index,
+                                    &msg,
+                                    failed_input.as_deref(),
+                                );
+                                match report {
+                                    Ok(()) => {}
+                                    Err(Error::Rpc(_)) => {
+                                        pipe.shut_down(true);
+                                        break 'poll Ok(());
+                                    }
+                                    Err(e) => {
+                                        pipe.shut_down(true);
+                                        break 'poll Err(e);
+                                    }
+                                }
+                            }
+                        }
                     }
-                };
-                match report {
-                    Ok(()) => {}
-                    Err(Error::Rpc(_)) => break,
-                    Err(e) => return Err(e),
+                }
+                Err(Error::Rpc(_)) => {
+                    pipe.shut_down(true);
+                    break Ok(());
+                }
+                Err(e) => {
+                    pipe.shut_down(true);
+                    break Err(e);
+                }
+            }
+        };
+
+        result = main_res;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+                Err(_) => {
+                    if result.is_ok() {
+                        result = Err(Error::TaskFailed("slave worker panicked".into()));
+                    }
                 }
             }
         }
+    });
+    result
+}
+
+/// One compute worker: pop prefetched tasks, execute, report.
+fn worker_loop(
+    link: &dyn MasterLink,
+    program: &dyn Program,
+    plane: &DataPlane,
+    local: &Arc<MemFs>,
+    server: Option<&DataServer>,
+    id: SlaveId,
+    pipe: &Pipe,
+) -> Result<()> {
+    // Per-worker scratch arena, reused across map tasks.
+    let mut scratch = Bucket::new();
+    loop {
+        let (task, raw) = {
+            let mut st = pipe.state.lock();
+            loop {
+                if st.halt {
+                    return Ok(());
+                }
+                if let Some(item) = st.queue.pop_front() {
+                    break item;
+                }
+                if st.drain {
+                    return Ok(());
+                }
+                pipe.cv.wait(&mut st);
+            }
+        };
+        let outcome = process_task(&task, &raw, program, plane, local, server, id, &mut scratch);
+        if pipe.halted() {
+            // Crash semantics: a halted slave goes silent, never reports.
+            return Ok(());
+        }
+        let report = match outcome {
+            Ok(urls) => link.task_done(id, task.data, task.index, urls),
+            Err(TaskError { msg, failed_input }) => {
+                link.task_failed(id, task.data, task.index, &msg, failed_input.as_deref())
+            }
+        };
+        pipe.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match report {
+            Ok(()) => {}
+            Err(Error::Rpc(_)) => {
+                pipe.shut_down(true);
+                return Ok(());
+            }
+            Err(e) => {
+                pipe.shut_down(true);
+                return Err(e);
+            }
+        }
     }
-    Ok(())
 }
 
 /// Why a task attempt failed: fetch failures carry the offending URL so
@@ -187,66 +396,56 @@ fn fetch_all_bucket_bytes(
                     break;
                 }
                 let r = fetch(&urls[i]).map_err(|e| e.to_string());
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                *slots[i].lock() = Some(r);
             });
         }
     });
     urls.iter()
         .zip(slots)
         .map(|(url, slot)| {
-            let r = slot
-                .into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("fetch worker filled every slot");
+            let r = slot.into_inner().expect("fetch worker filled every slot");
             r.map_err(|msg| TaskError { msg, failed_input: Some(url.clone()) })
         })
         .collect()
 }
 
-fn execute_task(
+/// Execute one task whose input bytes are already fetched (slot-ordered,
+/// one entry per input URL), store its outputs, and return their URLs.
+#[allow(clippy::too_many_arguments)]
+fn process_task(
     task: &TaskMsg,
+    raw: &[Vec<u8>],
     program: &dyn Program,
     plane: &DataPlane,
     local: &Arc<MemFs>,
     server: Option<&DataServer>,
     slave: SlaveId,
+    scratch: &mut Bucket,
 ) -> std::result::Result<Vec<String>, TaskError> {
-    // Gather input bytes from every input URL (in parallel when remote).
-    let shared: Option<Arc<dyn Store>> = match plane {
-        DataPlane::SharedFs(s) => Some(Arc::clone(s)),
-        DataPlane::Direct => None,
-    };
-    // Inputs this slave produced itself are read straight from its local
-    // store; only genuinely remote buckets cross the network.
-    let own_authority = server.map(|s| s.authority());
-    let raw = fetch_all_bucket_bytes(
-        &task.inputs,
-        shared.as_ref(),
-        own_authority.as_deref(),
-        local.as_ref() as &dyn Store,
-    )?;
     let parse_err = |url: &String, e: mrs_core::Error| TaskError {
         msg: e.to_string(),
         failed_input: Some(url.clone()),
     };
     let run_err = |e: mrs_core::Error| TaskError { msg: e.to_string(), failed_input: None };
 
-    // Execute and serialize output buckets.
+    // Execute and serialize output buckets. Both paths decode straight
+    // into an arena — no per-record `Vec<u8>` allocations; the map path
+    // additionally reuses the worker's scratch arena across tasks.
     let buckets: Vec<Vec<u8>> = if task.is_map {
-        let mut input: Vec<Record> = Vec::new();
-        for (url, bytes) in task.inputs.iter().zip(&raw) {
-            input.extend(read_bucket_bytes(bytes).map_err(|e| parse_err(url, e))?);
+        scratch.clear();
+        for (url, bytes) in task.inputs.iter().zip(raw) {
+            read_bucket_into(bytes, scratch).map_err(|e| parse_err(url, e))?;
         }
-        run_map_task(program, task.func, &input, task.parts, task.combine)
+        run_map_task_bucket(program, task.func, scratch, task.parts, task.combine)
             .map_err(run_err)?
             .iter()
             .map(write_bucket)
             .collect()
     } else {
-        // Reduce inputs decode straight into one arena: no per-bucket
-        // Vec<Record> materialization on the hot shuffle path.
+        // Reduce consumes its input arena (sorted in place), so it cannot
+        // reuse the scratch buffer.
         let mut input = Bucket::new();
-        for (url, bytes) in task.inputs.iter().zip(&raw) {
+        for (url, bytes) in task.inputs.iter().zip(raw) {
             read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
         }
         let out = run_reduce_task(program, task.func, input).map_err(run_err)?;
@@ -368,6 +567,37 @@ mod tests {
         let reduced = driver.reduce_data(mapped, 0).unwrap();
         let out = driver.fetch_all(reduced).unwrap();
         assert_eq!(out.len(), 3);
+
+        master.finish();
+        handle.join().unwrap().unwrap();
+    }
+
+    /// A multi-slot slave alone must still produce correct output (the
+    /// worker pool and prefetch stage preserve task semantics).
+    #[test]
+    fn multislot_slave_executes_job() {
+        let master = Master::new(MasterConfig::default(), DataPlane::Direct).unwrap();
+        let program: Arc<dyn Program> = Arc::new(Simple(WordCount));
+        let stop = Arc::new(AtomicBool::new(false));
+        let opts = SlaveOptions { slots: 4, ..SlaveOptions::default() };
+        let handle = {
+            let m = master.clone();
+            let p = Arc::clone(&program);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_slave(&m, p, DataPlane::Direct, &opts, &stop))
+        };
+
+        let mut driver = master.clone();
+        let src = driver.local_data(input(), 2).unwrap();
+        let mapped = driver.map_data(src, 0, 4, false).unwrap();
+        let reduced = driver.reduce_data(mapped, 0).unwrap();
+        let out = driver.fetch_all(reduced).unwrap();
+        let mut counts: Vec<(String, u64)> = out
+            .iter()
+            .map(|(k, v)| (String::from_bytes(k).unwrap(), u64::from_bytes(v).unwrap()))
+            .collect();
+        counts.sort();
+        assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
 
         master.finish();
         handle.join().unwrap().unwrap();

@@ -67,12 +67,26 @@ fn wordcount_identical_across_all_five_runtimes() {
         .unwrap();
         wordcount_on(&mut Job::new(&mut cluster), 3, 2)
     };
+    // Multi-slot slaves (capacity batching, worker pool, prefetch stage)
+    // must not perturb the answer.
+    let multislot = {
+        let mut cluster = LocalCluster::start_with(
+            Arc::new(Simple(WordCount)),
+            2,
+            DataPlane::Direct,
+            MasterConfig::default(),
+            SlaveOptions { slots: 4, ..SlaveOptions::default() },
+        )
+        .unwrap();
+        wordcount_on(&mut Job::new(&mut cluster), 6, 3)
+    };
 
     assert_eq!(bypass, serial, "serial vs bypass");
     assert_eq!(serial, mock, "mock vs serial");
     assert_eq!(mock, pool, "pool vs mock");
     assert_eq!(pool, direct, "distributed-direct vs pool");
     assert_eq!(direct, shared, "distributed-sharedfs vs distributed-direct");
+    assert_eq!(shared, multislot, "multi-slot cluster vs distributed-sharedfs");
 }
 
 fn pso_config() -> PsoConfig {
@@ -122,10 +136,22 @@ fn stochastic_pso_bitwise_identical_across_runtimes() {
         .unwrap();
         pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
     };
+    let multislot = {
+        let mut cluster = LocalCluster::start_with(
+            Arc::new(PsoProgram::new(pso_config(), 1)),
+            2,
+            DataPlane::Direct,
+            MasterConfig::default(),
+            SlaveOptions { slots: 4, ..SlaveOptions::default() },
+        )
+        .unwrap();
+        pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
+    };
 
     assert_eq!(serial, expected, "MapReduce-serial vs bypass");
     assert_eq!(pool, expected, "pool vs bypass");
     assert_eq!(cluster, expected, "cluster vs bypass");
+    assert_eq!(multislot, expected, "multi-slot cluster vs bypass");
 }
 
 #[test]
