@@ -15,6 +15,13 @@
 //! The server counts payload bytes, requests, and *connections accepted* —
 //! the last is the measurement hook for the keep-alive ablation (A4): with
 //! pooling on, connections stay flat as request count grows.
+//!
+//! The server is thread-per-connection, and that is load-bearing for the
+//! control plane: a handler may block — the long-poll `get_task` parks
+//! its handler thread on the master's dispatch condvar until work appears
+//! — and requests on other connections are still served concurrently.
+//! Handlers must release well inside the client's I/O timeout
+//! ([`IO_TIMEOUT`], 10s) or the held request reads as a dead server.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -128,6 +135,11 @@ impl HttpServer {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Responses are written as header + body segments; with
+                    // Nagle on, the trailing segment waits out the peer's
+                    // delayed ACK (~40 ms) — per-RPC poison for the
+                    // long-poll control plane's round-trip latency.
+                    let _ = stream.set_nodelay(true);
                     connections.fetch_add(1, Ordering::Relaxed);
                     if let Ok(clone) = stream.try_clone() {
                         let mut reg = live.lock().unwrap_or_else(|e| e.into_inner());

@@ -80,6 +80,12 @@ impl RpcServer {
     pub fn port(&self) -> u16 {
         self.http.addr().port()
     }
+
+    /// Total RPC requests served so far. The control-plane bench reads
+    /// this to count round trips per job.
+    pub fn request_count(&self) -> u64 {
+        self.http.request_count()
+    }
 }
 
 fn rpc_fault(code: i64, msg: &str) -> Response {
@@ -191,6 +197,39 @@ mod tests {
         // Port 1 is essentially never listening.
         let client = RpcClient::new("127.0.0.1:1");
         assert!(matches!(client.call("x", &[]), Err(Error::Rpc(_))));
+    }
+
+    #[test]
+    fn handler_may_block_without_stalling_other_connections() {
+        // Long-poll dispatch parks `get_task` handlers server-side. Each
+        // connection gets its own handler thread, so one held request must
+        // not delay requests arriving on other connections.
+        use std::sync::mpsc;
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let dispatch = Dispatch::new()
+            .register("park", move |_| {
+                let rx = release_rx.lock().unwrap();
+                rx.recv_timeout(std::time::Duration::from_secs(5)).ok();
+                Ok(Value::Str("released".into()))
+            })
+            .register("ping", |_| Ok(Value::Bool(true)));
+        let server = RpcServer::serve(0, dispatch).unwrap();
+        let authority = server.authority();
+
+        let parked = {
+            let authority = authority.clone();
+            std::thread::spawn(move || RpcClient::new(authority).call("park", &[]).unwrap())
+        };
+        // While `park` is held, a second connection is served immediately.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        let v = RpcClient::new(authority).call("ping", &[]).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+        release_tx.send(()).unwrap();
+        assert_eq!(parked.join().unwrap(), Value::Str("released".into()));
+        assert_eq!(server.request_count(), 2);
     }
 
     #[test]

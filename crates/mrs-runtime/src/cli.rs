@@ -13,6 +13,8 @@
 //! prog --mrs master --mrs-port-file P     # master: binds, writes its port
 //! prog --mrs slave  --mrs-master H:P      # slave: joins an existing master
 //! prog --mrs slave  --mrs-master H:P --mrs-slots 4   # slave with 4 task slots
+//! prog --mrs master --mrs-control poll    # legacy sleep-and-poll control plane
+//! prog --mrs master --mrs-longpoll-ms 250 # cap server-side get_task parks
 //! ```
 //!
 //! A master runs the driver and serves slaves; a slave never runs the
@@ -24,13 +26,14 @@ use crate::distributed::{serve_master, RpcMasterLink};
 use crate::job::Job;
 use crate::local::LocalRuntime;
 use crate::master::{Master, MasterConfig};
-use crate::proto::DataPlane;
+use crate::proto::{ControlMode, DataPlane};
 use crate::serial::SerialRuntime;
 use crate::slave::{run_slave, SlaveOptions};
 use mrs_core::{Error, Program, Result};
 use mrs_fs::TempFs;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which execution implementation to use.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +66,12 @@ pub enum Implementation {
 pub struct CliOptions {
     /// Selected implementation (default: serial, like the original Mrs).
     pub implementation: Implementation,
+    /// Control-plane mode for master/slave roles (`--mrs-control`,
+    /// default: event-driven long-poll).
+    pub control: ControlMode,
+    /// Long-poll cap override (`--mrs-longpoll-ms`): on a master the
+    /// maximum server-side park, on a slave the park it requests.
+    pub long_poll: Option<Duration>,
     /// Everything that was not an `--mrs*` option, for the program's own
     /// argument handling.
     pub rest: Vec<String>,
@@ -76,6 +85,8 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     let mut port_file = None;
     let mut master = None;
     let mut slots = None;
+    let mut control = ControlMode::default();
+    let mut long_poll = None;
     let mut rest = Vec::new();
 
     let mut iter = args.into_iter();
@@ -110,6 +121,17 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
                         .map_err(|e| Error::Invalid(format!("--mrs-slots {v:?}: {e}")))?,
                 );
             }
+            "--mrs-control" => {
+                let v = value_of("--mrs-control")?;
+                control = ControlMode::parse(&v)?;
+            }
+            "--mrs-longpoll-ms" => {
+                let v = value_of("--mrs-longpoll-ms")?;
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|e| Error::Invalid(format!("--mrs-longpoll-ms {v:?}: {e}")))?;
+                long_poll = Some(Duration::from_millis(ms));
+            }
             _ => rest.push(arg),
         }
     }
@@ -136,7 +158,10 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     if slots == Some(0) {
         return Err(Error::Invalid("--mrs-slots must be positive".into()));
     }
-    Ok(CliOptions { implementation, rest })
+    if long_poll == Some(Duration::ZERO) {
+        return Err(Error::Invalid("--mrs-longpoll-ms must be positive".into()));
+    }
+    Ok(CliOptions { implementation, control, long_poll, rest })
 }
 
 fn num_cpus() -> usize {
@@ -164,7 +189,11 @@ where
             driver(&mut Job::new(&mut rt))
         }
         Implementation::Master { port, port_file } => {
-            let master = Master::new(MasterConfig::default(), DataPlane::Direct)?;
+            let mut cfg = MasterConfig { control: options.control, ..MasterConfig::default() };
+            if let Some(lp) = options.long_poll {
+                cfg.long_poll_timeout = lp;
+            }
+            let master = Master::new(cfg, DataPlane::Direct)?;
             let server = serve_master(master.clone(), *port).map_err(Error::Io)?;
             if let Some(path) = port_file {
                 std::fs::write(path, server.port().to_string())?;
@@ -184,6 +213,10 @@ where
             let mut slave_opts = SlaveOptions::default();
             if let Some(n) = slots {
                 slave_opts.slots = *n;
+            }
+            slave_opts.control = options.control;
+            if let Some(lp) = options.long_poll {
+                slave_opts.long_poll = lp;
             }
             run_slave(&link, program, DataPlane::Direct, &slave_opts, &stop)
         }
@@ -243,6 +276,19 @@ mod tests {
     }
 
     #[test]
+    fn parses_control_plane_flags() {
+        let o = opts(&["--mrs", "master", "--mrs-control", "poll"]).unwrap();
+        assert_eq!(o.control, ControlMode::Poll);
+        assert_eq!(o.long_poll, None);
+        let o = opts(&["--mrs", "master", "--mrs-control", "longpoll", "--mrs-longpoll-ms", "250"])
+            .unwrap();
+        assert_eq!(o.control, ControlMode::LongPoll);
+        assert_eq!(o.long_poll, Some(Duration::from_millis(250)));
+        // Default is event-driven.
+        assert_eq!(opts(&[]).unwrap().control, ControlMode::LongPoll);
+    }
+
+    #[test]
     fn program_args_pass_through() {
         let o = opts(&["input.txt", "--mrs", "pool", "--verbose"]).unwrap();
         assert_eq!(o.rest, vec!["input.txt", "--verbose"]);
@@ -256,6 +302,9 @@ mod tests {
         assert!(opts(&["--mrs", "pool", "--mrs-workers", "0"]).is_err());
         assert!(opts(&["--mrs-port", "not-a-port"]).is_err());
         assert!(opts(&["--mrs", "slave", "--mrs-master", "h:1", "--mrs-slots", "0"]).is_err());
+        assert!(opts(&["--mrs-control", "telepathy"]).is_err());
+        assert!(opts(&["--mrs-longpoll-ms", "0"]).is_err());
+        assert!(opts(&["--mrs-longpoll-ms", "soon"]).is_err());
     }
 
     struct Count;
@@ -296,6 +345,8 @@ mod tests {
                 port: 0,
                 port_file: Some(path.to_string_lossy().into_owned()),
             },
+            control: ControlMode::default(),
+            long_poll: None,
             rest: vec![],
         };
         // Driver with no work: just verify the port file exists while the

@@ -12,7 +12,7 @@ use crate::data::DataId;
 use crate::job::JobApi;
 use crate::master::{Master, MasterConfig, SlaveId};
 use crate::metrics::JobMetrics;
-use crate::proto::{Assignment, DataPlane};
+use crate::proto::{Assignment, DataPlane, TaskReport};
 use crate::slave::{run_slave, MasterLink, SlaveOptions};
 use mrs_core::{Error, FuncId, Program, Record, Result};
 use mrs_rpc::rpc::{Dispatch, RpcClient, RpcServer};
@@ -46,7 +46,21 @@ pub fn serve_master(master: Master, port: u16) -> std::io::Result<RpcServer> {
                 .ok_or((3, "get_task: missing slave id".to_owned()))?;
             // Free slot count; omitted means a single-task poll.
             let free = params.get(1).and_then(Value::as_int).unwrap_or(1).max(1) as usize;
-            Ok(m2.get_tasks(slave as SlaveId, free).to_value())
+            // Requested long-poll park in milliseconds; older pollers omit
+            // it and get the immediate-return behaviour.
+            let park = Duration::from_millis(
+                params.get(2).and_then(Value::as_int).unwrap_or(0).max(0) as u64,
+            );
+            // Piggybacked completion reports; older pollers omit them.
+            let reports = match params.get(3).and_then(Value::as_array) {
+                Some(items) => items
+                    .iter()
+                    .map(TaskReport::from_value)
+                    .collect::<Result<Vec<_>>>()
+                    .map_err(|e| (3, format!("get_task: bad report: {e}")))?,
+                None => Vec::new(),
+            };
+            Ok(m2.get_tasks_with(slave as SlaveId, free, park, &reports).to_value())
         })
         .register("task_done", move |params| {
             let (slave, data, index, urls) = parse_report(params)?;
@@ -104,9 +118,23 @@ impl MasterLink for RpcMasterLink {
         v.as_int().map(|i| i as SlaveId).ok_or_else(|| Error::Rpc("signin returned non-int".into()))
     }
 
-    fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Assignment> {
-        let v =
-            self.client.call("get_task", &[Value::Int(slave as i64), Value::Int(free as i64)])?;
+    fn get_tasks_with(
+        &self,
+        slave: SlaveId,
+        free: usize,
+        park: Duration,
+        reports: Vec<TaskReport>,
+    ) -> Result<Assignment> {
+        let reports = Value::Array(reports.iter().map(TaskReport::to_value).collect());
+        let v = self.client.call(
+            "get_task",
+            &[
+                Value::Int(slave as i64),
+                Value::Int(free as i64),
+                Value::Int(park.as_millis() as i64),
+                reports,
+            ],
+        )?;
         Assignment::from_value(&v)
     }
 
@@ -183,9 +211,12 @@ impl LocalCluster {
         n_slaves: usize,
         plane: DataPlane,
         cfg: MasterConfig,
-        options: SlaveOptions,
+        mut options: SlaveOptions,
     ) -> Result<LocalCluster> {
-        let sweep_every = cfg.slave_timeout / 2;
+        // The control mode is a cluster-wide property: slaves must match
+        // the master or the long-poll/piggyback negotiation degrades to
+        // the backward-compat fallbacks on every round trip.
+        options.control = cfg.control;
         let master = Master::new(cfg, plane.clone())?;
         let server = serve_master(master.clone(), 0).map_err(Error::Io)?;
         let sweeper_stop = Arc::new(AtomicBool::new(false));
@@ -194,12 +225,9 @@ impl LocalCluster {
             let stop = Arc::clone(&sweeper_stop);
             std::thread::Builder::new()
                 .name("mrs-sweeper".into())
-                .spawn(move || {
-                    while !stop.load(Ordering::SeqCst) {
-                        std::thread::sleep(sweep_every.max(Duration::from_millis(10)));
-                        master.sweep();
-                    }
-                })
+                // Condvar-driven: sleeps until the earliest possible slave
+                // death, not a fixed interval; exits on finish().
+                .spawn(move || master.sweeper_loop(&stop))
                 .map_err(Error::Io)?
         };
         let mut cluster = LocalCluster {
@@ -260,6 +288,13 @@ impl LocalCluster {
     /// Number of slaves the master currently believes alive.
     pub fn live_slaves(&self) -> usize {
         self.master.live_slaves()
+    }
+
+    /// Control-channel RPC requests the master has served so far (signin,
+    /// `get_task`, `task_done`, `task_failed`). The control-latency bench
+    /// reads this to compare round-trip counts across control modes.
+    pub fn control_requests(&self) -> u64 {
+        self.server.request_count()
     }
 
     /// Job metrics snapshot. Connection counters are the change in the

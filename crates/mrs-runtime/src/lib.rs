@@ -24,6 +24,16 @@
 //! batches up to each slave's capacity, breaks affinity ties toward
 //! underloaded slaves, steals claims only from fractionally busier
 //! owners, and on a slave death re-queues *all* of its in-flight tasks.
+//!
+//! Its control plane is event-driven ([`proto::ControlMode::LongPoll`],
+//! the default): an idle slave's `get_task` parks server-side on a
+//! condvar until a state transition makes work runnable (long-poll
+//! dispatch), completion reports ride piggybacked on the next poll
+//! instead of costing their own RPC, and the driver's `wait`/`fetch_all`
+//! and the dead-slave sweeper sleep on the completion condvar with a
+//! deadline at the earliest possible slave death. The legacy
+//! sleep-and-poll plane remains available as `ControlMode::Poll`
+//! (`--mrs-control=poll`) for comparison benchmarks.
 //! * the **bypass** implementation is a plain function call in Rust: run
 //!   your serial code directly (see `examples/`).
 //!
@@ -47,6 +57,6 @@ pub use distributed::LocalCluster;
 pub use job::{Job, JobApi};
 pub use local::LocalRuntime;
 pub use master::{Master, MasterConfig};
-pub use proto::DataPlane;
+pub use proto::{ControlMode, DataPlane};
 pub use serial::SerialRuntime;
 pub use slave::SlaveOptions;

@@ -15,17 +15,28 @@
 //!   plane) — re-execute the tasks that produced it,
 //! * cap per-task retry attempts so a poisoned task fails the job instead
 //!   of looping forever.
+//!
+//! The control plane is event-driven: a `get_tasks` with nothing runnable
+//! parks server-side on a dispatch condvar and is woken precisely when a
+//! state transition (a completion crossing an operation barrier, a new
+//! operation, a dead slave's requeue) makes work available, with
+//! `Assignment::Wait` only as the long-poll timeout fallback. Completion
+//! reports may ride piggybacked on `get_tasks` calls, and the driver-side
+//! `wait`/`fetch_all`/sweeper loops sleep on the completion condvar until
+//! the earliest instant a slave could cross the death timeout — no loop
+//! here discovers state by fixed-interval sleep.
 
 use crate::data::{split_evenly, DataId};
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
-use crate::proto::{fetch_records, Assignment, DataPlane, TaskMsg};
+use crate::proto::{fetch_records, Assignment, ControlMode, DataPlane, TaskMsg, TaskReport};
 use mrs_core::{Error, FuncId, Record, Result};
 use mrs_fs::format::write_bucket_bytes;
 use mrs_fs::{MemFs, Store};
 use mrs_rpc::DataServer;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,11 +52,24 @@ pub struct MasterConfig {
     pub max_attempts: u32,
     /// Prefer the slave that ran the corresponding task last time.
     pub use_affinity: bool,
+    /// How slaves discover state changes (long-poll vs legacy polling).
+    pub control: ControlMode,
+    /// Upper bound on how long a `get_tasks` request may park server-side
+    /// before returning `Wait`. Also clamped to `slave_timeout / 2` so a
+    /// parked slave still heartbeats; must stay well below the RPC
+    /// client's I/O timeout (10s) or held requests would look like hangs.
+    pub long_poll_timeout: Duration,
 }
 
 impl Default for MasterConfig {
     fn default() -> Self {
-        MasterConfig { slave_timeout: Duration::from_secs(2), max_attempts: 4, use_affinity: true }
+        MasterConfig {
+            slave_timeout: Duration::from_secs(2),
+            max_attempts: 4,
+            use_affinity: true,
+            control: ControlMode::default(),
+            long_poll_timeout: Duration::from_secs(1),
+        }
     }
 }
 
@@ -116,13 +140,20 @@ struct MState {
     affinity: HashMap<(bool, FuncId, usize), SlaveId>,
     error: Option<String>,
     finished: bool,
+    /// `get_tasks` requests currently parked on `dispatch_cv`. Wakes are
+    /// recorded (and broadcast) only while this is non-zero, so the
+    /// `wakeups` metric counts precise wakes, not every state change.
+    parked: usize,
     metrics: JobMetrics,
 }
 
 struct MasterShared {
     cfg: MasterConfig,
     state: Mutex<MState>,
+    /// Completion condvar: driver `wait`/`fetch_all` and the sweeper.
     cv: Condvar,
+    /// Dispatch condvar: parked `get_tasks` requests (long-poll mode).
+    dispatch_cv: Condvar,
     plane: DataPlane,
     /// Master-local storage for source splits (direct plane).
     source_store: Arc<MemFs>,
@@ -159,9 +190,11 @@ impl Master {
                     affinity: HashMap::new(),
                     error: None,
                     finished: false,
+                    parked: 0,
                     metrics: JobMetrics::default(),
                 }),
                 cv: Condvar::new(),
+                dispatch_cv: Condvar::new(),
                 plane,
                 source_store,
                 source_server,
@@ -204,14 +237,32 @@ impl Master {
 
     /// Mark the job finished: polling slaves are told to exit.
     pub fn finish(&self) {
-        self.shared.state.lock().finished = true;
+        let mut st = self.shared.state.lock();
+        st.finished = true;
+        Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
+        drop(st);
         self.shared.cv.notify_all();
+    }
+
+    /// The configuration this master was built with.
+    pub fn config(&self) -> &MasterConfig {
+        &self.shared.cfg
     }
 
     fn touch(st: &mut MState, slave: SlaveId) {
         if let Some(info) = st.slaves.get_mut(slave as usize) {
             info.last_seen = Instant::now();
             info.alive = true;
+        }
+    }
+
+    /// Wake any parked `get_tasks` requests: a state transition may have
+    /// made work runnable (or ended the job). Recorded only when someone
+    /// is actually parked, so `wakeups` measures precise wakes.
+    fn wake_dispatch(st: &mut MState, dispatch_cv: &Condvar) {
+        if st.parked > 0 {
+            st.metrics.record_wakeup();
+            dispatch_cv.notify_all();
         }
     }
 
@@ -226,14 +277,88 @@ impl Master {
     /// where `capacity` is the slot count the slave advertised at signin —
     /// filling an N-slot slave costs one poll, not N.
     pub fn get_tasks(&self, slave: SlaveId, free_slots: usize) -> Assignment {
+        self.get_tasks_with(slave, free_slots, Duration::ZERO, &[])
+    }
+
+    /// Full-form poll. First applies any piggybacked completion `reports`
+    /// (each one a `task_done` that rode along instead of costing its own
+    /// RPC — and applied *before* the dispatch budget is computed, so the
+    /// slots they free are grantable in this same round trip). Then tries
+    /// to dispatch; with nothing runnable and a non-zero `park`, the
+    /// request parks server-side on the dispatch condvar and is woken
+    /// precisely when a state transition makes work available. `Wait` is
+    /// returned only when the (clamped) park deadline expires.
+    pub fn get_tasks_with(
+        &self,
+        slave: SlaveId,
+        free_slots: usize,
+        park: Duration,
+        reports: &[TaskReport],
+    ) -> Assignment {
         let mut st = self.shared.state.lock();
         Self::touch(&mut st, slave);
-        if st.finished || st.error.is_some() {
-            return Assignment::Exit;
+        if !reports.is_empty() {
+            for r in reports {
+                self.apply_done_locked(&mut st, slave, r.data, r.index, r.urls.clone());
+            }
+            st.metrics.record_piggybacked_reports(reports.len());
+            // The reports are themselves state transitions: another parked
+            // slave may now have runnable work (a barrier may have cleared).
+            Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
+            self.shared.cv.notify_all();
         }
-        let Some(capacity) = st.slaves.get(slave as usize).map(|s| s.slots) else {
-            return Assignment::Wait; // unknown slave id
+        // Parking is long-poll behaviour; legacy pollers get `Wait` at once.
+        // The clamp to `slave_timeout / 2` keeps a parked slave heartbeating
+        // at least twice per death timeout.
+        let park = match self.shared.cfg.control {
+            ControlMode::LongPoll => {
+                park.min(self.shared.cfg.long_poll_timeout).min(self.shared.cfg.slave_timeout / 2)
+            }
+            ControlMode::Poll => Duration::ZERO,
         };
+        let deadline = Instant::now() + park;
+        let mut parked = false;
+        loop {
+            if st.finished || st.error.is_some() {
+                if parked {
+                    st.parked -= 1;
+                }
+                return Assignment::Exit;
+            }
+            if let Some(granted) = self.dispatch_locked(&mut st, slave, free_slots) {
+                if parked {
+                    st.parked -= 1;
+                }
+                return Assignment::Tasks(granted);
+            }
+            if park.is_zero() || Instant::now() >= deadline {
+                if parked {
+                    st.parked -= 1;
+                    st.metrics.record_longpoll_timeout();
+                }
+                return Assignment::Wait;
+            }
+            if !parked {
+                parked = true;
+                st.parked += 1;
+                st.metrics.record_longpoll_park();
+            }
+            self.shared.dispatch_cv.wait_until(&mut st, deadline);
+            // Parked is not silent: the request being held here is proof of
+            // life, so refresh `last_seen` on every wake.
+            Self::touch(&mut st, slave);
+        }
+    }
+
+    /// Try to grant tasks under the lock; `None` when nothing is runnable
+    /// for this slave right now (the park/`Wait` case).
+    fn dispatch_locked(
+        &self,
+        st: &mut MState,
+        slave: SlaveId,
+        free_slots: usize,
+    ) -> Option<Vec<TaskMsg>> {
+        let capacity = st.slaves.get(slave as usize).map(|s| s.slots)?;
 
         // In-flight counts are derived from task states on every poll, not
         // kept as counters: a sweep's requeue or a duplicate/late report can
@@ -253,7 +378,7 @@ impl Master {
         let budget = free_slots.min(capacity.saturating_sub(in_flight[slave as usize]));
         let mut granted: Vec<TaskMsg> = Vec::new();
         while granted.len() < budget {
-            let Some((data, index, stolen)) = Self::pick_task(&st, slave, &in_flight) else {
+            let Some((data, index, stolen)) = Self::pick_task(st, slave, &in_flight) else {
                 break;
             };
             let msg = {
@@ -262,7 +387,7 @@ impl Master {
                 else {
                     unreachable!("candidates only contain ops");
                 };
-                let inputs = self.input_urls(&st, *input, *is_map, index);
+                let inputs = self.input_urls(st, *input, *is_map, index);
                 TaskMsg {
                     data: data.0,
                     index,
@@ -291,11 +416,11 @@ impl Master {
             granted.push(msg);
         }
         if granted.is_empty() {
-            return Assignment::Wait;
+            return None;
         }
         let total: usize = in_flight.iter().sum();
         st.metrics.record_dispatch(granted.len(), total);
-        Assignment::Tasks(granted)
+        Some(granted)
     }
 
     /// Choose the next task for `slave`. Priority order: a task whose
@@ -426,6 +551,22 @@ impl Master {
     pub fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) {
         let mut st = self.shared.state.lock();
         Self::touch(&mut st, slave);
+        self.apply_done_locked(&mut st, slave, data, index, urls);
+        Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// Record one completed task under the lock. Shared between the
+    /// standalone `task_done` RPC and reports piggybacked on `get_tasks`.
+    fn apply_done_locked(
+        &self,
+        st: &mut MState,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        urls: Vec<String>,
+    ) {
         let owner = match self.shared.plane {
             DataPlane::Direct => Some(slave),
             DataPlane::SharedFs(_) => None,
@@ -434,7 +575,7 @@ impl Master {
         if let Some(MDs::Op { tasks, done_count, func, is_map, .. }) =
             st.datasets.get_mut(data as usize)
         {
-            let slot = &mut tasks[index];
+            let Some(slot) = tasks.get_mut(index) else { return };
             match slot.state {
                 SlotState::Done { .. } => {} // duplicate report: ignore
                 _ => {
@@ -450,8 +591,6 @@ impl Master {
                 st.affinity.insert((is_map, func, index), slave);
             }
         }
-        drop(st);
-        self.shared.cv.notify_all();
     }
 
     /// A slave reports a failed task attempt.
@@ -510,6 +649,7 @@ impl Master {
         if let Some(e) = fail_job {
             st.error = Some(e);
         }
+        Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
     }
@@ -559,8 +699,47 @@ impl Master {
         if !any_alive && any_incomplete {
             st.error = Some("no live slaves remain".into());
         }
+        // Requeued tasks (or the error) are runnable-state transitions.
+        Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
+    }
+
+    /// Earliest instant at which a currently-live slave could cross the
+    /// death timeout (its `last_seen + slave_timeout`, plus a millisecond
+    /// of grace so a sweep at the deadline sees *strictly* overdue).
+    /// `None` when no slave is alive.
+    fn next_death_deadline(&self, st: &MState) -> Option<Instant> {
+        st.slaves
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.last_seen + self.shared.cfg.slave_timeout + Duration::from_millis(1))
+            .min()
+    }
+
+    /// Run the dead-slave sweeper until the job finishes, errors, or
+    /// `stop` is set. Sleeps on the completion condvar until the earliest
+    /// instant a slave could cross the death timeout, instead of a fixed
+    /// interval — requeue happens as soon as it possibly could, and the
+    /// loop costs nothing while slaves are heartbeating.
+    pub fn sweeper_loop(&self, stop: &AtomicBool) {
+        loop {
+            {
+                let mut st = self.shared.state.lock();
+                loop {
+                    if stop.load(Ordering::Acquire) || st.finished || st.error.is_some() {
+                        return;
+                    }
+                    let deadline = self
+                        .next_death_deadline(&st)
+                        .unwrap_or_else(|| Instant::now() + self.shared.cfg.slave_timeout);
+                    if self.shared.cv.wait_until(&mut st, deadline).timed_out() {
+                        break;
+                    }
+                }
+            }
+            self.sweep();
+        }
     }
 
     /// Authority of a slave (for tests/diagnostics).
@@ -607,6 +786,7 @@ impl JobApi for Master {
         }
         let mut st = self.shared.state.lock();
         st.datasets[id as usize] = MDs::Source { urls };
+        Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
         Ok(DataId(id))
@@ -648,6 +828,7 @@ impl JobApi for Master {
             done_count: 0,
         });
         let id = DataId(st.datasets.len() as u32 - 1);
+        Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
         Ok(id)
@@ -670,6 +851,7 @@ impl JobApi for Master {
             done_count: 0,
         });
         let id = DataId(st.datasets.len() as u32 - 1);
+        Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
         Ok(id)
@@ -686,9 +868,15 @@ impl JobApi for Master {
                 Some(ds) if ds.complete() => return Ok(()),
                 Some(_) => {}
             }
-            // Re-check for dead slaves while the driver sleeps.
-            let timeout = self.shared.cfg.slave_timeout / 2;
-            if self.shared.cv.wait_for(&mut st, timeout).timed_out() {
+            // Sleep until a completion wakes us, or until the earliest
+            // instant a slave could cross the death timeout — then sweep.
+            // No fixed interval: progress is observed immediately, and the
+            // deadline exists only to run the sweep exactly when it could
+            // first find something.
+            let deadline = self
+                .next_death_deadline(&st)
+                .unwrap_or_else(|| Instant::now() + self.shared.cfg.slave_timeout);
+            if self.shared.cv.wait_until(&mut st, deadline).timed_out() {
                 drop(st);
                 self.sweep();
                 st = self.shared.state.lock();
@@ -735,10 +923,28 @@ impl JobApi for Master {
             if !failed {
                 return Ok(out);
             }
-            // Let the timeout elapse so the sweep sees the owner as dead,
-            // then re-queue its outputs and go around again.
-            std::thread::sleep(self.shared.cfg.slave_timeout);
-            self.sweep();
+            // The owner of the lost bucket stopped polling when it died, so
+            // the earliest death deadline is its `last_seen + slave_timeout`.
+            // Sweep as deadlines pass until a slave is actually declared
+            // dead (its outputs then re-queue and we go around again), or a
+            // full `slave_timeout` of patience elapses — nothing was going
+            // to die; the failure was transient.
+            let patience =
+                Instant::now() + self.shared.cfg.slave_timeout + Duration::from_millis(1);
+            loop {
+                let before = self.live_slaves();
+                {
+                    let mut st = self.shared.state.lock();
+                    let deadline = self.next_death_deadline(&st).unwrap_or(patience).min(patience);
+                    while st.error.is_none() && Instant::now() < deadline {
+                        self.shared.cv.wait_until(&mut st, deadline);
+                    }
+                }
+                self.sweep();
+                if self.live_slaves() < before || Instant::now() >= patience {
+                    break;
+                }
+            }
         }
         Err(last_err.unwrap_or(Error::NoSlaves))
     }
@@ -1087,6 +1293,145 @@ mod tests {
         assert_eq!(stolen.index, 1);
         assert_eq!(m.metrics().tasks_stolen(), 1);
         let _ = m3;
+    }
+
+    #[test]
+    fn parked_request_returns_wait_after_deadline() {
+        let cfg = MasterConfig {
+            long_poll_timeout: Duration::from_millis(30),
+            ..MasterConfig::default()
+        };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
+        let s = m.signin("a:1", 1);
+        // Nothing queued: the request parks, the deadline expires, and the
+        // timeout fallback is Wait — not a hang, not a busy poll.
+        let start = Instant::now();
+        let a = m.get_tasks_with(s, 1, Duration::from_millis(200), &[]);
+        assert_eq!(a, Assignment::Wait);
+        assert!(start.elapsed() >= Duration::from_millis(30), "{:?}", start.elapsed());
+        let metrics = m.metrics();
+        assert_eq!(metrics.longpoll_parks(), 1);
+        assert_eq!(metrics.longpoll_timeouts(), 1);
+    }
+
+    #[test]
+    fn parked_slave_woken_when_barrier_clears() {
+        let (mut m, store) = shared_master();
+        let s0 = m.signin("a:1", 1);
+        let s1 = m.signin("b:2", 1);
+        let src = m.local_data(records(4), 1).unwrap();
+        let mapped = m.map_data(src, 0, 1, false).unwrap();
+        let _reduced = m.reduce_data(mapped, 0).unwrap();
+
+        // s0 holds the only map task; s1 has nothing runnable (the reduce
+        // is blocked behind the map barrier) and parks.
+        let t = take1(m.get_task(s0));
+        assert!(t.is_map);
+        let m2 = m.clone();
+        let parked = std::thread::spawn(move || {
+            let start = Instant::now();
+            (m2.get_tasks_with(s1, 1, Duration::from_millis(900), &[]), start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // Completing the map crosses the barrier and must wake s1 with the
+        // reduce task well before its long-poll deadline.
+        finish_task(&m, &store, s0, &t);
+        let (a, elapsed) = parked.join().unwrap();
+        let got = take1(a);
+        assert!(!got.is_map, "parked slave should receive the unblocked reduce");
+        assert!(elapsed < Duration::from_millis(700), "woke by deadline, not event: {elapsed:?}");
+        let metrics = m.metrics();
+        assert_eq!(metrics.longpoll_parks(), 1);
+        assert_eq!(metrics.longpoll_timeouts(), 0);
+        assert!(metrics.wakeups() >= 1);
+    }
+
+    #[test]
+    fn finish_unparks_with_exit() {
+        let (m, _store) = shared_master();
+        let s = m.signin("a:1", 1);
+        let m2 = m.clone();
+        let parked = std::thread::spawn(move || {
+            let start = Instant::now();
+            (m2.get_tasks_with(s, 1, Duration::from_millis(900), &[]), start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        m.finish();
+        let (a, elapsed) = parked.join().unwrap();
+        assert_eq!(a, Assignment::Exit);
+        assert!(elapsed < Duration::from_millis(700), "finish must unpark promptly: {elapsed:?}");
+    }
+
+    #[test]
+    fn piggybacked_report_frees_slot_in_same_poll() {
+        let (mut m, store) = shared_master();
+        let s = m.signin("a:1", 1);
+        let src = m.local_data(records(8), 2).unwrap();
+        let mapped = m.map_data(src, 0, 1, false).unwrap();
+
+        let t1 = take1(m.get_task(s));
+        // The slave is at capacity (1 slot). Reporting t1 inside the next
+        // poll must free the slot *before* the budget is computed, so the
+        // second task is granted in the same round trip.
+        let path = format!("out/d{}t{}p0", t1.data, t1.index);
+        store.put(&path, &write_bucket_bytes(&[])).unwrap();
+        let report =
+            TaskReport { data: t1.data, index: t1.index, urls: vec![format!("file://{path}")] };
+        let t2 = take1(m.get_tasks_with(s, 1, Duration::ZERO, &[report]));
+        assert_ne!(t1.index, t2.index);
+        finish_task(&m, &store, s, &t2);
+        m.wait(mapped).unwrap();
+        let metrics = m.metrics();
+        assert_eq!(metrics.piggybacked_reports(), 1);
+        assert_eq!(metrics.tasks_executed(), 2);
+    }
+
+    #[test]
+    fn poll_mode_never_parks() {
+        let cfg = MasterConfig { control: ControlMode::Poll, ..MasterConfig::default() };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
+        let s = m.signin("a:1", 1);
+        let start = Instant::now();
+        assert_eq!(m.get_tasks_with(s, 1, Duration::from_millis(500), &[]), Assignment::Wait);
+        assert!(start.elapsed() < Duration::from_millis(100), "poll mode must not hold requests");
+        assert_eq!(m.metrics().longpoll_parks(), 0);
+    }
+
+    #[test]
+    fn sweeper_loop_requeues_dead_slave_work_and_stops_on_finish() {
+        let cfg =
+            MasterConfig { slave_timeout: Duration::from_millis(30), ..MasterConfig::default() };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let mut m = Master::new(cfg, DataPlane::SharedFs(store)).unwrap();
+        let s1 = m.signin("a:1", 1);
+        let s2 = m.signin("b:2", 1);
+        let src = m.local_data(records(4), 1).unwrap();
+        let _mapped = m.map_data(src, 0, 1, false).unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let m2 = m.clone();
+        let stop2 = Arc::clone(&stop);
+        let sweeper = std::thread::spawn(move || m2.sweeper_loop(&stop2));
+
+        // s1 takes the task and goes silent; s2 keeps heartbeating. The
+        // sweeper must declare s1 dead on its own (no manual sweep) and the
+        // task must become grantable to s2.
+        let t = take1(m.get_task(s1));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let t2 = loop {
+            if let Assignment::Tasks(mut ts) = m.get_task(s2) {
+                break ts.remove(0);
+            }
+            assert!(Instant::now() < deadline, "sweeper never requeued the dead slave's task");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!((t2.data, t2.index), (t.data, t.index));
+        assert_eq!(m.live_slaves(), 1);
+        // finish() alone must end the loop (LocalCluster drops this way).
+        m.finish();
+        sweeper.join().unwrap();
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct JobMetrics {
     peak_in_flight: u64,
     dispatch_polls: u64,
     dispatched_tasks: u64,
+    longpoll_parks: u64,
+    longpoll_timeouts: u64,
+    piggybacked_reports: u64,
+    wakeups: u64,
 }
 
 impl JobMetrics {
@@ -68,6 +72,30 @@ impl JobMetrics {
         self.dispatch_polls += 1;
         self.dispatched_tasks += batch as u64;
         self.peak_in_flight = self.peak_in_flight.max(in_flight_total as u64);
+    }
+
+    /// Record a `get_task` request that found nothing runnable and parked
+    /// server-side on the dispatch condvar (counted once per request).
+    pub fn record_longpoll_park(&mut self) {
+        self.longpoll_parks += 1;
+    }
+
+    /// Record a parked request whose long-poll deadline expired with still
+    /// nothing runnable (it returned `Wait`, the fallback path).
+    pub fn record_longpoll_timeout(&mut self) {
+        self.longpoll_timeouts += 1;
+    }
+
+    /// Record `n` task-completion reports that rode on a `get_task` call
+    /// instead of costing their own `task_done` RPCs.
+    pub fn record_piggybacked_reports(&mut self, n: usize) {
+        self.piggybacked_reports += n as u64;
+    }
+
+    /// Record one precise wake of the parked-dispatch registry (a state
+    /// transition made work runnable while at least one request was parked).
+    pub fn record_wakeup(&mut self) {
+        self.wakeups += 1;
     }
 
     /// Completed map operations.
@@ -155,6 +183,28 @@ impl JobMetrics {
     pub fn dispatched_tasks(&self) -> u64 {
         self.dispatched_tasks
     }
+
+    /// `get_task` requests that parked server-side (event-driven mode).
+    pub fn longpoll_parks(&self) -> u64 {
+        self.longpoll_parks
+    }
+
+    /// Parked requests that expired into a `Wait` (the timeout fallback;
+    /// near zero when wakes are precise and work is flowing).
+    pub fn longpoll_timeouts(&self) -> u64 {
+        self.longpoll_timeouts
+    }
+
+    /// Completion reports delivered inside `get_task` calls rather than as
+    /// standalone `task_done` RPCs — each one is a control round trip saved.
+    pub fn piggybacked_reports(&self) -> u64 {
+        self.piggybacked_reports
+    }
+
+    /// Times a state transition woke at least one parked dispatch request.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +225,11 @@ mod tests {
         m.record_steal();
         m.record_dispatch(3, 5);
         m.record_dispatch(1, 2);
+        m.record_longpoll_park();
+        m.record_longpoll_timeout();
+        m.record_piggybacked_reports(4);
+        m.record_wakeup();
+        m.record_wakeup();
         assert_eq!(m.map_ops(), 2);
         assert_eq!(m.reduce_ops(), 1);
         assert_eq!(m.shuffle_bytes(), 150);
@@ -188,6 +243,10 @@ mod tests {
         assert_eq!(m.peak_in_flight(), 5);
         assert_eq!(m.dispatch_polls(), 2);
         assert_eq!(m.dispatched_tasks(), 4);
+        assert_eq!(m.longpoll_parks(), 1);
+        assert_eq!(m.longpoll_timeouts(), 1);
+        assert_eq!(m.piggybacked_reports(), 4);
+        assert_eq!(m.wakeups(), 2);
         assert!(m.map_time() >= Duration::from_millis(10));
     }
 }

@@ -12,6 +12,85 @@ use mrs_rpc::xmlrpc::Value;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// How the control channel discovers state changes.
+///
+/// The event-driven mode is the default: a `get_task` with nothing
+/// runnable parks server-side on a condvar until a state transition makes
+/// work available (or a deadline expires), and completion reports ride on
+/// the next `get_task` instead of costing their own RPC. The legacy
+/// `Poll` mode — fixed-interval sleeps between polls, standalone
+/// `task_done` calls — is kept behind `--mrs-control=poll` so the
+/// `control_latency` bench can measure the delta honestly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ControlMode {
+    /// Sleep-and-poll: `Wait` answers return immediately and the slave
+    /// backs off between polls; completions are standalone RPCs.
+    Poll,
+    /// Event-driven: long-poll dispatch plus piggybacked completions.
+    #[default]
+    LongPoll,
+}
+
+impl ControlMode {
+    /// Parse a `--mrs-control` value.
+    pub fn parse(s: &str) -> Result<ControlMode> {
+        match s {
+            "poll" => Ok(ControlMode::Poll),
+            "longpoll" | "event" => Ok(ControlMode::LongPoll),
+            other => Err(Error::Invalid(format!("unknown control mode {other:?} (poll|longpoll)"))),
+        }
+    }
+}
+
+/// A task-completion report: the payload of `task_done`, also batched on
+/// `get_task` calls as the piggybacked `reports` parameter so that in the
+/// steady state one control round trip both returns finished work and
+/// fetches the next batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskReport {
+    /// Output dataset id the task contributed to.
+    pub data: u32,
+    /// Task index within the dataset.
+    pub index: usize,
+    /// Output bucket URLs (one per partition for map, one for reduce).
+    pub urls: Vec<String>,
+}
+
+impl TaskReport {
+    /// Encode for the RPC request.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("data".to_owned(), Value::Int(self.data as i64));
+        m.insert("index".to_owned(), Value::Int(self.index as i64));
+        m.insert(
+            "urls".to_owned(),
+            Value::Array(self.urls.iter().map(|u| Value::Str(u.clone())).collect()),
+        );
+        Value::Struct(m)
+    }
+
+    /// Decode from the RPC request.
+    pub fn from_value(v: &Value) -> Result<TaskReport> {
+        let int = |name: &str| -> Result<i64> {
+            v.field(name)
+                .and_then(Value::as_int)
+                .ok_or_else(|| Error::Rpc(format!("report missing {name}")))
+        };
+        let urls = v
+            .field("urls")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::Rpc("report missing urls".into()))?
+            .iter()
+            .map(|u| {
+                u.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| Error::Rpc("non-string report url".into()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(TaskReport { data: int("data")? as u32, index: int("index")? as usize, urls })
+    }
+}
+
 /// What `get_task` returns to a polling slave.
 ///
 /// A multicore slave polls with its free slot count and can be handed a
@@ -258,6 +337,36 @@ mod tests {
         m.insert("type".to_owned(), Value::Str("tasks".into()));
         m.insert("tasks".to_owned(), Value::Array(vec![]));
         assert!(Assignment::from_value(&Value::Struct(m)).is_err());
+    }
+
+    #[test]
+    fn task_report_roundtrip() {
+        let r = TaskReport {
+            data: 9,
+            index: 4,
+            urls: vec!["http://h:1/data/a".into(), "file://b".into()],
+        };
+        assert_eq!(TaskReport::from_value(&r.to_value()).unwrap(), r);
+        let empty = TaskReport { data: 0, index: 0, urls: vec![] };
+        assert_eq!(TaskReport::from_value(&empty.to_value()).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_task_report_rejected() {
+        assert!(TaskReport::from_value(&Value::Int(1)).is_err());
+        let mut m = BTreeMap::new();
+        m.insert("data".to_owned(), Value::Int(1));
+        // Missing index/urls.
+        assert!(TaskReport::from_value(&Value::Struct(m)).is_err());
+    }
+
+    #[test]
+    fn control_mode_parses_and_rejects() {
+        assert_eq!(ControlMode::parse("poll").unwrap(), ControlMode::Poll);
+        assert_eq!(ControlMode::parse("longpoll").unwrap(), ControlMode::LongPoll);
+        assert_eq!(ControlMode::parse("event").unwrap(), ControlMode::LongPoll);
+        assert!(ControlMode::parse("telepathy").is_err());
+        assert_eq!(ControlMode::default(), ControlMode::LongPoll);
     }
 
     #[test]

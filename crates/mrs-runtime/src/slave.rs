@@ -6,18 +6,22 @@
 //! shared-filesystem plane it writes bucket files to the common store.
 //!
 //! A slave is multicore-aware: it advertises a slot count at signin and
-//! runs that many worker threads, while the polling thread doubles as a
-//! prefetch stage — it fetches the *next* assignment's input buckets while
-//! the workers compute, so transfer overlaps computation (the pipelining
-//! the paper's serial-phase analysis motivates). Capacity is one more than
-//! the worker count: that extra slot is the prefetch buffer.
+//! runs that many worker threads plus a dedicated prefetch thread that
+//! fetches the *next* assignment's input buckets while the workers
+//! compute, so transfer overlaps computation (the pipelining the paper's
+//! serial-phase analysis motivates). Capacity is one more than the worker
+//! count: that extra slot is the prefetch buffer. The polling thread
+//! itself never fetches data — a slow or dead peer can stall the data
+//! plane without silencing the control heartbeat.
 //!
 //! The slave is written against the [`MasterLink`] trait so the same loop
 //! runs over real XML-RPC (production/distributed tests) or direct method
 //! calls (scheduler unit tests).
 
 use crate::master::SlaveId;
-use crate::proto::{fetch_bucket_bytes_local_first, Assignment, DataPlane, TaskMsg};
+use crate::proto::{
+    fetch_bucket_bytes_local_first, Assignment, ControlMode, DataPlane, TaskMsg, TaskReport,
+};
 use mrs_core::task::{run_map_task_bucket, run_reduce_task};
 use mrs_core::{Bucket, Error, Program, Result};
 use mrs_fs::format::{read_bucket_into, write_bucket};
@@ -27,7 +31,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The slave's view of the master.
 pub trait MasterLink: Send + Sync {
@@ -36,7 +40,19 @@ pub trait MasterLink: Send + Sync {
     fn signin(&self, authority: &str, slots: usize) -> Result<SlaveId>;
     /// Poll for work with `free` idle slots; the master may grant up to
     /// `free` tasks in one batch.
-    fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Assignment>;
+    fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Assignment> {
+        self.get_tasks_with(slave, free, Duration::ZERO, Vec::new())
+    }
+    /// Full-form poll: delivers piggybacked completion `reports` and asks
+    /// the master to hold the request up to `park` when nothing is
+    /// runnable (long-poll dispatch).
+    fn get_tasks_with(
+        &self,
+        slave: SlaveId,
+        free: usize,
+        park: Duration,
+        reports: Vec<TaskReport>,
+    ) -> Result<Assignment>;
     /// Report success with output bucket URLs.
     fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()>;
     /// Report a failed attempt. `failed_input` is the input URL that could
@@ -56,8 +72,14 @@ impl MasterLink for crate::master::Master {
     fn signin(&self, authority: &str, slots: usize) -> Result<SlaveId> {
         Ok(crate::master::Master::signin(self, authority, slots))
     }
-    fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Assignment> {
-        Ok(crate::master::Master::get_tasks(self, slave, free))
+    fn get_tasks_with(
+        &self,
+        slave: SlaveId,
+        free: usize,
+        park: Duration,
+        reports: Vec<TaskReport>,
+    ) -> Result<Assignment> {
+        Ok(crate::master::Master::get_tasks_with(self, slave, free, park, &reports))
     }
     fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()> {
         crate::master::Master::task_done(self, slave, data, index, urls);
@@ -87,6 +109,13 @@ pub struct SlaveOptions {
     /// Concurrent task slots (worker threads). Defaults to the number of
     /// available CPU cores.
     pub slots: usize,
+    /// How the slave discovers state changes: event-driven long-poll with
+    /// piggybacked completions (default), or legacy sleep-and-poll.
+    pub control: ControlMode,
+    /// Server-side park requested on fully-idle polls (long-poll mode).
+    /// The master clamps it to its own `long_poll_timeout` and to half its
+    /// slave death timeout, so requesting generously is safe.
+    pub long_poll: Duration,
 }
 
 impl Default for SlaveOptions {
@@ -95,6 +124,8 @@ impl Default for SlaveOptions {
             poll_interval: Duration::from_millis(2),
             max_poll_interval: Duration::from_millis(50),
             slots: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            control: ControlMode::default(),
+            long_poll: Duration::from_secs(1),
         }
     }
 }
@@ -103,14 +134,27 @@ impl Default for SlaveOptions {
 /// the compute workers.
 struct Pipe {
     state: Mutex<PipeState>,
+    /// Wakes compute workers when tasks are queued (or on shutdown).
     cv: Condvar,
-    /// Assignments accepted from the master and not yet reported back.
-    in_flight: AtomicUsize,
+    /// Wakes the polling thread on worker events: a slot freed, a report
+    /// queued for piggybacking (or shutdown).
+    poll_cv: Condvar,
+    /// Wakes the prefetch thread when assignments land (or on shutdown).
+    fetch_cv: Condvar,
 }
 
 struct PipeState {
+    /// Assignments accepted from the master, inputs not yet fetched.
+    fetch_queue: VecDeque<TaskMsg>,
     /// Tasks with their inputs already fetched, ready to compute.
     queue: VecDeque<(TaskMsg, Vec<Vec<u8>>)>,
+    /// Assignments accepted from the master and not yet reported back.
+    in_flight: usize,
+    /// Completions waiting to ride on the next `get_tasks` poll.
+    reports: Vec<TaskReport>,
+    /// The poll loop has exited: no further poll will carry reports, so
+    /// workers report straight to `task_done` from here on.
+    direct_report: bool,
     /// No more work will arrive; workers drain the queue then exit.
     drain: bool,
     /// Stop immediately and silently — crash semantics (the fault-injection
@@ -121,9 +165,18 @@ struct PipeState {
 impl Pipe {
     fn new() -> Pipe {
         Pipe {
-            state: Mutex::new(PipeState { queue: VecDeque::new(), drain: false, halt: false }),
+            state: Mutex::new(PipeState {
+                fetch_queue: VecDeque::new(),
+                queue: VecDeque::new(),
+                in_flight: 0,
+                reports: Vec::new(),
+                direct_report: false,
+                drain: false,
+                halt: false,
+            }),
             cv: Condvar::new(),
-            in_flight: AtomicUsize::new(0),
+            poll_cv: Condvar::new(),
+            fetch_cv: Condvar::new(),
         }
     }
 
@@ -136,6 +189,8 @@ impl Pipe {
         }
         drop(st);
         self.cv.notify_all();
+        self.poll_cv.notify_all();
+        self.fetch_cv.notify_all();
     }
 
     fn halted(&self) -> bool {
@@ -180,19 +235,36 @@ pub fn run_slave(
     let capacity = workers + 1;
     let id = link.signin(&authority, capacity)?;
 
+    let piggyback = matches!(opts.control, ControlMode::LongPoll);
     let pipe = Pipe::new();
     let mut result: Result<()> = Ok(());
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
+        let mut handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
-                    worker_loop(link, program.as_ref(), &plane, &local, server.as_ref(), id, &pipe)
+                    worker_loop(
+                        link,
+                        program.as_ref(),
+                        &plane,
+                        &local,
+                        server.as_ref(),
+                        id,
+                        &pipe,
+                        piggyback,
+                    )
                 })
             })
             .collect();
+        // The prefetch stage runs on its own thread so a slow or dead peer
+        // stalls only the data plane: the polling thread keeps
+        // heartbeating, and fetch failures report standalone so recovery
+        // starts immediately.
+        handles.push(s.spawn(|| {
+            prefetch_loop(link, shared.as_ref(), own_authority.as_deref(), &local, id, &pipe)
+        }));
 
         let mut backoff = opts.poll_interval;
-        let main_res: Result<()> = 'poll: loop {
+        let main_res: Result<()> = loop {
             if stop.load(Ordering::SeqCst) {
                 pipe.shut_down(true);
                 break Ok(());
@@ -201,69 +273,79 @@ pub fn run_slave(
                 // A worker lost the control channel; nothing left to do.
                 break Ok(());
             }
-            let free = capacity.saturating_sub(pipe.in_flight.load(Ordering::SeqCst));
-            if free == 0 {
-                // Every slot (including the prefetch buffer) is occupied;
-                // wait for a worker to report before polling again.
-                std::thread::sleep(opts.poll_interval);
-                continue;
-            }
+            // Occupancy and pending reports, read in one lock section.
+            // When every slot (including the prefetch buffer) is occupied,
+            // wait for a worker's condvar wake rather than sleeping a
+            // fixed interval. The wait is bounded: a slave that stays full
+            // past it polls anyway with `free = 0` — the empty request is
+            // its heartbeat, and it hears about `Exit` without waiting for
+            // a slot to open.
+            let (free, reports) = {
+                let mut st = pipe.state.lock();
+                if capacity.saturating_sub(st.in_flight) == 0
+                    && !st.halt
+                    && !stop.load(Ordering::SeqCst)
+                {
+                    pipe.poll_cv.wait_for(&mut st, opts.max_poll_interval);
+                }
+                (capacity.saturating_sub(st.in_flight), std::mem::take(&mut st.reports))
+            };
+            // Park server-side only when fully idle: with workers running,
+            // a local completion could otherwise sit behind our own parked
+            // request, so a busy slave polls without parking and waits
+            // locally on the worker condvar instead.
+            let park = if piggyback && free == capacity { opts.long_poll } else { Duration::ZERO };
+            let polled_at = Instant::now();
             // A master that has vanished is a normal end of life for a
             // slave: the paper's launch scripts tear everything down
             // together (the scheduler "kills processes as soon as a job
             // completes"), so losing the control channel means the job is
             // over, not an error.
-            match link.get_tasks(id, free) {
+            match link.get_tasks_with(id, free, park, reports) {
                 Ok(Assignment::Exit) => {
+                    // No further poll will carry reports: flush anything
+                    // queued since this poll was sent, and route later
+                    // completions straight to `task_done`.
+                    let late: Vec<TaskReport> = {
+                        let mut st = pipe.state.lock();
+                        st.direct_report = true;
+                        std::mem::take(&mut st.reports)
+                    };
+                    for r in late {
+                        // The master may already be gone; either way this
+                        // slave's job is over.
+                        let _ = link.task_done(id, r.data, r.index, r.urls);
+                    }
                     pipe.shut_down(false);
                     break Ok(());
                 }
                 Ok(Assignment::Wait) => {
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(opts.max_poll_interval);
+                    if park.is_zero() || polled_at.elapsed() < park / 2 {
+                        // Either we chose not to park (workers busy: their
+                        // completions wake `poll_cv`) or the master did not
+                        // honor the park (legacy poll mode): bounded local
+                        // condvar wait with exponential backoff.
+                        let mut st = pipe.state.lock();
+                        if !st.halt && st.reports.is_empty() {
+                            pipe.poll_cv.wait_for(&mut st, backoff);
+                        }
+                        drop(st);
+                        backoff = (backoff * 2).min(opts.max_poll_interval);
+                    } else {
+                        // The master held the request to its deadline: the
+                        // long poll itself is the pacing, re-poll at once.
+                        backoff = opts.poll_interval;
+                    }
                 }
                 Ok(Assignment::Tasks(tasks)) => {
                     backoff = opts.poll_interval;
+                    let mut st = pipe.state.lock();
                     for task in tasks {
-                        pipe.in_flight.fetch_add(1, Ordering::SeqCst);
-                        // Prefetch: fetch this assignment's inputs now,
-                        // while the workers chew on earlier ones.
-                        let fetched = fetch_all_bucket_bytes(
-                            &task.inputs,
-                            shared.as_ref(),
-                            own_authority.as_deref(),
-                            local.as_ref() as &dyn Store,
-                        );
-                        match fetched {
-                            Ok(raw) => {
-                                let mut st = pipe.state.lock();
-                                st.queue.push_back((task, raw));
-                                drop(st);
-                                pipe.cv.notify_one();
-                            }
-                            Err(TaskError { msg, failed_input }) => {
-                                pipe.in_flight.fetch_sub(1, Ordering::SeqCst);
-                                let report = link.task_failed(
-                                    id,
-                                    task.data,
-                                    task.index,
-                                    &msg,
-                                    failed_input.as_deref(),
-                                );
-                                match report {
-                                    Ok(()) => {}
-                                    Err(Error::Rpc(_)) => {
-                                        pipe.shut_down(true);
-                                        break 'poll Ok(());
-                                    }
-                                    Err(e) => {
-                                        pipe.shut_down(true);
-                                        break 'poll Err(e);
-                                    }
-                                }
-                            }
-                        }
+                        st.in_flight += 1;
+                        st.fetch_queue.push_back(task);
                     }
+                    drop(st);
+                    pipe.fetch_cv.notify_all();
                 }
                 Err(Error::Rpc(_)) => {
                     pipe.shut_down(true);
@@ -296,7 +378,76 @@ pub fn run_slave(
     result
 }
 
-/// One compute worker: pop prefetched tasks, execute, report.
+/// The prefetch stage: pop accepted assignments, fetch their input
+/// buckets (overlapping the workers' compute), and queue them ready to
+/// run. Runs on its own thread so a stalled fetch — a dead peer, a slow
+/// store — never blocks the polling thread's control heartbeat. A fetch
+/// failure reports standalone via `task_failed` (recovery starts
+/// immediately) and frees the slot.
+fn prefetch_loop(
+    link: &dyn MasterLink,
+    shared: Option<&Arc<dyn Store>>,
+    own_authority: Option<&str>,
+    local: &Arc<MemFs>,
+    id: SlaveId,
+    pipe: &Pipe,
+) -> Result<()> {
+    loop {
+        let task = {
+            let mut st = pipe.state.lock();
+            loop {
+                if st.halt || (st.drain && st.fetch_queue.is_empty()) {
+                    return Ok(());
+                }
+                if let Some(t) = st.fetch_queue.pop_front() {
+                    break t;
+                }
+                pipe.fetch_cv.wait(&mut st);
+            }
+        };
+        let fetched = fetch_all_bucket_bytes(
+            &task.inputs,
+            shared,
+            own_authority,
+            local.as_ref() as &dyn Store,
+        );
+        if pipe.halted() {
+            return Ok(());
+        }
+        match fetched {
+            Ok(raw) => {
+                let mut st = pipe.state.lock();
+                st.queue.push_back((task, raw));
+                drop(st);
+                pipe.cv.notify_one();
+            }
+            Err(TaskError { msg, failed_input }) => {
+                pipe.state.lock().in_flight -= 1;
+                // The freed slot concerns the polling thread.
+                pipe.poll_cv.notify_all();
+                let r = link.task_failed(id, task.data, task.index, &msg, failed_input.as_deref());
+                match r {
+                    Ok(()) => {}
+                    Err(Error::Rpc(_)) => {
+                        pipe.shut_down(true);
+                        return Ok(());
+                    }
+                    Err(e) => {
+                        pipe.shut_down(true);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One compute worker: pop prefetched tasks, execute, report. With
+/// `piggyback`, successful completions are queued on the pipe for the
+/// polling thread to deliver inside its next `get_tasks` call (one fewer
+/// control RPC per task); failures always report standalone so recovery
+/// starts immediately.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     link: &dyn MasterLink,
     program: &dyn Program,
@@ -305,6 +456,7 @@ fn worker_loop(
     server: Option<&DataServer>,
     id: SlaveId,
     pipe: &Pipe,
+    piggyback: bool,
 ) -> Result<()> {
     // Per-worker scratch arena, reused across map tasks.
     let mut scratch = Bucket::new();
@@ -330,12 +482,30 @@ fn worker_loop(
             return Ok(());
         }
         let report = match outcome {
-            Ok(urls) => link.task_done(id, task.data, task.index, urls),
+            Ok(urls) => {
+                let mut st = pipe.state.lock();
+                st.in_flight -= 1;
+                if piggyback && !st.direct_report {
+                    st.reports.push(TaskReport { data: task.data, index: task.index, urls });
+                    drop(st);
+                    // The freed slot and the queued report both concern the
+                    // polling thread.
+                    pipe.poll_cv.notify_all();
+                    Ok(())
+                } else {
+                    drop(st);
+                    let r = link.task_done(id, task.data, task.index, urls);
+                    pipe.poll_cv.notify_all();
+                    r
+                }
+            }
             Err(TaskError { msg, failed_input }) => {
-                link.task_failed(id, task.data, task.index, &msg, failed_input.as_deref())
+                pipe.state.lock().in_flight -= 1;
+                let r = link.task_failed(id, task.data, task.index, &msg, failed_input.as_deref());
+                pipe.poll_cv.notify_all();
+                r
             }
         };
-        pipe.in_flight.fetch_sub(1, Ordering::SeqCst);
         match report {
             Ok(()) => {}
             Err(Error::Rpc(_)) => {

@@ -123,6 +123,19 @@ impl Condvar {
         WaitTimeoutResult { timed_out: result.timed_out() }
     }
 
+    /// Wait until `deadline`, returning immediately if it already passed.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        if timeout.is_zero() {
+            return WaitTimeoutResult { timed_out: true };
+        }
+        self.wait_for(guard, timeout)
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
@@ -245,6 +258,20 @@ mod tests {
         let mut g = m.lock();
         let start = Instant::now();
         let result = cv.wait_for(&mut g, Duration::from_millis(20));
+        assert!(result.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        drop(g);
+    }
+
+    #[test]
+    fn condvar_wait_until_respects_deadline() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        // A deadline in the past returns immediately as timed out.
+        assert!(cv.wait_until(&mut g, Instant::now()).timed_out());
+        let start = Instant::now();
+        let result = cv.wait_until(&mut g, start + Duration::from_millis(20));
         assert!(result.timed_out());
         assert!(start.elapsed() >= Duration::from_millis(10));
         drop(g);

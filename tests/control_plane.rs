@@ -1,0 +1,149 @@
+//! The event-driven control plane must be a pure latency/RPC-count
+//! feature: long-poll dispatch and piggybacked completions change *when*
+//! control messages flow, never the answer. These tests pin the RPC
+//! economics — an iteration's control traffic scales with the number of
+//! slaves, not the number of tasks — and the behavioural switches of
+//! `--mrs-control`.
+
+use mrs::apps::wordcount::{lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_pso::mapreduce::{PsoProgram, FUNC_PARTICLE};
+use mrs_pso::{Objective, PsoConfig, Topology};
+use std::sync::Arc;
+
+fn pso_config() -> PsoConfig {
+    PsoConfig {
+        objective: Objective::Sphere,
+        dim: 4,
+        n_particles: 12,
+        topology: Topology::Ring { k: 1 },
+        seed: 11,
+    }
+}
+
+/// Run an iterative tiny-task PSO job under the given control mode and
+/// return (sorted output bytes, control RPCs served, metrics).
+fn run_pso(control: ControlMode, iters: u64, parts: usize) -> (Vec<Record>, u64, u64) {
+    let cfg = MasterConfig { control, ..MasterConfig::default() };
+    let mut cluster = LocalCluster::start_with(
+        Arc::new(PsoProgram::new(pso_config(), 1)),
+        2,
+        DataPlane::Direct,
+        cfg,
+        SlaveOptions { slots: 2, ..SlaveOptions::default() },
+    )
+    .unwrap();
+    let mut out = {
+        let mut job = Job::new(&mut cluster);
+        let program = PsoProgram::new(pso_config(), 1);
+        let mut ds = job.local_data(program.initial_particles(), parts).unwrap();
+        for _ in 0..iters {
+            let m = job.map_data(ds, FUNC_PARTICLE, parts, false).unwrap();
+            ds = job.reduce_data(m, FUNC_PARTICLE).unwrap();
+        }
+        job.fetch_all(ds).unwrap()
+    };
+    out.sort();
+    let rpcs = cluster.control_requests();
+    let m = cluster.metrics();
+    // Fold the two counters the smoke test needs into one tuple slot each.
+    let parks = m.longpoll_parks();
+    let piggybacked = m.piggybacked_reports();
+    assert!(
+        matches!(control, ControlMode::LongPoll) || parks == 0,
+        "poll mode must never park (got {parks})"
+    );
+    (out, rpcs, if matches!(control, ControlMode::LongPoll) { piggybacked } else { parks })
+}
+
+/// Piggybacking makes completions free: the bulk of task reports must
+/// ride on `get_tasks` polls instead of costing standalone RPCs, so the
+/// per-iteration control traffic is O(slaves), not O(tasks).
+#[test]
+fn piggybacking_bounds_control_rpcs_by_slaves_not_tasks() {
+    let iters = 10;
+    let parts = 6;
+    let (_, rpcs, piggybacked) = run_pso(ControlMode::LongPoll, iters, parts);
+    let tasks = iters * (parts as u64 + 1); // per iteration: `parts` maps + 1 reduce batch
+    assert!(piggybacked > 0, "expected piggybacked completion reports");
+    assert!(
+        piggybacked >= tasks / 2,
+        "most completions should ride polls: {piggybacked} piggybacked of {tasks} tasks"
+    );
+    // In poll mode every task costs its own `task_done` on top of the
+    // dispatch polls, so the control RPC count has a 2-per-task floor.
+    // Event-driven mode must beat that floor.
+    assert!(
+        rpcs < 2 * tasks,
+        "control RPCs must undercut the poll-mode floor: {rpcs} RPCs for {tasks} tasks"
+    );
+}
+
+/// The same job under both control planes: the event-driven plane must
+/// spend strictly fewer control RPCs, park at least once, and produce a
+/// byte-identical answer.
+#[test]
+fn longpoll_spends_fewer_rpcs_than_poll_for_identical_output() {
+    let (out_long, rpcs_long, piggybacked) = run_pso(ControlMode::LongPoll, 8, 4);
+    let (out_poll, rpcs_poll, _) = run_pso(ControlMode::Poll, 8, 4);
+    assert_eq!(out_long, out_poll, "control mode must never change the answer");
+    assert!(piggybacked > 0, "long-poll run should piggyback completions");
+    assert!(
+        rpcs_long < rpcs_poll,
+        "event-driven control plane must reduce RPC count: longpoll={rpcs_long} poll={rpcs_poll}"
+    );
+}
+
+/// An idle cluster under long-poll parks instead of burning empty polls:
+/// with no work queued, a waiting slave's requests are held server-side.
+#[test]
+fn idle_slaves_park_instead_of_polling() {
+    let cluster = LocalCluster::start(
+        Arc::new(Simple(WordCount)),
+        1,
+        DataPlane::Direct,
+        MasterConfig::default(),
+    )
+    .unwrap();
+    // Give the slave time to sign in, drain its first Wait, and park.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while cluster.metrics().longpoll_parks() == 0 {
+        assert!(std::time::Instant::now() < deadline, "slave never parked on an idle master");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let parks_settled = cluster.metrics().longpoll_parks();
+    let rpcs_settled = cluster.control_requests();
+    // While parked, a long-poll request spans the whole wait: RPC volume
+    // over the next stretch stays far below what 2 ms poll loops would
+    // produce (a parked request is at most ~2 per park window).
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let new_rpcs = cluster.control_requests() - rpcs_settled;
+    assert!(
+        new_rpcs <= 20,
+        "an idle long-poll slave must not busy-poll: {new_rpcs} RPCs in 300ms \
+         (parks at settle: {parks_settled})"
+    );
+}
+
+/// WordCount through both control planes end-to-end (map + combine +
+/// reduce over real sockets) stays byte-identical.
+#[test]
+fn wordcount_identical_across_control_modes() {
+    let lines: Vec<String> =
+        (0..90).map(|i| format!("omega w{} shared w{} w{}", i % 7, i % 11, i % 3)).collect();
+    let run = |control: ControlMode| {
+        let cfg = MasterConfig { control, ..MasterConfig::default() };
+        let mut cluster =
+            LocalCluster::start(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg).unwrap();
+        let mut job = Job::new(&mut cluster);
+        let input = lines_to_records(lines.iter().map(String::as_str));
+        let mut out = job.map_reduce(input, 6, 3, true).unwrap();
+        out.sort();
+        out
+    };
+    assert_eq!(
+        run(ControlMode::LongPoll),
+        run(ControlMode::Poll),
+        "WordCount output must not depend on the control plane"
+    );
+}

@@ -80,6 +80,15 @@ fn wordcount_identical_across_all_five_runtimes() {
         .unwrap();
         wordcount_on(&mut Job::new(&mut cluster), 6, 3)
     };
+    // The legacy sleep-and-poll control plane (the clusters above run the
+    // event-driven default) must agree too: long-poll dispatch and
+    // piggybacked completions change control timing, never the answer.
+    let pollmode = {
+        let cfg = MasterConfig { control: ControlMode::Poll, ..MasterConfig::default() };
+        let mut cluster =
+            LocalCluster::start(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg).unwrap();
+        wordcount_on(&mut Job::new(&mut cluster), 4, 3)
+    };
 
     assert_eq!(bypass, serial, "serial vs bypass");
     assert_eq!(serial, mock, "mock vs serial");
@@ -87,6 +96,7 @@ fn wordcount_identical_across_all_five_runtimes() {
     assert_eq!(pool, direct, "distributed-direct vs pool");
     assert_eq!(direct, shared, "distributed-sharedfs vs distributed-direct");
     assert_eq!(shared, multislot, "multi-slot cluster vs distributed-sharedfs");
+    assert_eq!(multislot, pollmode, "poll-mode cluster vs long-poll cluster");
 }
 
 fn pso_config() -> PsoConfig {
@@ -147,11 +157,26 @@ fn stochastic_pso_bitwise_identical_across_runtimes() {
         .unwrap();
         pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
     };
+    // A stochastic iterative job is the sharpest oracle for the control
+    // plane: any reordering the long-poll/piggyback machinery leaked into
+    // execution would diverge the trajectory bit-for-bit.
+    let pollmode = {
+        let cfg = MasterConfig { control: ControlMode::Poll, ..MasterConfig::default() };
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(pso_config(), 1)),
+            2,
+            DataPlane::Direct,
+            cfg,
+        )
+        .unwrap();
+        pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
+    };
 
     assert_eq!(serial, expected, "MapReduce-serial vs bypass");
     assert_eq!(pool, expected, "pool vs bypass");
     assert_eq!(cluster, expected, "cluster vs bypass");
     assert_eq!(multislot, expected, "multi-slot cluster vs bypass");
+    assert_eq!(pollmode, expected, "poll-mode cluster vs bypass");
 }
 
 #[test]
