@@ -1,0 +1,269 @@
+//! The `MRSF1` shuffle frame: a checksummed, optionally-compressed
+//! envelope around `MRSB1` bucket bytes.
+//!
+//! Layout (18-byte header, all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     5  magic  b"MRSF1"
+//!      5     1  flags  (bit 0: payload is LZ-compressed)
+//!      6     4  uncompressed length (u32)
+//!     10     8  xxHash64 of the payload bytes as stored
+//!     18     –  payload
+//! ```
+//!
+//! The checksum covers the payload *as stored* (compressed bytes when
+//! flag 0 is set), so corruption is detected before the decompressor
+//! ever runs. Decoding is transparently backwards-compatible: input
+//! that does not start with the frame magic is returned as-is, which is
+//! exactly the old raw `MRSB1` wire format — a compressing producer and
+//! a raw producer can coexist in one cluster with no negotiation.
+
+use crate::lz;
+use crate::xxhash::xxh64;
+
+/// Frame magic. Deliberately distinct from the `MRSB1` bucket magic so
+/// a decoder can tell framed from raw bytes by the first five bytes.
+pub const FRAME_MAGIC: &[u8; 5] = b"MRSF1";
+
+/// Total header size preceding the payload.
+pub const FRAME_HEADER_LEN: usize = 18;
+
+const FLAG_COMPRESSED: u8 = 1;
+
+/// Compression policy for produced shuffle payloads.
+///
+/// `Off` and below-threshold buckets are emitted as raw `MRSB1` bytes
+/// (no frame at all), keeping tiny payloads free of header overhead and
+/// permanently exercising the compat decode path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressMode {
+    /// Frame and compress every bucket regardless of size.
+    On,
+    /// Emit raw bucket bytes, exactly the pre-frame wire format.
+    Off,
+    /// Frame and compress buckets of at least this many bytes.
+    Threshold(usize),
+}
+
+/// Default threshold: below ~half a kilobyte the 18-byte header plus
+/// compression call costs more than the wire bytes it saves.
+pub const DEFAULT_COMPRESS_THRESHOLD: usize = 512;
+
+impl Default for CompressMode {
+    fn default() -> Self {
+        CompressMode::Threshold(DEFAULT_COMPRESS_THRESHOLD)
+    }
+}
+
+impl CompressMode {
+    /// Parse a `--mrs-compress` value: `on`, `off`, or `threshold=N`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "on" => Ok(CompressMode::On),
+            "off" => Ok(CompressMode::Off),
+            _ => match s.strip_prefix("threshold=") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map(CompressMode::Threshold)
+                    .map_err(|_| format!("bad compression threshold: {n:?}")),
+                None => Err(format!("bad --mrs-compress value {s:?} (want on|off|threshold=N)")),
+            },
+        }
+    }
+
+    fn applies_to(self, len: usize) -> bool {
+        match self {
+            CompressMode::On => true,
+            CompressMode::Off => false,
+            CompressMode::Threshold(t) => len >= t,
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Frame shorter than its fixed header.
+    Truncated,
+    /// Flags field has bits set that this decoder does not know — a
+    /// newer producer or a corrupted header byte.
+    UnknownFlags(u8),
+    /// Stored checksum does not match the payload — the frame was
+    /// corrupted in transit or at rest. Remote fetchers retry once on
+    /// exactly this variant.
+    Checksum { expected: u64, actual: u64 },
+    /// Checksum was fine but the compressed payload is malformed — this
+    /// indicates a producer bug, not wire corruption, so it is not
+    /// retried.
+    Compression(lz::LzError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated MRSF1 frame"),
+            FrameError::UnknownFlags(flags) => {
+                write!(f, "frame has unknown flag bits: {flags:#04x}")
+            }
+            FrameError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#018x}, payload {actual:#018x}"
+                )
+            }
+            FrameError::Compression(e) => write!(f, "frame payload corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// True if `bytes` begin with the `MRSF1` magic.
+pub fn is_framed(bytes: &[u8]) -> bool {
+    bytes.len() >= FRAME_MAGIC.len() && &bytes[..FRAME_MAGIC.len()] == FRAME_MAGIC
+}
+
+/// Encode `raw` bucket bytes for the wire under `mode`.
+///
+/// Returns the input unchanged (moved, not copied) when the mode says
+/// raw; otherwise builds a frame, storing the compressed payload only
+/// when compression actually won — incompressible buckets are framed
+/// uncompressed so the checksum still protects them without inflating
+/// them past `raw.len() + FRAME_HEADER_LEN`.
+pub fn encode_vec(raw: Vec<u8>, mode: CompressMode) -> Vec<u8> {
+    if !mode.applies_to(raw.len()) {
+        return raw;
+    }
+    // Buckets beyond u32 range cannot be framed (header field width);
+    // fall back to raw, which every decoder accepts.
+    if raw.len() > u32::MAX as usize {
+        return raw;
+    }
+    let compressed = lz::compress(&raw);
+    let (flags, payload) =
+        if compressed.len() < raw.len() { (FLAG_COMPRESSED, compressed) } else { (0, raw.clone()) };
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(FRAME_MAGIC);
+    out.push(flags);
+    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+    out.extend_from_slice(&xxh64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode wire bytes back to raw bucket bytes.
+///
+/// Non-framed input (anything not starting with the `MRSF1` magic) is
+/// passed through untouched — that is the legacy raw format. Framed
+/// input is checksum-verified and decompressed.
+pub fn decode_vec(bytes: Vec<u8>) -> Result<Vec<u8>, FrameError> {
+    if !is_framed(&bytes) {
+        return Ok(bytes);
+    }
+    decode_frame(&bytes)
+}
+
+/// Decode a frame from a shared or borrowed buffer (the zero-copy serve
+/// path hands out `Arc<[u8]>` frames; consumers decode from the slice).
+pub fn decode_frame(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if !is_framed(bytes) {
+        return Ok(bytes.to_vec());
+    }
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let flags = bytes[5];
+    if flags & !FLAG_COMPRESSED != 0 {
+        return Err(FrameError::UnknownFlags(flags));
+    }
+    let ulen = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+    let expected = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
+    let payload = &bytes[FRAME_HEADER_LEN..];
+    let actual = xxh64(payload);
+    if actual != expected {
+        return Err(FrameError::Checksum { expected, actual });
+    }
+    if flags & FLAG_COMPRESSED != 0 {
+        lz::decompress(payload, ulen).map_err(FrameError::Compression)
+    } else if payload.len() != ulen {
+        Err(FrameError::Compression(lz::LzError::WrongLength {
+            expected: ulen,
+            got: payload.len(),
+        }))
+    } else {
+        Ok(payload.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(CompressMode::parse("on"), Ok(CompressMode::On));
+        assert_eq!(CompressMode::parse("off"), Ok(CompressMode::Off));
+        assert_eq!(CompressMode::parse("threshold=4096"), Ok(CompressMode::Threshold(4096)));
+        assert!(CompressMode::parse("sometimes").is_err());
+        assert!(CompressMode::parse("threshold=four").is_err());
+    }
+
+    #[test]
+    fn off_mode_is_identity() {
+        let raw = b"MRSB1 pretend bucket bytes".to_vec();
+        assert_eq!(encode_vec(raw.clone(), CompressMode::Off), raw);
+    }
+
+    #[test]
+    fn threshold_gates_framing() {
+        let small = vec![7u8; 100];
+        let big = vec![7u8; 1000];
+        let mode = CompressMode::Threshold(512);
+        assert_eq!(encode_vec(small.clone(), mode), small, "below threshold stays raw");
+        let framed = encode_vec(big.clone(), mode);
+        assert!(is_framed(&framed));
+        assert!(framed.len() < big.len(), "repetitive payload compresses");
+        assert_eq!(decode_vec(framed).unwrap(), big);
+    }
+
+    #[test]
+    fn incompressible_payload_framed_uncompressed() {
+        let mut x = 88172645463325252u64;
+        let raw: Vec<u8> = (0..2048)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 40) as u8
+            })
+            .collect();
+        let framed = encode_vec(raw.clone(), CompressMode::On);
+        assert!(is_framed(&framed));
+        assert_eq!(framed.len(), raw.len() + FRAME_HEADER_LEN, "stored, not inflated");
+        assert_eq!(framed[5] & FLAG_COMPRESSED, 0);
+        assert_eq!(decode_vec(framed).unwrap(), raw);
+    }
+
+    #[test]
+    fn raw_passthrough_on_decode() {
+        let raw = b"anything that is not the frame magic".to_vec();
+        assert_eq!(decode_vec(raw.clone()).unwrap(), raw);
+        assert_eq!(decode_frame(&raw).unwrap(), raw);
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let framed = encode_vec(vec![1u8; 600], CompressMode::On);
+        for cut in FRAME_MAGIC.len()..FRAME_HEADER_LEN {
+            assert_eq!(decode_vec(framed[..cut].to_vec()), Err(FrameError::Truncated));
+        }
+    }
+
+    #[test]
+    fn empty_input_roundtrips_in_every_mode() {
+        for mode in [CompressMode::On, CompressMode::Off, CompressMode::Threshold(0)] {
+            assert_eq!(decode_vec(encode_vec(Vec::new(), mode)).unwrap(), Vec::<u8>::new());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! mrs-codec: the shuffle payload codec.
+//!
+//! Three dependency-free layers, bottom to top:
+//!
+//! - [`lz`] — an LZ4-style block compressor/decompressor,
+//! - [`xxhash`] — one-shot xxHash64,
+//! - [`frame`] — the versioned `MRSF1` frame (magic, flags,
+//!   uncompressed length, checksum, payload) that the data plane puts
+//!   on the wire around raw `MRSB1` bucket bytes.
+//!
+//! Producers call [`encode_vec`] once per bucket; every consumer —
+//! remote fetch, colocated short-circuit, or shared-filesystem read —
+//! calls [`decode_vec`]/[`decode_frame`], which verify the checksum and
+//! transparently accept the legacy unframed format.
+
+pub mod frame;
+pub mod lz;
+pub mod xxhash;
+
+pub use frame::{
+    decode_frame, decode_vec, encode_vec, is_framed, CompressMode, FrameError,
+    DEFAULT_COMPRESS_THRESHOLD, FRAME_HEADER_LEN, FRAME_MAGIC,
+};
+pub use lz::{compress, decompress, LzError};
+pub use xxhash::xxh64;

@@ -1,0 +1,119 @@
+//! xxHash64 — the frame checksum.
+//!
+//! Standard xxHash64 with the published prime constants, specialised to
+//! one-shot hashing of a byte slice (the frame path never streams).
+//! Chosen over CRC32 because it runs at memory speed without hardware
+//! carry-less multiply and its 64-bit output makes an undetected
+//! single-byte flip astronomically unlikely.
+
+const P1: u64 = 0x9E3779B185EBCA87;
+const P2: u64 = 0xC2B2AE3D27D4EB4F;
+const P3: u64 = 0x165667B19E3779F9;
+const P4: u64 = 0x85EBCA77C2B2AE63;
+const P5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u64 {
+    u32::from_le_bytes(b[..4].try_into().unwrap()) as u64
+}
+
+#[inline]
+fn round(acc: u64, lane: u64) -> u64 {
+    acc.wrapping_add(lane.wrapping_mul(P2)).rotate_left(31).wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(acc: u64, lane: u64) -> u64 {
+    (acc ^ round(0, lane)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+/// One-shot xxHash64 of `data` with seed 0.
+pub fn xxh64(data: &[u8]) -> u64 {
+    let len = data.len() as u64;
+    let mut rest = data;
+    let mut acc = if rest.len() >= 32 {
+        let (mut v1, mut v2, mut v3, mut v4) =
+            (P1.wrapping_add(P2), P2, 0u64, 0u64.wrapping_sub(P1));
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(&rest[0..]));
+            v2 = round(v2, read_u64(&rest[8..]));
+            v3 = round(v3, read_u64(&rest[16..]));
+            v4 = round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        let mut a = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        a = merge_round(a, v1);
+        a = merge_round(a, v2);
+        a = merge_round(a, v3);
+        merge_round(a, v4)
+    } else {
+        P5
+    };
+    acc = acc.wrapping_add(len);
+    while rest.len() >= 8 {
+        acc = (acc ^ round(0, read_u64(rest))).rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        acc = (acc ^ read_u32(rest).wrapping_mul(P1))
+            .rotate_left(23)
+            .wrapping_mul(P2)
+            .wrapping_add(P3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        acc = (acc ^ (b as u64).wrapping_mul(P5)).rotate_left(11).wrapping_mul(P1);
+    }
+    acc ^= acc >> 33;
+    acc = acc.wrapping_mul(P2);
+    acc ^= acc >> 29;
+    acc = acc.wrapping_mul(P3);
+    acc ^= acc >> 32;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::xxh64;
+
+    // Reference vectors for seed 0 from the canonical xxHash test suite.
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(xxh64(b""), 0xEF46DB3751D8E999);
+        assert_eq!(xxh64(b"a"), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxh64(b"abc"), 0x44BC2CF5AD770999);
+        assert_eq!(xxh64(b"Nobody inspects the spammish repetition"), 0xFBCEA83C8A378BF1);
+    }
+
+    #[test]
+    fn covers_every_tail_length() {
+        // Exercise the 32-byte stripe loop plus all 0..32 tail paths.
+        let data: Vec<u8> = (0u16..200).map(|i| (i * 7 % 251) as u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for cut in 0..data.len() {
+            assert!(seen.insert(xxh64(&data[..cut])), "collision at prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_hash() {
+        let data: Vec<u8> = (0..97u8).collect();
+        let base = xxh64(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut m = data.clone();
+                m[i] ^= 1 << bit;
+                assert_ne!(xxh64(&m), base, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+}

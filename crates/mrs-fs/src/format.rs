@@ -7,12 +7,26 @@
 //! * **Text input**: newline-separated text turned into `(line_no, line)`
 //!   records, the WordCount input convention (§V-A: "the input key is …
 //!   generally arbitrarily set to be the line number").
+//!
+//! Both readers are transparent to the `MRSF1` shuffle frame (mrs-codec):
+//! a bucket that was framed for the wire — compressed and checksummed —
+//! decodes here just like a raw one, so shared-filesystem stores and
+//! checkpoints can hold framed bytes without every call site caring.
 
 use mrs_core::kv::{encode_record, read_varint, write_varint};
 use mrs_core::{Bucket, Datum, Error, Record, Result};
 
 /// Magic prefix of bucket files (format version 1).
 pub const BUCKET_MAGIC: &[u8; 5] = b"MRSB1";
+
+/// Unwrap an `MRSF1` frame if present (verifying its checksum), or borrow
+/// the input unchanged. Raw input costs nothing.
+fn unframe(b: &[u8]) -> Result<std::borrow::Cow<'_, [u8]>> {
+    if !mrs_codec::is_framed(b) {
+        return Ok(std::borrow::Cow::Borrowed(b));
+    }
+    mrs_codec::decode_frame(b).map(std::borrow::Cow::Owned).map_err(|e| Error::Codec(e.to_string()))
+}
 
 fn write_bucket_iter<'a>(
     count: usize,
@@ -49,7 +63,9 @@ pub fn write_bucket_bytes(records: &[Record]) -> Vec<u8> {
 
 /// Parse a bucket file, appending its records to `out`'s arena. Amortizes
 /// to zero per-record allocations on the reduce input path.
-pub fn read_bucket_into(mut b: &[u8], out: &mut Bucket) -> Result<()> {
+pub fn read_bucket_into(b: &[u8], out: &mut Bucket) -> Result<()> {
+    let unframed = unframe(b)?;
+    let mut b = unframed.as_ref();
     let magic =
         b.get(..BUCKET_MAGIC.len()).ok_or_else(|| Error::Codec("bucket file too short".into()))?;
     if magic != BUCKET_MAGIC {
@@ -86,7 +102,9 @@ pub fn read_bucket_into(mut b: &[u8], out: &mut Bucket) -> Result<()> {
 /// allocations. `read_bucket_bytes` remains appropriate at cold API
 /// boundaries that genuinely need owned records (driver-side
 /// `fetch_all`, checkpoint restore, tests).
-pub fn read_bucket_bytes(mut b: &[u8]) -> Result<Vec<Record>> {
+pub fn read_bucket_bytes(b: &[u8]) -> Result<Vec<Record>> {
+    let unframed = unframe(b)?;
+    let mut b = unframed.as_ref();
     let magic =
         b.get(..BUCKET_MAGIC.len()).ok_or_else(|| Error::Codec("bucket file too short".into()))?;
     if magic != BUCKET_MAGIC {
@@ -208,6 +226,24 @@ mod tests {
     #[test]
     fn empty_text_is_empty_records() {
         assert!(text_to_records("", 0).is_empty());
+    }
+
+    #[test]
+    fn framed_buckets_decode_transparently() {
+        let records: Vec<Record> =
+            (0..40).map(|i| (format!("key{i}").into_bytes(), vec![i as u8; 16])).collect();
+        let raw = write_bucket_bytes(&records);
+        let framed = mrs_codec::encode_vec(raw.clone(), mrs_codec::CompressMode::On);
+        assert_ne!(framed, raw, "this payload should have been framed");
+        assert_eq!(read_bucket_bytes(&framed).unwrap(), records);
+        let mut arena = Bucket::new();
+        read_bucket_into(&framed, &mut arena).unwrap();
+        assert_eq!(arena, Bucket::from_records(records));
+        // A corrupted frame surfaces as a codec error, not a panic.
+        let mut bad = framed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(read_bucket_bytes(&bad), Err(Error::Codec(_))));
     }
 
     proptest! {

@@ -4,13 +4,85 @@
 //! local filesystem, and requests from readers are served by a built-in
 //! HTTP server" (§IV-B). A [`DataServer`] exposes a provider callback over
 //! HTTP GET; the companion [`fetch`] retrieves a bucket by URL.
+//!
+//! The provider returns `Arc<[u8]>`, not owned bytes: producers encode
+//! each bucket exactly once into a [`FrameCache`] and every reader is
+//! served the same shared buffer straight to the socket (see
+//! [`crate::http::Body::Shared`]). Paths are sanitized here — empty paths
+//! and any `..` component 404 before the provider runs, so providers
+//! backed by a real filesystem need no escaping logic of their own.
 
 use crate::http::{Handler, HttpClient, HttpServer, Request, Response};
 use mrs_core::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Callback resolving a bucket path to its bytes.
-pub type Provider = Arc<dyn Fn(&str) -> Option<Vec<u8>> + Send + Sync>;
+/// Callback resolving a bucket path to its (shared) bytes.
+pub type Provider = Arc<dyn Fn(&str) -> Option<Arc<[u8]>> + Send + Sync>;
+
+/// A shared cache of encoded shuffle frames keyed by bucket path.
+///
+/// This is the "serialize+compress exactly once" half of the zero-copy
+/// data plane: the producer inserts the wire-ready frame, and the same
+/// `Arc<[u8]>` is handed to the HTTP writer for remote readers and to
+/// the short-circuit path for colocated readers.
+#[derive(Default)]
+pub struct FrameCache {
+    frames: Mutex<HashMap<String, Arc<[u8]>>>,
+}
+
+impl FrameCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FrameCache::default()
+    }
+
+    /// Insert wire-ready bytes for `path`, returning the shared buffer.
+    pub fn insert(&self, path: &str, bytes: Vec<u8>) -> Arc<[u8]> {
+        let shared: Arc<[u8]> = bytes.into();
+        self.frames.lock().insert(path.to_owned(), Arc::clone(&shared));
+        shared
+    }
+
+    /// Look up the frame for `path`.
+    pub fn get(&self, path: &str) -> Option<Arc<[u8]>> {
+        self.frames.lock().get(path).cloned()
+    }
+
+    /// Drop every cached frame (end-of-job cleanup).
+    pub fn clear(&self) {
+        self.frames.lock().clear();
+    }
+
+    /// Number of cached frames.
+    pub fn len(&self) -> usize {
+        self.frames.lock().len()
+    }
+
+    /// True when no frames are cached.
+    pub fn is_empty(&self) -> bool {
+        self.frames.lock().is_empty()
+    }
+
+    /// Total bytes held across all cached frames.
+    pub fn bytes(&self) -> usize {
+        self.frames.lock().values().map(|f| f.len()).sum()
+    }
+
+    /// A [`Provider`] serving this cache.
+    pub fn provider(self: &Arc<Self>) -> Provider {
+        let cache = Arc::clone(self);
+        Arc::new(move |path: &str| cache.get(path))
+    }
+}
+
+/// True for paths safe to hand to a provider: non-empty and free of `..`
+/// components (providers may be backed by a real directory tree, and a
+/// crafted `../../etc/...` path must die here, not there).
+fn path_is_clean(path: &str) -> bool {
+    !path.is_empty() && path.split('/').all(|c| c != "..")
+}
 
 /// An HTTP GET server for bucket data.
 pub struct DataServer {
@@ -28,6 +100,9 @@ impl DataServer {
             let Some(path) = req.path.strip_prefix("/data/") else {
                 return Response::error(404, "paths live under /data/");
             };
+            if !path_is_clean(path) {
+                return Response::error(404, "malformed bucket path");
+            }
             match provider(path) {
                 Some(bytes) => Response::ok("application/octet-stream", bytes),
                 None => Response::error(404, "no such bucket"),
@@ -46,7 +121,7 @@ impl DataServer {
         format!("http://{}/data/{}", self.authority(), path)
     }
 
-    /// Total bucket bytes served (the direct-shuffle volume metric).
+    /// Total bucket bytes served (the direct-shuffle wire-volume metric).
     pub fn bytes_served(&self) -> u64 {
         self.http.bytes_served()
     }
@@ -58,7 +133,11 @@ pub fn fetch(authority: &str, path: &str) -> Result<Vec<u8>> {
     let (status, body) = HttpClient::get(authority, path)
         .map_err(|e| Error::Rpc(format!("fetch {authority}{path}: {e}")))?;
     if status != 200 {
-        return Err(Error::MissingData(format!("{authority}{path}: http {status}")));
+        // The error body is the peer's own diagnosis ("no such bucket",
+        // "malformed bucket path", a provider panic message…) — losing it
+        // turns every peer failure into an opaque status code.
+        let reason = String::from_utf8_lossy(&body);
+        return Err(Error::MissingData(format!("{authority}{path}: http {status}: {reason}")));
     }
     Ok(body)
 }
@@ -66,14 +145,13 @@ pub fn fetch(authority: &str, path: &str) -> Result<Vec<u8>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
-    use std::collections::HashMap;
 
     fn server_with(files: Vec<(&str, Vec<u8>)>) -> DataServer {
-        let map: HashMap<String, Vec<u8>> =
-            files.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
-        let map = Arc::new(Mutex::new(map));
-        DataServer::serve(0, Arc::new(move |p: &str| map.lock().get(p).cloned())).unwrap()
+        let cache = Arc::new(FrameCache::new());
+        for (k, v) in files {
+            cache.insert(k, v);
+        }
+        DataServer::serve(0, cache.provider()).unwrap()
     }
 
     #[test]
@@ -88,6 +166,35 @@ mod tests {
         let s = server_with(vec![]);
         let err = fetch(&s.authority(), "/data/none").unwrap_err();
         assert!(matches!(err, Error::MissingData(_)));
+    }
+
+    #[test]
+    fn error_message_carries_the_peer_body() {
+        let s = server_with(vec![]);
+        let err = fetch(&s.authority(), "/data/none").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("http 404"), "{msg}");
+        assert!(msg.contains("no such bucket"), "missing peer diagnosis in {msg:?}");
+    }
+
+    #[test]
+    fn dotdot_and_empty_paths_never_reach_the_provider() {
+        let calls = Arc::new(Mutex::new(Vec::<String>::new()));
+        let provider: Provider = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move |p: &str| {
+                calls.lock().push(p.to_owned());
+                Some(Arc::from(b"leak".as_slice()))
+            })
+        };
+        let s = DataServer::serve(0, provider).unwrap();
+        for path in ["/data/", "/data/../secret", "/data/a/../../b", "/data/.."] {
+            let err = fetch(&s.authority(), path).unwrap_err();
+            assert!(matches!(err, Error::MissingData(_)), "{path} should 404");
+        }
+        assert!(calls.lock().is_empty(), "provider saw {:?}", calls.lock().clone());
+        // Benign dots ('.', '..double', 'a..b') are not rejected.
+        assert_eq!(fetch(&s.authority(), "/data/a..b/..c/v1").unwrap(), b"leak");
     }
 
     #[test]
@@ -125,5 +232,18 @@ mod tests {
     fn empty_bucket_fetches_as_empty() {
         let s = server_with(vec![("e", vec![])]);
         assert!(fetch(&s.authority(), "/data/e").unwrap().is_empty());
+    }
+
+    #[test]
+    fn frame_cache_shares_one_buffer() {
+        let cache = Arc::new(FrameCache::new());
+        let inserted = cache.insert("p", vec![9u8; 64]);
+        let got = cache.get("p").unwrap();
+        assert!(Arc::ptr_eq(&inserted, &got), "get must return the inserted buffer");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 64);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("p"), None);
     }
 }

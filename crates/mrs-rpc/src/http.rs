@@ -42,6 +42,58 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
+/// A response body: either owned bytes or a shared reference-counted
+/// buffer. The `Shared` arm is the zero-copy serve path — a cached
+/// shuffle frame is handed to the socket writer without cloning, so N
+/// readers of one bucket cost one serialization and zero re-copies.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Bytes owned by this response.
+    Vec(Vec<u8>),
+    /// Bytes shared with a cache (and possibly other in-flight responses).
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    /// The body bytes, wherever they live.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Vec(v) => v,
+            Body::Shared(s) => s,
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Convert into owned bytes (copies only the `Shared` arm).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Body::Vec(v) => v,
+            Body::Shared(s) => s.to_vec(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Self {
+        Body::Vec(v)
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(s: Arc<[u8]>) -> Self {
+        Body::Shared(s)
+    }
+}
+
 /// An HTTP response to send.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -50,18 +102,22 @@ pub struct Response {
     /// `Content-Type` header value.
     pub content_type: String,
     /// Response body.
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Response {
     /// A 200 response.
-    pub fn ok(content_type: &str, body: Vec<u8>) -> Self {
-        Response { status: 200, content_type: content_type.into(), body }
+    pub fn ok(content_type: &str, body: impl Into<Body>) -> Self {
+        Response { status: 200, content_type: content_type.into(), body: body.into() }
     }
 
     /// An error response with a plain-text body.
     pub fn error(status: u16, msg: &str) -> Self {
-        Response { status, content_type: "text/plain".into(), body: msg.as_bytes().to_vec() }
+        Response {
+            status,
+            content_type: "text/plain".into(),
+            body: Body::Vec(msg.as_bytes().to_vec()),
+        }
     }
 }
 
@@ -316,7 +372,7 @@ fn write_response(
         connection,
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
+    stream.write_all(resp.body.as_slice())?;
     stream.flush()
 }
 

@@ -84,8 +84,11 @@ fn deeply_nested_xml_is_rejected_cleanly() {
 fn data_server_rejects_path_traversal() {
     // Provider only serves the "secret" key; traversal-looking paths just
     // miss. The provider interface never touches the real filesystem.
-    let server =
-        DataServer::serve(0, Arc::new(|p: &str| (p == "ok").then(|| b"fine".to_vec()))).unwrap();
+    let server = DataServer::serve(
+        0,
+        Arc::new(|p: &str| (p == "ok").then(|| Arc::from(b"fine".as_slice()))),
+    )
+    .unwrap();
     let (status, body) = HttpClient::get(&server.authority(), "/data/ok").unwrap();
     assert_eq!((status, body.as_slice()), (200, b"fine".as_slice()));
     for path in ["/data/../etc/passwd", "/etc/passwd", "/data/", "/data/nope"] {

@@ -15,6 +15,8 @@
 //! prog --mrs slave  --mrs-master H:P --mrs-slots 4   # slave with 4 task slots
 //! prog --mrs master --mrs-control poll    # legacy sleep-and-poll control plane
 //! prog --mrs master --mrs-longpoll-ms 250 # cap server-side get_task parks
+//! prog --mrs slave --mrs-master H:P --mrs-compress off          # raw buckets
+//! prog --mrs master --mrs-compress threshold=4096               # frame big buckets only
 //! ```
 //!
 //! A master runs the driver and serves slaves; a slave never runs the
@@ -29,6 +31,7 @@ use crate::master::{Master, MasterConfig};
 use crate::proto::{ControlMode, DataPlane};
 use crate::serial::SerialRuntime;
 use crate::slave::{run_slave, SlaveOptions};
+use mrs_codec::CompressMode;
 use mrs_core::{Error, Program, Result};
 use mrs_fs::TempFs;
 use std::sync::atomic::AtomicBool;
@@ -72,6 +75,10 @@ pub struct CliOptions {
     /// Long-poll cap override (`--mrs-longpoll-ms`): on a master the
     /// maximum server-side park, on a slave the park it requests.
     pub long_poll: Option<Duration>,
+    /// Shuffle payload compression (`--mrs-compress=on|off|threshold=N`,
+    /// default: compress buckets above the built-in threshold). Decoders
+    /// auto-detect framing, so mixed settings across a cluster interoperate.
+    pub compress: CompressMode,
     /// Everything that was not an `--mrs*` option, for the program's own
     /// argument handling.
     pub rest: Vec<String>,
@@ -87,6 +94,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     let mut slots = None;
     let mut control = ControlMode::default();
     let mut long_poll = None;
+    let mut compress = CompressMode::default();
     let mut rest = Vec::new();
 
     let mut iter = args.into_iter();
@@ -132,6 +140,10 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
                     .map_err(|e| Error::Invalid(format!("--mrs-longpoll-ms {v:?}: {e}")))?;
                 long_poll = Some(Duration::from_millis(ms));
             }
+            "--mrs-compress" => {
+                let v = value_of("--mrs-compress")?;
+                compress = CompressMode::parse(&v).map_err(Error::Invalid)?;
+            }
             _ => rest.push(arg),
         }
     }
@@ -161,7 +173,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     if long_poll == Some(Duration::ZERO) {
         return Err(Error::Invalid("--mrs-longpoll-ms must be positive".into()));
     }
-    Ok(CliOptions { implementation, control, long_poll, rest })
+    Ok(CliOptions { implementation, control, long_poll, compress, rest })
 }
 
 fn num_cpus() -> usize {
@@ -181,7 +193,7 @@ where
         }
         Implementation::MockParallel => {
             let spill = Arc::new(TempFs::new("mockparallel")?);
-            let mut rt = LocalRuntime::mock_parallel(program, spill);
+            let mut rt = LocalRuntime::mock_parallel_with(program, spill, options.compress);
             driver(&mut Job::new(&mut rt))
         }
         Implementation::Pool(workers) => {
@@ -189,7 +201,11 @@ where
             driver(&mut Job::new(&mut rt))
         }
         Implementation::Master { port, port_file } => {
-            let mut cfg = MasterConfig { control: options.control, ..MasterConfig::default() };
+            let mut cfg = MasterConfig {
+                control: options.control,
+                compress: options.compress,
+                ..MasterConfig::default()
+            };
             if let Some(lp) = options.long_poll {
                 cfg.long_poll_timeout = lp;
             }
@@ -215,6 +231,7 @@ where
                 slave_opts.slots = *n;
             }
             slave_opts.control = options.control;
+            slave_opts.compress = options.compress;
             if let Some(lp) = options.long_poll {
                 slave_opts.long_poll = lp;
             }
@@ -289,6 +306,21 @@ mod tests {
     }
 
     #[test]
+    fn parses_compress_flag() {
+        use mrs_codec::DEFAULT_COMPRESS_THRESHOLD;
+        assert_eq!(
+            opts(&[]).unwrap().compress,
+            CompressMode::Threshold(DEFAULT_COMPRESS_THRESHOLD)
+        );
+        assert_eq!(opts(&["--mrs-compress", "on"]).unwrap().compress, CompressMode::On);
+        assert_eq!(opts(&["--mrs-compress", "off"]).unwrap().compress, CompressMode::Off);
+        assert_eq!(
+            opts(&["--mrs-compress", "threshold=4096"]).unwrap().compress,
+            CompressMode::Threshold(4096)
+        );
+    }
+
+    #[test]
     fn program_args_pass_through() {
         let o = opts(&["input.txt", "--mrs", "pool", "--verbose"]).unwrap();
         assert_eq!(o.rest, vec!["input.txt", "--verbose"]);
@@ -305,6 +337,9 @@ mod tests {
         assert!(opts(&["--mrs-control", "telepathy"]).is_err());
         assert!(opts(&["--mrs-longpoll-ms", "0"]).is_err());
         assert!(opts(&["--mrs-longpoll-ms", "soon"]).is_err());
+        assert!(opts(&["--mrs-compress"]).is_err());
+        assert!(opts(&["--mrs-compress", "maybe"]).is_err());
+        assert!(opts(&["--mrs-compress", "threshold=lots"]).is_err());
     }
 
     struct Count;
@@ -347,6 +382,7 @@ mod tests {
             },
             control: ControlMode::default(),
             long_poll: None,
+            compress: CompressMode::default(),
             rest: vec![],
         };
         // Driver with no work: just verify the port file exists while the

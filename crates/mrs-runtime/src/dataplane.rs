@@ -1,0 +1,98 @@
+//! Process-wide data-plane counters.
+//!
+//! The shuffle codec runs deep inside fetch paths that have no job
+//! context (the prefetch threads, the master's result collector), so —
+//! like the HTTP connection pool's `pool_stats` — these are process-wide
+//! atomics. Job-scoped views take a [`snapshot`] at job start and report
+//! the delta via [`DataPlaneStats::since`].
+//!
+//! What the counters mean:
+//!
+//! - `bytes_pre_compress` — decoded (raw `MRSB1`) size of every bucket
+//!   fetched over HTTP: the volume that *would* have crossed the wire
+//!   without the codec.
+//! - `bytes_on_wire` — the HTTP body bytes actually transferred for
+//!   those fetches. `pre / wire` is the live compression ratio.
+//! - `shortcircuit_fetches` — fetches satisfied from the local frame
+//!   cache without touching a socket (colocated producer+consumer).
+//! - `checksum_retries` — remote frames that failed checksum
+//!   verification and were re-fetched once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BYTES_PRE_COMPRESS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ON_WIRE: AtomicU64 = AtomicU64::new(0);
+static SHORTCIRCUIT_FETCHES: AtomicU64 = AtomicU64::new(0);
+static CHECKSUM_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Record one completed remote bucket transfer: `raw` decoded bytes
+/// moved as `wire` bytes on the socket.
+pub fn record_remote_fetch(raw: usize, wire: usize) {
+    BYTES_PRE_COMPRESS.fetch_add(raw as u64, Ordering::Relaxed);
+    BYTES_ON_WIRE.fetch_add(wire as u64, Ordering::Relaxed);
+}
+
+/// Record a fetch served from the local frame cache (no socket).
+pub fn record_shortcircuit() {
+    SHORTCIRCUIT_FETCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a checksum-failed remote frame being re-fetched.
+pub fn record_checksum_retry() {
+    CHECKSUM_RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time (or delta) view of the data-plane counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DataPlaneStats {
+    /// Decoded bytes of remotely fetched buckets.
+    pub bytes_pre_compress: u64,
+    /// Bytes those fetches put on the wire.
+    pub bytes_on_wire: u64,
+    /// Fetches short-circuited through the local frame cache.
+    pub shortcircuit_fetches: u64,
+    /// Corrupt remote frames re-fetched.
+    pub checksum_retries: u64,
+}
+
+impl DataPlaneStats {
+    /// Counters accumulated since `earlier` (a prior [`snapshot`]).
+    pub fn since(self, earlier: DataPlaneStats) -> DataPlaneStats {
+        DataPlaneStats {
+            bytes_pre_compress: self.bytes_pre_compress - earlier.bytes_pre_compress,
+            bytes_on_wire: self.bytes_on_wire - earlier.bytes_on_wire,
+            shortcircuit_fetches: self.shortcircuit_fetches - earlier.shortcircuit_fetches,
+            checksum_retries: self.checksum_retries - earlier.checksum_retries,
+        }
+    }
+}
+
+/// Current cumulative counter values for this process.
+pub fn snapshot() -> DataPlaneStats {
+    DataPlaneStats {
+        bytes_pre_compress: BYTES_PRE_COMPRESS.load(Ordering::Relaxed),
+        bytes_on_wire: BYTES_ON_WIRE.load(Ordering::Relaxed),
+        shortcircuit_fetches: SHORTCIRCUIT_FETCHES.load(Ordering::Relaxed),
+        checksum_retries: CHECKSUM_RETRIES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate() {
+        let before = snapshot();
+        record_remote_fetch(1000, 300);
+        record_remote_fetch(500, 500);
+        record_shortcircuit();
+        record_checksum_retry();
+        let d = snapshot().since(before);
+        // Other tests in the process may add concurrently; bounds only.
+        assert!(d.bytes_pre_compress >= 1500);
+        assert!(d.bytes_on_wire >= 800);
+        assert!(d.shortcircuit_fetches >= 1);
+        assert!(d.checksum_retries >= 1);
+    }
+}

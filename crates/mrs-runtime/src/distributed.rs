@@ -9,6 +9,7 @@
 //! threads instead of `pssh`-started remote processes).
 
 use crate::data::DataId;
+use crate::dataplane::{self, DataPlaneStats};
 use crate::job::JobApi;
 use crate::master::{Master, MasterConfig, SlaveId};
 use crate::metrics::JobMetrics;
@@ -190,6 +191,9 @@ pub struct LocalCluster {
     /// `HttpClient::pool_stats()` at cluster start; [`Self::metrics`]
     /// reports the delta as this cluster's connection counters.
     pool_baseline: (u64, u64),
+    /// `dataplane::snapshot()` at cluster start; [`Self::metrics`] reports
+    /// the delta as this cluster's shuffle-payload counters.
+    dataplane_baseline: DataPlaneStats,
 }
 
 impl LocalCluster {
@@ -215,8 +219,11 @@ impl LocalCluster {
     ) -> Result<LocalCluster> {
         // The control mode is a cluster-wide property: slaves must match
         // the master or the long-poll/piggyback negotiation degrades to
-        // the backward-compat fallbacks on every round trip.
+        // the backward-compat fallbacks on every round trip. Compression
+        // would interoperate mixed (decoders auto-detect), but a uniform
+        // default keeps the benchmarks honest; add_slave_with can diverge.
         options.control = cfg.control;
+        options.compress = cfg.compress;
         let master = Master::new(cfg, plane.clone())?;
         let server = serve_master(master.clone(), 0).map_err(Error::Io)?;
         let sweeper_stop = Arc::new(AtomicBool::new(false));
@@ -240,6 +247,7 @@ impl LocalCluster {
             plane,
             options,
             pool_baseline: mrs_rpc::HttpClient::pool_stats(),
+            dataplane_baseline: dataplane::snapshot(),
         };
         for _ in 0..n_slaves {
             cluster.add_slave();
@@ -254,11 +262,16 @@ impl LocalCluster {
 
     /// Add one slave thread to the cluster.
     pub fn add_slave(&mut self) {
+        self.add_slave_with(self.options.clone());
+    }
+
+    /// Add one slave with its own options — e.g. a divergent compression
+    /// setting, to exercise mixed-mode shuffle interop.
+    pub fn add_slave_with(&mut self, options: SlaveOptions) {
         let stop = Arc::new(AtomicBool::new(false));
         let authority = self.master_authority();
         let program = Arc::clone(&self.program);
         let plane = self.plane.clone();
-        let options = self.options.clone();
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name(format!("mrs-slave-{}", self.slaves.len()))
@@ -305,6 +318,7 @@ impl LocalCluster {
         let mut m = self.master.metrics();
         let (opened, reused) = mrs_rpc::HttpClient::pool_stats();
         m.record_connections(opened - self.pool_baseline.0, reused - self.pool_baseline.1);
+        m.record_dataplane(dataplane::snapshot().since(self.dataplane_baseline));
         m
     }
 }

@@ -42,6 +42,7 @@
 
 pub mod cli;
 pub mod data;
+pub mod dataplane;
 pub mod distributed;
 pub mod job;
 pub mod local;
@@ -53,10 +54,12 @@ pub mod slave;
 
 pub use cli::{main_with, CliOptions, Implementation};
 pub use data::{DataId, Dataset};
+pub use dataplane::DataPlaneStats;
 pub use distributed::LocalCluster;
 pub use job::{Job, JobApi};
 pub use local::LocalRuntime;
 pub use master::{Master, MasterConfig};
+pub use mrs_codec::CompressMode;
 pub use proto::{ControlMode, DataPlane};
 pub use serial::SerialRuntime;
 pub use slave::SlaveOptions;

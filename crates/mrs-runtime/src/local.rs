@@ -13,8 +13,10 @@
 //! * `LocalRuntime::pool(program, n)` — N worker threads, in-memory.
 
 use crate::data::{split_evenly, DataId, Dataset};
+use crate::dataplane::DataPlaneStats;
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
+use mrs_codec::CompressMode;
 use mrs_core::task::{run_map_task, run_reduce_task};
 use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
 use mrs_fs::format::write_bucket;
@@ -81,6 +83,7 @@ struct Shared {
     cv: Condvar,
     program: Arc<dyn Program>,
     spill: Option<Arc<dyn Store>>,
+    spill_compress: CompressMode,
 }
 
 /// The local (mock-parallel / thread-pool) runtime.
@@ -93,16 +96,31 @@ impl LocalRuntime {
     /// The paper's mock parallel implementation: distributed task split,
     /// one processor, intermediate data spilled to `store`.
     pub fn mock_parallel(program: Arc<dyn Program>, store: Arc<dyn Store>) -> Self {
-        Self::build(program, 1, Some(store))
+        Self::mock_parallel_with(program, store, CompressMode::default())
+    }
+
+    /// Mock parallel with an explicit spill-compression policy — the same
+    /// `--mrs-compress` knob the distributed planes honour.
+    pub fn mock_parallel_with(
+        program: Arc<dyn Program>,
+        store: Arc<dyn Store>,
+        compress: CompressMode,
+    ) -> Self {
+        Self::build(program, 1, Some(store), compress)
     }
 
     /// Thread-pool parallelism with `workers` threads, in-memory data.
     pub fn pool(program: Arc<dyn Program>, workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        Self::build(program, workers, None)
+        Self::build(program, workers, None, CompressMode::default())
     }
 
-    fn build(program: Arc<dyn Program>, workers: usize, spill: Option<Arc<dyn Store>>) -> Self {
+    fn build(
+        program: Arc<dyn Program>,
+        workers: usize,
+        spill: Option<Arc<dyn Store>>,
+        spill_compress: CompressMode,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 datasets: Vec::new(),
@@ -115,6 +133,7 @@ impl LocalRuntime {
             cv: Condvar::new(),
             program,
             spill,
+            spill_compress,
         });
         let workers = (0..workers)
             .map(|i| {
@@ -177,8 +196,11 @@ fn promote(st: &mut State) -> usize {
 }
 
 /// Clone the input records for a task (under the lock; execution happens
-/// outside it).
-fn task_input(st: &State, t: TaskRef) -> Result<TaskWork> {
+/// outside it). In spill mode (`count_handover`) each map-output bucket a
+/// reduce task receives is an in-memory handover of data that the
+/// distributed runtime would fetch over a socket — counted as a
+/// short-circuit fetch so mock-parallel metrics mirror colocated fetches.
+fn task_input(st: &mut State, t: TaskRef, count_handover: bool) -> Result<TaskWork> {
     match &st.datasets[t.data.0 as usize] {
         DsState::MapOut { input, func, parts, combine, .. } => {
             let records = match &st.datasets[input.0 as usize] {
@@ -200,7 +222,15 @@ fn task_input(st: &State, t: TaskRef) -> Result<TaskWork> {
                     task.as_ref().ok_or_else(|| Error::Invalid("map task not done".into()))?;
                 input.extend_from(&buckets[t.index]);
             }
-            Ok(TaskWork::Reduce { input, func: *func })
+            let handovers = tasks.len() as u64;
+            let func = *func;
+            if count_handover {
+                st.metrics.record_dataplane(DataPlaneStats {
+                    shortcircuit_fetches: handovers,
+                    ..DataPlaneStats::default()
+                });
+            }
+            Ok(TaskWork::Reduce { input, func })
         }
         _ => Err(Error::Invalid("task on non-op dataset".into())),
     }
@@ -220,7 +250,7 @@ fn worker_loop(shared: &Shared) {
                     return;
                 }
                 if let Some(t) = st.queue.pop_front() {
-                    match task_input(&st, t) {
+                    match task_input(&mut st, t, shared.spill.is_some()) {
                         Ok(w) => break (t, w),
                         Err(e) => {
                             st.error = Some(e.to_string());
@@ -258,7 +288,10 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
             if let Some(store) = &shared.spill {
                 for (p, b) in buckets.iter().enumerate() {
                     let path = format!("ds{}/map{}/b{p}.mrsb", t.data.0, t.index);
-                    store.put(&path, &write_bucket(b))?;
+                    store.put(
+                        &path,
+                        &mrs_codec::encode_vec(write_bucket(b), shared.spill_compress),
+                    )?;
                 }
             }
             let mut st = shared.state.lock();
@@ -276,7 +309,10 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
             let out = run_reduce_task(shared.program.as_ref(), func, input)?;
             if let Some(store) = &shared.spill {
                 let path = format!("ds{}/reduce{}.mrsb", t.data.0, t.index);
-                store.put(&path, &write_bucket(&out))?;
+                store.put(
+                    &path,
+                    &mrs_codec::encode_vec(write_bucket(&out), shared.spill_compress),
+                )?;
             }
             let mut st = shared.state.lock();
             st.metrics.record_reduce(t0.elapsed());
@@ -501,6 +537,28 @@ mod tests {
         let reduces = files.iter().filter(|f| f.contains("/reduce")).count();
         assert_eq!(maps, 4, "{files:?}");
         assert_eq!(reduces, 2, "{files:?}");
+    }
+
+    #[test]
+    fn mock_parallel_counts_handovers_and_frames_spills() {
+        let store = Arc::new(MemFs::new());
+        let mut rt = LocalRuntime::mock_parallel_with(
+            Arc::new(Simple(WordCount)),
+            store.clone(),
+            CompressMode::On,
+        );
+        let mut job = Job::new(&mut rt);
+        let out = job.map_reduce(input(&["x y", "y z", "x x"]), 3, 2, false).unwrap();
+        assert_eq!(sorted_counts(out).len(), 3);
+        // Every reduce partition took all 3 map outputs by in-memory
+        // handover: 2 partitions × 3 map tasks.
+        assert_eq!(rt.metrics().shortcircuit_fetches(), 6);
+        // Spilled buckets carry the MRSF1 frame and decode back to MRSB1.
+        let files = store.list("").unwrap();
+        let spilled = store.get(files.iter().find(|f| f.contains("/map")).unwrap()).unwrap();
+        assert!(mrs_codec::is_framed(&spilled));
+        let raw = mrs_codec::decode_vec(spilled).unwrap();
+        assert!(raw.starts_with(b"MRSB1"));
     }
 
     #[test]

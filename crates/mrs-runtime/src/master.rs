@@ -30,10 +30,11 @@ use crate::data::{split_evenly, DataId};
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
 use crate::proto::{fetch_records, Assignment, ControlMode, DataPlane, TaskMsg, TaskReport};
+use mrs_codec::CompressMode;
 use mrs_core::{Error, FuncId, Record, Result};
 use mrs_fs::format::write_bucket_bytes;
-use mrs_fs::{MemFs, Store};
-use mrs_rpc::DataServer;
+use mrs_fs::Store;
+use mrs_rpc::{DataServer, FrameCache};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +60,10 @@ pub struct MasterConfig {
     /// parked slave still heartbeats; must stay well below the RPC
     /// client's I/O timeout (10s) or held requests would look like hangs.
     pub long_poll_timeout: Duration,
+    /// Shuffle payload compression policy for the master's own outputs
+    /// (source splits). [`crate::LocalCluster`] propagates the same
+    /// setting to its slaves.
+    pub compress: CompressMode,
 }
 
 impl Default for MasterConfig {
@@ -69,6 +74,7 @@ impl Default for MasterConfig {
             use_affinity: true,
             control: ControlMode::default(),
             long_poll_timeout: Duration::from_secs(1),
+            compress: CompressMode::default(),
         }
     }
 }
@@ -155,9 +161,10 @@ struct MasterShared {
     /// Dispatch condvar: parked `get_tasks` requests (long-poll mode).
     dispatch_cv: Condvar,
     plane: DataPlane,
-    /// Master-local storage for source splits (direct plane).
-    source_store: Arc<MemFs>,
-    /// Serves `source_store` to slaves on the direct plane.
+    /// Master-local frame cache for source splits (direct plane): each
+    /// split is encoded once and served zero-copy to every reader.
+    source_frames: Arc<FrameCache>,
+    /// Serves `source_frames` to slaves on the direct plane.
     source_server: Option<DataServer>,
 }
 
@@ -170,14 +177,10 @@ pub struct Master {
 impl Master {
     /// Create a master for the given data plane.
     pub fn new(cfg: MasterConfig, plane: DataPlane) -> Result<Master> {
-        let source_store = Arc::new(MemFs::new());
+        let source_frames = Arc::new(FrameCache::new());
         let source_server = match plane {
             DataPlane::Direct => {
-                let store = Arc::clone(&source_store);
-                Some(
-                    DataServer::serve(0, Arc::new(move |p: &str| store.get(p).ok()))
-                        .map_err(Error::Io)?,
-                )
+                Some(DataServer::serve(0, source_frames.provider()).map_err(Error::Io)?)
             }
             DataPlane::SharedFs(_) => None,
         };
@@ -196,7 +199,7 @@ impl Master {
                 cv: Condvar::new(),
                 dispatch_cv: Condvar::new(),
                 plane,
-                source_store,
+                source_frames,
                 source_server,
             }),
         })
@@ -749,10 +752,10 @@ impl Master {
 
     fn put_source_split(&self, id: u32, split: usize, records: &[Record]) -> Result<String> {
         let path = format!("src{id}/s{split}.mrsb");
-        let bytes = write_bucket_bytes(records);
+        let wire = mrs_codec::encode_vec(write_bucket_bytes(records), self.shared.cfg.compress);
         match &self.shared.plane {
             DataPlane::Direct => {
-                self.shared.source_store.put(&path, &bytes)?;
+                self.shared.source_frames.insert(&path, wire);
                 let server = self
                     .shared
                     .source_server
@@ -761,7 +764,7 @@ impl Master {
                 Ok(server.url_for(&path))
             }
             DataPlane::SharedFs(store) => {
-                store.put(&path, &bytes)?;
+                store.put(&path, &wire)?;
                 Ok(format!("file://{path}"))
             }
         }
@@ -962,6 +965,7 @@ impl JobApi for Master {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrs_fs::MemFs;
 
     fn master_direct() -> Master {
         Master::new(MasterConfig::default(), DataPlane::Direct).unwrap()

@@ -24,6 +24,10 @@ pub struct JobMetrics {
     longpoll_timeouts: u64,
     piggybacked_reports: u64,
     wakeups: u64,
+    bytes_pre_compress: u64,
+    bytes_on_wire: u64,
+    shortcircuit_fetches: u64,
+    checksum_retries: u64,
 }
 
 impl JobMetrics {
@@ -205,6 +209,38 @@ impl JobMetrics {
     pub fn wakeups(&self) -> u64 {
         self.wakeups
     }
+
+    /// Record data-plane activity attributed to this job (deltas of
+    /// [`crate::dataplane::snapshot`] over the job's lifetime).
+    pub fn record_dataplane(&mut self, stats: crate::dataplane::DataPlaneStats) {
+        self.bytes_pre_compress += stats.bytes_pre_compress;
+        self.bytes_on_wire += stats.bytes_on_wire;
+        self.shortcircuit_fetches += stats.shortcircuit_fetches;
+        self.checksum_retries += stats.checksum_retries;
+    }
+
+    /// Decoded (post-decompress) size of every bucket fetched over HTTP.
+    pub fn bytes_pre_compress(&self) -> u64 {
+        self.bytes_pre_compress
+    }
+
+    /// Actual HTTP body bytes moved for those fetches; with compression on
+    /// and compressible data this is well below [`Self::bytes_pre_compress`].
+    pub fn bytes_on_wire(&self) -> u64 {
+        self.bytes_on_wire
+    }
+
+    /// Colocated fetches served from the producer's own frame cache (or
+    /// handed over in memory by the mock-parallel runtime) without touching
+    /// the HTTP loopback.
+    pub fn shortcircuit_fetches(&self) -> u64 {
+        self.shortcircuit_fetches
+    }
+
+    /// Remote frames whose checksum failed and were re-fetched once.
+    pub fn checksum_retries(&self) -> u64 {
+        self.checksum_retries
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +266,12 @@ mod tests {
         m.record_piggybacked_reports(4);
         m.record_wakeup();
         m.record_wakeup();
+        m.record_dataplane(crate::dataplane::DataPlaneStats {
+            bytes_pre_compress: 1000,
+            bytes_on_wire: 300,
+            shortcircuit_fetches: 7,
+            checksum_retries: 1,
+        });
         assert_eq!(m.map_ops(), 2);
         assert_eq!(m.reduce_ops(), 1);
         assert_eq!(m.shuffle_bytes(), 150);
@@ -247,6 +289,10 @@ mod tests {
         assert_eq!(m.longpoll_timeouts(), 1);
         assert_eq!(m.piggybacked_reports(), 4);
         assert_eq!(m.wakeups(), 2);
+        assert_eq!(m.bytes_pre_compress(), 1000);
+        assert_eq!(m.bytes_on_wire(), 300);
+        assert_eq!(m.shortcircuit_fetches(), 7);
+        assert_eq!(m.checksum_retries(), 1);
         assert!(m.map_time() >= Duration::from_millis(10));
     }
 }

@@ -5,10 +5,13 @@
 //! both sides use to read bucket data (`http://` direct transfer, `file://`
 //! / `mem://` shared filesystem).
 
+use crate::dataplane;
+use mrs_codec::FrameError;
 use mrs_core::{Error, Record, Result};
 use mrs_fs::format::read_bucket_bytes;
 use mrs_fs::{BucketUrl, Store};
 use mrs_rpc::xmlrpc::Value;
+use mrs_rpc::FrameCache;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -258,7 +261,7 @@ pub fn fetch_records(url: &str, shared: Option<&Arc<dyn Store>>) -> Result<Vec<R
 }
 
 /// Like [`fetch_records`], but an `http://` URL whose authority is
-/// `own_authority` is read straight from `own_store` instead of going
+/// `own_authority` is read straight from `own_cache` instead of going
 /// through a socket — the short-circuit real Mrs gets for free by reading
 /// its own local files, which is what makes task→slave affinity pay even
 /// for data the slave itself produced (§IV-A).
@@ -266,33 +269,78 @@ pub fn fetch_records_local_first(
     url: &str,
     shared: Option<&Arc<dyn Store>>,
     own_authority: Option<&str>,
-    own_store: Option<&dyn Store>,
+    own_cache: Option<&FrameCache>,
 ) -> Result<Vec<Record>> {
-    let bytes = fetch_bucket_bytes_local_first(url, shared, own_authority, own_store)?;
+    let bytes = fetch_bucket_bytes_local_first(url, shared, own_authority, own_cache)?;
     read_bucket_bytes(&bytes)
 }
 
-/// The transfer half of [`fetch_records_local_first`]: resolve the URL and
-/// return the raw serialized bucket without parsing it. The reduce path
-/// uses this to decode several fetched buckets straight into one arena
-/// instead of materializing a `Vec<Record>` per bucket.
+/// The transfer half of [`fetch_records_local_first`]: resolve the URL
+/// and return the raw (decoded `MRSB1`) bucket bytes without parsing
+/// them. The reduce path uses this to decode several fetched buckets
+/// straight into one arena instead of materializing a `Vec<Record>` per
+/// bucket.
+///
+/// Every resolution path runs the wire bytes through the `MRSF1` frame
+/// decoder, which verifies the checksum and transparently accepts raw
+/// legacy payloads. A *remote* frame that fails its checksum is fetched
+/// once more from the peer (transient corruption) before the error
+/// surfaces; local and shared-store corruption is not retried — re-reading
+/// the same bytes cannot help.
 pub fn fetch_bucket_bytes_local_first(
     url: &str,
     shared: Option<&Arc<dyn Store>>,
     own_authority: Option<&str>,
-    own_store: Option<&dyn Store>,
+    own_cache: Option<&FrameCache>,
 ) -> Result<Vec<u8>> {
     let parsed = BucketUrl::parse(url)?;
     match &parsed {
         BucketUrl::Http { authority, path } => {
-            match (own_authority, own_store, path.strip_prefix("/data/")) {
-                (Some(own), Some(store), Some(rel)) if own == authority => store.get(rel),
-                _ => mrs_rpc::dataserver::fetch(authority, path),
+            if let (Some(own), Some(cache), Some(rel)) =
+                (own_authority, own_cache, path.strip_prefix("/data/"))
+            {
+                if own == authority {
+                    let frame = cache.get(rel).ok_or_else(|| {
+                        Error::MissingData(format!("own bucket {rel} missing from frame cache"))
+                    })?;
+                    dataplane::record_shortcircuit();
+                    return mrs_codec::decode_frame(&frame)
+                        .map_err(|e| Error::Codec(format!("local frame {rel}: {e}")));
+                }
             }
+            fetch_remote_verified(authority, path)
         }
         BucketUrl::File(p) | BucketUrl::Mem(p) => {
-            shared.ok_or_else(|| Error::Url(format!("no shared store to resolve {url}")))?.get(p)
+            let bytes = shared
+                .ok_or_else(|| Error::Url(format!("no shared store to resolve {url}")))?
+                .get(p)?;
+            mrs_codec::decode_vec(bytes).map_err(|e| Error::Codec(format!("bucket {p}: {e}")))
         }
+    }
+}
+
+/// Fetch a bucket from a peer and decode its frame, re-fetching once on a
+/// checksum mismatch. Successful transfers feed the process-wide wire
+/// counters (raw vs on-wire bytes).
+fn fetch_remote_verified(authority: &str, path: &str) -> Result<Vec<u8>> {
+    let wire = mrs_rpc::dataserver::fetch(authority, path)?;
+    let wire_len = wire.len();
+    match mrs_codec::decode_vec(wire) {
+        Ok(raw) => {
+            dataplane::record_remote_fetch(raw.len(), wire_len);
+            Ok(raw)
+        }
+        Err(FrameError::Checksum { .. }) => {
+            dataplane::record_checksum_retry();
+            let wire = mrs_rpc::dataserver::fetch(authority, path)?;
+            let wire_len = wire.len();
+            let raw = mrs_codec::decode_vec(wire).map_err(|e| {
+                Error::Codec(format!("bucket {authority}{path} corrupt after refetch: {e}"))
+            })?;
+            dataplane::record_remote_fetch(raw.len(), wire_len);
+            Ok(raw)
+        }
+        Err(e) => Err(Error::Codec(format!("bucket {authority}{path}: {e}"))),
     }
 }
 
@@ -389,13 +437,80 @@ mod tests {
         use mrs_fs::format::write_bucket_bytes;
         // No server is listening on this authority, so only the local
         // short-circuit can satisfy the fetch.
-        let store = mrs_fs::MemFs::new();
+        let cache = FrameCache::new();
         let records = vec![(b"k".to_vec(), b"v".to_vec())];
-        store.put("d0/t0/b0.mrsb", &write_bucket_bytes(&records)).unwrap();
+        let frame =
+            mrs_codec::encode_vec(write_bucket_bytes(&records), mrs_codec::CompressMode::On);
+        cache.insert("d0/t0/b0.mrsb", frame);
         let url = "http://127.0.0.1:1/data/d0/t0/b0.mrsb";
-        let got = fetch_records_local_first(url, None, Some("127.0.0.1:1"), Some(&store)).unwrap();
+        let before = dataplane::snapshot();
+        let got = fetch_records_local_first(url, None, Some("127.0.0.1:1"), Some(&cache)).unwrap();
         assert_eq!(got, records);
+        assert!(dataplane::snapshot().since(before).shortcircuit_fetches >= 1);
         // A different authority still goes to the network (and fails here).
-        assert!(fetch_records_local_first(url, None, Some("127.0.0.1:2"), Some(&store)).is_err());
+        assert!(fetch_records_local_first(url, None, Some("127.0.0.1:2"), Some(&cache)).is_err());
+    }
+
+    #[test]
+    fn shared_store_frames_are_verified_and_decoded() {
+        use mrs_fs::format::write_bucket_bytes;
+        let store: Arc<dyn Store> = Arc::new(mrs_fs::MemFs::new());
+        let records = vec![(b"key".to_vec(), vec![3u8; 64])];
+        let frame =
+            mrs_codec::encode_vec(write_bucket_bytes(&records), mrs_codec::CompressMode::On);
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        store.put("good", &frame).unwrap();
+        store.put("bad", &bad).unwrap();
+        assert_eq!(fetch_records("mem://good", Some(&store)).unwrap(), records);
+        // Local corruption is not retried — it surfaces immediately.
+        assert!(matches!(fetch_records("mem://bad", Some(&store)), Err(Error::Codec(_))));
+    }
+
+    /// A peer that serves a corrupt frame once is given a second chance;
+    /// one that serves corruption persistently surfaces an error.
+    #[test]
+    fn corrupt_remote_frame_is_refetched_once() {
+        use mrs_fs::format::write_bucket_bytes;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let records = vec![(b"key".to_vec(), vec![9u8; 800])];
+        let good: Arc<[u8]> =
+            mrs_codec::encode_vec(write_bucket_bytes(&records), mrs_codec::CompressMode::On).into();
+        let bad: Arc<[u8]> = {
+            let mut b = good.to_vec();
+            let last = b.len() - 1;
+            b[last] ^= 0xff;
+            b.into()
+        };
+
+        let hits = Arc::new(AtomicUsize::new(0));
+        let provider: mrs_rpc::dataserver::Provider = {
+            let hits = Arc::clone(&hits);
+            let good = Arc::clone(&good);
+            let bad = Arc::clone(&bad);
+            Arc::new(move |p: &str| match p {
+                // First request corrupt, later ones clean.
+                "flaky" => Some(if hits.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Arc::clone(&bad)
+                } else {
+                    Arc::clone(&good)
+                }),
+                "hosed" => Some(Arc::clone(&bad)),
+                _ => None,
+            })
+        };
+        let server = mrs_rpc::DataServer::serve(0, provider).unwrap();
+
+        let before = dataplane::snapshot();
+        let got = fetch_records(&server.url_for("flaky"), None).unwrap();
+        assert_eq!(got, records);
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "exactly one refetch");
+        let d = dataplane::snapshot().since(before);
+        assert!(d.checksum_retries >= 1);
+        assert!(d.bytes_on_wire >= good.len() as u64);
+
+        let err = fetch_records(&server.url_for("hosed"), None).unwrap_err();
+        assert!(matches!(err, Error::Codec(_)), "persistent corruption must surface: {err}");
     }
 }

@@ -22,11 +22,12 @@ use crate::master::SlaveId;
 use crate::proto::{
     fetch_bucket_bytes_local_first, Assignment, ControlMode, DataPlane, TaskMsg, TaskReport,
 };
+use mrs_codec::CompressMode;
 use mrs_core::task::{run_map_task_bucket, run_reduce_task};
 use mrs_core::{Bucket, Error, Program, Result};
 use mrs_fs::format::{read_bucket_into, write_bucket};
-use mrs_fs::{MemFs, Store};
-use mrs_rpc::DataServer;
+use mrs_fs::Store;
+use mrs_rpc::{DataServer, FrameCache};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -116,6 +117,10 @@ pub struct SlaveOptions {
     /// The master clamps it to its own `long_poll_timeout` and to half its
     /// slave death timeout, so requesting generously is safe.
     pub long_poll: Duration,
+    /// Shuffle payload compression policy for this slave's outputs
+    /// (`--mrs-compress`). Consumers auto-detect, so slaves with
+    /// different settings interoperate.
+    pub compress: CompressMode,
 }
 
 impl Default for SlaveOptions {
@@ -126,6 +131,7 @@ impl Default for SlaveOptions {
             slots: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             control: ControlMode::default(),
             long_poll: Duration::from_secs(1),
+            compress: CompressMode::default(),
         }
     }
 }
@@ -209,16 +215,13 @@ pub fn run_slave(
     opts: &SlaveOptions,
     stop: &AtomicBool,
 ) -> Result<()> {
-    // Local storage and (direct plane) the data server for peers.
-    let local = Arc::new(MemFs::new());
+    // Local frame cache and (direct plane) the data server for peers.
+    // Outputs are encoded exactly once into the cache; the server hands
+    // every reader the same shared buffer (zero-copy), and this slave's
+    // own reduce inputs short-circuit through the cache without a socket.
+    let frames = Arc::new(FrameCache::new());
     let server = match &plane {
-        DataPlane::Direct => {
-            let store = Arc::clone(&local);
-            Some(
-                DataServer::serve(0, Arc::new(move |p: &str| store.get(p).ok()))
-                    .map_err(Error::Io)?,
-            )
-        }
+        DataPlane::Direct => Some(DataServer::serve(0, frames.provider()).map_err(Error::Io)?),
         DataPlane::SharedFs(_) => None,
     };
     let authority = server.as_ref().map(|s| s.authority()).unwrap_or_else(|| "shared".into());
@@ -246,11 +249,12 @@ pub fn run_slave(
                         link,
                         program.as_ref(),
                         &plane,
-                        &local,
+                        &frames,
                         server.as_ref(),
                         id,
                         &pipe,
                         piggyback,
+                        opts.compress,
                     )
                 })
             })
@@ -260,7 +264,7 @@ pub fn run_slave(
         // heartbeating, and fetch failures report standalone so recovery
         // starts immediately.
         handles.push(s.spawn(|| {
-            prefetch_loop(link, shared.as_ref(), own_authority.as_deref(), &local, id, &pipe)
+            prefetch_loop(link, shared.as_ref(), own_authority.as_deref(), &frames, id, &pipe)
         }));
 
         let mut backoff = opts.poll_interval;
@@ -388,7 +392,7 @@ fn prefetch_loop(
     link: &dyn MasterLink,
     shared: Option<&Arc<dyn Store>>,
     own_authority: Option<&str>,
-    local: &Arc<MemFs>,
+    frames: &Arc<FrameCache>,
     id: SlaveId,
     pipe: &Pipe,
 ) -> Result<()> {
@@ -405,12 +409,7 @@ fn prefetch_loop(
                 pipe.fetch_cv.wait(&mut st);
             }
         };
-        let fetched = fetch_all_bucket_bytes(
-            &task.inputs,
-            shared,
-            own_authority,
-            local.as_ref() as &dyn Store,
-        );
+        let fetched = fetch_all_bucket_bytes(&task.inputs, shared, own_authority, frames);
         if pipe.halted() {
             return Ok(());
         }
@@ -452,11 +451,12 @@ fn worker_loop(
     link: &dyn MasterLink,
     program: &dyn Program,
     plane: &DataPlane,
-    local: &Arc<MemFs>,
+    frames: &Arc<FrameCache>,
     server: Option<&DataServer>,
     id: SlaveId,
     pipe: &Pipe,
     piggyback: bool,
+    compress: CompressMode,
 ) -> Result<()> {
     // Per-worker scratch arena, reused across map tasks.
     let mut scratch = Bucket::new();
@@ -476,7 +476,8 @@ fn worker_loop(
                 pipe.cv.wait(&mut st);
             }
         };
-        let outcome = process_task(&task, &raw, program, plane, local, server, id, &mut scratch);
+        let outcome =
+            process_task(&task, &raw, program, plane, frames, server, id, &mut scratch, compress);
         if pipe.halted() {
             // Crash semantics: a halted slave goes silent, never reports.
             return Ok(());
@@ -542,9 +543,10 @@ fn fetch_all_bucket_bytes(
     urls: &[String],
     shared: Option<&Arc<dyn Store>>,
     own_authority: Option<&str>,
-    local: &dyn Store,
+    frames: &FrameCache,
 ) -> std::result::Result<Vec<Vec<u8>>, TaskError> {
-    let fetch = |url: &str| fetch_bucket_bytes_local_first(url, shared, own_authority, Some(local));
+    let fetch =
+        |url: &str| fetch_bucket_bytes_local_first(url, shared, own_authority, Some(frames));
     if urls.len() <= 1 {
         // Nothing to overlap; skip the thread machinery.
         return urls
@@ -587,10 +589,11 @@ fn process_task(
     raw: &[Vec<u8>],
     program: &dyn Program,
     plane: &DataPlane,
-    local: &Arc<MemFs>,
+    frames: &Arc<FrameCache>,
     server: Option<&DataServer>,
     slave: SlaveId,
     scratch: &mut Bucket,
+    compress: CompressMode,
 ) -> std::result::Result<Vec<String>, TaskError> {
     let parse_err = |url: &String, e: mrs_core::Error| TaskError {
         msg: e.to_string(),
@@ -622,17 +625,21 @@ fn process_task(
         vec![write_bucket(&out)]
     };
 
-    // Store and name the outputs.
+    // Encode for the wire (compress + checksum per policy), then store
+    // and name the outputs. Encoding happens exactly once per bucket,
+    // here; every reader — remote peer, colocated short-circuit, shared
+    // store — gets the same encoded bytes.
     let mut urls = Vec::with_capacity(buckets.len());
-    for (p, bytes) in buckets.iter().enumerate() {
+    for (p, bytes) in buckets.into_iter().enumerate() {
         let path = format!("s{slave}/d{}/t{}/b{p}.mrsb", task.data, task.index);
+        let wire = mrs_codec::encode_vec(bytes, compress);
         match plane {
             DataPlane::Direct => {
-                local.put(&path, bytes).map_err(run_err)?;
+                frames.insert(&path, wire);
                 urls.push(server.expect("direct plane has a server").url_for(&path));
             }
             DataPlane::SharedFs(store) => {
-                store.put(&path, bytes).map_err(run_err)?;
+                store.put(&path, &wire).map_err(run_err)?;
                 urls.push(format!("file://{path}"));
             }
         }
@@ -647,6 +654,7 @@ mod tests {
     use crate::master::{Master, MasterConfig};
     use mrs_core::kv::encode_record;
     use mrs_core::{Datum, MapReduce, Simple};
+    use mrs_fs::MemFs;
 
     struct WordCount;
 

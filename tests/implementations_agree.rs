@@ -90,6 +90,22 @@ fn wordcount_identical_across_all_five_runtimes() {
         wordcount_on(&mut Job::new(&mut cluster), 4, 3)
     };
 
+    // The shuffle codec must be invisible to the answer: always-compress
+    // and never-compress clusters (the ones above run the size-threshold
+    // default) bracket every framing path.
+    let compress_on = {
+        let cfg = MasterConfig { compress: CompressMode::On, ..MasterConfig::default() };
+        let mut cluster =
+            LocalCluster::start(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg).unwrap();
+        wordcount_on(&mut Job::new(&mut cluster), 4, 3)
+    };
+    let compress_off = {
+        let cfg = MasterConfig { compress: CompressMode::Off, ..MasterConfig::default() };
+        let mut cluster =
+            LocalCluster::start(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg).unwrap();
+        wordcount_on(&mut Job::new(&mut cluster), 4, 3)
+    };
+
     assert_eq!(bypass, serial, "serial vs bypass");
     assert_eq!(serial, mock, "mock vs serial");
     assert_eq!(mock, pool, "pool vs mock");
@@ -97,6 +113,24 @@ fn wordcount_identical_across_all_five_runtimes() {
     assert_eq!(direct, shared, "distributed-sharedfs vs distributed-direct");
     assert_eq!(shared, multislot, "multi-slot cluster vs distributed-sharedfs");
     assert_eq!(multislot, pollmode, "poll-mode cluster vs long-poll cluster");
+    assert_eq!(pollmode, compress_on, "compress-on cluster vs poll-mode cluster");
+    assert_eq!(compress_on, compress_off, "compress-off cluster vs compress-on cluster");
+}
+
+#[test]
+fn mixed_compression_slaves_interoperate() {
+    // One slave frames and compresses every bucket, the other emits raw
+    // MRSB1 bytes; consumers auto-detect per payload, so a mixed cluster
+    // must still produce the exact answer (and the master's own source
+    // splits add a third producer, the size-threshold default).
+    let lines = sample_lines();
+    let bypass = corpus::tokenizer::reference_counts(lines.iter().map(String::as_str));
+    let cfg = MasterConfig { compress: CompressMode::On, ..MasterConfig::default() };
+    let mut cluster =
+        LocalCluster::start(Arc::new(Simple(WordCount)), 1, DataPlane::Direct, cfg).unwrap();
+    cluster.add_slave_with(SlaveOptions { compress: CompressMode::Off, ..SlaveOptions::default() });
+    let mixed = wordcount_on(&mut Job::new(&mut cluster), 6, 4);
+    assert_eq!(mixed, bypass, "mixed-compression cluster vs bypass");
 }
 
 fn pso_config() -> PsoConfig {
