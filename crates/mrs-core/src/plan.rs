@@ -40,6 +40,24 @@ pub enum OpKind {
         /// Which of the program's reduce functions to run.
         func: FuncId,
     },
+    /// Fused reduce+map: sort-and-group each partition, reduce each group,
+    /// and feed every reduced record straight into a map function without
+    /// materializing the intermediate reduce output. One task does the
+    /// work of a whole reduce round plus the next iteration's map round.
+    ReduceMap {
+        /// Which of the program's reduce functions to run.
+        reduce_func: FuncId,
+        /// Which of the program's map functions the reduced records feed.
+        map_func: FuncId,
+    },
+}
+
+impl OpKind {
+    /// True for ops whose output is partitioned shuffle data (consumable
+    /// by a reduce), false for ops producing final materialized records.
+    pub fn is_map_like(&self) -> bool {
+        matches!(self, OpKind::Map { .. } | OpKind::ReduceMap { .. })
+    }
 }
 
 /// One operation in a plan.
@@ -84,6 +102,18 @@ impl Plan {
     /// output splits (one per reduce task).
     pub fn reduce(&mut self, func: FuncId, input: DataRef, parts: usize) -> OpId {
         self.push(OpKind::Reduce { func }, input, parts, false)
+    }
+
+    /// Append a fused reduce+map operation reading `input`, producing
+    /// `parts` shuffle partitions per task (one task per input partition).
+    pub fn reduce_map(
+        &mut self,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        input: DataRef,
+        parts: usize,
+    ) -> OpId {
+        self.push(OpKind::ReduceMap { reduce_func, map_func }, input, parts, false)
     }
 
     fn push(&mut self, kind: OpKind, input: DataRef, parts: usize, combine: bool) -> OpId {
@@ -131,7 +161,9 @@ impl Plan {
                 }
                 _ => {}
             }
-            if let (OpKind::Reduce { .. }, DataRef::Source(_)) = (op.kind, op.input) {
+            if let (OpKind::Reduce { .. } | OpKind::ReduceMap { .. }, DataRef::Source(_)) =
+                (op.kind, op.input)
+            {
                 return Err(Error::Invalid(format!(
                     "op {i}: reduce must consume a map output, not a raw source"
                 )));
@@ -141,19 +173,77 @@ impl Plan {
     }
 
     /// Build the canonical single-stage plan used by `Simple` programs:
-    /// map (with combiner if the program has one) then reduce.
-    pub fn map_reduce(map_parts: usize, reduce_parts: usize, combine: bool) -> Plan {
+    /// map (with combiner if the program has one) then reduce. The map's
+    /// task count is implied by the source's split count, so the plan only
+    /// carries the partition count shared by the map output and the reduce.
+    pub fn map_reduce(reduce_parts: usize, combine: bool) -> Plan {
         let mut p = Plan::new();
         let m = if combine {
             p.map_with_combiner(0, DataRef::Source(0), reduce_parts)
         } else {
             p.map(0, DataRef::Source(0), reduce_parts)
         };
-        // `map_parts` is implied by the source's split count; record it for
-        // documentation via the reduce input.
-        let _ = map_parts;
         p.reduce(0, DataRef::Op(m), reduce_parts);
         p
+    }
+
+    /// Number of ops consuming `of`'s output within this plan.
+    fn consumers_of(&self, of: OpId) -> usize {
+        self.ops.iter().filter(|o| o.input == DataRef::Op(of)).count()
+    }
+
+    /// The fusion pass: rewrite every adjacent `Reduce(f)` → `Map(g)` pair
+    /// where the map is the reduce's *only* consumer, both ops use the
+    /// same partition count, and the map runs no combiner, into a single
+    /// `ReduceMap { f, g }` op. Iterative chains (`map, reduce, map,
+    /// reduce, …`) collapse to `map, reducemap, …, reduce`, halving the
+    /// scheduling/shuffle rounds per iteration.
+    ///
+    /// Returns the rewritten plan and the number of pairs fused. Output
+    /// datasets are preserved op-for-op except the fused reduce outputs,
+    /// which are never materialized.
+    pub fn fused(&self) -> (Plan, usize) {
+        // Map from old op index to its id in the new plan, for rewiring
+        // inputs of retained ops.
+        let mut remap: Vec<Option<OpId>> = vec![None; self.ops.len()];
+        let mut out = Plan::new();
+        let mut fused = 0usize;
+        let mut skip = vec![false; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            if skip[i] {
+                continue;
+            }
+            let input = match op.input {
+                DataRef::Source(s) => DataRef::Source(s),
+                DataRef::Op(p) => {
+                    DataRef::Op(remap[p.0 as usize].expect("validated plans only refer backwards"))
+                }
+            };
+            // Try to fuse this reduce with its sole consumer, the very
+            // next map over its output.
+            if let OpKind::Reduce { func: rf } = op.kind {
+                let next = self.ops.get(i + 1);
+                if let Some(m) = next {
+                    let fusable = matches!(m.kind, OpKind::Map { .. })
+                        && m.input == DataRef::Op(op.id)
+                        && m.parts == op.parts
+                        && !m.combine
+                        && self.consumers_of(op.id) == 1;
+                    if fusable {
+                        let OpKind::Map { func: mf } = m.kind else { unreachable!() };
+                        let id = out.reduce_map(rf, mf, input, m.parts);
+                        remap[i] = Some(id); // reduce output is gone; point at the fused op
+                        remap[i + 1] = Some(id);
+                        skip[i + 1] = true;
+                        fused += 1;
+                        continue;
+                    }
+                }
+            }
+            let id = out.push(op.kind, input, op.parts, op.combine);
+            remap[i] = Some(id);
+        }
+        (out, fused)
     }
 }
 
@@ -215,12 +305,83 @@ mod tests {
 
     #[test]
     fn canonical_map_reduce_shape() {
-        let p = Plan::map_reduce(4, 3, true);
+        let p = Plan::map_reduce(3, true);
         assert_eq!(p.len(), 2);
         assert!(matches!(p.ops()[0].kind, OpKind::Map { func: 0 }));
         assert!(p.ops()[0].combine);
         assert_eq!(p.ops()[0].parts, 3);
         assert!(matches!(p.ops()[1].kind, OpKind::Reduce { func: 0 }));
         assert!(p.validate(1).is_ok());
+    }
+
+    #[test]
+    fn reduce_map_from_source_rejected() {
+        let mut p = Plan::new();
+        p.reduce_map(0, 1, DataRef::Source(0), 2);
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn iterative_chain_fuses_interior_rounds() {
+        // map, (reduce, map) x 3, reduce — the PSO shape.
+        let mut p = Plan::new();
+        let mut prev = p.map(0, DataRef::Source(0), 4);
+        for _ in 0..3 {
+            let r = p.reduce(1, DataRef::Op(prev), 4);
+            prev = p.map(0, DataRef::Op(r), 4);
+        }
+        p.reduce(1, DataRef::Op(prev), 4);
+        assert!(p.validate(1).is_ok());
+
+        let (f, n) = p.fused();
+        assert_eq!(n, 3, "all three interior reduce+map pairs fuse");
+        assert_eq!(f.len(), p.len() - 3);
+        assert!(matches!(f.ops()[0].kind, OpKind::Map { func: 0 }));
+        for op in &f.ops()[1..4] {
+            assert!(matches!(op.kind, OpKind::ReduceMap { reduce_func: 1, map_func: 0 }), "{op:?}");
+            assert!(op.kind.is_map_like());
+        }
+        assert!(matches!(f.ops()[4].kind, OpKind::Reduce { func: 1 }));
+        // Rewired chain still validates and still refers strictly backwards.
+        assert!(f.validate(1).is_ok());
+        for (i, op) in f.ops().iter().enumerate().skip(1) {
+            assert_eq!(op.input, DataRef::Op(OpId(i as u32 - 1)));
+        }
+    }
+
+    #[test]
+    fn partition_mismatch_blocks_fusion() {
+        let mut p = Plan::new();
+        let m = p.map(0, DataRef::Source(0), 4);
+        let r = p.reduce(0, DataRef::Op(m), 4);
+        p.map(0, DataRef::Op(r), 8); // repartitioning map: not fusable
+        let (f, n) = p.fused();
+        assert_eq!(n, 0);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn multi_consumer_reduce_blocks_fusion() {
+        let mut p = Plan::new();
+        let m = p.map(0, DataRef::Source(0), 2);
+        let r = p.reduce(0, DataRef::Op(m), 2);
+        p.map(0, DataRef::Op(r), 2);
+        p.map(1, DataRef::Op(r), 2); // second consumer needs the reduce output
+        let (f, n) = p.fused();
+        assert_eq!(n, 0);
+        assert_eq!(f.len(), 4);
+        // Unfused rewrite is a faithful copy.
+        assert_eq!(f.ops(), p.ops());
+    }
+
+    #[test]
+    fn combiner_map_blocks_fusion() {
+        let mut p = Plan::new();
+        let m = p.map(0, DataRef::Source(0), 2);
+        let r = p.reduce(0, DataRef::Op(m), 2);
+        p.map_with_combiner(0, DataRef::Op(r), 2);
+        let (f, n) = p.fused();
+        assert_eq!(n, 0);
+        assert_eq!(f.len(), 3);
     }
 }

@@ -156,6 +156,89 @@ pub fn run_reduce_task(program: &dyn Program, func: FuncId, mut input: Bucket) -
     Ok(out)
 }
 
+/// Run one fused reduce+map task: sort the gathered records of one
+/// partition, reduce each key group, and feed every reduced record
+/// straight into map function `map_func`, partitioning the map output into
+/// `parts` buckets — without ever materializing the reduce output. This is
+/// the `reducemap` operation of the paper's iterative pipeline: one task
+/// does the work of a reduce round plus the following map round.
+///
+/// Because the reduced records are produced in sorted-group order — the
+/// exact order [`run_reduce_task`]'s output bucket would hold them — the
+/// buckets returned here are byte-identical to running the reduce task and
+/// then a map task over its output.
+pub fn run_reduce_map_task(
+    program: &dyn Program,
+    reduce_func: FuncId,
+    map_func: FuncId,
+    mut input: Bucket,
+    parts: usize,
+    combine: bool,
+) -> Result<Vec<Bucket>> {
+    use std::cell::RefCell;
+    input.sort();
+    let combining = combine && program.has_combiner(map_func);
+    // Emit closures cannot return errors, and here two of them nest
+    // (reduce emit wrapping map emit), so failures from either layer are
+    // stashed in one shared slot and re-raised after each reduce call.
+    let deferred: RefCell<Option<Error>> = RefCell::new(None);
+    if combining && CombineStrategy::default() == CombineStrategy::Hash {
+        let combiners: RefCell<Vec<StreamCombiner>> =
+            RefCell::new((0..parts).map(|_| StreamCombiner::new()).collect());
+        for (key, values) in input.groups() {
+            let mut iter = values;
+            program.reduce_bytes(reduce_func, key, &mut iter, &mut |rk, rv| {
+                if deferred.borrow().is_some() {
+                    return;
+                }
+                let r = program.map_bytes(map_func, rk, rv, &mut |k2, v2| {
+                    if deferred.borrow().is_some() {
+                        return;
+                    }
+                    let p = program.partition(k2, parts);
+                    if let Err(e) = combiners.borrow_mut()[p].insert(program, map_func, k2, v2) {
+                        *deferred.borrow_mut() = Some(e);
+                    }
+                });
+                if let Err(e) = r {
+                    *deferred.borrow_mut() = Some(e);
+                }
+            })?;
+            if let Some(e) = deferred.borrow_mut().take() {
+                return Err(e);
+            }
+        }
+        return combiners.into_inner().into_iter().map(|c| c.finalize(program, map_func)).collect();
+    }
+    let buckets: RefCell<Vec<Bucket>> = RefCell::new((0..parts).map(|_| Bucket::new()).collect());
+    for (key, values) in input.groups() {
+        let mut iter = values;
+        program.reduce_bytes(reduce_func, key, &mut iter, &mut |rk, rv| {
+            if deferred.borrow().is_some() {
+                return;
+            }
+            let r = program.map_bytes(map_func, rk, rv, &mut |k2, v2| {
+                let p = program.partition(k2, parts);
+                buckets.borrow_mut()[p].push(k2, v2);
+            });
+            if let Err(e) = r {
+                *deferred.borrow_mut() = Some(e);
+            }
+        })?;
+        if let Some(e) = deferred.borrow_mut().take() {
+            return Err(e);
+        }
+    }
+    let mut buckets = buckets.into_inner();
+    if combining {
+        for b in &mut buckets {
+            let taken = std::mem::take(b);
+            *b = combine_bucket(program, map_func, taken)?;
+        }
+    }
+    Ok(buckets)
+}
+
 /// Fold a group's pending values eagerly once this many have accumulated.
 /// Bounds the per-group memory of hot keys while keeping fold calls rare
 /// enough that the combiner cost stays amortized.
@@ -635,5 +718,96 @@ mod tests {
         let bad = vec![(vec![1u8, 2], b"not a string".to_vec())];
         assert!(run_map_task(&p, 0, &bad, 1, false).is_err());
         assert!(run_map_task_with(&p, 0, &bad, 1, true, CombineStrategy::Hash).is_err());
+    }
+
+    /// A chainable iterative program over `u64` records: reduce output
+    /// feeds map input, like PSO's particle messages. Map fans each record
+    /// out to its own key and a neighbor key; reduce sums each group.
+    struct Chain;
+
+    impl Program for Chain {
+        fn map_bytes(
+            &self,
+            _func: FuncId,
+            key: &[u8],
+            value: &[u8],
+            emit: &mut dyn FnMut(&[u8], &[u8]),
+        ) -> Result<()> {
+            let k = u64::from_bytes(key)?;
+            let v = u64::from_bytes(value)?;
+            emit(&k.to_bytes(), &(v + 1).to_bytes());
+            emit(&((k * 7 + 1) % 5).to_bytes(), &v.to_bytes());
+            Ok(())
+        }
+
+        fn reduce_bytes(
+            &self,
+            _func: FuncId,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            emit: &mut dyn FnMut(&[u8], &[u8]),
+        ) -> Result<()> {
+            let mut sum = 0u64;
+            for v in values {
+                sum += u64::from_bytes(v)?;
+            }
+            emit(key, &sum.to_bytes());
+            Ok(())
+        }
+
+        fn combine_bytes(
+            &self,
+            func: FuncId,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            emit: &mut dyn FnMut(&[u8], &[u8]),
+        ) -> Result<()> {
+            self.reduce_bytes(func, key, values, emit)
+        }
+
+        fn has_combiner(&self, _func: FuncId) -> bool {
+            true
+        }
+    }
+
+    fn chain_input() -> Bucket {
+        let mut b = Bucket::new();
+        for i in 0..40u64 {
+            b.push(&(i % 5).to_bytes(), &(i * 3).to_bytes());
+        }
+        b
+    }
+
+    #[test]
+    fn fused_kernel_matches_reduce_then_map() {
+        let p = Chain;
+        for parts in [1, 3, 5] {
+            for combine in [false, true] {
+                let fused = run_reduce_map_task(&p, 0, 0, chain_input(), parts, combine).unwrap();
+                let reduced = run_reduce_task(&p, 0, chain_input()).unwrap();
+                let unfused = run_map_task_bucket(&p, 0, &reduced, parts, combine).unwrap();
+                assert_eq!(fused, unfused, "parts={parts} combine={combine}");
+                assert_eq!(fused.len(), parts);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_on_empty_input_is_empty() {
+        let fused = run_reduce_map_task(&Chain, 0, 0, Bucket::new(), 2, false).unwrap();
+        assert!(fused.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn fused_kernel_propagates_map_errors() {
+        // Reduce emits (key, sum) but the WordCount map expects a String
+        // value, so the inner map fails; the error must surface through the
+        // nested emit closures.
+        let p = Simple(WordCount);
+        let mut input = Bucket::new();
+        input.push(&"w".to_string().to_bytes(), &1u64.to_bytes());
+        for combine in [false, true] {
+            assert!(run_reduce_map_task(&p, 0, 0, input.clone(), 1, combine).is_err());
+        }
     }
 }

@@ -253,7 +253,12 @@ impl PsoProgram {
         // iteration t's result is fetched. A dataset may only be discarded
         // once its consumer is complete: fetching r_t proves m_t complete,
         // which proves r_{t-1} fully consumed — so at that point r_{t-1}
-        // and m_t (whose consumer r_t is complete) can both go.
+        // and m_t (whose consumer r_t is complete) can both go. Each r_t
+        // is pinned (`keep`) at creation because the convergence check
+        // still needs to fetch it after iteration t+1's map — its only
+        // plan consumer — completes; without the pin, lifetime GC would
+        // reclaim it first. The m_t datasets carry no pin: GC may beat
+        // the explicit discard, which is then a no-op.
         let mut pending: Option<(u64, mrs_runtime::DataId, mrs_runtime::DataId)> = None;
         let mut fetched_reduce: Option<mrs_runtime::DataId> = None;
         let record = |job: &mut Job,
@@ -272,6 +277,7 @@ impl PsoProgram {
         for t in 1..=outer_iters {
             let m = job.map_data(ds, FUNC_ISLAND, n_islands, false)?;
             let r = job.reduce_data(m, FUNC_ISLAND)?;
+            job.keep(r);
             if let Some((iter, r_prev, m_prev)) = pending.take() {
                 record(job, &mut history, iter, r_prev)?;
                 if let Some(old) = fetched_reduce.take() {
@@ -291,6 +297,53 @@ impl PsoProgram {
             job.discard(m_last);
         }
         Ok(history)
+    }
+
+    /// Run `iters` per-particle iterations as one op chain and fetch the
+    /// final swarm records. With `fused`, interior rounds are fused
+    /// ReduceMap ops (one task per iteration instead of two); the output
+    /// is byte-identical either way.
+    pub fn run_particles(&self, job: &mut Job, iters: u64, fused: bool) -> Result<Vec<Record>> {
+        let parts = self.config.n_particles as usize;
+        self.run_chain(job, FUNC_PARTICLE, self.initial_particles(), parts, iters, fused)
+    }
+
+    /// Run `outer_iters` island-granularity iterations as one op chain and
+    /// fetch the final island records. See [`Self::run_particles`].
+    pub fn run_islands(&self, job: &mut Job, outer_iters: u64, fused: bool) -> Result<Vec<Record>> {
+        let parts = self.n_islands() as usize;
+        self.run_chain(job, FUNC_ISLAND, self.initial_islands(), parts, outer_iters, fused)
+    }
+
+    /// The iterative chain both granularities share: map₀, then
+    /// `iters - 1` interior rounds, then a final reduce. Interior rounds
+    /// are either a materialized reduce followed by a map (unfused) or a
+    /// single ReduceMap op (fused) — the shapes the iteration bench
+    /// compares. No intermediate is fetched, so lifetime GC reclaims each
+    /// dataset as its consumer completes and the chain holds O(1) live
+    /// datasets regardless of `iters`.
+    fn run_chain(
+        &self,
+        job: &mut Job,
+        func: FuncId,
+        initial: Vec<Record>,
+        parts: usize,
+        iters: u64,
+        fused: bool,
+    ) -> Result<Vec<Record>> {
+        assert!(iters > 0, "need at least one iteration");
+        let ds = job.local_data(initial, parts)?;
+        let mut m = job.map_data(ds, func, parts, false)?;
+        for _ in 1..iters {
+            m = if fused {
+                job.reduce_map_data(m, func, func, parts, false)?
+            } else {
+                let r = job.reduce_data(m, func)?;
+                job.map_data(r, func, parts, false)?
+            };
+        }
+        let r = job.reduce_data(m, func)?;
+        job.fetch_all(r)
     }
 
     /// Drive `iters` per-particle MapReduce iterations.
@@ -468,6 +521,42 @@ mod tests {
             drive(Job::new(&mut rt))
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fused_chain_matches_unfused_byte_identically() {
+        let cfg = config(Topology::Subswarms { size: 4 });
+        let runs: Vec<Vec<Record>> = [false, true]
+            .iter()
+            .flat_map(|&fused| {
+                let serial = {
+                    let mut rt = SerialRuntime::new(Arc::new(PsoProgram::new(cfg.clone(), 3)));
+                    let program = PsoProgram::new(cfg.clone(), 3);
+                    program.run_islands(&mut Job::new(&mut rt), 5, fused).unwrap()
+                };
+                let pool = {
+                    let mut rt = LocalRuntime::pool(Arc::new(PsoProgram::new(cfg.clone(), 3)), 4);
+                    let program = PsoProgram::new(cfg.clone(), 3);
+                    program.run_islands(&mut Job::new(&mut rt), 5, fused).unwrap()
+                };
+                [serial, pool]
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(&runs[0], r, "fused/unfused island chains must agree byte-for-byte");
+        }
+        assert!(PsoProgram::best_of_islands(&runs[0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn fused_particle_chain_matches_unfused() {
+        let cfg = config(Topology::Ring { k: 1 });
+        let run = |fused: bool| {
+            let mut rt = LocalRuntime::pool(Arc::new(PsoProgram::new(cfg.clone(), 1)), 3);
+            let program = PsoProgram::new(cfg.clone(), 1);
+            program.run_particles(&mut Job::new(&mut rt), 6, fused).unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -55,6 +55,16 @@ impl FrameCache {
         self.frames.lock().clear();
     }
 
+    /// Drop every frame whose path starts with `prefix`, returning how
+    /// many were removed. Dataset lifetime GC frees a whole dataset's
+    /// buckets with one call (paths are laid out `.../d{data}/...`).
+    pub fn remove_prefix(&self, prefix: &str) -> usize {
+        let mut frames = self.frames.lock();
+        let before = frames.len();
+        frames.retain(|path, _| !path.starts_with(prefix));
+        before - frames.len()
+    }
+
     /// Number of cached frames.
     pub fn len(&self) -> usize {
         self.frames.lock().len()

@@ -17,6 +17,7 @@
 //! prog --mrs master --mrs-longpoll-ms 250 # cap server-side get_task parks
 //! prog --mrs slave --mrs-master H:P --mrs-compress off          # raw buckets
 //! prog --mrs master --mrs-compress threshold=4096               # frame big buckets only
+//! prog --mrs master --mrs-keep-data   # disable dataset lifetime GC
 //! ```
 //!
 //! A master runs the driver and serves slaves; a slave never runs the
@@ -79,6 +80,11 @@ pub struct CliOptions {
     /// default: compress buckets above the built-in threshold). Decoders
     /// auto-detect framing, so mixed settings across a cluster interoperate.
     pub compress: CompressMode,
+    /// Disable dataset lifetime GC (`--mrs-keep-data`): intermediates stay
+    /// fetchable after their last plan consumer finishes, and fault
+    /// recovery can always re-execute from them. The default (GC on)
+    /// bounds an iterative job's footprint at O(1) live datasets.
+    pub keep_data: bool,
     /// Everything that was not an `--mrs*` option, for the program's own
     /// argument handling.
     pub rest: Vec<String>,
@@ -95,6 +101,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     let mut control = ControlMode::default();
     let mut long_poll = None;
     let mut compress = CompressMode::default();
+    let mut keep_data = false;
     let mut rest = Vec::new();
 
     let mut iter = args.into_iter();
@@ -144,6 +151,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
                 let v = value_of("--mrs-compress")?;
                 compress = CompressMode::parse(&v).map_err(Error::Invalid)?;
             }
+            "--mrs-keep-data" => keep_data = true,
             _ => rest.push(arg),
         }
     }
@@ -173,7 +181,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     if long_poll == Some(Duration::ZERO) {
         return Err(Error::Invalid("--mrs-longpoll-ms must be positive".into()));
     }
-    Ok(CliOptions { implementation, control, long_poll, compress, rest })
+    Ok(CliOptions { implementation, control, long_poll, compress, keep_data, rest })
 }
 
 fn num_cpus() -> usize {
@@ -194,16 +202,19 @@ where
         Implementation::MockParallel => {
             let spill = Arc::new(TempFs::new("mockparallel")?);
             let mut rt = LocalRuntime::mock_parallel_with(program, spill, options.compress);
+            rt.set_keep_data(options.keep_data);
             driver(&mut Job::new(&mut rt))
         }
         Implementation::Pool(workers) => {
             let mut rt = LocalRuntime::pool(program, *workers);
+            rt.set_keep_data(options.keep_data);
             driver(&mut Job::new(&mut rt))
         }
         Implementation::Master { port, port_file } => {
             let mut cfg = MasterConfig {
                 control: options.control,
                 compress: options.compress,
+                keep_data: options.keep_data,
                 ..MasterConfig::default()
             };
             if let Some(lp) = options.long_poll {
@@ -321,6 +332,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_keep_data_flag() {
+        assert!(!opts(&[]).unwrap().keep_data);
+        let o = opts(&["--mrs", "pool", "--mrs-keep-data", "rest.txt"]).unwrap();
+        assert!(o.keep_data);
+        assert_eq!(o.rest, vec!["rest.txt"]);
+    }
+
+    #[test]
     fn program_args_pass_through() {
         let o = opts(&["input.txt", "--mrs", "pool", "--verbose"]).unwrap();
         assert_eq!(o.rest, vec!["input.txt", "--verbose"]);
@@ -383,6 +402,7 @@ mod tests {
             control: ControlMode::default(),
             long_poll: None,
             compress: CompressMode::default(),
+            keep_data: false,
             rest: vec![],
         };
         // Driver with no work: just verify the port file exists while the

@@ -13,10 +13,10 @@ use crate::dataplane::{self, DataPlaneStats};
 use crate::job::JobApi;
 use crate::master::{Master, MasterConfig, SlaveId};
 use crate::metrics::JobMetrics;
-use crate::proto::{Assignment, DataPlane, TaskReport};
+use crate::proto::{DataPlane, Dispatch, TaskReport};
 use crate::slave::{run_slave, MasterLink, SlaveOptions};
 use mrs_core::{Error, FuncId, Program, Record, Result};
-use mrs_rpc::rpc::{Dispatch, RpcClient, RpcServer};
+use mrs_rpc::rpc::{Dispatch as RpcDispatch, RpcClient, RpcServer};
 use mrs_rpc::Value;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -30,7 +30,7 @@ pub fn serve_master(master: Master, port: u16) -> std::io::Result<RpcServer> {
     let m2 = master.clone();
     let m3 = master.clone();
     let m4 = master;
-    let dispatch = Dispatch::new()
+    let dispatch = RpcDispatch::new()
         .register("signin", move |params| {
             let authority = params
                 .first()
@@ -61,7 +61,7 @@ pub fn serve_master(master: Master, port: u16) -> std::io::Result<RpcServer> {
                     .map_err(|e| (3, format!("get_task: bad report: {e}")))?,
                 None => Vec::new(),
             };
-            Ok(m2.get_tasks_with(slave as SlaveId, free, park, &reports).to_value())
+            Ok(m2.get_dispatch(slave as SlaveId, free, park, &reports).to_value())
         })
         .register("task_done", move |params| {
             let (slave, data, index, urls) = parse_report(params)?;
@@ -125,7 +125,7 @@ impl MasterLink for RpcMasterLink {
         free: usize,
         park: Duration,
         reports: Vec<TaskReport>,
-    ) -> Result<Assignment> {
+    ) -> Result<Dispatch> {
         let reports = Value::Array(reports.iter().map(TaskReport::to_value).collect());
         let v = self.client.call(
             "get_task",
@@ -136,7 +136,7 @@ impl MasterLink for RpcMasterLink {
                 reports,
             ],
         )?;
-        Assignment::from_value(&v)
+        Dispatch::from_value(&v)
     }
 
     fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()> {
@@ -339,11 +339,24 @@ impl JobApi for LocalCluster {
     fn reduce_data(&mut self, input: DataId, func: FuncId) -> Result<DataId> {
         self.master.reduce_data(input, func)
     }
+    fn reduce_map_data(
+        &mut self,
+        input: DataId,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId> {
+        self.master.reduce_map_data(input, reduce_func, map_func, parts, combine)
+    }
     fn wait(&mut self, data: DataId) -> Result<()> {
         self.master.wait(data)
     }
     fn fetch_all(&mut self, data: DataId) -> Result<Vec<Record>> {
         self.master.fetch_all(data)
+    }
+    fn keep(&mut self, data: DataId) {
+        self.master.keep(data)
     }
     fn discard(&mut self, data: DataId) {
         self.master.discard(data)

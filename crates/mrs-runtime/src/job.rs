@@ -31,6 +31,22 @@ pub trait JobApi {
     /// Produces one output split per partition of `input`.
     fn reduce_data(&mut self, input: DataId, func: FuncId) -> Result<DataId>;
 
+    /// Queue a fused reduce+map over a map-like output: each partition of
+    /// `input` is sorted, grouped, reduced with `reduce_func`, and every
+    /// reduced record is fed straight into `map_func`, partitioning the
+    /// output into `parts` buckets — one scheduling/shuffle round instead
+    /// of two, and the reduce output is never materialized. The result is
+    /// map-like: feed it to another `reduce_map_data` or a final
+    /// `reduce_data`, byte-identical to the unfused pair.
+    fn reduce_map_data(
+        &mut self,
+        input: DataId,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId>;
+
     /// Block until a dataset is fully materialized.
     fn wait(&mut self, data: DataId) -> Result<()>;
 
@@ -41,6 +57,13 @@ pub trait JobApi {
     /// Hint that a dataset's storage can be reclaimed. Runtimes may ignore
     /// it; iterative programs call it on data from finished iterations.
     fn discard(&mut self, data: DataId);
+
+    /// Pin a dataset against automatic lifetime GC: the runtime must keep
+    /// it fetchable after its last queued consumer finishes, until the
+    /// driver explicitly discards it. Drivers that queue iteration `t+1`
+    /// before fetching iteration `t`'s result pin that result first. The
+    /// default is a no-op, correct for runtimes without lifetime GC.
+    fn keep(&mut self, _data: DataId) {}
 }
 
 /// Convenience wrapper so drivers can be written against a concrete type.
@@ -73,6 +96,23 @@ impl<'a> Job<'a> {
     /// See [`JobApi::reduce_data`].
     pub fn reduce_data(&mut self, input: DataId, func: FuncId) -> Result<DataId> {
         self.inner.reduce_data(input, func)
+    }
+
+    /// See [`JobApi::reduce_map_data`].
+    pub fn reduce_map_data(
+        &mut self,
+        input: DataId,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId> {
+        self.inner.reduce_map_data(input, reduce_func, map_func, parts, combine)
+    }
+
+    /// See [`JobApi::keep`].
+    pub fn keep(&mut self, data: DataId) {
+        self.inner.keep(data)
     }
 
     /// See [`JobApi::wait`].

@@ -17,12 +17,12 @@ use crate::dataplane::DataPlaneStats;
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
 use mrs_codec::CompressMode;
-use mrs_core::task::{run_map_task, run_reduce_task};
+use mrs_core::task::{run_map_task, run_reduce_map_task, run_reduce_task};
 use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
 use mrs_fs::format::write_bucket;
 use mrs_fs::Store;
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -52,6 +52,17 @@ enum DsState {
         tasks: Vec<Option<Vec<Record>>>,
         remaining: usize,
     },
+    /// A fused reduce+map operation's output: map-like (per task, `parts`
+    /// buckets), one task per partition of the input.
+    ReduceMapOut {
+        input: DataId,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        parts: usize,
+        combine: bool,
+        tasks: Vec<Option<Vec<Bucket>>>,
+        remaining: usize,
+    },
     Discarded,
 }
 
@@ -59,9 +70,9 @@ impl DsState {
     fn complete(&self) -> bool {
         match self {
             DsState::Source(_) => true,
-            DsState::MapOut { remaining, .. } | DsState::ReduceOut { remaining, .. } => {
-                *remaining == 0
-            }
+            DsState::MapOut { remaining, .. }
+            | DsState::ReduceOut { remaining, .. }
+            | DsState::ReduceMapOut { remaining, .. } => *remaining == 0,
             DsState::Discarded => true,
         }
     }
@@ -69,6 +80,16 @@ impl DsState {
 
 struct State {
     datasets: Vec<DsState>,
+    /// Remaining registered consumers per dataset (index-aligned with
+    /// `datasets`): incremented when an op is queued over the dataset,
+    /// decremented when that op completes. Lifetime GC frees a dataset
+    /// when its count returns to zero.
+    consumers: Vec<u32>,
+    /// Datasets pinned by `keep` — exempt from lifetime GC until an
+    /// explicit discard.
+    pins: HashSet<u32>,
+    /// When set, lifetime GC is disabled (`--mrs-keep-data`).
+    keep_data: bool,
     /// Tasks not yet ready to run.
     pending: Vec<TaskRef>,
     /// Tasks ready to run.
@@ -124,6 +145,9 @@ impl LocalRuntime {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 datasets: Vec::new(),
+                consumers: Vec::new(),
+                pins: HashSet::new(),
+                keep_data: false,
                 pending: Vec::new(),
                 queue: VecDeque::new(),
                 error: None,
@@ -151,6 +175,13 @@ impl LocalRuntime {
     pub fn metrics(&self) -> JobMetrics {
         self.shared.state.lock().metrics.clone()
     }
+
+    /// Disable (or re-enable) dataset lifetime GC. With GC on (the
+    /// default) a dataset is reclaimed as soon as its last queued consumer
+    /// finishes; `--mrs-keep-data` routes here.
+    pub fn set_keep_data(&mut self, keep: bool) {
+        self.shared.state.lock().keep_data = keep;
+    }
 }
 
 impl Drop for LocalRuntime {
@@ -174,7 +205,11 @@ fn ready(st: &State, t: TaskRef) -> bool {
             DsState::ReduceOut { tasks, .. } => tasks[t.index].is_some(),
             _ => false,
         },
-        DsState::ReduceOut { input, .. } => st.datasets[input.0 as usize].complete(),
+        // Reduce-like tasks (plain or fused) gather one partition from
+        // *every* task of the input, so they wait for the whole op.
+        DsState::ReduceOut { input, .. } | DsState::ReduceMapOut { input, .. } => {
+            st.datasets[input.0 as usize].complete()
+        }
         _ => false,
     }
 }
@@ -213,32 +248,52 @@ fn task_input(st: &mut State, t: TaskRef, count_handover: bool) -> Result<TaskWo
             Ok(TaskWork::Map { records, func: *func, parts: *parts, combine: *combine })
         }
         DsState::ReduceOut { input, func, .. } => {
-            let DsState::MapOut { tasks, .. } = &st.datasets[input.0 as usize] else {
-                return Err(Error::Invalid("reduce input is not a map output".into()));
-            };
-            let mut input = Bucket::new();
-            for task in tasks {
-                let buckets =
-                    task.as_ref().ok_or_else(|| Error::Invalid("map task not done".into()))?;
-                input.extend_from(&buckets[t.index]);
-            }
-            let handovers = tasks.len() as u64;
             let func = *func;
+            let (bucket, handovers) = gather_partition(st, *input, t.index)?;
             if count_handover {
                 st.metrics.record_dataplane(DataPlaneStats {
                     shortcircuit_fetches: handovers,
                     ..DataPlaneStats::default()
                 });
             }
-            Ok(TaskWork::Reduce { input, func })
+            Ok(TaskWork::Reduce { input: bucket, func })
+        }
+        DsState::ReduceMapOut { input, reduce_func, map_func, parts, combine, .. } => {
+            let (reduce_func, map_func, parts, combine) =
+                (*reduce_func, *map_func, *parts, *combine);
+            let (bucket, handovers) = gather_partition(st, *input, t.index)?;
+            if count_handover {
+                st.metrics.record_dataplane(DataPlaneStats {
+                    shortcircuit_fetches: handovers,
+                    ..DataPlaneStats::default()
+                });
+            }
+            Ok(TaskWork::ReduceMap { input: bucket, reduce_func, map_func, parts, combine })
         }
         _ => Err(Error::Invalid("task on non-op dataset".into())),
     }
 }
 
+/// Concatenate partition `index` of every task of a map-like dataset,
+/// returning the gathered bucket and the number of in-memory handovers.
+fn gather_partition(st: &State, input: DataId, index: usize) -> Result<(Bucket, u64)> {
+    let (DsState::MapOut { tasks, .. } | DsState::ReduceMapOut { tasks, .. }) =
+        &st.datasets[input.0 as usize]
+    else {
+        return Err(Error::Invalid("reduce input is not a map-like output".into()));
+    };
+    let mut bucket = Bucket::new();
+    for task in tasks {
+        let buckets = task.as_ref().ok_or_else(|| Error::Invalid("map task not done".into()))?;
+        bucket.extend_from(&buckets[index]);
+    }
+    Ok((bucket, tasks.len() as u64))
+}
+
 enum TaskWork {
     Map { records: Vec<Record>, func: FuncId, parts: usize, combine: bool },
     Reduce { input: Bucket, func: FuncId },
+    ReduceMap { input: Bucket, reduce_func: FuncId, map_func: FuncId, parts: usize, combine: bool },
 }
 
 fn worker_loop(shared: &Shared) {
@@ -302,6 +357,10 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
             };
             tasks[t.index] = Some(buckets);
             *remaining -= 1;
+            if *remaining == 0 {
+                st.metrics.record_dataset_live();
+                op_completed(&mut st, t.data);
+            }
             Ok(())
         }
         TaskWork::Reduce { input, func } => {
@@ -322,15 +381,91 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
             };
             tasks[t.index] = Some(out.into_records());
             *remaining -= 1;
+            if *remaining == 0 {
+                st.metrics.record_dataset_live();
+                op_completed(&mut st, t.data);
+            }
             Ok(())
+        }
+        TaskWork::ReduceMap { input, reduce_func, map_func, parts, combine } => {
+            let t0 = std::time::Instant::now();
+            let out = run_reduce_map_task(
+                shared.program.as_ref(),
+                reduce_func,
+                map_func,
+                input,
+                parts,
+                combine,
+            )?;
+            let bytes: usize = out.iter().map(Bucket::byte_size).sum();
+            if let Some(store) = &shared.spill {
+                for (p, b) in out.iter().enumerate() {
+                    let path = format!("ds{}/reducemap{}/b{p}.mrsb", t.data.0, t.index);
+                    store.put(
+                        &path,
+                        &mrs_codec::encode_vec(write_bucket(b), shared.spill_compress),
+                    )?;
+                }
+            }
+            let mut st = shared.state.lock();
+            st.metrics.record_reducemap_task(t0.elapsed(), bytes);
+            let DsState::ReduceMapOut { tasks, remaining, .. } =
+                &mut st.datasets[t.data.0 as usize]
+            else {
+                return Err(Error::Invalid("reducemap task on non-reducemap dataset".into()));
+            };
+            tasks[t.index] = Some(out);
+            *remaining -= 1;
+            if *remaining == 0 {
+                st.metrics.record_dataset_live();
+                op_completed(&mut st, t.data);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Called when an op's last task lands: release the refcount the op held
+/// on its input and, if that was the input's last registered consumer,
+/// reclaim the input's storage (unless GC is off or the driver pinned it).
+fn op_completed(st: &mut State, data: DataId) {
+    let input = match &st.datasets[data.0 as usize] {
+        DsState::MapOut { input, .. }
+        | DsState::ReduceOut { input, .. }
+        | DsState::ReduceMapOut { input, .. } => *input,
+        _ => return,
+    };
+    let c = &mut st.consumers[input.0 as usize];
+    *c = c.saturating_sub(1);
+    if *c == 0 && !st.keep_data && !st.pins.contains(&input.0) {
+        let slot = &mut st.datasets[input.0 as usize];
+        // Sources are exempt (matching the master): job input stays
+        // available unless explicitly discarded.
+        if slot.complete() && !matches!(slot, DsState::Discarded | DsState::Source(_)) {
+            *slot = DsState::Discarded;
+            st.metrics.record_dataset_freed(true);
         }
     }
 }
 
 impl LocalRuntime {
     fn submit(&mut self, ds: DsState, ntasks: usize) -> DataId {
+        let input = match &ds {
+            DsState::MapOut { input, .. }
+            | DsState::ReduceOut { input, .. }
+            | DsState::ReduceMapOut { input, .. } => Some(*input),
+            _ => None,
+        };
         let mut st = self.shared.state.lock();
         st.datasets.push(ds);
+        st.consumers.push(0);
+        match input {
+            Some(input) => st.consumers[input.0 as usize] += 1,
+            // Sources are materialized at submission; op outputs count as
+            // live when their last task lands (see `execute`), so
+            // `peak_live_datasets` tracks held storage, not queue depth.
+            None => st.metrics.record_dataset_live(),
+        }
         let id = DataId(st.datasets.len() as u32 - 1);
         for index in 0..ntasks {
             st.pending.push(TaskRef { data: id, index });
@@ -372,7 +507,7 @@ impl JobApi for LocalRuntime {
             match st.datasets.get(input.0 as usize) {
                 Some(DsState::Source(ds)) => ds.len(),
                 Some(DsState::ReduceOut { tasks, .. }) => tasks.len(),
-                Some(DsState::MapOut { .. }) => {
+                Some(DsState::MapOut { .. } | DsState::ReduceMapOut { .. }) => {
                     return Err(Error::Invalid("map cannot consume an unreduced map output".into()))
                 }
                 Some(DsState::Discarded) => {
@@ -398,7 +533,7 @@ impl JobApi for LocalRuntime {
         let parts = {
             let st = self.shared.state.lock();
             match st.datasets.get(input.0 as usize) {
-                Some(DsState::MapOut { parts, .. }) => *parts,
+                Some(DsState::MapOut { parts, .. } | DsState::ReduceMapOut { parts, .. }) => *parts,
                 Some(_) => return Err(Error::Invalid("reduce must consume a map output".into())),
                 None => return Err(Error::MissingData(format!("dataset {input:?}"))),
             }
@@ -412,6 +547,47 @@ impl JobApi for LocalRuntime {
             },
             parts,
         ))
+    }
+
+    fn reduce_map_data(
+        &mut self,
+        input: DataId,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId> {
+        if parts == 0 {
+            return Err(Error::Invalid("need at least one partition".into()));
+        }
+        let ntasks = {
+            let mut st = self.shared.state.lock();
+            let n = match st.datasets.get(input.0 as usize) {
+                Some(DsState::MapOut { parts, .. } | DsState::ReduceMapOut { parts, .. }) => *parts,
+                Some(_) => {
+                    return Err(Error::Invalid("reduce_map must consume a map-like output".into()))
+                }
+                None => return Err(Error::MissingData(format!("dataset {input:?}"))),
+            };
+            st.metrics.record_fused_op();
+            n
+        };
+        Ok(self.submit(
+            DsState::ReduceMapOut {
+                input,
+                reduce_func,
+                map_func,
+                parts,
+                combine,
+                tasks: (0..ntasks).map(|_| None).collect(),
+                remaining: ntasks,
+            },
+            ntasks,
+        ))
+    }
+
+    fn keep(&mut self, data: DataId) {
+        self.shared.state.lock().pins.insert(data.0);
     }
 
     fn wait(&mut self, data: DataId) -> Result<()> {
@@ -432,7 +608,7 @@ impl JobApi for LocalRuntime {
         let st = self.shared.state.lock();
         match &st.datasets[data.0 as usize] {
             DsState::Source(ds) => Ok(ds.iter().flatten().cloned().collect()),
-            DsState::MapOut { tasks, .. } => Ok(tasks
+            DsState::MapOut { tasks, .. } | DsState::ReduceMapOut { tasks, .. } => Ok(tasks
                 .iter()
                 .flatten()
                 .flat_map(|buckets| buckets.iter().flat_map(|b| b.to_records()))
@@ -453,15 +629,18 @@ impl JobApi for LocalRuntime {
         // advisory per the JobApi contract, so ignoring is always safe.
         let has_live_consumer = st.datasets.iter().any(|ds| match ds {
             DsState::MapOut { input, remaining, .. }
-            | DsState::ReduceOut { input, remaining, .. } => *input == data && *remaining > 0,
+            | DsState::ReduceOut { input, remaining, .. }
+            | DsState::ReduceMapOut { input, remaining, .. } => *input == data && *remaining > 0,
             _ => false,
         });
         if has_live_consumer {
             return;
         }
+        st.pins.remove(&data.0);
         if let Some(slot) = st.datasets.get_mut(data.0 as usize) {
-            if slot.complete() {
+            if slot.complete() && !matches!(slot, DsState::Discarded) {
                 *slot = DsState::Discarded;
+                st.metrics.record_dataset_freed(false);
             }
         }
     }
@@ -674,6 +853,138 @@ mod tests {
         let r2 = job.reduce_data(m2, 0).unwrap();
         let out = job.fetch_all(r2).unwrap();
         assert_eq!(out.len(), 4);
+    }
+
+    /// Self-feeding chain program for iterative tests: reduce output is
+    /// valid map input, map scatters across keys so every partition mixes.
+    struct Rotate;
+    impl MapReduce for Rotate {
+        type K1 = u64;
+        type V1 = u64;
+        type K2 = u64;
+        type V2 = u64;
+        fn map(&self, k: u64, v: u64, emit: &mut dyn FnMut(u64, u64)) {
+            emit(k % 5, v + 1);
+            emit((k * 3 + 1) % 5, v);
+        }
+        fn reduce(&self, _k: &u64, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+            emit(vs.sum());
+        }
+        fn has_combiner(&self) -> bool {
+            true
+        }
+    }
+
+    fn rotate_input() -> Vec<Record> {
+        (0..24u64).map(|i| encode_record(&i, &(i * i % 11))).collect()
+    }
+
+    fn rotate_unfused(rt: &mut LocalRuntime, iters: usize, parts: usize) -> Vec<Record> {
+        let mut job = Job::new(rt);
+        let src = job.local_data(rotate_input(), 3).unwrap();
+        let mut m = job.map_data(src, 0, parts, true).unwrap();
+        for _ in 1..iters {
+            let r = job.reduce_data(m, 0).unwrap();
+            m = job.map_data(r, 0, parts, true).unwrap();
+        }
+        let last = job.reduce_data(m, 0).unwrap();
+        job.fetch_all(last).unwrap()
+    }
+
+    fn rotate_fused(rt: &mut LocalRuntime, iters: usize, parts: usize) -> Vec<Record> {
+        let mut job = Job::new(rt);
+        let src = job.local_data(rotate_input(), 3).unwrap();
+        let mut m = job.map_data(src, 0, parts, true).unwrap();
+        for _ in 1..iters {
+            m = job.reduce_map_data(m, 0, 0, parts, true).unwrap();
+        }
+        let last = job.reduce_data(m, 0).unwrap();
+        job.fetch_all(last).unwrap()
+    }
+
+    #[test]
+    fn pool_reducemap_matches_unfused_chain() {
+        let (iters, parts) = (4usize, 3usize);
+        let mut plain = LocalRuntime::pool(Arc::new(Simple(Rotate)), 4);
+        let unfused = rotate_unfused(&mut plain, iters, parts);
+        let mut fused_rt = LocalRuntime::pool(Arc::new(Simple(Rotate)), 4);
+        let fused = rotate_fused(&mut fused_rt, iters, parts);
+        assert_eq!(fused, unfused, "fused chain must be byte-identical");
+        let m = fused_rt.metrics();
+        assert_eq!(m.fused_ops(), (iters - 1) as u64);
+        assert_eq!(m.reducemap_tasks(), ((iters - 1) * parts) as u64);
+        assert!(m.datasets_freed() > 0, "GC should reclaim interior datasets");
+    }
+
+    #[test]
+    fn mock_parallel_reducemap_matches_pool() {
+        let (iters, parts) = (3usize, 2usize);
+        let mut pool = LocalRuntime::pool(Arc::new(Simple(Rotate)), 3);
+        let a = rotate_fused(&mut pool, iters, parts);
+        let mut mock =
+            LocalRuntime::mock_parallel(Arc::new(Simple(Rotate)), Arc::new(MemFs::new()));
+        let b = rotate_fused(&mut mock, iters, parts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gc_bounds_live_datasets_independent_of_iterations() {
+        let peak_at = |iters: usize| {
+            let mut rt = LocalRuntime::pool(Arc::new(Simple(Rotate)), 1);
+            rotate_fused(&mut rt, iters, 2);
+            rt.metrics().peak_live_datasets()
+        };
+        let (short, long) = (peak_at(3), peak_at(12));
+        assert_eq!(short, long, "peak live datasets must not grow with iteration count");
+        assert!(long <= 4, "chain should hold O(1) datasets, saw {long}");
+    }
+
+    #[test]
+    fn keep_data_disables_gc_and_keeps_intermediates_fetchable() {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(Rotate)), 2);
+        rt.set_keep_data(true);
+        let (m1, out) = {
+            let mut job = Job::new(&mut rt);
+            let src = job.local_data(rotate_input(), 2).unwrap();
+            let m1 = job.map_data(src, 0, 2, true).unwrap();
+            let m2 = job.reduce_map_data(m1, 0, 0, 2, true).unwrap();
+            let last = job.reduce_data(m2, 0).unwrap();
+            (m1, job.fetch_all(last).unwrap())
+        };
+        assert!(!out.is_empty());
+        let metrics = rt.metrics();
+        assert_eq!(metrics.datasets_freed(), 0);
+        let mut job = Job::new(&mut rt);
+        assert!(job.fetch_all(m1).is_ok(), "keep-data mode must retain intermediates");
+    }
+
+    #[test]
+    fn keep_pins_dataset_against_gc_until_discard() {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(Rotate)), 2);
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(rotate_input(), 2).unwrap();
+        let m1 = job.map_data(src, 0, 2, true).unwrap();
+        let r1 = job.reduce_data(m1, 0).unwrap();
+        job.keep(r1);
+        // Queue the next round over r1 *before* fetching it — without the
+        // pin, the map's completion would free r1 out from under us.
+        let m2 = job.map_data(r1, 0, 2, true).unwrap();
+        let r2 = job.reduce_data(m2, 0).unwrap();
+        job.wait(r2).unwrap();
+        assert!(job.fetch_all(r1).is_ok(), "pinned dataset must survive its last consumer");
+        job.discard(r1);
+        assert!(job.fetch_all(r1).is_err(), "explicit discard releases the pin");
+    }
+
+    #[test]
+    fn reducemap_of_reduce_output_is_error() {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(Rotate)), 1);
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(rotate_input(), 1).unwrap();
+        let m = job.map_data(src, 0, 2, false).unwrap();
+        let r = job.reduce_data(m, 0).unwrap();
+        assert!(job.reduce_map_data(r, 0, 0, 2, false).is_err());
+        assert!(job.reduce_map_data(src, 0, 0, 2, false).is_err());
     }
 
     #[test]

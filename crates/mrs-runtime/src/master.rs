@@ -29,14 +29,16 @@
 use crate::data::{split_evenly, DataId};
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
-use crate::proto::{fetch_records, Assignment, ControlMode, DataPlane, TaskMsg, TaskReport};
+use crate::proto::{
+    fetch_records, Assignment, ControlMode, DataPlane, Dispatch, TaskKind, TaskMsg, TaskReport,
+};
 use mrs_codec::CompressMode;
 use mrs_core::{Error, FuncId, Record, Result};
 use mrs_fs::format::write_bucket_bytes;
 use mrs_fs::Store;
 use mrs_rpc::{DataServer, FrameCache};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,6 +66,10 @@ pub struct MasterConfig {
     /// (source splits). [`crate::LocalCluster`] propagates the same
     /// setting to its slaves.
     pub compress: CompressMode,
+    /// Disable dataset lifetime GC (`--mrs-keep-data`): intermediates stay
+    /// fetchable forever, and fault-tolerant re-execution never finds its
+    /// inputs reclaimed.
+    pub keep_data: bool,
 }
 
 impl Default for MasterConfig {
@@ -75,6 +81,7 @@ impl Default for MasterConfig {
             control: ControlMode::default(),
             long_poll_timeout: Duration::from_secs(1),
             compress: CompressMode::default(),
+            keep_data: false,
         }
     }
 }
@@ -111,8 +118,11 @@ enum MDs {
     /// A queued/running/complete operation.
     Op {
         input: DataId,
+        kind: TaskKind,
+        /// Program function (the reduce function for fused ops).
         func: FuncId,
-        is_map: bool,
+        /// Map function of a fused `ReduceMap` op; 0 otherwise.
+        map_func: FuncId,
         parts: usize,
         combine: bool,
         tasks: Vec<TaskSlot>,
@@ -141,9 +151,23 @@ struct SlaveInfo {
 
 struct MState {
     datasets: Vec<MDs>,
+    /// Remaining registered consumers per dataset (index-aligned with
+    /// `datasets`): incremented when an op is queued over the dataset,
+    /// decremented when that op completes. Lifetime GC frees a dataset
+    /// when its count returns to zero.
+    consumers: Vec<u32>,
+    /// Datasets pinned by `keep` — exempt from lifetime GC until an
+    /// explicit discard.
+    pins: HashSet<u32>,
+    /// Per-slave frame-cache purge orders not yet delivered; drained onto
+    /// the next [`Master::get_dispatch`] answer for that slave.
+    pending_purge: Vec<Vec<String>>,
     slaves: Vec<SlaveInfo>,
-    /// (is_map, func, index) → slave that last completed that task shape.
-    affinity: HashMap<(bool, FuncId, usize), SlaveId>,
+    /// (kind, func, index) → slave that last completed that task shape.
+    /// Keying by kind means a fused `ReduceMap` op carries its own claims
+    /// from one iteration to the next, exactly like the map/reduce pair it
+    /// replaced.
+    affinity: HashMap<(TaskKind, FuncId, usize), SlaveId>,
     error: Option<String>,
     finished: bool,
     /// `get_tasks` requests currently parked on `dispatch_cv`. Wakes are
@@ -189,6 +213,9 @@ impl Master {
                 cfg,
                 state: Mutex::new(MState {
                     datasets: Vec::new(),
+                    consumers: Vec::new(),
+                    pins: HashSet::new(),
+                    pending_purge: Vec::new(),
                     slaves: Vec::new(),
                     affinity: HashMap::new(),
                     error: None,
@@ -223,6 +250,7 @@ impl Master {
             last_seen: Instant::now(),
             slots: slots.max(1),
         });
+        st.pending_purge.push(Vec::new());
         let id = st.slaves.len() as SlaveId - 1;
         self.shared.cv.notify_all();
         id
@@ -385,27 +413,28 @@ impl Master {
                 break;
             };
             let msg = {
-                let MDs::Op { input, func, is_map, parts, combine, .. } =
+                let MDs::Op { input, kind, func, map_func, parts, combine, .. } =
                     &st.datasets[data.0 as usize]
                 else {
                     unreachable!("candidates only contain ops");
                 };
-                let inputs = self.input_urls(st, *input, *is_map, index);
+                let inputs = self.input_urls(st, *input, *kind, index);
                 TaskMsg {
                     data: data.0,
                     index,
-                    is_map: *is_map,
+                    kind: *kind,
                     func: *func,
-                    parts: if *is_map { *parts } else { 1 },
+                    map_func: *map_func,
+                    parts: if kind.is_map_like() { *parts } else { 1 },
                     combine: *combine,
                     inputs,
                 }
             };
             if self.shared.cfg.use_affinity {
-                let MDs::Op { func, is_map, .. } = &st.datasets[data.0 as usize] else {
+                let MDs::Op { kind, func, .. } = &st.datasets[data.0 as usize] else {
                     unreachable!()
                 };
-                if let Some(&pref) = st.affinity.get(&(*is_map, *func, index)) {
+                if let Some(&pref) = st.affinity.get(&(*kind, *func, index)) {
                     st.metrics.record_affinity(pref == slave);
                 }
             }
@@ -443,12 +472,12 @@ impl Master {
         // Collect dispatchable tasks: Pending with satisfied inputs.
         let mut candidates: Vec<(DataId, usize)> = Vec::new();
         for (d, ds) in st.datasets.iter().enumerate() {
-            let MDs::Op { input, is_map, tasks, .. } = ds else { continue };
+            let MDs::Op { input, kind, tasks, .. } = ds else { continue };
             for (i, slot) in tasks.iter().enumerate() {
                 if slot.state != SlotState::Pending {
                     continue;
                 }
-                if Self::input_ready(st, *input, *is_map, i) {
+                if Self::input_ready(st, *input, *kind, i) {
                     candidates.push((DataId(d as u32), i));
                 }
             }
@@ -456,8 +485,8 @@ impl Master {
         let &first = candidates.first()?;
 
         let owner_of = |d: DataId, i: usize| -> Option<SlaveId> {
-            let MDs::Op { func, is_map, .. } = &st.datasets[d.0 as usize] else { return None };
-            st.affinity.get(&(*is_map, *func, i)).copied()
+            let MDs::Op { kind, func, .. } = &st.datasets[d.0 as usize] else { return None };
+            st.affinity.get(&(*kind, *func, i)).copied()
         };
         let live = |s: SlaveId| st.slaves.get(s as usize).map(|x| x.alive).unwrap_or(false);
         // Fractional load (busy, slots) for cross-multiplied comparison.
@@ -504,38 +533,39 @@ impl Master {
         Some((first.0, first.1, false))
     }
 
-    fn input_ready(st: &MState, input: DataId, is_map: bool, index: usize) -> bool {
+    fn input_ready(st: &MState, input: DataId, kind: TaskKind, index: usize) -> bool {
         match &st.datasets[input.0 as usize] {
-            MDs::Source { .. } => is_map,
-            MDs::Op { is_map: input_is_map, tasks, done_count, .. } => {
-                if is_map {
+            MDs::Source { .. } => kind == TaskKind::Map,
+            MDs::Op { kind: input_kind, tasks, done_count, .. } => {
+                if kind == TaskKind::Map {
                     // map task i needs split i of a reduce output
-                    !input_is_map
+                    !input_kind.is_map_like()
                         && matches!(
                             tasks.get(index).map(|t| &t.state),
                             Some(SlotState::Done { .. })
                         )
                 } else {
-                    // reduce task needs the whole map output
-                    *input_is_map && *done_count == tasks.len()
+                    // reduce-like tasks (plain or fused) need the whole
+                    // map-like output to gather their partition
+                    input_kind.is_map_like() && *done_count == tasks.len()
                 }
             }
             MDs::Discarded => false,
         }
     }
 
-    fn input_urls(&self, st: &MState, input: DataId, is_map: bool, index: usize) -> Vec<String> {
+    fn input_urls(&self, st: &MState, input: DataId, kind: TaskKind, index: usize) -> Vec<String> {
         match &st.datasets[input.0 as usize] {
             MDs::Source { urls } => vec![urls[index].clone()],
             MDs::Op { tasks, .. } => {
-                if is_map {
+                if kind == TaskKind::Map {
                     // reduce output split `index`: its single url
                     match &tasks[index].state {
                         SlotState::Done { urls, .. } => urls.clone(),
                         _ => Vec::new(),
                     }
                 } else {
-                    // partition `index` of every map task
+                    // partition `index` of every map-like task
                     tasks
                         .iter()
                         .filter_map(|t| match &t.state {
@@ -574,8 +604,9 @@ impl Master {
             DataPlane::Direct => Some(slave),
             DataPlane::SharedFs(_) => None,
         };
-        let mut record_affinity: Option<(bool, FuncId)> = None;
-        if let Some(MDs::Op { tasks, done_count, func, is_map, .. }) =
+        let mut record_affinity: Option<(TaskKind, FuncId)> = None;
+        let mut op_complete: Option<DataId> = None;
+        if let Some(MDs::Op { tasks, done_count, func, kind, input, .. }) =
             st.datasets.get_mut(data as usize)
         {
             let Some(slot) = tasks.get_mut(index) else { return };
@@ -584,16 +615,109 @@ impl Master {
                 _ => {
                     slot.state = SlotState::Done { urls, owner };
                     *done_count += 1;
-                    record_affinity = Some((*is_map, *func));
+                    record_affinity = Some((*kind, *func));
+                    if *done_count == tasks.len() {
+                        op_complete = Some(*input);
+                    }
                 }
             }
         }
-        if let Some((is_map, func)) = record_affinity {
+        if let Some((kind, func)) = record_affinity {
             st.metrics.record_task();
+            if kind == TaskKind::ReduceMap {
+                // Time and shuffle bytes happened slave-side; the master
+                // only observes that a fused task completed.
+                st.metrics.record_reducemap_task(Duration::ZERO, 0);
+            }
             if self.shared.cfg.use_affinity {
-                st.affinity.insert((is_map, func, index), slave);
+                st.affinity.insert((kind, func, index), slave);
             }
         }
+        if let Some(input) = op_complete {
+            // The op's output is now fully materialized, and the op no
+            // longer needs its input.
+            st.metrics.record_dataset_live();
+            self.release_consumer(st, input);
+        }
+    }
+
+    /// Release the refcount a completed op held on `input`; when that was
+    /// the last registered consumer, reclaim the dataset (lifetime GC).
+    /// Sources are exempt: real Mrs re-reads job input from the
+    /// filesystem, so keeping splits means a first-level map task can
+    /// always be re-executed after a slave death. Only an explicit
+    /// discard frees them.
+    fn release_consumer(&self, st: &mut MState, input: DataId) {
+        let c = &mut st.consumers[input.0 as usize];
+        *c = c.saturating_sub(1);
+        if *c == 0
+            && !self.shared.cfg.keep_data
+            && !st.pins.contains(&input.0)
+            && !matches!(st.datasets[input.0 as usize], MDs::Source { .. })
+        {
+            self.free_dataset(st, input, true);
+        }
+    }
+
+    /// Drop a dataset's storage everywhere: master-held source frames are
+    /// removed immediately; slave-held frames are purged via orders
+    /// piggybacked on each slave's next poll (direct plane only — on a
+    /// shared filesystem slaves hold no frames). No-op unless the dataset
+    /// is complete and not already gone.
+    fn free_dataset(&self, st: &mut MState, data: DataId, by_gc: bool) {
+        let slot = &mut st.datasets[data.0 as usize];
+        if !slot.complete() || matches!(slot, MDs::Discarded) {
+            return;
+        }
+        let was_source = matches!(slot, MDs::Source { .. });
+        *slot = MDs::Discarded;
+        st.metrics.record_dataset_freed(by_gc);
+        if was_source {
+            self.shared.source_frames.remove_prefix(&format!("src{}/", data.0));
+        } else if matches!(self.shared.plane, DataPlane::Direct) {
+            for (s, orders) in st.pending_purge.iter_mut().enumerate() {
+                orders.push(format!("s{s}/d{}/", data.0));
+            }
+        }
+    }
+
+    /// Fail the job if any re-queued task's input has been reclaimed by
+    /// lifetime GC: re-execution cannot proceed without it. Called from the
+    /// failure/requeue paths — during normal forward progress a pending
+    /// task's input is refcounted alive.
+    fn check_freed_inputs(st: &mut MState) {
+        if st.error.is_some() {
+            return;
+        }
+        for d in 0..st.datasets.len() {
+            let MDs::Op { input, ref tasks, .. } = st.datasets[d] else { continue };
+            let any_pending = tasks.iter().any(|t| t.state == SlotState::Pending);
+            if any_pending && matches!(st.datasets[input.0 as usize], MDs::Discarded) {
+                st.error = Some(format!(
+                    "task input (dataset {}) was reclaimed by lifetime GC before re-execution; \
+                     re-run with --mrs-keep-data",
+                    input.0
+                ));
+                return;
+            }
+        }
+    }
+
+    /// Full poll answer for the RPC layer: the assignment plus any pending
+    /// lifetime-GC purge orders for this slave, drained in one round trip.
+    pub fn get_dispatch(
+        &self,
+        slave: SlaveId,
+        free_slots: usize,
+        park: Duration,
+        reports: &[TaskReport],
+    ) -> Dispatch {
+        let assignment = self.get_tasks_with(slave, free_slots, park, reports);
+        let purge = {
+            let mut st = self.shared.state.lock();
+            st.pending_purge.get_mut(slave as usize).map(std::mem::take).unwrap_or_default()
+        };
+        Dispatch { assignment, purge }
     }
 
     /// A slave reports a failed task attempt.
@@ -652,6 +776,7 @@ impl Master {
         if let Some(e) = fail_job {
             st.error = Some(e);
         }
+        Self::check_freed_inputs(&mut st);
         Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
@@ -702,6 +827,7 @@ impl Master {
         if !any_alive && any_incomplete {
             st.error = Some("no live slaves remain".into());
         }
+        Self::check_freed_inputs(&mut st);
         // Requeued tasks (or the error) are runnable-state transitions.
         Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
@@ -781,6 +907,7 @@ impl JobApi for Master {
         let id = {
             let mut st = self.shared.state.lock();
             st.datasets.push(MDs::Source { urls: Vec::new() });
+            st.consumers.push(0);
             st.datasets.len() as u32 - 1
         };
         let mut urls = Vec::with_capacity(splits);
@@ -789,6 +916,7 @@ impl JobApi for Master {
         }
         let mut st = self.shared.state.lock();
         st.datasets[id as usize] = MDs::Source { urls };
+        st.metrics.record_dataset_live();
         Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
@@ -808,8 +936,8 @@ impl JobApi for Master {
         let mut st = self.shared.state.lock();
         let ntasks = match st.datasets.get(input.0 as usize) {
             Some(MDs::Source { urls }) => urls.len(),
-            Some(MDs::Op { is_map, tasks, .. }) => {
-                if *is_map {
+            Some(MDs::Op { kind, tasks, .. }) => {
+                if kind.is_map_like() {
                     return Err(Error::Invalid(
                         "map cannot consume an unreduced map output".into(),
                     ));
@@ -821,15 +949,18 @@ impl JobApi for Master {
             }
             None => return Err(Error::MissingData(format!("dataset {input:?}"))),
         };
+        st.consumers[input.0 as usize] += 1;
         st.datasets.push(MDs::Op {
             input,
+            kind: TaskKind::Map,
             func,
-            is_map: true,
+            map_func: 0,
             parts,
             combine,
             tasks: (0..ntasks).map(|_| TaskSlot::new()).collect(),
             done_count: 0,
         });
+        st.consumers.push(0);
         let id = DataId(st.datasets.len() as u32 - 1);
         Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
@@ -840,24 +971,70 @@ impl JobApi for Master {
     fn reduce_data(&mut self, input: DataId, func: FuncId) -> Result<DataId> {
         let mut st = self.shared.state.lock();
         let parts = match st.datasets.get(input.0 as usize) {
-            Some(MDs::Op { is_map: true, parts, .. }) => *parts,
+            Some(MDs::Op { kind, parts, .. }) if kind.is_map_like() => *parts,
             Some(_) => return Err(Error::Invalid("reduce must consume a map output".into())),
             None => return Err(Error::MissingData(format!("dataset {input:?}"))),
         };
+        st.consumers[input.0 as usize] += 1;
         st.datasets.push(MDs::Op {
             input,
+            kind: TaskKind::Reduce,
             func,
-            is_map: false,
+            map_func: 0,
             parts,
             combine: false,
             tasks: (0..parts).map(|_| TaskSlot::new()).collect(),
             done_count: 0,
         });
+        st.consumers.push(0);
         let id = DataId(st.datasets.len() as u32 - 1);
         Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
         Ok(id)
+    }
+
+    fn reduce_map_data(
+        &mut self,
+        input: DataId,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId> {
+        if parts == 0 {
+            return Err(Error::Invalid("need at least one partition".into()));
+        }
+        let mut st = self.shared.state.lock();
+        let ntasks = match st.datasets.get(input.0 as usize) {
+            Some(MDs::Op { kind, parts, .. }) if kind.is_map_like() => *parts,
+            Some(_) => {
+                return Err(Error::Invalid("reduce_map must consume a map-like output".into()))
+            }
+            None => return Err(Error::MissingData(format!("dataset {input:?}"))),
+        };
+        st.consumers[input.0 as usize] += 1;
+        st.metrics.record_fused_op();
+        st.datasets.push(MDs::Op {
+            input,
+            kind: TaskKind::ReduceMap,
+            func: reduce_func,
+            map_func,
+            parts,
+            combine,
+            tasks: (0..ntasks).map(|_| TaskSlot::new()).collect(),
+            done_count: 0,
+        });
+        st.consumers.push(0);
+        let id = DataId(st.datasets.len() as u32 - 1);
+        Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(id)
+    }
+
+    fn keep(&mut self, data: DataId) {
+        self.shared.state.lock().pins.insert(data.0);
     }
 
     fn wait(&mut self, data: DataId) -> Result<()> {
@@ -954,10 +1131,13 @@ impl JobApi for Master {
 
     fn discard(&mut self, data: DataId) {
         let mut st = self.shared.state.lock();
-        if let Some(slot) = st.datasets.get_mut(data.0 as usize) {
-            if slot.complete() {
-                *slot = MDs::Discarded;
-            }
+        // Advisory: refuse while a queued consumer still needs the data.
+        if st.consumers.get(data.0 as usize).is_some_and(|c| *c > 0) {
+            return;
+        }
+        st.pins.remove(&data.0);
+        if st.datasets.get(data.0 as usize).is_some() {
+            self.free_dataset(&mut st, data, false);
         }
     }
 }
@@ -1040,7 +1220,7 @@ mod tests {
         for _ in 0..2 {
             let a = fake_slave_step(&m, &store, s);
             assert!(
-                matches!(a, Assignment::Tasks(ref ts) if ts.len() == 1 && ts[0].is_map),
+                matches!(a, Assignment::Tasks(ref ts) if ts.len() == 1 && ts[0].kind == TaskKind::Map),
                 "{a:?}"
             );
         }
@@ -1048,7 +1228,7 @@ mod tests {
         for _ in 0..3 {
             let a = fake_slave_step(&m, &store, s);
             assert!(
-                matches!(a, Assignment::Tasks(ref ts) if ts.len() == 1 && !ts[0].is_map),
+                matches!(a, Assignment::Tasks(ref ts) if ts.len() == 1 && ts[0].kind == TaskKind::Reduce),
                 "{a:?}"
             );
         }
@@ -1135,18 +1315,18 @@ mod tests {
 
         // s1 completes the map (its output lives on s1), then dies.
         let t = take1(m.get_task(s1));
-        assert!(t.is_map);
+        assert_eq!(t.kind, TaskKind::Map);
         m.task_done(s1, t.data, t.index, vec!["http://dead:1/data/x".into()]);
         // s2 picks up the now-ready reduce whose input lives on s1.
         let tr = take1(m.get_task(s2));
-        assert!(!tr.is_map);
+        assert_eq!(tr.kind, TaskKind::Reduce);
         std::thread::sleep(Duration::from_millis(40));
         // Touch s2 so only s1 is swept; then the lost map output forces the
         // map task to be re-queued (direct plane: data died with s1).
         assert_eq!(m.get_task(s2), Assignment::Wait);
         m.sweep();
         let t2 = take1(m.get_task(s2));
-        assert!(t2.is_map, "expected requeued map, got {t2:?}");
+        assert_eq!(t2.kind, TaskKind::Map, "expected requeued map, got {t2:?}");
         assert_eq!((t2.data, t2.index), (t.data, t.index));
     }
 
@@ -1331,7 +1511,7 @@ mod tests {
         // s0 holds the only map task; s1 has nothing runnable (the reduce
         // is blocked behind the map barrier) and parks.
         let t = take1(m.get_task(s0));
-        assert!(t.is_map);
+        assert_eq!(t.kind, TaskKind::Map);
         let m2 = m.clone();
         let parked = std::thread::spawn(move || {
             let start = Instant::now();
@@ -1343,7 +1523,7 @@ mod tests {
         finish_task(&m, &store, s0, &t);
         let (a, elapsed) = parked.join().unwrap();
         let got = take1(a);
-        assert!(!got.is_map, "parked slave should receive the unblocked reduce");
+        assert_eq!(got.kind, TaskKind::Reduce, "parked slave should receive the unblocked reduce");
         assert!(elapsed < Duration::from_millis(700), "woke by deadline, not event: {elapsed:?}");
         let metrics = m.metrics();
         assert_eq!(metrics.longpoll_parks(), 1);
@@ -1436,6 +1616,121 @@ mod tests {
         // finish() alone must end the loop (LocalCluster drops this way).
         m.finish();
         sweeper.join().unwrap();
+    }
+
+    #[test]
+    fn reducemap_dispatches_after_map_barrier_with_fused_shape() {
+        let (mut m, store) = shared_master();
+        let s = m.signin("a:1", 1);
+        let src = m.local_data(records(8), 2).unwrap();
+        let mapped = m.map_data(src, 0, 3, false).unwrap();
+        let fused = m.reduce_map_data(mapped, 1, 2, 4, true).unwrap();
+        let _r = m.reduce_data(fused, 1).unwrap();
+
+        // Two map tasks clear the barrier first.
+        for _ in 0..2 {
+            let a = fake_slave_step(&m, &store, s);
+            assert!(matches!(a, Assignment::Tasks(ref ts) if ts[0].kind == TaskKind::Map), "{a:?}");
+        }
+        // Then one fused task per input partition, shaped like a map task
+        // on the output side and a reduce task on the input side.
+        for _ in 0..3 {
+            let t = take1(m.get_task(s));
+            assert_eq!(t.kind, TaskKind::ReduceMap);
+            assert_eq!((t.func, t.map_func), (1, 2));
+            assert_eq!(t.parts, 4);
+            assert!(t.combine);
+            assert_eq!(t.inputs.len(), 2, "gathers its partition from both map tasks");
+            finish_task(&m, &store, s, &t);
+        }
+        // The final reduce gathers one partition from every fused task.
+        let t = take1(m.get_task(s));
+        assert_eq!(t.kind, TaskKind::Reduce);
+        assert_eq!(t.inputs.len(), 3);
+        let metrics = m.metrics();
+        assert_eq!(metrics.fused_ops(), 1);
+        assert_eq!(metrics.reducemap_tasks(), 3);
+    }
+
+    #[test]
+    fn affinity_survives_fusion_across_iterations() {
+        let (mut m, store) = shared_master();
+        let s0 = m.signin("a:1", 1);
+        let s1 = m.signin("b:2", 1);
+        let src = m.local_data(records(8), 2).unwrap();
+        let m1 = m.map_data(src, 0, 2, false).unwrap();
+
+        // Iteration 1: a fused round; s0 ends up with index 0, s1 with 1.
+        let f1 = m.reduce_map_data(m1, 0, 0, 2, false).unwrap();
+        let t0 = take1(m.get_task(s0));
+        let t1 = take1(m.get_task(s1));
+        finish_task(&m, &store, s0, &t0);
+        finish_task(&m, &store, s1, &t1);
+        let t0 = take1(m.get_task(s0));
+        let t1 = take1(m.get_task(s1));
+        assert_eq!(t0.kind, TaskKind::ReduceMap);
+        assert_eq!((t0.index, t1.index), (0, 1));
+        finish_task(&m, &store, s0, &t0);
+        finish_task(&m, &store, s1, &t1);
+
+        // Iteration 2: another fused round. The claims recorded for the
+        // fused shape hold — s0 gets its index back, and does not steal
+        // s1's even when polling first.
+        let f2 = m.reduce_map_data(f1, 0, 0, 2, false).unwrap();
+        let t = take1(m.get_task(s0));
+        assert_eq!(t.index, 0, "s0 keeps its fused index across iterations");
+        finish_task(&m, &store, s0, &t);
+        assert_eq!(m.get_task(s0), Assignment::Wait, "must not steal the idle peer's claim");
+        let t = take1(m.get_task(s1));
+        assert_eq!(t.index, 1);
+        let _ = f2;
+        assert!(m.metrics().affinity_hits() >= 2);
+    }
+
+    #[test]
+    fn gc_frees_spent_datasets_and_queues_purge_orders() {
+        let mut m = master_direct();
+        let s = m.signin("a:1", 2);
+        let src = m.local_data(records(6), 1).unwrap();
+        let m1 = m.map_data(src, 0, 1, false).unwrap();
+        let _r1 = m.reduce_data(m1, 0).unwrap();
+
+        let t = take1(m.get_task(s));
+        assert_eq!(t.kind, TaskKind::Map);
+        m.task_done(s, t.data, t.index, vec![format!("http://a:1/data/s0/d{}/t0/b0.mrsb", t.data)]);
+        let t = take1(m.get_task(s));
+        assert_eq!(t.kind, TaskKind::Reduce);
+        m.task_done(s, t.data, t.index, vec![format!("http://a:1/data/s0/d{}/t0/b0.mrsb", t.data)]);
+
+        // The reduce's completion released the map output: a purge order
+        // for the slave's copy rides the next dispatch, exactly once.
+        let d = m.get_dispatch(s, 1, Duration::ZERO, &[]);
+        assert_eq!(d.assignment, Assignment::Wait);
+        assert!(d.purge.contains(&format!("s0/d{}/", m1.0)), "{:?}", d.purge);
+        let d2 = m.get_dispatch(s, 1, Duration::ZERO, &[]);
+        assert!(d2.purge.is_empty(), "purge orders are drained on delivery");
+        let metrics = m.metrics();
+        assert_eq!(metrics.datasets_freed(), 1);
+        // The source is exempt from lifetime GC.
+        assert!(m.wait(src).is_ok());
+    }
+
+    #[test]
+    fn keep_data_config_disables_master_gc() {
+        let cfg = MasterConfig { keep_data: true, ..Default::default() };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let mut m = Master::new(cfg, DataPlane::SharedFs(Arc::clone(&store))).unwrap();
+        let s = m.signin("a:1", 1);
+        let src = m.local_data(records(4), 1).unwrap();
+        let m1 = m.map_data(src, 0, 1, false).unwrap();
+        let _r1 = m.reduce_data(m1, 0).unwrap();
+        while let Assignment::Tasks(ts) = m.get_task(s) {
+            for t in &ts {
+                finish_task(&m, &store, s, t);
+            }
+        }
+        assert_eq!(m.metrics().datasets_freed(), 0);
+        assert!(m.fetch_all(m1).is_ok(), "intermediates stay fetchable with keep-data");
     }
 
     #[test]

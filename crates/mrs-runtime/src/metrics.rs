@@ -28,6 +28,11 @@ pub struct JobMetrics {
     bytes_on_wire: u64,
     shortcircuit_fetches: u64,
     checksum_retries: u64,
+    fused_ops: u64,
+    reducemap_tasks: u64,
+    datasets_freed: u64,
+    live_datasets: u64,
+    peak_live_datasets: u64,
 }
 
 impl JobMetrics {
@@ -241,6 +246,61 @@ impl JobMetrics {
     pub fn checksum_retries(&self) -> u64 {
         self.checksum_retries
     }
+
+    /// Record a fused reduce+map operation being queued.
+    pub fn record_fused_op(&mut self) {
+        self.fused_ops += 1;
+    }
+
+    /// Record one executed reducemap task: its wall time and the bytes it
+    /// emitted into the shuffle (zero where the observer cannot see them,
+    /// e.g. the master learning of a slave-side completion).
+    pub fn record_reducemap_task(&mut self, elapsed: Duration, shuffle_bytes: usize) {
+        self.reducemap_tasks += 1;
+        self.reduce_time += elapsed;
+        self.shuffle_bytes += shuffle_bytes as u64;
+    }
+
+    /// Record a dataset coming alive (materialized or queued).
+    pub fn record_dataset_live(&mut self) {
+        self.live_datasets += 1;
+        self.peak_live_datasets = self.peak_live_datasets.max(self.live_datasets);
+    }
+
+    /// Record a dataset's storage being reclaimed — by lifetime GC when its
+    /// last consumer finished, or by an explicit `discard`.
+    pub fn record_dataset_freed(&mut self, by_gc: bool) {
+        self.live_datasets = self.live_datasets.saturating_sub(1);
+        if by_gc {
+            self.datasets_freed += 1;
+        }
+    }
+
+    /// Fused reduce+map operations executed.
+    pub fn fused_ops(&self) -> u64 {
+        self.fused_ops
+    }
+
+    /// Individual reducemap tasks executed across all fused operations.
+    pub fn reducemap_tasks(&self) -> u64 {
+        self.reducemap_tasks
+    }
+
+    /// Datasets reclaimed automatically by consumer-refcount lifetime GC.
+    pub fn datasets_freed(&self) -> u64 {
+        self.datasets_freed
+    }
+
+    /// Datasets currently holding storage.
+    pub fn live_datasets(&self) -> u64 {
+        self.live_datasets
+    }
+
+    /// High-water mark of simultaneously live datasets. For an iterative
+    /// job with GC on, this stays O(1) regardless of iteration count.
+    pub fn peak_live_datasets(&self) -> u64 {
+        self.peak_live_datasets
+    }
 }
 
 #[cfg(test)]
@@ -294,5 +354,29 @@ mod tests {
         assert_eq!(m.shortcircuit_fetches(), 7);
         assert_eq!(m.checksum_retries(), 1);
         assert!(m.map_time() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn fusion_and_lifetime_counters_accumulate() {
+        let mut m = JobMetrics::default();
+        m.record_fused_op();
+        m.record_fused_op();
+        for _ in 0..5 {
+            m.record_reducemap_task(Duration::from_millis(1), 40);
+        }
+        assert_eq!(m.fused_ops(), 2);
+        assert_eq!(m.reducemap_tasks(), 5);
+        assert_eq!(m.shuffle_bytes(), 200);
+        assert!(m.reduce_time() >= Duration::from_millis(5));
+
+        for _ in 0..3 {
+            m.record_dataset_live();
+        }
+        m.record_dataset_freed(true);
+        m.record_dataset_live();
+        m.record_dataset_freed(false);
+        assert_eq!(m.peak_live_datasets(), 3);
+        assert_eq!(m.live_datasets(), 2);
+        assert_eq!(m.datasets_freed(), 1, "only GC frees count as freed");
     }
 }

@@ -111,6 +111,36 @@ pub enum Assignment {
     Exit,
 }
 
+/// What a task does with its input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Map each input record, partitioning output into `parts` buckets.
+    Map,
+    /// Sort-group-reduce the gathered partition into one output bucket.
+    Reduce,
+    /// Fused reduce+map (§ iterative jobs): sort-group-reduce the gathered
+    /// partition and feed every reduced record straight into the map
+    /// function, partitioning like a map task — one scheduling round and
+    /// one shuffle instead of two, with no materialized reduce output.
+    ReduceMap,
+}
+
+impl TaskKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+            TaskKind::ReduceMap => "reducemap",
+        }
+    }
+
+    /// Map-like kinds emit partitioned buckets; reduce-like kinds gather
+    /// one partition from every task of their input.
+    pub fn is_map_like(self) -> bool {
+        matches!(self, TaskKind::Map | TaskKind::ReduceMap)
+    }
+}
+
 /// A task assignment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TaskMsg {
@@ -118,11 +148,13 @@ pub struct TaskMsg {
     pub data: u32,
     /// Task index within the dataset.
     pub index: usize,
-    /// True for map, false for reduce.
-    pub is_map: bool,
-    /// Program function id.
+    /// What the task does with its input.
+    pub kind: TaskKind,
+    /// Program function id (the reduce function for fused tasks).
     pub func: u32,
-    /// Output partitions (map only; 1 for reduce).
+    /// Map function id for fused `ReduceMap` tasks; 0 otherwise.
+    pub map_func: u32,
+    /// Output partitions (map-like only; 1 for reduce).
     pub parts: usize,
     /// Run the combiner after mapping.
     pub combine: bool,
@@ -131,13 +163,18 @@ pub struct TaskMsg {
 }
 
 impl TaskMsg {
-    /// Encode for the RPC response.
+    /// Encode for the RPC response. Alongside the `kind` discriminator the
+    /// legacy `is_map` boolean is still written (fused tasks gather like a
+    /// reduce, so they encode as `false`) — struct decoders ignore unknown
+    /// keys, so old peers keep working for the kinds they know.
     pub fn to_value(&self) -> Value {
         let mut m = BTreeMap::new();
         m.insert("data".to_owned(), Value::Int(self.data as i64));
         m.insert("index".to_owned(), Value::Int(self.index as i64));
-        m.insert("is_map".to_owned(), Value::Bool(self.is_map));
+        m.insert("kind".to_owned(), Value::Str(self.kind.as_str().into()));
+        m.insert("is_map".to_owned(), Value::Bool(self.kind == TaskKind::Map));
         m.insert("func".to_owned(), Value::Int(self.func as i64));
+        m.insert("map_func".to_owned(), Value::Int(self.map_func as i64));
         m.insert("parts".to_owned(), Value::Int(self.parts as i64));
         m.insert("combine".to_owned(), Value::Bool(self.combine));
         m.insert(
@@ -147,7 +184,8 @@ impl TaskMsg {
         Value::Struct(m)
     }
 
-    /// Decode from the RPC response.
+    /// Decode from the RPC response. Prefers the `kind` discriminator and
+    /// falls back to the legacy `is_map` boolean from pre-fusion masters.
     pub fn from_value(v: &Value) -> Result<TaskMsg> {
         let int = |name: &str| -> Result<i64> {
             v.field(name)
@@ -165,19 +203,31 @@ impl TaskMsg {
                     .ok_or_else(|| Error::Rpc("non-string input url".into()))
             })
             .collect::<Result<Vec<_>>>()?;
-        let is_map = match v.field("is_map") {
-            Some(Value::Bool(b)) => *b,
-            _ => return Err(Error::Rpc("assignment missing is_map".into())),
+        let kind = match v.field("kind").and_then(Value::as_str) {
+            Some("map") => TaskKind::Map,
+            Some("reduce") => TaskKind::Reduce,
+            Some("reducemap") => TaskKind::ReduceMap,
+            Some(other) => return Err(Error::Rpc(format!("unknown task kind {other:?}"))),
+            None => match v.field("is_map") {
+                Some(Value::Bool(true)) => TaskKind::Map,
+                Some(Value::Bool(false)) => TaskKind::Reduce,
+                _ => return Err(Error::Rpc("assignment missing kind/is_map".into())),
+            },
         };
         let combine = match v.field("combine") {
             Some(Value::Bool(b)) => *b,
             _ => return Err(Error::Rpc("assignment missing combine".into())),
         };
+        let map_func = match v.field("map_func") {
+            Some(f) => f.as_int().ok_or_else(|| Error::Rpc("non-int map_func".into()))? as u32,
+            None => 0,
+        };
         Ok(TaskMsg {
             data: int("data")? as u32,
             index: int("index")? as usize,
-            is_map,
+            kind,
             func: int("func")? as u32,
+            map_func,
             parts: int("parts")? as usize,
             combine,
             inputs,
@@ -231,6 +281,53 @@ impl Assignment {
             }
             other => Err(Error::Rpc(format!("unknown assignment type {other:?}"))),
         }
+    }
+}
+
+/// A full `get_task` answer: the assignment plus lifetime-GC purge
+/// orders. `purge` lists output-path prefixes whose datasets have no
+/// remaining consumers; the slave drops the matching frames from its
+/// cache. Encoded as an extra `purge` key on the assignment struct, so
+/// pre-GC slaves (which ignore unknown keys) interoperate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dispatch {
+    /// What to run (or wait/exit).
+    pub assignment: Assignment,
+    /// Frame-cache path prefixes to drop.
+    pub purge: Vec<String>,
+}
+
+impl Dispatch {
+    /// Encode for the RPC response.
+    pub fn to_value(&self) -> Value {
+        let mut v = self.assignment.to_value();
+        if !self.purge.is_empty() {
+            if let Value::Struct(m) = &mut v {
+                m.insert(
+                    "purge".to_owned(),
+                    Value::Array(self.purge.iter().map(|p| Value::Str(p.clone())).collect()),
+                );
+            }
+        }
+        v
+    }
+
+    /// Decode from the RPC response. A missing `purge` key (old master)
+    /// means nothing to drop.
+    pub fn from_value(v: &Value) -> Result<Dispatch> {
+        let assignment = Assignment::from_value(v)?;
+        let purge = match v.field("purge").and_then(Value::as_array) {
+            Some(items) => items
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| Error::Rpc("non-string purge prefix".into()))
+                })
+                .collect::<Result<Vec<_>>>()?,
+            None => Vec::new(),
+        };
+        Ok(Dispatch { assignment, purge })
     }
 }
 
@@ -353,18 +450,55 @@ mod tests {
         let t = TaskMsg {
             data: 3,
             index: 7,
-            is_map: true,
+            kind: TaskKind::Map,
             func: 2,
+            map_func: 0,
             parts: 5,
             combine: true,
             inputs: vec!["http://h:1/data/x".into(), "file://y".into()],
         };
         let mut t2 = t.clone();
         t2.index = 8;
-        t2.is_map = false;
-        for a in [Assignment::Tasks(vec![t.clone()]), Assignment::Tasks(vec![t, t2])] {
+        t2.kind = TaskKind::Reduce;
+        let mut t3 = t.clone();
+        t3.index = 9;
+        t3.kind = TaskKind::ReduceMap;
+        t3.map_func = 4;
+        for a in [Assignment::Tasks(vec![t.clone()]), Assignment::Tasks(vec![t, t2, t3])] {
             assert_eq!(Assignment::from_value(&a.to_value()).unwrap(), a);
         }
+    }
+
+    #[test]
+    fn legacy_is_map_decodes_without_kind() {
+        let t = TaskMsg {
+            data: 1,
+            index: 0,
+            kind: TaskKind::Reduce,
+            func: 0,
+            map_func: 0,
+            parts: 1,
+            combine: false,
+            inputs: vec![],
+        };
+        // Strip the new keys the way a pre-fusion master would never have
+        // written them.
+        let Value::Struct(mut m) = t.to_value() else { panic!("struct") };
+        m.remove("kind");
+        m.remove("map_func");
+        let got = TaskMsg::from_value(&Value::Struct(m)).unwrap();
+        assert_eq!(got, t);
+    }
+
+    #[test]
+    fn dispatch_roundtrip_with_and_without_purge() {
+        let a = Assignment::Wait;
+        let d = Dispatch { assignment: a.clone(), purge: vec!["s0/d3/".into(), "src2/".into()] };
+        assert_eq!(Dispatch::from_value(&d.to_value()).unwrap(), d);
+        let bare = Dispatch { assignment: a.clone(), purge: vec![] };
+        assert_eq!(Dispatch::from_value(&bare.to_value()).unwrap(), bare);
+        // An old master's plain assignment decodes as an empty purge list.
+        assert_eq!(Dispatch::from_value(&a.to_value()).unwrap(), bare);
     }
 
     #[test]

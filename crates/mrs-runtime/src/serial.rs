@@ -8,7 +8,7 @@
 use crate::data::{gather, DataId, Dataset};
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
-use mrs_core::task::{run_map_task, run_reduce_task};
+use mrs_core::task::{run_map_task, run_reduce_map_task, run_reduce_task};
 use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
 use std::sync::Arc;
 
@@ -22,9 +22,10 @@ pub struct SerialRuntime {
 enum SerialData {
     /// Materialized records (sources and reduce outputs), one split each.
     Plain(Dataset),
-    /// Map output: per task, per partition buckets. Serial runs one map
-    /// task, so this is `Vec<Bucket>` of length `parts`.
-    Mapped(Vec<Bucket>),
+    /// Map-like output (map or fused reducemap): per task, per partition
+    /// buckets. Serial runs one map task (`len() == 1`), but a reducemap
+    /// runs one task per input partition.
+    Mapped(Vec<Vec<Bucket>>),
     /// Reclaimed by `discard`.
     Discarded,
 }
@@ -77,22 +78,66 @@ impl JobApi for SerialRuntime {
         let t0 = std::time::Instant::now();
         let buckets = run_map_task(self.program.as_ref(), func, &records, parts, combine)?;
         self.metrics.record_map(t0.elapsed(), buckets.iter().map(|b| b.byte_size()).sum());
-        Ok(self.push(SerialData::Mapped(buckets)))
+        Ok(self.push(SerialData::Mapped(vec![buckets])))
     }
 
     fn reduce_data(&mut self, input: DataId, func: FuncId) -> Result<DataId> {
-        let buckets: Vec<Bucket> = match self.get(input)? {
-            SerialData::Mapped(b) => b.clone(),
+        let tasks: Vec<Vec<Bucket>> = match self.get(input)? {
+            SerialData::Mapped(t) => t.clone(),
             _ => return Err(Error::Invalid("reduce must consume a map output".into())),
         };
+        let parts = tasks.first().map_or(0, Vec::len);
         let t0 = std::time::Instant::now();
-        let mut splits = Vec::with_capacity(buckets.len());
-        for bucket in buckets {
+        let mut splits = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let mut bucket = Bucket::new();
+            for task in &tasks {
+                bucket.extend_from(&task[p]);
+            }
             let out = run_reduce_task(self.program.as_ref(), func, bucket)?;
             splits.push(out.into_records());
         }
         self.metrics.record_reduce(t0.elapsed());
         Ok(self.push(SerialData::Plain(splits)))
+    }
+
+    fn reduce_map_data(
+        &mut self,
+        input: DataId,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        parts: usize,
+        combine: bool,
+    ) -> Result<DataId> {
+        let tasks: Vec<Vec<Bucket>> = match self.get(input)? {
+            SerialData::Mapped(t) => t.clone(),
+            _ => return Err(Error::Invalid("reducemap must consume a map output".into())),
+        };
+        let in_parts = tasks.first().map_or(0, Vec::len);
+        let t0 = std::time::Instant::now();
+        let mut out_tasks = Vec::with_capacity(in_parts);
+        for p in 0..in_parts {
+            let mut bucket = Bucket::new();
+            for task in &tasks {
+                bucket.extend_from(&task[p]);
+            }
+            let out = run_reduce_map_task(
+                self.program.as_ref(),
+                reduce_func,
+                map_func,
+                bucket,
+                parts,
+                combine,
+            )?;
+            out_tasks.push(out);
+        }
+        let elapsed = t0.elapsed();
+        self.metrics.record_fused_op();
+        for task in &out_tasks {
+            let bytes = task.iter().map(Bucket::byte_size).sum();
+            self.metrics.record_reducemap_task(elapsed / in_parts.max(1) as u32, bytes);
+        }
+        Ok(self.push(SerialData::Mapped(out_tasks)))
     }
 
     fn wait(&mut self, data: DataId) -> Result<()> {
@@ -103,8 +148,8 @@ impl JobApi for SerialRuntime {
     fn fetch_all(&mut self, data: DataId) -> Result<Vec<Record>> {
         match self.get(data)? {
             SerialData::Plain(ds) => Ok(gather(ds.clone())),
-            SerialData::Mapped(buckets) => {
-                Ok(buckets.iter().flat_map(|b| b.to_records()).collect())
+            SerialData::Mapped(tasks) => {
+                Ok(tasks.iter().flatten().flat_map(|b| b.to_records()).collect())
             }
             SerialData::Discarded => {
                 Err(Error::MissingData(format!("dataset {data:?} was discarded")))
@@ -240,5 +285,71 @@ mod tests {
         assert_eq!(rt.metrics().map_ops(), 1);
         assert_eq!(rt.metrics().reduce_ops(), 1);
         assert!(rt.metrics().shuffle_bytes() > 0);
+    }
+
+    /// An iterative program whose reduce output feeds its map: keys and
+    /// values are both `u64`, so rounds chain indefinitely.
+    struct Relabel;
+
+    impl MapReduce for Relabel {
+        type K1 = u64;
+        type V1 = u64;
+        type K2 = u64;
+        type V2 = u64;
+
+        fn map(&self, k: u64, v: u64, emit: &mut dyn FnMut(u64, u64)) {
+            emit(k % 3, v + 1);
+            emit((k + 1) % 3, v);
+        }
+
+        fn reduce(&self, _k: &u64, vs: &mut dyn Iterator<Item = u64>, emit: &mut dyn FnMut(u64)) {
+            emit(vs.sum());
+        }
+    }
+
+    fn relabel_input() -> Vec<Record> {
+        (0..24u64).map(|i| encode_record(&i, &(i * 5))).collect()
+    }
+
+    #[test]
+    fn reducemap_matches_reduce_then_map() {
+        let iters: u64 = 4;
+        let unfused = {
+            let mut rt = SerialRuntime::new(Arc::new(Simple(Relabel)));
+            let mut job = Job::new(&mut rt);
+            let src = job.local_data(relabel_input(), 1).unwrap();
+            let mut m = job.map_data(src, 0, 3, false).unwrap();
+            for _ in 1..iters {
+                let r = job.reduce_data(m, 0).unwrap();
+                m = job.map_data(r, 0, 3, false).unwrap();
+            }
+            let out = job.reduce_data(m, 0).unwrap();
+            job.fetch_all(out).unwrap()
+        };
+        let fused = {
+            let mut rt = SerialRuntime::new(Arc::new(Simple(Relabel)));
+            let records = {
+                let mut job = Job::new(&mut rt);
+                let src = job.local_data(relabel_input(), 1).unwrap();
+                let mut m = job.map_data(src, 0, 3, false).unwrap();
+                for _ in 1..iters {
+                    m = job.reduce_map_data(m, 0, 0, 3, false).unwrap();
+                }
+                let out = job.reduce_data(m, 0).unwrap();
+                job.fetch_all(out).unwrap()
+            };
+            assert_eq!(rt.metrics().fused_ops(), iters - 1);
+            assert_eq!(rt.metrics().reducemap_tasks(), 3 * (iters - 1));
+            records
+        };
+        assert_eq!(unfused, fused, "fused chain diverged from unfused");
+    }
+
+    #[test]
+    fn reducemap_of_plain_data_is_error() {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(Relabel)));
+        let mut job = Job::new(&mut rt);
+        let src = job.local_data(relabel_input(), 1).unwrap();
+        assert!(job.reduce_map_data(src, 0, 0, 2, false).is_err());
     }
 }

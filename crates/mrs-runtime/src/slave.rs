@@ -20,10 +20,11 @@
 
 use crate::master::SlaveId;
 use crate::proto::{
-    fetch_bucket_bytes_local_first, Assignment, ControlMode, DataPlane, TaskMsg, TaskReport,
+    fetch_bucket_bytes_local_first, Assignment, ControlMode, DataPlane, Dispatch, TaskKind,
+    TaskMsg, TaskReport,
 };
 use mrs_codec::CompressMode;
-use mrs_core::task::{run_map_task_bucket, run_reduce_task};
+use mrs_core::task::{run_map_task_bucket, run_reduce_map_task, run_reduce_task};
 use mrs_core::{Bucket, Error, Program, Result};
 use mrs_fs::format::{read_bucket_into, write_bucket};
 use mrs_fs::Store;
@@ -41,19 +42,20 @@ pub trait MasterLink: Send + Sync {
     fn signin(&self, authority: &str, slots: usize) -> Result<SlaveId>;
     /// Poll for work with `free` idle slots; the master may grant up to
     /// `free` tasks in one batch.
-    fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Assignment> {
+    fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Dispatch> {
         self.get_tasks_with(slave, free, Duration::ZERO, Vec::new())
     }
     /// Full-form poll: delivers piggybacked completion `reports` and asks
     /// the master to hold the request up to `park` when nothing is
-    /// runnable (long-poll dispatch).
+    /// runnable (long-poll dispatch). The answer is a full [`Dispatch`]:
+    /// the assignment plus any lifetime-GC purge orders for this slave.
     fn get_tasks_with(
         &self,
         slave: SlaveId,
         free: usize,
         park: Duration,
         reports: Vec<TaskReport>,
-    ) -> Result<Assignment>;
+    ) -> Result<Dispatch>;
     /// Report success with output bucket URLs.
     fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()>;
     /// Report a failed attempt. `failed_input` is the input URL that could
@@ -79,8 +81,8 @@ impl MasterLink for crate::master::Master {
         free: usize,
         park: Duration,
         reports: Vec<TaskReport>,
-    ) -> Result<Assignment> {
-        Ok(crate::master::Master::get_tasks_with(self, slave, free, park, &reports))
+    ) -> Result<Dispatch> {
+        Ok(crate::master::Master::get_dispatch(self, slave, free, park, &reports))
     }
     fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()> {
         crate::master::Master::task_done(self, slave, data, index, urls);
@@ -305,7 +307,17 @@ pub fn run_slave(
             // together (the scheduler "kills processes as soon as a job
             // completes"), so losing the control channel means the job is
             // over, not an error.
-            match link.get_tasks_with(id, free, park, reports) {
+            let answer = link.get_tasks_with(id, free, park, reports).map(|d| {
+                // Apply lifetime-GC purge orders before acting on the
+                // assignment: spent datasets leave this slave's frame
+                // cache so long-running iterative jobs hold O(1)
+                // intermediate data, not O(iterations).
+                for prefix in &d.purge {
+                    frames.remove_prefix(prefix);
+                }
+                d.assignment
+            });
+            match answer {
                 Ok(Assignment::Exit) => {
                     // No further poll will carry reports: flush anything
                     // queued since this poll was sent, and route later
@@ -601,28 +613,45 @@ fn process_task(
     };
     let run_err = |e: mrs_core::Error| TaskError { msg: e.to_string(), failed_input: None };
 
-    // Execute and serialize output buckets. Both paths decode straight
+    // Execute and serialize output buckets. All paths decode straight
     // into an arena — no per-record `Vec<u8>` allocations; the map path
     // additionally reuses the worker's scratch arena across tasks.
-    let buckets: Vec<Vec<u8>> = if task.is_map {
-        scratch.clear();
-        for (url, bytes) in task.inputs.iter().zip(raw) {
-            read_bucket_into(bytes, scratch).map_err(|e| parse_err(url, e))?;
+    let buckets: Vec<Vec<u8>> = match task.kind {
+        TaskKind::Map => {
+            scratch.clear();
+            for (url, bytes) in task.inputs.iter().zip(raw) {
+                read_bucket_into(bytes, scratch).map_err(|e| parse_err(url, e))?;
+            }
+            run_map_task_bucket(program, task.func, scratch, task.parts, task.combine)
+                .map_err(run_err)?
+                .iter()
+                .map(write_bucket)
+                .collect()
         }
-        run_map_task_bucket(program, task.func, scratch, task.parts, task.combine)
-            .map_err(run_err)?
-            .iter()
-            .map(write_bucket)
-            .collect()
-    } else {
-        // Reduce consumes its input arena (sorted in place), so it cannot
-        // reuse the scratch buffer.
-        let mut input = Bucket::new();
-        for (url, bytes) in task.inputs.iter().zip(raw) {
-            read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
+        TaskKind::Reduce => {
+            // Reduce consumes its input arena (sorted in place), so it
+            // cannot reuse the scratch buffer.
+            let mut input = Bucket::new();
+            for (url, bytes) in task.inputs.iter().zip(raw) {
+                read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
+            }
+            let out = run_reduce_task(program, task.func, input).map_err(run_err)?;
+            vec![write_bucket(&out)]
         }
-        let out = run_reduce_task(program, task.func, input).map_err(run_err)?;
-        vec![write_bucket(&out)]
+        TaskKind::ReduceMap => {
+            // Fused reduce+map: gather one partition like a reduce, then
+            // feed each reduced record straight into the next map — one
+            // task where the unfused plan schedules and shuffles two.
+            let mut input = Bucket::new();
+            for (url, bytes) in task.inputs.iter().zip(raw) {
+                read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
+            }
+            run_reduce_map_task(program, task.func, task.map_func, input, task.parts, task.combine)
+                .map_err(run_err)?
+                .iter()
+                .map(write_bucket)
+                .collect()
+        }
     };
 
     // Encode for the wire (compress + checksum per policy), then store

@@ -213,6 +213,100 @@ fn stochastic_pso_bitwise_identical_across_runtimes() {
     assert_eq!(pollmode, expected, "poll-mode cluster vs bypass");
 }
 
+/// The fused-ReduceMap oracle: the same iterative island chain run
+/// unfused (materialized reduce then map) and fused (one ReduceMap op per
+/// interior round), across every plane, with lifetime GC both on and off
+/// and under both control modes. Fusion and GC are perf transforms only —
+/// any byte of divergence is a bug.
+#[test]
+fn fused_reducemap_identical_across_runtimes_and_gc_modes() {
+    let cfg = PsoConfig {
+        objective: Objective::Sphere,
+        dim: 6,
+        n_particles: 15,
+        topology: Topology::Subswarms { size: 5 },
+        seed: 7,
+    };
+    let iters = 8;
+    let run = |job: &mut Job, fused: bool| {
+        let program = PsoProgram::new(cfg.clone(), 4);
+        program.run_islands(job, iters, fused).unwrap()
+    };
+
+    let serial_unfused = {
+        let mut rt = SerialRuntime::new(Arc::new(PsoProgram::new(cfg.clone(), 4)));
+        run(&mut Job::new(&mut rt), false)
+    };
+    let serial_fused = {
+        let mut rt = SerialRuntime::new(Arc::new(PsoProgram::new(cfg.clone(), 4)));
+        run(&mut Job::new(&mut rt), true)
+    };
+    let mock_fused = {
+        let mut rt = LocalRuntime::mock_parallel(
+            Arc::new(PsoProgram::new(cfg.clone(), 4)),
+            Arc::new(MemFs::new()),
+        );
+        run(&mut Job::new(&mut rt), true)
+    };
+    let (pool_fused, pool_freed) = {
+        let mut rt = LocalRuntime::pool(Arc::new(PsoProgram::new(cfg.clone(), 4)), 5);
+        let out = run(&mut Job::new(&mut rt), true);
+        (out, rt.metrics().datasets_freed())
+    };
+    let pool_keepdata = {
+        let mut rt = LocalRuntime::pool(Arc::new(PsoProgram::new(cfg.clone(), 4)), 5);
+        rt.set_keep_data(true);
+        run(&mut Job::new(&mut rt), true)
+    };
+    let (cluster_fused, cluster_fused_ops, cluster_freed) = {
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(cfg.clone(), 4)),
+            2,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        let out = run(&mut Job::new(&mut cluster), true);
+        let m = cluster.metrics();
+        (out, m.fused_ops(), m.datasets_freed())
+    };
+    let cluster_poll_keepdata = {
+        let cfg_m =
+            MasterConfig { control: ControlMode::Poll, keep_data: true, ..MasterConfig::default() };
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(cfg.clone(), 4)),
+            2,
+            DataPlane::Direct,
+            cfg_m,
+        )
+        .unwrap();
+        run(&mut Job::new(&mut cluster), true)
+    };
+    let cluster_sharedfs = {
+        let store: Arc<dyn mrs_fs::Store> = Arc::new(MemFs::new());
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(cfg.clone(), 4)),
+            2,
+            DataPlane::SharedFs(store),
+            MasterConfig::default(),
+        )
+        .unwrap();
+        run(&mut Job::new(&mut cluster), true)
+    };
+
+    assert_eq!(serial_fused, serial_unfused, "serial fused vs unfused");
+    assert_eq!(mock_fused, serial_unfused, "mock fused vs serial unfused");
+    assert_eq!(pool_fused, serial_unfused, "pool fused vs serial unfused");
+    assert_eq!(pool_keepdata, serial_unfused, "pool keep-data vs serial unfused");
+    assert_eq!(cluster_fused, serial_unfused, "cluster fused vs serial unfused");
+    assert_eq!(cluster_poll_keepdata, serial_unfused, "poll-mode keep-data cluster");
+    assert_eq!(cluster_sharedfs, serial_unfused, "shared-fs cluster fused");
+    // The machinery under test must actually have engaged.
+    assert_eq!(cluster_fused_ops, iters - 1, "cluster should run every interior round fused");
+    assert!(cluster_freed > 0, "cluster lifetime GC never freed a dataset");
+    assert!(pool_freed > 0, "pool lifetime GC never freed a dataset");
+}
+
 #[test]
 fn island_granularity_identical_serial_vs_pool() {
     let cfg = PsoConfig {
