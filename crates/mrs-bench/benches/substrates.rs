@@ -86,7 +86,9 @@ fn bench_bucket(c: &mut Criterion) {
     group.bench_function("bucket_file_roundtrip_10k", |b| {
         b.iter(|| {
             let bytes = mrs_fs::format::write_bucket_bytes(black_box(&records));
-            black_box(mrs_fs::format::read_bucket_bytes(&bytes).unwrap())
+            let mut back = Bucket::new();
+            mrs_fs::format::read_bucket_into(&bytes, &mut back).unwrap();
+            black_box(back.len())
         })
     });
     group.finish();

@@ -93,48 +93,6 @@ pub fn read_bucket_into(b: &[u8], out: &mut Bucket) -> Result<()> {
     Ok(())
 }
 
-/// Parse a bucket file back into records.
-///
-/// **Deprecated for hot paths:** this allocates two `Vec<u8>` per record.
-/// Task-execution code (the slave's map/reduce input paths, anything that
-/// runs once per task) should decode with [`read_bucket_into`] and a
-/// reused [`Bucket`] instead, which amortizes to zero per-record
-/// allocations. `read_bucket_bytes` remains appropriate at cold API
-/// boundaries that genuinely need owned records (driver-side
-/// `fetch_all`, checkpoint restore, tests).
-pub fn read_bucket_bytes(b: &[u8]) -> Result<Vec<Record>> {
-    let unframed = unframe(b)?;
-    let mut b = unframed.as_ref();
-    let magic =
-        b.get(..BUCKET_MAGIC.len()).ok_or_else(|| Error::Codec("bucket file too short".into()))?;
-    if magic != BUCKET_MAGIC {
-        return Err(Error::Codec(format!("bad bucket magic {magic:?}")));
-    }
-    b = &b[BUCKET_MAGIC.len()..];
-    let (count, mut rest) = read_varint(b)?;
-    // Cap preallocation by what the input could possibly hold (2 bytes per
-    // record minimum) so corrupt counts cannot trigger huge allocations.
-    let mut records = Vec::with_capacity((count as usize).min(rest.len() / 2 + 1));
-    for _ in 0..count {
-        let (klen, r) = read_varint(rest)?;
-        if klen > r.len() as u64 {
-            return Err(Error::Codec("truncated bucket key".into()));
-        }
-        let (k, r) = r.split_at(klen as usize);
-        let (vlen, r) = read_varint(r)?;
-        if vlen > r.len() as u64 {
-            return Err(Error::Codec("truncated bucket value".into()));
-        }
-        let (v, r) = r.split_at(vlen as usize);
-        records.push((k.to_vec(), v.to_vec()));
-        rest = r;
-    }
-    if !rest.is_empty() {
-        return Err(Error::Codec(format!("{} trailing bytes in bucket file", rest.len())));
-    }
-    Ok(records)
-}
-
 /// Turn text into `(line_no, line)` records. Line numbers start at
 /// `first_line` so that multi-file inputs can keep globally distinct keys.
 pub fn text_to_records(text: &str, first_line: u64) -> Vec<Record> {
@@ -155,6 +113,14 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Decode through the arena path and hand back owned records — what
+    /// every former `read_bucket_bytes` caller actually wanted.
+    fn read_records(b: &[u8]) -> Result<Vec<Record>> {
+        let mut bucket = Bucket::new();
+        read_bucket_into(b, &mut bucket)?;
+        Ok(bucket.to_records())
+    }
+
     #[test]
     fn bucket_roundtrip() {
         let records: Vec<Record> = vec![
@@ -163,7 +129,7 @@ mod tests {
             (b"k3".to_vec(), vec![]),
         ];
         let bytes = write_bucket_bytes(&records);
-        assert_eq!(read_bucket_bytes(&bytes).unwrap(), records);
+        assert_eq!(read_records(&bytes).unwrap(), records);
     }
 
     #[test]
@@ -188,24 +154,24 @@ mod tests {
     #[test]
     fn empty_bucket_roundtrip() {
         let bytes = write_bucket_bytes(&[]);
-        assert!(read_bucket_bytes(&bytes).unwrap().is_empty());
+        assert!(read_records(&bytes).unwrap().is_empty());
     }
 
     #[test]
     fn rejects_bad_magic() {
         let mut bytes = write_bucket_bytes(&[]);
         bytes[0] = b'X';
-        assert!(read_bucket_bytes(&bytes).is_err());
+        assert!(read_records(&bytes).is_err());
     }
 
     #[test]
     fn rejects_truncation_and_trailing() {
         let records = vec![(b"key".to_vec(), b"value".to_vec())];
         let bytes = write_bucket_bytes(&records);
-        assert!(read_bucket_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(read_records(&bytes[..bytes.len() - 1]).is_err());
         let mut extended = bytes.clone();
         extended.push(0);
-        assert!(read_bucket_bytes(&extended).is_err());
+        assert!(read_records(&extended).is_err());
     }
 
     #[test]
@@ -235,7 +201,6 @@ mod tests {
         let raw = write_bucket_bytes(&records);
         let framed = mrs_codec::encode_vec(raw.clone(), mrs_codec::CompressMode::On);
         assert_ne!(framed, raw, "this payload should have been framed");
-        assert_eq!(read_bucket_bytes(&framed).unwrap(), records);
         let mut arena = Bucket::new();
         read_bucket_into(&framed, &mut arena).unwrap();
         assert_eq!(arena, Bucket::from_records(records));
@@ -243,7 +208,7 @@ mod tests {
         let mut bad = framed.clone();
         let last = bad.len() - 1;
         bad[last] ^= 0xff;
-        assert!(matches!(read_bucket_bytes(&bad), Err(Error::Codec(_))));
+        assert!(matches!(read_records(&bad), Err(Error::Codec(_))));
     }
 
     proptest! {
@@ -256,12 +221,12 @@ mod tests {
             )
         ) {
             let bytes = write_bucket_bytes(&records);
-            prop_assert_eq!(read_bucket_bytes(&bytes).unwrap(), records);
+            prop_assert_eq!(read_records(&bytes).unwrap(), records);
         }
 
         #[test]
         fn prop_garbage_never_panics(b in proptest::collection::vec(any::<u8>(), 0..128)) {
-            let _ = read_bucket_bytes(&b);
+            let _ = read_records(&b);
         }
     }
 }

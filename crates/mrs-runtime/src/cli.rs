@@ -18,6 +18,7 @@
 //! prog --mrs slave --mrs-master H:P --mrs-compress off          # raw buckets
 //! prog --mrs master --mrs-compress threshold=4096               # frame big buckets only
 //! prog --mrs master --mrs-keep-data   # disable dataset lifetime GC
+//! prog --mrs master --mrs-eager-shuffle off  # classic barrier-then-fetch shuffle
 //! ```
 //!
 //! A master runs the driver and serves slaves; a slave never runs the
@@ -85,6 +86,11 @@ pub struct CliOptions {
     /// recovery can always re-execute from them. The default (GC on)
     /// bounds an iterative job's footprint at O(1) live datasets.
     pub keep_data: bool,
+    /// Eager shuffle (`--mrs-eager-shuffle on|off`, default on): the
+    /// master announces finished map-output fragments early and slaves
+    /// fetch them while maps still run. `off` is the classic
+    /// barrier-then-fetch path, kept as a first-class oracle.
+    pub eager_shuffle: bool,
     /// Everything that was not an `--mrs*` option, for the program's own
     /// argument handling.
     pub rest: Vec<String>,
@@ -102,6 +108,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     let mut long_poll = None;
     let mut compress = CompressMode::default();
     let mut keep_data = false;
+    let mut eager_shuffle = true;
     let mut rest = Vec::new();
 
     let mut iter = args.into_iter();
@@ -152,6 +159,18 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
                 compress = CompressMode::parse(&v).map_err(Error::Invalid)?;
             }
             "--mrs-keep-data" => keep_data = true,
+            "--mrs-eager-shuffle" => {
+                let v = value_of("--mrs-eager-shuffle")?;
+                eager_shuffle = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(Error::Invalid(format!(
+                            "--mrs-eager-shuffle {other:?} (expected on|off)"
+                        )))
+                    }
+                };
+            }
             _ => rest.push(arg),
         }
     }
@@ -181,7 +200,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     if long_poll == Some(Duration::ZERO) {
         return Err(Error::Invalid("--mrs-longpoll-ms must be positive".into()));
     }
-    Ok(CliOptions { implementation, control, long_poll, compress, keep_data, rest })
+    Ok(CliOptions { implementation, control, long_poll, compress, keep_data, eager_shuffle, rest })
 }
 
 fn num_cpus() -> usize {
@@ -215,6 +234,7 @@ where
                 control: options.control,
                 compress: options.compress,
                 keep_data: options.keep_data,
+                eager_shuffle: options.eager_shuffle,
                 ..MasterConfig::default()
             };
             if let Some(lp) = options.long_poll {
@@ -243,6 +263,7 @@ where
             }
             slave_opts.control = options.control;
             slave_opts.compress = options.compress;
+            slave_opts.eager_shuffle = options.eager_shuffle;
             if let Some(lp) = options.long_poll {
                 slave_opts.long_poll = lp;
             }
@@ -340,6 +361,13 @@ mod tests {
     }
 
     #[test]
+    fn parses_eager_shuffle_flag() {
+        assert!(opts(&[]).unwrap().eager_shuffle, "eager shuffle defaults on");
+        assert!(opts(&["--mrs-eager-shuffle", "on"]).unwrap().eager_shuffle);
+        assert!(!opts(&["--mrs-eager-shuffle", "off"]).unwrap().eager_shuffle);
+    }
+
+    #[test]
     fn program_args_pass_through() {
         let o = opts(&["input.txt", "--mrs", "pool", "--verbose"]).unwrap();
         assert_eq!(o.rest, vec!["input.txt", "--verbose"]);
@@ -359,6 +387,8 @@ mod tests {
         assert!(opts(&["--mrs-compress"]).is_err());
         assert!(opts(&["--mrs-compress", "maybe"]).is_err());
         assert!(opts(&["--mrs-compress", "threshold=lots"]).is_err());
+        assert!(opts(&["--mrs-eager-shuffle"]).is_err());
+        assert!(opts(&["--mrs-eager-shuffle", "sometimes"]).is_err());
     }
 
     struct Count;
@@ -403,6 +433,7 @@ mod tests {
             long_poll: None,
             compress: CompressMode::default(),
             keep_data: false,
+            eager_shuffle: true,
             rest: vec![],
         };
         // Driver with no work: just verify the port file exists while the

@@ -17,6 +17,16 @@
 //!   cache without touching a socket (colocated producer+consumer).
 //! - `checksum_retries` — remote frames that failed checksum
 //!   verification and were re-fetched once.
+//! - `eager_fragments` / `eager_bytes` — map-output buckets pulled by
+//!   the background shuffle fetcher *before* the operation barrier
+//!   cleared, and their decoded sizes.
+//! - `residual_fetches` — reduce inputs an eager-enabled slave still had
+//!   to fetch cold at task time (fragments the fetcher missed: published
+//!   late, predicted onto another slave, or invalidated).
+//! - `overlap_micros` — for every warm fragment a reduce-like task
+//!   consumed, the time it sat ready in the cache before it was needed:
+//!   transfer + verify + decompress work that ran concurrently with map
+//!   execution instead of on the post-barrier critical path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -24,6 +34,10 @@ static BYTES_PRE_COMPRESS: AtomicU64 = AtomicU64::new(0);
 static BYTES_ON_WIRE: AtomicU64 = AtomicU64::new(0);
 static SHORTCIRCUIT_FETCHES: AtomicU64 = AtomicU64::new(0);
 static CHECKSUM_RETRIES: AtomicU64 = AtomicU64::new(0);
+static EAGER_FRAGMENTS: AtomicU64 = AtomicU64::new(0);
+static EAGER_BYTES: AtomicU64 = AtomicU64::new(0);
+static RESIDUAL_FETCHES: AtomicU64 = AtomicU64::new(0);
+static OVERLAP_MICROS: AtomicU64 = AtomicU64::new(0);
 
 /// Record one completed remote bucket transfer: `raw` decoded bytes
 /// moved as `wire` bytes on the socket.
@@ -42,6 +56,26 @@ pub fn record_checksum_retry() {
     CHECKSUM_RETRIES.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Record one map-output bucket of `bytes` decoded bytes fetched by the
+/// eager shuffle fetcher ahead of the barrier.
+pub fn record_eager_fragment(bytes: usize) {
+    EAGER_FRAGMENTS.fetch_add(1, Ordering::Relaxed);
+    EAGER_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// Record a reduce input an eager-enabled slave fetched cold at task
+/// time (not found warm in its fragment cache).
+pub fn record_residual_fetch() {
+    RESIDUAL_FETCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a warm fragment being consumed by its reduce-like task after
+/// sitting ready for `overlap` — the transfer latency hidden behind map
+/// execution.
+pub fn record_overlap(overlap: std::time::Duration) {
+    OVERLAP_MICROS.fetch_add(overlap.as_micros() as u64, Ordering::Relaxed);
+}
+
 /// A point-in-time (or delta) view of the data-plane counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DataPlaneStats {
@@ -53,6 +87,15 @@ pub struct DataPlaneStats {
     pub shortcircuit_fetches: u64,
     /// Corrupt remote frames re-fetched.
     pub checksum_retries: u64,
+    /// Map-output buckets fetched eagerly ahead of the barrier.
+    pub eager_fragments: u64,
+    /// Decoded bytes of those eager fetches.
+    pub eager_bytes: u64,
+    /// Reduce inputs fetched cold at task time under eager mode.
+    pub residual_fetches: u64,
+    /// Microseconds warm fragments sat ready before their reduce-like
+    /// task consumed them (transfer hidden behind map execution).
+    pub overlap_micros: u64,
 }
 
 impl DataPlaneStats {
@@ -63,6 +106,10 @@ impl DataPlaneStats {
             bytes_on_wire: self.bytes_on_wire - earlier.bytes_on_wire,
             shortcircuit_fetches: self.shortcircuit_fetches - earlier.shortcircuit_fetches,
             checksum_retries: self.checksum_retries - earlier.checksum_retries,
+            eager_fragments: self.eager_fragments - earlier.eager_fragments,
+            eager_bytes: self.eager_bytes - earlier.eager_bytes,
+            residual_fetches: self.residual_fetches - earlier.residual_fetches,
+            overlap_micros: self.overlap_micros - earlier.overlap_micros,
         }
     }
 }
@@ -74,6 +121,10 @@ pub fn snapshot() -> DataPlaneStats {
         bytes_on_wire: BYTES_ON_WIRE.load(Ordering::Relaxed),
         shortcircuit_fetches: SHORTCIRCUIT_FETCHES.load(Ordering::Relaxed),
         checksum_retries: CHECKSUM_RETRIES.load(Ordering::Relaxed),
+        eager_fragments: EAGER_FRAGMENTS.load(Ordering::Relaxed),
+        eager_bytes: EAGER_BYTES.load(Ordering::Relaxed),
+        residual_fetches: RESIDUAL_FETCHES.load(Ordering::Relaxed),
+        overlap_micros: OVERLAP_MICROS.load(Ordering::Relaxed),
     }
 }
 
@@ -88,11 +139,18 @@ mod tests {
         record_remote_fetch(500, 500);
         record_shortcircuit();
         record_checksum_retry();
+        record_eager_fragment(256);
+        record_residual_fetch();
+        record_overlap(std::time::Duration::from_millis(3));
         let d = snapshot().since(before);
         // Other tests in the process may add concurrently; bounds only.
         assert!(d.bytes_pre_compress >= 1500);
         assert!(d.bytes_on_wire >= 800);
         assert!(d.shortcircuit_fetches >= 1);
         assert!(d.checksum_retries >= 1);
+        assert!(d.eager_fragments >= 1);
+        assert!(d.eager_bytes >= 256);
+        assert!(d.residual_fetches >= 1);
+        assert!(d.overlap_micros >= 3000);
     }
 }

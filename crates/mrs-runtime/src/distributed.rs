@@ -224,6 +224,7 @@ impl LocalCluster {
         // default keeps the benchmarks honest; add_slave_with can diverge.
         options.control = cfg.control;
         options.compress = cfg.compress;
+        options.eager_shuffle = cfg.eager_shuffle;
         let master = Master::new(cfg, plane.clone())?;
         let server = serve_master(master.clone(), 0).map_err(Error::Io)?;
         let sweeper_stop = Arc::new(AtomicBool::new(false));

@@ -176,8 +176,9 @@ impl<'a> Job<'a> {
         splits: usize,
     ) -> Result<DataId> {
         let path = format!("{prefix}/checkpoint.mrsb");
-        let records = mrs_fs::format::read_bucket_bytes(&store.get(&path)?)?;
-        self.local_data(records, splits)
+        let mut bucket = mrs_core::Bucket::new();
+        mrs_fs::format::read_bucket_into(&store.get(&path)?, &mut bucket)?;
+        self.local_data(bucket.to_records(), splits)
     }
 
     /// The classic one-shot pattern: map then reduce with the `Simple`

@@ -234,7 +234,10 @@ fn promote(st: &mut State) -> usize {
 /// outside it). In spill mode (`count_handover`) each map-output bucket a
 /// reduce task receives is an in-memory handover of data that the
 /// distributed runtime would fetch over a socket — counted as a
-/// short-circuit fetch so mock-parallel metrics mirror colocated fetches.
+/// short-circuit fetch so mock-parallel metrics mirror colocated fetches,
+/// and as an eager fragment: on one core every fragment is available the
+/// instant its producer finishes, so mock-parallel is the perfect-overlap
+/// oracle the eager shuffle plane is measured against.
 fn task_input(st: &mut State, t: TaskRef, count_handover: bool) -> Result<TaskWork> {
     match &st.datasets[t.data.0 as usize] {
         DsState::MapOut { input, func, parts, combine, .. } => {
@@ -253,6 +256,7 @@ fn task_input(st: &mut State, t: TaskRef, count_handover: bool) -> Result<TaskWo
             if count_handover {
                 st.metrics.record_dataplane(DataPlaneStats {
                     shortcircuit_fetches: handovers,
+                    eager_fragments: handovers,
                     ..DataPlaneStats::default()
                 });
             }
@@ -265,6 +269,7 @@ fn task_input(st: &mut State, t: TaskRef, count_handover: bool) -> Result<TaskWo
             if count_handover {
                 st.metrics.record_dataplane(DataPlaneStats {
                     shortcircuit_fetches: handovers,
+                    eager_fragments: handovers,
                     ..DataPlaneStats::default()
                 });
             }
@@ -730,8 +735,10 @@ mod tests {
         let out = job.map_reduce(input(&["x y", "y z", "x x"]), 3, 2, false).unwrap();
         assert_eq!(sorted_counts(out).len(), 3);
         // Every reduce partition took all 3 map outputs by in-memory
-        // handover: 2 partitions × 3 map tasks.
+        // handover: 2 partitions × 3 map tasks. Each handover is also a
+        // perfect-overlap eager fragment (the mock-parallel oracle arm).
         assert_eq!(rt.metrics().shortcircuit_fetches(), 6);
+        assert_eq!(rt.metrics().eager_fragments(), 6);
         // Spilled buckets carry the MRSF1 frame and decode back to MRSB1.
         let files = store.list("").unwrap();
         let spilled = store.get(files.iter().find(|f| f.contains("/map")).unwrap()).unwrap();

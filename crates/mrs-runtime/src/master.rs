@@ -30,7 +30,8 @@ use crate::data::{split_evenly, DataId};
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
 use crate::proto::{
-    fetch_records, Assignment, ControlMode, DataPlane, Dispatch, TaskKind, TaskMsg, TaskReport,
+    fetch_records, Assignment, ControlMode, DataPlane, Dispatch, EagerFragment, TaskKind, TaskMsg,
+    TaskReport,
 };
 use mrs_codec::CompressMode;
 use mrs_core::{Error, FuncId, Record, Result};
@@ -70,6 +71,11 @@ pub struct MasterConfig {
     /// fetchable forever, and fault-tolerant re-execution never finds its
     /// inputs reclaimed.
     pub keep_data: bool,
+    /// Publish map-output bucket URLs to slaves as each map task completes
+    /// (`--mrs-eager-shuffle`), letting reduce-input transfer overlap with
+    /// map execution. Off (`off`) preserves the classic barrier-then-fetch
+    /// path as a first-class oracle. Direct data plane only.
+    pub eager_shuffle: bool,
 }
 
 impl Default for MasterConfig {
@@ -82,6 +88,7 @@ impl Default for MasterConfig {
             long_poll_timeout: Duration::from_secs(1),
             compress: CompressMode::default(),
             keep_data: false,
+            eager_shuffle: true,
         }
     }
 }
@@ -162,6 +169,10 @@ struct MState {
     /// Per-slave frame-cache purge orders not yet delivered; drained onto
     /// the next [`Master::get_dispatch`] answer for that slave.
     pending_purge: Vec<Vec<String>>,
+    /// Per-slave eager-shuffle fragment announcements not yet delivered:
+    /// completed map-output bucket URLs, published to the slave predicted
+    /// to reduce that partition, drained like `pending_purge`.
+    pending_eager: Vec<Vec<EagerFragment>>,
     slaves: Vec<SlaveInfo>,
     /// (kind, func, index) → slave that last completed that task shape.
     /// Keying by kind means a fused `ReduceMap` op carries its own claims
@@ -216,6 +227,7 @@ impl Master {
                     consumers: Vec::new(),
                     pins: HashSet::new(),
                     pending_purge: Vec::new(),
+                    pending_eager: Vec::new(),
                     slaves: Vec::new(),
                     affinity: HashMap::new(),
                     error: None,
@@ -251,6 +263,7 @@ impl Master {
             slots: slots.max(1),
         });
         st.pending_purge.push(Vec::new());
+        st.pending_eager.push(Vec::new());
         let id = st.slaves.len() as SlaveId - 1;
         self.shared.cv.notify_all();
         id
@@ -361,6 +374,15 @@ impl Master {
                     st.parked -= 1;
                 }
                 return Assignment::Tasks(granted);
+            }
+            // Undelivered eager fragments must not sit behind the park: the
+            // whole point is to start the transfer while maps still run, so
+            // answer `Wait` at once and let `get_dispatch` attach them.
+            if st.pending_eager.get(slave as usize).is_some_and(|v| !v.is_empty()) {
+                if parked {
+                    st.parked -= 1;
+                }
+                return Assignment::Wait;
             }
             if park.is_zero() || Instant::now() >= deadline {
                 if parked {
@@ -632,6 +654,9 @@ impl Master {
             if self.shared.cfg.use_affinity {
                 st.affinity.insert((kind, func, index), slave);
             }
+            if kind.is_map_like() {
+                self.publish_eager_locked(st, data, Some(index));
+            }
         }
         if let Some(input) = op_complete {
             // The op's output is now fully materialized, and the op no
@@ -639,6 +664,89 @@ impl Master {
             st.metrics.record_dataset_live();
             self.release_consumer(st, input);
         }
+    }
+
+    /// Publish finished map-like fragments of dataset `data` to the slaves
+    /// predicted to reduce them. Called with `Some(index)` when one map
+    /// task just completed, and with `None` when a reduce-like op is
+    /// submitted over a dataset that already has `Done` tasks (the
+    /// retroactive case — fragments that finished before the consumer
+    /// existed). Each partition's URL goes to the slave holding the
+    /// affinity claim for that reduce partition; with no claim yet the
+    /// owner is round-robin over live slaves and the prediction is
+    /// committed into the affinity map so the scheduler later sends the
+    /// task where the bytes already are. Re-executed producers publish
+    /// fresh URLs (a new `s{slave}/` prefix), so a stale fragment is never
+    /// re-announced. Direct plane only; no-op when eager shuffle is off.
+    fn publish_eager_locked(&self, st: &mut MState, data: u32, only_task: Option<usize>) {
+        if !self.shared.cfg.eager_shuffle || !matches!(self.shared.plane, DataPlane::Direct) {
+            return;
+        }
+        // Reduce-like consumers of this dataset that still have work left.
+        let consumers: Vec<(TaskKind, FuncId)> = st
+            .datasets
+            .iter()
+            .filter_map(|ds| match ds {
+                // Reduce-like on the *input* side: plain reduces and fused
+                // ReduceMaps both gather partitions of a map-like output.
+                MDs::Op { input, kind, func, tasks, done_count, .. }
+                    if input.0 == data && *kind != TaskKind::Map && *done_count < tasks.len() =>
+                {
+                    Some((*kind, *func))
+                }
+                _ => None,
+            })
+            .collect();
+        if consumers.is_empty() {
+            return;
+        }
+        let Some(MDs::Op { kind: prod, tasks, .. }) = st.datasets.get(data as usize) else {
+            return;
+        };
+        if !prod.is_map_like() {
+            return;
+        }
+        let frags: Vec<Vec<String>> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| only_task.is_none_or(|t| t == *i))
+            .filter_map(|(_, slot)| match &slot.state {
+                SlotState::Done { urls, .. } => Some(urls.clone()),
+                _ => None,
+            })
+            .collect();
+        let live: Vec<SlaveId> = st
+            .slaves
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| i as SlaveId)
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        for (kind, func) in consumers {
+            for urls in &frags {
+                for (p, url) in urls.iter().enumerate() {
+                    let owner = match st.affinity.get(&(kind, func, p)) {
+                        Some(&s) if st.slaves.get(s as usize).is_some_and(|x| x.alive) => s,
+                        _ => {
+                            let s = live[p % live.len()];
+                            if self.shared.cfg.use_affinity {
+                                st.affinity.insert((kind, func, p), s);
+                            }
+                            s
+                        }
+                    };
+                    if let Some(q) = st.pending_eager.get_mut(owner as usize) {
+                        q.push(EagerFragment { data, partition: p, url: url.clone() });
+                    }
+                }
+            }
+        }
+        // Callers (task completion / op submission) wake the dispatch
+        // condvar themselves; the park loop's pending-eager check then
+        // turns that wake into prompt delivery.
     }
 
     /// Release the refcount a completed op held on `input`; when that was
@@ -713,11 +821,14 @@ impl Master {
         reports: &[TaskReport],
     ) -> Dispatch {
         let assignment = self.get_tasks_with(slave, free_slots, park, reports);
-        let purge = {
+        let (purge, eager) = {
             let mut st = self.shared.state.lock();
-            st.pending_purge.get_mut(slave as usize).map(std::mem::take).unwrap_or_default()
+            (
+                st.pending_purge.get_mut(slave as usize).map(std::mem::take).unwrap_or_default(),
+                st.pending_eager.get_mut(slave as usize).map(std::mem::take).unwrap_or_default(),
+            )
         };
-        Dispatch { assignment, purge }
+        Dispatch { assignment, purge, eager }
     }
 
     /// A slave reports a failed task attempt.
@@ -988,6 +1099,9 @@ impl JobApi for Master {
         });
         st.consumers.push(0);
         let id = DataId(st.datasets.len() as u32 - 1);
+        // Maps that finished before this consumer existed are publishable
+        // right now (iterative drivers submit the reduce late).
+        self.publish_eager_locked(&mut st, input.0, None);
         Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
@@ -1027,6 +1141,7 @@ impl JobApi for Master {
         });
         st.consumers.push(0);
         let id = DataId(st.datasets.len() as u32 - 1);
+        self.publish_eager_locked(&mut st, input.0, None);
         Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
@@ -1302,8 +1417,14 @@ mod tests {
 
     #[test]
     fn dead_slave_completed_outputs_recomputed_on_direct_plane() {
-        let cfg =
-            MasterConfig { slave_timeout: Duration::from_millis(20), ..MasterConfig::default() };
+        // Eager shuffle off: its affinity prediction would pin the reduce
+        // to the map's owner (s1), but this scenario needs s2 holding the
+        // doomed reduce while s1 dies.
+        let cfg = MasterConfig {
+            slave_timeout: Duration::from_millis(20),
+            eager_shuffle: false,
+            ..MasterConfig::default()
+        };
         let mut m = Master::new(cfg, DataPlane::Direct).unwrap();
         let s1 = m.signin("a:1", 1);
         // s2 needs a second slot: it still holds the doomed reduce when it
@@ -1757,5 +1878,91 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2]);
         assert_eq!(m.metrics().tasks_retried(), 3);
+    }
+
+    #[test]
+    fn eager_fragments_published_incrementally_with_affinity_prediction() {
+        let mut m = master_direct();
+        let s0 = m.signin("a:1", 1);
+        let s1 = m.signin("b:2", 1);
+        let src = m.local_data(records(4), 2).unwrap();
+        let _mapped = m.map_data(src, 0, 2, false).unwrap();
+        let _reduced = m.reduce_data(_mapped, 0).unwrap();
+
+        // Slave 0 completes the first map task: its per-partition URLs are
+        // published at once, keyed to the predicted reduce owner
+        // (round-robin over live slaves: partition p → slave p % 2).
+        let t = take1(m.get_tasks(s0, 1));
+        assert_eq!(t.kind, TaskKind::Map);
+        let urls: Vec<String> = (0..t.parts)
+            .map(|p| format!("http://a:1/data/s0/d{}/t{}/b{p}.mrsb", t.data, t.index))
+            .collect();
+        m.task_done(s0, t.data, t.index, urls.clone());
+
+        let d0 = m.get_dispatch(s0, 0, Duration::ZERO, &[]);
+        assert_eq!(d0.eager.len(), 1, "{:?}", d0.eager);
+        assert_eq!((d0.eager[0].data, d0.eager[0].partition), (t.data, 0));
+        assert_eq!(d0.eager[0].url, urls[0]);
+        let d1 = m.get_dispatch(s1, 0, Duration::ZERO, &[]);
+        assert_eq!(d1.eager.len(), 1, "{:?}", d1.eager);
+        assert_eq!(d1.eager[0].partition, 1);
+        assert_eq!(d1.eager[0].url, urls[1]);
+
+        // Slave 1 completes the second map; its fragments go to the
+        // owners the first publication committed into the affinity map.
+        let t2 = take1(m.get_tasks(s1, 1));
+        let urls2: Vec<String> = (0..t2.parts)
+            .map(|p| format!("http://b:2/data/s1/d{}/t{}/b{p}.mrsb", t2.data, t2.index))
+            .collect();
+        m.task_done(s1, t2.data, t2.index, urls2.clone());
+
+        // The barrier is clear: each slave is granted exactly the reduce
+        // partition whose fragments were predicted onto it.
+        let d0 = m.get_dispatch(s0, 1, Duration::ZERO, &[]);
+        assert_eq!(d0.eager.len(), 1);
+        assert_eq!(d0.eager[0].url, urls2[0]);
+        let Assignment::Tasks(ts) = d0.assignment else { panic!("barrier should be clear") };
+        assert_eq!((ts[0].kind, ts[0].index), (TaskKind::Reduce, 0));
+        let d1 = m.get_dispatch(s1, 1, Duration::ZERO, &[]);
+        assert_eq!(d1.eager[0].url, urls2[1]);
+        let Assignment::Tasks(ts) = d1.assignment else { panic!("barrier should be clear") };
+        assert_eq!((ts[0].kind, ts[0].index), (TaskKind::Reduce, 1));
+    }
+
+    #[test]
+    fn eager_publication_waits_for_a_consumer_then_backfills() {
+        let mut m = master_direct();
+        let s0 = m.signin("a:1", 1);
+        let s1 = m.signin("b:2", 1);
+        let src = m.local_data(records(4), 1).unwrap();
+        let mapped = m.map_data(src, 0, 2, false).unwrap();
+        let t = take1(m.get_tasks(s0, 1));
+        let urls: Vec<String> =
+            (0..t.parts).map(|p| format!("http://a:1/data/s0/d{}/t0/b{p}.mrsb", t.data)).collect();
+        m.task_done(s0, t.data, t.index, urls);
+        // No reduce-like consumer yet: nothing to predict, nothing sent.
+        assert!(m.get_dispatch(s0, 0, Duration::ZERO, &[]).eager.is_empty());
+        assert!(m.get_dispatch(s1, 0, Duration::ZERO, &[]).eager.is_empty());
+        // Submitting the reduce retroactively publishes the already-done
+        // fragments (iterative drivers submit consumers late).
+        let _r = m.reduce_data(mapped, 0).unwrap();
+        let d0 = m.get_dispatch(s0, 0, Duration::ZERO, &[]);
+        let d1 = m.get_dispatch(s1, 0, Duration::ZERO, &[]);
+        assert_eq!(d0.eager.len() + d1.eager.len(), 2, "{:?} {:?}", d0.eager, d1.eager);
+    }
+
+    #[test]
+    fn eager_shuffle_off_publishes_nothing() {
+        let cfg = MasterConfig { eager_shuffle: false, ..MasterConfig::default() };
+        let mut m = Master::new(cfg, DataPlane::Direct).unwrap();
+        let s0 = m.signin("a:1", 1);
+        let src = m.local_data(records(4), 1).unwrap();
+        let _mapped = m.map_data(src, 0, 2, false).unwrap();
+        let _reduced = m.reduce_data(_mapped, 0).unwrap();
+        let t = take1(m.get_tasks(s0, 1));
+        let urls: Vec<String> =
+            (0..t.parts).map(|p| format!("http://a:1/data/s0/d{}/t0/b{p}.mrsb", t.data)).collect();
+        m.task_done(s0, t.data, t.index, urls);
+        assert!(m.get_dispatch(s0, 0, Duration::ZERO, &[]).eager.is_empty());
     }
 }

@@ -28,6 +28,10 @@ pub struct JobMetrics {
     bytes_on_wire: u64,
     shortcircuit_fetches: u64,
     checksum_retries: u64,
+    eager_fragments: u64,
+    eager_bytes: u64,
+    residual_fetches: u64,
+    overlap_micros: u64,
     fused_ops: u64,
     reducemap_tasks: u64,
     datasets_freed: u64,
@@ -222,6 +226,10 @@ impl JobMetrics {
         self.bytes_on_wire += stats.bytes_on_wire;
         self.shortcircuit_fetches += stats.shortcircuit_fetches;
         self.checksum_retries += stats.checksum_retries;
+        self.eager_fragments += stats.eager_fragments;
+        self.eager_bytes += stats.eager_bytes;
+        self.residual_fetches += stats.residual_fetches;
+        self.overlap_micros += stats.overlap_micros;
     }
 
     /// Decoded (post-decompress) size of every bucket fetched over HTTP.
@@ -245,6 +253,31 @@ impl JobMetrics {
     /// Remote frames whose checksum failed and were re-fetched once.
     pub fn checksum_retries(&self) -> u64 {
         self.checksum_retries
+    }
+
+    /// Map-output buckets the eager shuffle fetcher pulled before the
+    /// operation barrier cleared.
+    pub fn eager_fragments(&self) -> u64 {
+        self.eager_fragments
+    }
+
+    /// Decoded bytes of those eager fetches.
+    pub fn eager_bytes(&self) -> u64 {
+        self.eager_bytes
+    }
+
+    /// Reduce inputs an eager-enabled slave still fetched cold at task
+    /// time (fragments published late, mispredicted, or invalidated).
+    pub fn residual_fetches(&self) -> u64 {
+        self.residual_fetches
+    }
+
+    /// Milliseconds warm fragments sat ready before their reduce-like
+    /// task consumed them — transfer/verify/decompress time moved off the
+    /// post-barrier critical path. Fractional because short overlaps on
+    /// tiny inputs matter to the smoke benches.
+    pub fn overlap_ms(&self) -> f64 {
+        self.overlap_micros as f64 / 1000.0
     }
 
     /// Record a fused reduce+map operation being queued.
@@ -331,6 +364,10 @@ mod tests {
             bytes_on_wire: 300,
             shortcircuit_fetches: 7,
             checksum_retries: 1,
+            eager_fragments: 5,
+            eager_bytes: 640,
+            residual_fetches: 2,
+            overlap_micros: 2500,
         });
         assert_eq!(m.map_ops(), 2);
         assert_eq!(m.reduce_ops(), 1);
@@ -353,6 +390,10 @@ mod tests {
         assert_eq!(m.bytes_on_wire(), 300);
         assert_eq!(m.shortcircuit_fetches(), 7);
         assert_eq!(m.checksum_retries(), 1);
+        assert_eq!(m.eager_fragments(), 5);
+        assert_eq!(m.eager_bytes(), 640);
+        assert_eq!(m.residual_fetches(), 2);
+        assert!((m.overlap_ms() - 2.5).abs() < 1e-9);
         assert!(m.map_time() >= Duration::from_millis(10));
     }
 

@@ -7,8 +7,8 @@
 
 use crate::dataplane;
 use mrs_codec::FrameError;
-use mrs_core::{Error, Record, Result};
-use mrs_fs::format::read_bucket_bytes;
+use mrs_core::{Bucket, Error, Record, Result};
+use mrs_fs::format::read_bucket_into;
 use mrs_fs::{BucketUrl, Store};
 use mrs_rpc::xmlrpc::Value;
 use mrs_rpc::FrameCache;
@@ -284,36 +284,89 @@ impl Assignment {
     }
 }
 
+/// An eagerly published map-output fragment: one partition bucket of one
+/// completed map-like task, announced to the slave the master predicts
+/// will own the consuming reduce partition — *before* the operation
+/// barrier clears. The receiving slave may fetch it in the background
+/// while the remaining map tasks run, hiding transfer latency behind map
+/// compute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EagerFragment {
+    /// The map-like dataset the fragment belongs to.
+    pub data: u32,
+    /// The reduce partition the bucket feeds.
+    pub partition: usize,
+    /// Bucket URL, exactly as the consuming task's `inputs` will name it.
+    pub url: String,
+}
+
+impl EagerFragment {
+    /// Encode for the RPC response.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("data".to_owned(), Value::Int(self.data as i64));
+        m.insert("partition".to_owned(), Value::Int(self.partition as i64));
+        m.insert("url".to_owned(), Value::Str(self.url.clone()));
+        Value::Struct(m)
+    }
+
+    /// Decode from the RPC response.
+    pub fn from_value(v: &Value) -> Result<EagerFragment> {
+        let int = |name: &str| -> Result<i64> {
+            v.field(name)
+                .and_then(Value::as_int)
+                .ok_or_else(|| Error::Rpc(format!("eager fragment missing {name}")))
+        };
+        let url = v
+            .field("url")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::Rpc("eager fragment missing url".into()))?
+            .to_owned();
+        Ok(EagerFragment { data: int("data")? as u32, partition: int("partition")? as usize, url })
+    }
+}
+
 /// A full `get_task` answer: the assignment plus lifetime-GC purge
-/// orders. `purge` lists output-path prefixes whose datasets have no
-/// remaining consumers; the slave drops the matching frames from its
-/// cache. Encoded as an extra `purge` key on the assignment struct, so
-/// pre-GC slaves (which ignore unknown keys) interoperate.
+/// orders and eager-shuffle fragment announcements. `purge` lists
+/// output-path prefixes whose datasets have no remaining consumers; the
+/// slave drops the matching frames (and eager fragments) from its
+/// caches. `eager` lists freshly completed map-output buckets this slave
+/// should pre-fetch before the barrier clears. Both are encoded as extra
+/// keys on the assignment struct, so older slaves (which ignore unknown
+/// keys) interoperate.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Dispatch {
     /// What to run (or wait/exit).
     pub assignment: Assignment,
     /// Frame-cache path prefixes to drop.
     pub purge: Vec<String>,
+    /// Map-output fragments available for eager pre-fetch.
+    pub eager: Vec<EagerFragment>,
 }
 
 impl Dispatch {
     /// Encode for the RPC response.
     pub fn to_value(&self) -> Value {
         let mut v = self.assignment.to_value();
-        if !self.purge.is_empty() {
-            if let Value::Struct(m) = &mut v {
+        if let Value::Struct(m) = &mut v {
+            if !self.purge.is_empty() {
                 m.insert(
                     "purge".to_owned(),
                     Value::Array(self.purge.iter().map(|p| Value::Str(p.clone())).collect()),
+                );
+            }
+            if !self.eager.is_empty() {
+                m.insert(
+                    "eager".to_owned(),
+                    Value::Array(self.eager.iter().map(EagerFragment::to_value).collect()),
                 );
             }
         }
         v
     }
 
-    /// Decode from the RPC response. A missing `purge` key (old master)
-    /// means nothing to drop.
+    /// Decode from the RPC response. A missing `purge` or `eager` key
+    /// (old master) means nothing to drop or pre-fetch.
     pub fn from_value(v: &Value) -> Result<Dispatch> {
         let assignment = Assignment::from_value(v)?;
         let purge = match v.field("purge").and_then(Value::as_array) {
@@ -327,7 +380,13 @@ impl Dispatch {
                 .collect::<Result<Vec<_>>>()?,
             None => Vec::new(),
         };
-        Ok(Dispatch { assignment, purge })
+        let eager = match v.field("eager").and_then(Value::as_array) {
+            Some(items) => {
+                items.iter().map(EagerFragment::from_value).collect::<Result<Vec<_>>>()?
+            }
+            None => Vec::new(),
+        };
+        Ok(Dispatch { assignment, purge, eager })
     }
 }
 
@@ -369,7 +428,9 @@ pub fn fetch_records_local_first(
     own_cache: Option<&FrameCache>,
 ) -> Result<Vec<Record>> {
     let bytes = fetch_bucket_bytes_local_first(url, shared, own_authority, own_cache)?;
-    read_bucket_bytes(&bytes)
+    let mut bucket = Bucket::new();
+    read_bucket_into(&bytes, &mut bucket)?;
+    Ok(bucket.to_records())
 }
 
 /// The transfer half of [`fetch_records_local_first`]: resolve the URL
@@ -493,12 +554,44 @@ mod tests {
     #[test]
     fn dispatch_roundtrip_with_and_without_purge() {
         let a = Assignment::Wait;
-        let d = Dispatch { assignment: a.clone(), purge: vec!["s0/d3/".into(), "src2/".into()] };
+        let d = Dispatch {
+            assignment: a.clone(),
+            purge: vec!["s0/d3/".into(), "src2/".into()],
+            eager: vec![],
+        };
         assert_eq!(Dispatch::from_value(&d.to_value()).unwrap(), d);
-        let bare = Dispatch { assignment: a.clone(), purge: vec![] };
+        let bare = Dispatch { assignment: a.clone(), purge: vec![], eager: vec![] };
         assert_eq!(Dispatch::from_value(&bare.to_value()).unwrap(), bare);
         // An old master's plain assignment decodes as an empty purge list.
         assert_eq!(Dispatch::from_value(&a.to_value()).unwrap(), bare);
+    }
+
+    #[test]
+    fn dispatch_roundtrip_with_eager_fragments() {
+        let frag = |p: usize| EagerFragment {
+            data: 2,
+            partition: p,
+            url: format!("http://h:1/data/s0/d2/t0/b{p}.mrsb"),
+        };
+        let d = Dispatch {
+            assignment: Assignment::Wait,
+            purge: vec!["s1/d0/".into()],
+            eager: vec![frag(0), frag(3)],
+        };
+        assert_eq!(Dispatch::from_value(&d.to_value()).unwrap(), d);
+        // Fragment messages round-trip standalone too.
+        let f = frag(7);
+        assert_eq!(EagerFragment::from_value(&f.to_value()).unwrap(), f);
+    }
+
+    #[test]
+    fn malformed_eager_fragment_rejected() {
+        assert!(EagerFragment::from_value(&Value::Int(1)).is_err());
+        let mut m = BTreeMap::new();
+        m.insert("data".to_owned(), Value::Int(1));
+        m.insert("partition".to_owned(), Value::Int(0));
+        // Missing url.
+        assert!(EagerFragment::from_value(&Value::Struct(m)).is_err());
     }
 
     #[test]

@@ -18,10 +18,11 @@
 //! runs over real XML-RPC (production/distributed tests) or direct method
 //! calls (scheduler unit tests).
 
+use crate::dataplane::{record_eager_fragment, record_overlap, record_residual_fetch};
 use crate::master::SlaveId;
 use crate::proto::{
-    fetch_bucket_bytes_local_first, Assignment, ControlMode, DataPlane, Dispatch, TaskKind,
-    TaskMsg, TaskReport,
+    fetch_bucket_bytes_local_first, Assignment, ControlMode, DataPlane, Dispatch, EagerFragment,
+    TaskKind, TaskMsg, TaskReport,
 };
 use mrs_codec::CompressMode;
 use mrs_core::task::{run_map_task_bucket, run_reduce_map_task, run_reduce_task};
@@ -30,7 +31,7 @@ use mrs_fs::format::{read_bucket_into, write_bucket};
 use mrs_fs::Store;
 use mrs_rpc::{DataServer, FrameCache};
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -123,6 +124,11 @@ pub struct SlaveOptions {
     /// (`--mrs-compress`). Consumers auto-detect, so slaves with
     /// different settings interoperate.
     pub compress: CompressMode,
+    /// Run the background shuffle fetcher (`--mrs-eager-shuffle`): pull
+    /// master-announced map-output fragments while maps still run, then
+    /// seed reduce-input fetches from the warm cache. Off restores the
+    /// classic fetch-everything-at-task-time path.
+    pub eager_shuffle: bool,
 }
 
 impl Default for SlaveOptions {
@@ -134,6 +140,7 @@ impl Default for SlaveOptions {
             control: ControlMode::default(),
             long_poll: Duration::from_secs(1),
             compress: CompressMode::default(),
+            eager_shuffle: true,
         }
     }
 }
@@ -149,6 +156,32 @@ struct Pipe {
     poll_cv: Condvar,
     /// Wakes the prefetch thread when assignments land (or on shutdown).
     fetch_cv: Condvar,
+    /// Eager-shuffle fragment queue and warm cache; `None` with
+    /// `--mrs-eager-shuffle off`.
+    eager: Option<EagerHalf>,
+}
+
+/// The eager shuffle fetcher's half of the pipe: fragment URLs announced
+/// by the master but not yet fetched, and fetched fragments kept warm
+/// until their reduce-like task consumes them.
+struct EagerHalf {
+    state: Mutex<EagerState>,
+    /// Wakes the fetcher when fragments are announced (or on shutdown).
+    cv: Condvar,
+}
+
+struct EagerState {
+    /// Announced fragment URLs awaiting fetch.
+    queue: VecDeque<String>,
+    /// Every URL ever queued — duplicate announcements (two consumers of
+    /// one map output) fetch once.
+    seen: HashSet<String>,
+    /// Decoded bucket bytes by URL, stamped with the instant they became
+    /// ready: the overlap metric is how long a fragment sat here before
+    /// its task consumed it.
+    warm: HashMap<String, (Vec<u8>, Instant)>,
+    /// Shutdown flag mirroring the pipe's drain/halt for the fetcher.
+    stop: bool,
 }
 
 struct PipeState {
@@ -171,7 +204,7 @@ struct PipeState {
 }
 
 impl Pipe {
-    fn new() -> Pipe {
+    fn new(eager: bool) -> Pipe {
         Pipe {
             state: Mutex::new(PipeState {
                 fetch_queue: VecDeque::new(),
@@ -185,6 +218,15 @@ impl Pipe {
             cv: Condvar::new(),
             poll_cv: Condvar::new(),
             fetch_cv: Condvar::new(),
+            eager: eager.then(|| EagerHalf {
+                state: Mutex::new(EagerState {
+                    queue: VecDeque::new(),
+                    seen: HashSet::new(),
+                    warm: HashMap::new(),
+                    stop: false,
+                }),
+                cv: Condvar::new(),
+            }),
         }
     }
 
@@ -196,9 +238,42 @@ impl Pipe {
             st.drain = true;
         }
         drop(st);
+        if let Some(eg) = &self.eager {
+            eg.state.lock().stop = true;
+            eg.cv.notify_all();
+        }
         self.cv.notify_all();
         self.poll_cv.notify_all();
         self.fetch_cv.notify_all();
+    }
+
+    /// Queue announced fragments for the eager fetcher (dedup by URL).
+    fn enqueue_eager(&self, frags: &[EagerFragment]) {
+        let Some(eg) = &self.eager else { return };
+        let mut st = eg.state.lock();
+        let mut queued = false;
+        for f in frags {
+            if st.seen.insert(f.url.clone()) {
+                st.queue.push_back(f.url.clone());
+                queued = true;
+            }
+        }
+        drop(st);
+        if queued {
+            eg.cv.notify_all();
+        }
+    }
+
+    /// Drop eager fragments (queued or warm) belonging to a lifetime-GC'd
+    /// dataset. `prefix` is the purge order's bucket-path prefix
+    /// (`s{slave}/d{data}/`); fragment URLs embed it after `/data/`.
+    fn purge_eager(&self, prefix: &str) {
+        let Some(eg) = &self.eager else { return };
+        let needle = format!("/data/{prefix}");
+        let mut st = eg.state.lock();
+        st.queue.retain(|u| !u.contains(&needle));
+        st.seen.retain(|u| !u.contains(&needle));
+        st.warm.retain(|u, _| !u.contains(&needle));
     }
 
     fn halted(&self) -> bool {
@@ -241,7 +316,7 @@ pub fn run_slave(
     let id = link.signin(&authority, capacity)?;
 
     let piggyback = matches!(opts.control, ControlMode::LongPoll);
-    let pipe = Pipe::new();
+    let pipe = Pipe::new(opts.eager_shuffle);
     let mut result: Result<()> = Ok(());
     std::thread::scope(|s| {
         let mut handles: Vec<_> = (0..workers)
@@ -268,6 +343,17 @@ pub fn run_slave(
         handles.push(s.spawn(|| {
             prefetch_loop(link, shared.as_ref(), own_authority.as_deref(), &frames, id, &pipe)
         }));
+        // The eager shuffle fetcher pulls announced map-output fragments
+        // while the workers are still mapping, hiding reduce-input
+        // transfer behind map execution. Purely advisory: every failure
+        // is silently dropped and the task-time residual fetch restores
+        // correctness.
+        if pipe.eager.is_some() {
+            handles.push(s.spawn(|| {
+                eager_fetch_loop(shared.as_ref(), own_authority.as_deref(), &frames, &pipe);
+                Ok(())
+            }));
+        }
 
         let mut backoff = opts.poll_interval;
         let main_res: Result<()> = loop {
@@ -311,10 +397,14 @@ pub fn run_slave(
                 // Apply lifetime-GC purge orders before acting on the
                 // assignment: spent datasets leave this slave's frame
                 // cache so long-running iterative jobs hold O(1)
-                // intermediate data, not O(iterations).
+                // intermediate data, not O(iterations). The eager
+                // fragment cache honors the same orders — a freed
+                // dataset must not leak warm fragments either.
                 for prefix in &d.purge {
                     frames.remove_prefix(prefix);
+                    pipe.purge_eager(prefix);
                 }
+                pipe.enqueue_eager(&d.eager);
                 d.assignment
             });
             match answer {
@@ -421,7 +511,11 @@ fn prefetch_loop(
                 pipe.fetch_cv.wait(&mut st);
             }
         };
-        let fetched = fetch_all_bucket_bytes(&task.inputs, shared, own_authority, frames);
+        // Only reduce-like tasks (plain or fused) gather map-output
+        // partitions, so only they consult the eager warm cache; map
+        // tasks fetching source splits must not skew the residual count.
+        let eager = pipe.eager.as_ref().filter(|_| task.kind != TaskKind::Map);
+        let fetched = fetch_all_bucket_bytes(&task.inputs, shared, own_authority, frames, eager);
         if pipe.halted() {
             return Ok(());
         }
@@ -448,6 +542,48 @@ fn prefetch_loop(
                         return Err(e);
                     }
                 }
+            }
+        }
+    }
+}
+
+/// The eager shuffle fetcher: pop announced fragment URLs and pull them
+/// into the warm cache while the producing operation is still running —
+/// the transfer, checksum verify, and decompress all happen off the
+/// post-barrier critical path. Failures are dropped silently (and the
+/// URL forgotten so a re-announcement can retry): the producer may have
+/// died, or its dataset may have been reclaimed; the residual fetch at
+/// task time is the correctness path, this thread only warms it up.
+fn eager_fetch_loop(
+    shared: Option<&Arc<dyn Store>>,
+    own_authority: Option<&str>,
+    frames: &Arc<FrameCache>,
+    pipe: &Pipe,
+) {
+    let Some(eg) = &pipe.eager else { return };
+    loop {
+        let url = {
+            let mut st = eg.state.lock();
+            loop {
+                if st.stop {
+                    return;
+                }
+                if let Some(u) = st.queue.pop_front() {
+                    break u;
+                }
+                eg.cv.wait(&mut st);
+            }
+        };
+        match fetch_bucket_bytes_local_first(&url, shared, own_authority, Some(frames)) {
+            Ok(bytes) => {
+                record_eager_fragment(bytes.len());
+                let mut st = eg.state.lock();
+                if !st.stop {
+                    st.warm.insert(url, (bytes, Instant::now()));
+                }
+            }
+            Err(_) => {
+                eg.state.lock().seen.remove(&url);
             }
         }
     }
@@ -547,50 +683,85 @@ pub struct TaskError {
 /// round-trips to every peer, so this is the main shuffle latency lever.
 const FETCH_PARALLELISM: usize = 8;
 
-/// Fetch the raw bytes of every input URL, in order. Remote fetches run
-/// on up to [`FETCH_PARALLELISM`] worker threads; results land in their
-/// input slot so downstream parsing sees inputs in assignment order (the
-/// determinism oracle depends on it).
+/// Fetch the raw bytes of every input URL, in order. With `eager`, slots
+/// are seeded from the shuffle fetcher's warm cache first and only the
+/// residue — fragments the fetcher missed — is fetched cold. Cold fetches
+/// run on up to [`FETCH_PARALLELISM`] worker threads; results land in
+/// their input slot either way, so downstream parsing sees inputs in
+/// assignment order (the determinism oracle depends on it).
 fn fetch_all_bucket_bytes(
     urls: &[String],
     shared: Option<&Arc<dyn Store>>,
     own_authority: Option<&str>,
     frames: &FrameCache,
+    eager: Option<&EagerHalf>,
 ) -> std::result::Result<Vec<Vec<u8>>, TaskError> {
     let fetch =
         |url: &str| fetch_bucket_bytes_local_first(url, shared, own_authority, Some(frames));
-    if urls.len() <= 1 {
-        // Nothing to overlap; skip the thread machinery.
-        return urls
-            .iter()
-            .map(|url| {
-                fetch(url)
-                    .map_err(|e| TaskError { msg: e.to_string(), failed_input: Some(url.clone()) })
-            })
-            .collect();
-    }
-    type FetchSlot = Mutex<Option<std::result::Result<Vec<u8>, String>>>;
-    let slots: Vec<FetchSlot> = urls.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..FETCH_PARALLELISM.min(urls.len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= urls.len() {
-                    break;
+    let mut slots: Vec<Option<Vec<u8>>> = (0..urls.len()).map(|_| None).collect();
+    let mut residue: Vec<usize> = Vec::new();
+    if let Some(eg) = eager {
+        let now = Instant::now();
+        let mut st = eg.state.lock();
+        for (i, url) in urls.iter().enumerate() {
+            match st.warm.remove(url) {
+                Some((bytes, ready_at)) => {
+                    // How long the fragment sat ready is transfer latency
+                    // that ran concurrently with map execution.
+                    record_overlap(now.saturating_duration_since(ready_at));
+                    slots[i] = Some(bytes);
                 }
-                let r = fetch(&urls[i]).map_err(|e| e.to_string());
-                *slots[i].lock() = Some(r);
-            });
+                None => residue.push(i),
+            }
         }
-    });
-    urls.iter()
-        .zip(slots)
-        .map(|(url, slot)| {
-            let r = slot.into_inner().expect("fetch worker filled every slot");
-            r.map_err(|msg| TaskError { msg, failed_input: Some(url.clone()) })
-        })
-        .collect()
+        // The residue is about to be fetched right here; drop any of it
+        // still queued for the background fetcher so the duplicate fetch
+        // doesn't compete with the barrier-time critical path. (Entries
+        // stay in `seen`: the bytes are being fetched either way.)
+        if !residue.is_empty() {
+            let residual: HashSet<&String> = residue.iter().map(|&i| &urls[i]).collect();
+            st.queue.retain(|u| !residual.contains(u));
+        }
+        drop(st);
+        for _ in &residue {
+            record_residual_fetch();
+        }
+    } else {
+        residue = (0..urls.len()).collect();
+    }
+    if residue.len() <= 1 {
+        // Nothing to overlap; skip the thread machinery.
+        for &i in &residue {
+            let b = fetch(&urls[i]).map_err(|e| TaskError {
+                msg: e.to_string(),
+                failed_input: Some(urls[i].clone()),
+            })?;
+            slots[i] = Some(b);
+        }
+    } else {
+        type FetchSlot = Mutex<Option<std::result::Result<Vec<u8>, String>>>;
+        let results: Vec<FetchSlot> = residue.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..FETCH_PARALLELISM.min(residue.len()) {
+                s.spawn(|| loop {
+                    let r = next.fetch_add(1, Ordering::Relaxed);
+                    if r >= residue.len() {
+                        break;
+                    }
+                    let res = fetch(&urls[residue[r]]).map_err(|e| e.to_string());
+                    *results[r].lock() = Some(res);
+                });
+            }
+        });
+        for (r, slot) in results.into_iter().enumerate() {
+            let i = residue[r];
+            let res = slot.into_inner().expect("fetch worker filled every slot");
+            let b = res.map_err(|msg| TaskError { msg, failed_input: Some(urls[i].clone()) })?;
+            slots[i] = Some(b);
+        }
+    }
+    Ok(slots.into_iter().map(|b| b.expect("every slot seeded or fetched")).collect())
 }
 
 /// Execute one task whose input bytes are already fetched (slot-ordered,

@@ -43,6 +43,48 @@ fn killing_one_slave_mid_job_preserves_the_answer() {
     assert_eq!(counts["common"], 600);
 }
 
+/// Producer death mid-overlap: slaves eagerly fetch map-output fragments
+/// while the map phase is still running; then a slave that produced some
+/// of those outputs dies. The master re-executes its map tasks on a
+/// surviving slave, whose outputs get fresh URLs (a new `s{slave}/`
+/// prefix) — so the warm fragments keyed by the dead slave's URLs are
+/// simply never consumed, and the residual fetch at reduce time pulls the
+/// re-executed outputs. The answer must be exact in every interleaving:
+/// the kill may land mid-map, mid-reduce, or after completion depending
+/// on build and scheduling, so keep-data stays on to make recovery
+/// possible from any of them (the eager-invalidation path under test
+/// needs the mid-flight interleavings, which the short sleep makes the
+/// common case).
+#[test]
+fn producer_death_mid_overlap_invalidates_eager_fragments() {
+    let cfg = MasterConfig { keep_data: true, ..quick_sweep_config() };
+    let mut cluster =
+        LocalCluster::start(Arc::new(Simple(WordCount)), 3, DataPlane::Direct, cfg).unwrap();
+    let reduced = {
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(big_input(), 24).unwrap();
+        // No combiner: every map output record crosses the shuffle, so
+        // eager fetches move real data before the kill lands.
+        let mapped = job.map_data(src, 0, 8, false).unwrap();
+        job.reduce_data(mapped, 0).unwrap()
+    };
+    // Let some maps finish and their fragments get eagerly fetched, then
+    // kill a slave that (very likely) produced some of them.
+    std::thread::sleep(Duration::from_millis(3));
+    cluster.kill_slave(1);
+    let out = {
+        let mut job = Job::new(&mut cluster);
+        job.fetch_all(reduced).unwrap()
+    };
+    let counts = decode_counts(&out).unwrap();
+    assert_eq!(counts["common"], 600);
+    assert_eq!(counts.values().sum::<u64>(), 2400, "one count per input token");
+    assert!(
+        cluster.metrics().eager_fragments() > 0,
+        "eager shuffle should have moved fragments before the barrier"
+    );
+}
+
 #[test]
 fn killing_all_but_one_slave_still_completes() {
     let mut cluster = LocalCluster::start(

@@ -106,6 +106,16 @@ fn wordcount_identical_across_all_five_runtimes() {
         wordcount_on(&mut Job::new(&mut cluster), 4, 3)
     };
 
+    // Eager shuffle is on by default in every direct cluster above; the
+    // off path (classic barrier-then-fetch) is the tentpole's oracle and
+    // must agree byte for byte.
+    let eager_off = {
+        let cfg = MasterConfig { eager_shuffle: false, ..MasterConfig::default() };
+        let mut cluster =
+            LocalCluster::start(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg).unwrap();
+        wordcount_on(&mut Job::new(&mut cluster), 4, 3)
+    };
+
     assert_eq!(bypass, serial, "serial vs bypass");
     assert_eq!(serial, mock, "mock vs serial");
     assert_eq!(mock, pool, "pool vs mock");
@@ -115,6 +125,7 @@ fn wordcount_identical_across_all_five_runtimes() {
     assert_eq!(multislot, pollmode, "poll-mode cluster vs long-poll cluster");
     assert_eq!(pollmode, compress_on, "compress-on cluster vs poll-mode cluster");
     assert_eq!(compress_on, compress_off, "compress-off cluster vs compress-on cluster");
+    assert_eq!(compress_off, eager_off, "eager-off cluster vs compress-off cluster");
 }
 
 #[test]
@@ -205,12 +216,27 @@ fn stochastic_pso_bitwise_identical_across_runtimes() {
         .unwrap();
         pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
     };
+    // An iterative stochastic trajectory is equally sharp for the eager
+    // shuffle plane: warm-fragment seeding must feed reduce tasks the
+    // exact bytes (and bucket order) the cold path fetches.
+    let eager_off = {
+        let cfg = MasterConfig { eager_shuffle: false, ..MasterConfig::default() };
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(pso_config(), 1)),
+            2,
+            DataPlane::Direct,
+            cfg,
+        )
+        .unwrap();
+        pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
+    };
 
     assert_eq!(serial, expected, "MapReduce-serial vs bypass");
     assert_eq!(pool, expected, "pool vs bypass");
     assert_eq!(cluster, expected, "cluster vs bypass");
     assert_eq!(multislot, expected, "multi-slot cluster vs bypass");
     assert_eq!(pollmode, expected, "poll-mode cluster vs bypass");
+    assert_eq!(eager_off, expected, "eager-off cluster vs bypass");
 }
 
 /// The fused-ReduceMap oracle: the same iterative island chain run
