@@ -22,6 +22,9 @@ pub enum Error {
     MissingData(String),
     /// A task failed on every slave it was attempted on.
     TaskFailed(String),
+    /// A task attempt was cancelled cooperatively (another attempt won the
+    /// race); the partial output must be discarded, never reported.
+    Cancelled,
     /// The cluster lost all of its slaves.
     NoSlaves,
     /// Generic invariant violation.
@@ -38,6 +41,7 @@ impl fmt::Display for Error {
             Error::UnknownFunc(id) => write!(f, "unknown function id {id}"),
             Error::MissingData(m) => write!(f, "missing data: {m}"),
             Error::TaskFailed(m) => write!(f, "task failed: {m}"),
+            Error::Cancelled => write!(f, "task attempt cancelled"),
             Error::NoSlaves => write!(f, "no live slaves remain"),
             Error::Invalid(m) => write!(f, "invalid: {m}"),
         }

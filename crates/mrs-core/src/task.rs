@@ -25,6 +25,19 @@ use crate::error::{Error, Result};
 use crate::kv::Record;
 use crate::plan::FuncId;
 use crate::program::Program;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Check a cooperative-cancellation flag (if any); raise [`Error::Cancelled`]
+/// when it is set. Called at record boundaries in the map kernels and at
+/// group boundaries in the reduce kernels, so a losing speculative attempt
+/// abandons its work within one record/group of the cancel order landing.
+#[inline]
+fn check_cancel(cancel: Option<&AtomicBool>) -> Result<()> {
+    match cancel {
+        Some(flag) if flag.load(Ordering::Relaxed) => Err(Error::Cancelled),
+        _ => Ok(()),
+    }
+}
 
 /// How a map task applies its combiner.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -62,7 +75,31 @@ pub fn run_map_task_bucket(
     parts: usize,
     combine: bool,
 ) -> Result<Vec<Bucket>> {
-    run_map_records(program, func, input.iter(), parts, combine, CombineStrategy::default())
+    run_map_task_bucket_cancellable(program, func, input, parts, combine, None)
+}
+
+/// [`run_map_task_bucket`] with a cooperative-cancellation flag checked at
+/// every input-record boundary: when `cancel` becomes set, the kernel stops
+/// and returns [`Error::Cancelled`], discarding all partial output. Used by
+/// the distributed slave to abandon a speculative attempt that lost the
+/// first-completion race.
+pub fn run_map_task_bucket_cancellable(
+    program: &dyn Program,
+    func: FuncId,
+    input: &Bucket,
+    parts: usize,
+    combine: bool,
+    cancel: Option<&AtomicBool>,
+) -> Result<Vec<Bucket>> {
+    run_map_records_cancellable(
+        program,
+        func,
+        input.iter(),
+        parts,
+        combine,
+        CombineStrategy::default(),
+        cancel,
+    )
 }
 
 /// [`run_map_task`] with an explicit combining strategy.
@@ -75,23 +112,25 @@ pub fn run_map_task_with(
     strategy: CombineStrategy,
 ) -> Result<Vec<Bucket>> {
     let records = input.iter().map(|(k, v)| (k.as_slice(), v.as_slice()));
-    run_map_records(program, func, records, parts, combine, strategy)
+    run_map_records_cancellable(program, func, records, parts, combine, strategy, None)
 }
 
-fn run_map_records<'a>(
+fn run_map_records_cancellable<'a>(
     program: &dyn Program,
     func: FuncId,
     input: impl Iterator<Item = (&'a [u8], &'a [u8])>,
     parts: usize,
     combine: bool,
     strategy: CombineStrategy,
+    cancel: Option<&AtomicBool>,
 ) -> Result<Vec<Bucket>> {
     let combining = combine && program.has_combiner(func);
     if combining && strategy == CombineStrategy::Hash {
-        return run_map_task_hash_combine(program, func, input, parts);
+        return run_map_task_hash_combine(program, func, input, parts, cancel);
     }
     let mut buckets: Vec<Bucket> = (0..parts).map(|_| Bucket::new()).collect();
     for (key, value) in input {
+        check_cancel(cancel)?;
         program.map_bytes(func, key, value, &mut |k2, v2| {
             let p = program.partition(k2, parts);
             buckets[p].push(k2, v2);
@@ -111,9 +150,11 @@ fn run_map_task_hash_combine<'a>(
     func: FuncId,
     input: impl Iterator<Item = (&'a [u8], &'a [u8])>,
     parts: usize,
+    cancel: Option<&AtomicBool>,
 ) -> Result<Vec<Bucket>> {
     let mut combiners: Vec<StreamCombiner> = (0..parts).map(|_| StreamCombiner::new()).collect();
     for (key, value) in input {
+        check_cancel(cancel)?;
         // `emit` cannot return an error, so a failing partial fold inside
         // the combiner is stashed and re-raised after the map call.
         let mut deferred: Option<Error> = None;
@@ -146,10 +187,22 @@ pub fn combine_bucket(program: &dyn Program, func: FuncId, mut bucket: Bucket) -
 
 /// Run one reduce task: sort the gathered records of one partition, group
 /// by key, and apply reduce function `func` to each group.
-pub fn run_reduce_task(program: &dyn Program, func: FuncId, mut input: Bucket) -> Result<Bucket> {
+pub fn run_reduce_task(program: &dyn Program, func: FuncId, input: Bucket) -> Result<Bucket> {
+    run_reduce_task_cancellable(program, func, input, None)
+}
+
+/// [`run_reduce_task`] with a cooperative-cancellation flag checked at every
+/// key-group boundary.
+pub fn run_reduce_task_cancellable(
+    program: &dyn Program,
+    func: FuncId,
+    mut input: Bucket,
+    cancel: Option<&AtomicBool>,
+) -> Result<Bucket> {
     input.sort();
     let mut out = Bucket::new();
     for (key, values) in input.groups() {
+        check_cancel(cancel)?;
         let mut iter = values;
         program.reduce_bytes(func, key, &mut iter, &mut |k, v| out.push(k, v))?;
     }
@@ -171,9 +224,23 @@ pub fn run_reduce_map_task(
     program: &dyn Program,
     reduce_func: FuncId,
     map_func: FuncId,
+    input: Bucket,
+    parts: usize,
+    combine: bool,
+) -> Result<Vec<Bucket>> {
+    run_reduce_map_task_cancellable(program, reduce_func, map_func, input, parts, combine, None)
+}
+
+/// [`run_reduce_map_task`] with a cooperative-cancellation flag checked at
+/// every key-group boundary of the reduce pass.
+pub fn run_reduce_map_task_cancellable(
+    program: &dyn Program,
+    reduce_func: FuncId,
+    map_func: FuncId,
     mut input: Bucket,
     parts: usize,
     combine: bool,
+    cancel: Option<&AtomicBool>,
 ) -> Result<Vec<Bucket>> {
     use std::cell::RefCell;
     input.sort();
@@ -186,6 +253,7 @@ pub fn run_reduce_map_task(
         let combiners: RefCell<Vec<StreamCombiner>> =
             RefCell::new((0..parts).map(|_| StreamCombiner::new()).collect());
         for (key, values) in input.groups() {
+            check_cancel(cancel)?;
             let mut iter = values;
             program.reduce_bytes(reduce_func, key, &mut iter, &mut |rk, rv| {
                 if deferred.borrow().is_some() {
@@ -212,6 +280,7 @@ pub fn run_reduce_map_task(
     }
     let buckets: RefCell<Vec<Bucket>> = RefCell::new((0..parts).map(|_| Bucket::new()).collect());
     for (key, values) in input.groups() {
+        check_cancel(cancel)?;
         let mut iter = values;
         program.reduce_bytes(reduce_func, key, &mut iter, &mut |rk, rv| {
             if deferred.borrow().is_some() {
@@ -796,6 +865,51 @@ mod tests {
     fn fused_kernel_on_empty_input_is_empty() {
         let fused = run_reduce_map_task(&Chain, 0, 0, Bucket::new(), 2, false).unwrap();
         assert!(fused.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_aborts_every_kernel() {
+        let p = Simple(WordCount);
+        let flag = AtomicBool::new(true);
+        let input = Bucket::from_records(lines(&["the cat sat", "on the mat"]));
+        for combine in [false, true] {
+            let r = run_map_task_bucket_cancellable(&p, 0, &input, 2, combine, Some(&flag));
+            assert!(matches!(r, Err(Error::Cancelled)), "map combine={combine}");
+        }
+        let mut gathered = Bucket::new();
+        gathered.push(&"w".to_string().to_bytes(), &1u64.to_bytes());
+        let r = run_reduce_task_cancellable(&p, 0, gathered, Some(&flag));
+        assert!(matches!(r, Err(Error::Cancelled)), "reduce");
+        for combine in [false, true] {
+            let r = run_reduce_map_task_cancellable(
+                &Chain,
+                0,
+                0,
+                chain_input(),
+                2,
+                combine,
+                Some(&flag),
+            );
+            assert!(matches!(r, Err(Error::Cancelled)), "reducemap combine={combine}");
+        }
+    }
+
+    #[test]
+    fn unset_cancel_flag_leaves_outputs_identical() {
+        let p = Simple(WordCount);
+        let flag = AtomicBool::new(false);
+        let input = Bucket::from_records(lines(&["the cat sat", "the cat"]));
+        for combine in [false, true] {
+            let plain = run_map_task_bucket(&p, 0, &input, 3, combine).unwrap();
+            let flagged =
+                run_map_task_bucket_cancellable(&p, 0, &input, 3, combine, Some(&flag)).unwrap();
+            assert_eq!(plain, flagged, "combine={combine}");
+        }
+        let fused = run_reduce_map_task(&Chain, 0, 0, chain_input(), 3, true).unwrap();
+        let flagged =
+            run_reduce_map_task_cancellable(&Chain, 0, 0, chain_input(), 3, true, Some(&flag))
+                .unwrap();
+        assert_eq!(fused, flagged);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! prog --mrs master --mrs-compress threshold=4096               # frame big buckets only
 //! prog --mrs master --mrs-keep-data   # disable dataset lifetime GC
 //! prog --mrs master --mrs-eager-shuffle off  # classic barrier-then-fetch shuffle
+//! prog --mrs master --mrs-speculate off      # no straggler backup tasks
+//! prog --mrs master --mrs-speculate threshold=2.5  # back up at 2.5× median runtime
 //! ```
 //!
 //! A master runs the driver and serves slaves; a slave never runs the
@@ -30,7 +32,7 @@ use crate::distributed::{serve_master, RpcMasterLink};
 use crate::job::Job;
 use crate::local::LocalRuntime;
 use crate::master::{Master, MasterConfig};
-use crate::proto::{ControlMode, DataPlane};
+use crate::proto::{ControlMode, DataPlane, SpeculateMode};
 use crate::serial::SerialRuntime;
 use crate::slave::{run_slave, SlaveOptions};
 use mrs_codec::CompressMode;
@@ -91,6 +93,17 @@ pub struct CliOptions {
     /// fetch them while maps still run. `off` is the classic
     /// barrier-then-fetch path, kept as a first-class oracle.
     pub eager_shuffle: bool,
+    /// Speculative execution (`--mrs-speculate on|off|threshold=X`,
+    /// default on at 1.5×): once a wave is mostly done, a task running
+    /// longer than X× the median completed runtime gets a backup attempt
+    /// on another slave; first completion wins and the loser is cancelled.
+    /// `off` is the non-speculative scheduler, kept as a first-class
+    /// oracle. A no-op on the single-process implementations.
+    pub speculate: SpeculateMode,
+    /// Hidden test hook (`--mrs-test-delay data:index:ms`, repeatable):
+    /// a slave delays the *first* attempt of the named task by `ms`,
+    /// manufacturing a deterministic straggler for tests and benches.
+    pub test_delays: Vec<(u32, usize, u64)>,
     /// Everything that was not an `--mrs*` option, for the program's own
     /// argument handling.
     pub rest: Vec<String>,
@@ -109,6 +122,8 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     let mut compress = CompressMode::default();
     let mut keep_data = false;
     let mut eager_shuffle = true;
+    let mut speculate = SpeculateMode::default();
+    let mut test_delays = Vec::new();
     let mut rest = Vec::new();
 
     let mut iter = args.into_iter();
@@ -159,6 +174,29 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
                 compress = CompressMode::parse(&v).map_err(Error::Invalid)?;
             }
             "--mrs-keep-data" => keep_data = true,
+            "--mrs-speculate" => {
+                let v = value_of("--mrs-speculate")?;
+                speculate = SpeculateMode::parse(&v)?;
+            }
+            "--mrs-test-delay" => {
+                let v = value_of("--mrs-test-delay")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                let parsed = match parts.as_slice() {
+                    [d, i, ms] => match (d.parse::<u32>(), i.parse::<usize>(), ms.parse::<u64>()) {
+                        (Ok(d), Ok(i), Ok(ms)) => Some((d, i, ms)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match parsed {
+                    Some(t) => test_delays.push(t),
+                    None => {
+                        return Err(Error::Invalid(format!(
+                            "--mrs-test-delay {v:?} (expected data:index:ms)"
+                        )))
+                    }
+                }
+            }
             "--mrs-eager-shuffle" => {
                 let v = value_of("--mrs-eager-shuffle")?;
                 eager_shuffle = match v.as_str() {
@@ -200,7 +238,17 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     if long_poll == Some(Duration::ZERO) {
         return Err(Error::Invalid("--mrs-longpoll-ms must be positive".into()));
     }
-    Ok(CliOptions { implementation, control, long_poll, compress, keep_data, eager_shuffle, rest })
+    Ok(CliOptions {
+        implementation,
+        control,
+        long_poll,
+        compress,
+        keep_data,
+        eager_shuffle,
+        speculate,
+        test_delays,
+        rest,
+    })
 }
 
 fn num_cpus() -> usize {
@@ -235,6 +283,7 @@ where
                 compress: options.compress,
                 keep_data: options.keep_data,
                 eager_shuffle: options.eager_shuffle,
+                speculate: options.speculate,
                 ..MasterConfig::default()
             };
             if let Some(lp) = options.long_poll {
@@ -264,6 +313,7 @@ where
             slave_opts.control = options.control;
             slave_opts.compress = options.compress;
             slave_opts.eager_shuffle = options.eager_shuffle;
+            slave_opts.test_delays = options.test_delays.clone();
             if let Some(lp) = options.long_poll {
                 slave_opts.long_poll = lp;
             }
@@ -368,6 +418,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_speculate_flag() {
+        assert_eq!(opts(&[]).unwrap().speculate, SpeculateMode::default());
+        assert_eq!(opts(&["--mrs-speculate", "off"]).unwrap().speculate, SpeculateMode::Off);
+        assert_eq!(opts(&["--mrs-speculate", "on"]).unwrap().speculate, SpeculateMode::default());
+        assert_eq!(
+            opts(&["--mrs-speculate", "threshold=2.5"]).unwrap().speculate,
+            SpeculateMode::On { threshold: 2.5 }
+        );
+    }
+
+    #[test]
+    fn parses_test_delay_flag() {
+        assert!(opts(&[]).unwrap().test_delays.is_empty());
+        let o = opts(&["--mrs-test-delay", "1:0:500", "--mrs-test-delay", "3:2:50"]).unwrap();
+        assert_eq!(o.test_delays, vec![(1, 0, 500), (3, 2, 50)]);
+    }
+
+    #[test]
     fn program_args_pass_through() {
         let o = opts(&["input.txt", "--mrs", "pool", "--verbose"]).unwrap();
         assert_eq!(o.rest, vec!["input.txt", "--verbose"]);
@@ -389,6 +457,10 @@ mod tests {
         assert!(opts(&["--mrs-compress", "threshold=lots"]).is_err());
         assert!(opts(&["--mrs-eager-shuffle"]).is_err());
         assert!(opts(&["--mrs-eager-shuffle", "sometimes"]).is_err());
+        assert!(opts(&["--mrs-speculate", "perhaps"]).is_err());
+        assert!(opts(&["--mrs-speculate", "threshold=0.5"]).is_err());
+        assert!(opts(&["--mrs-test-delay", "1:0"]).is_err());
+        assert!(opts(&["--mrs-test-delay", "a:b:c"]).is_err());
     }
 
     struct Count;
@@ -434,6 +506,8 @@ mod tests {
             compress: CompressMode::default(),
             keep_data: false,
             eager_shuffle: true,
+            speculate: SpeculateMode::default(),
+            test_delays: vec![],
             rest: vec![],
         };
         // Driver with no work: just verify the port file exists while the

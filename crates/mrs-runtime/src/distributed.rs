@@ -65,7 +65,10 @@ pub fn serve_master(master: Master, port: u16) -> std::io::Result<RpcServer> {
         })
         .register("task_done", move |params| {
             let (slave, data, index, urls) = parse_report(params)?;
-            m3.task_done(slave, data, index, urls);
+            // Attempt id; legacy slaves omit it and report 0 (matched by
+            // slave alone at the master's commit point).
+            let attempt = params.get(4).and_then(Value::as_int).unwrap_or(0).max(0) as u32;
+            m3.task_done(slave, data, index, attempt, urls);
             Ok(Value::Bool(true))
         })
         .register("task_failed", move |params| {
@@ -77,7 +80,16 @@ pub fn serve_master(master: Master, port: u16) -> std::io::Result<RpcServer> {
                 params.get(2).and_then(Value::as_int).ok_or((3, "missing index".to_owned()))?;
             let msg = params.get(3).and_then(Value::as_str).unwrap_or("unknown error");
             let failed_input = params.get(4).and_then(Value::as_str).filter(|u| !u.is_empty());
-            m4.task_failed(slave as SlaveId, data as u32, index as usize, msg, failed_input);
+            // Attempt id; legacy slaves omit it (0 = match by slave alone).
+            let attempt = params.get(5).and_then(Value::as_int).unwrap_or(0).max(0) as u32;
+            m4.task_failed(
+                slave as SlaveId,
+                data as u32,
+                index as usize,
+                attempt,
+                msg,
+                failed_input,
+            );
             Ok(Value::Bool(true))
         });
     RpcServer::serve(port, dispatch)
@@ -139,11 +151,24 @@ impl MasterLink for RpcMasterLink {
         Dispatch::from_value(&v)
     }
 
-    fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()> {
+    fn task_done(
+        &self,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        attempt: u32,
+        urls: Vec<String>,
+    ) -> Result<()> {
         let urls = Value::Array(urls.into_iter().map(Value::Str).collect());
         self.client.call(
             "task_done",
-            &[Value::Int(slave as i64), Value::Int(data as i64), Value::Int(index as i64), urls],
+            &[
+                Value::Int(slave as i64),
+                Value::Int(data as i64),
+                Value::Int(index as i64),
+                urls,
+                Value::Int(attempt as i64),
+            ],
         )?;
         Ok(())
     }
@@ -153,6 +178,7 @@ impl MasterLink for RpcMasterLink {
         slave: SlaveId,
         data: u32,
         index: usize,
+        attempt: u32,
         msg: &str,
         failed_input: Option<&str>,
     ) -> Result<()> {
@@ -164,6 +190,7 @@ impl MasterLink for RpcMasterLink {
                 Value::Int(index as i64),
                 Value::Str(msg.to_owned()),
                 Value::Str(failed_input.unwrap_or_default().to_owned()),
+                Value::Int(attempt as i64),
             ],
         )?;
         Ok(())

@@ -25,6 +25,17 @@
 //! underloaded slaves, steals claims only from fractionally busier
 //! owners, and on a slave death re-queues *all* of its in-flight tasks.
 //!
+//! Stragglers are handled by speculative execution
+//! ([`proto::SpeculateMode`], `--mrs-speculate`, default on): when a wave
+//! is mostly complete and idle slots exist, a task running past a
+//! configurable multiple of the median completed-task runtime gets a
+//! backup attempt on a different slave (preferring one whose
+//! eager-shuffle cache is already warm for that partition). The first
+//! completion wins at the master's commit point; every losing attempt is
+//! cancelled cooperatively via an order piggybacked on its slave's next
+//! poll, and a stale report from a loser is recognized by its attempt id
+//! and ignored.
+//!
 //! Its control plane is event-driven ([`proto::ControlMode::LongPoll`],
 //! the default): an idle slave's `get_task` parks server-side on a
 //! condvar until a state transition makes work runnable (long-poll
@@ -60,6 +71,6 @@ pub use job::{Job, JobApi};
 pub use local::LocalRuntime;
 pub use master::{Master, MasterConfig};
 pub use mrs_codec::CompressMode;
-pub use proto::{ControlMode, DataPlane};
+pub use proto::{ControlMode, DataPlane, SpeculateMode};
 pub use serial::SerialRuntime;
 pub use slave::SlaveOptions;

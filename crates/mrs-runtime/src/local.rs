@@ -11,6 +11,12 @@
 //!   output additionally spilled to bucket files on `store` for debugging:
 //!   the paper's mock parallel implementation.
 //! * `LocalRuntime::pool(program, n)` — N worker threads, in-memory.
+//!
+//! Speculative execution (`--mrs-speculate`) is deliberately a no-op on
+//! both of these planes: in a single process there is no "slow machine"
+//! for a backup attempt to dodge, every task here runs exactly once, and
+//! output stays byte-identical to the distributed planes with speculation
+//! on or off (the implementations-agree oracle enforces it).
 
 use crate::data::{split_evenly, DataId, Dataset};
 use crate::dataplane::DataPlaneStats;

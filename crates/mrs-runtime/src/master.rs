@@ -30,8 +30,8 @@ use crate::data::{split_evenly, DataId};
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
 use crate::proto::{
-    fetch_records, Assignment, ControlMode, DataPlane, Dispatch, EagerFragment, TaskKind, TaskMsg,
-    TaskReport,
+    fetch_records, Assignment, CancelOrder, ControlMode, DataPlane, Dispatch, EagerFragment,
+    SpeculateMode, TaskKind, TaskMsg, TaskReport,
 };
 use mrs_codec::CompressMode;
 use mrs_core::{Error, FuncId, Record, Result};
@@ -76,6 +76,12 @@ pub struct MasterConfig {
     /// map execution. Off (`off`) preserves the classic barrier-then-fetch
     /// path as a first-class oracle. Direct data plane only.
     pub eager_shuffle: bool,
+    /// Speculative execution policy (`--mrs-speculate`): when a task wave
+    /// is nearly drained and a poller has idle slots, a running task whose
+    /// elapsed time exceeds the configured multiple of the operation's
+    /// median completed-task runtime gets a backup attempt on a different
+    /// slave; first completion wins and the loser is cancelled.
+    pub speculate: SpeculateMode,
 }
 
 impl Default for MasterConfig {
@@ -89,16 +95,33 @@ impl Default for MasterConfig {
             compress: CompressMode::default(),
             keep_data: false,
             eager_shuffle: true,
+            speculate: SpeculateMode::default(),
         }
     }
+}
+
+/// One live execution attempt of a task. Speculative execution means a
+/// slot can hold several attempts racing on different slaves; the first
+/// completion commits and the rest are cancelled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Attempt {
+    /// Unique per-slot id (1-based, never reused): the task message carries
+    /// it out and the completion report echoes it back, so a report from a
+    /// cancelled or superseded attempt is recognizably stale.
+    id: u32,
+    slave: SlaveId,
+    started: Instant,
+    /// Dispatched as a straggler backup rather than a primary attempt.
+    speculative: bool,
 }
 
 #[derive(Clone, Debug, PartialEq)]
 enum SlotState {
     /// Not running and not done (may or may not be dispatchable yet).
     Pending,
-    /// Assigned to a slave.
-    Running(SlaveId),
+    /// At least one attempt is running (more than one while a speculative
+    /// backup races the original).
+    Running(Vec<Attempt>),
     /// Completed; `owner` is the slave holding the data on the direct data
     /// plane (None when outputs live on the shared filesystem).
     Done { urls: Vec<String>, owner: Option<SlaveId> },
@@ -107,12 +130,17 @@ enum SlotState {
 #[derive(Clone, Debug)]
 struct TaskSlot {
     state: SlotState,
+    /// Charged execution attempts, compared against `max_attempts` (fetch
+    /// failures are forgiven and decrement this).
     attempts: u32,
+    /// Monotonic attempt-id generator; unlike `attempts` it never goes
+    /// down, so ids are never reused within a slot.
+    next_attempt: u32,
 }
 
 impl TaskSlot {
     fn new() -> Self {
-        TaskSlot { state: SlotState::Pending, attempts: 0 }
+        TaskSlot { state: SlotState::Pending, attempts: 0, next_attempt: 0 }
     }
 }
 
@@ -134,8 +162,22 @@ enum MDs {
         combine: bool,
         tasks: Vec<TaskSlot>,
         done_count: usize,
+        /// Wall-clock runtimes (µs) of this op's committed attempts — the
+        /// streaming estimate whose median sets the straggler cutoff for
+        /// speculative backups.
+        runtimes: Vec<u64>,
     },
     Discarded,
+}
+
+/// Median of a (small, unsorted) runtime sample; `None` when empty.
+fn median_micros(samples: &[u64]) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(sorted[sorted.len() / 2])
 }
 
 impl MDs {
@@ -173,6 +215,10 @@ struct MState {
     /// completed map-output bucket URLs, published to the slave predicted
     /// to reduce that partition, drained like `pending_purge`.
     pending_eager: Vec<Vec<EagerFragment>>,
+    /// Per-slave attempt-cancellation orders not yet delivered: issued at
+    /// the commit point for every losing attempt of a won race, drained
+    /// like `pending_purge`.
+    pending_cancel: Vec<Vec<CancelOrder>>,
     slaves: Vec<SlaveInfo>,
     /// (kind, func, index) → slave that last completed that task shape.
     /// Keying by kind means a fused `ReduceMap` op carries its own claims
@@ -228,6 +274,7 @@ impl Master {
                     pins: HashSet::new(),
                     pending_purge: Vec::new(),
                     pending_eager: Vec::new(),
+                    pending_cancel: Vec::new(),
                     slaves: Vec::new(),
                     affinity: HashMap::new(),
                     error: None,
@@ -264,6 +311,7 @@ impl Master {
         });
         st.pending_purge.push(Vec::new());
         st.pending_eager.push(Vec::new());
+        st.pending_cancel.push(Vec::new());
         let id = st.slaves.len() as SlaveId - 1;
         self.shared.cv.notify_all();
         id
@@ -343,7 +391,7 @@ impl Master {
         Self::touch(&mut st, slave);
         if !reports.is_empty() {
             for r in reports {
-                self.apply_done_locked(&mut st, slave, r.data, r.index, r.urls.clone());
+                self.apply_done_locked(&mut st, slave, r.data, r.index, r.attempt, r.urls.clone());
             }
             st.metrics.record_piggybacked_reports(reports.len());
             // The reports are themselves state transitions: another parked
@@ -375,10 +423,14 @@ impl Master {
                 }
                 return Assignment::Tasks(granted);
             }
-            // Undelivered eager fragments must not sit behind the park: the
-            // whole point is to start the transfer while maps still run, so
-            // answer `Wait` at once and let `get_dispatch` attach them.
-            if st.pending_eager.get(slave as usize).is_some_and(|v| !v.is_empty()) {
+            // Undelivered eager fragments or cancel orders must not sit
+            // behind the park: fragments exist to start transfers while
+            // maps still run, and a cancel order's whole value is freeing
+            // the doomed slot *now* — so answer `Wait` at once and let
+            // `get_dispatch` attach them.
+            if st.pending_eager.get(slave as usize).is_some_and(|v| !v.is_empty())
+                || st.pending_cancel.get(slave as usize).is_some_and(|v| !v.is_empty())
+            {
                 if parked {
                     st.parked -= 1;
                 }
@@ -396,7 +448,16 @@ impl Master {
                 st.parked += 1;
                 st.metrics.record_longpoll_park();
             }
-            self.shared.dispatch_cv.wait_until(&mut st, deadline);
+            // A running task becomes backup-eligible purely by time passing
+            // — no state transition fires, so no wake would. Cap the sleep
+            // at the earliest instant a task could cross the straggler
+            // cutoff for this poller; the retried dispatch then grants the
+            // backup within one wake of eligibility.
+            let wake = match self.next_speculation_deadline(&st, slave) {
+                Some(spec) => deadline.min(spec),
+                None => deadline,
+            };
+            self.shared.dispatch_cv.wait_until(&mut st, wake);
             // Parked is not silent: the request being held here is proof of
             // life, so refresh `last_seen` on every wake.
             Self::touch(&mut st, slave);
@@ -415,14 +476,17 @@ impl Master {
 
         // In-flight counts are derived from task states on every poll, not
         // kept as counters: a sweep's requeue or a duplicate/late report can
-        // therefore never leave the accounting stale.
+        // therefore never leave the accounting stale. Every racing attempt
+        // occupies a slot on its slave, so attempts are counted, not slots.
         let mut in_flight = vec![0usize; st.slaves.len()];
         for ds in &st.datasets {
             let MDs::Op { tasks, .. } = ds else { continue };
             for slot in tasks {
-                if let SlotState::Running(s) = slot.state {
-                    if let Some(n) = in_flight.get_mut(s as usize) {
-                        *n += 1;
+                if let SlotState::Running(attempts) = &slot.state {
+                    for a in attempts {
+                        if let Some(n) = in_flight.get_mut(a.slave as usize) {
+                            *n += 1;
+                        }
                     }
                 }
             }
@@ -431,10 +495,16 @@ impl Master {
         let budget = free_slots.min(capacity.saturating_sub(in_flight[slave as usize]));
         let mut granted: Vec<TaskMsg> = Vec::new();
         while granted.len() < budget {
-            let Some((data, index, stolen)) = Self::pick_task(st, slave, &in_flight) else {
-                break;
+            // Primary work first; with none runnable, offer the idle slot
+            // to a straggling task as a speculative backup.
+            let (data, index, stolen, speculative) = match Self::pick_task(st, slave, &in_flight) {
+                Some((d, i, s)) => (d, i, s, false),
+                None => match self.pick_backup(st, slave) {
+                    Some((d, i)) => (d, i, false, true),
+                    None => break,
+                },
             };
-            let msg = {
+            let mut msg = {
                 let MDs::Op { input, kind, func, map_func, parts, combine, .. } =
                     &st.datasets[data.0 as usize]
                 else {
@@ -449,23 +519,36 @@ impl Master {
                     map_func: *map_func,
                     parts: if kind.is_map_like() { *parts } else { 1 },
                     combine: *combine,
+                    attempt: 0,
                     inputs,
                 }
             };
-            if self.shared.cfg.use_affinity {
-                let MDs::Op { kind, func, .. } = &st.datasets[data.0 as usize] else {
-                    unreachable!()
-                };
-                if let Some(&pref) = st.affinity.get(&(*kind, *func, index)) {
-                    st.metrics.record_affinity(pref == slave);
+            if speculative {
+                st.metrics.record_speculative_launch();
+            } else {
+                if self.shared.cfg.use_affinity {
+                    let MDs::Op { kind, func, .. } = &st.datasets[data.0 as usize] else {
+                        unreachable!()
+                    };
+                    if let Some(&pref) = st.affinity.get(&(*kind, *func, index)) {
+                        st.metrics.record_affinity(pref == slave);
+                    }
+                }
+                if stolen {
+                    st.metrics.record_steal();
                 }
             }
-            if stolen {
-                st.metrics.record_steal();
-            }
             let MDs::Op { tasks, .. } = &mut st.datasets[data.0 as usize] else { unreachable!() };
-            tasks[index].state = SlotState::Running(slave);
-            tasks[index].attempts += 1;
+            let slot = &mut tasks[index];
+            slot.next_attempt += 1;
+            slot.attempts += 1;
+            msg.attempt = slot.next_attempt;
+            let attempt =
+                Attempt { id: slot.next_attempt, slave, started: Instant::now(), speculative };
+            match &mut slot.state {
+                SlotState::Running(attempts) if speculative => attempts.push(attempt),
+                state => *state = SlotState::Running(vec![attempt]),
+            }
             in_flight[slave as usize] += 1;
             granted.push(msg);
         }
@@ -601,12 +684,94 @@ impl Master {
         }
     }
 
+    /// Straggler candidates for speculation: running single-attempt tasks
+    /// of ops past the wave threshold (≥ 75% complete), each paired with
+    /// its cutoff instant — `started + threshold × median completed
+    /// runtime`. Empty when speculation is off or no runtime sample exists
+    /// yet. One backup per task at most: racing more than two attempts
+    /// buys little and burns a slot.
+    fn straggler_candidates(&self, st: &MState) -> Vec<(DataId, usize, Attempt, Instant)> {
+        let SpeculateMode::On { threshold } = self.shared.cfg.speculate else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (d, ds) in st.datasets.iter().enumerate() {
+            let MDs::Op { input, kind, tasks, done_count, runtimes, .. } = ds else { continue };
+            if *done_count == 0 || *done_count * 4 < tasks.len() * 3 {
+                continue;
+            }
+            let Some(median) = median_micros(runtimes) else { continue };
+            let cutoff = Duration::from_micros((median as f64 * threshold) as u64);
+            for (i, slot) in tasks.iter().enumerate() {
+                let SlotState::Running(attempts) = &slot.state else { continue };
+                let [a] = attempts.as_slice() else { continue };
+                // A producer re-execution (dead slave on the direct plane)
+                // can unready the input of a still-running consumer; a
+                // backup could not fetch, so skip it.
+                if !Self::input_ready(st, *input, *kind, i) {
+                    continue;
+                }
+                out.push((DataId(d as u32), i, *a, a.started + cutoff));
+            }
+        }
+        out
+    }
+
+    /// Choose a straggling task to back up on `slave`: an overdue
+    /// single-attempt task running on a *different* slave. Prefers a task
+    /// whose reduce partition this slave holds the affinity claim for (its
+    /// eager-shuffle cache is warm), then the most overdue.
+    fn pick_backup(&self, st: &MState, slave: SlaveId) -> Option<(DataId, usize)> {
+        let now = Instant::now();
+        let mut best: Option<((bool, Duration), (DataId, usize))> = None;
+        for (d, i, a, deadline) in self.straggler_candidates(st) {
+            if a.slave == slave || now < deadline {
+                continue;
+            }
+            let warm = {
+                let MDs::Op { kind, func, .. } = &st.datasets[d.0 as usize] else {
+                    unreachable!("candidates only contain ops")
+                };
+                st.affinity.get(&(*kind, *func, i)) == Some(&slave)
+            };
+            let key = (warm, now - deadline);
+            if best.as_ref().is_none_or(|(k, _)| key > *k) {
+                best = Some((key, (d, i)));
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+
+    /// Earliest future instant at which a running task becomes eligible
+    /// for a backup on `slave`. Bounds the dispatch park so an idle slave
+    /// wakes exactly when speculation could grant it work. Instants
+    /// already in the past are excluded: if an overdue task were grantable
+    /// now, dispatch would have granted it — re-waking immediately for one
+    /// it *cannot* take (e.g. no budget) would busy-loop the poll.
+    fn next_speculation_deadline(&self, st: &MState, slave: SlaveId) -> Option<Instant> {
+        let now = Instant::now();
+        self.straggler_candidates(st)
+            .into_iter()
+            .filter(|(_, _, a, deadline)| a.slave != slave && *deadline > now)
+            .map(|(_, _, _, deadline)| deadline)
+            .min()
+    }
+
     /// A slave reports a completed task. `urls` are the output bucket URLs
     /// (one per partition for map tasks, exactly one for reduce tasks).
-    pub fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) {
+    /// `attempt` echoes the id carried by the task message (0 from legacy
+    /// slaves that do not echo one).
+    pub fn task_done(
+        &self,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        attempt: u32,
+        urls: Vec<String>,
+    ) {
         let mut st = self.shared.state.lock();
         Self::touch(&mut st, slave);
-        self.apply_done_locked(&mut st, slave, data, index, urls);
+        self.apply_done_locked(&mut st, slave, data, index, attempt, urls);
         Self::wake_dispatch(&mut st, &self.shared.dispatch_cv);
         drop(st);
         self.shared.cv.notify_all();
@@ -620,6 +785,7 @@ impl Master {
         slave: SlaveId,
         data: u32,
         index: usize,
+        attempt: u32,
         urls: Vec<String>,
     ) {
         let owner = match self.shared.plane {
@@ -628,21 +794,65 @@ impl Master {
         };
         let mut record_affinity: Option<(TaskKind, FuncId)> = None;
         let mut op_complete: Option<DataId> = None;
-        if let Some(MDs::Op { tasks, done_count, func, kind, input, .. }) =
+        // Racing attempts the winner beat: (slave, attempt-id, speculative,
+        // elapsed). The winner itself: (speculative, elapsed).
+        let mut losers: Vec<(SlaveId, u32, bool, Duration)> = Vec::new();
+        let mut winner: Option<(bool, Duration)> = None;
+        if let Some(MDs::Op { tasks, done_count, func, kind, input, runtimes, .. }) =
             st.datasets.get_mut(data as usize)
         {
             let Some(slot) = tasks.get_mut(index) else { return };
-            match slot.state {
-                SlotState::Done { .. } => {} // duplicate report: ignore
-                _ => {
-                    slot.state = SlotState::Done { urls, owner };
-                    *done_count += 1;
-                    record_affinity = Some((*kind, *func));
-                    if *done_count == tasks.len() {
-                        op_complete = Some(*input);
+            match &slot.state {
+                SlotState::Done { .. } => return, // duplicate report: ignore
+                SlotState::Running(attempts) => {
+                    // The commit point. The report must name a live attempt
+                    // — matched by (slave, id), or by slave alone for a
+                    // legacy report (attempt 0). A report from a superseded
+                    // attempt (cancelled, swept, or beaten to this very
+                    // point) is stale: its URLs are never published and its
+                    // completion is never counted.
+                    let won = attempts
+                        .iter()
+                        .position(|a| a.slave == slave && (attempt == 0 || a.id == attempt));
+                    let Some(won) = won else { return };
+                    let now = Instant::now();
+                    let w = attempts[won];
+                    winner = Some((w.speculative, now - w.started));
+                    runtimes.push((now - w.started).as_micros() as u64);
+                    for (p, a) in attempts.iter().enumerate() {
+                        if p != won {
+                            losers.push((a.slave, a.id, a.speculative, now - a.started));
+                        }
                     }
                 }
+                // Pending: an out-of-band completion for a task the master
+                // no longer thinks is running (requeued by a sweep, but the
+                // presumed-dead slave finished anyway). The output is real;
+                // accept it and the requeue becomes unnecessary.
+                SlotState::Pending => {}
             }
+            slot.state = SlotState::Done { urls, owner };
+            *done_count += 1;
+            record_affinity = Some((*kind, *func));
+            if *done_count == tasks.len() {
+                op_complete = Some(*input);
+            }
+        }
+        // Losers get cancellation orders piggybacked on their slave's next
+        // poll; the winner's margin over the slowest loser is the straggler
+        // time a speculative win saved.
+        let slowest_loser = losers.iter().map(|l| l.3).max().unwrap_or(Duration::ZERO);
+        for (l_slave, l_id, l_speculative, _) in losers {
+            if let Some(q) = st.pending_cancel.get_mut(l_slave as usize) {
+                q.push(CancelOrder { data, index, attempt: l_id });
+            }
+            st.metrics.record_cancel();
+            if l_speculative {
+                st.metrics.record_speculative_loss();
+            }
+        }
+        if let Some((true, w_elapsed)) = winner {
+            st.metrics.record_speculative_win(slowest_loser.saturating_sub(w_elapsed));
         }
         if let Some((kind, func)) = record_affinity {
             st.metrics.record_task();
@@ -821,14 +1031,15 @@ impl Master {
         reports: &[TaskReport],
     ) -> Dispatch {
         let assignment = self.get_tasks_with(slave, free_slots, park, reports);
-        let (purge, eager) = {
+        let (purge, eager, cancel) = {
             let mut st = self.shared.state.lock();
             (
                 st.pending_purge.get_mut(slave as usize).map(std::mem::take).unwrap_or_default(),
                 st.pending_eager.get_mut(slave as usize).map(std::mem::take).unwrap_or_default(),
+                st.pending_cancel.get_mut(slave as usize).map(std::mem::take).unwrap_or_default(),
             )
         };
-        Dispatch { assignment, purge, eager }
+        Dispatch { assignment, purge, eager, cancel }
     }
 
     /// A slave reports a failed task attempt.
@@ -844,6 +1055,7 @@ impl Master {
         slave: SlaveId,
         data: u32,
         index: usize,
+        attempt: u32,
         msg: &str,
         failed_input: Option<&str>,
     ) {
@@ -851,22 +1063,48 @@ impl Master {
         Self::touch(&mut st, slave);
         let max = self.shared.cfg.max_attempts;
         let mut fail_job = None;
+        let mut found = false;
+        let mut speculative_lost = false;
         if let Some(MDs::Op { tasks, .. }) = st.datasets.get_mut(data as usize) {
             let slot = &mut tasks[index];
-            if matches!(slot.state, SlotState::Running(s) if s == slave) {
-                if failed_input.is_some() {
-                    // Fetch failure: forgive the attempt and re-queue.
-                    slot.attempts = slot.attempts.saturating_sub(1);
-                    slot.state = SlotState::Pending;
-                } else if slot.attempts >= max {
-                    fail_job = Some(format!(
-                        "task (data {data}, index {index}) failed {} times; last error: {msg}",
-                        slot.attempts
-                    ));
-                } else {
-                    slot.state = SlotState::Pending;
+            let mut emptied = false;
+            if let SlotState::Running(attempts) = &mut slot.state {
+                let pos = attempts
+                    .iter()
+                    .position(|a| a.slave == slave && (attempt == 0 || a.id == attempt));
+                if let Some(pos) = pos {
+                    found = true;
+                    let removed = attempts.remove(pos);
+                    // A failed backup while the original still runs is just
+                    // a lost speculation, not a task failure.
+                    speculative_lost = removed.speculative && !attempts.is_empty();
+                    emptied = attempts.is_empty();
                 }
             }
+            if found {
+                if failed_input.is_some() {
+                    // Fetch failure: forgive the attempt.
+                    slot.attempts = slot.attempts.saturating_sub(1);
+                }
+                if emptied {
+                    if failed_input.is_none() && slot.attempts >= max {
+                        fail_job = Some(format!(
+                            "task (data {data}, index {index}) failed {} times; last error: {msg}",
+                            slot.attempts
+                        ));
+                    } else {
+                        slot.state = SlotState::Pending;
+                    }
+                }
+            }
+        }
+        if !found {
+            // Stale failure from a cancelled or superseded attempt: the
+            // slot moved on, nothing to re-queue or charge.
+            return;
+        }
+        if speculative_lost {
+            st.metrics.record_speculative_loss();
         }
         // Re-execute the task that produced the unfetchable URL.
         if let Some(url) = failed_input {
@@ -912,13 +1150,27 @@ impl Master {
             return;
         }
         let mut requeued = 0u32;
+        let mut speculative_lost = 0u32;
         for ds in &mut st.datasets {
             let MDs::Op { tasks, done_count, .. } = ds else { continue };
             for slot in tasks.iter_mut() {
-                match &slot.state {
-                    SlotState::Running(s) if newly_dead.contains(s) => {
-                        slot.state = SlotState::Pending;
-                        requeued += 1;
+                match &mut slot.state {
+                    SlotState::Running(attempts) => {
+                        let had_any = !attempts.is_empty();
+                        attempts.retain(|a| {
+                            let dead = newly_dead.contains(&a.slave);
+                            if dead && a.speculative {
+                                speculative_lost += 1;
+                            }
+                            !dead
+                        });
+                        // Re-queue only when every racing attempt died; a
+                        // surviving attempt (original or backup) still owns
+                        // the slot and will report in its own time.
+                        if had_any && attempts.is_empty() {
+                            slot.state = SlotState::Pending;
+                            requeued += 1;
+                        }
                     }
                     SlotState::Done { owner: Some(s), .. } if direct && newly_dead.contains(s) => {
                         slot.state = SlotState::Pending;
@@ -931,6 +1183,9 @@ impl Master {
         }
         for _ in 0..requeued {
             st.metrics.record_retry();
+        }
+        for _ in 0..speculative_lost {
+            st.metrics.record_speculative_loss();
         }
         // If nobody is left to run re-queued work, fail rather than hang.
         let any_alive = st.slaves.iter().any(|s| s.alive);
@@ -1070,6 +1325,7 @@ impl JobApi for Master {
             combine,
             tasks: (0..ntasks).map(|_| TaskSlot::new()).collect(),
             done_count: 0,
+            runtimes: Vec::new(),
         });
         st.consumers.push(0);
         let id = DataId(st.datasets.len() as u32 - 1);
@@ -1096,6 +1352,7 @@ impl JobApi for Master {
             combine: false,
             tasks: (0..parts).map(|_| TaskSlot::new()).collect(),
             done_count: 0,
+            runtimes: Vec::new(),
         });
         st.consumers.push(0);
         let id = DataId(st.datasets.len() as u32 - 1);
@@ -1138,6 +1395,7 @@ impl JobApi for Master {
             combine,
             tasks: (0..ntasks).map(|_| TaskSlot::new()).collect(),
             done_count: 0,
+            runtimes: Vec::new(),
         });
         st.consumers.push(0);
         let id = DataId(st.datasets.len() as u32 - 1);
@@ -1299,7 +1557,7 @@ mod tests {
                         format!("file://{path}")
                     })
                     .collect();
-                m.task_done(slave, t.data, t.index, urls);
+                m.task_done(slave, t.data, t.index, t.attempt, urls);
             }
         }
         a
@@ -1367,7 +1625,7 @@ mod tests {
                 format!("file://{path}")
             })
             .collect();
-        m.task_done(s, t1.data, t1.index, urls);
+        m.task_done(s, t1.data, t1.index, t1.attempt, urls);
         // Nothing dispatchable: the other map is running, reduce is blocked.
         assert_eq!(m.get_tasks(s, 1), Assignment::Wait);
     }
@@ -1382,11 +1640,11 @@ mod tests {
         let _mapped = m.map_data(src, 0, 1, false).unwrap();
 
         let t = take1(m.get_task(s));
-        m.task_failed(s, t.data, t.index, "boom", None);
+        m.task_failed(s, t.data, t.index, t.attempt, "boom", None);
         // Re-queued: same task handed out again.
         let t2 = take1(m.get_task(s));
         assert_eq!((t2.data, t2.index), (t.data, t.index));
-        m.task_failed(s, t2.data, t2.index, "boom again", None);
+        m.task_failed(s, t2.data, t2.index, t2.attempt, "boom again", None);
         // Attempt cap reached: job errors out, slaves are told to exit.
         assert_eq!(m.get_task(s), Assignment::Exit);
         assert!(m.wait(DataId(1)).is_err());
@@ -1437,7 +1695,7 @@ mod tests {
         // s1 completes the map (its output lives on s1), then dies.
         let t = take1(m.get_task(s1));
         assert_eq!(t.kind, TaskKind::Map);
-        m.task_done(s1, t.data, t.index, vec!["http://dead:1/data/x".into()]);
+        m.task_done(s1, t.data, t.index, t.attempt, vec!["http://dead:1/data/x".into()]);
         // s2 picks up the now-ready reduce whose input lives on s1.
         let tr = take1(m.get_task(s2));
         assert_eq!(tr.kind, TaskKind::Reduce);
@@ -1510,7 +1768,7 @@ mod tests {
                 format!("file://{path}")
             })
             .collect();
-        m.task_done(slave, t.data, t.index, urls);
+        m.task_done(slave, t.data, t.index, t.attempt, urls);
     }
 
     #[test]
@@ -1539,11 +1797,11 @@ mod tests {
         // Capacity is exhausted even if the slave (wrongly) claims free slots.
         assert_eq!(m.get_tasks(s, 4), Assignment::Wait);
         // Finishing one task frees exactly one slot.
-        m.task_done(s, ts[0].data, ts[0].index, vec!["file://out/x".into()]);
+        m.task_done(s, ts[0].data, ts[0].index, ts[0].attempt, vec!["file://out/x".into()]);
         let Assignment::Tasks(ts2) = m.get_tasks(s, 4) else { panic!() };
         assert_eq!(ts2.len(), 1);
         // A poll asking for fewer slots than capacity is honored as-is.
-        m.task_done(s, ts[1].data, ts[1].index, vec!["file://out/y".into()]);
+        m.task_done(s, ts[1].data, ts[1].index, ts[1].attempt, vec!["file://out/y".into()]);
         let Assignment::Tasks(ts3) = m.get_tasks(s, 1) else { panic!() };
         assert_eq!(ts3.len(), 1);
         let metrics = m.metrics();
@@ -1681,8 +1939,12 @@ mod tests {
         // second task is granted in the same round trip.
         let path = format!("out/d{}t{}p0", t1.data, t1.index);
         store.put(&path, &write_bucket_bytes(&[])).unwrap();
-        let report =
-            TaskReport { data: t1.data, index: t1.index, urls: vec![format!("file://{path}")] };
+        let report = TaskReport {
+            data: t1.data,
+            index: t1.index,
+            attempt: t1.attempt,
+            urls: vec![format!("file://{path}")],
+        };
         let t2 = take1(m.get_tasks_with(s, 1, Duration::ZERO, &[report]));
         assert_ne!(t1.index, t2.index);
         finish_task(&m, &store, s, &t2);
@@ -1818,10 +2080,22 @@ mod tests {
 
         let t = take1(m.get_task(s));
         assert_eq!(t.kind, TaskKind::Map);
-        m.task_done(s, t.data, t.index, vec![format!("http://a:1/data/s0/d{}/t0/b0.mrsb", t.data)]);
+        m.task_done(
+            s,
+            t.data,
+            t.index,
+            t.attempt,
+            vec![format!("http://a:1/data/s0/d{}/t0/b0.mrsb", t.data)],
+        );
         let t = take1(m.get_task(s));
         assert_eq!(t.kind, TaskKind::Reduce);
-        m.task_done(s, t.data, t.index, vec![format!("http://a:1/data/s0/d{}/t0/b0.mrsb", t.data)]);
+        m.task_done(
+            s,
+            t.data,
+            t.index,
+            t.attempt,
+            vec![format!("http://a:1/data/s0/d{}/t0/b0.mrsb", t.data)],
+        );
 
         // The reduce's completion released the map output: a purge order
         // for the slave's copy rides the next dispatch, exactly once.
@@ -1897,7 +2171,7 @@ mod tests {
         let urls: Vec<String> = (0..t.parts)
             .map(|p| format!("http://a:1/data/s0/d{}/t{}/b{p}.mrsb", t.data, t.index))
             .collect();
-        m.task_done(s0, t.data, t.index, urls.clone());
+        m.task_done(s0, t.data, t.index, t.attempt, urls.clone());
 
         let d0 = m.get_dispatch(s0, 0, Duration::ZERO, &[]);
         assert_eq!(d0.eager.len(), 1, "{:?}", d0.eager);
@@ -1914,7 +2188,7 @@ mod tests {
         let urls2: Vec<String> = (0..t2.parts)
             .map(|p| format!("http://b:2/data/s1/d{}/t{}/b{p}.mrsb", t2.data, t2.index))
             .collect();
-        m.task_done(s1, t2.data, t2.index, urls2.clone());
+        m.task_done(s1, t2.data, t2.index, t2.attempt, urls2.clone());
 
         // The barrier is clear: each slave is granted exactly the reduce
         // partition whose fragments were predicted onto it.
@@ -1939,7 +2213,7 @@ mod tests {
         let t = take1(m.get_tasks(s0, 1));
         let urls: Vec<String> =
             (0..t.parts).map(|p| format!("http://a:1/data/s0/d{}/t0/b{p}.mrsb", t.data)).collect();
-        m.task_done(s0, t.data, t.index, urls);
+        m.task_done(s0, t.data, t.index, t.attempt, urls);
         // No reduce-like consumer yet: nothing to predict, nothing sent.
         assert!(m.get_dispatch(s0, 0, Duration::ZERO, &[]).eager.is_empty());
         assert!(m.get_dispatch(s1, 0, Duration::ZERO, &[]).eager.is_empty());
@@ -1962,7 +2236,233 @@ mod tests {
         let t = take1(m.get_tasks(s0, 1));
         let urls: Vec<String> =
             (0..t.parts).map(|p| format!("http://a:1/data/s0/d{}/t0/b{p}.mrsb", t.data)).collect();
-        m.task_done(s0, t.data, t.index, urls);
+        m.task_done(s0, t.data, t.index, t.attempt, urls);
         assert!(m.get_dispatch(s0, 0, Duration::ZERO, &[]).eager.is_empty());
+    }
+
+    /// A four-task map wave where s1 holds every task and finishes all but
+    /// the last, which keeps running long enough to cross the speculation
+    /// cutoff. Returns the still-running straggler's TaskMsg.
+    fn straggler_wave(
+        m: &mut Master,
+        store: &Arc<dyn Store>,
+        s1: SlaveId,
+    ) -> (DataId, Vec<TaskMsg>) {
+        let src = m.local_data(records(8), 4).unwrap();
+        let mapped = m.map_data(src, 0, 1, false).unwrap();
+        let ts = match m.get_tasks(s1, 4) {
+            Assignment::Tasks(ts) if ts.len() == 4 => ts,
+            other => panic!("expected four tasks, got {other:?}"),
+        };
+        for t in &ts[..3] {
+            finish_task(m, store, s1, t);
+        }
+        // Let the straggler run well past 1.5x the (tiny) median runtime.
+        std::thread::sleep(Duration::from_millis(10));
+        (mapped, ts)
+    }
+
+    #[test]
+    fn backup_dispatched_for_straggler_and_first_completion_wins() {
+        let (mut m, store) = shared_master();
+        let s1 = m.signin("a:1", 4);
+        let s2 = m.signin("b:2", 1);
+        let (mapped, ts) = straggler_wave(&mut m, &store, s1);
+        let straggler = &ts[3];
+
+        // s2's idle poll is granted a speculative backup of the straggler,
+        // under a fresh attempt id.
+        let backup = take1(m.get_tasks(s2, 1));
+        assert_eq!((backup.data, backup.index), (straggler.data, straggler.index));
+        assert_ne!(backup.attempt, straggler.attempt);
+
+        // The backup reports first: its completion is the commit point.
+        finish_task(&m, &store, s2, &backup);
+        m.wait(mapped).unwrap();
+        let metrics = m.metrics();
+        assert_eq!(metrics.speculative_launches(), 1);
+        assert_eq!(metrics.speculative_wins(), 1);
+        assert_eq!(metrics.speculative_losses(), 0);
+        assert_eq!(metrics.cancelled_tasks(), 1);
+        assert!(metrics.straggler_ms_saved() > 0.0, "{}", metrics.straggler_ms_saved());
+
+        // The loser's slave receives a cancel order on its next poll,
+        // exactly once.
+        let d = m.get_dispatch(s1, 0, Duration::ZERO, &[]);
+        assert_eq!(d.cancel.len(), 1, "{:?}", d.cancel);
+        assert_eq!(
+            (d.cancel[0].data, d.cancel[0].index, d.cancel[0].attempt),
+            (straggler.data, straggler.index, straggler.attempt)
+        );
+        assert!(m.get_dispatch(s1, 0, Duration::ZERO, &[]).cancel.is_empty());
+
+        // The straggler's late report is stale: ignored entirely.
+        finish_task(&m, &store, s1, straggler);
+        assert_eq!(m.metrics().tasks_executed(), 4);
+    }
+
+    #[test]
+    fn backup_loses_when_original_finishes_first() {
+        let (mut m, store) = shared_master();
+        let s1 = m.signin("a:1", 4);
+        let s2 = m.signin("b:2", 1);
+        let (mapped, ts) = straggler_wave(&mut m, &store, s1);
+        let straggler = &ts[3];
+        let backup = take1(m.get_tasks(s2, 1));
+
+        // The original beats its backup: the backup is the cancelled loser.
+        finish_task(&m, &store, s1, straggler);
+        m.wait(mapped).unwrap();
+        let metrics = m.metrics();
+        assert_eq!(metrics.speculative_launches(), 1);
+        assert_eq!(metrics.speculative_wins(), 0);
+        assert_eq!(metrics.speculative_losses(), 1);
+        assert_eq!(metrics.cancelled_tasks(), 1);
+        let d = m.get_dispatch(s2, 0, Duration::ZERO, &[]);
+        assert_eq!(d.cancel.len(), 1, "{:?}", d.cancel);
+        assert_eq!(d.cancel[0].attempt, backup.attempt);
+
+        // The backup's late report is stale.
+        finish_task(&m, &store, s2, &backup);
+        assert_eq!(m.metrics().tasks_executed(), 4);
+    }
+
+    #[test]
+    fn stale_failure_from_cancelled_attempt_is_ignored() {
+        let (mut m, store) = shared_master();
+        let s1 = m.signin("a:1", 4);
+        let s2 = m.signin("b:2", 1);
+        let (mapped, ts) = straggler_wave(&mut m, &store, s1);
+        let straggler = &ts[3];
+        let backup = take1(m.get_tasks(s2, 1));
+        finish_task(&m, &store, s2, &backup);
+        m.wait(mapped).unwrap();
+
+        // The loser aborts mid-run and reports a failure under its
+        // superseded attempt id: the committed slot must stay untouched.
+        m.task_failed(s1, straggler.data, straggler.index, straggler.attempt, "cancelled", None);
+        assert_eq!(m.metrics().tasks_retried(), 0);
+        assert_eq!(m.get_tasks(s1, 4), Assignment::Wait);
+    }
+
+    #[test]
+    fn speculation_off_launches_no_backups() {
+        let cfg = MasterConfig { speculate: SpeculateMode::Off, ..MasterConfig::default() };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let mut m = Master::new(cfg, DataPlane::SharedFs(Arc::clone(&store))).unwrap();
+        let s1 = m.signin("a:1", 4);
+        let s2 = m.signin("b:2", 1);
+        let _wave = straggler_wave(&mut m, &store, s1);
+        assert_eq!(m.get_tasks(s2, 1), Assignment::Wait);
+        assert_eq!(m.metrics().speculative_launches(), 0);
+    }
+
+    #[test]
+    fn no_backup_before_wave_mostly_done() {
+        let (mut m, store) = shared_master();
+        let s1 = m.signin("a:1", 4);
+        let s2 = m.signin("b:2", 1);
+        let src = m.local_data(records(8), 4).unwrap();
+        let _mapped = m.map_data(src, 0, 1, false).unwrap();
+        let ts = match m.get_tasks(s1, 4) {
+            Assignment::Tasks(ts) => ts,
+            other => panic!("{other:?}"),
+        };
+        // Only half the wave is done: below the 75% speculation gate.
+        for t in &ts[..2] {
+            finish_task(&m, &store, s1, t);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(m.get_tasks(s2, 1), Assignment::Wait);
+        assert_eq!(m.metrics().speculative_launches(), 0);
+    }
+
+    #[test]
+    fn no_backup_on_the_stragglers_own_slave() {
+        let (mut m, store) = shared_master();
+        let s1 = m.signin("a:1", 4);
+        let _wave = straggler_wave(&mut m, &store, s1);
+        // s1 now has three free slots, but a backup on the same machine
+        // as the original cannot dodge that machine's slowness.
+        assert_eq!(m.get_tasks(s1, 3), Assignment::Wait);
+        assert_eq!(m.metrics().speculative_launches(), 0);
+    }
+
+    #[test]
+    fn stale_attempt_report_is_ignored_after_requeue() {
+        let cfg =
+            MasterConfig { slave_timeout: Duration::from_millis(20), ..MasterConfig::default() };
+        let store: Arc<dyn Store> = Arc::new(MemFs::new());
+        let mut m = Master::new(cfg, DataPlane::SharedFs(Arc::clone(&store))).unwrap();
+        let s1 = m.signin("a:1", 1);
+        let s2 = m.signin("b:2", 1);
+        let src = m.local_data(records(4), 1).unwrap();
+        let mapped = m.map_data(src, 0, 1, false).unwrap();
+
+        // s1 takes the task and goes silent long enough to be swept.
+        let t1 = take1(m.get_task(s1));
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(m.get_task(s2), Assignment::Wait);
+        m.sweep();
+        let t2 = take1(m.get_task(s2));
+        assert_eq!((t2.data, t2.index), (t1.data, t1.index));
+        assert_ne!(t2.attempt, t1.attempt, "attempt ids are never reused");
+
+        // s1 was merely slow, not dead: its report names the superseded
+        // attempt and must not commit (no double completion later).
+        finish_task(&m, &store, s1, &t1);
+        assert_eq!(m.metrics().tasks_executed(), 0);
+        finish_task(&m, &store, s2, &t2);
+        m.wait(mapped).unwrap();
+        assert_eq!(m.metrics().tasks_executed(), 1);
+    }
+
+    #[test]
+    fn legacy_report_without_attempt_id_is_accepted() {
+        let (mut m, store) = shared_master();
+        let s = m.signin("a:1", 1);
+        let src = m.local_data(records(4), 1).unwrap();
+        let mapped = m.map_data(src, 0, 1, false).unwrap();
+        let t = take1(m.get_task(s));
+        let urls: Vec<String> = (0..t.parts)
+            .map(|p| {
+                let path = format!("out/d{}t{}p{p}", t.data, t.index);
+                store.put(&path, &write_bucket_bytes(&[])).unwrap();
+                format!("file://{path}")
+            })
+            .collect();
+        // Attempt 0 is the legacy wire value (decoder default for old
+        // slaves): matched by slave identity alone.
+        m.task_done(s, t.data, t.index, 0, urls);
+        m.wait(mapped).unwrap();
+        assert_eq!(m.metrics().tasks_executed(), 1);
+    }
+
+    #[test]
+    fn parked_idle_slave_wakes_for_speculation_deadline() {
+        let (mut m, store) = shared_master();
+        let s1 = m.signin("a:1", 4);
+        let s2 = m.signin("b:2", 1);
+        let src = m.local_data(records(8), 4).unwrap();
+        let _mapped = m.map_data(src, 0, 1, false).unwrap();
+        let ts = match m.get_tasks(s1, 4) {
+            Assignment::Tasks(ts) => ts,
+            other => panic!("{other:?}"),
+        };
+        // Three tasks complete after ~40ms, so the median runtime is
+        // ~40ms and the straggler crosses the 1.5x cutoff ~20ms from now.
+        std::thread::sleep(Duration::from_millis(40));
+        for t in &ts[..3] {
+            finish_task(&m, &store, s1, t);
+        }
+        // An idle slave parking for 900ms must be woken at the
+        // speculation deadline instead of sleeping out its park.
+        let start = Instant::now();
+        let a = m.get_tasks_with(s2, 1, Duration::from_millis(900), &[]);
+        let elapsed = start.elapsed();
+        let backup = take1(a);
+        assert_eq!((backup.data, backup.index), (ts[3].data, ts[3].index));
+        assert!(elapsed < Duration::from_millis(400), "woke too late: {elapsed:?}");
+        assert_eq!(m.metrics().speculative_launches(), 1);
     }
 }

@@ -37,6 +37,11 @@ pub struct JobMetrics {
     datasets_freed: u64,
     live_datasets: u64,
     peak_live_datasets: u64,
+    speculative_launches: u64,
+    speculative_wins: u64,
+    speculative_losses: u64,
+    cancelled_tasks: u64,
+    straggler_micros_saved: u64,
 }
 
 impl JobMetrics {
@@ -334,6 +339,59 @@ impl JobMetrics {
     pub fn peak_live_datasets(&self) -> u64 {
         self.peak_live_datasets
     }
+
+    /// Record a backup attempt being dispatched for a straggling task.
+    pub fn record_speculative_launch(&mut self) {
+        self.speculative_launches += 1;
+    }
+
+    /// Record a commit where a speculative backup finished first, beating
+    /// the original attempt by `saved` (the straggler's elapsed time at
+    /// commit minus the winner's runtime — wall clock moved off the
+    /// barrier's critical path).
+    pub fn record_speculative_win(&mut self, saved: Duration) {
+        self.speculative_wins += 1;
+        self.straggler_micros_saved += saved.as_micros() as u64;
+    }
+
+    /// Record a backup attempt that lost the race (the original finished
+    /// first) or was abandoned when its task failed over.
+    pub fn record_speculative_loss(&mut self) {
+        self.speculative_losses += 1;
+    }
+
+    /// Record a cancel order issued to a slave running a doomed attempt.
+    pub fn record_cancel(&mut self) {
+        self.cancelled_tasks += 1;
+    }
+
+    /// Backup attempts dispatched for straggling tasks.
+    pub fn speculative_launches(&self) -> u64 {
+        self.speculative_launches
+    }
+
+    /// Races where the backup finished before the original.
+    pub fn speculative_wins(&self) -> u64 {
+        self.speculative_wins
+    }
+
+    /// Backup attempts that lost (wasted but bounded duplicate work).
+    pub fn speculative_losses(&self) -> u64 {
+        self.speculative_losses
+    }
+
+    /// Cancel orders issued to abort doomed attempts cooperatively.
+    pub fn cancelled_tasks(&self) -> u64 {
+        self.cancelled_tasks
+    }
+
+    /// Milliseconds of straggler tail latency removed by winning backups:
+    /// for each speculative win, how much longer the loser had already
+    /// been running than the entire winning attempt took. Fractional for
+    /// the same reason as [`Self::overlap_ms`].
+    pub fn straggler_ms_saved(&self) -> f64 {
+        self.straggler_micros_saved as f64 / 1000.0
+    }
 }
 
 #[cfg(test)]
@@ -419,5 +477,20 @@ mod tests {
         assert_eq!(m.peak_live_datasets(), 3);
         assert_eq!(m.live_datasets(), 2);
         assert_eq!(m.datasets_freed(), 1, "only GC frees count as freed");
+    }
+
+    #[test]
+    fn speculation_counters_accumulate() {
+        let mut m = JobMetrics::default();
+        m.record_speculative_launch();
+        m.record_speculative_launch();
+        m.record_speculative_win(Duration::from_micros(1500));
+        m.record_speculative_loss();
+        m.record_cancel();
+        assert_eq!(m.speculative_launches(), 2);
+        assert_eq!(m.speculative_wins(), 1);
+        assert_eq!(m.speculative_losses(), 1);
+        assert_eq!(m.cancelled_tasks(), 1);
+        assert!((m.straggler_ms_saved() - 1.5).abs() < 1e-9);
     }
 }

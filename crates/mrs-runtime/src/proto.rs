@@ -45,6 +45,50 @@ impl ControlMode {
     }
 }
 
+/// Whether the master launches speculative backup copies of straggling
+/// tasks (§ speculative execution). When a task wave is nearly drained and
+/// idle slots exist, a running task whose elapsed time exceeds
+/// `threshold ×` the median completed-task runtime of its operation gets a
+/// backup attempt on a different slave; the first attempt to finish wins
+/// and the loser is cancelled cooperatively. `Off` keeps the
+/// non-speculative scheduler as a first-class oracle for benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpeculateMode {
+    /// Never launch backup attempts.
+    Off,
+    /// Launch a backup when a task has run longer than `threshold` times
+    /// the median completed runtime of its operation.
+    On {
+        /// Straggler multiple; 1.5 by default.
+        threshold: f64,
+    },
+}
+
+impl Default for SpeculateMode {
+    fn default() -> Self {
+        SpeculateMode::On { threshold: 1.5 }
+    }
+}
+
+impl SpeculateMode {
+    /// Parse a `--mrs-speculate` value: `on`, `off`, or `threshold=X`.
+    pub fn parse(s: &str) -> Result<SpeculateMode> {
+        match s {
+            "off" => Ok(SpeculateMode::Off),
+            "on" => Ok(SpeculateMode::default()),
+            other => match other.strip_prefix("threshold=") {
+                Some(t) => match t.parse::<f64>() {
+                    Ok(x) if x.is_finite() && x >= 1.0 => Ok(SpeculateMode::On { threshold: x }),
+                    _ => Err(Error::Invalid(format!("speculate threshold {t:?} must be >= 1.0"))),
+                },
+                None => Err(Error::Invalid(format!(
+                    "unknown speculate mode {other:?} (on|off|threshold=X)"
+                ))),
+            },
+        }
+    }
+}
+
 /// A task-completion report: the payload of `task_done`, also batched on
 /// `get_task` calls as the piggybacked `reports` parameter so that in the
 /// steady state one control round trip both returns finished work and
@@ -55,6 +99,9 @@ pub struct TaskReport {
     pub data: u32,
     /// Task index within the dataset.
     pub index: usize,
+    /// The attempt id this report is for (0 from legacy slaves that echo
+    /// no attempt; the master then accepts the report unconditionally).
+    pub attempt: u32,
     /// Output bucket URLs (one per partition for map, one for reduce).
     pub urls: Vec<String>,
 }
@@ -65,6 +112,7 @@ impl TaskReport {
         let mut m = BTreeMap::new();
         m.insert("data".to_owned(), Value::Int(self.data as i64));
         m.insert("index".to_owned(), Value::Int(self.index as i64));
+        m.insert("attempt".to_owned(), Value::Int(self.attempt as i64));
         m.insert(
             "urls".to_owned(),
             Value::Array(self.urls.iter().map(|u| Value::Str(u.clone())).collect()),
@@ -72,7 +120,8 @@ impl TaskReport {
         Value::Struct(m)
     }
 
-    /// Decode from the RPC request.
+    /// Decode from the RPC request. A missing `attempt` key (legacy slave)
+    /// decodes as 0, which the master treats as "no attempt tracking".
     pub fn from_value(v: &Value) -> Result<TaskReport> {
         let int = |name: &str| -> Result<i64> {
             v.field(name)
@@ -90,7 +139,13 @@ impl TaskReport {
                     .ok_or_else(|| Error::Rpc("non-string report url".into()))
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(TaskReport { data: int("data")? as u32, index: int("index")? as usize, urls })
+        let attempt = match v.field("attempt") {
+            Some(a) => {
+                a.as_int().ok_or_else(|| Error::Rpc("non-int report attempt".into()))? as u32
+            }
+            None => 0,
+        };
+        Ok(TaskReport { data: int("data")? as u32, index: int("index")? as usize, attempt, urls })
     }
 }
 
@@ -158,6 +213,11 @@ pub struct TaskMsg {
     pub parts: usize,
     /// Run the combiner after mapping.
     pub combine: bool,
+    /// Attempt id (1-based, unique per task slot): echoed back in the
+    /// completion report so the master can reject reports from attempts
+    /// that have since been cancelled or superseded. 0 from legacy masters
+    /// that never wrote the key.
+    pub attempt: u32,
     /// Input bucket URLs.
     pub inputs: Vec<String>,
 }
@@ -177,6 +237,7 @@ impl TaskMsg {
         m.insert("map_func".to_owned(), Value::Int(self.map_func as i64));
         m.insert("parts".to_owned(), Value::Int(self.parts as i64));
         m.insert("combine".to_owned(), Value::Bool(self.combine));
+        m.insert("attempt".to_owned(), Value::Int(self.attempt as i64));
         m.insert(
             "inputs".to_owned(),
             Value::Array(self.inputs.iter().map(|u| Value::Str(u.clone())).collect()),
@@ -222,6 +283,10 @@ impl TaskMsg {
             Some(f) => f.as_int().ok_or_else(|| Error::Rpc("non-int map_func".into()))? as u32,
             None => 0,
         };
+        let attempt = match v.field("attempt") {
+            Some(a) => a.as_int().ok_or_else(|| Error::Rpc("non-int attempt".into()))? as u32,
+            None => 0,
+        };
         Ok(TaskMsg {
             data: int("data")? as u32,
             index: int("index")? as usize,
@@ -230,6 +295,7 @@ impl TaskMsg {
             map_func,
             parts: int("parts")? as usize,
             combine,
+            attempt,
             inputs,
         })
     }
@@ -326,14 +392,58 @@ impl EagerFragment {
     }
 }
 
+/// An order to abort a specific running attempt: piggybacked on the
+/// `Dispatch` response to the slave that is running an attempt which lost
+/// the first-completion race (or whose task became moot). The slave sets
+/// the attempt's cancellation flag — checked at kernel record/group
+/// boundaries — and silently discards the partial output, freeing the slot
+/// without reporting. Encoded as an extra struct key, so legacy slaves
+/// (which ignore unknown keys) simply let the doomed attempt run to
+/// completion; its stale report is then rejected by attempt id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CancelOrder {
+    /// Output dataset id of the task.
+    pub data: u32,
+    /// Task index within the dataset.
+    pub index: usize,
+    /// The specific attempt to abort (never 0).
+    pub attempt: u32,
+}
+
+impl CancelOrder {
+    /// Encode for the RPC response.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("data".to_owned(), Value::Int(self.data as i64));
+        m.insert("index".to_owned(), Value::Int(self.index as i64));
+        m.insert("attempt".to_owned(), Value::Int(self.attempt as i64));
+        Value::Struct(m)
+    }
+
+    /// Decode from the RPC response.
+    pub fn from_value(v: &Value) -> Result<CancelOrder> {
+        let int = |name: &str| -> Result<i64> {
+            v.field(name)
+                .and_then(Value::as_int)
+                .ok_or_else(|| Error::Rpc(format!("cancel order missing {name}")))
+        };
+        Ok(CancelOrder {
+            data: int("data")? as u32,
+            index: int("index")? as usize,
+            attempt: int("attempt")? as u32,
+        })
+    }
+}
+
 /// A full `get_task` answer: the assignment plus lifetime-GC purge
-/// orders and eager-shuffle fragment announcements. `purge` lists
-/// output-path prefixes whose datasets have no remaining consumers; the
-/// slave drops the matching frames (and eager fragments) from its
-/// caches. `eager` lists freshly completed map-output buckets this slave
-/// should pre-fetch before the barrier clears. Both are encoded as extra
-/// keys on the assignment struct, so older slaves (which ignore unknown
-/// keys) interoperate.
+/// orders, eager-shuffle fragment announcements, and attempt-cancellation
+/// orders. `purge` lists output-path prefixes whose datasets have no
+/// remaining consumers; the slave drops the matching frames (and eager
+/// fragments) from its caches. `eager` lists freshly completed map-output
+/// buckets this slave should pre-fetch before the barrier clears.
+/// `cancel` lists attempts this slave should abort cooperatively. All are
+/// encoded as extra keys on the assignment struct, so older slaves (which
+/// ignore unknown keys) interoperate.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Dispatch {
     /// What to run (or wait/exit).
@@ -342,6 +452,8 @@ pub struct Dispatch {
     pub purge: Vec<String>,
     /// Map-output fragments available for eager pre-fetch.
     pub eager: Vec<EagerFragment>,
+    /// Running attempts to abort.
+    pub cancel: Vec<CancelOrder>,
 }
 
 impl Dispatch {
@@ -361,12 +473,19 @@ impl Dispatch {
                     Value::Array(self.eager.iter().map(EagerFragment::to_value).collect()),
                 );
             }
+            if !self.cancel.is_empty() {
+                m.insert(
+                    "cancel".to_owned(),
+                    Value::Array(self.cancel.iter().map(CancelOrder::to_value).collect()),
+                );
+            }
         }
         v
     }
 
-    /// Decode from the RPC response. A missing `purge` or `eager` key
-    /// (old master) means nothing to drop or pre-fetch.
+    /// Decode from the RPC response. A missing `purge`, `eager`, or
+    /// `cancel` key (old master) means nothing to drop, pre-fetch, or
+    /// abort.
     pub fn from_value(v: &Value) -> Result<Dispatch> {
         let assignment = Assignment::from_value(v)?;
         let purge = match v.field("purge").and_then(Value::as_array) {
@@ -386,7 +505,11 @@ impl Dispatch {
             }
             None => Vec::new(),
         };
-        Ok(Dispatch { assignment, purge, eager })
+        let cancel = match v.field("cancel").and_then(Value::as_array) {
+            Some(items) => items.iter().map(CancelOrder::from_value).collect::<Result<Vec<_>>>()?,
+            None => Vec::new(),
+        };
+        Ok(Dispatch { assignment, purge, eager, cancel })
     }
 }
 
@@ -516,6 +639,7 @@ mod tests {
             map_func: 0,
             parts: 5,
             combine: true,
+            attempt: 1,
             inputs: vec!["http://h:1/data/x".into(), "file://y".into()],
         };
         let mut t2 = t.clone();
@@ -540,6 +664,7 @@ mod tests {
             map_func: 0,
             parts: 1,
             combine: false,
+            attempt: 0,
             inputs: vec![],
         };
         // Strip the new keys the way a pre-fusion master would never have
@@ -547,8 +672,64 @@ mod tests {
         let Value::Struct(mut m) = t.to_value() else { panic!("struct") };
         m.remove("kind");
         m.remove("map_func");
+        m.remove("attempt");
         let got = TaskMsg::from_value(&Value::Struct(m)).unwrap();
         assert_eq!(got, t);
+    }
+
+    #[test]
+    fn attempt_id_roundtrips_and_defaults_to_zero() {
+        // New master → new slave: the attempt id survives the round trip.
+        let t = TaskMsg {
+            data: 2,
+            index: 3,
+            kind: TaskKind::Map,
+            func: 0,
+            map_func: 0,
+            parts: 2,
+            combine: false,
+            attempt: 7,
+            inputs: vec![],
+        };
+        assert_eq!(TaskMsg::from_value(&t.to_value()).unwrap().attempt, 7);
+        // Old master → new slave: a missing attempt key decodes as 0.
+        let Value::Struct(mut m) = t.to_value() else { panic!("struct") };
+        m.remove("attempt");
+        assert_eq!(TaskMsg::from_value(&Value::Struct(m)).unwrap().attempt, 0);
+        // Old slave → new master: an attempt-less report decodes as 0, the
+        // "accept unconditionally" sentinel.
+        let r = TaskReport { data: 2, index: 3, attempt: 5, urls: vec!["file://a".into()] };
+        assert_eq!(TaskReport::from_value(&r.to_value()).unwrap().attempt, 5);
+        let Value::Struct(mut m) = r.to_value() else { panic!("struct") };
+        m.remove("attempt");
+        let legacy = TaskReport::from_value(&Value::Struct(m)).unwrap();
+        assert_eq!(legacy.attempt, 0);
+        assert_eq!(legacy.urls, r.urls);
+    }
+
+    #[test]
+    fn cancel_order_roundtrips_and_legacy_decoder_ignores_it() {
+        let c = CancelOrder { data: 4, index: 2, attempt: 3 };
+        assert_eq!(CancelOrder::from_value(&c.to_value()).unwrap(), c);
+        // Malformed orders are rejected, not mis-decoded.
+        assert!(CancelOrder::from_value(&Value::Int(1)).is_err());
+        let mut m = BTreeMap::new();
+        m.insert("data".to_owned(), Value::Int(4));
+        assert!(CancelOrder::from_value(&Value::Struct(m)).is_err());
+        // A dispatch carrying cancel orders round-trips...
+        let d = Dispatch {
+            assignment: Assignment::Wait,
+            purge: vec![],
+            eager: vec![],
+            cancel: vec![c.clone(), CancelOrder { data: 4, index: 5, attempt: 1 }],
+        };
+        assert_eq!(Dispatch::from_value(&d.to_value()).unwrap(), d);
+        // ...and a legacy decoder (assignment-only view) still parses the
+        // same bytes: the cancel key rides along ignored.
+        assert_eq!(Assignment::from_value(&d.to_value()).unwrap(), Assignment::Wait);
+        // A new slave reading an old master's dispatch sees no cancels.
+        let old = Assignment::Wait.to_value();
+        assert!(Dispatch::from_value(&old).unwrap().cancel.is_empty());
     }
 
     #[test]
@@ -558,9 +739,10 @@ mod tests {
             assignment: a.clone(),
             purge: vec!["s0/d3/".into(), "src2/".into()],
             eager: vec![],
+            cancel: vec![],
         };
         assert_eq!(Dispatch::from_value(&d.to_value()).unwrap(), d);
-        let bare = Dispatch { assignment: a.clone(), purge: vec![], eager: vec![] };
+        let bare = Dispatch { assignment: a.clone(), purge: vec![], eager: vec![], cancel: vec![] };
         assert_eq!(Dispatch::from_value(&bare.to_value()).unwrap(), bare);
         // An old master's plain assignment decodes as an empty purge list.
         assert_eq!(Dispatch::from_value(&a.to_value()).unwrap(), bare);
@@ -577,6 +759,7 @@ mod tests {
             assignment: Assignment::Wait,
             purge: vec!["s1/d0/".into()],
             eager: vec![frag(0), frag(3)],
+            cancel: vec![],
         };
         assert_eq!(Dispatch::from_value(&d.to_value()).unwrap(), d);
         // Fragment messages round-trip standalone too.
@@ -619,10 +802,11 @@ mod tests {
         let r = TaskReport {
             data: 9,
             index: 4,
+            attempt: 2,
             urls: vec!["http://h:1/data/a".into(), "file://b".into()],
         };
         assert_eq!(TaskReport::from_value(&r.to_value()).unwrap(), r);
-        let empty = TaskReport { data: 0, index: 0, urls: vec![] };
+        let empty = TaskReport { data: 0, index: 0, attempt: 0, urls: vec![] };
         assert_eq!(TaskReport::from_value(&empty.to_value()).unwrap(), empty);
     }
 
@@ -633,6 +817,20 @@ mod tests {
         m.insert("data".to_owned(), Value::Int(1));
         // Missing index/urls.
         assert!(TaskReport::from_value(&Value::Struct(m)).is_err());
+    }
+
+    #[test]
+    fn speculate_mode_parses_and_rejects() {
+        assert_eq!(SpeculateMode::parse("off").unwrap(), SpeculateMode::Off);
+        assert_eq!(SpeculateMode::parse("on").unwrap(), SpeculateMode::On { threshold: 1.5 });
+        assert_eq!(
+            SpeculateMode::parse("threshold=2.5").unwrap(),
+            SpeculateMode::On { threshold: 2.5 }
+        );
+        assert!(SpeculateMode::parse("threshold=0.5").is_err(), "sub-1 multiples thrash");
+        assert!(SpeculateMode::parse("threshold=nan").is_err());
+        assert!(SpeculateMode::parse("maybe").is_err());
+        assert_eq!(SpeculateMode::default(), SpeculateMode::On { threshold: 1.5 });
     }
 
     #[test]

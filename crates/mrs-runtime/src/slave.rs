@@ -21,11 +21,13 @@
 use crate::dataplane::{record_eager_fragment, record_overlap, record_residual_fetch};
 use crate::master::SlaveId;
 use crate::proto::{
-    fetch_bucket_bytes_local_first, Assignment, ControlMode, DataPlane, Dispatch, EagerFragment,
-    TaskKind, TaskMsg, TaskReport,
+    fetch_bucket_bytes_local_first, Assignment, CancelOrder, ControlMode, DataPlane, Dispatch,
+    EagerFragment, TaskKind, TaskMsg, TaskReport,
 };
 use mrs_codec::CompressMode;
-use mrs_core::task::{run_map_task_bucket, run_reduce_map_task, run_reduce_task};
+use mrs_core::task::{
+    run_map_task_bucket_cancellable, run_reduce_map_task_cancellable, run_reduce_task_cancellable,
+};
 use mrs_core::{Bucket, Error, Program, Result};
 use mrs_fs::format::{read_bucket_into, write_bucket};
 use mrs_fs::Store;
@@ -57,8 +59,17 @@ pub trait MasterLink: Send + Sync {
         park: Duration,
         reports: Vec<TaskReport>,
     ) -> Result<Dispatch>;
-    /// Report success with output bucket URLs.
-    fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()>;
+    /// Report success with output bucket URLs. `attempt` echoes the id the
+    /// task message carried, so the master can recognize a stale report
+    /// from a superseded attempt.
+    fn task_done(
+        &self,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        attempt: u32,
+        urls: Vec<String>,
+    ) -> Result<()>;
     /// Report a failed attempt. `failed_input` is the input URL that could
     /// not be fetched, when the failure was a fetch failure.
     fn task_failed(
@@ -66,6 +77,7 @@ pub trait MasterLink: Send + Sync {
         slave: SlaveId,
         data: u32,
         index: usize,
+        attempt: u32,
         msg: &str,
         failed_input: Option<&str>,
     ) -> Result<()>;
@@ -85,8 +97,15 @@ impl MasterLink for crate::master::Master {
     ) -> Result<Dispatch> {
         Ok(crate::master::Master::get_dispatch(self, slave, free, park, &reports))
     }
-    fn task_done(&self, slave: SlaveId, data: u32, index: usize, urls: Vec<String>) -> Result<()> {
-        crate::master::Master::task_done(self, slave, data, index, urls);
+    fn task_done(
+        &self,
+        slave: SlaveId,
+        data: u32,
+        index: usize,
+        attempt: u32,
+        urls: Vec<String>,
+    ) -> Result<()> {
+        crate::master::Master::task_done(self, slave, data, index, attempt, urls);
         Ok(())
     }
     fn task_failed(
@@ -94,10 +113,11 @@ impl MasterLink for crate::master::Master {
         slave: SlaveId,
         data: u32,
         index: usize,
+        attempt: u32,
         msg: &str,
         failed_input: Option<&str>,
     ) -> Result<()> {
-        crate::master::Master::task_failed(self, slave, data, index, msg, failed_input);
+        crate::master::Master::task_failed(self, slave, data, index, attempt, msg, failed_input);
         Ok(())
     }
 }
@@ -129,6 +149,12 @@ pub struct SlaveOptions {
     /// seed reduce-input fetches from the warm cache. Off restores the
     /// classic fetch-everything-at-task-time path.
     pub eager_shuffle: bool,
+    /// Test-only straggler injection (`--mrs-test-delay data:index:ms`):
+    /// before running the *first* attempt of the named task this slave
+    /// sleeps the given milliseconds (checking its cancellation flag, so
+    /// a backed-up straggler aborts promptly). Backups (attempt ≥ 2) run
+    /// clean wherever they land.
+    pub test_delays: Vec<(u32, usize, u64)>,
 }
 
 impl Default for SlaveOptions {
@@ -141,6 +167,7 @@ impl Default for SlaveOptions {
             long_poll: Duration::from_secs(1),
             compress: CompressMode::default(),
             eager_shuffle: true,
+            test_delays: Vec::new(),
         }
     }
 }
@@ -193,6 +220,14 @@ struct PipeState {
     in_flight: usize,
     /// Completions waiting to ride on the next `get_tasks` poll.
     reports: Vec<TaskReport>,
+    /// Cancellation flags of attempts currently executing, keyed by
+    /// (data, index, attempt). A cancel order for a running attempt sets
+    /// its flag; the kernel observes it at the next record/group boundary.
+    active: HashMap<(u32, usize, u32), Arc<AtomicBool>>,
+    /// Cancel orders for attempts this slave has accepted but not started
+    /// (or never saw): checked when a worker is about to run a task, so a
+    /// queued loser is abandoned without executing at all.
+    tombstones: HashSet<(u32, usize, u32)>,
     /// The poll loop has exited: no further poll will carry reports, so
     /// workers report straight to `task_done` from here on.
     direct_report: bool,
@@ -211,6 +246,8 @@ impl Pipe {
                 queue: VecDeque::new(),
                 in_flight: 0,
                 reports: Vec::new(),
+                active: HashMap::new(),
+                tombstones: HashSet::new(),
                 direct_report: false,
                 drain: false,
                 halt: false,
@@ -261,6 +298,42 @@ impl Pipe {
         drop(st);
         if queued {
             eg.cv.notify_all();
+        }
+    }
+
+    /// Apply attempt-cancellation orders piggybacked on a dispatch. A
+    /// still-queued loser is dropped before it ever runs (freeing its slot
+    /// immediately); a running one gets its cooperative flag set; an
+    /// attempt this slave has no record of (report already sent, or the
+    /// order raced the assignment) leaves a tombstone so it is abandoned
+    /// the moment a worker picks it up.
+    fn apply_cancels(&self, orders: &[CancelOrder]) {
+        if orders.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let mut freed = false;
+        for o in orders {
+            let key = (o.data, o.index, o.attempt);
+            let hit =
+                |t: &TaskMsg| t.data == o.data && t.index == o.index && t.attempt == o.attempt;
+            if let Some(pos) = st.fetch_queue.iter().position(hit) {
+                st.fetch_queue.remove(pos);
+                st.in_flight -= 1;
+                freed = true;
+            } else if let Some(pos) = st.queue.iter().position(|(t, _)| hit(t)) {
+                st.queue.remove(pos);
+                st.in_flight -= 1;
+                freed = true;
+            } else if let Some(flag) = st.active.get(&key) {
+                flag.store(true, Ordering::Relaxed);
+            } else {
+                st.tombstones.insert(key);
+            }
+        }
+        drop(st);
+        if freed {
+            self.poll_cv.notify_all();
         }
     }
 
@@ -332,6 +405,7 @@ pub fn run_slave(
                         &pipe,
                         piggyback,
                         opts.compress,
+                        &opts.test_delays,
                     )
                 })
             })
@@ -405,6 +479,10 @@ pub fn run_slave(
                     pipe.purge_eager(prefix);
                 }
                 pipe.enqueue_eager(&d.eager);
+                // Cancel orders never name a task granted in this same
+                // answer (they are issued for attempts dispatched earlier),
+                // so applying them before enqueueing the assignment is safe.
+                pipe.apply_cancels(&d.cancel);
                 d.assignment
             });
             match answer {
@@ -420,7 +498,7 @@ pub fn run_slave(
                     for r in late {
                         // The master may already be gone; either way this
                         // slave's job is over.
-                        let _ = link.task_done(id, r.data, r.index, r.urls);
+                        let _ = link.task_done(id, r.data, r.index, r.attempt, r.urls);
                     }
                     pipe.shut_down(false);
                     break Ok(());
@@ -526,11 +604,18 @@ fn prefetch_loop(
                 drop(st);
                 pipe.cv.notify_one();
             }
-            Err(TaskError { msg, failed_input }) => {
+            Err(TaskError { msg, failed_input, .. }) => {
                 pipe.state.lock().in_flight -= 1;
                 // The freed slot concerns the polling thread.
                 pipe.poll_cv.notify_all();
-                let r = link.task_failed(id, task.data, task.index, &msg, failed_input.as_deref());
+                let r = link.task_failed(
+                    id,
+                    task.data,
+                    task.index,
+                    task.attempt,
+                    &msg,
+                    failed_input.as_deref(),
+                );
                 match r {
                     Ok(()) => {}
                     Err(Error::Rpc(_)) => {
@@ -605,18 +690,32 @@ fn worker_loop(
     pipe: &Pipe,
     piggyback: bool,
     compress: CompressMode,
+    delays: &[(u32, usize, u64)],
 ) -> Result<()> {
     // Per-worker scratch arena, reused across map tasks.
     let mut scratch = Bucket::new();
     loop {
-        let (task, raw) = {
+        // Pop a task and register its cancellation flag in one lock
+        // section, so a cancel order lands either on the queue entry, the
+        // tombstone set, or the registered flag — never in a gap between.
+        let (task, raw, cancel) = {
             let mut st = pipe.state.lock();
             loop {
                 if st.halt {
                     return Ok(());
                 }
-                if let Some(item) = st.queue.pop_front() {
-                    break item;
+                if let Some((task, raw)) = st.queue.pop_front() {
+                    let key = (task.data, task.index, task.attempt);
+                    if st.tombstones.remove(&key) {
+                        // Cancelled before it ever ran: free the slot,
+                        // never execute, never report.
+                        st.in_flight -= 1;
+                        pipe.poll_cv.notify_all();
+                        continue;
+                    }
+                    let flag = Arc::new(AtomicBool::new(false));
+                    st.active.insert(key, Arc::clone(&flag));
+                    break (task, raw, flag);
                 }
                 if st.drain {
                     return Ok(());
@@ -624,8 +723,41 @@ fn worker_loop(
                 pipe.cv.wait(&mut st);
             }
         };
-        let outcome =
-            process_task(&task, &raw, program, plane, frames, server, id, &mut scratch, compress);
+        // Straggler injection (test-only): only the task's first attempt
+        // is delayed, so a speculative backup runs clean. The sleep is
+        // sliced to observe the cancellation flag promptly.
+        if task.attempt <= 1 {
+            if let Some(&(_, _, ms)) =
+                delays.iter().find(|&&(d, i, _)| d == task.data && i == task.index)
+            {
+                let deadline = Instant::now() + Duration::from_millis(ms);
+                while Instant::now() < deadline && !cancel.load(Ordering::Relaxed) && !pipe.halted()
+                {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        let outcome = if cancel.load(Ordering::Relaxed) {
+            Err(TaskError {
+                msg: Error::Cancelled.to_string(),
+                failed_input: None,
+                cancelled: true,
+            })
+        } else {
+            process_task(
+                &task,
+                &raw,
+                program,
+                plane,
+                frames,
+                server,
+                id,
+                &mut scratch,
+                compress,
+                Some(&cancel),
+            )
+        };
+        pipe.state.lock().active.remove(&(task.data, task.index, task.attempt));
         if pipe.halted() {
             // Crash semantics: a halted slave goes silent, never reports.
             return Ok(());
@@ -635,7 +767,12 @@ fn worker_loop(
                 let mut st = pipe.state.lock();
                 st.in_flight -= 1;
                 if piggyback && !st.direct_report {
-                    st.reports.push(TaskReport { data: task.data, index: task.index, urls });
+                    st.reports.push(TaskReport {
+                        data: task.data,
+                        index: task.index,
+                        attempt: task.attempt,
+                        urls,
+                    });
                     drop(st);
                     // The freed slot and the queued report both concern the
                     // polling thread.
@@ -643,14 +780,29 @@ fn worker_loop(
                     Ok(())
                 } else {
                     drop(st);
-                    let r = link.task_done(id, task.data, task.index, urls);
+                    let r = link.task_done(id, task.data, task.index, task.attempt, urls);
                     pipe.poll_cv.notify_all();
                     r
                 }
             }
-            Err(TaskError { msg, failed_input }) => {
+            Err(TaskError { cancelled: true, .. }) => {
+                // Cooperative cancellation: another attempt already won at
+                // the master's commit point. Abandon silently — the slot
+                // frees, the partial output is never stored or announced.
                 pipe.state.lock().in_flight -= 1;
-                let r = link.task_failed(id, task.data, task.index, &msg, failed_input.as_deref());
+                pipe.poll_cv.notify_all();
+                continue;
+            }
+            Err(TaskError { msg, failed_input, .. }) => {
+                pipe.state.lock().in_flight -= 1;
+                let r = link.task_failed(
+                    id,
+                    task.data,
+                    task.index,
+                    task.attempt,
+                    &msg,
+                    failed_input.as_deref(),
+                );
                 pipe.poll_cv.notify_all();
                 r
             }
@@ -676,6 +828,9 @@ pub struct TaskError {
     pub msg: String,
     /// The input URL that could not be fetched, if applicable.
     pub failed_input: Option<String>,
+    /// The attempt was cancelled cooperatively (it lost a speculation
+    /// race): abandon silently, never report.
+    pub cancelled: bool,
 }
 
 /// How many input buckets a slave fetches concurrently. A reduce task
@@ -735,6 +890,7 @@ fn fetch_all_bucket_bytes(
             let b = fetch(&urls[i]).map_err(|e| TaskError {
                 msg: e.to_string(),
                 failed_input: Some(urls[i].clone()),
+                cancelled: false,
             })?;
             slots[i] = Some(b);
         }
@@ -757,7 +913,11 @@ fn fetch_all_bucket_bytes(
         for (r, slot) in results.into_iter().enumerate() {
             let i = residue[r];
             let res = slot.into_inner().expect("fetch worker filled every slot");
-            let b = res.map_err(|msg| TaskError { msg, failed_input: Some(urls[i].clone()) })?;
+            let b = res.map_err(|msg| TaskError {
+                msg,
+                failed_input: Some(urls[i].clone()),
+                cancelled: false,
+            })?;
             slots[i] = Some(b);
         }
     }
@@ -777,12 +937,18 @@ fn process_task(
     slave: SlaveId,
     scratch: &mut Bucket,
     compress: CompressMode,
+    cancel: Option<&AtomicBool>,
 ) -> std::result::Result<Vec<String>, TaskError> {
     let parse_err = |url: &String, e: mrs_core::Error| TaskError {
         msg: e.to_string(),
         failed_input: Some(url.clone()),
+        cancelled: false,
     };
-    let run_err = |e: mrs_core::Error| TaskError { msg: e.to_string(), failed_input: None };
+    let run_err = |e: mrs_core::Error| TaskError {
+        cancelled: matches!(e, mrs_core::Error::Cancelled),
+        msg: e.to_string(),
+        failed_input: None,
+    };
 
     // Execute and serialize output buckets. All paths decode straight
     // into an arena — no per-record `Vec<u8>` allocations; the map path
@@ -793,11 +959,18 @@ fn process_task(
             for (url, bytes) in task.inputs.iter().zip(raw) {
                 read_bucket_into(bytes, scratch).map_err(|e| parse_err(url, e))?;
             }
-            run_map_task_bucket(program, task.func, scratch, task.parts, task.combine)
-                .map_err(run_err)?
-                .iter()
-                .map(write_bucket)
-                .collect()
+            run_map_task_bucket_cancellable(
+                program,
+                task.func,
+                scratch,
+                task.parts,
+                task.combine,
+                cancel,
+            )
+            .map_err(run_err)?
+            .iter()
+            .map(write_bucket)
+            .collect()
         }
         TaskKind::Reduce => {
             // Reduce consumes its input arena (sorted in place), so it
@@ -806,7 +979,8 @@ fn process_task(
             for (url, bytes) in task.inputs.iter().zip(raw) {
                 read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
             }
-            let out = run_reduce_task(program, task.func, input).map_err(run_err)?;
+            let out =
+                run_reduce_task_cancellable(program, task.func, input, cancel).map_err(run_err)?;
             vec![write_bucket(&out)]
         }
         TaskKind::ReduceMap => {
@@ -817,11 +991,19 @@ fn process_task(
             for (url, bytes) in task.inputs.iter().zip(raw) {
                 read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
             }
-            run_reduce_map_task(program, task.func, task.map_func, input, task.parts, task.combine)
-                .map_err(run_err)?
-                .iter()
-                .map(write_bucket)
-                .collect()
+            run_reduce_map_task_cancellable(
+                program,
+                task.func,
+                task.map_func,
+                input,
+                task.parts,
+                task.combine,
+                cancel,
+            )
+            .map_err(run_err)?
+            .iter()
+            .map(write_bucket)
+            .collect()
         }
     };
 

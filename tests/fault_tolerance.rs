@@ -109,6 +109,50 @@ fn killing_all_but_one_slave_still_completes() {
     assert_eq!(decode_counts(&out).unwrap()["common"], 600);
 }
 
+/// Kill the slave that won a speculative race *after* its completion was
+/// committed. The winner's published outputs die with it on the direct
+/// plane, so the master must re-queue the task under a fresh attempt id
+/// and recompute — trusting neither the dead winner's URLs nor a stale
+/// report from the cancelled loser.
+#[test]
+fn winners_slave_dying_after_commit_recomputes_the_task() {
+    let cfg = MasterConfig { keep_data: true, ..quick_sweep_config() };
+    let mut cluster =
+        LocalCluster::start(Arc::new(Simple(WordCount)), 0, DataPlane::Direct, cfg).unwrap();
+    // Dataset ids are deterministic per job: source = 0, map = 1. The
+    // first attempt of map task (1, 0) sleeps 400ms on whichever slave
+    // draws it, so the backup attempt on the other slave commits first.
+    let straggly = SlaveOptions { slots: 2, test_delays: vec![(1, 0, 400)], ..Default::default() };
+    cluster.add_slave_with(straggly.clone());
+    cluster.add_slave_with(straggly);
+
+    let reduced = {
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(big_input(), 8).unwrap();
+        let mapped = job.map_data(src, 0, 4, false).unwrap();
+        job.reduce_data(mapped, 0).unwrap()
+    };
+    // Wait for the backup's completion to be committed.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cluster.metrics().speculative_wins() == 0 {
+        assert!(std::time::Instant::now() < deadline, "speculative backup never won");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The winner is one of the two original slaves; kill them both, with
+    // a replacement arriving first so the job is never slave-less.
+    cluster.add_slave();
+    cluster.kill_slave(0);
+    cluster.kill_slave(1);
+    let out = {
+        let mut job = Job::new(&mut cluster);
+        job.fetch_all(reduced).unwrap()
+    };
+    let counts = decode_counts(&out).unwrap();
+    assert_eq!(counts["common"], 600);
+    assert_eq!(counts.values().sum::<u64>(), 2400, "one count per input token");
+    assert!(cluster.metrics().speculative_wins() >= 1);
+}
+
 #[test]
 fn transient_shared_fs_failures_are_retried() {
     let store = MemFs::new();

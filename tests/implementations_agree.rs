@@ -116,6 +116,21 @@ fn wordcount_identical_across_all_five_runtimes() {
         wordcount_on(&mut Job::new(&mut cluster), 4, 3)
     };
 
+    // Speculative execution is on by default in every cluster above; the
+    // non-speculative scheduler is its oracle and must agree exactly.
+    let speculate_off = {
+        let cfg = MasterConfig { speculate: SpeculateMode::Off, ..MasterConfig::default() };
+        let mut cluster =
+            LocalCluster::start(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg).unwrap();
+        let out = wordcount_on(&mut Job::new(&mut cluster), 4, 3);
+        assert_eq!(
+            cluster.metrics().speculative_launches(),
+            0,
+            "speculate=off must never launch a backup"
+        );
+        out
+    };
+
     assert_eq!(bypass, serial, "serial vs bypass");
     assert_eq!(serial, mock, "mock vs serial");
     assert_eq!(mock, pool, "pool vs mock");
@@ -126,6 +141,44 @@ fn wordcount_identical_across_all_five_runtimes() {
     assert_eq!(pollmode, compress_on, "compress-on cluster vs poll-mode cluster");
     assert_eq!(compress_on, compress_off, "compress-off cluster vs compress-on cluster");
     assert_eq!(compress_off, eager_off, "eager-off cluster vs compress-off cluster");
+    assert_eq!(eager_off, speculate_off, "speculate-off cluster vs eager-off cluster");
+}
+
+/// Force an actual backup-vs-original race and check it is answer-neutral:
+/// a hidden per-slave test hook delays the first attempt of one map task
+/// far past the speculation cutoff, so the master launches a backup on the
+/// other slave, the backup wins, and the delayed original is cancelled.
+/// First-completion-wins arbitration must keep the output byte-identical
+/// to the bypass count.
+#[test]
+fn forced_backup_race_preserves_the_answer() {
+    let lines = sample_lines();
+    let bypass = corpus::tokenizer::reference_counts(lines.iter().map(String::as_str));
+
+    let mut cluster = LocalCluster::start(
+        Arc::new(Simple(WordCount)),
+        0,
+        DataPlane::Direct,
+        MasterConfig::default(),
+    )
+    .unwrap();
+    // Dataset ids are deterministic per job: source = 0, map = 1. Delay
+    // the first attempt of map task (1, 0) by 400ms on whichever slave
+    // draws it; backup attempts (id >= 2) run at full speed.
+    let straggly = SlaveOptions { slots: 2, test_delays: vec![(1, 0, 400)], ..Default::default() };
+    cluster.add_slave_with(straggly.clone());
+    cluster.add_slave_with(straggly);
+
+    let raced = wordcount_on(&mut Job::new(&mut cluster), 8, 3);
+    assert_eq!(raced, bypass, "forced-backup cluster vs bypass");
+    let metrics = cluster.metrics();
+    assert!(metrics.speculative_launches() >= 1, "the injected straggler never got a backup");
+    assert!(metrics.speculative_wins() >= 1, "a full-speed backup should beat a 400ms sleeper");
+    assert_eq!(
+        metrics.speculative_launches(),
+        metrics.speculative_wins() + metrics.speculative_losses(),
+        "every speculative attempt must resolve as a win or a loss"
+    );
 }
 
 #[test]
@@ -230,6 +283,21 @@ fn stochastic_pso_bitwise_identical_across_runtimes() {
         .unwrap();
         pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
     };
+    // The stochastic trajectory is the sharpest oracle for speculation
+    // too: a backup attempt re-running a particle task with any hidden
+    // state, or a loser's output leaking past the commit point, would
+    // diverge the swarm bit-for-bit within an iteration or two.
+    let speculate_off = {
+        let cfg = MasterConfig { speculate: SpeculateMode::Off, ..MasterConfig::default() };
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(pso_config(), 1)),
+            2,
+            DataPlane::Direct,
+            cfg,
+        )
+        .unwrap();
+        pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
+    };
 
     assert_eq!(serial, expected, "MapReduce-serial vs bypass");
     assert_eq!(pool, expected, "pool vs bypass");
@@ -237,6 +305,7 @@ fn stochastic_pso_bitwise_identical_across_runtimes() {
     assert_eq!(multislot, expected, "multi-slot cluster vs bypass");
     assert_eq!(pollmode, expected, "poll-mode cluster vs bypass");
     assert_eq!(eager_off, expected, "eager-off cluster vs bypass");
+    assert_eq!(speculate_off, expected, "speculate-off cluster vs bypass");
 }
 
 /// The fused-ReduceMap oracle: the same iterative island chain run
