@@ -1,0 +1,240 @@
+//! **Reduce merge** — the sorted-run shuffle experiment: one Zipf
+//! WordCount shuffle workload (combiner off, so every map token crosses
+//! the data plane) run on identical clusters with the streaming k-way
+//! merge reduce (`--mrs-merge=merge`, the default) and the legacy
+//! concatenate-then-sort oracle (`--mrs-merge=sort`). The map phase is
+//! barriered out of the measurement so the timed window is exactly the
+//! reduce phase: input assembly (merge vs concat+sort) plus the reduce
+//! kernel. A third arm re-runs the merge plan with the hash combiner on
+//! to check the sorted-run guarantee end to end.
+//!
+//! Checked claims: merge-mode reduce tasks consume runs (`merge_runs > 0`)
+//! and every run arrives presorted (`presorted_runs == merge_runs` — the
+//! map-side sort guarantee, on both the combiner and no-combiner arms);
+//! the background pre-merge collapsed warm fragments while maps ran
+//! (`premerged_runs > 0`); the sort oracle records no merge activity; the
+//! merge arm's reduce phase is at least 1.3x faster than the sort arm's;
+//! and outputs are byte-identical across every arm (the
+//! implementations-agree discipline applied to the reduce input path).
+//!
+//! ```text
+//! cargo run --release -p mrs-bench --bin reduce_merge \
+//!     [--words 500000] [--maps 16] [--reduces 4] [--slaves 2] [--repeats 3]
+//! ```
+//!
+//! Writes `BENCH_merge.json` at the repo root and mirrors it under
+//! `results/`. Each timed arm runs `repeats` times interleaved and the
+//! fastest reduce phase is kept (wall clock on a shared host is noisy;
+//! the counter assertions hold for every run).
+
+use corpus::{Corpus, CorpusConfig};
+use mrs::apps::wordcount::{lines_to_records, WordCount};
+use mrs::prelude::*;
+use mrs_bench::{results_path, Args, Table};
+use mrs_core::Record;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Zipf text totalling roughly `words` tokens, as input records.
+fn zipf_input(words: u64) -> Vec<Record> {
+    let config = CorpusConfig {
+        n_files: 16,
+        seed: 23,
+        mean_tokens: (words / 16).max(1),
+        ..CorpusConfig::default()
+    };
+    let corpus = Corpus::new(config);
+    let docs: Vec<String> = (0..16).map(|i| corpus.document(i)).collect();
+    lines_to_records(docs.iter().flat_map(|d| d.lines()))
+}
+
+fn sorted(mut records: Vec<Record>) -> Vec<Record> {
+    records.sort();
+    records
+}
+
+struct ArmRun {
+    reduce_secs: f64,
+    total_secs: f64,
+    merge_runs: u64,
+    presorted_runs: u64,
+    premerged_runs: u64,
+    merge_ms: f64,
+    peak_reduce_records: u64,
+    output: Vec<Record>,
+}
+
+/// One WordCount on a fresh cluster with the given merge mode. The map
+/// phase runs to completion first (while the eager fetcher stages and
+/// pre-merges fragments in the background); only then is the reduce
+/// submitted and timed, so `reduce_secs` isolates the input-assembly
+/// difference between the arms.
+fn cluster_run(
+    input: &[Record],
+    merge: MergeMode,
+    combine: bool,
+    maps: usize,
+    reduces: usize,
+    slaves: usize,
+) -> ArmRun {
+    let cfg = MasterConfig { merge, ..MasterConfig::default() };
+    let mut cluster =
+        LocalCluster::start(Arc::new(Simple(WordCount)), slaves, DataPlane::Direct, cfg)
+            .expect("cluster");
+    let t_all = Instant::now();
+    let (output, reduce_secs) = {
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(input.to_vec(), maps).expect("local_data");
+        let mapped = job.map_data(src, 0, reduces, combine).expect("map_data");
+        // Barrier: the timed window below is purely the reduce phase.
+        job.wait(mapped).expect("map phase");
+        let t0 = Instant::now();
+        let reduced = job.reduce_data(mapped, 0).expect("reduce_data");
+        job.wait(reduced).expect("reduce phase");
+        let reduce_secs = t0.elapsed().as_secs_f64();
+        (sorted(job.fetch_all(reduced).expect("fetch")), reduce_secs)
+    };
+    let total_secs = t_all.elapsed().as_secs_f64();
+    let m = cluster.metrics();
+    ArmRun {
+        reduce_secs,
+        total_secs,
+        merge_runs: m.merge_runs(),
+        presorted_runs: m.presorted_runs(),
+        premerged_runs: m.premerged_runs(),
+        merge_ms: m.merge_ms(),
+        peak_reduce_records: m.peak_reduce_records(),
+        output,
+    }
+}
+
+/// Keep the fastest-reduce repeat, asserting every repeat returns the
+/// same bytes and the counter invariants hold for every run, not just
+/// the kept one.
+fn keep_best(best: &mut Option<ArmRun>, run: ArmRun) {
+    assert_eq!(
+        run.presorted_runs, run.merge_runs,
+        "a run reached a reduce task unsorted despite the map-side guarantee"
+    );
+    match best {
+        Some(b) => {
+            assert_eq!(b.output, run.output, "repeat run changed the answer");
+            if run.reduce_secs < b.reduce_secs {
+                *best = Some(run);
+            }
+        }
+        None => *best = Some(run),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let words: u64 = args.flag("words", 500_000);
+    let maps: usize = args.flag("maps", 16);
+    let reduces: usize = args.flag("reduces", 4);
+    let slaves: usize = args.flag("slaves", 2);
+    let repeats: usize = args.flag("repeats", 3);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "Reduce merge: Zipf WordCount, ~{words} words, {maps} maps/{reduces} reduces \
+         (no combiner), {slaves} slave(s), {cores} core(s), best of {repeats}\n"
+    );
+
+    let input = zipf_input(words);
+    // Interleave the arms so host-load drift lands on both equally, and
+    // keep each arm's fastest reduce phase.
+    let (mut merge, mut sort) = (None, None);
+    for _ in 0..repeats.max(1) {
+        keep_best(&mut merge, cluster_run(&input, MergeMode::Merge, false, maps, reduces, slaves));
+        keep_best(&mut sort, cluster_run(&input, MergeMode::Sort, false, maps, reduces, slaves));
+    }
+    let (merge, sort) = (merge.expect("merge arm"), sort.expect("sort arm"));
+    // The sorted-run guarantee must also hold for hash-combined map
+    // output (the combiner path emits in hash order; the kernel re-sorts
+    // before writing the bucket).
+    let combined = cluster_run(&input, MergeMode::Merge, true, maps, reduces, slaves);
+
+    // Implementations-agree across reduce input paths, byte for byte.
+    assert_eq!(merge.output, sort.output, "merge mode changed the answer");
+    assert_eq!(merge.output, combined.output, "the combiner changed the answer");
+    // The merge plane must have engaged: reduce tasks consumed k sorted
+    // runs, every one presorted map-side, and the background pre-merge
+    // collapsed warm fragments into larger runs while maps ran.
+    assert!(merge.merge_runs > 0, "merge arm consumed no runs");
+    assert!(merge.presorted_runs > 0, "merge arm saw no presorted runs");
+    assert!(
+        merge.premerged_runs > 0,
+        "background pre-merge never collapsed a warm fragment streak"
+    );
+    assert!(combined.merge_runs > 0, "combine arm consumed no runs");
+    assert_eq!(
+        combined.presorted_runs, combined.merge_runs,
+        "hash-combined map output broke the sorted-run guarantee"
+    );
+    // The oracle arm must be inert.
+    assert_eq!(sort.merge_runs, 0, "sort oracle recorded merge activity");
+    assert_eq!(sort.premerged_runs, 0, "sort oracle pre-merged fragments");
+    // The point of the exercise: streaming merge beats concat+sort on
+    // the reduce phase. Best-of-N with interleaved arms keeps scheduling
+    // noise out; see EXPERIMENTS.md for the 1-core caveat on the margin.
+    let speedup = sort.reduce_secs / merge.reduce_secs.max(1e-9);
+    assert!(
+        speedup >= 1.3,
+        "merge reduce not >=1.3x faster than concat+sort: merge={:.3}s sort={:.3}s ({speedup:.2}x)",
+        merge.reduce_secs,
+        sort.reduce_secs
+    );
+
+    let mut table = Table::new([
+        "arm",
+        "reduce_s",
+        "total_s",
+        "merge_runs",
+        "presorted",
+        "premerged",
+        "merge_ms",
+        "peak_records",
+    ]);
+    for (name, run) in [("merge", &merge), ("sort", &sort), ("merge+combine", &combined)] {
+        table.row([
+            name.to_string(),
+            format!("{:.3}", run.reduce_secs),
+            format!("{:.3}", run.total_secs),
+            run.merge_runs.to_string(),
+            run.presorted_runs.to_string(),
+            run.premerged_runs.to_string(),
+            format!("{:.3}", run.merge_ms),
+            run.peak_reduce_records.to_string(),
+        ]);
+    }
+    table.emit("reduce_merge");
+    println!("\nreduce-phase speedup: {speedup:.2}x (concat+sort vs streaming merge)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"reduce_merge\",\n  \"cores\": {cores},\n  \"words\": {words},\n  \
+         \"maps\": {maps},\n  \"reduces\": {reduces},\n  \"slaves\": {slaves},\n  \
+         \"repeats\": {repeats},\n  \
+         \"merge_reduce_secs\": {:.6},\n  \"sort_reduce_secs\": {:.6},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"merge_runs\": {},\n  \"presorted_runs\": {},\n  \"premerged_runs\": {},\n  \
+         \"merge_ms\": {:.3},\n  \"peak_reduce_records\": {},\n  \
+         \"combine_merge_runs\": {},\n  \"combine_presorted_runs\": {},\n  \
+         \"outputs_identical\": true\n}}\n",
+        merge.reduce_secs,
+        sort.reduce_secs,
+        merge.merge_runs,
+        merge.presorted_runs,
+        merge.premerged_runs,
+        merge.merge_ms,
+        merge.peak_reduce_records,
+        combined.merge_runs,
+        combined.presorted_runs,
+    );
+    std::fs::write("BENCH_merge.json", &json).expect("write BENCH_merge.json");
+    std::fs::write(results_path("BENCH_merge.json"), &json).expect("mirror BENCH_merge.json");
+    println!(
+        "\nwrote BENCH_merge.json (and results/BENCH_merge.json); outputs verified identical \
+         across merge modes."
+    );
+}

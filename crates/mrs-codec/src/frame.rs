@@ -21,6 +21,7 @@
 
 use crate::lz;
 use crate::xxhash::xxh64;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Frame magic. Deliberately distinct from the `MRSB1` bucket magic so
 /// a decoder can tell framed from raw bytes by the first five bytes.
@@ -30,6 +31,29 @@ pub const FRAME_MAGIC: &[u8; 5] = b"MRSF1";
 pub const FRAME_HEADER_LEN: usize = 18;
 
 const FLAG_COMPRESSED: u8 = 1;
+
+/// Flag bit 1: the payload decodes to an `MRSB1` bucket whose records
+/// are in non-decreasing key order — a *sorted run* the consumer may
+/// feed straight into a k-way merge instead of re-sorting. Advisory:
+/// decoders spot-check the claim ([`decode_frame_sorted`]) and the merge
+/// path independently verifies full sortedness on arrival, so a buggy
+/// producer can never corrupt merge output.
+pub const FLAG_SORTED_RUN: u8 = 2;
+
+const KNOWN_FLAGS: u8 = FLAG_COMPRESSED | FLAG_SORTED_RUN;
+
+/// Adjacent key pairs examined by the monotonicity spot-check. Bounded:
+/// the check exists to reject obviously-bogus sorted claims cheaply at
+/// decode; exact sortedness is (re-)established by the bucket parser.
+const SPOT_CHECK_PAIRS: usize = 64;
+
+static SORTED_CLAIM_REJECTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of frames that set [`FLAG_SORTED_RUN`] but failed
+/// the monotonicity spot-check and were demoted to unsorted.
+pub fn sorted_claim_rejects() -> u64 {
+    SORTED_CLAIM_REJECTS.load(Ordering::Relaxed)
+}
 
 /// Compression policy for produced shuffle payloads.
 ///
@@ -132,6 +156,18 @@ pub fn is_framed(bytes: &[u8]) -> bool {
 /// uncompressed so the checksum still protects them without inflating
 /// them past `raw.len() + FRAME_HEADER_LEN`.
 pub fn encode_vec(raw: Vec<u8>, mode: CompressMode) -> Vec<u8> {
+    encode_with_flags(raw, mode, 0)
+}
+
+/// Like [`encode_vec`], additionally advertising the payload as a sorted
+/// run ([`FLAG_SORTED_RUN`]) when `sorted` is true. The advertisement
+/// only rides on framed output: when the mode leaves the bucket raw there
+/// is no header to carry it, and consumers fall back to auto-detection.
+pub fn encode_vec_sorted(raw: Vec<u8>, mode: CompressMode, sorted: bool) -> Vec<u8> {
+    encode_with_flags(raw, mode, if sorted { FLAG_SORTED_RUN } else { 0 })
+}
+
+fn encode_with_flags(raw: Vec<u8>, mode: CompressMode, extra_flags: u8) -> Vec<u8> {
     if !mode.applies_to(raw.len()) {
         return raw;
     }
@@ -145,7 +181,7 @@ pub fn encode_vec(raw: Vec<u8>, mode: CompressMode) -> Vec<u8> {
         if compressed.len() < raw.len() { (FLAG_COMPRESSED, compressed) } else { (0, raw.clone()) };
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(FRAME_MAGIC);
-    out.push(flags);
+    out.push(flags | extra_flags);
     out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
     out.extend_from_slice(&xxh64(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
@@ -174,7 +210,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
         return Err(FrameError::Truncated);
     }
     let flags = bytes[5];
-    if flags & !FLAG_COMPRESSED != 0 {
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(FrameError::UnknownFlags(flags));
     }
     let ulen = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
@@ -194,6 +230,71 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
     } else {
         Ok(payload.to_vec())
     }
+}
+
+/// Decode wire bytes and report whether they carry a *verified* sorted-run
+/// claim: the frame set [`FLAG_SORTED_RUN`] **and** the decoded payload
+/// passed the monotonicity spot-check. A claim that fails the check is
+/// demoted to unsorted (and counted, see [`sorted_claim_rejects`]) rather
+/// than rejected outright — the consumer then sorts on arrival, exactly
+/// as it does for legacy/unflagged input.
+pub fn decode_frame_sorted(bytes: &[u8]) -> Result<(Vec<u8>, bool), FrameError> {
+    let claimed =
+        bytes.len() >= FRAME_HEADER_LEN && is_framed(bytes) && bytes[5] & FLAG_SORTED_RUN != 0;
+    let raw = decode_frame(bytes)?;
+    if claimed && !spot_check_sorted(&raw) {
+        SORTED_CLAIM_REJECTS.fetch_add(1, Ordering::Relaxed);
+        return Ok((raw, false));
+    }
+    Ok((raw, claimed))
+}
+
+/// Cheap monotonicity spot-check of a sorted-run claim: walk the head of
+/// the `MRSB1` payload (magic, varint record count, varint-prefixed
+/// key/value pairs) and verify the first [`SPOT_CHECK_PAIRS`] adjacent
+/// keys are non-decreasing. Anything unparsable fails the check — a
+/// sorted-run claim on a non-bucket payload is a producer bug.
+fn spot_check_sorted(raw: &[u8]) -> bool {
+    // The MRSB1 bucket magic (mrs-fs); restated here so the codec can
+    // sanity-walk the payload without depending on the parser crate.
+    let Some(b) = raw.strip_prefix(b"MRSB1") else { return false };
+    let Some((count, mut rest)) = varint(b) else { return false };
+    let mut prev: Option<&[u8]> = None;
+    for _ in 0..(count as usize).min(SPOT_CHECK_PAIRS + 1) {
+        let Some((klen, r)) = varint(rest) else { return false };
+        if klen as usize > r.len() {
+            return false;
+        }
+        let (k, r) = r.split_at(klen as usize);
+        let Some((vlen, r)) = varint(r) else { return false };
+        if vlen as usize > r.len() {
+            return false;
+        }
+        if prev.is_some_and(|p| p > k) {
+            return false;
+        }
+        prev = Some(k);
+        rest = r.split_at(vlen as usize).1;
+    }
+    true
+}
+
+/// LEB128 unsigned varint off the front of `b` (the `MRSB1` length
+/// encoding).
+fn varint(b: &[u8]) -> Option<(u64, &[u8])> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in b.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some((v, &b[i + 1..]));
+        }
+        shift += 7;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -265,5 +366,63 @@ mod tests {
         for mode in [CompressMode::On, CompressMode::Off, CompressMode::Threshold(0)] {
             assert_eq!(decode_vec(encode_vec(Vec::new(), mode)).unwrap(), Vec::<u8>::new());
         }
+    }
+
+    /// Hand-rolled MRSB1 bucket bytes (single-byte varints suffice here).
+    fn bucket_bytes(records: &[(&[u8], &[u8])]) -> Vec<u8> {
+        let mut b = b"MRSB1".to_vec();
+        b.push(records.len() as u8);
+        for (k, v) in records {
+            b.push(k.len() as u8);
+            b.extend_from_slice(k);
+            b.push(v.len() as u8);
+            b.extend_from_slice(v);
+        }
+        b
+    }
+
+    #[test]
+    fn sorted_flag_roundtrips_and_verifies() {
+        let raw = bucket_bytes(&[(b"a", b"1"), (b"a", b"2"), (b"b", b"")]);
+        let framed = encode_vec_sorted(raw.clone(), CompressMode::On, true);
+        assert!(is_framed(&framed));
+        assert_ne!(framed[5] & FLAG_SORTED_RUN, 0);
+        let (back, sorted) = decode_frame_sorted(&framed).unwrap();
+        assert_eq!(back, raw);
+        assert!(sorted, "genuinely sorted claim must survive the spot-check");
+        // The plain decoders accept the new flag bit too.
+        assert_eq!(decode_vec(framed.clone()).unwrap(), raw);
+        assert_eq!(decode_frame(&framed).unwrap(), raw);
+    }
+
+    #[test]
+    fn unflagged_and_raw_input_report_unsorted() {
+        let raw = bucket_bytes(&[(b"a", b"1")]);
+        let framed = encode_vec(raw.clone(), CompressMode::On);
+        assert_eq!(decode_frame_sorted(&framed).unwrap(), (raw.clone(), false));
+        assert_eq!(decode_frame_sorted(&raw).unwrap(), (raw.clone(), false));
+        let unflagged = encode_vec_sorted(raw.clone(), CompressMode::On, false);
+        assert_eq!(decode_frame_sorted(&unflagged).unwrap(), (raw, false));
+    }
+
+    #[test]
+    fn bogus_sorted_claim_is_demoted_and_counted() {
+        let unsorted = bucket_bytes(&[(b"b", b"1"), (b"a", b"2")]);
+        let framed = encode_vec_sorted(unsorted.clone(), CompressMode::On, true);
+        let before = sorted_claim_rejects();
+        let (back, sorted) = decode_frame_sorted(&framed).unwrap();
+        assert_eq!(back, unsorted, "payload still decodes");
+        assert!(!sorted, "claim must be demoted to unsorted");
+        assert!(sorted_claim_rejects() > before, "the reject must be counted");
+        // A claim on a non-bucket payload is equally bogus.
+        let garbage = encode_vec_sorted(vec![9u8; 600], CompressMode::On, true);
+        assert!(!decode_frame_sorted(&garbage).unwrap().1);
+    }
+
+    #[test]
+    fn sorted_claim_below_threshold_stays_raw() {
+        let raw = bucket_bytes(&[(b"a", b"1")]);
+        let out = encode_vec_sorted(raw.clone(), CompressMode::Threshold(512), true);
+        assert_eq!(out, raw, "no frame, so no flag to carry");
     }
 }

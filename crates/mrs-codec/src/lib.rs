@@ -18,8 +18,9 @@ pub mod lz;
 pub mod xxhash;
 
 pub use frame::{
-    decode_frame, decode_vec, encode_vec, is_framed, CompressMode, FrameError,
-    DEFAULT_COMPRESS_THRESHOLD, FRAME_HEADER_LEN, FRAME_MAGIC,
+    decode_frame, decode_frame_sorted, decode_vec, encode_vec, encode_vec_sorted, is_framed,
+    sorted_claim_rejects, CompressMode, FrameError, DEFAULT_COMPRESS_THRESHOLD, FLAG_SORTED_RUN,
+    FRAME_HEADER_LEN, FRAME_MAGIC,
 };
 pub use lz::{compress, decompress, LzError};
 pub use xxhash::xxh64;

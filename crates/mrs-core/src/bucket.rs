@@ -105,7 +105,9 @@ impl Bucket {
         (&self.data[k..v], &self.data[v..v + e.vlen as usize])
     }
 
-    fn key_at(&self, i: usize) -> &[u8] {
+    /// The key of the record at position `i` (the merge machinery walks
+    /// keys without touching values).
+    pub fn key_at(&self, i: usize) -> &[u8] {
         let e = self.entries[i];
         &self.data[e.off as usize..(e.off + e.klen) as usize]
     }

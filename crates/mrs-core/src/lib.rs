@@ -18,6 +18,7 @@
 pub mod bucket;
 pub mod error;
 pub mod kv;
+pub mod merge;
 pub mod partition;
 pub mod plan;
 pub mod program;
@@ -27,5 +28,7 @@ pub mod task;
 pub use bucket::Bucket;
 pub use error::{Error, Result};
 pub use kv::{Datum, Record};
+pub use merge::{merge_runs, RunMerger};
 pub use plan::{DataRef, FuncId, OpId, OpKind, OpSpec, Plan};
 pub use program::{MapReduce, Program, Simple};
+pub use task::MergeMode;

@@ -1,0 +1,266 @@
+//! Streaming k-way merge over sorted runs (the shuffle merge step).
+//!
+//! The paper's contract is that reduce sees its partition "sorted and
+//! grouped by key" (§II). The concatenate-then-sort path honors it with
+//! O(n log n) comparisons over the whole partition; when every fetched
+//! bucket is already a *sorted run* (map kernels sort their output
+//! map-side), a k-way merge produces the same grouped stream in
+//! O(n log k) — and never materializes the concatenated bucket.
+//!
+//! The merger is a classic loser tree (tournament tree storing the loser
+//! of each internal match, winner at the root): advancing a run costs one
+//! replay along its leaf-to-root path, ⌈log₂ k⌉ comparisons. Two
+//! refinements keep constant factors down:
+//!
+//! * equal keys break ties by **run index**, so the merged stream is
+//!   byte-identical to a *stable* sort of the runs concatenated in input
+//!   order — the exact order the concatenate+sort oracle produces;
+//! * the winner's whole equal-key prefix is consumed in one linear scan
+//!   before the tree is replayed, so the tree pays per *group-span*, not
+//!   per record, and a single-run merge degenerates to plain group
+//!   iteration with no comparisons in the tree at all.
+
+use crate::bucket::Bucket;
+
+/// One contiguous slice of a run contributing to the current group:
+/// `(run, start, end)` — records `start..end` of `runs[run]`.
+pub type GroupSpan = (usize, usize, usize);
+
+/// Streaming merger over `k` sorted runs, yielding `(key, spans)` groups
+/// in ascending key order with values ordered exactly as the stable
+/// concatenate+sort oracle orders them (run index, then in-run position).
+///
+/// Every run must be sorted (`Bucket::is_sorted`); debug builds assert it.
+pub struct RunMerger<'a> {
+    runs: &'a [Bucket],
+    /// Next unconsumed record per run.
+    pos: Vec<usize>,
+    /// Loser tree: `tree[0]` is the current overall winner, `tree[1..k]`
+    /// hold the loser of the match played at each internal node. Leaves
+    /// are implicit at `k..2k` (leaf of run `r` at `k + r`).
+    tree: Vec<usize>,
+}
+
+impl<'a> RunMerger<'a> {
+    /// Build a merger over `runs`. Empty runs are handled (they start
+    /// exhausted); an empty slice yields no groups.
+    pub fn new(runs: &'a [Bucket]) -> Self {
+        debug_assert!(runs.iter().all(|r| r.is_sorted()), "RunMerger requires sorted runs");
+        let k = runs.len();
+        let mut m = RunMerger { runs, pos: vec![0; k], tree: vec![0; k.max(1)] };
+        if k == 0 {
+            return m;
+        }
+        // Initial tournament, bottom-up: `winners[i]` is the winner of the
+        // subtree rooted at node i, losers are committed into the tree.
+        let mut winners = vec![0usize; 2 * k];
+        for (r, w) in winners[k..].iter_mut().enumerate() {
+            *w = r;
+        }
+        for i in (1..k).rev() {
+            let (a, b) = (winners[2 * i], winners[2 * i + 1]);
+            let (w, l) = if m.beats(a, b) { (a, b) } else { (b, a) };
+            winners[i] = w;
+            m.tree[i] = l;
+        }
+        m.tree[0] = winners[1];
+        m
+    }
+
+    fn exhausted(&self, r: usize) -> bool {
+        self.pos[r] >= self.runs[r].len()
+    }
+
+    /// Does run `a` win against run `b`? Smaller head key wins; an
+    /// exhausted run always loses; equal keys go to the smaller run index
+    /// (the stability tiebreak).
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.exhausted(a), self.exhausted(b)) {
+            (true, _) => false,
+            (false, true) => true,
+            (false, false) => {
+                let ka = self.runs[a].key_at(self.pos[a]);
+                let kb = self.runs[b].key_at(self.pos[b]);
+                match ka.cmp(kb) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => a < b,
+                }
+            }
+        }
+    }
+
+    /// Replay the leaf-to-root path of run `r` after its head advanced:
+    /// ⌈log₂ k⌉ comparisons re-seat it in the tournament.
+    fn replay(&mut self, r: usize) {
+        let k = self.runs.len();
+        let mut cur = r;
+        let mut i = (k + r) / 2;
+        while i >= 1 {
+            if self.beats(self.tree[i], cur) {
+                std::mem::swap(&mut self.tree[i], &mut cur);
+            }
+            i /= 2;
+        }
+        self.tree[0] = cur;
+    }
+
+    /// Produce the next key group. Returns the key, and fills `spans`
+    /// with the contributing run slices in oracle order (ascending run
+    /// index; each span's records are consecutive in its run). Returns
+    /// `None` when all runs are exhausted.
+    pub fn next_group(&mut self, spans: &mut Vec<GroupSpan>) -> Option<&'a [u8]> {
+        spans.clear();
+        if self.runs.is_empty() || self.exhausted(self.tree[0]) {
+            return None;
+        }
+        let key: &'a [u8] = {
+            let w = self.tree[0];
+            self.runs[w].key_at(self.pos[w])
+        };
+        loop {
+            let w = self.tree[0];
+            if self.exhausted(w) || self.runs[w].key_at(self.pos[w]) != key {
+                break;
+            }
+            // Consume the winner's whole equal-key prefix in one scan.
+            let run = &self.runs[w];
+            let start = self.pos[w];
+            let mut end = start + 1;
+            while end < run.len() && run.key_at(end) == key {
+                end += 1;
+            }
+            self.pos[w] = end;
+            spans.push((w, start, end));
+            self.replay(w);
+        }
+        Some(key)
+    }
+
+    /// Total records remaining across all runs.
+    pub fn remaining(&self) -> usize {
+        self.runs.iter().zip(&self.pos).map(|(r, &p)| r.len() - p).sum()
+    }
+}
+
+/// Merge sorted runs into one sorted bucket (reference/oracle helper for
+/// tests and the background pre-merge: the streaming kernels consume
+/// [`RunMerger`] directly and never materialize this).
+pub fn merge_runs(runs: &[Bucket]) -> Bucket {
+    let bytes = runs.iter().map(Bucket::byte_size).sum();
+    let records = runs.iter().map(Bucket::len).sum();
+    let mut out = Bucket::with_capacity(records, bytes);
+    let mut merger = RunMerger::new(runs);
+    let mut spans = Vec::new();
+    while let Some(key) = merger.next_group(&mut spans) {
+        for &(r, s, e) in spans.iter() {
+            for i in s..e {
+                out.push(key, runs[r].get(i).1);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::Record;
+    use proptest::prelude::*;
+
+    fn bucket(recs: &[(&str, &str)]) -> Bucket {
+        recs.iter().map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec())).collect()
+    }
+
+    /// The oracle: concatenate in run order, stable-sort by key.
+    fn concat_sort(runs: &[Bucket]) -> Bucket {
+        let mut all = Bucket::new();
+        for r in runs {
+            all.extend_from(r);
+        }
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert_eq!(merge_runs(&[]), Bucket::new());
+        assert_eq!(merge_runs(&[Bucket::new(), Bucket::new()]), Bucket::new());
+        let mut m = RunMerger::new(&[]);
+        assert_eq!(m.next_group(&mut Vec::new()), None);
+    }
+
+    #[test]
+    fn single_run_fast_path_is_identity() {
+        let run = bucket(&[("a", "1"), ("a", "2"), ("c", "3")]);
+        assert_eq!(merge_runs(std::slice::from_ref(&run)), run);
+    }
+
+    #[test]
+    fn equal_keys_come_out_in_run_order() {
+        let runs = [
+            bucket(&[("k", "r0a"), ("k", "r0b")]),
+            bucket(&[("a", "x"), ("k", "r1a")]),
+            bucket(&[("k", "r2a")]),
+        ];
+        let merged = merge_runs(&runs);
+        assert_eq!(merged, concat_sort(&runs));
+        let vals: Vec<&[u8]> = merged.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![&b"x"[..], b"r0a", b"r0b", b"r1a", b"r2a"]);
+    }
+
+    #[test]
+    fn empty_and_nonempty_runs_mix() {
+        let runs = [Bucket::new(), bucket(&[("b", "1")]), Bucket::new(), bucket(&[("a", "2")])];
+        assert_eq!(merge_runs(&runs), concat_sort(&runs));
+    }
+
+    #[test]
+    fn group_spans_cover_each_key_once() {
+        let runs = [bucket(&[("a", "1"), ("b", "2")]), bucket(&[("a", "3"), ("c", "4")])];
+        let mut m = RunMerger::new(&runs);
+        let mut spans = Vec::new();
+        let mut keys = Vec::new();
+        while let Some(k) = m.next_group(&mut spans) {
+            keys.push(k.to_vec());
+            assert!(!spans.is_empty());
+        }
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(m.remaining(), 0);
+    }
+
+    proptest! {
+        /// merge(runs) == concat+sort over random run splits: random
+        /// record lists (small key alphabet forces cross-run duplicates)
+        /// cut at random points into runs — including empty runs at
+        /// either end and the single-run case — each run sorted, then
+        /// merged.
+        #[test]
+        fn merge_agrees_with_concat_sort(
+            recs in proptest::collection::vec(
+                ((0u8..6), proptest::collection::vec(any::<u8>(), 0..4)),
+                0..120,
+            ),
+            cuts in proptest::collection::vec(any::<usize>(), 0..8),
+        ) {
+            let records: Vec<Record> =
+                recs.iter().map(|(k, v)| (vec![*k], v.clone())).collect();
+            // Random split points (duplicates allowed => empty runs).
+            let mut bounds: Vec<usize> =
+                cuts.iter().map(|c| c % (records.len() + 1)).collect();
+            bounds.push(0);
+            bounds.push(records.len());
+            bounds.sort_unstable();
+            let mut runs: Vec<Bucket> = Vec::new();
+            for w in bounds.windows(2) {
+                let mut b: Bucket =
+                    records[w[0]..w[1]].iter().cloned().collect();
+                b.sort();
+                runs.push(b);
+            }
+            // The oracle concatenates the *sorted* runs in run order —
+            // exactly what the reduce path sees arriving off the wire.
+            prop_assert_eq!(merge_runs(&runs), concat_sort(&runs));
+        }
+    }
+}

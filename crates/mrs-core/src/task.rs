@@ -19,10 +19,19 @@
 //!   output is byte-for-byte identical to the sort path for the
 //!   associative, key-preserving combiners the paper's contract requires
 //!   ("the reduce function can function as a combiner").
+//!
+//! Every map kernel emits each output bucket as a **sorted run** (the
+//! combiner paths do so inherently; the raw path sorts in place), which
+//! lets the reduce-side kernels choose via [`MergeMode`] between the
+//! classic concatenate+sort and a streaming k-way merge
+//! ([`run_reduce_task_merge`], [`run_reduce_map_task_merge`]) that never
+//! materializes the concatenated partition. Both reduce paths are
+//! byte-identical; the sort path is kept as the oracle.
 
 use crate::bucket::Bucket;
 use crate::error::{Error, Result};
 use crate::kv::Record;
+use crate::merge::RunMerger;
 use crate::plan::FuncId;
 use crate::program::Program;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,6 +57,32 @@ pub enum CombineStrategy {
     /// Buffer, sort, then combine key groups (the pre-overhaul behaviour;
     /// kept for the A4 ablation and as the reference implementation).
     Sort,
+}
+
+/// How a reduce-side task assembles its gathered partition. Every map
+/// kernel emits each output bucket as a *sorted run*, so the reduce input
+/// is k sorted runs either way; the mode only chooses between streaming
+/// them through a k-way merge and the classic concatenate+sort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Stream key groups out of a k-way merge of the fetched runs
+    /// (default): O(n log k) comparisons, no concatenated bucket.
+    #[default]
+    Merge,
+    /// Concatenate all runs and sort — the pre-merge behaviour, kept as
+    /// the byte-identity oracle behind `--mrs-merge=sort`.
+    Sort,
+}
+
+impl MergeMode {
+    /// Parse a `--mrs-merge` value.
+    pub fn parse(s: &str) -> Result<MergeMode> {
+        match s {
+            "merge" => Ok(MergeMode::Merge),
+            "sort" => Ok(MergeMode::Sort),
+            other => Err(Error::Invalid(format!("unknown merge mode {other:?} (merge|sort)"))),
+        }
+    }
 }
 
 /// Run one map task: apply map function `func` to every input record and
@@ -141,8 +176,21 @@ fn run_map_records_cancellable<'a>(
             let taken = std::mem::take(b);
             *b = combine_bucket(program, func, taken)?;
         }
+    } else {
+        sort_runs(&mut buckets);
     }
     Ok(buckets)
+}
+
+/// Uphold the sorted-run output guarantee on the raw (no-combiner) path:
+/// both combiner strategies already emit each bucket in sorted key order,
+/// so this key-stable in-place sort makes *every* map output bucket a
+/// sorted run. Reduce output is unchanged — the reduce side's stable
+/// sort/merge preserves each bucket's per-key value order either way.
+fn sort_runs(buckets: &mut [Bucket]) {
+    for b in buckets {
+        b.sort();
+    }
 }
 
 fn run_map_task_hash_combine<'a>(
@@ -209,6 +257,38 @@ pub fn run_reduce_task_cancellable(
     Ok(out)
 }
 
+/// [`run_reduce_task`] over pre-sorted runs: stream key groups out of a
+/// k-way [`RunMerger`] straight into the reduce function, never
+/// materializing the concatenated partition. Byte-identical to the
+/// concatenate+sort kernel — the merge breaks equal keys by run index,
+/// reproducing exactly the stable sort's value order.
+pub fn run_reduce_task_merge(
+    program: &dyn Program,
+    func: FuncId,
+    runs: &[Bucket],
+) -> Result<Bucket> {
+    run_reduce_task_merge_cancellable(program, func, runs, None)
+}
+
+/// [`run_reduce_task_merge`] with a cooperative-cancellation flag checked
+/// at every key-group boundary.
+pub fn run_reduce_task_merge_cancellable(
+    program: &dyn Program,
+    func: FuncId,
+    runs: &[Bucket],
+    cancel: Option<&AtomicBool>,
+) -> Result<Bucket> {
+    let mut merger = RunMerger::new(runs);
+    let mut spans = Vec::new();
+    let mut out = Bucket::new();
+    while let Some(key) = merger.next_group(&mut spans) {
+        check_cancel(cancel)?;
+        let mut iter = spans.iter().flat_map(|&(r, s, e)| (s..e).map(move |i| runs[r].get(i).1));
+        program.reduce_bytes(func, key, &mut iter, &mut |k, v| out.push(k, v))?;
+    }
+    Ok(out)
+}
+
 /// Run one fused reduce+map task: sort the gathered records of one
 /// partition, reduce each key group, and feed every reduced record
 /// straight into map function `map_func`, partitioning the map output into
@@ -242,8 +322,80 @@ pub fn run_reduce_map_task_cancellable(
     combine: bool,
     cancel: Option<&AtomicBool>,
 ) -> Result<Vec<Bucket>> {
-    use std::cell::RefCell;
     input.sort();
+    run_reduce_map_groups(program, reduce_func, map_func, parts, combine, cancel, &mut |sink| {
+        for (key, values) in input.groups() {
+            let mut iter = values;
+            sink(key, &mut iter)?;
+        }
+        Ok(())
+    })
+}
+
+/// [`run_reduce_map_task`] over pre-sorted runs: the k-way-merge twin of
+/// [`run_reduce_task_merge`], streaming merged key groups through the fused
+/// reduce+map pipeline without concatenating the partition.
+pub fn run_reduce_map_task_merge(
+    program: &dyn Program,
+    reduce_func: FuncId,
+    map_func: FuncId,
+    runs: &[Bucket],
+    parts: usize,
+    combine: bool,
+) -> Result<Vec<Bucket>> {
+    run_reduce_map_task_merge_cancellable(
+        program,
+        reduce_func,
+        map_func,
+        runs,
+        parts,
+        combine,
+        None,
+    )
+}
+
+/// [`run_reduce_map_task_merge`] with a cooperative-cancellation flag
+/// checked at every key-group boundary of the reduce pass.
+pub fn run_reduce_map_task_merge_cancellable(
+    program: &dyn Program,
+    reduce_func: FuncId,
+    map_func: FuncId,
+    runs: &[Bucket],
+    parts: usize,
+    combine: bool,
+    cancel: Option<&AtomicBool>,
+) -> Result<Vec<Bucket>> {
+    run_reduce_map_groups(program, reduce_func, map_func, parts, combine, cancel, &mut |sink| {
+        let mut merger = RunMerger::new(runs);
+        let mut spans = Vec::new();
+        while let Some(key) = merger.next_group(&mut spans) {
+            let mut iter =
+                spans.iter().flat_map(|&(r, s, e)| (s..e).map(move |i| runs[r].get(i).1));
+            sink(key, &mut iter)?;
+        }
+        Ok(())
+    })
+}
+
+/// Sink handed one sorted `(key, values)` group at a time by a group
+/// source (see [`run_reduce_map_groups`]).
+type GroupSink<'a> = &'a mut dyn FnMut(&[u8], &mut dyn Iterator<Item = &[u8]>) -> Result<()>;
+
+/// The fused reduce+map pipeline, factored over its group source: `drive`
+/// walks the sorted key groups (from one sorted bucket or a k-way merge)
+/// and hands each to the sink, which reduces it and feeds the reduced
+/// records straight into the map function. Sharing this body is what keeps
+/// the merge and concatenate+sort paths byte-identical by construction.
+fn run_reduce_map_groups(
+    program: &dyn Program,
+    reduce_func: FuncId,
+    map_func: FuncId,
+    parts: usize,
+    combine: bool,
+    cancel: Option<&AtomicBool>,
+    drive: &mut dyn FnMut(GroupSink<'_>) -> Result<()>,
+) -> Result<Vec<Bucket>> {
+    use std::cell::RefCell;
     let combining = combine && program.has_combiner(map_func);
     // Emit closures cannot return errors, and here two of them nest
     // (reduce emit wrapping map emit), so failures from either layer are
@@ -252,10 +404,9 @@ pub fn run_reduce_map_task_cancellable(
     if combining && CombineStrategy::default() == CombineStrategy::Hash {
         let combiners: RefCell<Vec<StreamCombiner>> =
             RefCell::new((0..parts).map(|_| StreamCombiner::new()).collect());
-        for (key, values) in input.groups() {
+        drive(&mut |key, values| {
             check_cancel(cancel)?;
-            let mut iter = values;
-            program.reduce_bytes(reduce_func, key, &mut iter, &mut |rk, rv| {
+            program.reduce_bytes(reduce_func, key, values, &mut |rk, rv| {
                 if deferred.borrow().is_some() {
                     return;
                 }
@@ -272,17 +423,17 @@ pub fn run_reduce_map_task_cancellable(
                     *deferred.borrow_mut() = Some(e);
                 }
             })?;
-            if let Some(e) = deferred.borrow_mut().take() {
-                return Err(e);
+            match deferred.borrow_mut().take() {
+                Some(e) => Err(e),
+                None => Ok(()),
             }
-        }
+        })?;
         return combiners.into_inner().into_iter().map(|c| c.finalize(program, map_func)).collect();
     }
     let buckets: RefCell<Vec<Bucket>> = RefCell::new((0..parts).map(|_| Bucket::new()).collect());
-    for (key, values) in input.groups() {
+    drive(&mut |key, values| {
         check_cancel(cancel)?;
-        let mut iter = values;
-        program.reduce_bytes(reduce_func, key, &mut iter, &mut |rk, rv| {
+        program.reduce_bytes(reduce_func, key, values, &mut |rk, rv| {
             if deferred.borrow().is_some() {
                 return;
             }
@@ -294,16 +445,19 @@ pub fn run_reduce_map_task_cancellable(
                 *deferred.borrow_mut() = Some(e);
             }
         })?;
-        if let Some(e) = deferred.borrow_mut().take() {
-            return Err(e);
+        match deferred.borrow_mut().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-    }
+    })?;
     let mut buckets = buckets.into_inner();
     if combining {
         for b in &mut buckets {
             let taken = std::mem::take(b);
             *b = combine_bucket(program, map_func, taken)?;
         }
+    } else {
+        sort_runs(&mut buckets);
     }
     Ok(buckets)
 }
@@ -910,6 +1064,102 @@ mod tests {
             run_reduce_map_task_cancellable(&Chain, 0, 0, chain_input(), 3, true, Some(&flag))
                 .unwrap();
         assert_eq!(fused, flagged);
+    }
+
+    #[test]
+    fn map_output_buckets_are_sorted_runs() {
+        let p = Simple(WordCount);
+        let input = lines(&["zebra the mat cat", "the cat apple zebra"]);
+        for combine in [false, true] {
+            for strategy in [CombineStrategy::Hash, CombineStrategy::Sort] {
+                let buckets = run_map_task_with(&p, 0, &input, 3, combine, strategy).unwrap();
+                for b in &buckets {
+                    assert!(b.is_sorted(), "combine={combine} strategy={strategy:?}");
+                }
+            }
+        }
+        // The fused kernel's map output upholds the same guarantee.
+        for combine in [false, true] {
+            let fused = run_reduce_map_task(&Chain, 0, 0, chain_input(), 3, combine).unwrap();
+            assert!(fused.iter().all(Bucket::is_sorted), "fused combine={combine}");
+        }
+    }
+
+    /// Partition the map output of both input lines into per-task runs —
+    /// the shape the reduce side sees after a shuffle.
+    fn shuffled_runs(parts: usize) -> Vec<Vec<Bucket>> {
+        let p = Simple(WordCount);
+        let task_a = lines(&["the cat sat on the mat", "the cat"]);
+        let task_b = lines(&["a mat for the cat", "the the the"]);
+        let runs_a = run_map_task(&p, 0, &task_a, parts, false).unwrap();
+        let runs_b = run_map_task(&p, 0, &task_b, parts, false).unwrap();
+        (0..parts).map(|part| vec![runs_a[part].clone(), runs_b[part].clone()]).collect()
+    }
+
+    #[test]
+    fn merge_reduce_matches_concat_sort_reduce() {
+        let p = Simple(WordCount);
+        for runs in shuffled_runs(3) {
+            let mut concat = Bucket::new();
+            for r in &runs {
+                concat.extend_from(r);
+            }
+            let oracle = run_reduce_task(&p, 0, concat).unwrap();
+            let merged = run_reduce_task_merge(&p, 0, &runs).unwrap();
+            assert_eq!(merged, oracle);
+        }
+    }
+
+    #[test]
+    fn merge_reduce_map_matches_concat_sort_reduce_map() {
+        // Chain records keyed 0..5 across two producer runs, per partition.
+        let runs_a = run_map_task_bucket(&Chain, 0, &chain_input(), 2, false).unwrap();
+        let runs_b = run_map_task_bucket(&Chain, 0, &chain_input(), 2, false).unwrap();
+        for part in 0..2 {
+            let runs = vec![runs_a[part].clone(), runs_b[part].clone()];
+            for parts in [1, 3] {
+                for combine in [false, true] {
+                    let mut concat = Bucket::new();
+                    for r in &runs {
+                        concat.extend_from(r);
+                    }
+                    let oracle = run_reduce_map_task(&Chain, 0, 0, concat, parts, combine).unwrap();
+                    let merged =
+                        run_reduce_map_task_merge(&Chain, 0, 0, &runs, parts, combine).unwrap();
+                    assert_eq!(merged, oracle, "part={part} parts={parts} combine={combine}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_kernels_honor_cancellation() {
+        let p = Simple(WordCount);
+        let flag = AtomicBool::new(true);
+        let runs = shuffled_runs(1).remove(0);
+        let r = run_reduce_task_merge_cancellable(&p, 0, &runs, Some(&flag));
+        assert!(matches!(r, Err(Error::Cancelled)));
+        let chain_runs = run_map_task_bucket(&Chain, 0, &chain_input(), 1, false).unwrap();
+        let r =
+            run_reduce_map_task_merge_cancellable(&Chain, 0, 0, &chain_runs, 2, true, Some(&flag));
+        assert!(matches!(r, Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn merge_kernels_on_empty_runs_are_empty() {
+        let p = Simple(WordCount);
+        assert!(run_reduce_task_merge(&p, 0, &[]).unwrap().is_empty());
+        assert!(run_reduce_task_merge(&p, 0, &[Bucket::new(), Bucket::new()]).unwrap().is_empty());
+        let fused = run_reduce_map_task_merge(&Chain, 0, 0, &[], 2, false).unwrap();
+        assert!(fused.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn merge_mode_parses() {
+        assert_eq!(MergeMode::parse("merge").unwrap(), MergeMode::Merge);
+        assert_eq!(MergeMode::parse("sort").unwrap(), MergeMode::Sort);
+        assert!(MergeMode::parse("bogus").is_err());
+        assert_eq!(MergeMode::default(), MergeMode::Merge);
     }
 
     #[test]

@@ -64,7 +64,32 @@ pub fn write_bucket_bytes(records: &[Record]) -> Vec<u8> {
 /// Parse a bucket file, appending its records to `out`'s arena. Amortizes
 /// to zero per-record allocations on the reduce input path.
 pub fn read_bucket_into(b: &[u8], out: &mut Bucket) -> Result<()> {
-    let unframed = unframe(b)?;
+    read_bucket_run(b, out).map(|_| ())
+}
+
+/// What [`read_bucket_run`] learned about one decoded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunInfo {
+    /// The wire bytes advertised a sorted run (`MRSF1` sorted-run flag,
+    /// spot-check passed). Raw/legacy payloads never claim.
+    pub claimed_sorted: bool,
+    /// Ground truth: the parsed records are in non-decreasing key order.
+    /// Established during the arena fill (one adjacent-key compare per
+    /// record), so the merge path never has to trust the claim.
+    pub sorted: bool,
+}
+
+/// Parse one bucket file as a *merge run*: like [`read_bucket_into`], but
+/// also reports whether the records arrived in sorted key order (and
+/// whether the producer advertised them as such). The sortedness verdict
+/// covers only the records this call appended.
+pub fn read_bucket_run(b: &[u8], out: &mut Bucket) -> Result<RunInfo> {
+    let (unframed, claimed_sorted) = if mrs_codec::is_framed(b) {
+        let (v, s) = mrs_codec::decode_frame_sorted(b).map_err(|e| Error::Codec(e.to_string()))?;
+        (std::borrow::Cow::Owned(v), s)
+    } else {
+        (unframe(b)?, false)
+    };
     let mut b = unframed.as_ref();
     let magic =
         b.get(..BUCKET_MAGIC.len()).ok_or_else(|| Error::Codec("bucket file too short".into()))?;
@@ -73,6 +98,8 @@ pub fn read_bucket_into(b: &[u8], out: &mut Bucket) -> Result<()> {
     }
     b = &b[BUCKET_MAGIC.len()..];
     let (count, mut rest) = read_varint(b)?;
+    let mut sorted = true;
+    let mut prev: Option<&[u8]> = None;
     for _ in 0..count {
         let (klen, r) = read_varint(rest)?;
         if klen > r.len() as u64 {
@@ -84,13 +111,17 @@ pub fn read_bucket_into(b: &[u8], out: &mut Bucket) -> Result<()> {
             return Err(Error::Codec("truncated bucket value".into()));
         }
         let (v, r) = r.split_at(vlen as usize);
+        if prev.is_some_and(|p| p > k) {
+            sorted = false;
+        }
+        prev = Some(k);
         out.push(k, v);
         rest = r;
     }
     if !rest.is_empty() {
         return Err(Error::Codec(format!("{} trailing bytes in bucket file", rest.len())));
     }
-    Ok(())
+    Ok(RunInfo { claimed_sorted, sorted })
 }
 
 /// Turn text into `(line_no, line)` records. Line numbers start at
@@ -209,6 +240,40 @@ mod tests {
         let last = bad.len() - 1;
         bad[last] ^= 0xff;
         assert!(matches!(read_records(&bad), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn run_info_detects_sortedness_and_claims() {
+        let sorted_recs: Vec<Record> =
+            vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())];
+        let unsorted_recs: Vec<Record> =
+            vec![(b"b".to_vec(), b"2".to_vec()), (b"a".to_vec(), b"1".to_vec())];
+
+        // Raw sorted bytes: no claim, but auto-detected sorted.
+        let mut out = Bucket::new();
+        let info = read_bucket_run(&write_bucket_bytes(&sorted_recs), &mut out).unwrap();
+        assert_eq!(info, RunInfo { claimed_sorted: false, sorted: true });
+
+        // Raw unsorted bytes: neither.
+        let mut out = Bucket::new();
+        let info = read_bucket_run(&write_bucket_bytes(&unsorted_recs), &mut out).unwrap();
+        assert_eq!(info, RunInfo { claimed_sorted: false, sorted: false });
+
+        // Framed with the sorted-run flag: claim survives and matches.
+        let framed = mrs_codec::encode_vec_sorted(
+            write_bucket_bytes(&sorted_recs),
+            mrs_codec::CompressMode::On,
+            true,
+        );
+        let mut out = Bucket::new();
+        let info = read_bucket_run(&framed, &mut out).unwrap();
+        assert_eq!(info, RunInfo { claimed_sorted: true, sorted: true });
+        assert_eq!(out.to_records(), sorted_recs);
+
+        // An empty bucket counts as sorted.
+        let mut out = Bucket::new();
+        let info = read_bucket_run(&write_bucket_bytes(&[]), &mut out).unwrap();
+        assert!(info.sorted);
     }
 
     proptest! {

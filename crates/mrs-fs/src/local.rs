@@ -56,7 +56,8 @@ impl Store for LocalFs {
         if base.is_dir() {
             walk(&base, &self.root, &mut out)?;
         }
-        out.sort();
+        // Paths are distinct, so the unstable sort is order-preserving.
+        out.sort_unstable();
         Ok(out)
     }
 

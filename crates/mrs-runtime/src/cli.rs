@@ -21,6 +21,7 @@
 //! prog --mrs master --mrs-eager-shuffle off  # classic barrier-then-fetch shuffle
 //! prog --mrs master --mrs-speculate off      # no straggler backup tasks
 //! prog --mrs master --mrs-speculate threshold=2.5  # back up at 2.5× median runtime
+//! prog --mrs master --mrs-merge sort   # concat+sort reduce input (merge oracle)
 //! ```
 //!
 //! A master runs the driver and serves slaves; a slave never runs the
@@ -36,7 +37,7 @@ use crate::proto::{ControlMode, DataPlane, SpeculateMode};
 use crate::serial::SerialRuntime;
 use crate::slave::{run_slave, SlaveOptions};
 use mrs_codec::CompressMode;
-use mrs_core::{Error, Program, Result};
+use mrs_core::{Error, MergeMode, Program, Result};
 use mrs_fs::TempFs;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -100,6 +101,11 @@ pub struct CliOptions {
     /// `off` is the non-speculative scheduler, kept as a first-class
     /// oracle. A no-op on the single-process implementations.
     pub speculate: SpeculateMode,
+    /// Reduce-input assembly (`--mrs-merge=merge|sort`, default merge):
+    /// stream a k-way merge over the sorted map-output runs, or
+    /// concatenate and sort — the legacy path, kept as a byte-identical
+    /// oracle. Applies to every implementation.
+    pub merge: MergeMode,
     /// Hidden test hook (`--mrs-test-delay data:index:ms`, repeatable):
     /// a slave delays the *first* attempt of the named task by `ms`,
     /// manufacturing a deterministic straggler for tests and benches.
@@ -123,6 +129,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     let mut keep_data = false;
     let mut eager_shuffle = true;
     let mut speculate = SpeculateMode::default();
+    let mut merge = MergeMode::default();
     let mut test_delays = Vec::new();
     let mut rest = Vec::new();
 
@@ -177,6 +184,10 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
             "--mrs-speculate" => {
                 let v = value_of("--mrs-speculate")?;
                 speculate = SpeculateMode::parse(&v)?;
+            }
+            "--mrs-merge" => {
+                let v = value_of("--mrs-merge")?;
+                merge = MergeMode::parse(&v)?;
             }
             "--mrs-test-delay" => {
                 let v = value_of("--mrs-test-delay")?;
@@ -246,6 +257,7 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
         keep_data,
         eager_shuffle,
         speculate,
+        merge,
         test_delays,
         rest,
     })
@@ -264,17 +276,20 @@ where
     match &options.implementation {
         Implementation::Serial => {
             let mut rt = SerialRuntime::new(program);
+            rt.set_merge_mode(options.merge);
             driver(&mut Job::new(&mut rt))
         }
         Implementation::MockParallel => {
             let spill = Arc::new(TempFs::new("mockparallel")?);
             let mut rt = LocalRuntime::mock_parallel_with(program, spill, options.compress);
             rt.set_keep_data(options.keep_data);
+            rt.set_merge_mode(options.merge);
             driver(&mut Job::new(&mut rt))
         }
         Implementation::Pool(workers) => {
             let mut rt = LocalRuntime::pool(program, *workers);
             rt.set_keep_data(options.keep_data);
+            rt.set_merge_mode(options.merge);
             driver(&mut Job::new(&mut rt))
         }
         Implementation::Master { port, port_file } => {
@@ -284,6 +299,7 @@ where
                 keep_data: options.keep_data,
                 eager_shuffle: options.eager_shuffle,
                 speculate: options.speculate,
+                merge: options.merge,
                 ..MasterConfig::default()
             };
             if let Some(lp) = options.long_poll {
@@ -313,6 +329,7 @@ where
             slave_opts.control = options.control;
             slave_opts.compress = options.compress;
             slave_opts.eager_shuffle = options.eager_shuffle;
+            slave_opts.merge = options.merge;
             slave_opts.test_delays = options.test_delays.clone();
             if let Some(lp) = options.long_poll {
                 slave_opts.long_poll = lp;
@@ -429,6 +446,13 @@ mod tests {
     }
 
     #[test]
+    fn parses_merge_flag() {
+        assert_eq!(opts(&[]).unwrap().merge, MergeMode::Merge, "merge reduce defaults on");
+        assert_eq!(opts(&["--mrs-merge", "merge"]).unwrap().merge, MergeMode::Merge);
+        assert_eq!(opts(&["--mrs-merge", "sort"]).unwrap().merge, MergeMode::Sort);
+    }
+
+    #[test]
     fn parses_test_delay_flag() {
         assert!(opts(&[]).unwrap().test_delays.is_empty());
         let o = opts(&["--mrs-test-delay", "1:0:500", "--mrs-test-delay", "3:2:50"]).unwrap();
@@ -459,6 +483,8 @@ mod tests {
         assert!(opts(&["--mrs-eager-shuffle", "sometimes"]).is_err());
         assert!(opts(&["--mrs-speculate", "perhaps"]).is_err());
         assert!(opts(&["--mrs-speculate", "threshold=0.5"]).is_err());
+        assert!(opts(&["--mrs-merge"]).is_err());
+        assert!(opts(&["--mrs-merge", "quantum"]).is_err());
         assert!(opts(&["--mrs-test-delay", "1:0"]).is_err());
         assert!(opts(&["--mrs-test-delay", "a:b:c"]).is_err());
     }
@@ -507,6 +533,7 @@ mod tests {
             keep_data: false,
             eager_shuffle: true,
             speculate: SpeculateMode::default(),
+            merge: MergeMode::default(),
             test_delays: vec![],
             rest: vec![],
         };

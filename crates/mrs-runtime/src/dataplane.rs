@@ -27,6 +27,17 @@
 //!   consumed, the time it sat ready in the cache before it was needed:
 //!   transfer + verify + decompress work that ran concurrently with map
 //!   execution instead of on the post-barrier critical path.
+//! - `merge_runs` / `presorted_runs` — input runs consumed by merge-mode
+//!   reduce tasks, and how many of them arrived already sorted (no
+//!   task-time sort needed). Equal when every producer upholds the
+//!   sorted-run guarantee.
+//! - `premerged_runs` — warm eager fragments the background pre-merge
+//!   collapsed into larger runs while maps were still running.
+//! - `merge_micros` — wall time reduce-like tasks spent assembling their
+//!   input (decode + any demoted-run sorts + the streamed merge is *not*
+//!   included: it overlaps the reduce itself).
+//! - `peak_reduce_records` — the largest record count any single
+//!   reduce-like task materialized as input.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -38,6 +49,11 @@ static EAGER_FRAGMENTS: AtomicU64 = AtomicU64::new(0);
 static EAGER_BYTES: AtomicU64 = AtomicU64::new(0);
 static RESIDUAL_FETCHES: AtomicU64 = AtomicU64::new(0);
 static OVERLAP_MICROS: AtomicU64 = AtomicU64::new(0);
+static MERGE_RUNS: AtomicU64 = AtomicU64::new(0);
+static PRESORTED_RUNS: AtomicU64 = AtomicU64::new(0);
+static PREMERGED_RUNS: AtomicU64 = AtomicU64::new(0);
+static MERGE_MICROS: AtomicU64 = AtomicU64::new(0);
+static PEAK_REDUCE_RECORDS: AtomicU64 = AtomicU64::new(0);
 
 /// Record one completed remote bucket transfer: `raw` decoded bytes
 /// moved as `wire` bytes on the socket.
@@ -76,6 +92,28 @@ pub fn record_overlap(overlap: std::time::Duration) {
     OVERLAP_MICROS.fetch_add(overlap.as_micros() as u64, Ordering::Relaxed);
 }
 
+/// Record one merge-mode reduce input being assembled: `runs` decoded
+/// runs (of which `presorted` arrived already sorted), `records` total
+/// input records, and the `assembly` wall time spent getting them
+/// merge-ready (decode plus any demotion sorts).
+pub fn record_merge_input(
+    runs: usize,
+    presorted: usize,
+    records: usize,
+    assembly: std::time::Duration,
+) {
+    MERGE_RUNS.fetch_add(runs as u64, Ordering::Relaxed);
+    PRESORTED_RUNS.fetch_add(presorted as u64, Ordering::Relaxed);
+    MERGE_MICROS.fetch_add(assembly.as_micros() as u64, Ordering::Relaxed);
+    PEAK_REDUCE_RECORDS.fetch_max(records as u64, Ordering::Relaxed);
+}
+
+/// Record the background pre-merge collapsing `fragments` warm eager
+/// fragments into one larger run.
+pub fn record_premerge(fragments: usize) {
+    PREMERGED_RUNS.fetch_add(fragments as u64, Ordering::Relaxed);
+}
+
 /// A point-in-time (or delta) view of the data-plane counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DataPlaneStats {
@@ -96,6 +134,18 @@ pub struct DataPlaneStats {
     /// Microseconds warm fragments sat ready before their reduce-like
     /// task consumed them (transfer hidden behind map execution).
     pub overlap_micros: u64,
+    /// Input runs consumed by merge-mode reduce tasks.
+    pub merge_runs: u64,
+    /// Of those, runs that arrived already in sorted key order.
+    pub presorted_runs: u64,
+    /// Warm fragments collapsed by the background pre-merge.
+    pub premerged_runs: u64,
+    /// Microseconds spent assembling merge-ready reduce inputs.
+    pub merge_micros: u64,
+    /// Largest record count one reduce-like task materialized as input.
+    /// A high-water gauge, not a sum — `since` carries the process-wide
+    /// peak through rather than subtracting.
+    pub peak_reduce_records: u64,
 }
 
 impl DataPlaneStats {
@@ -110,6 +160,11 @@ impl DataPlaneStats {
             eager_bytes: self.eager_bytes - earlier.eager_bytes,
             residual_fetches: self.residual_fetches - earlier.residual_fetches,
             overlap_micros: self.overlap_micros - earlier.overlap_micros,
+            merge_runs: self.merge_runs - earlier.merge_runs,
+            presorted_runs: self.presorted_runs - earlier.presorted_runs,
+            premerged_runs: self.premerged_runs - earlier.premerged_runs,
+            merge_micros: self.merge_micros - earlier.merge_micros,
+            peak_reduce_records: self.peak_reduce_records,
         }
     }
 }
@@ -125,6 +180,11 @@ pub fn snapshot() -> DataPlaneStats {
         eager_bytes: EAGER_BYTES.load(Ordering::Relaxed),
         residual_fetches: RESIDUAL_FETCHES.load(Ordering::Relaxed),
         overlap_micros: OVERLAP_MICROS.load(Ordering::Relaxed),
+        merge_runs: MERGE_RUNS.load(Ordering::Relaxed),
+        presorted_runs: PRESORTED_RUNS.load(Ordering::Relaxed),
+        premerged_runs: PREMERGED_RUNS.load(Ordering::Relaxed),
+        merge_micros: MERGE_MICROS.load(Ordering::Relaxed),
+        peak_reduce_records: PEAK_REDUCE_RECORDS.load(Ordering::Relaxed),
     }
 }
 

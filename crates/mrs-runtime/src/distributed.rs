@@ -252,6 +252,7 @@ impl LocalCluster {
         options.control = cfg.control;
         options.compress = cfg.compress;
         options.eager_shuffle = cfg.eager_shuffle;
+        options.merge = cfg.merge;
         let master = Master::new(cfg, plane.clone())?;
         let server = serve_master(master.clone(), 0).map_err(Error::Io)?;
         let sweeper_stop = Arc::new(AtomicBool::new(false));

@@ -71,6 +71,7 @@ pub use job::{Job, JobApi};
 pub use local::LocalRuntime;
 pub use master::{Master, MasterConfig};
 pub use mrs_codec::CompressMode;
+pub use mrs_core::MergeMode;
 pub use proto::{ControlMode, DataPlane, SpeculateMode};
 pub use serial::SerialRuntime;
 pub use slave::SlaveOptions;

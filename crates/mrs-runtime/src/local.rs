@@ -23,7 +23,10 @@ use crate::dataplane::DataPlaneStats;
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
 use mrs_codec::CompressMode;
-use mrs_core::task::{run_map_task, run_reduce_map_task, run_reduce_task};
+use mrs_core::task::{
+    run_map_task, run_reduce_map_task, run_reduce_map_task_merge, run_reduce_task,
+    run_reduce_task_merge, MergeMode,
+};
 use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
 use mrs_fs::format::write_bucket;
 use mrs_fs::Store;
@@ -96,6 +99,8 @@ struct State {
     pins: HashSet<u32>,
     /// When set, lifetime GC is disabled (`--mrs-keep-data`).
     keep_data: bool,
+    /// How reduce-like tasks assemble their input (`--mrs-merge`).
+    merge: MergeMode,
     /// Tasks not yet ready to run.
     pending: Vec<TaskRef>,
     /// Tasks ready to run.
@@ -154,6 +159,7 @@ impl LocalRuntime {
                 consumers: Vec::new(),
                 pins: HashSet::new(),
                 keep_data: false,
+                merge: MergeMode::default(),
                 pending: Vec::new(),
                 queue: VecDeque::new(),
                 error: None,
@@ -187,6 +193,11 @@ impl LocalRuntime {
     /// finishes; `--mrs-keep-data` routes here.
     pub fn set_keep_data(&mut self, keep: bool) {
         self.shared.state.lock().keep_data = keep;
+    }
+
+    /// Choose how reduce-like tasks assemble their input (`--mrs-merge`).
+    pub fn set_merge_mode(&mut self, merge: MergeMode) {
+        self.shared.state.lock().merge = merge;
     }
 }
 
@@ -258,7 +269,7 @@ fn task_input(st: &mut State, t: TaskRef, count_handover: bool) -> Result<TaskWo
         }
         DsState::ReduceOut { input, func, .. } => {
             let func = *func;
-            let (bucket, handovers) = gather_partition(st, *input, t.index)?;
+            let (input, handovers) = gather_partition(st, *input, t.index)?;
             if count_handover {
                 st.metrics.record_dataplane(DataPlaneStats {
                     shortcircuit_fetches: handovers,
@@ -266,12 +277,12 @@ fn task_input(st: &mut State, t: TaskRef, count_handover: bool) -> Result<TaskWo
                     ..DataPlaneStats::default()
                 });
             }
-            Ok(TaskWork::Reduce { input: bucket, func })
+            Ok(TaskWork::Reduce { input, func })
         }
         DsState::ReduceMapOut { input, reduce_func, map_func, parts, combine, .. } => {
             let (reduce_func, map_func, parts, combine) =
                 (*reduce_func, *map_func, *parts, *combine);
-            let (bucket, handovers) = gather_partition(st, *input, t.index)?;
+            let (input, handovers) = gather_partition(st, *input, t.index)?;
             if count_handover {
                 st.metrics.record_dataplane(DataPlaneStats {
                     shortcircuit_fetches: handovers,
@@ -279,32 +290,76 @@ fn task_input(st: &mut State, t: TaskRef, count_handover: bool) -> Result<TaskWo
                     ..DataPlaneStats::default()
                 });
             }
-            Ok(TaskWork::ReduceMap { input: bucket, reduce_func, map_func, parts, combine })
+            Ok(TaskWork::ReduceMap { input, reduce_func, map_func, parts, combine })
         }
         _ => Err(Error::Invalid("task on non-op dataset".into())),
     }
 }
 
-/// Concatenate partition `index` of every task of a map-like dataset,
-/// returning the gathered bucket and the number of in-memory handovers.
-fn gather_partition(st: &State, input: DataId, index: usize) -> Result<(Bucket, u64)> {
+/// One reduce-like task's gathered input, shaped by the [`MergeMode`]:
+/// the per-task runs kept separate for the k-way merge, or partition
+/// `index` of every task concatenated into one bucket.
+enum ReduceInput {
+    Runs(Vec<Bucket>),
+    Concat(Bucket),
+}
+
+/// Gather partition `index` of every task of a map-like dataset,
+/// returning the input (shaped by the configured merge mode) and the
+/// number of in-memory handovers.
+fn gather_partition(st: &mut State, input: DataId, index: usize) -> Result<(ReduceInput, u64)> {
+    let merge = st.merge;
+    let t0 = std::time::Instant::now();
     let (DsState::MapOut { tasks, .. } | DsState::ReduceMapOut { tasks, .. }) =
         &st.datasets[input.0 as usize]
     else {
         return Err(Error::Invalid("reduce input is not a map-like output".into()));
     };
-    let mut bucket = Bucket::new();
-    for task in tasks {
-        let buckets = task.as_ref().ok_or_else(|| Error::Invalid("map task not done".into()))?;
-        bucket.extend_from(&buckets[index]);
+    let handovers = tasks.len() as u64;
+    match merge {
+        MergeMode::Merge => {
+            let mut runs = Vec::with_capacity(tasks.len());
+            for task in tasks {
+                let buckets =
+                    task.as_ref().ok_or_else(|| Error::Invalid("map task not done".into()))?;
+                runs.push(buckets[index].clone());
+            }
+            // In-process runs come straight off the map kernels, which
+            // guarantee sorted output — every run counts as presorted.
+            let records = runs.iter().map(Bucket::len).sum();
+            st.metrics.record_merge_input(runs.len(), runs.len(), records, t0.elapsed());
+            Ok((ReduceInput::Runs(runs), handovers))
+        }
+        MergeMode::Sort => {
+            let mut bucket = Bucket::new();
+            for task in tasks {
+                let buckets =
+                    task.as_ref().ok_or_else(|| Error::Invalid("map task not done".into()))?;
+                bucket.extend_from(&buckets[index]);
+            }
+            Ok((ReduceInput::Concat(bucket), handovers))
+        }
     }
-    Ok((bucket, tasks.len() as u64))
 }
 
 enum TaskWork {
-    Map { records: Vec<Record>, func: FuncId, parts: usize, combine: bool },
-    Reduce { input: Bucket, func: FuncId },
-    ReduceMap { input: Bucket, reduce_func: FuncId, map_func: FuncId, parts: usize, combine: bool },
+    Map {
+        records: Vec<Record>,
+        func: FuncId,
+        parts: usize,
+        combine: bool,
+    },
+    Reduce {
+        input: ReduceInput,
+        func: FuncId,
+    },
+    ReduceMap {
+        input: ReduceInput,
+        reduce_func: FuncId,
+        map_func: FuncId,
+        parts: usize,
+        combine: bool,
+    },
 }
 
 fn worker_loop(shared: &Shared) {
@@ -376,7 +431,14 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
         }
         TaskWork::Reduce { input, func } => {
             let t0 = std::time::Instant::now();
-            let out = run_reduce_task(shared.program.as_ref(), func, input)?;
+            let out = match input {
+                ReduceInput::Runs(runs) => {
+                    run_reduce_task_merge(shared.program.as_ref(), func, &runs)?
+                }
+                ReduceInput::Concat(bucket) => {
+                    run_reduce_task(shared.program.as_ref(), func, bucket)?
+                }
+            };
             if let Some(store) = &shared.spill {
                 let path = format!("ds{}/reduce{}.mrsb", t.data.0, t.index);
                 store.put(
@@ -400,14 +462,24 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
         }
         TaskWork::ReduceMap { input, reduce_func, map_func, parts, combine } => {
             let t0 = std::time::Instant::now();
-            let out = run_reduce_map_task(
-                shared.program.as_ref(),
-                reduce_func,
-                map_func,
-                input,
-                parts,
-                combine,
-            )?;
+            let out = match input {
+                ReduceInput::Runs(runs) => run_reduce_map_task_merge(
+                    shared.program.as_ref(),
+                    reduce_func,
+                    map_func,
+                    &runs,
+                    parts,
+                    combine,
+                )?,
+                ReduceInput::Concat(bucket) => run_reduce_map_task(
+                    shared.program.as_ref(),
+                    reduce_func,
+                    map_func,
+                    bucket,
+                    parts,
+                    combine,
+                )?,
+            };
             let bytes: usize = out.iter().map(Bucket::byte_size).sum();
             if let Some(store) = &shared.spill {
                 for (p, b) in out.iter().enumerate() {
@@ -998,6 +1070,43 @@ mod tests {
         let r = job.reduce_data(m, 0).unwrap();
         assert!(job.reduce_map_data(r, 0, 0, 2, false).is_err());
         assert!(job.reduce_map_data(src, 0, 0, 2, false).is_err());
+    }
+
+    #[test]
+    fn merge_and_sort_modes_agree_across_planes() {
+        let data = input(&["the quick brown fox", "jumps over the lazy dog", "the end the"]);
+        let run = |mut rt: LocalRuntime, mode: MergeMode| {
+            rt.set_merge_mode(mode);
+            let out = {
+                let mut job = Job::new(&mut rt);
+                job.map_reduce(data.clone(), 3, 4, false).unwrap()
+            };
+            (out, rt.metrics())
+        };
+        let (merged, mm) =
+            run(LocalRuntime::pool(Arc::new(Simple(WordCount)), 4), MergeMode::Merge);
+        let (sorted, sm) = run(LocalRuntime::pool(Arc::new(Simple(WordCount)), 4), MergeMode::Sort);
+        assert_eq!(merged, sorted, "merge mode diverged from the sort oracle");
+        // 4 partitions × 3 map tasks, every run sorted at the producer.
+        assert_eq!(mm.merge_runs(), 12);
+        assert_eq!(mm.presorted_runs(), 12);
+        assert!(mm.peak_reduce_records() > 0);
+        assert_eq!(sm.merge_runs(), 0);
+        let (mock, _) = run(
+            LocalRuntime::mock_parallel(Arc::new(Simple(WordCount)), Arc::new(MemFs::new())),
+            MergeMode::Merge,
+        );
+        assert_eq!(mock, merged);
+    }
+
+    #[test]
+    fn reducemap_merge_mode_matches_sort_mode() {
+        let run = |mode: MergeMode| {
+            let mut rt = LocalRuntime::pool(Arc::new(Simple(Rotate)), 3);
+            rt.set_merge_mode(mode);
+            rotate_fused(&mut rt, 4, 3)
+        };
+        assert_eq!(run(MergeMode::Merge), run(MergeMode::Sort));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::proto::{
     SpeculateMode, TaskKind, TaskMsg, TaskReport,
 };
 use mrs_codec::CompressMode;
-use mrs_core::{Error, FuncId, Record, Result};
+use mrs_core::{Error, FuncId, MergeMode, Record, Result};
 use mrs_fs::format::write_bucket_bytes;
 use mrs_fs::Store;
 use mrs_rpc::{DataServer, FrameCache};
@@ -82,6 +82,11 @@ pub struct MasterConfig {
     /// median completed-task runtime gets a backup attempt on a different
     /// slave; first completion wins and the loser is cancelled.
     pub speculate: SpeculateMode,
+    /// How reduce-like tasks assemble their input (`--mrs-merge`):
+    /// streaming k-way merge over sorted runs (default) or the legacy
+    /// concatenate-and-sort oracle. [`crate::LocalCluster`] propagates
+    /// the setting to its slaves.
+    pub merge: MergeMode,
 }
 
 impl Default for MasterConfig {
@@ -96,6 +101,7 @@ impl Default for MasterConfig {
             keep_data: false,
             eager_shuffle: true,
             speculate: SpeculateMode::default(),
+            merge: MergeMode::default(),
         }
     }
 }

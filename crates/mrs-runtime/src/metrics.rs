@@ -42,6 +42,11 @@ pub struct JobMetrics {
     speculative_losses: u64,
     cancelled_tasks: u64,
     straggler_micros_saved: u64,
+    merge_runs: u64,
+    presorted_runs: u64,
+    premerged_runs: u64,
+    merge_micros: u64,
+    peak_reduce_records: u64,
 }
 
 impl JobMetrics {
@@ -235,6 +240,11 @@ impl JobMetrics {
         self.eager_bytes += stats.eager_bytes;
         self.residual_fetches += stats.residual_fetches;
         self.overlap_micros += stats.overlap_micros;
+        self.merge_runs += stats.merge_runs;
+        self.presorted_runs += stats.presorted_runs;
+        self.premerged_runs += stats.premerged_runs;
+        self.merge_micros += stats.merge_micros;
+        self.peak_reduce_records = self.peak_reduce_records.max(stats.peak_reduce_records);
     }
 
     /// Decoded (post-decompress) size of every bucket fetched over HTTP.
@@ -392,6 +402,53 @@ impl JobMetrics {
     pub fn straggler_ms_saved(&self) -> f64 {
         self.straggler_micros_saved as f64 / 1000.0
     }
+
+    /// Record one merge-mode reduce input assembled in-process (the local
+    /// runtimes' twin of [`crate::dataplane::record_merge_input`]): `runs`
+    /// input runs, of which `presorted` arrived already sorted, `records`
+    /// total records, assembled in `assembly` wall time.
+    pub fn record_merge_input(
+        &mut self,
+        runs: usize,
+        presorted: usize,
+        records: usize,
+        assembly: Duration,
+    ) {
+        self.merge_runs += runs as u64;
+        self.presorted_runs += presorted as u64;
+        self.merge_micros += assembly.as_micros() as u64;
+        self.peak_reduce_records = self.peak_reduce_records.max(records as u64);
+    }
+
+    /// Input runs consumed by merge-mode reduce-like tasks.
+    pub fn merge_runs(&self) -> u64 {
+        self.merge_runs
+    }
+
+    /// Of [`Self::merge_runs`], runs that arrived already in sorted key
+    /// order (no task-time sort was needed). Equal to `merge_runs` when
+    /// every producer upholds the sorted-run guarantee.
+    pub fn presorted_runs(&self) -> u64 {
+        self.presorted_runs
+    }
+
+    /// Warm eager fragments the background pre-merge collapsed into
+    /// larger runs while maps were still running.
+    pub fn premerged_runs(&self) -> u64 {
+        self.premerged_runs
+    }
+
+    /// Milliseconds reduce-like tasks spent assembling merge-ready input
+    /// (decode plus any demotion sorts). Fractional for the same reason
+    /// as [`Self::overlap_ms`].
+    pub fn merge_ms(&self) -> f64 {
+        self.merge_micros as f64 / 1000.0
+    }
+
+    /// Largest record count one reduce-like task materialized as input.
+    pub fn peak_reduce_records(&self) -> u64 {
+        self.peak_reduce_records
+    }
 }
 
 #[cfg(test)]
@@ -426,6 +483,11 @@ mod tests {
             eager_bytes: 640,
             residual_fetches: 2,
             overlap_micros: 2500,
+            merge_runs: 6,
+            presorted_runs: 6,
+            premerged_runs: 4,
+            merge_micros: 1500,
+            peak_reduce_records: 900,
         });
         assert_eq!(m.map_ops(), 2);
         assert_eq!(m.reduce_ops(), 1);
@@ -453,6 +515,22 @@ mod tests {
         assert_eq!(m.residual_fetches(), 2);
         assert!((m.overlap_ms() - 2.5).abs() < 1e-9);
         assert!(m.map_time() >= Duration::from_millis(10));
+        assert_eq!(m.merge_runs(), 6);
+        assert_eq!(m.presorted_runs(), 6);
+        assert_eq!(m.premerged_runs(), 4);
+        assert_eq!(m.peak_reduce_records(), 900);
+        assert!((m.merge_ms() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_counters_accumulate_and_track_peak() {
+        let mut m = JobMetrics::default();
+        m.record_merge_input(4, 3, 1000, Duration::from_micros(700));
+        m.record_merge_input(2, 2, 250, Duration::from_micros(300));
+        assert_eq!(m.merge_runs(), 6);
+        assert_eq!(m.presorted_runs(), 5);
+        assert_eq!(m.peak_reduce_records(), 1000, "peak is a max, not a sum");
+        assert!((m.merge_ms() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 use crate::data::{gather, DataId, Dataset};
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
-use mrs_core::task::{run_map_task, run_reduce_map_task, run_reduce_task};
+use mrs_core::task::{
+    run_map_task, run_reduce_map_task, run_reduce_map_task_merge, run_reduce_task,
+    run_reduce_task_merge, MergeMode,
+};
 use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
 use std::sync::Arc;
 
@@ -17,6 +20,7 @@ pub struct SerialRuntime {
     program: Arc<dyn Program>,
     datasets: Vec<SerialData>,
     metrics: JobMetrics,
+    merge: MergeMode,
 }
 
 enum SerialData {
@@ -30,15 +34,55 @@ enum SerialData {
     Discarded,
 }
 
+/// One partition's gathered reduce input, shaped by the [`MergeMode`].
+enum ReduceInput {
+    Runs(Vec<Bucket>),
+    Concat(Bucket),
+}
+
 impl SerialRuntime {
     /// A serial job for `program`.
     pub fn new(program: Arc<dyn Program>) -> Self {
-        SerialRuntime { program, datasets: Vec::new(), metrics: JobMetrics::default() }
+        SerialRuntime {
+            program,
+            datasets: Vec::new(),
+            metrics: JobMetrics::default(),
+            merge: MergeMode::default(),
+        }
+    }
+
+    /// Choose how reduce-like tasks assemble their input (`--mrs-merge`).
+    pub fn set_merge_mode(&mut self, merge: MergeMode) {
+        self.merge = merge;
     }
 
     /// Metrics collected so far.
     pub fn metrics(&self) -> &JobMetrics {
         &self.metrics
+    }
+
+    /// Gather partition `p` of every task as the reduce input, in the
+    /// shape the configured [`MergeMode`] wants: either the per-task runs
+    /// kept separate for the k-way merge, or one concatenated bucket.
+    fn partition_input(&mut self, tasks: &[Vec<Bucket>], p: usize) -> ReduceInput {
+        match self.merge {
+            MergeMode::Merge => {
+                let t0 = std::time::Instant::now();
+                let runs: Vec<Bucket> = tasks.iter().map(|task| task[p].clone()).collect();
+                let records: usize = runs.iter().map(Bucket::len).sum();
+                // In-process runs come straight off the map kernels, which
+                // guarantee sorted output — every run counts as presorted.
+                self.metrics.record_merge_input(runs.len(), runs.len(), records, t0.elapsed());
+                ReduceInput::Runs(runs)
+            }
+            MergeMode::Sort => {
+                let mut bucket = Bucket::new();
+                for task in tasks {
+                    bucket.extend_from(&task[p]);
+                }
+                ReduceInput::Concat(bucket)
+            }
+        }
     }
 
     fn get(&self, id: DataId) -> Result<&SerialData> {
@@ -90,11 +134,14 @@ impl JobApi for SerialRuntime {
         let t0 = std::time::Instant::now();
         let mut splits = Vec::with_capacity(parts);
         for p in 0..parts {
-            let mut bucket = Bucket::new();
-            for task in &tasks {
-                bucket.extend_from(&task[p]);
-            }
-            let out = run_reduce_task(self.program.as_ref(), func, bucket)?;
+            let out = match self.partition_input(&tasks, p) {
+                ReduceInput::Runs(runs) => {
+                    run_reduce_task_merge(self.program.as_ref(), func, &runs)?
+                }
+                ReduceInput::Concat(bucket) => {
+                    run_reduce_task(self.program.as_ref(), func, bucket)?
+                }
+            };
             splits.push(out.into_records());
         }
         self.metrics.record_reduce(t0.elapsed());
@@ -117,18 +164,24 @@ impl JobApi for SerialRuntime {
         let t0 = std::time::Instant::now();
         let mut out_tasks = Vec::with_capacity(in_parts);
         for p in 0..in_parts {
-            let mut bucket = Bucket::new();
-            for task in &tasks {
-                bucket.extend_from(&task[p]);
-            }
-            let out = run_reduce_map_task(
-                self.program.as_ref(),
-                reduce_func,
-                map_func,
-                bucket,
-                parts,
-                combine,
-            )?;
+            let out = match self.partition_input(&tasks, p) {
+                ReduceInput::Runs(runs) => run_reduce_map_task_merge(
+                    self.program.as_ref(),
+                    reduce_func,
+                    map_func,
+                    &runs,
+                    parts,
+                    combine,
+                )?,
+                ReduceInput::Concat(bucket) => run_reduce_map_task(
+                    self.program.as_ref(),
+                    reduce_func,
+                    map_func,
+                    bucket,
+                    parts,
+                    combine,
+                )?,
+            };
             out_tasks.push(out);
         }
         let elapsed = t0.elapsed();
@@ -343,6 +396,44 @@ mod tests {
             records
         };
         assert_eq!(unfused, fused, "fused chain diverged from unfused");
+    }
+
+    #[test]
+    fn merge_and_sort_modes_agree() {
+        let run = |mode: MergeMode| {
+            let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+            rt.set_merge_mode(mode);
+            let out = {
+                let mut job = Job::new(&mut rt);
+                job.map_reduce(input(), 2, 3, false).unwrap()
+            };
+            let m = rt.metrics().clone();
+            (out, m)
+        };
+        let (merged, mm) = run(MergeMode::Merge);
+        let (sorted, sm) = run(MergeMode::Sort);
+        assert_eq!(merged, sorted, "merge mode diverged from the sort oracle");
+        assert!(mm.merge_runs() > 0);
+        assert_eq!(mm.merge_runs(), mm.presorted_runs(), "in-process runs are always sorted");
+        assert!(mm.peak_reduce_records() > 0);
+        assert_eq!(sm.merge_runs(), 0, "sort mode never touches the merger");
+    }
+
+    #[test]
+    fn reducemap_merge_mode_matches_sort_mode() {
+        let run = |mode: MergeMode| {
+            let mut rt = SerialRuntime::new(Arc::new(Simple(Relabel)));
+            rt.set_merge_mode(mode);
+            let mut job = Job::new(&mut rt);
+            let src = job.local_data(relabel_input(), 1).unwrap();
+            let mut m = job.map_data(src, 0, 3, false).unwrap();
+            for _ in 0..3 {
+                m = job.reduce_map_data(m, 0, 0, 3, false).unwrap();
+            }
+            let out = job.reduce_data(m, 0).unwrap();
+            job.fetch_all(out).unwrap()
+        };
+        assert_eq!(run(MergeMode::Merge), run(MergeMode::Sort));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! runs over real XML-RPC (production/distributed tests) or direct method
 //! calls (scheduler unit tests).
 
-use crate::dataplane::{record_eager_fragment, record_overlap, record_residual_fetch};
+use crate::dataplane::{
+    record_eager_fragment, record_merge_input, record_overlap, record_premerge,
+    record_residual_fetch,
+};
 use crate::master::SlaveId;
 use crate::proto::{
     fetch_bucket_bytes_local_first, Assignment, CancelOrder, ControlMode, DataPlane, Dispatch,
@@ -26,10 +29,12 @@ use crate::proto::{
 };
 use mrs_codec::CompressMode;
 use mrs_core::task::{
-    run_map_task_bucket_cancellable, run_reduce_map_task_cancellable, run_reduce_task_cancellable,
+    run_map_task_bucket_cancellable, run_reduce_map_task_cancellable,
+    run_reduce_map_task_merge_cancellable, run_reduce_task_cancellable,
+    run_reduce_task_merge_cancellable,
 };
-use mrs_core::{Bucket, Error, Program, Result};
-use mrs_fs::format::{read_bucket_into, write_bucket};
+use mrs_core::{merge_runs, Bucket, Error, MergeMode, Program, Result};
+use mrs_fs::format::{read_bucket_into, read_bucket_run, write_bucket};
 use mrs_fs::Store;
 use mrs_rpc::{DataServer, FrameCache};
 use parking_lot::{Condvar, Mutex};
@@ -149,6 +154,10 @@ pub struct SlaveOptions {
     /// seed reduce-input fetches from the warm cache. Off restores the
     /// classic fetch-everything-at-task-time path.
     pub eager_shuffle: bool,
+    /// How reduce-like tasks assemble their input (`--mrs-merge`):
+    /// stream a k-way merge over the decoded sorted runs (default), or
+    /// concatenate and sort — the legacy path, kept as the oracle.
+    pub merge: MergeMode,
     /// Test-only straggler injection (`--mrs-test-delay data:index:ms`):
     /// before running the *first* attempt of the named task this slave
     /// sleeps the given milliseconds (checking its cancellation flag, so
@@ -167,6 +176,7 @@ impl Default for SlaveOptions {
             long_poll: Duration::from_secs(1),
             compress: CompressMode::default(),
             eager_shuffle: true,
+            merge: MergeMode::default(),
             test_delays: Vec::new(),
         }
     }
@@ -195,6 +205,10 @@ struct EagerHalf {
     state: Mutex<EagerState>,
     /// Wakes the fetcher when fragments are announced (or on shutdown).
     cv: Condvar,
+    /// Pre-merge warm fragments into larger runs while maps still run
+    /// (merge-mode reduce only: the sort oracle stays byte-for-byte on
+    /// the classic per-fragment path).
+    premerge: bool,
 }
 
 struct EagerState {
@@ -207,9 +221,34 @@ struct EagerState {
     /// ready: the overlap metric is how long a fragment sat here before
     /// its task consumed it.
     warm: HashMap<String, (Vec<u8>, Instant)>,
+    /// Runs the background pre-merge built out of warm fragments, keyed
+    /// by the first covered URL. Consumed only when a task's input list
+    /// carries the covered URLs contiguously in the same order; any
+    /// mismatch (a producer was re-executed under a new URL) drops the
+    /// whole entry and the task falls back to residual fetches.
+    premerged: HashMap<String, PremergedRun>,
     /// Shutdown flag mirroring the pipe's drain/halt for the fetcher.
     stop: bool,
 }
+
+/// One background-merged run: several contiguous map-output fragments
+/// collapsed into a single sorted `MRSB1` bucket.
+struct PremergedRun {
+    /// Raw sorted bucket bytes (re-parsed as one presorted run).
+    bytes: Vec<u8>,
+    /// The fragment URLs this run covers, in producer task-index order —
+    /// the order the master lists reduce inputs in.
+    urls: Vec<String>,
+    /// When the merge finished (feeds the overlap metric on consumption).
+    ready_at: Instant,
+}
+
+/// Background pre-merge fires once this many contiguous warm fragments
+/// pile up for one (dataset, partition)...
+const PREMERGE_MIN: usize = 4;
+/// ...and collapses at most this many per merged run (bounded fan-in, so
+/// one giant cascade never starves the fetch queue).
+const PREMERGE_FAN_IN: usize = 8;
 
 struct PipeState {
     /// Assignments accepted from the master, inputs not yet fetched.
@@ -239,7 +278,7 @@ struct PipeState {
 }
 
 impl Pipe {
-    fn new(eager: bool) -> Pipe {
+    fn new(eager: bool, premerge: bool) -> Pipe {
         Pipe {
             state: Mutex::new(PipeState {
                 fetch_queue: VecDeque::new(),
@@ -260,9 +299,11 @@ impl Pipe {
                     queue: VecDeque::new(),
                     seen: HashSet::new(),
                     warm: HashMap::new(),
+                    premerged: HashMap::new(),
                     stop: false,
                 }),
                 cv: Condvar::new(),
+                premerge,
             }),
         }
     }
@@ -347,6 +388,7 @@ impl Pipe {
         st.queue.retain(|u| !u.contains(&needle));
         st.seen.retain(|u| !u.contains(&needle));
         st.warm.retain(|u, _| !u.contains(&needle));
+        st.premerged.retain(|u, _| !u.contains(&needle));
     }
 
     fn halted(&self) -> bool {
@@ -389,7 +431,7 @@ pub fn run_slave(
     let id = link.signin(&authority, capacity)?;
 
     let piggyback = matches!(opts.control, ControlMode::LongPoll);
-    let pipe = Pipe::new(opts.eager_shuffle);
+    let pipe = Pipe::new(opts.eager_shuffle, opts.merge == MergeMode::Merge);
     let mut result: Result<()> = Ok(());
     std::thread::scope(|s| {
         let mut handles: Vec<_> = (0..workers)
@@ -405,6 +447,7 @@ pub fn run_slave(
                         &pipe,
                         piggyback,
                         opts.compress,
+                        opts.merge,
                         &opts.test_delays,
                     )
                 })
@@ -666,12 +709,134 @@ fn eager_fetch_loop(
                 if !st.stop {
                     st.warm.insert(url, (bytes, Instant::now()));
                 }
+                drop(st);
+                if eg.premerge {
+                    premerge_warm(eg);
+                }
             }
             Err(_) => {
                 eg.state.lock().seen.remove(&url);
             }
         }
     }
+}
+
+/// Pull the (dataset, task index, partition) coordinates out of a bucket
+/// URL (`…/s{slave}/d{data}/t{index}/b{p}.mrsb`). Returns `None` for
+/// anything that does not look like a map-output bucket path.
+fn parse_bucket_coords(url: &str) -> Option<(u64, u64, u64)> {
+    let mut segs = url.rsplit('/');
+    let part = segs.next()?.strip_prefix('b')?.strip_suffix(".mrsb")?.parse().ok()?;
+    let index = segs.next()?.strip_prefix('t')?.parse().ok()?;
+    let data = segs.next()?.strip_prefix('d')?.parse().ok()?;
+    Some((data, index, part))
+}
+
+/// The background pre-merge: when enough warm fragments for one
+/// (dataset, partition) are contiguous by producer task index, collapse
+/// up to [`PREMERGE_FAN_IN`] of them into a single sorted run so the
+/// consuming reduce merges k/8 wide instead of k wide. Runs on the
+/// fetcher thread between fetches — the merge work happens while maps
+/// are still executing, off the post-barrier critical path.
+///
+/// Only *contiguous* fragments merge, and the merged run remembers the
+/// exact URLs it covers in task-index order: because the master lists
+/// reduce inputs in producer task-index order and the streaming merge
+/// breaks key ties by run slot, splicing the merged run into the covered
+/// slots reproduces the per-fragment merge byte for byte.
+fn premerge_warm(eg: &EagerHalf) {
+    loop {
+        // Pick one mergeable streak under the lock, taking its fragments
+        // out of the warm cache; decode and merge outside the lock so
+        // task-time consumers are never blocked behind merge work.
+        let streak: Vec<(String, (Vec<u8>, Instant))> = {
+            let mut st = eg.state.lock();
+            if st.stop {
+                return;
+            }
+            let Some(urls) = find_premerge_streak(&st.warm) else { return };
+            urls.into_iter()
+                .map(|u| {
+                    let entry = st.warm.remove(&u).expect("streak urls come from the warm cache");
+                    (u, entry)
+                })
+                .collect()
+        };
+        let mut runs = Vec::with_capacity(streak.len());
+        let mut ok = true;
+        for (_, (bytes, _)) in &streak {
+            let mut run = Bucket::new();
+            match read_bucket_run(bytes, &mut run) {
+                Ok(info) => {
+                    if !info.sorted {
+                        // Same demotion the task-time path applies.
+                        run.sort();
+                    }
+                    runs.push(run);
+                }
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            // Undecodable fragment: put the streak back untouched and let
+            // the task-time path surface the error against its URL.
+            let mut st = eg.state.lock();
+            for (u, entry) in streak {
+                st.warm.insert(u, entry);
+            }
+            return;
+        }
+        let fragments = streak.len();
+        let merged = write_bucket(&merge_runs(&runs));
+        drop(runs);
+        let mut st = eg.state.lock();
+        if st.stop {
+            return;
+        }
+        record_premerge(fragments);
+        let urls: Vec<String> = streak.into_iter().map(|(u, _)| u).collect();
+        let key = urls[0].clone();
+        st.premerged.insert(key, PremergedRun { bytes: merged, urls, ready_at: Instant::now() });
+    }
+}
+
+/// Find one streak of at least [`PREMERGE_MIN`] warm fragments sharing a
+/// (dataset, partition) whose producer task indices are consecutive,
+/// returning up to [`PREMERGE_FAN_IN`] URLs in task-index order.
+fn find_premerge_streak(warm: &HashMap<String, (Vec<u8>, Instant)>) -> Option<Vec<String>> {
+    let mut groups: HashMap<(u64, u64), Vec<(u64, &String)>> = HashMap::new();
+    for url in warm.keys() {
+        if let Some((data, index, part)) = parse_bucket_coords(url) {
+            groups.entry((data, part)).or_default().push((index, url));
+        }
+    }
+    for mut members in groups.into_values() {
+        members.sort_unstable_by_key(|&(i, _)| i);
+        // Two attempts of one task can both sit warm under different
+        // URLs; keep one — if it turns out to be the superseded attempt,
+        // the exact-URL match at consumption drops the merged run and
+        // the task falls back to cold fetches.
+        members.dedup_by_key(|&mut (i, _)| i);
+        let mut start = 0;
+        for i in 1..=members.len() {
+            if i == members.len() || members[i].0 != members[i - 1].0 + 1 {
+                if i - start >= PREMERGE_MIN {
+                    return Some(
+                        members[start..i]
+                            .iter()
+                            .take(PREMERGE_FAN_IN)
+                            .map(|&(_, u)| u.clone())
+                            .collect(),
+                    );
+                }
+                start = i;
+            }
+        }
+    }
+    None
 }
 
 /// One compute worker: pop prefetched tasks, execute, report. With
@@ -690,6 +855,7 @@ fn worker_loop(
     pipe: &Pipe,
     piggyback: bool,
     compress: CompressMode,
+    merge: MergeMode,
     delays: &[(u32, usize, u64)],
 ) -> Result<()> {
     // Per-worker scratch arena, reused across map tasks.
@@ -754,6 +920,7 @@ fn worker_loop(
                 id,
                 &mut scratch,
                 compress,
+                merge,
                 Some(&cancel),
             )
         };
@@ -858,8 +1025,29 @@ fn fetch_all_bucket_bytes(
     if let Some(eg) = eager {
         let now = Instant::now();
         let mut st = eg.state.lock();
-        for (i, url) in urls.iter().enumerate() {
-            match st.warm.remove(url) {
+        let mut i = 0;
+        while i < urls.len() {
+            // A background-merged run covers several input slots at once
+            // — but only when its covered URLs appear verbatim and
+            // contiguously here (re-execution renames a producer's URL,
+            // so a stale merged run simply never matches and is dropped).
+            if let Some(run) = st.premerged.get(&urls[i]) {
+                let n = run.urls.len();
+                if urls[i..].len() >= n && urls[i..i + n] == run.urls[..] {
+                    let run = st.premerged.remove(&urls[i]).expect("entry just found");
+                    record_overlap(now.saturating_duration_since(run.ready_at));
+                    slots[i] = Some(run.bytes);
+                    // Covered slots carry an empty marker: downstream
+                    // parsing skips them, the merged run stands in.
+                    for slot in slots.iter_mut().skip(i + 1).take(n - 1) {
+                        *slot = Some(Vec::new());
+                    }
+                    i += n;
+                    continue;
+                }
+                st.premerged.remove(&urls[i]);
+            }
+            match st.warm.remove(&urls[i]) {
                 Some((bytes, ready_at)) => {
                     // How long the fragment sat ready is transfer latency
                     // that ran concurrently with map execution.
@@ -868,6 +1056,7 @@ fn fetch_all_bucket_bytes(
                 }
                 None => residue.push(i),
             }
+            i += 1;
         }
         // The residue is about to be fetched right here; drop any of it
         // still queued for the background fetcher so the duplicate fetch
@@ -937,6 +1126,7 @@ fn process_task(
     slave: SlaveId,
     scratch: &mut Bucket,
     compress: CompressMode,
+    merge: MergeMode,
     cancel: Option<&AtomicBool>,
 ) -> std::result::Result<Vec<String>, TaskError> {
     let parse_err = |url: &String, e: mrs_core::Error| TaskError {
@@ -950,10 +1140,52 @@ fn process_task(
         failed_input: None,
     };
 
+    // Gather a reduce-like task's input per the merge mode: as separate
+    // merge runs (Merge) or one concatenated arena (Sort, the oracle).
+    // Empty slots are pre-merge placeholders — their records live in the
+    // merged run occupying the slot of the first URL they covered.
+    let gather_runs = || -> std::result::Result<Vec<Bucket>, TaskError> {
+        let t0 = Instant::now();
+        let mut runs = Vec::with_capacity(raw.len());
+        let mut presorted = 0usize;
+        let mut records = 0usize;
+        for (url, bytes) in task.inputs.iter().zip(raw) {
+            if bytes.is_empty() {
+                continue;
+            }
+            let mut run = Bucket::new();
+            let info = read_bucket_run(bytes, &mut run).map_err(|e| parse_err(url, e))?;
+            if info.sorted {
+                presorted += 1;
+            } else {
+                // Legacy/unflagged producer: sort on arrival, then merge
+                // as usual — the demotion keeps the fallback correct.
+                run.sort();
+            }
+            records += run.len();
+            runs.push(run);
+        }
+        record_merge_input(runs.len(), presorted, records, t0.elapsed());
+        Ok(runs)
+    };
+    let gather_concat = || -> std::result::Result<Bucket, TaskError> {
+        let mut input = Bucket::new();
+        for (url, bytes) in task.inputs.iter().zip(raw) {
+            if bytes.is_empty() {
+                continue;
+            }
+            read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
+        }
+        Ok(input)
+    };
+
     // Execute and serialize output buckets. All paths decode straight
     // into an arena — no per-record `Vec<u8>` allocations; the map path
     // additionally reuses the worker's scratch arena across tasks.
-    let buckets: Vec<Vec<u8>> = match task.kind {
+    // Every output rides with its sortedness so the wire frame can carry
+    // the sorted-run flag (the kernels sort map-side, so in practice
+    // every bucket qualifies).
+    let buckets: Vec<(Vec<u8>, bool)> = match task.kind {
         TaskKind::Map => {
             scratch.clear();
             for (url, bytes) in task.inputs.iter().zip(raw) {
@@ -969,41 +1201,56 @@ fn process_task(
             )
             .map_err(run_err)?
             .iter()
-            .map(write_bucket)
+            .map(|b| (write_bucket(b), b.is_sorted()))
             .collect()
         }
         TaskKind::Reduce => {
-            // Reduce consumes its input arena (sorted in place), so it
-            // cannot reuse the scratch buffer.
-            let mut input = Bucket::new();
-            for (url, bytes) in task.inputs.iter().zip(raw) {
-                read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
-            }
-            let out =
-                run_reduce_task_cancellable(program, task.func, input, cancel).map_err(run_err)?;
-            vec![write_bucket(&out)]
+            let out = match merge {
+                MergeMode::Merge => {
+                    let runs = gather_runs()?;
+                    run_reduce_task_merge_cancellable(program, task.func, &runs, cancel)
+                        .map_err(run_err)?
+                }
+                // Reduce consumes its input arena (sorted in place), so
+                // it cannot reuse the scratch buffer.
+                MergeMode::Sort => {
+                    run_reduce_task_cancellable(program, task.func, gather_concat()?, cancel)
+                        .map_err(run_err)?
+                }
+            };
+            let sorted = out.is_sorted();
+            vec![(write_bucket(&out), sorted)]
         }
         TaskKind::ReduceMap => {
             // Fused reduce+map: gather one partition like a reduce, then
             // feed each reduced record straight into the next map — one
             // task where the unfused plan schedules and shuffles two.
-            let mut input = Bucket::new();
-            for (url, bytes) in task.inputs.iter().zip(raw) {
-                read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
-            }
-            run_reduce_map_task_cancellable(
-                program,
-                task.func,
-                task.map_func,
-                input,
-                task.parts,
-                task.combine,
-                cancel,
-            )
-            .map_err(run_err)?
-            .iter()
-            .map(write_bucket)
-            .collect()
+            let out = match merge {
+                MergeMode::Merge => {
+                    let runs = gather_runs()?;
+                    run_reduce_map_task_merge_cancellable(
+                        program,
+                        task.func,
+                        task.map_func,
+                        &runs,
+                        task.parts,
+                        task.combine,
+                        cancel,
+                    )
+                    .map_err(run_err)?
+                }
+                MergeMode::Sort => run_reduce_map_task_cancellable(
+                    program,
+                    task.func,
+                    task.map_func,
+                    gather_concat()?,
+                    task.parts,
+                    task.combine,
+                    cancel,
+                )
+                .map_err(run_err)?,
+            };
+            out.iter().map(|b| (write_bucket(b), b.is_sorted())).collect()
         }
     };
 
@@ -1012,9 +1259,9 @@ fn process_task(
     // here; every reader — remote peer, colocated short-circuit, shared
     // store — gets the same encoded bytes.
     let mut urls = Vec::with_capacity(buckets.len());
-    for (p, bytes) in buckets.into_iter().enumerate() {
+    for (p, (bytes, sorted)) in buckets.into_iter().enumerate() {
         let path = format!("s{slave}/d{}/t{}/b{p}.mrsb", task.data, task.index);
-        let wire = mrs_codec::encode_vec(bytes, compress);
+        let wire = mrs_codec::encode_vec_sorted(bytes, compress, sorted);
         match plane {
             DataPlane::Direct => {
                 frames.insert(&path, wire);
@@ -1161,6 +1408,130 @@ mod tests {
 
         master.finish();
         handle.join().unwrap().unwrap();
+    }
+
+    /// The sort oracle (`--mrs-merge=sort`) must produce the same answer
+    /// as the default merge path the other tests exercise.
+    #[test]
+    fn sort_mode_slave_matches_merge_mode() {
+        let master = Master::new(MasterConfig::default(), DataPlane::Direct).unwrap();
+        let program: Arc<dyn Program> = Arc::new(Simple(WordCount));
+        let stop = Arc::new(AtomicBool::new(false));
+        let opts = SlaveOptions { merge: MergeMode::Sort, ..SlaveOptions::default() };
+        let handle = {
+            let m = master.clone();
+            let p = Arc::clone(&program);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_slave(&m, p, DataPlane::Direct, &opts, &stop))
+        };
+
+        let mut driver = master.clone();
+        let src = driver.local_data(input(), 2).unwrap();
+        let mapped = driver.map_data(src, 0, 2, false).unwrap();
+        let reduced = driver.reduce_data(mapped, 0).unwrap();
+        let out = driver.fetch_all(reduced).unwrap();
+        let mut counts: Vec<(String, u64)> = out
+            .iter()
+            .map(|(k, v)| (String::from_bytes(k).unwrap(), u64::from_bytes(v).unwrap()))
+            .collect();
+        counts.sort();
+        assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
+
+        master.finish();
+        handle.join().unwrap().unwrap();
+    }
+
+    fn frag_url(index: usize) -> String {
+        format!("file://s0/d1/t{index}/b0.mrsb")
+    }
+
+    fn warm_fragment(eg: &EagerHalf, index: usize) {
+        let recs = vec![(format!("k{index}").into_bytes(), vec![index as u8])];
+        let bytes = mrs_fs::format::write_bucket_bytes(&recs);
+        eg.state.lock().warm.insert(frag_url(index), (bytes, Instant::now()));
+    }
+
+    /// Contiguous warm fragments collapse into one merged run, and a task
+    /// whose input list matches consumes it across the covered slots.
+    #[test]
+    fn premerge_collapses_and_task_consumes_merged_run() {
+        let pipe = Pipe::new(true, true);
+        let eg = pipe.eager.as_ref().unwrap();
+        for i in 0..5 {
+            warm_fragment(eg, i);
+        }
+        premerge_warm(eg);
+        {
+            let st = eg.state.lock();
+            assert_eq!(st.premerged.len(), 1, "one merged run covering the streak");
+            let run = st.premerged.get(&frag_url(0)).expect("keyed by first covered url");
+            assert_eq!(run.urls, (0..5).map(frag_url).collect::<Vec<_>>());
+            assert!(st.warm.is_empty(), "merged fragments leave the warm cache");
+        }
+
+        let urls: Vec<String> = (0..5).map(frag_url).collect();
+        let frames = Arc::new(FrameCache::new());
+        let got = fetch_all_bucket_bytes(&urls, None, None, &frames, Some(eg))
+            .map_err(|e| e.msg)
+            .unwrap();
+        assert!(!got[0].is_empty(), "merged run lands in the first covered slot");
+        assert!(got[1..].iter().all(Vec::is_empty), "covered slots carry the empty marker");
+        let mut merged = Bucket::new();
+        read_bucket_into(&got[0], &mut merged).unwrap();
+        assert_eq!(merged.len(), 5);
+        assert!(merged.is_sorted());
+        assert!(eg.state.lock().premerged.is_empty());
+    }
+
+    /// Below the minimum streak, or with a gap in the task indices, the
+    /// pre-merge leaves fragments alone.
+    #[test]
+    fn premerge_requires_contiguous_minimum() {
+        let pipe = Pipe::new(true, true);
+        let eg = pipe.eager.as_ref().unwrap();
+        // Indices 0,1,2 then 4,5: no streak of PREMERGE_MIN.
+        for i in [0usize, 1, 2, 4, 5] {
+            warm_fragment(eg, i);
+        }
+        premerge_warm(eg);
+        let st = eg.state.lock();
+        assert!(st.premerged.is_empty());
+        assert_eq!(st.warm.len(), 5);
+    }
+
+    /// A merged run whose covered URLs no longer match the task's input
+    /// list (a producer was re-executed elsewhere) is dropped whole; the
+    /// task falls back to per-fragment fetches.
+    #[test]
+    fn premerge_mismatch_drops_merged_run() {
+        let pipe = Pipe::new(true, true);
+        let eg = pipe.eager.as_ref().unwrap();
+        for i in 0..4 {
+            warm_fragment(eg, i);
+        }
+        premerge_warm(eg);
+        assert_eq!(eg.state.lock().premerged.len(), 1);
+
+        // The task's input list names a different URL for t2 (the
+        // producer re-ran on slave 9): the merged run must not be used.
+        let mut urls: Vec<String> = (0..4).map(frag_url).collect();
+        urls[2] = "file://s9/d1/t2/b0.mrsb".into();
+        let frames = Arc::new(FrameCache::new());
+        let res = fetch_all_bucket_bytes(&urls, None, None, &frames, Some(eg));
+        // No store to serve the cold fallback in this test: the fetch
+        // fails, but the merged run must already be gone.
+        assert!(res.is_err());
+        assert!(eg.state.lock().premerged.is_empty(), "stale merged run dropped whole");
+    }
+
+    #[test]
+    fn bucket_coords_parse_from_urls() {
+        assert_eq!(
+            parse_bucket_coords("http://127.0.0.1:8000/data/s3/d7/t12/b2.mrsb"),
+            Some((7, 12, 2))
+        );
+        assert_eq!(parse_bucket_coords("file://s0/d1/t0/b0.mrsb"), Some((1, 0, 0)));
+        assert_eq!(parse_bucket_coords("file://s0/d1/t0/split0"), None);
     }
 
     #[test]

@@ -85,6 +85,45 @@ fn producer_death_mid_overlap_invalidates_eager_fragments() {
     );
 }
 
+/// Producer re-execution racing the background pre-merge: with 24 map
+/// tasks feeding 8 partitions, surviving slaves have plenty of contiguous
+/// warm fragments to pre-merge while maps run. Killing a producer
+/// mid-flight re-executes its tasks under fresh `s{slave}/` URLs, so any
+/// merged run covering a dead fragment no longer matches its reduce
+/// task's input list — the consumption check must drop it whole and fall
+/// back to cold fetches. The answer must be exact in every interleaving,
+/// whether the kill lands before, during, or after a pre-merge.
+#[test]
+fn producer_reexecution_mid_premerge_preserves_the_answer() {
+    let cfg = MasterConfig { keep_data: true, ..quick_sweep_config() };
+    let mut cluster =
+        LocalCluster::start(Arc::new(Simple(WordCount)), 3, DataPlane::Direct, cfg).unwrap();
+    let reduced = {
+        let mut job = Job::new(&mut cluster);
+        let src = job.local_data(big_input(), 24).unwrap();
+        // No combiner: map outputs stay large, so eager fetches and the
+        // pre-merge both move real data before the kill lands.
+        let mapped = job.map_data(src, 0, 8, false).unwrap();
+        job.reduce_data(mapped, 0).unwrap()
+    };
+    std::thread::sleep(Duration::from_millis(5));
+    cluster.kill_slave(1);
+    let out = {
+        let mut job = Job::new(&mut cluster);
+        job.fetch_all(reduced).unwrap()
+    };
+    let counts = decode_counts(&out).unwrap();
+    assert_eq!(counts["common"], 600);
+    assert_eq!(counts.values().sum::<u64>(), 2400, "one count per input token");
+    let m = cluster.metrics();
+    assert!(m.merge_runs() > 0, "reduce tasks should consume merge runs");
+    assert_eq!(
+        m.presorted_runs(),
+        m.merge_runs(),
+        "every run — fresh, re-executed, or pre-merged — arrives sorted"
+    );
+}
+
 #[test]
 fn killing_all_but_one_slave_still_completes() {
     let mut cluster = LocalCluster::start(

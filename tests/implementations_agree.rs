@@ -197,6 +197,76 @@ fn mixed_compression_slaves_interoperate() {
     assert_eq!(mixed, bypass, "mixed-compression cluster vs bypass");
 }
 
+/// The merge-reduce oracle on the plan that stresses it hardest: with no
+/// combiner, map tasks emit full unaggregated runs, so reduce tasks see
+/// many duplicate keys per run and the streaming k-way merge (default)
+/// must group them exactly like the legacy concatenate-and-sort path
+/// (`--mrs-merge=sort`). Any divergence — grouping, value order within a
+/// key, output order — is a bug, so the comparison is on the raw decoded
+/// counts across every plane.
+#[test]
+fn merge_oracle_wordcount_no_combiner_identical() {
+    let lines = sample_lines();
+    let input = lines_to_records(lines.iter().map(String::as_str));
+    let bypass = corpus::tokenizer::reference_counts(lines.iter().map(String::as_str));
+
+    let serial_merge = {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        let out = Job::new(&mut rt).map_reduce(input.clone(), 5, 4, false).unwrap();
+        decode_counts(&out).unwrap()
+    };
+    let serial_sort = {
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        rt.set_merge_mode(MergeMode::Sort);
+        let out = Job::new(&mut rt).map_reduce(input.clone(), 5, 4, false).unwrap();
+        decode_counts(&out).unwrap()
+    };
+    let pool_merge = {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 4);
+        let out = Job::new(&mut rt).map_reduce(input.clone(), 5, 4, false).unwrap();
+        decode_counts(&out).unwrap()
+    };
+    let pool_sort = {
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 4);
+        rt.set_merge_mode(MergeMode::Sort);
+        let out = Job::new(&mut rt).map_reduce(input.clone(), 5, 4, false).unwrap();
+        decode_counts(&out).unwrap()
+    };
+    let cluster_merge = {
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            2,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        let out = Job::new(&mut cluster).map_reduce(input.clone(), 5, 4, false).unwrap();
+        let counts = decode_counts(&out).unwrap();
+        let m = cluster.metrics();
+        assert!(m.merge_runs() > 0, "merge-mode cluster never recorded a merge run");
+        assert_eq!(
+            m.presorted_runs(),
+            m.merge_runs(),
+            "every map output must arrive as a presorted run"
+        );
+        counts
+    };
+    let cluster_sort = {
+        let cfg = MasterConfig { merge: MergeMode::Sort, ..MasterConfig::default() };
+        let mut cluster =
+            LocalCluster::start(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg).unwrap();
+        let out = Job::new(&mut cluster).map_reduce(input.clone(), 5, 4, false).unwrap();
+        decode_counts(&out).unwrap()
+    };
+
+    assert_eq!(serial_merge, bypass, "serial merge vs bypass");
+    assert_eq!(serial_sort, serial_merge, "serial sort-oracle vs merge");
+    assert_eq!(pool_merge, serial_merge, "pool merge vs serial merge");
+    assert_eq!(pool_sort, pool_merge, "pool sort-oracle vs merge");
+    assert_eq!(cluster_merge, pool_merge, "cluster merge vs pool merge");
+    assert_eq!(cluster_sort, cluster_merge, "cluster sort-oracle vs merge");
+}
+
 fn pso_config() -> PsoConfig {
     PsoConfig {
         objective: Objective::Rastrigin,
@@ -299,6 +369,21 @@ fn stochastic_pso_bitwise_identical_across_runtimes() {
         pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
     };
 
+    // The trajectory is just as sharp an oracle for reduce-input
+    // assembly: the sort path must reproduce the default streaming
+    // merge bit-for-bit across a 12-iteration stochastic chain.
+    let merge_sort = {
+        let cfg = MasterConfig { merge: MergeMode::Sort, ..MasterConfig::default() };
+        let mut cluster = LocalCluster::start(
+            Arc::new(PsoProgram::new(pso_config(), 1)),
+            2,
+            DataPlane::Direct,
+            cfg,
+        )
+        .unwrap();
+        pso_swarm_on(&mut Job::new(&mut cluster), 5, iters)
+    };
+
     assert_eq!(serial, expected, "MapReduce-serial vs bypass");
     assert_eq!(pool, expected, "pool vs bypass");
     assert_eq!(cluster, expected, "cluster vs bypass");
@@ -306,6 +391,7 @@ fn stochastic_pso_bitwise_identical_across_runtimes() {
     assert_eq!(pollmode, expected, "poll-mode cluster vs bypass");
     assert_eq!(eager_off, expected, "eager-off cluster vs bypass");
     assert_eq!(speculate_off, expected, "speculate-off cluster vs bypass");
+    assert_eq!(merge_sort, expected, "sort-oracle cluster vs bypass");
 }
 
 /// The fused-ReduceMap oracle: the same iterative island chain run
