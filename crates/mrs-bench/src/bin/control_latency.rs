@@ -20,7 +20,7 @@
 //! single-core hosts carry scheduling noise; read medians, not tails.
 
 use mrs::prelude::*;
-use mrs_bench::{results_path, Args, Table};
+use mrs_bench::{Args, Report, Table};
 use mrs_core::Record;
 use mrs_pso::mapreduce::{PsoProgram, FUNC_PARTICLE};
 use mrs_pso::{Objective, PsoConfig, Topology};
@@ -171,33 +171,24 @@ fn main() {
         median(&poll.iter_secs) * 1e3
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"control_latency\",\n  \"cores\": {cores},\n  \"iters\": {iters},\n  \
-         \"parts\": {parts},\n  \"slaves\": {slaves},\n  \"slots\": {slots},\n  \
-         \"longpoll_iter_secs\": {},\n  \"poll_iter_secs\": {},\n  \
-         \"longpoll_iter_median_secs\": {:.6},\n  \"poll_iter_median_secs\": {:.6},\n  \
-         \"longpoll_total_secs\": {:.6},\n  \"poll_total_secs\": {:.6},\n  \
-         \"longpoll_rpcs\": {},\n  \"poll_rpcs\": {},\n  \
-         \"longpoll_parks\": {},\n  \"longpoll_timeouts\": {},\n  \
-         \"piggybacked_reports\": {},\n  \"wakeups\": {},\n  \
-         \"outputs_identical\": true\n}}\n",
-        json_f64s(&long.iter_secs),
-        json_f64s(&poll.iter_secs),
-        median(&long.iter_secs),
-        median(&poll.iter_secs),
-        long.total_secs,
-        poll.total_secs,
-        long.rpcs,
-        poll.rpcs,
-        long.parks,
-        long.timeouts,
-        long.piggybacked,
-        long.wakeups,
-    );
-    std::fs::write("BENCH_control.json", &json).expect("write BENCH_control.json");
-    std::fs::write(results_path("BENCH_control.json"), &json).expect("mirror BENCH_control.json");
-    println!(
-        "\nwrote BENCH_control.json (and results/BENCH_control.json); outputs verified identical \
-         across control modes."
-    );
+    Report::new("control_latency")
+        .int("cores", cores as u64)
+        .int("iters", iters)
+        .int("parts", parts as u64)
+        .int("slaves", slaves as u64)
+        .int("slots", slots as u64)
+        .raw("longpoll_iter_secs", &json_f64s(&long.iter_secs))
+        .raw("poll_iter_secs", &json_f64s(&poll.iter_secs))
+        .secs("longpoll_iter_median_secs", median(&long.iter_secs))
+        .secs("poll_iter_median_secs", median(&poll.iter_secs))
+        .secs("longpoll_total_secs", long.total_secs)
+        .secs("poll_total_secs", poll.total_secs)
+        .int("longpoll_rpcs", long.rpcs)
+        .int("poll_rpcs", poll.rpcs)
+        .int("longpoll_parks", long.parks)
+        .int("longpoll_timeouts", long.timeouts)
+        .int("piggybacked_reports", long.piggybacked)
+        .int("wakeups", long.wakeups)
+        .bool("outputs_identical", true)
+        .write("control", "outputs verified identical across control modes.");
 }

@@ -22,7 +22,7 @@
 use corpus::{Corpus, CorpusConfig};
 use mrs::apps::wordcount::{lines_to_records, WordCount};
 use mrs::prelude::*;
-use mrs_bench::{results_path, Args, Table};
+use mrs_bench::{Args, Report, Table};
 use mrs_core::Record;
 use mrs_fs::MemFs;
 use std::sync::Arc;
@@ -170,28 +170,22 @@ fn main() {
     table.emit("dataplane");
     println!("\nwire reduction: {ratio:.2}x (compress-off vs compress-on)");
 
-    let json = format!(
-        "{{\n  \"bench\": \"dataplane\",\n  \"cores\": {cores},\n  \"words\": {words},\n  \
-         \"maps\": {maps},\n  \"reduces\": {reduces},\n  \"slaves\": {slaves},\n  \
-         \"on_secs\": {:.6},\n  \"off_secs\": {:.6},\n  \"mock_secs\": {:.6},\n  \
-         \"on_bytes_pre_compress\": {},\n  \"on_bytes_on_wire\": {},\n  \
-         \"off_bytes_on_wire\": {},\n  \"wire_reduction\": {ratio:.3},\n  \
-         \"on_shortcircuit_fetches\": {},\n  \"mock_shortcircuit_fetches\": {},\n  \
-         \"checksum_retries\": 0,\n  \"outputs_identical\": true\n}}\n",
-        on.secs,
-        off.secs,
-        mock.secs,
-        on.bytes_pre_compress,
-        on.bytes_on_wire,
-        off.bytes_on_wire,
-        on.shortcircuit_fetches,
-        mock.shortcircuit_fetches,
-    );
-    std::fs::write("BENCH_dataplane.json", &json).expect("write BENCH_dataplane.json");
-    std::fs::write(results_path("BENCH_dataplane.json"), &json)
-        .expect("mirror BENCH_dataplane.json");
-    println!(
-        "\nwrote BENCH_dataplane.json (and results/BENCH_dataplane.json); outputs verified \
-         identical across codec settings."
-    );
+    Report::new("dataplane")
+        .int("cores", cores as u64)
+        .int("words", words)
+        .int("maps", maps as u64)
+        .int("reduces", reduces as u64)
+        .int("slaves", slaves as u64)
+        .secs("on_secs", on.secs)
+        .secs("off_secs", off.secs)
+        .secs("mock_secs", mock.secs)
+        .int("on_bytes_pre_compress", on.bytes_pre_compress)
+        .int("on_bytes_on_wire", on.bytes_on_wire)
+        .int("off_bytes_on_wire", off.bytes_on_wire)
+        .float("wire_reduction", ratio, 3)
+        .int("on_shortcircuit_fetches", on.shortcircuit_fetches)
+        .int("mock_shortcircuit_fetches", mock.shortcircuit_fetches)
+        .int("checksum_retries", 0u32)
+        .bool("outputs_identical", true)
+        .write("dataplane", "outputs verified identical across codec settings.");
 }

@@ -19,7 +19,7 @@
 //! rounds, not compute, so it shows on a 1-core host too.
 
 use mrs::prelude::*;
-use mrs_bench::{results_path, Args, Table};
+use mrs_bench::{Args, Report, Table};
 use mrs_core::Record;
 use mrs_pso::mapreduce::PsoProgram;
 use mrs_pso::PsoConfig;
@@ -157,40 +157,28 @@ fn main() {
         fused.total_secs
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"iteration\",\n  \"cores\": {cores},\n  \"iters\": {iters},\n  \
-         \"particles\": {particles},\n  \"islands\": {islands},\n  \"slaves\": {slaves},\n  \
-         \"slots\": {slots},\n  \
-         \"unfused_total_secs\": {:.6},\n  \"fused_total_secs\": {:.6},\n  \
-         \"unfused_iter_secs\": {:.6},\n  \"fused_iter_secs\": {:.6},\n  \
-         \"speedup\": {:.3},\n  \
-         \"unfused_rpcs\": {},\n  \"fused_rpcs\": {},\n  \
-         \"unfused_tasks\": {},\n  \"fused_tasks\": {},\n  \
-         \"fused_ops\": {},\n  \"reducemap_tasks\": {},\n  \
-         \"unfused_datasets_freed\": {},\n  \"fused_datasets_freed\": {},\n  \
-         \"unfused_peak_live_datasets\": {},\n  \"fused_peak_live_datasets\": {},\n  \
-         \"outputs_identical\": true\n}}\n",
-        unfused.total_secs,
-        fused.total_secs,
-        unfused.total_secs / iters as f64,
-        fused.total_secs / iters as f64,
-        speedup,
-        unfused.rpcs,
-        fused.rpcs,
-        unfused.tasks,
-        fused.tasks,
-        fused.fused_ops,
-        fused.reducemap_tasks,
-        unfused.datasets_freed,
-        fused.datasets_freed,
-        unfused.peak_live,
-        fused.peak_live,
-    );
-    std::fs::write("BENCH_iteration.json", &json).expect("write BENCH_iteration.json");
-    std::fs::write(results_path("BENCH_iteration.json"), &json)
-        .expect("mirror BENCH_iteration.json");
-    println!(
-        "\nwrote BENCH_iteration.json (and results/BENCH_iteration.json); outputs verified \
-         identical across fusion modes and planes."
-    );
+    Report::new("iteration")
+        .int("cores", cores as u64)
+        .int("iters", iters)
+        .int("particles", particles)
+        .int("islands", islands)
+        .int("slaves", slaves as u64)
+        .int("slots", slots as u64)
+        .secs("unfused_total_secs", unfused.total_secs)
+        .secs("fused_total_secs", fused.total_secs)
+        .secs("unfused_iter_secs", unfused.total_secs / iters as f64)
+        .secs("fused_iter_secs", fused.total_secs / iters as f64)
+        .float("speedup", speedup, 3)
+        .int("unfused_rpcs", unfused.rpcs)
+        .int("fused_rpcs", fused.rpcs)
+        .int("unfused_tasks", unfused.tasks)
+        .int("fused_tasks", fused.tasks)
+        .int("fused_ops", fused.fused_ops)
+        .int("reducemap_tasks", fused.reducemap_tasks)
+        .int("unfused_datasets_freed", unfused.datasets_freed)
+        .int("fused_datasets_freed", fused.datasets_freed)
+        .int("unfused_peak_live_datasets", unfused.peak_live)
+        .int("fused_peak_live_datasets", fused.peak_live)
+        .bool("outputs_identical", true)
+        .write("iteration", "outputs verified identical across fusion modes and planes.");
 }

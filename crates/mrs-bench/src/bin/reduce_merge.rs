@@ -30,7 +30,7 @@
 use corpus::{Corpus, CorpusConfig};
 use mrs::apps::wordcount::{lines_to_records, WordCount};
 use mrs::prelude::*;
-use mrs_bench::{results_path, Args, Table};
+use mrs_bench::{Args, Report, Table};
 use mrs_core::Record;
 use std::sync::Arc;
 use std::time::Instant;
@@ -102,7 +102,7 @@ fn cluster_run(
         merge_runs: m.merge_runs(),
         presorted_runs: m.presorted_runs(),
         premerged_runs: m.premerged_runs(),
-        merge_ms: m.merge_ms(),
+        merge_ms: m.merge_time().as_secs_f64() * 1000.0,
         peak_reduce_records: m.peak_reduce_records(),
         output,
     }
@@ -211,30 +211,23 @@ fn main() {
     table.emit("reduce_merge");
     println!("\nreduce-phase speedup: {speedup:.2}x (concat+sort vs streaming merge)");
 
-    let json = format!(
-        "{{\n  \"bench\": \"reduce_merge\",\n  \"cores\": {cores},\n  \"words\": {words},\n  \
-         \"maps\": {maps},\n  \"reduces\": {reduces},\n  \"slaves\": {slaves},\n  \
-         \"repeats\": {repeats},\n  \
-         \"merge_reduce_secs\": {:.6},\n  \"sort_reduce_secs\": {:.6},\n  \
-         \"speedup\": {speedup:.3},\n  \
-         \"merge_runs\": {},\n  \"presorted_runs\": {},\n  \"premerged_runs\": {},\n  \
-         \"merge_ms\": {:.3},\n  \"peak_reduce_records\": {},\n  \
-         \"combine_merge_runs\": {},\n  \"combine_presorted_runs\": {},\n  \
-         \"outputs_identical\": true\n}}\n",
-        merge.reduce_secs,
-        sort.reduce_secs,
-        merge.merge_runs,
-        merge.presorted_runs,
-        merge.premerged_runs,
-        merge.merge_ms,
-        merge.peak_reduce_records,
-        combined.merge_runs,
-        combined.presorted_runs,
-    );
-    std::fs::write("BENCH_merge.json", &json).expect("write BENCH_merge.json");
-    std::fs::write(results_path("BENCH_merge.json"), &json).expect("mirror BENCH_merge.json");
-    println!(
-        "\nwrote BENCH_merge.json (and results/BENCH_merge.json); outputs verified identical \
-         across merge modes."
-    );
+    Report::new("reduce_merge")
+        .int("cores", cores as u64)
+        .int("words", words)
+        .int("maps", maps as u64)
+        .int("reduces", reduces as u64)
+        .int("slaves", slaves as u64)
+        .int("repeats", repeats as u64)
+        .secs("merge_reduce_secs", merge.reduce_secs)
+        .secs("sort_reduce_secs", sort.reduce_secs)
+        .float("speedup", speedup, 3)
+        .int("merge_runs", merge.merge_runs)
+        .int("presorted_runs", merge.presorted_runs)
+        .int("premerged_runs", merge.premerged_runs)
+        .float("merge_ms", merge.merge_ms, 3)
+        .int("peak_reduce_records", merge.peak_reduce_records)
+        .int("combine_merge_runs", combined.merge_runs)
+        .int("combine_presorted_runs", combined.presorted_runs)
+        .bool("outputs_identical", true)
+        .write("merge", "outputs verified identical across merge modes.");
 }

@@ -24,7 +24,7 @@
 use corpus::{Corpus, CorpusConfig};
 use mrs::apps::wordcount::{lines_to_records, WordCount};
 use mrs::prelude::*;
-use mrs_bench::{results_path, Args, Table};
+use mrs_bench::{Args, Report, Table};
 use mrs_core::Record;
 use mrs_fs::MemFs;
 use std::sync::Arc;
@@ -82,7 +82,7 @@ fn cluster_run(
         eager_fragments: m.eager_fragments(),
         eager_bytes: m.eager_bytes(),
         residual_fetches: m.residual_fetches(),
-        overlap_ms: m.overlap_ms(),
+        overlap_ms: m.overlap_time().as_secs_f64() * 1000.0,
         output: sorted(output),
     }
 }
@@ -120,7 +120,7 @@ fn mock_run(input: &[Record], maps: usize, reduces: usize) -> ArmRun {
         eager_fragments: m.eager_fragments(),
         eager_bytes: m.eager_bytes(),
         residual_fetches: m.residual_fetches(),
-        overlap_ms: m.overlap_ms(),
+        overlap_ms: m.overlap_time().as_secs_f64() * 1000.0,
         output: sorted(output),
     }
 }
@@ -201,28 +201,22 @@ fn main() {
          fragments pre-staged before the barrier"
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"shuffle_overlap\",\n  \"cores\": {cores},\n  \"words\": {words},\n  \
-         \"maps\": {maps},\n  \"reduces\": {reduces},\n  \"slaves\": {slaves},\n  \
-         \"repeats\": {repeats},\n  \
-         \"eager_secs\": {:.6},\n  \"off_secs\": {:.6},\n  \"mock_secs\": {:.6},\n  \
-         \"speedup\": {speedup:.3},\n  \
-         \"eager_fragments\": {},\n  \"eager_bytes\": {},\n  \"residual_fetches\": {},\n  \
-         \"overlap_ms\": {:.3},\n  \"mock_eager_fragments\": {},\n  \
-         \"outputs_identical\": true\n}}\n",
-        eager.secs,
-        off.secs,
-        mock.secs,
-        eager.eager_fragments,
-        eager.eager_bytes,
-        eager.residual_fetches,
-        eager.overlap_ms,
-        mock.eager_fragments,
-    );
-    std::fs::write("BENCH_overlap.json", &json).expect("write BENCH_overlap.json");
-    std::fs::write(results_path("BENCH_overlap.json"), &json).expect("mirror BENCH_overlap.json");
-    println!(
-        "\nwrote BENCH_overlap.json (and results/BENCH_overlap.json); outputs verified \
-         identical across shuffle schedules."
-    );
+    Report::new("shuffle_overlap")
+        .int("cores", cores as u64)
+        .int("words", words)
+        .int("maps", maps as u64)
+        .int("reduces", reduces as u64)
+        .int("slaves", slaves as u64)
+        .int("repeats", repeats as u64)
+        .secs("eager_secs", eager.secs)
+        .secs("off_secs", off.secs)
+        .secs("mock_secs", mock.secs)
+        .float("speedup", speedup, 3)
+        .int("eager_fragments", eager.eager_fragments)
+        .int("eager_bytes", eager.eager_bytes)
+        .int("residual_fetches", eager.residual_fetches)
+        .float("overlap_ms", eager.overlap_ms, 3)
+        .int("mock_eager_fragments", mock.eager_fragments)
+        .bool("outputs_identical", true)
+        .write("overlap", "outputs verified identical across shuffle schedules.");
 }

@@ -24,7 +24,7 @@
 use corpus::{Corpus, CorpusConfig};
 use mrs::apps::wordcount::{lines_to_records, WordCount};
 use mrs::prelude::*;
-use mrs_bench::{results_path, Args, Table};
+use mrs_bench::{Args, Report, Table};
 use mrs_core::Record;
 use mrs_pso::mapreduce::{PsoProgram, FUNC_PARTICLE};
 use mrs_pso::{Objective, PsoConfig, Topology};
@@ -154,20 +154,20 @@ fn main() {
 
     let wc_speedup: Vec<f64> = wc_secs.iter().map(|t| wc_secs[0] / t).collect();
     let pso_speedup: Vec<f64> = pso_secs.iter().map(|t| pso_secs[0] / t).collect();
-    let json = format!(
-        "{{\n  \"bench\": \"slot_scaling\",\n  \"cores\": {cores},\n  \"words\": {words},\n  \
-         \"pso_iters\": {pso_iters},\n  \"slots\": {},\n  \"wordcount_secs\": {},\n  \
-         \"pso_secs\": {},\n  \"wordcount_speedup\": {},\n  \"pso_speedup\": {}\n}}\n",
-        json_usizes(&SLOT_COUNTS),
-        json_f64s(&wc_secs),
-        json_f64s(&pso_secs),
-        json_f64s(&wc_speedup),
-        json_f64s(&pso_speedup),
-    );
-    std::fs::write("BENCH_slots.json", &json).expect("write BENCH_slots.json");
-    std::fs::write(results_path("BENCH_slots.json"), &json).expect("mirror BENCH_slots.json");
-    println!(
-        "\nwrote BENCH_slots.json (and results/BENCH_slots.json); outputs verified identical\n\
-         across all slot counts. Speedup is bounded by the host's {cores} core(s)."
-    );
+    Report::new("slot_scaling")
+        .int("cores", cores as u64)
+        .int("words", words)
+        .int("pso_iters", pso_iters)
+        .raw("slots", &json_usizes(&SLOT_COUNTS))
+        .raw("wordcount_secs", &json_f64s(&wc_secs))
+        .raw("pso_secs", &json_f64s(&pso_secs))
+        .raw("wordcount_speedup", &json_f64s(&wc_speedup))
+        .raw("pso_speedup", &json_f64s(&pso_speedup))
+        .write(
+            "slots",
+            &format!(
+                "outputs verified identical across all slot counts. \
+                 Speedup is bounded by the host's {cores} core(s)."
+            ),
+        );
 }

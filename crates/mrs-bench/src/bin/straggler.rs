@@ -24,7 +24,7 @@
 use corpus::{Corpus, CorpusConfig};
 use mrs::apps::wordcount::{lines_to_records, WordCount};
 use mrs::prelude::*;
-use mrs_bench::{results_path, Args, Table};
+use mrs_bench::{Args, Report, Table};
 use mrs_core::Record;
 use mrs_fs::MemFs;
 use std::sync::Arc;
@@ -90,7 +90,7 @@ fn cluster_run(
         wins: m.speculative_wins(),
         losses: m.speculative_losses(),
         cancelled: m.cancelled_tasks(),
-        saved_ms: m.straggler_ms_saved(),
+        saved_ms: m.straggler_time_saved().as_secs_f64() * 1000.0,
         output: sorted(output),
     }
 }
@@ -215,31 +215,24 @@ fn main() {
     table.emit("straggler");
     println!("\nspeedup: {speedup:.2}x (speculate-off vs speculate-on)");
 
-    let json = format!(
-        "{{\n  \"bench\": \"straggler\",\n  \"cores\": {cores},\n  \"words\": {words},\n  \
-         \"maps\": {maps},\n  \"reduces\": {reduces},\n  \"slots\": {slots},\n  \
-         \"delay_ms\": {delay_ms},\n  \"repeats\": {repeats},\n  \
-         \"on_secs\": {:.6},\n  \"off_secs\": {:.6},\n  \"mock_secs\": {:.6},\n  \
-         \"speedup\": {speedup:.3},\n  \
-         \"speculative_launches\": {},\n  \"speculative_wins\": {},\n  \
-         \"speculative_losses\": {},\n  \"cancelled_tasks\": {},\n  \
-         \"straggler_ms_saved\": {:.3},\n  \"off_speculative_launches\": {},\n  \
-         \"outputs_identical\": true\n}}\n",
-        on.secs,
-        off.secs,
-        mock.secs,
-        on.launches,
-        on.wins,
-        on.losses,
-        on.cancelled,
-        on.saved_ms,
-        off.launches,
-    );
-    std::fs::write("BENCH_straggler.json", &json).expect("write BENCH_straggler.json");
-    std::fs::write(results_path("BENCH_straggler.json"), &json)
-        .expect("mirror BENCH_straggler.json");
-    println!(
-        "\nwrote BENCH_straggler.json (and results/BENCH_straggler.json); outputs verified \
-         identical across speculation policies."
-    );
+    Report::new("straggler")
+        .int("cores", cores as u64)
+        .int("words", words)
+        .int("maps", maps as u64)
+        .int("reduces", reduces as u64)
+        .int("slots", slots as u64)
+        .int("delay_ms", delay_ms)
+        .int("repeats", repeats as u64)
+        .secs("on_secs", on.secs)
+        .secs("off_secs", off.secs)
+        .secs("mock_secs", mock.secs)
+        .float("speedup", speedup, 3)
+        .int("speculative_launches", on.launches)
+        .int("speculative_wins", on.wins)
+        .int("speculative_losses", on.losses)
+        .int("cancelled_tasks", on.cancelled)
+        .float("straggler_ms_saved", on.saved_ms, 3)
+        .int("off_speculative_launches", off.launches)
+        .bool("outputs_identical", true)
+        .write("straggler", "outputs verified identical across speculation policies.");
 }

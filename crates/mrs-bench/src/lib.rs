@@ -6,9 +6,11 @@
 //! repeat-and-summarize timing, and the standard experiment scales.
 
 pub mod pi_sweep;
+pub mod report;
 pub mod table;
 pub mod timing;
 
+pub use report::Report;
 pub use table::Table;
 pub use timing::{median_secs, time_secs};
 

@@ -94,7 +94,38 @@ fn path_is_clean(path: &str) -> bool {
     !path.is_empty() && path.split('/').all(|c| c != "..")
 }
 
-/// An HTTP GET server for bucket data.
+/// Callback serving non-bucket pages (`/status`, `/metrics`, …). Gets
+/// the request path without its leading slash; `None` means 404.
+pub type Pages = Arc<dyn Fn(&str) -> Option<Response> + Send + Sync>;
+
+/// One routing decision for every request: parse the method and path
+/// segments, then dispatch. Bucket fetches (`GET /data/<path>`) and
+/// pages (`GET /<page>`) share the method check and the `..`/empty
+/// rejection lives on the bucket route only — page names are a closed
+/// set the `pages` callback controls.
+fn route(req: &Request, provider: &Provider, pages: &Pages) -> Response {
+    if req.method != "GET" {
+        return Response::error(400, "data server only answers GET");
+    }
+    let path = req.path.strip_prefix('/').unwrap_or(&req.path);
+    match path.split_once('/') {
+        Some(("data", bucket)) => {
+            if !path_is_clean(bucket) {
+                return Response::error(404, "malformed bucket path");
+            }
+            match provider(bucket) {
+                Some(bytes) => Response::ok("application/octet-stream", bytes),
+                None => Response::error(404, "no such bucket"),
+            }
+        }
+        _ => match pages(path) {
+            Some(response) => response,
+            None => Response::error(404, "paths live under /data/"),
+        },
+    }
+}
+
+/// An HTTP GET server for bucket data (and, optionally, live pages).
 pub struct DataServer {
     http: HttpServer,
 }
@@ -103,21 +134,17 @@ impl DataServer {
     /// Serve buckets from `provider` on `127.0.0.1:port` (0 = ephemeral).
     /// Paths are served under `/data/`.
     pub fn serve(port: u16, provider: Provider) -> std::io::Result<DataServer> {
-        let handler: Handler = Arc::new(move |req: Request| {
-            if req.method != "GET" {
-                return Response::error(400, "data server only answers GET");
-            }
-            let Some(path) = req.path.strip_prefix("/data/") else {
-                return Response::error(404, "paths live under /data/");
-            };
-            if !path_is_clean(path) {
-                return Response::error(404, "malformed bucket path");
-            }
-            match provider(path) {
-                Some(bytes) => Response::ok("application/octet-stream", bytes),
-                None => Response::error(404, "no such bucket"),
-            }
-        });
+        DataServer::serve_with_pages(port, provider, Arc::new(|_| None))
+    }
+
+    /// Like [`DataServer::serve`], additionally answering top-level GETs
+    /// (e.g. `/status`, `/metrics`) from the `pages` callback.
+    pub fn serve_with_pages(
+        port: u16,
+        provider: Provider,
+        pages: Pages,
+    ) -> std::io::Result<DataServer> {
+        let handler: Handler = Arc::new(move |req: Request| route(&req, &provider, &pages));
         Ok(DataServer { http: HttpServer::bind(port, handler)? })
     }
 
@@ -228,6 +255,30 @@ mod tests {
         let s = server_with(vec![("x", vec![1])]);
         let (status, _) = HttpClient::post(&s.authority(), "/data/x", b"").unwrap();
         assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn pages_share_the_router_with_bucket_fetches() {
+        let cache = Arc::new(FrameCache::new());
+        cache.insert("b", vec![7]);
+        let pages: Pages = Arc::new(|page: &str| match page {
+            "status" => Some(Response::ok("text/plain", Arc::from(b"live".as_slice()))),
+            _ => None,
+        });
+        let s = DataServer::serve_with_pages(0, cache.provider(), pages).unwrap();
+        // Pages answer at the top level…
+        let (status, body) = HttpClient::get(&s.authority(), "/status").unwrap();
+        assert_eq!((status, body.as_slice()), (200, b"live".as_slice()));
+        // …bucket fetches still work beside them…
+        assert_eq!(fetch(&s.authority(), "/data/b").unwrap(), vec![7]);
+        // …unknown pages 404, and pages are GET-only like everything else.
+        assert_eq!(HttpClient::get(&s.authority(), "/nope").unwrap().0, 404);
+        assert_eq!(HttpClient::post(&s.authority(), "/status", b"").unwrap().0, 400);
+        // Page names never shadow the data route: /data/status is a bucket.
+        assert!(matches!(
+            fetch(&s.authority(), "/data/status").unwrap_err(),
+            Error::MissingData(_)
+        ));
     }
 
     #[test]

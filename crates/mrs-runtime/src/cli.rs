@@ -22,6 +22,8 @@
 //! prog --mrs master --mrs-speculate off      # no straggler backup tasks
 //! prog --mrs master --mrs-speculate threshold=2.5  # back up at 2.5× median runtime
 //! prog --mrs master --mrs-merge sort   # concat+sort reduce input (merge oracle)
+//! prog --mrs master --mrs-trace trace.json   # write a Chrome trace at job end
+//! prog --mrs slave --mrs-master H:P --mrs-no-trace  # slave ships no trace deltas
 //! ```
 //!
 //! A master runs the driver and serves slaves; a slave never runs the
@@ -106,6 +108,15 @@ pub struct CliOptions {
     /// concatenate and sort — the legacy path, kept as a byte-identical
     /// oracle. Applies to every implementation.
     pub merge: MergeMode,
+    /// Write the job's assembled timeline as Chrome trace-event JSON to
+    /// this path at job end (`--mrs-trace <path>`), and print the
+    /// critical-path report to stderr. Loadable in Perfetto or
+    /// `chrome://tracing`.
+    pub trace_path: Option<String>,
+    /// Trace recording (`--mrs-no-trace` turns it off): with tracing off
+    /// a slave's `get_task` request is byte-identical to the legacy wire
+    /// form and the master keeps no timeline.
+    pub trace: bool,
     /// Hidden test hook (`--mrs-test-delay data:index:ms`, repeatable):
     /// a slave delays the *first* attempt of the named task by `ms`,
     /// manufacturing a deterministic straggler for tests and benches.
@@ -130,6 +141,8 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     let mut eager_shuffle = true;
     let mut speculate = SpeculateMode::default();
     let mut merge = MergeMode::default();
+    let mut trace_path = None;
+    let mut trace = true;
     let mut test_delays = Vec::new();
     let mut rest = Vec::new();
 
@@ -189,6 +202,8 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
                 let v = value_of("--mrs-merge")?;
                 merge = MergeMode::parse(&v)?;
             }
+            "--mrs-trace" => trace_path = Some(value_of("--mrs-trace")?),
+            "--mrs-no-trace" => trace = false,
             "--mrs-test-delay" => {
                 let v = value_of("--mrs-test-delay")?;
                 let parts: Vec<&str> = v.split(':').collect();
@@ -249,6 +264,9 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
     if long_poll == Some(Duration::ZERO) {
         return Err(Error::Invalid("--mrs-longpoll-ms must be positive".into()));
     }
+    if trace_path.is_some() && !trace {
+        return Err(Error::Invalid("--mrs-trace conflicts with --mrs-no-trace".into()));
+    }
     Ok(CliOptions {
         implementation,
         control,
@@ -258,6 +276,8 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
         eager_shuffle,
         speculate,
         merge,
+        trace_path,
+        trace,
         test_delays,
         rest,
     })
@@ -265,6 +285,17 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptio
 
 fn num_cpus() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+}
+
+/// Write the timeline as Chrome trace JSON and print the critical-path
+/// report to stderr. No-op without a `--mrs-trace` path or a trace.
+fn export_trace(path: Option<&str>, trace: Option<mrs_trace::JobTrace>) -> Result<()> {
+    let (Some(path), Some(trace)) = (path, trace) else {
+        return Ok(());
+    };
+    std::fs::write(path, trace.chrome_json())?;
+    eprintln!("{}", trace.critical_path().render());
+    Ok(())
 }
 
 /// Run a program under the options, invoking `driver` with a [`Job`] for
@@ -277,20 +308,23 @@ where
         Implementation::Serial => {
             let mut rt = SerialRuntime::new(program);
             rt.set_merge_mode(options.merge);
-            driver(&mut Job::new(&mut rt))
+            let result = driver(&mut Job::new(&mut rt));
+            result.and(export_trace(options.trace_path.as_deref(), Some(rt.take_trace())))
         }
         Implementation::MockParallel => {
             let spill = Arc::new(TempFs::new("mockparallel")?);
             let mut rt = LocalRuntime::mock_parallel_with(program, spill, options.compress);
             rt.set_keep_data(options.keep_data);
             rt.set_merge_mode(options.merge);
-            driver(&mut Job::new(&mut rt))
+            let result = driver(&mut Job::new(&mut rt));
+            result.and(export_trace(options.trace_path.as_deref(), Some(rt.take_trace())))
         }
         Implementation::Pool(workers) => {
             let mut rt = LocalRuntime::pool(program, *workers);
             rt.set_keep_data(options.keep_data);
             rt.set_merge_mode(options.merge);
-            driver(&mut Job::new(&mut rt))
+            let result = driver(&mut Job::new(&mut rt));
+            result.and(export_trace(options.trace_path.as_deref(), Some(rt.take_trace())))
         }
         Implementation::Master { port, port_file } => {
             let mut cfg = MasterConfig {
@@ -300,6 +334,7 @@ where
                 eager_shuffle: options.eager_shuffle,
                 speculate: options.speculate,
                 merge: options.merge,
+                trace: options.trace,
                 ..MasterConfig::default()
             };
             if let Some(lp) = options.long_poll {
@@ -313,6 +348,8 @@ where
             let mut driver_master = master.clone();
             let result = driver(&mut Job::new(&mut driver_master));
             master.finish();
+            let result =
+                result.and(export_trace(options.trace_path.as_deref(), master.take_trace()));
             if let Some(path) = port_file {
                 let _ = std::fs::remove_file(path);
             }
@@ -330,6 +367,7 @@ where
             slave_opts.compress = options.compress;
             slave_opts.eager_shuffle = options.eager_shuffle;
             slave_opts.merge = options.merge;
+            slave_opts.trace = options.trace;
             slave_opts.test_delays = options.test_delays.clone();
             if let Some(lp) = options.long_poll {
                 slave_opts.long_poll = lp;
@@ -453,6 +491,33 @@ mod tests {
     }
 
     #[test]
+    fn parses_trace_flags() {
+        let o = opts(&[]).unwrap();
+        assert!(o.trace, "tracing defaults on");
+        assert_eq!(o.trace_path, None);
+        let o = opts(&["--mrs-trace", "/tmp/t.json"]).unwrap();
+        assert_eq!(o.trace_path.as_deref(), Some("/tmp/t.json"));
+        assert!(!opts(&["--mrs-no-trace"]).unwrap().trace);
+        assert!(opts(&["--mrs-trace"]).is_err());
+        assert!(opts(&["--mrs-no-trace", "--mrs-trace", "/tmp/t.json"]).is_err());
+    }
+
+    #[test]
+    fn trace_flag_writes_chrome_json() {
+        let path = std::env::temp_dir().join(format!("mrs-cli-trace-{}.json", std::process::id()));
+        for args in [vec!["--mrs", "serial"], vec!["--mrs", "pool", "--mrs-workers", "2"]] {
+            let mut args: Vec<&str> = args;
+            let p = path.to_string_lossy().into_owned();
+            args.extend(["--mrs-trace", &p]);
+            let o = opts(&args).unwrap();
+            run_with_options(Arc::new(Simple(Count)), &o, driver_checks).unwrap();
+            let json = std::fs::read_to_string(&path).expect("trace written");
+            assert!(json.contains("traceEvents") && json.contains("\"ph\":\"B\""), "{json:.100}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
     fn parses_test_delay_flag() {
         assert!(opts(&[]).unwrap().test_delays.is_empty());
         let o = opts(&["--mrs-test-delay", "1:0:500", "--mrs-test-delay", "3:2:50"]).unwrap();
@@ -534,6 +599,8 @@ mod tests {
             eager_shuffle: true,
             speculate: SpeculateMode::default(),
             merge: MergeMode::default(),
+            trace_path: None,
+            trace: true,
             test_delays: vec![],
             rest: vec![],
         };

@@ -167,6 +167,34 @@ impl DataPlaneStats {
             peak_reduce_records: self.peak_reduce_records,
         }
     }
+
+    /// Render the counters in the Prometheus text exposition format,
+    /// prefixed `mrs_dataplane_` to keep them apart from the job-scoped
+    /// [`crate::metrics::JobMetrics`] samples on the same `/metrics` page.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let mut counter = |name: &str, v: u64| {
+            out.push_str("mrs_dataplane_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        counter("bytes_pre_compress_total", self.bytes_pre_compress);
+        counter("bytes_on_wire_total", self.bytes_on_wire);
+        counter("shortcircuit_fetches_total", self.shortcircuit_fetches);
+        counter("checksum_retries_total", self.checksum_retries);
+        counter("eager_fragments_total", self.eager_fragments);
+        counter("eager_bytes_total", self.eager_bytes);
+        counter("residual_fetches_total", self.residual_fetches);
+        counter("overlap_micros_total", self.overlap_micros);
+        counter("merge_runs_total", self.merge_runs);
+        counter("presorted_runs_total", self.presorted_runs);
+        counter("premerged_runs_total", self.premerged_runs);
+        counter("merge_micros_total", self.merge_micros);
+        counter("peak_reduce_records", self.peak_reduce_records);
+        out
+    }
 }
 
 /// Current cumulative counter values for this process.

@@ -13,7 +13,7 @@ use crate::dataplane::{self, DataPlaneStats};
 use crate::job::JobApi;
 use crate::master::{Master, MasterConfig, SlaveId};
 use crate::metrics::JobMetrics;
-use crate::proto::{DataPlane, Dispatch, TaskReport};
+use crate::proto::{DataPlane, Dispatch, TaskReport, TraceBatch};
 use crate::slave::{run_slave, MasterLink, SlaveOptions};
 use mrs_core::{Error, FuncId, Program, Record, Result};
 use mrs_rpc::rpc::{Dispatch as RpcDispatch, RpcClient, RpcServer};
@@ -61,7 +61,14 @@ pub fn serve_master(master: Master, port: u16) -> std::io::Result<RpcServer> {
                     .map_err(|e| (3, format!("get_task: bad report: {e}")))?,
                 None => Vec::new(),
             };
-            Ok(m2.get_dispatch(slave as SlaveId, free, park, &reports).to_value())
+            // Piggybacked trace-event delta; legacy (and tracing-off)
+            // slaves omit it.
+            let trace = match params.get(4) {
+                Some(v) => TraceBatch::from_value(v)
+                    .map_err(|e| (3, format!("get_task: bad trace batch: {e}")))?,
+                None => TraceBatch::default(),
+            };
+            Ok(m2.get_dispatch_traced(slave as SlaveId, free, park, &reports, &trace).to_value())
         })
         .register("task_done", move |params| {
             let (slave, data, index, urls) = parse_report(params)?;
@@ -137,17 +144,22 @@ impl MasterLink for RpcMasterLink {
         free: usize,
         park: Duration,
         reports: Vec<TaskReport>,
+        trace: TraceBatch,
     ) -> Result<Dispatch> {
         let reports = Value::Array(reports.iter().map(TaskReport::to_value).collect());
-        let v = self.client.call(
-            "get_task",
-            &[
-                Value::Int(slave as i64),
-                Value::Int(free as i64),
-                Value::Int(park.as_millis() as i64),
-                reports,
-            ],
-        )?;
+        let mut params = vec![
+            Value::Int(slave as i64),
+            Value::Int(free as i64),
+            Value::Int(park.as_millis() as i64),
+            reports,
+        ];
+        // The trace delta rides as an optional trailing param: an empty
+        // batch is omitted entirely, so tracing-off slaves put the exact
+        // legacy request on the wire.
+        if !trace.is_empty() {
+            params.push(trace.to_value());
+        }
+        let v = self.client.call("get_task", &params)?;
         Dispatch::from_value(&v)
     }
 
@@ -253,6 +265,7 @@ impl LocalCluster {
         options.compress = cfg.compress;
         options.eager_shuffle = cfg.eager_shuffle;
         options.merge = cfg.merge;
+        options.trace = cfg.trace;
         let master = Master::new(cfg, plane.clone())?;
         let server = serve_master(master.clone(), 0).map_err(Error::Io)?;
         let sweeper_stop = Arc::new(AtomicBool::new(false));
@@ -287,6 +300,19 @@ impl LocalCluster {
     /// The master's RPC `host:port` (what you would hand to remote slaves).
     pub fn master_authority(&self) -> String {
         self.server.authority()
+    }
+
+    /// The master's HTTP `host:port` serving `/status` and `/metrics`
+    /// (and, on the direct plane, source-split buckets under `/data/`).
+    pub fn http_authority(&self) -> String {
+        self.master.http_authority()
+    }
+
+    /// Drain the assembled job trace (master events plus every ingested
+    /// slave delta, on the master clock). `None` when tracing is off;
+    /// a second call returns only events recorded since the first.
+    pub fn take_trace(&self) -> Option<mrs_trace::JobTrace> {
+        self.master.take_trace()
     }
 
     /// Add one slave thread to the cluster.
@@ -601,5 +627,186 @@ mod tests {
             sorted_counts(job.map_reduce(input, 5, 3, true).unwrap())
         };
         assert_eq!(serial, distributed);
+        // The tracing-off arm must agree byte for byte: with no trace the
+        // slave's get_task request is the exact legacy wire form.
+        let untraced = {
+            let cfg = MasterConfig { trace: false, ..MasterConfig::default() };
+            let opts = SlaveOptions { trace: false, ..SlaveOptions::default() };
+            let mut cluster = LocalCluster::start_with(
+                Arc::new(Simple(WordCount)),
+                4,
+                DataPlane::Direct,
+                cfg,
+                opts,
+            )
+            .unwrap();
+            let mut job = Job::new(&mut cluster);
+            let out = sorted_counts(job.map_reduce(lines(37), 5, 3, true).unwrap());
+            assert!(cluster.take_trace().is_none(), "tracing off keeps no timeline");
+            out
+        };
+        assert_eq!(serial, untraced, "tracing off changed the answer");
+    }
+
+    #[test]
+    fn cluster_trace_pins_attempt_spans_and_serves_http() {
+        use crate::proto::SpeculateMode;
+        use mrs_trace::{Kind, Name, MASTER_PID};
+        let cfg = MasterConfig { speculate: SpeculateMode::Off, ..MasterConfig::default() };
+        let opts = SlaveOptions { slots: 2, ..SlaveOptions::default() };
+        let mut cluster =
+            LocalCluster::start_with(Arc::new(Simple(WordCount)), 2, DataPlane::Direct, cfg, opts)
+                .unwrap();
+        let out = {
+            let mut job = Job::new(&mut cluster);
+            job.map_reduce(lines(50), 4, 3, true).unwrap()
+        };
+        assert!(!out.is_empty());
+
+        // The live pages answer over plain HTTP on the master's data port.
+        let authority = cluster.http_authority();
+        let (code, body) = mrs_rpc::HttpClient::request(&authority, "GET", "/status", &[]).unwrap();
+        let status = String::from_utf8(body).unwrap();
+        assert_eq!(code, 200);
+        assert!(status.contains("mrs master:"), "{status}");
+        assert!(status.contains("slaves: 2 signed in"), "{status}");
+        let (code, body) =
+            mrs_rpc::HttpClient::request(&authority, "GET", "/metrics", &[]).unwrap();
+        assert_eq!(code, 200);
+        let metrics = String::from_utf8(body).unwrap();
+        for line in metrics.lines() {
+            let mut it = line.split_whitespace();
+            let (name, value) = (it.next().unwrap(), it.next().expect(line));
+            assert!(it.next().is_none(), "{line}");
+            assert!(name.starts_with("mrs_"), "{line}");
+            value.parse::<f64>().unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(metrics.contains("mrs_slaves_alive 2"), "{metrics}");
+        assert!(metrics.contains("mrs_trace_dropped_events 0"), "{metrics}");
+        assert!(metrics.contains("mrs_dataplane_bytes_on_wire_total"), "{metrics}");
+
+        let trace = cluster.take_trace().expect("tracing on by default");
+        assert_eq!(trace.dropped, 0);
+        let count = |n: Name, k: Kind| trace.count(|g| g.event.name == n && g.event.kind == k);
+        // 4 map tasks + 3 reduce partitions, exactly one attempt each
+        // with speculation off.
+        assert_eq!(count(Name::Attempt, Kind::Begin), 7);
+        assert_eq!(count(Name::Attempt, Kind::End), 7);
+        assert_eq!(count(Name::Exec, Kind::Begin), 7);
+        assert_eq!(count(Name::Fetch, Kind::Begin), 7);
+        assert_eq!(count(Name::Merge, Kind::Begin), 3, "one gather per reduce");
+        assert_eq!(count(Name::Dispatch, Kind::Instant), 7);
+        assert_eq!(count(Name::Report, Kind::Instant), 7);
+        assert_eq!(count(Name::Cancel, Kind::Instant), 0);
+        // Dispatch/Report ride the master row; execution spans ride the
+        // slave rows, one pid per slave process.
+        assert!(trace
+            .events
+            .iter()
+            .filter(|g| matches!(g.event.name, Name::Dispatch | Name::Report))
+            .all(|g| g.pid == MASTER_PID));
+        assert!(trace
+            .events
+            .iter()
+            .filter(|g| g.event.name == Name::Attempt)
+            .all(|g| g.pid == 1 || g.pid == 2));
+        // Every dispatch→report window matches an attempt and is covered
+        // by its spans up to control-plane latency.
+        let cov = trace.coverage();
+        assert_eq!(cov.len(), 7);
+        for c in &cov {
+            assert!(c.window_us - c.covered_us < 200_000, "uncovered gap too wide: {c:?}");
+        }
+        // Phase totals partition the traced wall clock exactly.
+        let phases = trace.critical_path();
+        assert_eq!(phases.buckets().iter().map(|(_, us)| *us).sum::<u64>(), phases.wall_us);
+        let json = trace.chrome_json();
+        assert!(json.contains("\"name\":\"master\""), "missing master row");
+        assert!(json.contains("\"name\":\"slave 0\"") && json.contains("\"name\":\"slave 1\""));
+        assert!(json.contains("worker 0") && json.contains("worker 1"), "one lane per slot");
+    }
+
+    #[test]
+    fn cancelled_speculative_loser_traces_cancel_not_report() {
+        use mrs_trace::{Kind, Name, MASTER_PID};
+        // Both slaves carry the straggler injection: the first attempt of
+        // map task 0 (data 1) sleeps far past the speculation cutoff, so
+        // the other slave gets a backup, wins, and the sleeper is
+        // cancelled (same setup as the straggler bench, scaled down).
+        let mut cluster = LocalCluster::start(
+            Arc::new(Simple(WordCount)),
+            0,
+            DataPlane::Direct,
+            MasterConfig::default(),
+        )
+        .unwrap();
+        let straggly =
+            SlaveOptions { slots: 2, test_delays: vec![(1, 0, 600)], ..SlaveOptions::default() };
+        cluster.add_slave_with(straggly.clone());
+        cluster.add_slave_with(straggly);
+        let out = {
+            let mut job = Job::new(&mut cluster);
+            job.map_reduce(lines(200), 8, 2, true).unwrap()
+        };
+        assert!(!out.is_empty());
+        let m = cluster.metrics();
+        assert!(m.speculative_wins() >= 1, "backup never won: {m:?}");
+        assert!(m.cancelled_tasks() >= 1);
+
+        // The master row shows the speculative dispatch, the winner's
+        // report, and the loser's cancellation.
+        let mut trace = cluster.take_trace().expect("tracing on by default");
+        let master_cancels: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|g| g.pid == MASTER_PID && g.event.name == Name::Cancel)
+            .map(|g| g.event.tag)
+            .collect();
+        assert!(!master_cancels.is_empty(), "no cancel order on the master row");
+        assert!(
+            trace.count(|g| g.pid == MASTER_PID && g.event.name == Name::Speculate) >= 1,
+            "no speculative dispatch recorded"
+        );
+        // The cancelled attempt never commits: no Report instant under
+        // the loser's attempt id.
+        for tag in &master_cancels {
+            assert_eq!(
+                trace.count(|g| g.pid == MASTER_PID
+                    && g.event.name == Name::Report
+                    && g.event.tag.key() == tag.key()),
+                0,
+                "a cancelled attempt also reported: {tag:?}"
+            );
+        }
+        // The sleeping loser wakes after the job is done, notices the
+        // cancel, and ships its Cancel instant (plus the closed attempt
+        // span) on a later poll — wait for it.
+        let loser = master_cancels[0];
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let slave_cancelled = trace.count(|g| {
+                g.pid != MASTER_PID
+                    && g.event.name == Name::Cancel
+                    && g.event.kind == Kind::Instant
+                    && g.event.tag.key() == loser.key()
+            });
+            if slave_cancelled >= 1 {
+                // The loser's attempt span is closed by an End, not left
+                // dangling: cancel is an orderly outcome on the timeline.
+                assert!(
+                    trace.count(|g| g.pid != MASTER_PID
+                        && g.event.name == Name::Attempt
+                        && g.event.kind == Kind::End
+                        && g.event.tag.key() == loser.key())
+                        >= 1
+                );
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "loser never traced its cancel");
+            std::thread::sleep(Duration::from_millis(50));
+            if let Some(more) = cluster.take_trace() {
+                trace.events.extend(more.events);
+            }
+        }
     }
 }

@@ -30,6 +30,7 @@ use mrs_core::task::{
 use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
 use mrs_fs::format::write_bucket;
 use mrs_fs::Store;
+use mrs_trace::{JobTrace, Name, Op, Recorder, Tag, TraceHandle};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
@@ -116,6 +117,7 @@ struct Shared {
     program: Arc<dyn Program>,
     spill: Option<Arc<dyn Store>>,
     spill_compress: CompressMode,
+    trace: Recorder,
 }
 
 /// The local (mock-parallel / thread-pool) runtime.
@@ -170,13 +172,14 @@ impl LocalRuntime {
             program,
             spill,
             spill_compress,
+            trace: Recorder::new(),
         });
         let workers = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("mrs-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i as u32))
                     .expect("spawn worker")
             })
             .collect();
@@ -186,6 +189,14 @@ impl LocalRuntime {
     /// Metrics accumulated so far.
     pub fn metrics(&self) -> JobMetrics {
         self.shared.state.lock().metrics.clone()
+    }
+
+    /// Drain the recorded timeline: one lane per pool worker, the same
+    /// span vocabulary as the distributed slaves. A second call returns
+    /// only events recorded since the first.
+    pub fn take_trace(&self) -> JobTrace {
+        let (events, dropped) = self.shared.trace.drain();
+        JobTrace::from_local(events, dropped)
     }
 
     /// Disable (or re-enable) dataset lifetime GC. With GC on (the
@@ -362,17 +373,27 @@ enum TaskWork {
     },
 }
 
-fn worker_loop(shared: &Shared) {
+fn op_of(work: &TaskWork) -> Op {
+    match work {
+        TaskWork::Map { .. } => Op::Map,
+        TaskWork::Reduce { .. } => Op::Reduce,
+        TaskWork::ReduceMap { .. } => Op::ReduceMap,
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: u32) {
+    let th = shared.trace.handle(lane);
     loop {
-        let (task, work) = {
+        let (task, work, picked_us) = {
             let mut st = shared.state.lock();
             loop {
                 if st.shutdown {
                     return;
                 }
                 if let Some(t) = st.queue.pop_front() {
+                    let picked_us = th.now_us();
                     match task_input(&mut st, t, shared.spill.is_some()) {
-                        Ok(w) => break (t, w),
+                        Ok(w) => break (t, w, picked_us),
                         Err(e) => {
                             st.error = Some(e.to_string());
                             shared.cv.notify_all();
@@ -384,11 +405,24 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        let outcome = execute(shared, task, work);
+        // The attempt reaches back to when the task left the queue, so
+        // the gathered-input window (the in-memory shuffle handover,
+        // assembled under the scheduler lock) is on the timeline too.
+        let tag = Tag::task(op_of(&work), task.data.0, task.index, 1);
+        th.begin_at(picked_us, Name::Attempt, tag);
+        if !matches!(work, TaskWork::Map { .. }) {
+            th.begin_at(picked_us, Name::Merge, tag);
+            th.end(Name::Merge, tag);
+        }
+        th.instant(Name::Dispatch, tag);
+
+        let outcome = execute(shared, task, work, &th, tag);
+        th.end(Name::Attempt, tag);
 
         let mut st = shared.state.lock();
         match outcome {
             Ok(()) => {
+                th.instant(Name::Report, tag);
                 st.metrics.record_task();
                 promote(&mut st);
             }
@@ -400,13 +434,17 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
+fn execute(shared: &Shared, t: TaskRef, work: TaskWork, th: &TraceHandle, tag: Tag) -> Result<()> {
     match work {
         TaskWork::Map { records, func, parts, combine } => {
             let t0 = std::time::Instant::now();
-            let buckets = run_map_task(shared.program.as_ref(), func, &records, parts, combine)?;
+            th.begin(Name::Exec, tag);
+            let buckets = run_map_task(shared.program.as_ref(), func, &records, parts, combine);
+            th.end(Name::Exec, tag);
+            let buckets = buckets?;
             let bytes: usize = buckets.iter().map(|b| b.byte_size()).sum();
             if let Some(store) = &shared.spill {
+                th.begin(Name::Emit, tag);
                 for (p, b) in buckets.iter().enumerate() {
                     let path = format!("ds{}/map{}/b{p}.mrsb", t.data.0, t.index);
                     store.put(
@@ -414,6 +452,7 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
                         &mrs_codec::encode_vec(write_bucket(b), shared.spill_compress),
                     )?;
                 }
+                th.end(Name::Emit, tag);
             }
             let mut st = shared.state.lock();
             st.metrics.record_map(t0.elapsed(), bytes);
@@ -431,20 +470,25 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
         }
         TaskWork::Reduce { input, func } => {
             let t0 = std::time::Instant::now();
+            th.begin(Name::Exec, tag);
             let out = match input {
                 ReduceInput::Runs(runs) => {
-                    run_reduce_task_merge(shared.program.as_ref(), func, &runs)?
+                    run_reduce_task_merge(shared.program.as_ref(), func, &runs)
                 }
                 ReduceInput::Concat(bucket) => {
-                    run_reduce_task(shared.program.as_ref(), func, bucket)?
+                    run_reduce_task(shared.program.as_ref(), func, bucket)
                 }
             };
+            th.end(Name::Exec, tag);
+            let out = out?;
             if let Some(store) = &shared.spill {
+                th.begin(Name::Emit, tag);
                 let path = format!("ds{}/reduce{}.mrsb", t.data.0, t.index);
                 store.put(
                     &path,
                     &mrs_codec::encode_vec(write_bucket(&out), shared.spill_compress),
                 )?;
+                th.end(Name::Emit, tag);
             }
             let mut st = shared.state.lock();
             st.metrics.record_reduce(t0.elapsed());
@@ -462,6 +506,7 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
         }
         TaskWork::ReduceMap { input, reduce_func, map_func, parts, combine } => {
             let t0 = std::time::Instant::now();
+            th.begin(Name::Exec, tag);
             let out = match input {
                 ReduceInput::Runs(runs) => run_reduce_map_task_merge(
                     shared.program.as_ref(),
@@ -470,7 +515,7 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
                     &runs,
                     parts,
                     combine,
-                )?,
+                ),
                 ReduceInput::Concat(bucket) => run_reduce_map_task(
                     shared.program.as_ref(),
                     reduce_func,
@@ -478,10 +523,13 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
                     bucket,
                     parts,
                     combine,
-                )?,
+                ),
             };
+            th.end(Name::Exec, tag);
+            let out = out?;
             let bytes: usize = out.iter().map(Bucket::byte_size).sum();
             if let Some(store) = &shared.spill {
+                th.begin(Name::Emit, tag);
                 for (p, b) in out.iter().enumerate() {
                     let path = format!("ds{}/reducemap{}/b{p}.mrsb", t.data.0, t.index);
                     store.put(
@@ -489,6 +537,7 @@ fn execute(shared: &Shared, t: TaskRef, work: TaskWork) -> Result<()> {
                         &mrs_codec::encode_vec(write_bucket(b), shared.spill_compress),
                     )?;
                 }
+                th.end(Name::Emit, tag);
             }
             let mut st = shared.state.lock();
             st.metrics.record_reducemap_task(t0.elapsed(), bytes);
@@ -1107,6 +1156,41 @@ mod tests {
             rotate_fused(&mut rt, 4, 3)
         };
         assert_eq!(run(MergeMode::Merge), run(MergeMode::Sort));
+    }
+
+    #[test]
+    fn trace_covers_every_task_across_worker_lanes() {
+        use mrs_trace::{Kind, Name, MASTER_PID};
+        let mut rt = LocalRuntime::pool(Arc::new(Simple(WordCount)), 4);
+        {
+            let mut job = Job::new(&mut rt);
+            job.map_reduce(input(&["a b a", "c a", "b b c", "a"]), 3, 4, true).unwrap();
+        }
+        let trace = rt.take_trace();
+        assert_eq!(trace.dropped, 0);
+        let count = |n: Name, k: Kind| trace.count(|g| g.event.name == n && g.event.kind == k);
+        // 3 map tasks + 4 reduce partitions.
+        assert_eq!(count(Name::Attempt, Kind::Begin), 7);
+        assert_eq!(count(Name::Attempt, Kind::End), 7);
+        assert_eq!(count(Name::Exec, Kind::Begin), 7);
+        assert_eq!(count(Name::Merge, Kind::Begin), 4, "one merge per reduce");
+        assert_eq!(count(Name::Dispatch, Kind::Instant), 7);
+        assert_eq!(count(Name::Report, Kind::Instant), 7);
+        // Scheduler instants sit on the master row; execution spans keep
+        // their worker lane under the single slave pid.
+        assert!(trace.events.iter().all(
+            |g| (g.pid == MASTER_PID) == matches!(g.event.name, Name::Dispatch | Name::Report)
+        ));
+        assert!(trace.events.iter().all(|g| g.pid == MASTER_PID || g.event.lane < 4));
+        let cov = trace.coverage();
+        assert_eq!(cov.len(), 7);
+        for c in &cov {
+            // Tasks here finish in microseconds, so bound the uncovered
+            // remainder absolutely rather than as a flaky ratio.
+            assert!(c.window_us - c.covered_us < 1_000, "attempt should fill its window: {c:?}");
+        }
+        let json = trace.chrome_json();
+        assert!(json.contains("\"ph\":\"B\"") && json.contains("process_name"));
     }
 
     #[test]

@@ -27,21 +27,23 @@
 //! here discovers state by fixed-interval sleep.
 
 use crate::data::{split_evenly, DataId};
+use crate::dataplane;
 use crate::job::JobApi;
 use crate::metrics::JobMetrics;
 use crate::proto::{
     fetch_records, Assignment, CancelOrder, ControlMode, DataPlane, Dispatch, EagerFragment,
-    SpeculateMode, TaskKind, TaskMsg, TaskReport,
+    SpeculateMode, TaskKind, TaskMsg, TaskReport, TraceBatch,
 };
 use mrs_codec::CompressMode;
 use mrs_core::{Error, FuncId, MergeMode, Record, Result};
 use mrs_fs::format::write_bucket_bytes;
 use mrs_fs::Store;
-use mrs_rpc::{DataServer, FrameCache};
+use mrs_rpc::{DataServer, FrameCache, Pages, Response};
+use mrs_trace::{ClockSync, GlobalEvent, JobTrace, Recorder, TraceHandle, MASTER_PID};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Identifies a signed-in slave.
@@ -87,6 +89,12 @@ pub struct MasterConfig {
     /// concatenate-and-sort oracle. [`crate::LocalCluster`] propagates
     /// the setting to its slaves.
     pub merge: MergeMode,
+    /// Record task-attempt trace events (on by default — the recorder is
+    /// bounded and lock-cheap, and `--mrs-no-trace` exists to prove it).
+    /// Export is separately opt-in via [`Master::take_trace`] /
+    /// `--mrs-trace <path>`. [`crate::LocalCluster`] propagates the
+    /// setting to its slaves.
+    pub trace: bool,
 }
 
 impl Default for MasterConfig {
@@ -102,6 +110,7 @@ impl Default for MasterConfig {
             eager_shuffle: true,
             speculate: SpeculateMode::default(),
             merge: MergeMode::default(),
+            trace: true,
         }
     }
 }
@@ -176,6 +185,15 @@ enum MDs {
     Discarded,
 }
 
+/// The trace-vocabulary operation kind of a task kind.
+fn trace_op(kind: TaskKind) -> mrs_trace::Op {
+    match kind {
+        TaskKind::Map => mrs_trace::Op::Map,
+        TaskKind::Reduce => mrs_trace::Op::Reduce,
+        TaskKind::ReduceMap => mrs_trace::Op::ReduceMap,
+    }
+}
+
 /// Median of a (small, unsorted) runtime sample; `None` when empty.
 fn median_micros(samples: &[u64]) -> Option<u64> {
     if samples.is_empty() {
@@ -240,6 +258,33 @@ struct MState {
     metrics: JobMetrics,
 }
 
+/// Master-side trace state: its own recorder (dispatch/report/cancel
+/// instants, one shared handle with per-slave lanes) plus the ingest
+/// side that maps slave-shipped batches onto the master clock.
+struct MasterTrace {
+    rec: Recorder,
+    handle: TraceHandle,
+    ingest: Mutex<TraceIngest>,
+}
+
+#[derive(Default)]
+struct TraceIngest {
+    /// Per-slave clock-offset estimators, fed by batch RTT samples.
+    sync: HashMap<SlaveId, ClockSync>,
+    /// Slave events already mapped onto the master clock.
+    remote: Vec<GlobalEvent>,
+    /// Ring-overflow losses reported by slaves.
+    dropped: u64,
+}
+
+impl MasterTrace {
+    fn new() -> MasterTrace {
+        let rec = Recorder::new();
+        let handle = rec.handle(0);
+        MasterTrace { rec, handle, ingest: Mutex::new(TraceIngest::default()) }
+    }
+}
+
 struct MasterShared {
     cfg: MasterConfig,
     state: Mutex<MState>,
@@ -251,8 +296,13 @@ struct MasterShared {
     /// Master-local frame cache for source splits (direct plane): each
     /// split is encoded once and served zero-copy to every reader.
     source_frames: Arc<FrameCache>,
-    /// Serves `source_frames` to slaves on the direct plane.
-    source_server: Option<DataServer>,
+    /// Serves `source_frames` to slaves (direct plane) and the live
+    /// `/status` + `/metrics` pages (both planes). Created right after
+    /// the shared state exists — the pages closure needs a weak
+    /// back-reference — so it is always set by the time `new` returns.
+    source_server: OnceLock<DataServer>,
+    /// Trace recording (None when `cfg.trace` is off).
+    trace: Option<MasterTrace>,
 }
 
 /// The master. Clone-cheap handle; all state is shared.
@@ -265,13 +315,8 @@ impl Master {
     /// Create a master for the given data plane.
     pub fn new(cfg: MasterConfig, plane: DataPlane) -> Result<Master> {
         let source_frames = Arc::new(FrameCache::new());
-        let source_server = match plane {
-            DataPlane::Direct => {
-                Some(DataServer::serve(0, source_frames.provider()).map_err(Error::Io)?)
-            }
-            DataPlane::SharedFs(_) => None,
-        };
-        Ok(Master {
+        let trace = cfg.trace.then(MasterTrace::new);
+        let master = Master {
             shared: Arc::new(MasterShared {
                 cfg,
                 state: Mutex::new(MState {
@@ -292,9 +337,152 @@ impl Master {
                 dispatch_cv: Condvar::new(),
                 plane,
                 source_frames,
-                source_server,
+                source_server: OnceLock::new(),
+                trace,
             }),
-        })
+        };
+        // The server outlives neither the master (Weak) nor a request in
+        // flight (upgrade); it serves source buckets on the direct plane
+        // and the live introspection pages on both planes.
+        let weak = Arc::downgrade(&master.shared);
+        let pages: Pages = Arc::new(move |page: &str| {
+            let shared = weak.upgrade()?;
+            let m = Master { shared };
+            let (text, content_type) = match page {
+                "status" => (m.status_page(), "text/plain; charset=utf-8"),
+                "metrics" => (m.metrics_page(), "text/plain; version=0.0.4"),
+                _ => return None,
+            };
+            Some(Response::ok(content_type, Arc::from(text.into_bytes())))
+        });
+        let server = DataServer::serve_with_pages(0, master.shared.source_frames.provider(), pages)
+            .map_err(Error::Io)?;
+        let _ = master.shared.source_server.set(server);
+        Ok(master)
+    }
+
+    /// `host:port` serving this master's `/status` and `/metrics` pages
+    /// (and its source buckets on the direct plane).
+    pub fn http_authority(&self) -> String {
+        self.shared.source_server.get().expect("server started at construction").authority()
+    }
+
+    /// Human-readable live state: job phase, per-slave rows, per-dataset
+    /// task progress. Served as `/status` by the master's HTTP server.
+    pub fn status_page(&self) -> String {
+        let st = self.shared.state.lock();
+        let mut out = String::with_capacity(1024);
+        let phase = match (&st.error, st.finished) {
+            (Some(e), _) => format!("error: {e}"),
+            (None, true) => "finished".to_owned(),
+            (None, false) => "running".to_owned(),
+        };
+        out.push_str(&format!("mrs master: {phase}\n"));
+        out.push_str(&format!(
+            "slaves: {} signed in, {} alive\n",
+            st.slaves.len(),
+            st.slaves.iter().filter(|s| s.alive).count()
+        ));
+        for (id, s) in st.slaves.iter().enumerate() {
+            out.push_str(&format!(
+                "  slave {id}: {} {} slots={} last_seen={}ms ago\n",
+                s.authority,
+                if s.alive { "alive" } else { "dead" },
+                s.slots,
+                s.last_seen.elapsed().as_millis()
+            ));
+        }
+        out.push_str(&format!("datasets: {}\n", st.datasets.len()));
+        for (d, ds) in st.datasets.iter().enumerate() {
+            match ds {
+                MDs::Source { urls } => {
+                    out.push_str(&format!("  data {d}: source, {} split(s)\n", urls.len()));
+                }
+                MDs::Discarded => out.push_str(&format!("  data {d}: discarded\n")),
+                MDs::Op { kind, tasks, done_count, .. } => {
+                    let running =
+                        tasks.iter().filter(|t| matches!(t.state, SlotState::Running(_))).count();
+                    out.push_str(&format!(
+                        "  data {d}: {} {done_count}/{} done, {running} running\n",
+                        match kind {
+                            TaskKind::Map => "map",
+                            TaskKind::Reduce => "reduce",
+                            TaskKind::ReduceMap => "reducemap",
+                        },
+                        tasks.len(),
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "tasks executed: {}, retries: {}\n",
+            st.metrics.tasks_executed(),
+            st.metrics.tasks_retried()
+        ));
+        out
+    }
+
+    /// Prometheus text exposition over the job metrics, the process-wide
+    /// data-plane counters, and a few master gauges. Served as
+    /// `/metrics` by the master's HTTP server.
+    pub fn metrics_page(&self) -> String {
+        let st = self.shared.state.lock();
+        let mut out = st.metrics.to_prometheus();
+        out.push_str(&format!(
+            "mrs_slaves_alive {}\n",
+            st.slaves.iter().filter(|s| s.alive).count()
+        ));
+        out.push_str(&format!("mrs_slaves_signed_in {}\n", st.slaves.len()));
+        drop(st);
+        out.push_str(&dataplane::snapshot().to_prometheus());
+        if let Some(t) = &self.shared.trace {
+            out.push_str(&format!("mrs_trace_dropped_events {}\n", t.rec.dropped_events()));
+        }
+        out
+    }
+
+    /// Record a master-side instant on the lane of the slave it concerns.
+    fn trace_instant(&self, slave: SlaveId, name: mrs_trace::Name, tag: mrs_trace::Tag) {
+        if let Some(t) = &self.shared.trace {
+            t.handle.instant_on(slave, name, tag);
+        }
+    }
+
+    /// Fold a slave's piggybacked trace batch into the job timeline,
+    /// mapping its timestamps onto the master clock via the batch's RTT
+    /// sample. No-op when tracing is off or the batch is empty.
+    pub fn ingest_trace(&self, slave: SlaveId, batch: &TraceBatch) {
+        let Some(t) = &self.shared.trace else { return };
+        if batch.is_empty() {
+            return;
+        }
+        let local_now = t.rec.now_us();
+        let mut ing = t.ingest.lock();
+        let TraceIngest { sync, remote, dropped } = &mut *ing;
+        let cs = sync.entry(slave).or_default();
+        cs.observe(batch.sent_at_us, batch.rtt_us, local_now);
+        remote.extend(batch.events.iter().map(|e| GlobalEvent {
+            pid: slave + 1,
+            event: mrs_trace::Event { at_us: cs.map_monotone(e.at_us), ..*e },
+        }));
+        *dropped += batch.dropped;
+    }
+
+    /// Take the job timeline assembled so far: master instants plus every
+    /// ingested slave event, time-sorted on the master clock. Drains the
+    /// recorder — a second call returns only what happened since. `None`
+    /// when tracing is off.
+    pub fn take_trace(&self) -> Option<JobTrace> {
+        let t = self.shared.trace.as_ref()?;
+        let (master_events, master_dropped) = t.rec.drain();
+        let mut events: Vec<GlobalEvent> =
+            master_events.into_iter().map(|event| GlobalEvent { pid: MASTER_PID, event }).collect();
+        let mut ing = t.ingest.lock();
+        events.append(&mut ing.remote);
+        let dropped = master_dropped + std::mem::take(&mut ing.dropped);
+        drop(ing);
+        events.sort_by_key(|e| e.event.at_us);
+        Some(JobTrace { events, dropped })
     }
 
     /// The shared store, if the data plane is a shared filesystem.
@@ -556,6 +744,11 @@ impl Master {
                 state => *state = SlotState::Running(vec![attempt]),
             }
             in_flight[slave as usize] += 1;
+            let tag = mrs_trace::Tag::task(trace_op(msg.kind), msg.data, msg.index, msg.attempt);
+            self.trace_instant(slave, mrs_trace::Name::Dispatch, tag);
+            if speculative {
+                self.trace_instant(slave, mrs_trace::Name::Speculate, tag);
+            }
             granted.push(msg);
         }
         if granted.is_empty() {
@@ -804,6 +997,9 @@ impl Master {
         // elapsed). The winner itself: (speculative, elapsed).
         let mut losers: Vec<(SlaveId, u32, bool, Duration)> = Vec::new();
         let mut winner: Option<(bool, Duration)> = None;
+        // The attempt id that actually committed (resolved below when a
+        // legacy report arrives with attempt 0); tags the Report instant.
+        let mut committed = attempt;
         if let Some(MDs::Op { tasks, done_count, func, kind, input, runtimes, .. }) =
             st.datasets.get_mut(data as usize)
         {
@@ -823,6 +1019,7 @@ impl Master {
                     let Some(won) = won else { return };
                     let now = Instant::now();
                     let w = attempts[won];
+                    committed = w.id;
                     winner = Some((w.speculative, now - w.started));
                     runtimes.push((now - w.started).as_micros() as u64);
                     for (p, a) in attempts.iter().enumerate() {
@@ -847,11 +1044,17 @@ impl Master {
         // Losers get cancellation orders piggybacked on their slave's next
         // poll; the winner's margin over the slowest loser is the straggler
         // time a speculative win saved.
+        let op = record_affinity.map(|(kind, _)| trace_op(kind)).unwrap_or_default();
         let slowest_loser = losers.iter().map(|l| l.3).max().unwrap_or(Duration::ZERO);
         for (l_slave, l_id, l_speculative, _) in losers {
             if let Some(q) = st.pending_cancel.get_mut(l_slave as usize) {
                 q.push(CancelOrder { data, index, attempt: l_id });
             }
+            self.trace_instant(
+                l_slave,
+                mrs_trace::Name::Cancel,
+                mrs_trace::Tag::task(op, data, index, l_id),
+            );
             st.metrics.record_cancel();
             if l_speculative {
                 st.metrics.record_speculative_loss();
@@ -861,6 +1064,11 @@ impl Master {
             st.metrics.record_speculative_win(slowest_loser.saturating_sub(w_elapsed));
         }
         if let Some((kind, func)) = record_affinity {
+            self.trace_instant(
+                slave,
+                mrs_trace::Name::Report,
+                mrs_trace::Tag::task(trace_op(kind), data, index, committed),
+            );
             st.metrics.record_task();
             if kind == TaskKind::ReduceMap {
                 // Time and shuffle bytes happened slave-side; the master
@@ -1046,6 +1254,21 @@ impl Master {
             )
         };
         Dispatch { assignment, purge, eager, cancel }
+    }
+
+    /// [`Master::get_dispatch`] plus the piggybacked trace batch: the
+    /// batch is ingested first so its events land on the timeline before
+    /// anything this poll itself dispatches.
+    pub fn get_dispatch_traced(
+        &self,
+        slave: SlaveId,
+        free_slots: usize,
+        park: Duration,
+        reports: &[TaskReport],
+        trace: &TraceBatch,
+    ) -> Dispatch {
+        self.ingest_trace(slave, trace);
+        self.get_dispatch(slave, free_slots, park, reports)
     }
 
     /// A slave reports a failed task attempt.
@@ -1254,11 +1477,8 @@ impl Master {
         match &self.shared.plane {
             DataPlane::Direct => {
                 self.shared.source_frames.insert(&path, wire);
-                let server = self
-                    .shared
-                    .source_server
-                    .as_ref()
-                    .expect("direct plane always has a source server");
+                let server =
+                    self.shared.source_server.get().expect("server started at construction");
                 Ok(server.url_for(&path))
             }
             DataPlane::SharedFs(store) => {
@@ -2290,7 +2510,11 @@ mod tests {
         assert_eq!(metrics.speculative_wins(), 1);
         assert_eq!(metrics.speculative_losses(), 0);
         assert_eq!(metrics.cancelled_tasks(), 1);
-        assert!(metrics.straggler_ms_saved() > 0.0, "{}", metrics.straggler_ms_saved());
+        assert!(
+            metrics.straggler_time_saved() > Duration::ZERO,
+            "{:?}",
+            metrics.straggler_time_saved()
+        );
 
         // The loser's slave receives a cancel order on its next poll,
         // exactly once.

@@ -287,12 +287,12 @@ impl JobMetrics {
         self.residual_fetches
     }
 
-    /// Milliseconds warm fragments sat ready before their reduce-like
-    /// task consumed them — transfer/verify/decompress time moved off the
-    /// post-barrier critical path. Fractional because short overlaps on
-    /// tiny inputs matter to the smoke benches.
-    pub fn overlap_ms(&self) -> f64 {
-        self.overlap_micros as f64 / 1000.0
+    /// Time warm fragments sat ready before their reduce-like task
+    /// consumed them — transfer/verify/decompress time moved off the
+    /// post-barrier critical path. Microsecond granularity because short
+    /// overlaps on tiny inputs matter to the smoke benches.
+    pub fn overlap_time(&self) -> Duration {
+        Duration::from_micros(self.overlap_micros)
     }
 
     /// Record a fused reduce+map operation being queued.
@@ -395,12 +395,12 @@ impl JobMetrics {
         self.cancelled_tasks
     }
 
-    /// Milliseconds of straggler tail latency removed by winning backups:
-    /// for each speculative win, how much longer the loser had already
-    /// been running than the entire winning attempt took. Fractional for
-    /// the same reason as [`Self::overlap_ms`].
-    pub fn straggler_ms_saved(&self) -> f64 {
-        self.straggler_micros_saved as f64 / 1000.0
+    /// Straggler tail latency removed by winning backups: for each
+    /// speculative win, how much longer the loser had already been
+    /// running than the entire winning attempt took. Microsecond
+    /// granularity for the same reason as [`Self::overlap_time`].
+    pub fn straggler_time_saved(&self) -> Duration {
+        Duration::from_micros(self.straggler_micros_saved)
     }
 
     /// Record one merge-mode reduce input assembled in-process (the local
@@ -438,16 +438,80 @@ impl JobMetrics {
         self.premerged_runs
     }
 
-    /// Milliseconds reduce-like tasks spent assembling merge-ready input
-    /// (decode plus any demotion sorts). Fractional for the same reason
-    /// as [`Self::overlap_ms`].
-    pub fn merge_ms(&self) -> f64 {
-        self.merge_micros as f64 / 1000.0
+    /// Time reduce-like tasks spent assembling merge-ready input (decode
+    /// plus any demotion sorts). Microsecond granularity for the same
+    /// reason as [`Self::overlap_time`].
+    pub fn merge_time(&self) -> Duration {
+        Duration::from_micros(self.merge_micros)
     }
 
     /// Largest record count one reduce-like task materialized as input.
     pub fn peak_reduce_records(&self) -> u64 {
         self.peak_reduce_records
+    }
+
+    /// Render every counter in the Prometheus text exposition format
+    /// (one `name value` sample per line, durations in seconds). This is
+    /// what the master's `/metrics` endpoint serves and what the CI
+    /// smoke check parses.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, v: u64| {
+            out.push_str("mrs_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        counter("map_ops_total", self.map_ops);
+        counter("reduce_ops_total", self.reduce_ops);
+        counter("shuffle_bytes_total", self.shuffle_bytes);
+        counter("tasks_executed_total", self.tasks_executed);
+        counter("tasks_retried_total", self.tasks_retried);
+        counter("affinity_hits_total", self.affinity_hits);
+        counter("affinity_misses_total", self.affinity_misses);
+        counter("connections_opened_total", self.connections_opened);
+        counter("connections_reused_total", self.connections_reused);
+        counter("tasks_stolen_total", self.tasks_stolen);
+        counter("peak_in_flight", self.peak_in_flight);
+        counter("dispatch_polls_total", self.dispatch_polls);
+        counter("dispatched_tasks_total", self.dispatched_tasks);
+        counter("longpoll_parks_total", self.longpoll_parks);
+        counter("longpoll_timeouts_total", self.longpoll_timeouts);
+        counter("piggybacked_reports_total", self.piggybacked_reports);
+        counter("wakeups_total", self.wakeups);
+        counter("bytes_pre_compress_total", self.bytes_pre_compress);
+        counter("bytes_on_wire_total", self.bytes_on_wire);
+        counter("shortcircuit_fetches_total", self.shortcircuit_fetches);
+        counter("checksum_retries_total", self.checksum_retries);
+        counter("eager_fragments_total", self.eager_fragments);
+        counter("eager_bytes_total", self.eager_bytes);
+        counter("residual_fetches_total", self.residual_fetches);
+        counter("fused_ops_total", self.fused_ops);
+        counter("reducemap_tasks_total", self.reducemap_tasks);
+        counter("datasets_freed_total", self.datasets_freed);
+        counter("live_datasets", self.live_datasets);
+        counter("peak_live_datasets", self.peak_live_datasets);
+        counter("speculative_launches_total", self.speculative_launches);
+        counter("speculative_wins_total", self.speculative_wins);
+        counter("speculative_losses_total", self.speculative_losses);
+        counter("cancelled_tasks_total", self.cancelled_tasks);
+        counter("merge_runs_total", self.merge_runs);
+        counter("presorted_runs_total", self.presorted_runs);
+        counter("premerged_runs_total", self.premerged_runs);
+        counter("peak_reduce_records", self.peak_reduce_records);
+        let mut seconds = |name: &str, d: Duration| {
+            out.push_str("mrs_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&format!("{:.6}\n", d.as_secs_f64()));
+        };
+        seconds("map_time_seconds_total", self.map_time);
+        seconds("reduce_time_seconds_total", self.reduce_time);
+        seconds("overlap_seconds_total", self.overlap_time());
+        seconds("straggler_seconds_saved_total", self.straggler_time_saved());
+        seconds("merge_seconds_total", self.merge_time());
+        out
     }
 }
 
@@ -513,13 +577,13 @@ mod tests {
         assert_eq!(m.eager_fragments(), 5);
         assert_eq!(m.eager_bytes(), 640);
         assert_eq!(m.residual_fetches(), 2);
-        assert!((m.overlap_ms() - 2.5).abs() < 1e-9);
+        assert_eq!(m.overlap_time(), Duration::from_micros(2500));
         assert!(m.map_time() >= Duration::from_millis(10));
         assert_eq!(m.merge_runs(), 6);
         assert_eq!(m.presorted_runs(), 6);
         assert_eq!(m.premerged_runs(), 4);
         assert_eq!(m.peak_reduce_records(), 900);
-        assert!((m.merge_ms() - 1.5).abs() < 1e-9);
+        assert_eq!(m.merge_time(), Duration::from_micros(1500));
     }
 
     #[test]
@@ -530,7 +594,7 @@ mod tests {
         assert_eq!(m.merge_runs(), 6);
         assert_eq!(m.presorted_runs(), 5);
         assert_eq!(m.peak_reduce_records(), 1000, "peak is a max, not a sum");
-        assert!((m.merge_ms() - 1.0).abs() < 1e-9);
+        assert_eq!(m.merge_time(), Duration::from_millis(1));
     }
 
     #[test]
@@ -569,6 +633,17 @@ mod tests {
         assert_eq!(m.speculative_wins(), 1);
         assert_eq!(m.speculative_losses(), 1);
         assert_eq!(m.cancelled_tasks(), 1);
-        assert!((m.straggler_ms_saved() - 1.5).abs() < 1e-9);
+        assert_eq!(m.straggler_time_saved(), Duration::from_micros(1500));
+        let prom = m.to_prometheus();
+        assert!(prom.contains("mrs_speculative_wins_total 1\n"));
+        assert!(prom.contains("mrs_straggler_seconds_saved_total 0.001500\n"));
+        for line in prom.lines() {
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name:?}"
+            );
+            assert!(value.parse::<f64>().is_ok(), "bad value {value:?}");
+        }
     }
 }

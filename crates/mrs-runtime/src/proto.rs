@@ -435,6 +435,114 @@ impl CancelOrder {
     }
 }
 
+/// A batch of trace events piggybacked on a `get_task` call: the slave
+/// drains its recorder every poll and ships the delta, so tracing costs
+/// zero extra RPCs. `sent_at_us` is the slave's clock at send time and
+/// `rtt_us` the slave-measured round trip of its *previous* poll (0 =
+/// not yet known); together they let the master fit a clock offset
+/// ([`mrs_trace::ClockSync`]) and map the events onto its own timeline.
+/// Encoded as an extra optional positional parameter, so legacy peers
+/// (which never send or read it) interoperate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceBatch {
+    /// Slave recorder clock (µs since its epoch) when the batch was sent.
+    pub sent_at_us: u64,
+    /// Slave-measured RTT of the previous `get_task` call (0 = unknown).
+    pub rtt_us: u64,
+    /// Events lost to ring-buffer overflow since the last batch.
+    pub dropped: u64,
+    /// The drained events, time-sorted on the slave's clock.
+    pub events: Vec<mrs_trace::Event>,
+}
+
+impl TraceBatch {
+    /// True when there is nothing worth shipping (tracing off or idle).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// Encode for the RPC request. Each event is a flat 8-int array —
+    /// `[at_us, kind, name, lane, op, data, index, attempt]` — to keep
+    /// the XML-RPC volume of a busy poll small.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("sent_at".to_owned(), Value::Int(self.sent_at_us as i64));
+        m.insert("rtt".to_owned(), Value::Int(self.rtt_us as i64));
+        m.insert("dropped".to_owned(), Value::Int(self.dropped as i64));
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Value::Array(vec![
+                    Value::Int(e.at_us as i64),
+                    Value::Int(e.kind.code() as i64),
+                    Value::Int(e.name.code() as i64),
+                    Value::Int(e.lane as i64),
+                    Value::Int(e.tag.op.code() as i64),
+                    Value::Int(e.tag.data as i64),
+                    Value::Int(e.tag.index as i64),
+                    Value::Int(e.tag.attempt as i64),
+                ])
+            })
+            .collect();
+        m.insert("events".to_owned(), Value::Array(events));
+        Value::Struct(m)
+    }
+
+    /// Decode from the RPC request. Tracing is best-effort observability:
+    /// an event with an unknown kind/name/op code (a newer slave's
+    /// vocabulary) is skipped rather than failing the whole dispatch;
+    /// only a structurally malformed batch is an error.
+    pub fn from_value(v: &Value) -> Result<TraceBatch> {
+        let int = |name: &str| -> Result<i64> {
+            v.field(name)
+                .and_then(Value::as_int)
+                .ok_or_else(|| Error::Rpc(format!("trace batch missing {name}")))
+        };
+        let raw = v
+            .field("events")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::Rpc("trace batch missing events".into()))?;
+        let mut events = Vec::with_capacity(raw.len());
+        for e in raw {
+            let fields =
+                e.as_array().ok_or_else(|| Error::Rpc("trace event is not an array".into()))?;
+            if fields.len() != 8 {
+                return Err(Error::Rpc(format!("trace event has {} fields", fields.len())));
+            }
+            let mut ints = [0i64; 8];
+            for (slot, f) in ints.iter_mut().zip(fields) {
+                *slot = f.as_int().ok_or_else(|| Error::Rpc("non-int trace event field".into()))?;
+            }
+            let (Some(kind), Some(name), Some(op)) = (
+                mrs_trace::Kind::from_code(ints[1] as u8),
+                mrs_trace::Name::from_code(ints[2] as u8),
+                mrs_trace::Op::from_code(ints[4] as u8),
+            ) else {
+                continue;
+            };
+            events.push(mrs_trace::Event {
+                at_us: ints[0] as u64,
+                kind,
+                name,
+                lane: ints[3] as u32,
+                tag: mrs_trace::Tag {
+                    op,
+                    data: ints[5] as u32,
+                    index: ints[6] as u32,
+                    attempt: ints[7] as u32,
+                },
+            });
+        }
+        Ok(TraceBatch {
+            sent_at_us: int("sent_at")? as u64,
+            rtt_us: int("rtt")? as u64,
+            dropped: int("dropped")? as u64,
+            events,
+        })
+    }
+}
+
 /// A full `get_task` answer: the assignment plus lifetime-GC purge
 /// orders, eager-shuffle fragment announcements, and attempt-cancellation
 /// orders. `purge` lists output-path prefixes whose datasets have no
@@ -817,6 +925,50 @@ mod tests {
         m.insert("data".to_owned(), Value::Int(1));
         // Missing index/urls.
         assert!(TaskReport::from_value(&Value::Struct(m)).is_err());
+    }
+
+    #[test]
+    fn trace_batch_roundtrips_and_skips_unknown_codes() {
+        use mrs_trace::{Event, Kind, Name, Op, Tag};
+        let e = |at: u64| Event {
+            at_us: at,
+            kind: Kind::Begin,
+            name: Name::Exec,
+            lane: 2,
+            tag: Tag::task(Op::Map, 3, 7, 1),
+        };
+        let b = TraceBatch {
+            sent_at_us: 1_000_000,
+            rtt_us: 450,
+            dropped: 2,
+            events: vec![e(10), e(20)],
+        };
+        assert_eq!(TraceBatch::from_value(&b.to_value()).unwrap(), b);
+        assert!(!b.is_empty());
+        assert!(TraceBatch::default().is_empty());
+        assert_eq!(TraceBatch::from_value(&TraceBatch::default().to_value()).unwrap().events, []);
+        // An event with an unknown name code (future vocabulary) is
+        // skipped, not fatal…
+        let Value::Struct(mut m) = b.to_value() else { panic!("struct") };
+        m.insert(
+            "events".to_owned(),
+            Value::Array(vec![Value::Array(vec![
+                Value::Int(5),
+                Value::Int(0),
+                Value::Int(200),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+            ])]),
+        );
+        assert!(TraceBatch::from_value(&Value::Struct(m)).unwrap().events.is_empty());
+        // …but a structurally broken batch is rejected.
+        assert!(TraceBatch::from_value(&Value::Int(3)).is_err());
+        let Value::Struct(mut m) = b.to_value() else { panic!("struct") };
+        m.insert("events".to_owned(), Value::Array(vec![Value::Array(vec![Value::Int(1)])]));
+        assert!(TraceBatch::from_value(&Value::Struct(m)).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use mrs_core::task::{
     run_reduce_task_merge, MergeMode,
 };
 use mrs_core::{Bucket, Error, FuncId, Program, Record, Result};
+use mrs_trace::{JobTrace, Name, Op, Recorder, Tag, TraceHandle};
 use std::sync::Arc;
 
 /// The serial runtime. Create one per job via [`SerialRuntime::new`].
@@ -21,6 +22,8 @@ pub struct SerialRuntime {
     datasets: Vec<SerialData>,
     metrics: JobMetrics,
     merge: MergeMode,
+    rec: Recorder,
+    th: TraceHandle,
 }
 
 enum SerialData {
@@ -43,11 +46,15 @@ enum ReduceInput {
 impl SerialRuntime {
     /// A serial job for `program`.
     pub fn new(program: Arc<dyn Program>) -> Self {
+        let rec = Recorder::new();
+        let th = rec.handle(0);
         SerialRuntime {
             program,
             datasets: Vec::new(),
             metrics: JobMetrics::default(),
             merge: MergeMode::default(),
+            rec,
+            th,
         }
     }
 
@@ -59,6 +66,14 @@ impl SerialRuntime {
     /// Metrics collected so far.
     pub fn metrics(&self) -> &JobMetrics {
         &self.metrics
+    }
+
+    /// Drain the recorded timeline. Serial tasks run inline, so each
+    /// task's Dispatch and Report instants bracket its Attempt span
+    /// exactly; a second call returns only events recorded since.
+    pub fn take_trace(&self) -> JobTrace {
+        let (events, dropped) = self.rec.drain();
+        JobTrace::from_local(events, dropped)
     }
 
     /// Gather partition `p` of every task as the reduce input, in the
@@ -119,8 +134,16 @@ impl JobApi for SerialRuntime {
                 return Err(Error::MissingData(format!("dataset {input:?} was discarded")))
             }
         };
+        let tag = Tag::task(Op::Map, self.datasets.len() as u32, 0, 1);
+        self.th.instant(Name::Dispatch, tag);
+        self.th.begin(Name::Attempt, tag);
+        self.th.begin(Name::Exec, tag);
         let t0 = std::time::Instant::now();
-        let buckets = run_map_task(self.program.as_ref(), func, &records, parts, combine)?;
+        let buckets = run_map_task(self.program.as_ref(), func, &records, parts, combine);
+        self.th.end(Name::Exec, tag);
+        self.th.end(Name::Attempt, tag);
+        let buckets = buckets?;
+        self.th.instant(Name::Report, tag);
         self.metrics.record_map(t0.elapsed(), buckets.iter().map(|b| b.byte_size()).sum());
         Ok(self.push(SerialData::Mapped(vec![buckets])))
     }
@@ -133,15 +156,25 @@ impl JobApi for SerialRuntime {
         let parts = tasks.first().map_or(0, Vec::len);
         let t0 = std::time::Instant::now();
         let mut splits = Vec::with_capacity(parts);
+        let out_data = self.datasets.len() as u32;
         for p in 0..parts {
-            let out = match self.partition_input(&tasks, p) {
+            let tag = Tag::task(Op::Reduce, out_data, p, 1);
+            self.th.instant(Name::Dispatch, tag);
+            self.th.begin(Name::Attempt, tag);
+            self.th.begin(Name::Merge, tag);
+            let input = self.partition_input(&tasks, p);
+            self.th.end(Name::Merge, tag);
+            self.th.begin(Name::Exec, tag);
+            let out = match input {
                 ReduceInput::Runs(runs) => {
-                    run_reduce_task_merge(self.program.as_ref(), func, &runs)?
+                    run_reduce_task_merge(self.program.as_ref(), func, &runs)
                 }
-                ReduceInput::Concat(bucket) => {
-                    run_reduce_task(self.program.as_ref(), func, bucket)?
-                }
+                ReduceInput::Concat(bucket) => run_reduce_task(self.program.as_ref(), func, bucket),
             };
+            self.th.end(Name::Exec, tag);
+            self.th.end(Name::Attempt, tag);
+            let out = out?;
+            self.th.instant(Name::Report, tag);
             splits.push(out.into_records());
         }
         self.metrics.record_reduce(t0.elapsed());
@@ -163,8 +196,16 @@ impl JobApi for SerialRuntime {
         let in_parts = tasks.first().map_or(0, Vec::len);
         let t0 = std::time::Instant::now();
         let mut out_tasks = Vec::with_capacity(in_parts);
+        let out_data = self.datasets.len() as u32;
         for p in 0..in_parts {
-            let out = match self.partition_input(&tasks, p) {
+            let tag = Tag::task(Op::ReduceMap, out_data, p, 1);
+            self.th.instant(Name::Dispatch, tag);
+            self.th.begin(Name::Attempt, tag);
+            self.th.begin(Name::Merge, tag);
+            let input = self.partition_input(&tasks, p);
+            self.th.end(Name::Merge, tag);
+            self.th.begin(Name::Exec, tag);
+            let out = match input {
                 ReduceInput::Runs(runs) => run_reduce_map_task_merge(
                     self.program.as_ref(),
                     reduce_func,
@@ -172,7 +213,7 @@ impl JobApi for SerialRuntime {
                     &runs,
                     parts,
                     combine,
-                )?,
+                ),
                 ReduceInput::Concat(bucket) => run_reduce_map_task(
                     self.program.as_ref(),
                     reduce_func,
@@ -180,8 +221,12 @@ impl JobApi for SerialRuntime {
                     bucket,
                     parts,
                     combine,
-                )?,
+                ),
             };
+            self.th.end(Name::Exec, tag);
+            self.th.end(Name::Attempt, tag);
+            let out = out?;
+            self.th.instant(Name::Report, tag);
             out_tasks.push(out);
         }
         let elapsed = t0.elapsed();
@@ -442,5 +487,31 @@ mod tests {
         let mut job = Job::new(&mut rt);
         let src = job.local_data(relabel_input(), 1).unwrap();
         assert!(job.reduce_map_data(src, 0, 0, 2, false).is_err());
+    }
+
+    #[test]
+    fn trace_covers_every_task() {
+        use mrs_trace::Kind;
+        let mut rt = SerialRuntime::new(Arc::new(Simple(WordCount)));
+        {
+            let mut job = Job::new(&mut rt);
+            job.map_reduce(input(), 2, 3, true).unwrap();
+        }
+        let trace = rt.take_trace();
+        assert_eq!(trace.dropped, 0);
+        // One map task plus three reduce partitions, each fully spanned.
+        let begins = |n: Name| trace.count(|g| g.event.name == n && g.event.kind == Kind::Begin);
+        assert_eq!(begins(Name::Attempt), 4);
+        assert_eq!(begins(Name::Exec), 4);
+        assert_eq!(begins(Name::Merge), 3, "one merge per reduce partition");
+        let cov = trace.coverage();
+        assert_eq!(cov.len(), 4, "every dispatch/report pair yields a window");
+        for c in &cov {
+            // Tasks here finish in microseconds, so bound the uncovered
+            // remainder absolutely rather than as a flaky ratio.
+            assert!(c.window_us - c.covered_us < 1_000, "attempt should fill its window: {c:?}");
+        }
+        // A second drain only sees new work.
+        assert!(rt.take_trace().events.is_empty());
     }
 }

@@ -25,7 +25,7 @@ use crate::dataplane::{
 use crate::master::SlaveId;
 use crate::proto::{
     fetch_bucket_bytes_local_first, Assignment, CancelOrder, ControlMode, DataPlane, Dispatch,
-    EagerFragment, TaskKind, TaskMsg, TaskReport,
+    EagerFragment, TaskKind, TaskMsg, TaskReport, TraceBatch,
 };
 use mrs_codec::CompressMode;
 use mrs_core::task::{
@@ -37,6 +37,7 @@ use mrs_core::{merge_runs, Bucket, Error, MergeMode, Program, Result};
 use mrs_fs::format::{read_bucket_into, read_bucket_run, write_bucket};
 use mrs_fs::Store;
 use mrs_rpc::{DataServer, FrameCache};
+use mrs_trace::{Name, Op, Recorder, Tag, TraceHandle, EAGER_LANE, POLL_LANE, PREFETCH_LANE};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -51,18 +52,21 @@ pub trait MasterLink: Send + Sync {
     /// Poll for work with `free` idle slots; the master may grant up to
     /// `free` tasks in one batch.
     fn get_tasks(&self, slave: SlaveId, free: usize) -> Result<Dispatch> {
-        self.get_tasks_with(slave, free, Duration::ZERO, Vec::new())
+        self.get_tasks_with(slave, free, Duration::ZERO, Vec::new(), TraceBatch::default())
     }
     /// Full-form poll: delivers piggybacked completion `reports` and asks
     /// the master to hold the request up to `park` when nothing is
-    /// runnable (long-poll dispatch). The answer is a full [`Dispatch`]:
-    /// the assignment plus any lifetime-GC purge orders for this slave.
+    /// runnable (long-poll dispatch). The `trace` batch piggybacks this
+    /// slave's trace-event delta (empty when tracing is off). The answer
+    /// is a full [`Dispatch`]: the assignment plus any lifetime-GC purge
+    /// orders for this slave.
     fn get_tasks_with(
         &self,
         slave: SlaveId,
         free: usize,
         park: Duration,
         reports: Vec<TaskReport>,
+        trace: TraceBatch,
     ) -> Result<Dispatch>;
     /// Report success with output bucket URLs. `attempt` echoes the id the
     /// task message carried, so the master can recognize a stale report
@@ -99,8 +103,9 @@ impl MasterLink for crate::master::Master {
         free: usize,
         park: Duration,
         reports: Vec<TaskReport>,
+        trace: TraceBatch,
     ) -> Result<Dispatch> {
-        Ok(crate::master::Master::get_dispatch(self, slave, free, park, &reports))
+        Ok(crate::master::Master::get_dispatch_traced(self, slave, free, park, &reports, &trace))
     }
     fn task_done(
         &self,
@@ -158,6 +163,11 @@ pub struct SlaveOptions {
     /// stream a k-way merge over the decoded sorted runs (default), or
     /// concatenate and sort — the legacy path, kept as the oracle.
     pub merge: MergeMode,
+    /// Record task-attempt trace events (on by default; `--mrs-no-trace`
+    /// turns it off). Events are shipped to the master piggybacked on the
+    /// poll loop; the recorder is bounded, so tracing never grows memory
+    /// without bound and costs one uncontended lock per event.
+    pub trace: bool,
     /// Test-only straggler injection (`--mrs-test-delay data:index:ms`):
     /// before running the *first* attempt of the named task this slave
     /// sleeps the given milliseconds (checking its cancellation flag, so
@@ -177,6 +187,7 @@ impl Default for SlaveOptions {
             compress: CompressMode::default(),
             eager_shuffle: true,
             merge: MergeMode::default(),
+            trace: true,
             test_delays: Vec::new(),
         }
     }
@@ -251,10 +262,12 @@ const PREMERGE_MIN: usize = 4;
 const PREMERGE_FAN_IN: usize = 8;
 
 struct PipeState {
-    /// Assignments accepted from the master, inputs not yet fetched.
-    fetch_queue: VecDeque<TaskMsg>,
+    /// Assignments accepted from the master, inputs not yet fetched. The
+    /// stamp is the recorder time the assignment arrived (0 untraced), so
+    /// the attempt span can reach back to acceptance.
+    fetch_queue: VecDeque<(TaskMsg, u64)>,
     /// Tasks with their inputs already fetched, ready to compute.
-    queue: VecDeque<(TaskMsg, Vec<Vec<u8>>)>,
+    queue: VecDeque<(TaskMsg, u64, Vec<Vec<u8>>)>,
     /// Assignments accepted from the master and not yet reported back.
     in_flight: usize,
     /// Completions waiting to ride on the next `get_tasks` poll.
@@ -347,23 +360,28 @@ impl Pipe {
     /// immediately); a running one gets its cooperative flag set; an
     /// attempt this slave has no record of (report already sent, or the
     /// order raced the assignment) leaves a tombstone so it is abandoned
-    /// the moment a worker picks it up.
-    fn apply_cancels(&self, orders: &[CancelOrder]) {
+    /// the moment a worker picks it up. A dequeued loser still shows on
+    /// the timeline — its accepted→cancelled span and `Cancel` instant
+    /// land on the poll lane, since no worker ever owned it.
+    fn apply_cancels(&self, orders: &[CancelOrder], th: Option<&TraceHandle>) {
         if orders.is_empty() {
             return;
         }
         let mut st = self.state.lock();
         let mut freed = false;
+        let mut dequeued: Vec<(TaskMsg, u64)> = Vec::new();
         for o in orders {
             let key = (o.data, o.index, o.attempt);
             let hit =
                 |t: &TaskMsg| t.data == o.data && t.index == o.index && t.attempt == o.attempt;
-            if let Some(pos) = st.fetch_queue.iter().position(hit) {
-                st.fetch_queue.remove(pos);
+            if let Some(pos) = st.fetch_queue.iter().position(|(t, _)| hit(t)) {
+                let (t, at) = st.fetch_queue.remove(pos).expect("position in range");
+                dequeued.push((t, at));
                 st.in_flight -= 1;
                 freed = true;
-            } else if let Some(pos) = st.queue.iter().position(|(t, _)| hit(t)) {
-                st.queue.remove(pos);
+            } else if let Some(pos) = st.queue.iter().position(|(t, _, _)| hit(t)) {
+                let (t, at, _) = st.queue.remove(pos).expect("position in range");
+                dequeued.push((t, at));
                 st.in_flight -= 1;
                 freed = true;
             } else if let Some(flag) = st.active.get(&key) {
@@ -373,6 +391,14 @@ impl Pipe {
             }
         }
         drop(st);
+        if let Some(h) = th {
+            for (t, accepted_us) in &dequeued {
+                let tag = Tag::task(op_of(t.kind), t.data, t.index, t.attempt);
+                h.begin_at(*accepted_us, Name::Attempt, tag);
+                h.instant(Name::Cancel, tag);
+                h.end(Name::Attempt, tag);
+            }
+        }
         if freed {
             self.poll_cv.notify_all();
         }
@@ -432,10 +458,20 @@ pub fn run_slave(
 
     let piggyback = matches!(opts.control, ControlMode::LongPoll);
     let pipe = Pipe::new(opts.eager_shuffle, opts.merge == MergeMode::Merge);
+    // Trace recording: one recorder per slave, one handle (ring shard)
+    // per recording thread. Handles live outside the thread scope so the
+    // worker closures can borrow them.
+    let rec = opts.trace.then(Recorder::new);
+    let worker_handles: Vec<Option<TraceHandle>> =
+        (0..workers).map(|w| rec.as_ref().map(|r| r.handle(w as u32))).collect();
+    let prefetch_handle = rec.as_ref().map(|r| r.handle(PREFETCH_LANE));
+    let eager_handle = rec.as_ref().map(|r| r.handle(EAGER_LANE));
+    let poll_handle = rec.as_ref().map(|r| r.handle(POLL_LANE));
     let mut result: Result<()> = Ok(());
     std::thread::scope(|s| {
-        let mut handles: Vec<_> = (0..workers)
-            .map(|_| {
+        let mut handles: Vec<_> = worker_handles
+            .iter()
+            .map(|th| {
                 s.spawn(|| {
                     worker_loop(
                         link,
@@ -449,6 +485,7 @@ pub fn run_slave(
                         opts.compress,
                         opts.merge,
                         &opts.test_delays,
+                        th.as_ref(),
                     )
                 })
             })
@@ -458,7 +495,15 @@ pub fn run_slave(
         // heartbeating, and fetch failures report standalone so recovery
         // starts immediately.
         handles.push(s.spawn(|| {
-            prefetch_loop(link, shared.as_ref(), own_authority.as_deref(), &frames, id, &pipe)
+            prefetch_loop(
+                link,
+                shared.as_ref(),
+                own_authority.as_deref(),
+                &frames,
+                id,
+                &pipe,
+                prefetch_handle.as_ref(),
+            )
         }));
         // The eager shuffle fetcher pulls announced map-output fragments
         // while the workers are still mapping, hiding reduce-input
@@ -467,12 +512,24 @@ pub fn run_slave(
         // correctness.
         if pipe.eager.is_some() {
             handles.push(s.spawn(|| {
-                eager_fetch_loop(shared.as_ref(), own_authority.as_deref(), &frames, &pipe);
+                eager_fetch_loop(
+                    shared.as_ref(),
+                    own_authority.as_deref(),
+                    &frames,
+                    &pipe,
+                    eager_handle.as_ref(),
+                );
                 Ok(())
             }));
         }
 
         let mut backoff = opts.poll_interval;
+        // The round-trip measured around the *previous* poll, shipped with
+        // the next trace batch so the master's clock sync can bound the
+        // one-way delay. Until a round-trip exists the batch stays empty —
+        // an unmeasured sample would lock the min-RTT filter onto a bogus
+        // offset.
+        let mut prev_rtt_us: Option<u64> = None;
         let main_res: Result<()> = loop {
             if stop.load(Ordering::SeqCst) {
                 pipe.shut_down(true);
@@ -504,13 +561,23 @@ pub fn run_slave(
             // request, so a busy slave polls without parking and waits
             // locally on the worker condvar instead.
             let park = if piggyback && free == capacity { opts.long_poll } else { Duration::ZERO };
+            // Drain the trace delta *after* taking the reports: any event a
+            // worker recorded before queueing its report is guaranteed to
+            // ride the same (or an earlier) poll as the report itself.
+            let batch = match (&rec, prev_rtt_us) {
+                (Some(r), Some(rtt_us)) => {
+                    let (events, dropped) = r.drain();
+                    TraceBatch { sent_at_us: r.now_us(), rtt_us, dropped, events }
+                }
+                _ => TraceBatch::default(),
+            };
             let polled_at = Instant::now();
             // A master that has vanished is a normal end of life for a
             // slave: the paper's launch scripts tear everything down
             // together (the scheduler "kills processes as soon as a job
             // completes"), so losing the control channel means the job is
             // over, not an error.
-            let answer = link.get_tasks_with(id, free, park, reports).map(|d| {
+            let answer = link.get_tasks_with(id, free, park, reports, batch).map(|d| {
                 // Apply lifetime-GC purge orders before acting on the
                 // assignment: spent datasets leave this slave's frame
                 // cache so long-running iterative jobs hold O(1)
@@ -525,9 +592,14 @@ pub fn run_slave(
                 // Cancel orders never name a task granted in this same
                 // answer (they are issued for attempts dispatched earlier),
                 // so applying them before enqueueing the assignment is safe.
-                pipe.apply_cancels(&d.cancel);
+                pipe.apply_cancels(&d.cancel, poll_handle.as_ref());
                 d.assignment
             });
+            if rec.is_some() {
+                // Parked long-polls inflate this sample; the master's
+                // min-RTT filter discards inflated ones on its own.
+                prev_rtt_us = Some(polled_at.elapsed().as_micros() as u64);
+            }
             match answer {
                 Ok(Assignment::Exit) => {
                     // No further poll will carry reports: flush anything
@@ -566,10 +638,11 @@ pub fn run_slave(
                 }
                 Ok(Assignment::Tasks(tasks)) => {
                     backoff = opts.poll_interval;
+                    let accepted_us = rec.as_ref().map(|r| r.now_us()).unwrap_or(0);
                     let mut st = pipe.state.lock();
                     for task in tasks {
                         st.in_flight += 1;
-                        st.fetch_queue.push_back(task);
+                        st.fetch_queue.push_back((task, accepted_us));
                     }
                     drop(st);
                     pipe.fetch_cv.notify_all();
@@ -618,9 +691,10 @@ fn prefetch_loop(
     frames: &Arc<FrameCache>,
     id: SlaveId,
     pipe: &Pipe,
+    th: Option<&TraceHandle>,
 ) -> Result<()> {
     loop {
-        let task = {
+        let (task, accepted_us) = {
             let mut st = pipe.state.lock();
             loop {
                 if st.halt || (st.drain && st.fetch_queue.is_empty()) {
@@ -636,14 +710,21 @@ fn prefetch_loop(
         // partitions, so only they consult the eager warm cache; map
         // tasks fetching source splits must not skew the residual count.
         let eager = pipe.eager.as_ref().filter(|_| task.kind != TaskKind::Map);
+        let tag = Tag::task(op_of(task.kind), task.data, task.index, task.attempt);
+        if let Some(h) = th {
+            h.begin(Name::Fetch, tag);
+        }
         let fetched = fetch_all_bucket_bytes(&task.inputs, shared, own_authority, frames, eager);
+        if let Some(h) = th {
+            h.end(Name::Fetch, tag);
+        }
         if pipe.halted() {
             return Ok(());
         }
         match fetched {
             Ok(raw) => {
                 let mut st = pipe.state.lock();
-                st.queue.push_back((task, raw));
+                st.queue.push_back((task, accepted_us, raw));
                 drop(st);
                 pipe.cv.notify_one();
             }
@@ -687,6 +768,7 @@ fn eager_fetch_loop(
     own_authority: Option<&str>,
     frames: &Arc<FrameCache>,
     pipe: &Pipe,
+    th: Option<&TraceHandle>,
 ) {
     let Some(eg) = &pipe.eager else { return };
     loop {
@@ -705,13 +787,21 @@ fn eager_fetch_loop(
         match fetch_bucket_bytes_local_first(&url, shared, own_authority, Some(frames)) {
             Ok(bytes) => {
                 record_eager_fragment(bytes.len());
+                if let Some(h) = th {
+                    // Tag with the producer coordinates when the URL names
+                    // them; attempt 0 marks "whichever attempt produced it".
+                    let tag = parse_bucket_coords(&url)
+                        .map(|(d, i, _)| Tag::task(Op::None, d as u32, i as usize, 0))
+                        .unwrap_or(Tag::NONE);
+                    h.instant(Name::EagerFetch, tag);
+                }
                 let mut st = eg.state.lock();
                 if !st.stop {
                     st.warm.insert(url, (bytes, Instant::now()));
                 }
                 drop(st);
                 if eg.premerge {
-                    premerge_warm(eg);
+                    premerge_warm(eg, th);
                 }
             }
             Err(_) => {
@@ -744,7 +834,7 @@ fn parse_bucket_coords(url: &str) -> Option<(u64, u64, u64)> {
 /// reduce inputs in producer task-index order and the streaming merge
 /// breaks key ties by run slot, splicing the merged run into the covered
 /// slots reproduces the per-fragment merge byte for byte.
-fn premerge_warm(eg: &EagerHalf) {
+fn premerge_warm(eg: &EagerHalf, th: Option<&TraceHandle>) {
     loop {
         // Pick one mergeable streak under the lock, taking its fragments
         // out of the warm cache; decode and merge outside the lock so
@@ -797,6 +887,9 @@ fn premerge_warm(eg: &EagerHalf) {
             return;
         }
         record_premerge(fragments);
+        if let Some(h) = th {
+            h.instant(Name::Premerge, Tag::NONE);
+        }
         let urls: Vec<String> = streak.into_iter().map(|(u, _)| u).collect();
         let key = urls[0].clone();
         st.premerged.insert(key, PremergedRun { bytes: merged, urls, ready_at: Instant::now() });
@@ -857,6 +950,7 @@ fn worker_loop(
     compress: CompressMode,
     merge: MergeMode,
     delays: &[(u32, usize, u64)],
+    th: Option<&TraceHandle>,
 ) -> Result<()> {
     // Per-worker scratch arena, reused across map tasks.
     let mut scratch = Bucket::new();
@@ -864,24 +958,34 @@ fn worker_loop(
         // Pop a task and register its cancellation flag in one lock
         // section, so a cancel order lands either on the queue entry, the
         // tombstone set, or the registered flag — never in a gap between.
-        let (task, raw, cancel) = {
+        let (task, accepted_us, raw, cancel) = {
             let mut st = pipe.state.lock();
             loop {
                 if st.halt {
                     return Ok(());
                 }
-                if let Some((task, raw)) = st.queue.pop_front() {
+                if let Some((task, accepted_us, raw)) = st.queue.pop_front() {
                     let key = (task.data, task.index, task.attempt);
                     if st.tombstones.remove(&key) {
                         // Cancelled before it ever ran: free the slot,
-                        // never execute, never report.
+                        // never execute, never report. The attempt still
+                        // gets its accepted→cancelled span so the
+                        // timeline shows an orderly outcome, not a
+                        // dangling acceptance.
                         st.in_flight -= 1;
                         pipe.poll_cv.notify_all();
+                        if let Some(h) = th {
+                            let tag =
+                                Tag::task(op_of(task.kind), task.data, task.index, task.attempt);
+                            h.begin_at(accepted_us, Name::Attempt, tag);
+                            h.instant(Name::Cancel, tag);
+                            h.end(Name::Attempt, tag);
+                        }
                         continue;
                     }
                     let flag = Arc::new(AtomicBool::new(false));
                     st.active.insert(key, Arc::clone(&flag));
-                    break (task, raw, flag);
+                    break (task, accepted_us, raw, flag);
                 }
                 if st.drain {
                     return Ok(());
@@ -889,6 +993,13 @@ fn worker_loop(
                 pipe.cv.wait(&mut st);
             }
         };
+        // The attempt span reaches back to when the assignment arrived:
+        // queue wait and prefetch both belong to the attempt's lifetime
+        // (the handle clamps it monotone against this lane's last event).
+        let tag = Tag::task(op_of(task.kind), task.data, task.index, task.attempt);
+        if let Some(h) = th {
+            h.begin_at(accepted_us, Name::Attempt, tag);
+        }
         // Straggler injection (test-only): only the task's first attempt
         // is delayed, so a speculative backup runs clean. The sleep is
         // sliced to observe the cancellation flag promptly.
@@ -922,12 +1033,23 @@ fn worker_loop(
                 compress,
                 merge,
                 Some(&cancel),
+                th,
             )
         };
         pipe.state.lock().active.remove(&(task.data, task.index, task.attempt));
         if pipe.halted() {
             // Crash semantics: a halted slave goes silent, never reports.
             return Ok(());
+        }
+        // Close the attempt span (and mark a cancellation) *before* the
+        // report is queued or sent: the poll that carries the report to
+        // the master drains the recorder after taking reports, so the
+        // span's end is guaranteed to travel with (or ahead of) it.
+        if let Some(h) = th {
+            if matches!(&outcome, Err(TaskError { cancelled: true, .. })) {
+                h.instant(Name::Cancel, tag);
+            }
+            h.end(Name::Attempt, tag);
         }
         let report = match outcome {
             Ok(urls) => {
@@ -1113,8 +1235,19 @@ fn fetch_all_bucket_bytes(
     Ok(slots.into_iter().map(|b| b.expect("every slot seeded or fetched")).collect())
 }
 
+/// The trace op tag for a task kind.
+fn op_of(kind: TaskKind) -> Op {
+    match kind {
+        TaskKind::Map => Op::Map,
+        TaskKind::Reduce => Op::Reduce,
+        TaskKind::ReduceMap => Op::ReduceMap,
+    }
+}
+
 /// Execute one task whose input bytes are already fetched (slot-ordered,
 /// one entry per input URL), store its outputs, and return their URLs.
+/// With a trace handle, the merge/exec/emit phases record as spans nested
+/// inside the caller's attempt span.
 #[allow(clippy::too_many_arguments)]
 fn process_task(
     task: &TaskMsg,
@@ -1128,7 +1261,19 @@ fn process_task(
     compress: CompressMode,
     merge: MergeMode,
     cancel: Option<&AtomicBool>,
+    th: Option<&TraceHandle>,
 ) -> std::result::Result<Vec<String>, TaskError> {
+    let tag = Tag::task(op_of(task.kind), task.data, task.index, task.attempt);
+    let span_begin = |name: Name| {
+        if let Some(h) = th {
+            h.begin(name, tag);
+        }
+    };
+    let span_end = |name: Name| {
+        if let Some(h) = th {
+            h.end(name, tag);
+        }
+    };
     let parse_err = |url: &String, e: mrs_core::Error| TaskError {
         msg: e.to_string(),
         failed_input: Some(url.clone()),
@@ -1145,6 +1290,7 @@ fn process_task(
     // Empty slots are pre-merge placeholders — their records live in the
     // merged run occupying the slot of the first URL they covered.
     let gather_runs = || -> std::result::Result<Vec<Bucket>, TaskError> {
+        span_begin(Name::Merge);
         let t0 = Instant::now();
         let mut runs = Vec::with_capacity(raw.len());
         let mut presorted = 0usize;
@@ -1166,9 +1312,11 @@ fn process_task(
             runs.push(run);
         }
         record_merge_input(runs.len(), presorted, records, t0.elapsed());
+        span_end(Name::Merge);
         Ok(runs)
     };
     let gather_concat = || -> std::result::Result<Bucket, TaskError> {
+        span_begin(Name::Merge);
         let mut input = Bucket::new();
         for (url, bytes) in task.inputs.iter().zip(raw) {
             if bytes.is_empty() {
@@ -1176,6 +1324,7 @@ fn process_task(
             }
             read_bucket_into(bytes, &mut input).map_err(|e| parse_err(url, e))?;
         }
+        span_end(Name::Merge);
         Ok(input)
     };
 
@@ -1191,7 +1340,8 @@ fn process_task(
             for (url, bytes) in task.inputs.iter().zip(raw) {
                 read_bucket_into(bytes, scratch).map_err(|e| parse_err(url, e))?;
             }
-            run_map_task_bucket_cancellable(
+            span_begin(Name::Exec);
+            let out = run_map_task_bucket_cancellable(
                 program,
                 task.func,
                 scratch,
@@ -1199,23 +1349,29 @@ fn process_task(
                 task.combine,
                 cancel,
             )
-            .map_err(run_err)?
-            .iter()
-            .map(|b| (write_bucket(b), b.is_sorted()))
-            .collect()
+            .map_err(run_err);
+            span_end(Name::Exec);
+            out?.iter().map(|b| (write_bucket(b), b.is_sorted())).collect()
         }
         TaskKind::Reduce => {
             let out = match merge {
                 MergeMode::Merge => {
                     let runs = gather_runs()?;
-                    run_reduce_task_merge_cancellable(program, task.func, &runs, cancel)
-                        .map_err(run_err)?
+                    span_begin(Name::Exec);
+                    let out = run_reduce_task_merge_cancellable(program, task.func, &runs, cancel)
+                        .map_err(run_err);
+                    span_end(Name::Exec);
+                    out?
                 }
                 // Reduce consumes its input arena (sorted in place), so
                 // it cannot reuse the scratch buffer.
                 MergeMode::Sort => {
-                    run_reduce_task_cancellable(program, task.func, gather_concat()?, cancel)
-                        .map_err(run_err)?
+                    let input = gather_concat()?;
+                    span_begin(Name::Exec);
+                    let out = run_reduce_task_cancellable(program, task.func, input, cancel)
+                        .map_err(run_err);
+                    span_end(Name::Exec);
+                    out?
                 }
             };
             let sorted = out.is_sorted();
@@ -1228,7 +1384,8 @@ fn process_task(
             let out = match merge {
                 MergeMode::Merge => {
                     let runs = gather_runs()?;
-                    run_reduce_map_task_merge_cancellable(
+                    span_begin(Name::Exec);
+                    let out = run_reduce_map_task_merge_cancellable(
                         program,
                         task.func,
                         task.map_func,
@@ -1237,18 +1394,26 @@ fn process_task(
                         task.combine,
                         cancel,
                     )
-                    .map_err(run_err)?
+                    .map_err(run_err);
+                    span_end(Name::Exec);
+                    out?
                 }
-                MergeMode::Sort => run_reduce_map_task_cancellable(
-                    program,
-                    task.func,
-                    task.map_func,
-                    gather_concat()?,
-                    task.parts,
-                    task.combine,
-                    cancel,
-                )
-                .map_err(run_err)?,
+                MergeMode::Sort => {
+                    let input = gather_concat()?;
+                    span_begin(Name::Exec);
+                    let out = run_reduce_map_task_cancellable(
+                        program,
+                        task.func,
+                        task.map_func,
+                        input,
+                        task.parts,
+                        task.combine,
+                        cancel,
+                    )
+                    .map_err(run_err);
+                    span_end(Name::Exec);
+                    out?
+                }
             };
             out.iter().map(|b| (write_bucket(b), b.is_sorted())).collect()
         }
@@ -1258,6 +1423,7 @@ fn process_task(
     // and name the outputs. Encoding happens exactly once per bucket,
     // here; every reader — remote peer, colocated short-circuit, shared
     // store — gets the same encoded bytes.
+    span_begin(Name::Emit);
     let mut urls = Vec::with_capacity(buckets.len());
     for (p, (bytes, sorted)) in buckets.into_iter().enumerate() {
         let path = format!("s{slave}/d{}/t{}/b{p}.mrsb", task.data, task.index);
@@ -1273,6 +1439,7 @@ fn process_task(
             }
         }
     }
+    span_end(Name::Emit);
     Ok(urls)
 }
 
@@ -1460,7 +1627,7 @@ mod tests {
         for i in 0..5 {
             warm_fragment(eg, i);
         }
-        premerge_warm(eg);
+        premerge_warm(eg, None);
         {
             let st = eg.state.lock();
             assert_eq!(st.premerged.len(), 1, "one merged run covering the streak");
@@ -1493,7 +1660,7 @@ mod tests {
         for i in [0usize, 1, 2, 4, 5] {
             warm_fragment(eg, i);
         }
-        premerge_warm(eg);
+        premerge_warm(eg, None);
         let st = eg.state.lock();
         assert!(st.premerged.is_empty());
         assert_eq!(st.warm.len(), 5);
@@ -1509,7 +1676,7 @@ mod tests {
         for i in 0..4 {
             warm_fragment(eg, i);
         }
-        premerge_warm(eg);
+        premerge_warm(eg, None);
         assert_eq!(eg.state.lock().premerged.len(), 1);
 
         // The task's input list names a different URL for t2 (the
